@@ -1,0 +1,436 @@
+//! Binary encodings used throughout the system.
+//!
+//! Two families of encodings live here:
+//!
+//! * **Order-preserving key encodings** — the distributed balanced tree
+//!   orders its cells by raw byte comparison, so the SQL layer encodes typed
+//!   keys (integers, strings, composite index keys) into byte strings whose
+//!   lexicographic order equals the typed order.  This is the same trick
+//!   commercial storage engines use for composite index keys.
+//! * **Length-prefixed record framing** — varints and length-prefixed byte
+//!   slices used by the hand-rolled serializers for tree nodes, SQL rows and
+//!   RPC messages.  We deliberately do not use a serialization framework for
+//!   these so that the on-wire/on-node layout is explicit and stable.
+
+use crate::error::{Error, Result};
+
+// ---------------------------------------------------------------------------
+// Varints (LEB128, unsigned)
+// ---------------------------------------------------------------------------
+
+/// Appends `v` to `out` as an unsigned LEB128 varint (1–10 bytes).
+pub fn put_uvarint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let mut byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v != 0 {
+            byte |= 0x80;
+        }
+        out.push(byte);
+        if v == 0 {
+            break;
+        }
+    }
+}
+
+/// Reads an unsigned LEB128 varint from the front of `buf`, returning the
+/// value and the number of bytes consumed.
+pub fn get_uvarint(buf: &[u8]) -> Result<(u64, usize)> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    for (i, &b) in buf.iter().enumerate() {
+        if shift >= 64 {
+            return Err(Error::Corruption("varint overflow".into()));
+        }
+        v |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Ok((v, i + 1));
+        }
+        shift += 7;
+    }
+    Err(Error::Corruption("truncated varint".into()))
+}
+
+/// Appends a length-prefixed byte slice.
+pub fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    put_uvarint(out, b.len() as u64);
+    out.extend_from_slice(b);
+}
+
+/// Reads a length-prefixed byte slice from the front of `buf`, returning the
+/// slice and the number of bytes consumed.
+pub fn get_bytes(buf: &[u8]) -> Result<(&[u8], usize)> {
+    let (len, n) = get_uvarint(buf)?;
+    let len = len as usize;
+    if buf.len() < n + len {
+        return Err(Error::Corruption(format!(
+            "truncated byte slice: need {} have {}",
+            n + len,
+            buf.len()
+        )));
+    }
+    Ok((&buf[n..n + len], n + len))
+}
+
+/// A cursor over a byte slice for sequential decoding.
+///
+/// All decoders in the workspace use this rather than manual index juggling;
+/// every read is bounds-checked and reports [`Error::Corruption`] on
+/// truncation.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Number of bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True if every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Reads a single byte.
+    pub fn u8(&mut self) -> Result<u8> {
+        if self.remaining() < 1 {
+            return Err(Error::Corruption("truncated u8".into()));
+        }
+        let b = self.buf[self.pos];
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Reads a big-endian u32.
+    pub fn u32(&mut self) -> Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes(b.try_into().unwrap()))
+    }
+
+    /// Reads a big-endian u64.
+    pub fn u64(&mut self) -> Result<u64> {
+        let b = self.take(8)?;
+        Ok(u64::from_be_bytes(b.try_into().unwrap()))
+    }
+
+    /// Reads a big-endian i64.
+    pub fn i64(&mut self) -> Result<i64> {
+        let b = self.take(8)?;
+        Ok(i64::from_be_bytes(b.try_into().unwrap()))
+    }
+
+    /// Reads a big-endian f64.
+    pub fn f64(&mut self) -> Result<f64> {
+        let b = self.take(8)?;
+        Ok(f64::from_be_bytes(b.try_into().unwrap()))
+    }
+
+    /// Reads an unsigned varint.
+    pub fn uvarint(&mut self) -> Result<u64> {
+        let (v, n) = get_uvarint(&self.buf[self.pos..])?;
+        self.pos += n;
+        Ok(v)
+    }
+
+    /// Reads a length-prefixed byte slice.
+    pub fn bytes(&mut self) -> Result<&'a [u8]> {
+        let (b, n) = get_bytes(&self.buf[self.pos..])?;
+        self.pos += n;
+        Ok(b)
+    }
+
+    /// Reads exactly `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(Error::Corruption(format!(
+                "truncated read: need {n} have {}",
+                self.remaining()
+            )));
+        }
+        let b = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(b)
+    }
+}
+
+/// A growable encoding buffer mirroring [`Reader`].
+#[derive(Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Writer { buf: Vec::new() }
+    }
+
+    /// Creates a writer with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Writer { buf: Vec::with_capacity(cap) }
+    }
+
+    /// Appends a single byte.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Appends a big-endian u32.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Appends a big-endian u64.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Appends a big-endian i64.
+    pub fn i64(&mut self, v: i64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Appends a big-endian f64.
+    pub fn f64(&mut self, v: f64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Appends an unsigned varint.
+    pub fn uvarint(&mut self, v: u64) -> &mut Self {
+        put_uvarint(&mut self.buf, v);
+        self
+    }
+
+    /// Appends a length-prefixed byte slice.
+    pub fn bytes(&mut self, b: &[u8]) -> &mut Self {
+        put_bytes(&mut self.buf, b);
+        self
+    }
+
+    /// Appends raw bytes with no framing.
+    pub fn raw(&mut self, b: &[u8]) -> &mut Self {
+        self.buf.extend_from_slice(b);
+        self
+    }
+
+    /// Consumes the writer and returns the encoded bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Current encoded length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Order-preserving key encodings
+// ---------------------------------------------------------------------------
+
+/// Encodes an `i64` into 8 bytes whose lexicographic order equals numeric
+/// order (flip the sign bit of the big-endian two's-complement encoding).
+pub fn order_encode_i64(v: i64) -> [u8; 8] {
+    ((v as u64) ^ (1u64 << 63)).to_be_bytes()
+}
+
+/// Inverse of [`order_encode_i64`].
+pub fn order_decode_i64(b: &[u8]) -> Result<i64> {
+    if b.len() < 8 {
+        return Err(Error::Corruption("truncated ordered i64".into()));
+    }
+    let raw = u64::from_be_bytes(b[..8].try_into().unwrap());
+    Ok((raw ^ (1u64 << 63)) as i64)
+}
+
+/// Encodes an `f64` into 8 bytes whose lexicographic order equals numeric
+/// order (standard IEEE-754 total-order trick; NaNs sort above +inf).
+pub fn order_encode_f64(v: f64) -> [u8; 8] {
+    let bits = v.to_bits();
+    let flipped = if bits & (1u64 << 63) != 0 {
+        // Negative numbers: flip all bits so that more-negative sorts lower.
+        !bits
+    } else {
+        // Positive numbers: set the sign bit so they sort above negatives.
+        bits | (1u64 << 63)
+    };
+    flipped.to_be_bytes()
+}
+
+/// Inverse of [`order_encode_f64`].
+pub fn order_decode_f64(b: &[u8]) -> Result<f64> {
+    if b.len() < 8 {
+        return Err(Error::Corruption("truncated ordered f64".into()));
+    }
+    let raw = u64::from_be_bytes(b[..8].try_into().unwrap());
+    let bits = if raw & (1u64 << 63) != 0 { raw & !(1u64 << 63) } else { !raw };
+    Ok(f64::from_bits(bits))
+}
+
+/// Escape used by [`order_encode_bytes`]: `0x00` inside the payload becomes
+/// `0x00 0xff`, and the terminator is `0x00 0x00`.  This keeps byte-string
+/// keys order-preserving even when they are a prefix of a composite key.
+pub fn order_encode_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    for &c in b {
+        if c == 0 {
+            out.push(0);
+            out.push(0xff);
+        } else {
+            out.push(c);
+        }
+    }
+    out.push(0);
+    out.push(0);
+}
+
+/// Inverse of [`order_encode_bytes`]; returns the decoded bytes and the
+/// number of encoded bytes consumed (including the terminator).
+pub fn order_decode_bytes(buf: &[u8]) -> Result<(Vec<u8>, usize)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < buf.len() {
+        let c = buf[i];
+        if c != 0 {
+            out.push(c);
+            i += 1;
+            continue;
+        }
+        // c == 0: either escape or terminator.
+        if i + 1 >= buf.len() {
+            return Err(Error::Corruption("truncated ordered bytes".into()));
+        }
+        match buf[i + 1] {
+            0x00 => return Ok((out, i + 2)),
+            0xff => {
+                out.push(0);
+                i += 2;
+            }
+            other => {
+                return Err(Error::Corruption(format!(
+                    "invalid ordered-bytes escape 0x00 0x{other:02x}"
+                )))
+            }
+        }
+    }
+    Err(Error::Corruption("unterminated ordered bytes".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrip() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_uvarint(&mut buf, v);
+            let (got, n) = get_uvarint(&buf).unwrap();
+            assert_eq!(got, v);
+            assert_eq!(n, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint_truncated_errors() {
+        let mut buf = Vec::new();
+        put_uvarint(&mut buf, u64::MAX);
+        assert!(get_uvarint(&buf[..buf.len() - 1]).is_err());
+        assert!(get_uvarint(&[]).is_err());
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let mut buf = Vec::new();
+        put_bytes(&mut buf, b"hello");
+        put_bytes(&mut buf, b"");
+        put_bytes(&mut buf, &[0u8; 300]);
+        let (a, n1) = get_bytes(&buf).unwrap();
+        assert_eq!(a, b"hello");
+        let (b, n2) = get_bytes(&buf[n1..]).unwrap();
+        assert_eq!(b, b"");
+        let (c, _) = get_bytes(&buf[n1 + n2..]).unwrap();
+        assert_eq!(c.len(), 300);
+    }
+
+    #[test]
+    fn reader_writer_roundtrip() {
+        let mut w = Writer::new();
+        w.u8(7).u32(0xdead_beef).u64(42).i64(-5).f64(1.5).uvarint(300).bytes(b"abc");
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.u64().unwrap(), 42);
+        assert_eq!(r.i64().unwrap(), -5);
+        assert_eq!(r.f64().unwrap(), 1.5);
+        assert_eq!(r.uvarint().unwrap(), 300);
+        assert_eq!(r.bytes().unwrap(), b"abc");
+        assert!(r.is_empty());
+        assert!(r.u8().is_err());
+    }
+
+    #[test]
+    fn ordered_i64_preserves_order() {
+        let vals = [i64::MIN, -1_000_000, -1, 0, 1, 42, 1_000_000, i64::MAX];
+        for w in vals.windows(2) {
+            let a = order_encode_i64(w[0]);
+            let b = order_encode_i64(w[1]);
+            assert!(a < b, "{} !< {}", w[0], w[1]);
+            assert_eq!(order_decode_i64(&a).unwrap(), w[0]);
+        }
+    }
+
+    #[test]
+    fn ordered_f64_preserves_order() {
+        let vals = [f64::NEG_INFINITY, -1e300, -1.5, -0.0, 0.0, 1e-10, 2.5, 1e300, f64::INFINITY];
+        for w in vals.windows(2) {
+            let a = order_encode_f64(w[0]);
+            let b = order_encode_f64(w[1]);
+            assert!(a <= b, "{} !<= {}", w[0], w[1]);
+        }
+        assert_eq!(order_decode_f64(&order_encode_f64(2.5)).unwrap(), 2.5);
+        assert_eq!(order_decode_f64(&order_encode_f64(-7.25)).unwrap(), -7.25);
+    }
+
+    #[test]
+    fn ordered_bytes_roundtrip_and_order() {
+        let cases: Vec<&[u8]> = vec![b"", b"a", b"ab", b"b", b"\x00", b"\x00\x01", b"zzz"];
+        for c in &cases {
+            let mut e = Vec::new();
+            order_encode_bytes(&mut e, c);
+            let (d, n) = order_decode_bytes(&e).unwrap();
+            assert_eq!(&d[..], *c);
+            assert_eq!(n, e.len());
+        }
+        // Prefix property: "a" < "ab" must hold after encoding even with the
+        // terminator appended.
+        let mut ea = Vec::new();
+        order_encode_bytes(&mut ea, b"a");
+        let mut eab = Vec::new();
+        order_encode_bytes(&mut eab, b"ab");
+        assert!(ea < eab);
+    }
+
+    #[test]
+    fn ordered_bytes_bad_escape() {
+        assert!(order_decode_bytes(&[0x00, 0x07]).is_err());
+        assert!(order_decode_bytes(&[b'a']).is_err());
+    }
+}

@@ -1,0 +1,142 @@
+//! Error type shared by every layer of the system.
+//!
+//! The error enum is deliberately flat: storage, tree and SQL layers all
+//! return the same [`Error`] so that an error raised deep inside a storage
+//! server can be propagated unchanged through the distributed balanced tree
+//! and the query processor back to the application.
+
+use std::fmt;
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by the Yesquel layers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A key or object was not found where it was required to exist.
+    NotFound(String),
+    /// A transaction could not commit because of a write-write conflict
+    /// under snapshot isolation.  The transaction has been aborted and the
+    /// caller may retry it.
+    Conflict(String),
+    /// The transaction was explicitly aborted (by the user or by the system)
+    /// and can no longer be used.
+    Aborted(String),
+    /// A prepare-phase lock could not be acquired within the configured
+    /// bound; the transaction aborts rather than deadlock.
+    LockTimeout(String),
+    /// The requested server does not exist or is unreachable.
+    ServerUnavailable(String),
+    /// Stored bytes could not be decoded (corrupt node, record or message).
+    Corruption(String),
+    /// SQL text could not be tokenized or parsed.
+    Parse(String),
+    /// The SQL statement refers to a table, column or index that does not
+    /// exist, or redefines one that already exists.
+    Schema(String),
+    /// A constraint (primary-key uniqueness, NOT NULL, unique index) was
+    /// violated by a DML statement.
+    Constraint(String),
+    /// A SQL type error (e.g. adding a string to an integer without a
+    /// defined coercion).
+    Type(String),
+    /// The feature is recognised but not supported by this implementation.
+    Unsupported(String),
+    /// Invalid argument or state transition requested by the caller.
+    InvalidArgument(String),
+    /// An invariant inside the system was violated; indicates a bug.
+    Internal(String),
+}
+
+impl Error {
+    /// Returns true if the error indicates a transient condition under which
+    /// retrying the whole transaction is the documented recovery strategy.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, Error::Conflict(_) | Error::LockTimeout(_))
+    }
+
+    /// Short machine-readable tag for the error category, used by the
+    /// benchmark harness when tabulating abort reasons.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Error::NotFound(_) => "not_found",
+            Error::Conflict(_) => "conflict",
+            Error::Aborted(_) => "aborted",
+            Error::LockTimeout(_) => "lock_timeout",
+            Error::ServerUnavailable(_) => "server_unavailable",
+            Error::Corruption(_) => "corruption",
+            Error::Parse(_) => "parse",
+            Error::Schema(_) => "schema",
+            Error::Constraint(_) => "constraint",
+            Error::Type(_) => "type",
+            Error::Unsupported(_) => "unsupported",
+            Error::InvalidArgument(_) => "invalid_argument",
+            Error::Internal(_) => "internal",
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::NotFound(m) => write!(f, "not found: {m}"),
+            Error::Conflict(m) => write!(f, "transaction conflict: {m}"),
+            Error::Aborted(m) => write!(f, "transaction aborted: {m}"),
+            Error::LockTimeout(m) => write!(f, "lock timeout: {m}"),
+            Error::ServerUnavailable(m) => write!(f, "server unavailable: {m}"),
+            Error::Corruption(m) => write!(f, "data corruption: {m}"),
+            Error::Parse(m) => write!(f, "SQL parse error: {m}"),
+            Error::Schema(m) => write!(f, "schema error: {m}"),
+            Error::Constraint(m) => write!(f, "constraint violation: {m}"),
+            Error::Type(m) => write!(f, "type error: {m}"),
+            Error::Unsupported(m) => write!(f, "unsupported: {m}"),
+            Error::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+            Error::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retryable_classification() {
+        assert!(Error::Conflict("x".into()).is_retryable());
+        assert!(Error::LockTimeout("x".into()).is_retryable());
+        assert!(!Error::NotFound("x".into()).is_retryable());
+        assert!(!Error::Parse("x".into()).is_retryable());
+    }
+
+    #[test]
+    fn display_includes_message() {
+        let e = Error::Schema("no such table t".into());
+        assert!(e.to_string().contains("no such table t"));
+        assert_eq!(e.tag(), "schema");
+    }
+
+    #[test]
+    fn tags_are_distinct() {
+        let errs = [
+            Error::NotFound(String::new()),
+            Error::Conflict(String::new()),
+            Error::Aborted(String::new()),
+            Error::LockTimeout(String::new()),
+            Error::ServerUnavailable(String::new()),
+            Error::Corruption(String::new()),
+            Error::Parse(String::new()),
+            Error::Schema(String::new()),
+            Error::Constraint(String::new()),
+            Error::Type(String::new()),
+            Error::Unsupported(String::new()),
+            Error::InvalidArgument(String::new()),
+            Error::Internal(String::new()),
+        ];
+        let mut tags: Vec<_> = errs.iter().map(|e| e.tag()).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        assert_eq!(tags.len(), errs.len());
+    }
+}

@@ -1,0 +1,197 @@
+//! Identifiers used across the storage layers.
+//!
+//! The Yesquel storage engine stores every distributed-balanced-tree node as
+//! a key-value pair in the transactional key-value store.  The key of such a
+//! pair is an [`ObjectId`]: the identifier of the tree the node belongs to
+//! (every SQL table and every secondary index is its own tree) plus the
+//! identifier of the node within that tree.  The key-value store places
+//! objects on storage servers based on the object id, so that the nodes of
+//! one tree spread over all servers.
+
+use std::fmt;
+
+/// Index of a storage server within the cluster (0-based, dense).
+pub type ServerId = usize;
+
+/// Identifier of a distributed balanced tree.
+///
+/// Tree 0 is reserved for the SQL catalog; every user table and secondary
+/// index allocates a fresh tree id from the catalog.
+pub type TreeId = u64;
+
+/// Identifier of an object (a DBT node, or an auxiliary object such as a
+/// row-id allocator) within a tree.
+pub type Oid = u64;
+
+/// Logical timestamps handed out by the timestamp oracle.  Both transaction
+/// snapshot timestamps and commit timestamps are of this type.
+pub type Timestamp = u64;
+
+/// Identifier of a transaction, unique within a run of the system.
+pub type TxnId = u64;
+
+/// The root node of every tree has this object id.
+pub const ROOT_OID: Oid = 0;
+
+/// Object id reserved, within each tree, for small per-tree metadata (for
+/// the SQL layer: the row-id allocator).
+pub const META_OID: Oid = 1;
+
+/// First object id handed out for ordinary tree nodes.
+pub const FIRST_NODE_OID: Oid = 16;
+
+/// Fully-qualified identifier of a stored object: `(tree, oid)`.
+///
+/// The distribution of objects over servers is derived from this id (see
+/// [`ObjectId::home_server`]), following the paper's design in which the
+/// nodes of one DBT are spread over the storage servers so that the tree's
+/// capacity grows with the number of servers.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjectId {
+    /// The tree (table or index) this object belongs to.
+    pub tree: TreeId,
+    /// The object within the tree.
+    pub oid: Oid,
+}
+
+impl ObjectId {
+    /// Creates an object id.
+    pub fn new(tree: TreeId, oid: Oid) -> Self {
+        ObjectId { tree, oid }
+    }
+
+    /// The root node of tree `tree`.
+    pub fn root(tree: TreeId) -> Self {
+        ObjectId { tree, oid: ROOT_OID }
+    }
+
+    /// The per-tree metadata object of tree `tree`.
+    pub fn meta(tree: TreeId) -> Self {
+        ObjectId { tree, oid: META_OID }
+    }
+
+    /// Returns true if this object is the root node of its tree.
+    pub fn is_root(&self) -> bool {
+        self.oid == ROOT_OID
+    }
+
+    /// Deterministically maps this object to its home storage server among
+    /// `nservers` servers.
+    ///
+    /// The root of a tree is placed by hashing only the tree id, and every
+    /// other node is placed by hashing the full `(tree, oid)` pair, so that
+    /// the interior and leaf nodes of a single tree spread across all
+    /// servers.  This mirrors the paper's placement goal: adding servers adds
+    /// capacity to every tree.
+    pub fn home_server(&self, nservers: usize) -> ServerId {
+        assert!(nservers > 0, "cluster must have at least one server");
+        let h = if self.is_root() {
+            splitmix64(self.tree.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        } else {
+            splitmix64(self.tree ^ splitmix64(self.oid.wrapping_add(0xabcd_ef01)))
+        };
+        (h % nservers as u64) as ServerId
+    }
+
+    /// Serializes the object id into 16 big-endian bytes (used as the
+    /// storage key inside a server's local store and in RPC messages).
+    pub fn to_bytes(&self) -> [u8; 16] {
+        let mut b = [0u8; 16];
+        b[..8].copy_from_slice(&self.tree.to_be_bytes());
+        b[8..].copy_from_slice(&self.oid.to_be_bytes());
+        b
+    }
+
+    /// Inverse of [`ObjectId::to_bytes`].
+    pub fn from_bytes(b: &[u8]) -> Option<Self> {
+        if b.len() != 16 {
+            return None;
+        }
+        let tree = u64::from_be_bytes(b[..8].try_into().ok()?);
+        let oid = u64::from_be_bytes(b[8..].try_into().ok()?);
+        Some(ObjectId { tree, oid })
+    }
+}
+
+impl fmt::Debug for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj({}:{})", self.tree, self.oid)
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.tree, self.oid)
+    }
+}
+
+/// SplitMix64 hash step; cheap, well-mixed, and dependency-free.
+///
+/// Used for object placement and for scrambling keys in workload generators.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn object_id_roundtrip() {
+        let id = ObjectId::new(42, 77);
+        let b = id.to_bytes();
+        assert_eq!(ObjectId::from_bytes(&b), Some(id));
+        assert_eq!(ObjectId::from_bytes(&b[..15]), None);
+    }
+
+    #[test]
+    fn root_and_meta_helpers() {
+        assert!(ObjectId::root(3).is_root());
+        assert!(!ObjectId::meta(3).is_root());
+        assert_eq!(ObjectId::root(3).oid, ROOT_OID);
+        assert_eq!(ObjectId::meta(3).oid, META_OID);
+    }
+
+    #[test]
+    fn placement_is_deterministic_and_in_range() {
+        for tree in 0..20u64 {
+            for oid in 0..200u64 {
+                let id = ObjectId::new(tree, oid);
+                for n in 1..10usize {
+                    let s = id.home_server(n);
+                    assert!(s < n);
+                    assert_eq!(s, id.home_server(n));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn placement_spreads_nodes_of_one_tree() {
+        // The nodes of a single tree must not all land on one server,
+        // otherwise adding servers would not add capacity to the tree.
+        let n = 8;
+        let mut counts: HashMap<ServerId, usize> = HashMap::new();
+        for oid in 0..8000u64 {
+            let id = ObjectId::new(7, oid);
+            *counts.entry(id.home_server(n)).or_default() += 1;
+        }
+        assert_eq!(counts.len(), n);
+        for (_, c) in counts {
+            // Roughly balanced: each server within 3x of the fair share.
+            assert!(c > 8000 / n / 3, "server underloaded: {c}");
+            assert!(c < 8000 / n * 3, "server overloaded: {c}");
+        }
+    }
+
+    #[test]
+    fn splitmix_mixes() {
+        assert_ne!(splitmix64(1), splitmix64(2));
+        assert_ne!(splitmix64(0), 0);
+    }
+}

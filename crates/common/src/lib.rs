@@ -1,0 +1,24 @@
+//! Shared substrate for the Yesquel reproduction.
+//!
+//! This crate contains the types that every layer of the system speaks:
+//! identifiers for servers, trees and objects; error types; the
+//! order-preserving key encodings used by the distributed balanced tree and
+//! the SQL record format; configuration knobs for every layer; statistics
+//! primitives (counters and latency histograms) used by the benchmark
+//! harness; and the random-distribution generators (Zipfian, uniform) used by
+//! the workloads in the evaluation.
+//!
+//! Nothing in this crate knows about networking, storage or SQL — it is the
+//! leaf of the dependency graph.
+
+pub mod config;
+pub mod encoding;
+pub mod error;
+pub mod ids;
+pub mod rand_util;
+pub mod stats;
+pub mod timeutil;
+
+pub use config::{DbtConfig, KvConfig, NetConfig, YesquelConfig};
+pub use error::{Error, Result};
+pub use ids::{ObjectId, Oid, ServerId, TreeId, Timestamp, TxnId};

@@ -1,0 +1,252 @@
+//! Random-distribution generators used by the workload generators.
+//!
+//! The evaluation's workloads draw keys from either a uniform distribution
+//! or a Zipfian distribution (to model skewed popularity, as in the
+//! Wikipedia workload and the hot-spot experiments).  The Zipfian generator
+//! follows the standard rejection-free algorithm from Gray et al. ("Quickly
+//! generating billion-record synthetic databases"), the same one YCSB uses,
+//! plus a scrambled variant that spreads the popular items across the key
+//! space so that popularity skew is not correlated with key order.
+
+use crate::ids::splitmix64;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Creates a deterministic RNG from an experiment seed and a stream id, so
+/// that concurrent worker threads get independent but reproducible streams.
+pub fn seeded_rng(seed: u64, stream: u64) -> StdRng {
+    StdRng::seed_from_u64(splitmix64(seed ^ splitmix64(stream.wrapping_add(1))))
+}
+
+/// Zipfian generator over `0..n` with skew parameter `theta`.
+///
+/// `theta = 0.99` reproduces the YCSB default ("zipfian constant").  Item 0
+/// is the most popular; use [`ScrambledZipfian`] if popular items should be
+/// spread over the key space.
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2theta: f64,
+}
+
+impl Zipfian {
+    /// Creates a generator over `0..n` (n must be at least 1) with skew
+    /// `theta` in `[0, 1)`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n >= 1, "Zipfian needs at least one item");
+        assert!((0.0..1.0).contains(&theta), "theta must be in [0,1)");
+        let zetan = Self::zeta(n, theta);
+        let zeta2theta = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2theta / zetan);
+        Zipfian { n, theta, alpha, zetan, eta, zeta2theta }
+    }
+
+    /// YCSB's default skew (theta = 0.99).
+    pub fn ycsb(n: u64) -> Self {
+        Self::new(n, 0.99)
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // For the sizes used in the benchmarks (<= a few million) the direct
+        // sum is fast enough and exact.
+        let mut sum = 0.0;
+        for i in 1..=n {
+            sum += 1.0 / (i as f64).powf(theta);
+        }
+        sum
+    }
+
+    /// Number of items.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Draws the next item (0 is the most popular).
+    pub fn next<R: Rng>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let v = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        v.min(self.n - 1)
+    }
+
+    /// The `zeta(2, theta)` constant, exposed for tests.
+    pub fn zeta2theta(&self) -> f64 {
+        self.zeta2theta
+    }
+}
+
+/// Zipfian generator whose popular items are scattered uniformly over the
+/// item space by hashing, as in YCSB's "scrambled zipfian".
+#[derive(Debug, Clone)]
+pub struct ScrambledZipfian {
+    inner: Zipfian,
+}
+
+impl ScrambledZipfian {
+    /// Creates a scrambled Zipfian over `0..n` with YCSB's default skew.
+    pub fn new(n: u64, theta: f64) -> Self {
+        ScrambledZipfian { inner: Zipfian::new(n, theta) }
+    }
+
+    /// Draws the next item in `0..n`.
+    pub fn next<R: Rng>(&self, rng: &mut R) -> u64 {
+        let raw = self.inner.next(rng);
+        splitmix64(raw) % self.inner.n()
+    }
+}
+
+/// Key-choice distributions available to the workloads.
+#[derive(Debug, Clone)]
+pub enum KeyDistribution {
+    /// Every key equally likely.
+    Uniform,
+    /// Zipfian with the given theta; popular keys scattered by hashing.
+    Zipfian(f64),
+    /// All requests target the first `hot_fraction` of the key space (used
+    /// by the hot-spot experiment F8).
+    HotRange {
+        /// Fraction of the key space (0,1] that receives all requests.
+        hot_fraction: f64,
+    },
+    /// Keys drawn in strictly increasing order (used to model append-heavy
+    /// insert workloads).
+    Sequential,
+}
+
+/// Stateful sampler for a [`KeyDistribution`] over `0..n`.
+pub struct KeyChooser {
+    n: u64,
+    dist: KeyDistribution,
+    zipf: Option<ScrambledZipfian>,
+    seq: u64,
+}
+
+impl KeyChooser {
+    /// Creates a chooser over `0..n`.
+    pub fn new(n: u64, dist: KeyDistribution) -> Self {
+        let zipf = match &dist {
+            KeyDistribution::Zipfian(theta) => Some(ScrambledZipfian::new(n, *theta)),
+            _ => None,
+        };
+        KeyChooser { n, dist, zipf, seq: 0 }
+    }
+
+    /// Draws the next key in `0..n`.
+    pub fn next<R: Rng>(&mut self, rng: &mut R) -> u64 {
+        match &self.dist {
+            KeyDistribution::Uniform => rng.gen_range(0..self.n),
+            KeyDistribution::Zipfian(_) => self.zipf.as_ref().expect("zipf").next(rng),
+            KeyDistribution::HotRange { hot_fraction } => {
+                let span = ((self.n as f64) * hot_fraction).ceil().max(1.0) as u64;
+                rng.gen_range(0..span.min(self.n))
+            }
+            KeyDistribution::Sequential => {
+                let k = self.seq % self.n;
+                self.seq += 1;
+                k
+            }
+        }
+    }
+
+    /// Number of items in the key space.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_rng_reproducible_and_stream_independent() {
+        let mut a = seeded_rng(7, 0);
+        let mut b = seeded_rng(7, 0);
+        let mut c = seeded_rng(7, 1);
+        let xa: u64 = a.gen();
+        let xb: u64 = b.gen();
+        let xc: u64 = c.gen();
+        assert_eq!(xa, xb);
+        assert_ne!(xa, xc);
+    }
+
+    #[test]
+    fn zipfian_in_range_and_skewed() {
+        let z = Zipfian::ycsb(1000);
+        let mut rng = seeded_rng(1, 0);
+        let mut zero_count = 0u64;
+        for _ in 0..20_000 {
+            let v = z.next(&mut rng);
+            assert!(v < 1000);
+            if v == 0 {
+                zero_count += 1;
+            }
+        }
+        // Item 0 should receive far more than the uniform share (20 hits).
+        assert!(zero_count > 500, "zipfian not skewed: {zero_count}");
+    }
+
+    #[test]
+    fn scrambled_zipfian_spreads_hot_items() {
+        let z = ScrambledZipfian::new(1000, 0.99);
+        let mut rng = seeded_rng(2, 0);
+        let mut first_decile = 0u64;
+        let total = 20_000;
+        for _ in 0..total {
+            if z.next(&mut rng) < 100 {
+                first_decile += 1;
+            }
+        }
+        // After scrambling, the first 10% of the key space should no longer
+        // absorb the majority of the traffic.
+        assert!(
+            (first_decile as f64) < total as f64 * 0.5,
+            "scramble failed: {first_decile}/{total}"
+        );
+    }
+
+    #[test]
+    fn uniform_covers_space() {
+        let mut kc = KeyChooser::new(10, KeyDistribution::Uniform);
+        let mut rng = seeded_rng(3, 0);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[kc.next(&mut rng) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn hot_range_restricts_keys() {
+        let mut kc = KeyChooser::new(1000, KeyDistribution::HotRange { hot_fraction: 0.01 });
+        let mut rng = seeded_rng(4, 0);
+        for _ in 0..1000 {
+            assert!(kc.next(&mut rng) < 10);
+        }
+    }
+
+    #[test]
+    fn sequential_wraps() {
+        let mut kc = KeyChooser::new(3, KeyDistribution::Sequential);
+        let mut rng = seeded_rng(5, 0);
+        let seq: Vec<u64> = (0..7).map(|_| kc.next(&mut rng)).collect();
+        assert_eq!(seq, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zipfian_requires_items() {
+        let _ = Zipfian::new(0, 0.9);
+    }
+}

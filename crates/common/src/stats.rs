@@ -1,0 +1,353 @@
+//! Statistics primitives: counters, gauges and latency histograms.
+//!
+//! Every layer exposes its counters through a [`StatsRegistry`] so that the
+//! benchmark harness can report, per experiment, the number of RPCs, cache
+//! hits, splits, aborts, etc.  The histogram is a fixed-bucket log-scale
+//! histogram good enough for the latency tables in the evaluation (it
+//! reports p50/p90/p99/max within ~2% relative error).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+// The registry mutex is only taken when a stat is first registered or when a
+// report is produced, never on hot paths, so the std mutex is sufficient and
+// keeps this leaf crate's dependency graph minimal.
+use std::sync::Mutex;
+
+/// A monotonically increasing counter, safe to update from many threads.
+#[derive(Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a counter starting at zero.
+    pub fn new() -> Self {
+        Counter { value: AtomicU64::new(0) }
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero and returns the previous value.
+    pub fn reset(&self) -> u64 {
+        self.value.swap(0, Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Counter({})", self.get())
+    }
+}
+
+/// Number of buckets in [`Histogram`]: values are bucketed by
+/// `floor(log2(v))` with 4 sub-buckets per power of two.
+const HIST_BUCKETS: usize = 64 * 4;
+
+/// A lock-free fixed-bucket histogram for latency-like values
+/// (non-negative integers, typically microseconds or RPC counts).
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        let mut buckets = Vec::with_capacity(HIST_BUCKETS);
+        for _ in 0..HIST_BUCKETS {
+            buckets.push(AtomicU64::new(0));
+        }
+        Histogram {
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket_index(v: u64) -> usize {
+        if v < 4 {
+            return v as usize;
+        }
+        let exp = 63 - v.leading_zeros() as usize; // >= 2
+        let sub = ((v >> (exp - 2)) & 0b11) as usize; // top 2 bits below the leading one
+        let idx = exp * 4 + sub;
+        idx.min(HIST_BUCKETS - 1)
+    }
+
+    /// Representative (upper-bound) value of bucket `idx`.
+    fn bucket_value(idx: usize) -> u64 {
+        if idx < 4 {
+            return idx as u64;
+        }
+        let exp = idx / 4;
+        let sub = (idx % 4) as u64;
+        (1u64 << exp) + (sub + 1) * (1u64 << (exp - 2)) - 1
+    }
+
+    /// Records one observation.
+    pub fn record(&self, v: u64) {
+        self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean of the observations (0 if empty).
+    pub fn mean(&self) -> f64 {
+        let c = self.count();
+        if c == 0 {
+            0.0
+        } else {
+            self.sum.load(Ordering::Relaxed) as f64 / c as f64
+        }
+    }
+
+    /// Largest observation (exact, not bucketed).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Approximate value at quantile `q` in `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0)) * total as f64).ceil() as u64;
+        let target = target.max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return Self::bucket_value(i).min(self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// Snapshot of the usual reporting quantiles.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count(),
+            mean: self.mean(),
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+            max: self.max(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.summary();
+        write!(f, "Histogram({s:?})")
+    }
+}
+
+/// Point-in-time summary of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Mean value.
+    pub mean: f64,
+    /// Median (approximate).
+    pub p50: u64,
+    /// 90th percentile (approximate).
+    pub p90: u64,
+    /// 99th percentile (approximate).
+    pub p99: u64,
+    /// Maximum (exact).
+    pub max: u64,
+}
+
+/// A named collection of counters and histograms shared by reference across
+/// threads.
+///
+/// Components create their counters once and bump them on hot paths without
+/// any locking; the registry lock is only taken when a new name is first
+/// registered or when a report is produced.
+#[derive(Default, Clone)]
+pub struct StatsRegistry {
+    inner: Arc<RegistryInner>,
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl StatsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the counter named `name`, creating it if needed.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut g = self.inner.counters.lock().expect("stats registry poisoned");
+        g.entry(name.to_string()).or_insert_with(|| Arc::new(Counter::new())).clone()
+    }
+
+    /// Returns the histogram named `name`, creating it if needed.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut g = self.inner.histograms.lock().expect("stats registry poisoned");
+        g.entry(name.to_string()).or_insert_with(|| Arc::new(Histogram::new())).clone()
+    }
+
+    /// Snapshot of all counter values, sorted by name.
+    pub fn counter_snapshot(&self) -> BTreeMap<String, u64> {
+        let g = self.inner.counters.lock().expect("stats registry poisoned");
+        g.iter().map(|(k, v)| (k.clone(), v.get())).collect()
+    }
+
+    /// Snapshot of all histogram summaries, sorted by name.
+    pub fn histogram_snapshot(&self) -> BTreeMap<String, HistogramSummary> {
+        let g = self.inner.histograms.lock().expect("stats registry poisoned");
+        g.iter().map(|(k, v)| (k.clone(), v.summary())).collect()
+    }
+
+    /// Resets every counter to zero (histograms are left untouched; create a
+    /// fresh registry to reset them).
+    pub fn reset_counters(&self) {
+        let g = self.inner.counters.lock().expect("stats registry poisoned");
+        for c in g.values() {
+            c.reset();
+        }
+    }
+
+    /// Renders all counters as a compact single-line report, useful in test
+    /// failure messages.
+    pub fn render_counters(&self) -> String {
+        self.counter_snapshot()
+            .into_iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn counter_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(c.reset(), 5);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn counter_concurrent() {
+        let reg = StatsRegistry::new();
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let reg = reg.clone();
+            handles.push(thread::spawn(move || {
+                let c = reg.counter("ops");
+                for _ in 0..1000 {
+                    c.inc();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(reg.counter("ops").get(), 8000);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_monotone_and_close() {
+        let h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 10_000);
+        assert!(s.p50 <= s.p90 && s.p90 <= s.p99 && s.p99 <= s.max);
+        // Log-bucket error is bounded by ~25% of the value; in practice much
+        // less.  Check p50 is in the right ballpark.
+        assert!(s.p50 >= 4_000 && s.p50 <= 6_500, "p50={}", s.p50);
+        assert_eq!(s.max, 10_000);
+        assert!((s.mean - 5000.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let h = Histogram::new();
+        let s = h.summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p99, 0);
+        assert_eq!(s.max, 0);
+    }
+
+    #[test]
+    fn histogram_small_values_exact() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 2, 3] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.01), 0);
+        assert_eq!(h.max(), 3);
+    }
+
+    #[test]
+    fn registry_snapshot_sorted() {
+        let reg = StatsRegistry::new();
+        reg.counter("b").add(2);
+        reg.counter("a").add(1);
+        reg.histogram("lat").record(10);
+        let snap = reg.counter_snapshot();
+        let keys: Vec<_> = snap.keys().cloned().collect();
+        assert_eq!(keys, vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(reg.histogram_snapshot()["lat"].count, 1);
+        assert!(reg.render_counters().contains("a=1"));
+        reg.reset_counters();
+        assert_eq!(reg.counter("b").get(), 0);
+    }
+
+    #[test]
+    fn same_name_shares_counter() {
+        let reg = StatsRegistry::new();
+        let c1 = reg.counter("x");
+        let c2 = reg.counter("x");
+        c1.inc();
+        assert_eq!(c2.get(), 1);
+    }
+}

@@ -1,0 +1,73 @@
+//! Small time helpers shared by the benchmark harness and the network model.
+
+use std::time::{Duration, Instant};
+
+/// A stopwatch measuring elapsed wall-clock microseconds.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+impl Stopwatch {
+    /// Starts a new stopwatch.
+    pub fn start() -> Self {
+        Stopwatch { start: Instant::now() }
+    }
+
+    /// Elapsed time since start, in microseconds.
+    pub fn elapsed_us(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+
+    /// Elapsed time since start.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Restarts the stopwatch and returns the elapsed microseconds since the
+    /// previous start.
+    pub fn lap_us(&mut self) -> u64 {
+        let e = self.elapsed_us();
+        self.start = Instant::now();
+        e
+    }
+}
+
+/// Converts an operation count and an elapsed duration into operations per
+/// second, guarding against a zero-duration denominator.
+pub fn ops_per_sec(ops: u64, elapsed: Duration) -> f64 {
+    let secs = elapsed.as_secs_f64();
+    if secs <= 0.0 {
+        return ops as f64;
+    }
+    ops as f64 / secs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_monotone() {
+        let mut sw = Stopwatch::start();
+        let a = sw.elapsed_us();
+        let b = sw.elapsed_us();
+        assert!(b >= a);
+        let lap = sw.lap_us();
+        assert!(lap >= b);
+    }
+
+    #[test]
+    fn ops_per_sec_basic() {
+        let r = ops_per_sec(1000, Duration::from_secs(2));
+        assert!((r - 500.0).abs() < 1e-9);
+        // Zero duration does not divide by zero.
+        assert_eq!(ops_per_sec(7, Duration::from_secs(0)), 7.0);
+    }
+}

@@ -1,0 +1,140 @@
+//! The key-value client library linked into every Yesquel client process.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use yesquel_common::stats::StatsRegistry;
+use yesquel_common::{Error, KvConfig, ObjectId, Result, Timestamp};
+use yesquel_rpc::Transport;
+
+use crate::oracle::TimestampOracle;
+use crate::protocol::{KvRequest, KvResponse};
+use crate::server::KvServer;
+use crate::snapshot::SnapshotTracker;
+use crate::txn::{ClientCore, Txn};
+
+/// Client handle to a key-value deployment.  Cheap to clone; each clone can
+/// be used from its own thread.
+#[derive(Clone)]
+pub struct KvClient {
+    core: Arc<ClientCore>,
+}
+
+impl KvClient {
+    /// Creates a client from the deployment's shared pieces.  Most callers
+    /// obtain clients from [`crate::KvDatabase::client`] instead.
+    pub fn new(
+        transport: Arc<dyn Transport<KvServer>>,
+        oracle: TimestampOracle,
+        snapshots: SnapshotTracker,
+        cfg: KvConfig,
+        stats: StatsRegistry,
+    ) -> Self {
+        KvClient { core: Arc::new(ClientCore { transport, oracle, snapshots, cfg, stats }) }
+    }
+
+    /// Starts a new transaction.
+    pub fn begin(&self) -> Txn {
+        Txn::begin(Arc::clone(&self.core))
+    }
+
+    /// Runs `body` inside a transaction, committing it afterwards, and
+    /// retries the whole transaction (up to a bounded number of attempts)
+    /// when it aborts for a retryable reason — a write-write conflict or a
+    /// lock timeout.  This is the standard usage pattern under snapshot
+    /// isolation and what the layers above use for auto-commit operations.
+    pub fn run_txn<T>(&self, mut body: impl FnMut(&Txn) -> Result<T>) -> Result<T> {
+        const MAX_ATTEMPTS: usize = 24;
+        let mut last_err = Error::Internal("transaction retry limit reached".into());
+        for attempt in 0..MAX_ATTEMPTS {
+            let txn = self.begin();
+            match body(&txn) {
+                Ok(value) => match txn.commit() {
+                    Ok(_) => return Ok(value),
+                    Err(e) if e.is_retryable() => {
+                        self.core.stats.counter("kv.txn_retries").inc();
+                        last_err = e;
+                    }
+                    Err(e) => return Err(e),
+                },
+                Err(e) if e.is_retryable() => {
+                    txn.abort();
+                    self.core.stats.counter("kv.txn_retries").inc();
+                    last_err = e;
+                }
+                Err(e) => {
+                    txn.abort();
+                    return Err(e);
+                }
+            }
+            // Brief backoff to let the conflicting transaction finish.
+            if attempt > 2 {
+                std::thread::sleep(std::time::Duration::from_micros(50 * attempt as u64));
+            }
+        }
+        Err(last_err)
+    }
+
+    /// Number of storage servers in the deployment.
+    pub fn num_servers(&self) -> usize {
+        self.core.num_servers()
+    }
+
+    /// The statistics registry shared with the transport.
+    pub fn stats(&self) -> &StatsRegistry {
+        &self.core.stats
+    }
+
+    /// The deployment's timestamp oracle.
+    pub fn oracle(&self) -> &TimestampOracle {
+        &self.core.oracle
+    }
+
+    /// Atomically allocates a block of `count` ids from the non-
+    /// transactional counter stored at `obj`, returning the first id.
+    pub fn allocate(&self, obj: ObjectId, count: u64) -> Result<u64> {
+        let server = obj.home_server(self.num_servers());
+        match self.core.transport.call(server, KvRequest::Allocate { obj, delta: count })? {
+            KvResponse::Allocated { start } => Ok(start),
+            other => Err(Error::Internal(format!("unexpected Allocate response: {other:?}"))),
+        }
+    }
+
+    /// Installs `value` at `obj` with timestamp 0, bypassing concurrency
+    /// control.  Only for bulk-loading initial data before serving starts.
+    pub fn load_unchecked(&self, obj: ObjectId, value: impl Into<Bytes>) -> Result<()> {
+        let server = obj.home_server(self.num_servers());
+        match self.core.transport.call(
+            server,
+            KvRequest::LoadUnchecked { obj, ts: 0, value: value.into() },
+        )? {
+            KvResponse::Ok => Ok(()),
+            other => Err(Error::Internal(format!("unexpected Load response: {other:?}"))),
+        }
+    }
+
+    /// Runs one round of multi-version garbage collection on every server,
+    /// bounded by the oldest active snapshot.
+    pub fn run_gc(&self) -> Result<()> {
+        let min_active = self.core.snapshots.min_active(self.core.oracle.last_timestamp());
+        let keep = self.core.cfg.gc_keep_versions;
+        for server in 0..self.num_servers() {
+            self.core.transport.call(
+                server,
+                KvRequest::Gc { min_active_ts: min_active, keep_versions: keep },
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Fetches a server's statistics.
+    pub fn server_stats(&self, server: usize) -> Result<KvResponse> {
+        self.core.transport.call(server, KvRequest::Stats)
+    }
+
+    /// Oldest active snapshot (diagnostics; `fallback` is returned when no
+    /// transaction is running).
+    pub fn min_active_snapshot(&self, fallback: Timestamp) -> Timestamp {
+        self.core.snapshots.min_active(fallback)
+    }
+}

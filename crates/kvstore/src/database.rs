@@ -1,0 +1,357 @@
+//! Construction of a whole key-value deployment: servers, cluster, oracle.
+
+use yesquel_common::stats::StatsRegistry;
+use yesquel_common::{Result, YesquelConfig};
+use yesquel_rpc::{Cluster, ClusterBuilder, TransportKind};
+
+use crate::client::KvClient;
+use crate::oracle::TimestampOracle;
+use crate::server::KvServer;
+use crate::snapshot::SnapshotTracker;
+
+/// A complete transactional key-value deployment: `num_servers` storage
+/// servers, the timestamp oracle, the snapshot tracker and the cluster
+/// transport.  This is what the higher layers (YDBT, SQL) and the benchmark
+/// harness instantiate.
+pub struct KvDatabase {
+    cluster: Cluster<KvServer>,
+    oracle: TimestampOracle,
+    snapshots: SnapshotTracker,
+    config: YesquelConfig,
+    stats: StatsRegistry,
+}
+
+impl KvDatabase {
+    /// Creates a deployment from a configuration, using the direct (same
+    /// thread) transport.
+    pub fn new(config: YesquelConfig) -> Self {
+        Self::with_transport(config, TransportKind::Direct)
+    }
+
+    /// Creates a deployment with an explicit transport choice.
+    pub fn with_transport(config: YesquelConfig, transport: TransportKind) -> Self {
+        assert!(config.num_servers > 0, "deployment needs at least one storage server");
+        let stats = StatsRegistry::new();
+        let oracle = TimestampOracle::new();
+        let servers = KvServer::make_servers(config.num_servers, &oracle);
+        let cluster = ClusterBuilder::new(servers)
+            .transport(transport)
+            .network(config.net.clone())
+            .stats(stats.clone())
+            .build();
+        KvDatabase {
+            cluster,
+            oracle,
+            snapshots: SnapshotTracker::new(),
+            config,
+            stats,
+        }
+    }
+
+    /// Convenience constructor: `n` servers, everything else default.
+    pub fn with_servers(n: usize) -> Self {
+        Self::new(YesquelConfig::with_servers(n))
+    }
+
+    /// Creates a client handle.  Every application thread typically has its
+    /// own clone of a client.
+    pub fn client(&self) -> KvClient {
+        KvClient::new(
+            self.cluster.transport(),
+            self.oracle.clone(),
+            self.snapshots.clone(),
+            self.config.kv.clone(),
+            self.stats.clone(),
+        )
+    }
+
+    /// Number of storage servers.
+    pub fn num_servers(&self) -> usize {
+        self.cluster.num_servers()
+    }
+
+    /// The configuration this deployment was built with.
+    pub fn config(&self) -> &YesquelConfig {
+        &self.config
+    }
+
+    /// The shared statistics registry (RPC counts, transaction counters).
+    pub fn stats(&self) -> &StatsRegistry {
+        &self.stats
+    }
+
+    /// The timestamp oracle (exposed for tests and the GC driver).
+    pub fn oracle(&self) -> &TimestampOracle {
+        &self.oracle
+    }
+
+    /// Direct access to the underlying cluster (tests, experiments).
+    pub fn cluster(&self) -> &Cluster<KvServer> {
+        &self.cluster
+    }
+
+    /// Runs one round of garbage collection across all servers.
+    pub fn run_gc(&self) -> Result<()> {
+        self.client().run_gc()
+    }
+
+    /// Total number of committed versions across all servers (diagnostics).
+    pub fn total_versions(&self) -> u64 {
+        self.cluster.servers().iter().map(|s| s.store().version_count()).sum()
+    }
+
+    /// Total number of stored objects across all servers (diagnostics).
+    pub fn total_objects(&self) -> u64 {
+        self.cluster.servers().iter().map(|s| s.store().object_count()).sum()
+    }
+
+    /// Per-server request counts observed by the transport, for load-
+    /// imbalance reports.
+    pub fn per_server_requests(&self) -> Vec<u64> {
+        (0..self.num_servers())
+            .map(|i| self.stats.counter(&format!("rpc.server.{i}.requests")).get())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use yesquel_common::{Error, ObjectId};
+
+    #[test]
+    fn put_get_commit_across_servers() {
+        let db = KvDatabase::with_servers(4);
+        let client = db.client();
+
+        let mut t = client.begin();
+        for oid in 0..20u64 {
+            t.put(ObjectId::new(1, oid), Bytes::from(format!("value-{oid}"))).unwrap();
+        }
+        assert_eq!(t.write_count(), 20);
+        let commit_ts = t.commit().unwrap();
+        assert!(commit_ts > 0);
+
+        let mut t2 = client.begin();
+        for oid in 0..20u64 {
+            let v = t2.get(ObjectId::new(1, oid)).unwrap().expect("value");
+            assert_eq!(&v[..], format!("value-{oid}").as_bytes());
+        }
+        assert!(t2.is_read_only());
+        t2.commit().unwrap();
+        assert!(db.total_objects() >= 20);
+    }
+
+    #[test]
+    fn snapshot_isolation_reads_old_version() {
+        let db = KvDatabase::with_servers(2);
+        let client = db.client();
+        let obj = ObjectId::new(3, 1);
+
+        let mut t1 = client.begin();
+        t1.put(obj, Bytes::from_static(b"v1")).unwrap();
+        t1.commit().unwrap();
+
+        // Reader starts now; a later writer must not be visible to it.
+        let mut reader = client.begin();
+        let before = reader.get(obj).unwrap();
+        assert_eq!(before.as_deref(), Some(&b"v1"[..]));
+
+        let mut writer = client.begin();
+        writer.put(obj, Bytes::from_static(b"v2")).unwrap();
+        writer.commit().unwrap();
+
+        let after = reader.get(obj).unwrap();
+        assert_eq!(after.as_deref(), Some(&b"v1"[..]), "snapshot must not move");
+        reader.commit().unwrap();
+
+        let mut fresh = client.begin();
+        assert_eq!(fresh.get(obj).unwrap().as_deref(), Some(&b"v2"[..]));
+        fresh.commit().unwrap();
+    }
+
+    #[test]
+    fn write_write_conflict_aborts_second_committer() {
+        let db = KvDatabase::with_servers(2);
+        let client = db.client();
+        let obj = ObjectId::new(4, 1);
+
+        let mut a = client.begin();
+        let mut b = client.begin();
+        a.put(obj, Bytes::from_static(b"a")).unwrap();
+        b.put(obj, Bytes::from_static(b"b")).unwrap();
+        a.commit().unwrap();
+        match b.commit() {
+            Err(Error::Conflict(_)) => {}
+            other => panic!("expected conflict, got {other:?}"),
+        }
+
+        let mut check = client.begin();
+        assert_eq!(check.get(obj).unwrap().as_deref(), Some(&b"a"[..]));
+        check.commit().unwrap();
+    }
+
+    #[test]
+    fn multi_server_transaction_is_atomic() {
+        let db = KvDatabase::with_servers(8);
+        let client = db.client();
+
+        // Write enough objects that multiple servers participate.
+        let mut t = client.begin();
+        for oid in 0..32u64 {
+            t.put(ObjectId::new(9, oid), Bytes::from_static(b"x")).unwrap();
+        }
+        let stats_before = db.stats().counter("kv.commit_2pc").get();
+        t.commit().unwrap();
+        assert_eq!(db.stats().counter("kv.commit_2pc").get(), stats_before + 1);
+
+        // All or nothing: every object is visible.
+        let mut r = client.begin();
+        for oid in 0..32u64 {
+            assert!(r.get(ObjectId::new(9, oid)).unwrap().is_some());
+        }
+        r.commit().unwrap();
+    }
+
+    #[test]
+    fn readonly_commit_needs_no_rpcs() {
+        let db = KvDatabase::with_servers(4);
+        let client = db.client();
+        let mut t = client.begin();
+        let _ = t.get(ObjectId::new(1, 1)).unwrap();
+        let rpcs_before = db.stats().counter("rpc.calls").get();
+        t.commit().unwrap();
+        assert_eq!(db.stats().counter("rpc.calls").get(), rpcs_before);
+        assert_eq!(db.stats().counter("kv.readonly_commits").get(), 1);
+    }
+
+    #[test]
+    fn delete_then_read_none() {
+        let db = KvDatabase::with_servers(2);
+        let client = db.client();
+        let obj = ObjectId::new(5, 5);
+        let mut t = client.begin();
+        t.put(obj, Bytes::from_static(b"x")).unwrap();
+        t.commit().unwrap();
+        let mut t = client.begin();
+        t.delete(obj).unwrap();
+        t.commit().unwrap();
+        let mut t = client.begin();
+        assert_eq!(t.get(obj).unwrap(), None);
+        t.commit().unwrap();
+    }
+
+    #[test]
+    fn abort_discards_writes() {
+        let db = KvDatabase::with_servers(2);
+        let client = db.client();
+        let obj = ObjectId::new(6, 1);
+        let mut t = client.begin();
+        t.put(obj, Bytes::from_static(b"x")).unwrap();
+        t.abort();
+        let mut r = client.begin();
+        assert_eq!(r.get(obj).unwrap(), None);
+        r.commit().unwrap();
+    }
+
+    #[test]
+    fn read_your_own_writes() {
+        let db = KvDatabase::with_servers(2);
+        let client = db.client();
+        let obj = ObjectId::new(7, 1);
+        let mut t = client.begin();
+        assert_eq!(t.get(obj).unwrap(), None);
+        t.put(obj, Bytes::from_static(b"mine")).unwrap();
+        assert_eq!(t.get(obj).unwrap().as_deref(), Some(&b"mine"[..]));
+        t.delete(obj).unwrap();
+        assert_eq!(t.get(obj).unwrap(), None);
+        t.abort();
+    }
+
+    #[test]
+    fn allocate_blocks_are_disjoint() {
+        let db = KvDatabase::with_servers(3);
+        let client = db.client();
+        let ctr = ObjectId::meta(12);
+        let a = client.allocate(ctr, 100).unwrap();
+        let b = client.allocate(ctr, 100).unwrap();
+        assert_eq!(b, a + 100);
+    }
+
+    #[test]
+    fn gc_trims_versions() {
+        let mut cfg = YesquelConfig::with_servers(2);
+        cfg.kv.gc_keep_versions = 1;
+        let db = KvDatabase::new(cfg);
+        let client = db.client();
+        let obj = ObjectId::new(8, 1);
+        for i in 0..10 {
+            let mut t = client.begin();
+            t.put(obj, Bytes::from(format!("v{i}"))).unwrap();
+            t.commit().unwrap();
+        }
+        assert!(db.total_versions() >= 10);
+        db.run_gc().unwrap();
+        assert_eq!(db.total_versions(), 1);
+        let mut r = client.begin();
+        assert_eq!(r.get(obj).unwrap().as_deref(), Some(&b"v9"[..]));
+        r.commit().unwrap();
+    }
+
+    #[test]
+    fn gc_preserves_active_snapshot_reads() {
+        let mut cfg = YesquelConfig::with_servers(2);
+        cfg.kv.gc_keep_versions = 1;
+        let db = KvDatabase::new(cfg);
+        let client = db.client();
+        let obj = ObjectId::new(8, 2);
+
+        let mut t = client.begin();
+        t.put(obj, Bytes::from_static(b"old")).unwrap();
+        t.commit().unwrap();
+
+        let mut reader = client.begin();
+        assert_eq!(reader.get(obj).unwrap().as_deref(), Some(&b"old"[..]));
+
+        for i in 0..5 {
+            let mut w = client.begin();
+            w.put(obj, Bytes::from(format!("new{i}"))).unwrap();
+            w.commit().unwrap();
+        }
+        db.run_gc().unwrap();
+        // The reader's snapshot predates the new versions; its value must
+        // still be readable after GC.
+        assert_eq!(reader.get(obj).unwrap().as_deref(), Some(&b"old"[..]));
+        reader.commit().unwrap();
+    }
+
+    #[test]
+    fn load_unchecked_visible_everywhere() {
+        let db = KvDatabase::with_servers(4);
+        let client = db.client();
+        for oid in 0..10u64 {
+            client.load_unchecked(ObjectId::new(2, oid), Bytes::from_static(b"seed")).unwrap();
+        }
+        let mut t = client.begin();
+        for oid in 0..10u64 {
+            assert!(t.get(ObjectId::new(2, oid)).unwrap().is_some());
+        }
+        t.commit().unwrap();
+    }
+
+    #[test]
+    fn per_server_requests_reported() {
+        let db = KvDatabase::with_servers(4);
+        let client = db.client();
+        let mut t = client.begin();
+        for oid in 0..64u64 {
+            let _ = t.get(ObjectId::new(11, oid)).unwrap();
+        }
+        t.commit().unwrap();
+        let per = db.per_server_requests();
+        assert_eq!(per.len(), 4);
+        assert_eq!(per.iter().sum::<u64>(), 64);
+        assert!(per.iter().all(|&c| c > 0), "reads should spread over servers: {per:?}");
+    }
+}

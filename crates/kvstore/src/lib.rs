@@ -1,0 +1,63 @@
+//! Yesquel's transactional key-value storage system.
+//!
+//! This is the lowest layer of the Yesquel architecture (boxes 3 in Figure 1
+//! of the paper): a distributed key-value store whose keys are
+//! [`ObjectId`](yesquel_common::ObjectId)s, whose values are byte strings,
+//! and which provides **distributed transactions with snapshot isolation**
+//! implemented with multi-version concurrency control.  The distributed
+//! balanced tree (`yesquel-ydbt`) stores every tree node as one key-value
+//! pair in this store, and relies on these transactions for all of its
+//! consistency — including atomically moving data between nodes when
+//! splitting.
+//!
+//! ## Transaction protocol
+//!
+//! * Every transaction obtains a **start timestamp** from the timestamp
+//!   oracle and reads the newest committed version of each object with
+//!   timestamp ≤ start timestamp (its snapshot).
+//! * Writes are **buffered at the client** until commit; reads observe the
+//!   transaction's own buffered writes.
+//! * Commit runs **two-phase commit** over the storage servers holding
+//!   written objects: each participant validates (first-committer-wins:
+//!   no committed version newer than the start timestamp) and locks the
+//!   written objects; the coordinator then obtains a **commit timestamp**
+//!   and tells participants to install the new versions and release locks.
+//! * Transactions that wrote to a single server use one-phase commit (the
+//!   server validates, assigns the commit timestamp and installs versions
+//!   in one round trip).
+//! * **Read-only transactions commit with no communication at all** — a
+//!   property the paper calls out, and which the latency table experiment
+//!   (T1 in DESIGN.md) checks.
+//! * Readers that encounter an object locked by a preparing transaction
+//!   retry briefly: the lock window only spans the coordinator's commit
+//!   round trip.  This preserves snapshot correctness: if a transaction's
+//!   commit timestamp precedes a reader's snapshot, its locks were already
+//!   held when the reader started, so the reader cannot miss its writes.
+//!
+//! The isolation level is **snapshot isolation**, exactly as stated in the
+//! paper (write-write conflicts abort; write skew is permitted).  The
+//! `exp_si_semantics` experiment demonstrates both halves.
+//!
+//! ## Non-transactional helpers
+//!
+//! Two deliberately non-transactional operations exist because the layers
+//! above need them: [`protocol::KvRequest::Allocate`] (a per-object atomic
+//! counter used to allocate fresh tree-node ids and row ids without creating
+//! write-write conflicts) and garbage collection of old versions.
+
+pub mod client;
+pub mod database;
+pub mod mvcc;
+pub mod oracle;
+pub mod protocol;
+pub mod server;
+pub mod snapshot;
+pub mod store;
+pub mod txn;
+
+pub use client::KvClient;
+pub use database::KvDatabase;
+pub use oracle::TimestampOracle;
+pub use protocol::{KvRequest, KvResponse, WriteOp};
+pub use server::KvServer;
+pub use txn::Txn;

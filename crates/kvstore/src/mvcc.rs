@@ -1,0 +1,233 @@
+//! Multi-version storage for a single object.
+//!
+//! Yesquel keeps multiple versions of each data item because, as the paper
+//! notes, multi-version concurrency control is implemented "at the layer
+//! that stores the actual data", which makes version management cheap: the
+//! version chain lives right next to the bytes.
+
+use bytes::Bytes;
+use yesquel_common::Timestamp;
+
+/// One committed version of an object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Version {
+    /// Commit timestamp of the transaction that installed this version.
+    pub ts: Timestamp,
+    /// The value; `None` is a tombstone (the object was deleted).
+    pub value: Option<Bytes>,
+}
+
+/// The committed versions of one object, ordered by ascending timestamp.
+#[derive(Debug, Default, Clone)]
+pub struct VersionChain {
+    versions: Vec<Version>,
+}
+
+impl VersionChain {
+    /// An empty chain (object never written).
+    pub fn new() -> Self {
+        VersionChain { versions: Vec::new() }
+    }
+
+    /// Number of committed versions currently retained.
+    pub fn len(&self) -> usize {
+        self.versions.len()
+    }
+
+    /// True if no version has ever been installed (or all were collected).
+    pub fn is_empty(&self) -> bool {
+        self.versions.is_empty()
+    }
+
+    /// Timestamp of the newest committed version, if any.
+    pub fn latest_ts(&self) -> Option<Timestamp> {
+        self.versions.last().map(|v| v.ts)
+    }
+
+    /// Returns the value visible to a snapshot taken at `ts`: the newest
+    /// version with timestamp ≤ `ts`.  Returns `None` both when no such
+    /// version exists and when the visible version is a tombstone — the two
+    /// cases are indistinguishable to readers, as in the real system.
+    pub fn read_at(&self, ts: Timestamp) -> Option<Bytes> {
+        // Versions are sorted ascending; scan from the back since readers
+        // overwhelmingly want a recent version.
+        for v in self.versions.iter().rev() {
+            if v.ts <= ts {
+                return v.value.clone();
+            }
+        }
+        None
+    }
+
+    /// Returns true if a committed version newer than `ts` exists — the
+    /// first-committer-wins validation used at prepare time.
+    pub fn has_newer_than(&self, ts: Timestamp) -> bool {
+        self.latest_ts().map(|l| l > ts).unwrap_or(false)
+    }
+
+    /// Installs a version at `ts`.
+    ///
+    /// Timestamps normally arrive in increasing order (commit timestamps are
+    /// issued by a monotonic oracle and installation is serialized by the
+    /// per-object lock), but the bulk loader may install at timestamp 0, so
+    /// out-of-order installation is handled by insertion into the sorted
+    /// position.
+    pub fn install(&mut self, ts: Timestamp, value: Option<Bytes>) {
+        match self.versions.last() {
+            Some(last) if last.ts < ts => self.versions.push(Version { ts, value }),
+            _ => {
+                let pos = self.versions.partition_point(|v| v.ts < ts);
+                // Replace an existing version with the same timestamp (only
+                // possible through the bulk loader).
+                if pos < self.versions.len() && self.versions[pos].ts == ts {
+                    self.versions[pos].value = value;
+                } else {
+                    self.versions.insert(pos, Version { ts, value });
+                }
+            }
+        }
+    }
+
+    /// Drops versions that no active snapshot can read.
+    ///
+    /// A version is reclaimable if it is not the newest version visible at
+    /// `min_active_ts` (every active or future snapshot reads at a timestamp
+    /// ≥ `min_active_ts`, so only the newest version ≤ `min_active_ts` and
+    /// anything newer can ever be read again).  Additionally the newest
+    /// `keep_versions` versions are always retained, which gives operators a
+    /// safety margin exactly like the paper's system retains a bounded
+    /// version history.
+    ///
+    /// Returns the number of versions dropped.
+    pub fn gc(&mut self, min_active_ts: Timestamp, keep_versions: usize) -> usize {
+        if self.versions.len() <= keep_versions.max(1) {
+            return 0;
+        }
+        // Index of the newest version with ts <= min_active_ts.
+        let visible_idx = match self.versions.iter().rposition(|v| v.ts <= min_active_ts) {
+            Some(i) => i,
+            None => return 0, // every version is newer than the oldest snapshot
+        };
+        // Keep everything from visible_idx onward, and in any case the
+        // newest keep_versions versions.
+        let keep_from = visible_idx.min(self.versions.len().saturating_sub(keep_versions.max(1)));
+        if keep_from == 0 {
+            return 0;
+        }
+        self.versions.drain(..keep_from);
+        keep_from
+    }
+
+    /// If the only remaining versions are tombstones older than every active
+    /// snapshot, the whole object can be removed from the store.  Returns
+    /// true in that case.
+    pub fn is_fully_dead(&self, min_active_ts: Timestamp) -> bool {
+        !self.versions.is_empty()
+            && self.versions.iter().all(|v| v.value.is_none())
+            && self.versions.last().map(|v| v.ts <= min_active_ts).unwrap_or(false)
+    }
+
+    /// Iterates over the retained versions (oldest first); used by tests and
+    /// the stats reporter.
+    pub fn versions(&self) -> &[Version] {
+        &self.versions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &str) -> Option<Bytes> {
+        Some(Bytes::copy_from_slice(s.as_bytes()))
+    }
+
+    #[test]
+    fn read_at_picks_visible_version() {
+        let mut c = VersionChain::new();
+        c.install(10, b("a"));
+        c.install(20, b("b"));
+        c.install(30, None); // delete
+        assert_eq!(c.read_at(5), None);
+        assert_eq!(c.read_at(10), b("a"));
+        assert_eq!(c.read_at(19), b("a"));
+        assert_eq!(c.read_at(20), b("b"));
+        assert_eq!(c.read_at(29), b("b"));
+        assert_eq!(c.read_at(30), None);
+        assert_eq!(c.read_at(1000), None);
+        assert_eq!(c.latest_ts(), Some(30));
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn first_committer_wins_check() {
+        let mut c = VersionChain::new();
+        assert!(!c.has_newer_than(0));
+        c.install(10, b("a"));
+        assert!(c.has_newer_than(5));
+        assert!(!c.has_newer_than(10));
+        assert!(!c.has_newer_than(15));
+    }
+
+    #[test]
+    fn out_of_order_install_sorts() {
+        let mut c = VersionChain::new();
+        c.install(20, b("b"));
+        c.install(10, b("a"));
+        assert_eq!(c.read_at(15), b("a"));
+        assert_eq!(c.read_at(25), b("b"));
+        // Same-timestamp install replaces (bulk-load semantics).
+        c.install(10, b("a2"));
+        assert_eq!(c.read_at(15), b("a2"));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn gc_respects_active_snapshots() {
+        let mut c = VersionChain::new();
+        for ts in [10, 20, 30, 40, 50] {
+            c.install(ts, b("v"));
+        }
+        // Oldest active snapshot at 25: versions 10 is reclaimable (20 is the
+        // newest visible at 25 and must stay), with keep_versions=1.
+        let dropped = c.gc(25, 1);
+        assert_eq!(dropped, 1);
+        assert_eq!(c.read_at(25), b("v"));
+        assert_eq!(c.len(), 4);
+
+        // min_active far in the future: only keep_versions newest survive.
+        let dropped = c.gc(1000, 2);
+        assert_eq!(dropped, 2);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.read_at(1000), b("v"));
+    }
+
+    #[test]
+    fn gc_keeps_everything_when_snapshot_is_old() {
+        let mut c = VersionChain::new();
+        for ts in [10, 20, 30] {
+            c.install(ts, b("v"));
+        }
+        assert_eq!(c.gc(5, 1), 0);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn fully_dead_detection() {
+        let mut c = VersionChain::new();
+        c.install(10, b("a"));
+        c.install(20, None);
+        assert!(!c.is_fully_dead(30));
+        c.gc(1000, 1);
+        assert!(c.is_fully_dead(30));
+        assert!(!c.is_fully_dead(10));
+    }
+
+    #[test]
+    fn empty_chain_reads_none() {
+        let c = VersionChain::new();
+        assert_eq!(c.read_at(100), None);
+        assert!(c.is_empty());
+        assert_eq!(c.latest_ts(), None);
+    }
+}

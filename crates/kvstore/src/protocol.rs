@@ -1,0 +1,206 @@
+//! Wire protocol between key-value clients and storage servers.
+//!
+//! The messages mirror what the real system would put on the network.  The
+//! transport delivers them in-process, but every `call` still counts as one
+//! RPC round trip for the network model, and the wire-size estimators below
+//! feed the bandwidth model.
+
+use bytes::Bytes;
+use yesquel_common::{ObjectId, Timestamp, TxnId};
+
+/// A buffered write shipped to a participant at prepare time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteOp {
+    /// Object being written.
+    pub obj: ObjectId,
+    /// New value, or `None` to delete the object.
+    pub value: Option<Bytes>,
+}
+
+impl WriteOp {
+    /// Approximate number of bytes this write occupies on the wire.
+    pub fn wire_size(&self) -> usize {
+        16 + self.value.as_ref().map(|v| v.len()).unwrap_or(0)
+    }
+}
+
+/// Requests a client can send to one storage server.
+#[derive(Debug, Clone)]
+pub enum KvRequest {
+    /// Read the newest version of `obj` with timestamp ≤ `ts`.
+    Get {
+        /// Object to read.
+        obj: ObjectId,
+        /// Snapshot timestamp of the reading transaction.
+        ts: Timestamp,
+    },
+    /// Phase one of two-phase commit: validate and lock `writes`.
+    Prepare {
+        /// Transaction id (used to identify the lock owner).
+        txn: TxnId,
+        /// Snapshot timestamp of the transaction (for first-committer-wins
+        /// validation).
+        start_ts: Timestamp,
+        /// Writes destined for objects homed at this server.
+        writes: Vec<WriteOp>,
+    },
+    /// Phase two of two-phase commit: install the versions staged by
+    /// `Prepare` at `commit_ts` and release the locks.
+    Commit {
+        /// Transaction id.
+        txn: TxnId,
+        /// Commit timestamp chosen by the coordinator.
+        commit_ts: Timestamp,
+    },
+    /// One-phase commit for transactions whose writes all live on this
+    /// server: validate, assign a commit timestamp server-side, install.
+    CommitOnePhase {
+        /// Transaction id.
+        txn: TxnId,
+        /// Snapshot timestamp of the transaction.
+        start_ts: Timestamp,
+        /// All writes of the transaction.
+        writes: Vec<WriteOp>,
+    },
+    /// Abort: release this transaction's locks and discard staged writes.
+    Abort {
+        /// Transaction id.
+        txn: TxnId,
+    },
+    /// Atomically add `delta` to the non-transactional counter stored at
+    /// `obj` and return the pre-increment value.  Used to allocate node ids
+    /// and row ids without transactional conflicts.
+    Allocate {
+        /// Counter object.
+        obj: ObjectId,
+        /// Amount to add (the caller receives a block of this many ids).
+        delta: u64,
+    },
+    /// Trim versions that no active snapshot can read: every version older
+    /// than the newest version with timestamp ≤ `min_active_ts` is dropped,
+    /// except that at least `keep_versions` committed versions are retained.
+    Gc {
+        /// Lower bound on the start timestamp of any active transaction.
+        min_active_ts: Timestamp,
+        /// Minimum number of committed versions to retain per object.
+        keep_versions: usize,
+    },
+    /// Load a value directly with a given timestamp, bypassing concurrency
+    /// control.  Only used to bulk-load initial data before serving begins
+    /// (the benchmark harness and tests use this; the SQL layer does not).
+    LoadUnchecked {
+        /// Object to write.
+        obj: ObjectId,
+        /// Version timestamp to install.
+        ts: Timestamp,
+        /// Value to install.
+        value: Bytes,
+    },
+    /// Return this server's operation statistics (diagnostics).
+    Stats,
+}
+
+/// Responses from a storage server.
+#[derive(Debug, Clone)]
+pub enum KvResponse {
+    /// Result of a `Get`: the value, or `None` if the object has no visible
+    /// version (never written, or deleted) at the snapshot.
+    Value(Option<Bytes>),
+    /// The object is currently locked by a preparing transaction; the
+    /// client should retry the read shortly.
+    Locked,
+    /// Prepare succeeded; locks are held until `Commit` or `Abort`.
+    Prepared,
+    /// Prepare or one-phase commit failed validation (write-write conflict
+    /// or lock conflict); the transaction must abort.
+    Conflict {
+        /// Human-readable reason, used in error messages and abort stats.
+        reason: String,
+    },
+    /// Commit applied.  For one-phase commit carries the server-assigned
+    /// commit timestamp.
+    Committed {
+        /// Commit timestamp of the transaction.
+        commit_ts: Timestamp,
+    },
+    /// Abort processed.
+    Aborted,
+    /// Result of `Allocate`: the first id of the allocated block.
+    Allocated {
+        /// Pre-increment counter value.
+        start: u64,
+    },
+    /// Generic acknowledgement (GC, bulk load).
+    Ok,
+    /// Server statistics.
+    Stats {
+        /// Number of objects stored.
+        objects: u64,
+        /// Total number of committed versions stored.
+        versions: u64,
+        /// Number of `Get` requests served.
+        gets: u64,
+        /// Number of prepares served.
+        prepares: u64,
+        /// Number of commits applied (either phase-two or one-phase).
+        commits: u64,
+        /// Number of validation failures reported.
+        conflicts: u64,
+    },
+}
+
+impl KvRequest {
+    /// Approximate wire size of the request in bytes.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            KvRequest::Get { .. } => 32,
+            KvRequest::Prepare { writes, .. } => {
+                32 + writes.iter().map(WriteOp::wire_size).sum::<usize>()
+            }
+            KvRequest::Commit { .. } => 24,
+            KvRequest::CommitOnePhase { writes, .. } => {
+                32 + writes.iter().map(WriteOp::wire_size).sum::<usize>()
+            }
+            KvRequest::Abort { .. } => 16,
+            KvRequest::Allocate { .. } => 28,
+            KvRequest::Gc { .. } => 24,
+            KvRequest::LoadUnchecked { value, .. } => 28 + value.len(),
+            KvRequest::Stats => 8,
+        }
+    }
+}
+
+impl KvResponse {
+    /// Approximate wire size of the response in bytes.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            KvResponse::Value(v) => 16 + v.as_ref().map(|b| b.len()).unwrap_or(0),
+            KvResponse::Conflict { reason } => 16 + reason.len(),
+            KvResponse::Stats { .. } => 64,
+            _ => 16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_sizes_scale_with_payload() {
+        let small = KvRequest::Get { obj: ObjectId::new(1, 2), ts: 3 };
+        let w = WriteOp { obj: ObjectId::new(1, 2), value: Some(Bytes::from(vec![0u8; 1000])) };
+        let big = KvRequest::Prepare { txn: 1, start_ts: 1, writes: vec![w] };
+        assert!(big.wire_size() > small.wire_size() + 900);
+
+        let rv = KvResponse::Value(Some(Bytes::from(vec![0u8; 500])));
+        assert!(rv.wire_size() >= 500);
+        assert!(KvResponse::Ok.wire_size() < 64);
+    }
+
+    #[test]
+    fn write_op_delete_is_small() {
+        let del = WriteOp { obj: ObjectId::new(1, 2), value: None };
+        assert_eq!(del.wire_size(), 16);
+    }
+}

@@ -1,0 +1,184 @@
+//! The storage-server process: dispatches protocol requests to the store.
+
+use std::sync::Arc;
+
+use yesquel_rpc::Service;
+
+use crate::oracle::TimestampOracle;
+use crate::protocol::{KvRequest, KvResponse};
+use crate::store::{PrepareOutcome, ReadOutcome, ServerStore};
+
+/// One storage server: a [`ServerStore`] plus a handle to the timestamp
+/// oracle (used only for one-phase commits, where the server assigns the
+/// commit timestamp itself).
+pub struct KvServer {
+    store: ServerStore,
+    oracle: TimestampOracle,
+}
+
+impl KvServer {
+    /// Creates a server sharing the deployment's timestamp oracle.
+    pub fn new(oracle: TimestampOracle) -> Self {
+        KvServer { store: ServerStore::new(), oracle }
+    }
+
+    /// Direct access to the underlying store (tests, GC driving, stats).
+    pub fn store(&self) -> &ServerStore {
+        &self.store
+    }
+
+    /// Creates `n` servers sharing one oracle.
+    pub fn make_servers(n: usize, oracle: &TimestampOracle) -> Vec<Arc<KvServer>> {
+        (0..n).map(|_| Arc::new(KvServer::new(oracle.clone()))).collect()
+    }
+}
+
+impl Service for KvServer {
+    type Request = KvRequest;
+    type Response = KvResponse;
+
+    fn call(&self, req: KvRequest) -> KvResponse {
+        match req {
+            KvRequest::Get { obj, ts } => match self.store.get(obj, ts) {
+                ReadOutcome::Value(v) => KvResponse::Value(v),
+                ReadOutcome::Locked => KvResponse::Locked,
+            },
+            KvRequest::Prepare { txn, start_ts, writes } => {
+                match self.store.prepare(txn, start_ts, &writes) {
+                    PrepareOutcome::Prepared => KvResponse::Prepared,
+                    PrepareOutcome::Conflict(reason) => KvResponse::Conflict { reason },
+                }
+            }
+            KvRequest::Commit { txn, commit_ts } => {
+                self.store.commit(txn, commit_ts);
+                KvResponse::Committed { commit_ts }
+            }
+            KvRequest::CommitOnePhase { txn, start_ts, writes } => {
+                // The commit timestamp is drawn while the request is being
+                // processed; the store applies validation and installation
+                // atomically under its lock, so any snapshot issued after
+                // this timestamp observes the installed versions.
+                let commit_ts = self.oracle.next_timestamp();
+                match self.store.commit_one_phase(txn, start_ts, &writes, commit_ts) {
+                    PrepareOutcome::Prepared => KvResponse::Committed { commit_ts },
+                    PrepareOutcome::Conflict(reason) => KvResponse::Conflict { reason },
+                }
+            }
+            KvRequest::Abort { txn } => {
+                self.store.abort(txn);
+                KvResponse::Aborted
+            }
+            KvRequest::Allocate { obj, delta } => {
+                KvResponse::Allocated { start: self.store.allocate(obj, delta) }
+            }
+            KvRequest::Gc { min_active_ts, keep_versions } => {
+                self.store.gc(min_active_ts, keep_versions);
+                KvResponse::Ok
+            }
+            KvRequest::LoadUnchecked { obj, ts, value } => {
+                self.store.load_unchecked(obj, ts, value);
+                KvResponse::Ok
+            }
+            KvRequest::Stats => {
+                let s = self.store.stats();
+                KvResponse::Stats {
+                    objects: self.store.object_count(),
+                    versions: self.store.version_count(),
+                    gets: s.gets,
+                    prepares: s.prepares,
+                    commits: s.commits,
+                    conflicts: s.conflicts,
+                }
+            }
+        }
+    }
+
+    fn request_wire_size(req: &KvRequest) -> usize {
+        req.wire_size()
+    }
+
+    fn response_wire_size(resp: &KvResponse) -> usize {
+        resp.wire_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use yesquel_common::ObjectId;
+
+    #[test]
+    fn server_dispatch_roundtrip() {
+        let oracle = TimestampOracle::new();
+        let srv = KvServer::new(oracle.clone());
+        let obj = ObjectId::new(5, 7);
+
+        // One-phase commit a value, then read it back.
+        let resp = srv.call(KvRequest::CommitOnePhase {
+            txn: 1,
+            start_ts: oracle.next_timestamp(),
+            writes: vec![crate::protocol::WriteOp { obj, value: Some(Bytes::from_static(b"x")) }],
+        });
+        let commit_ts = match resp {
+            KvResponse::Committed { commit_ts } => commit_ts,
+            other => panic!("unexpected response {other:?}"),
+        };
+        match srv.call(KvRequest::Get { obj, ts: commit_ts }) {
+            KvResponse::Value(Some(v)) => assert_eq!(&v[..], b"x"),
+            other => panic!("unexpected response {other:?}"),
+        }
+        match srv.call(KvRequest::Get { obj, ts: commit_ts - 1 }) {
+            KvResponse::Value(None) => {}
+            other => panic!("unexpected response {other:?}"),
+        }
+        match srv.call(KvRequest::Stats) {
+            KvResponse::Stats { objects, commits, .. } => {
+                assert_eq!(objects, 1);
+                assert_eq!(commits, 1);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn two_phase_dispatch() {
+        let oracle = TimestampOracle::new();
+        let srv = KvServer::new(oracle.clone());
+        let obj = ObjectId::new(1, 1);
+        let start = oracle.next_timestamp();
+        match srv.call(KvRequest::Prepare {
+            txn: 7,
+            start_ts: start,
+            writes: vec![crate::protocol::WriteOp { obj, value: Some(Bytes::from_static(b"v")) }],
+        }) {
+            KvResponse::Prepared => {}
+            other => panic!("unexpected response {other:?}"),
+        }
+        match srv.call(KvRequest::Get { obj, ts: start }) {
+            KvResponse::Locked => {}
+            other => panic!("unexpected response {other:?}"),
+        }
+        let cts = oracle.next_timestamp();
+        srv.call(KvRequest::Commit { txn: 7, commit_ts: cts });
+        match srv.call(KvRequest::Get { obj, ts: cts }) {
+            KvResponse::Value(Some(v)) => assert_eq!(&v[..], b"v"),
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn allocate_dispatch() {
+        let oracle = TimestampOracle::new();
+        let srv = KvServer::new(oracle);
+        let obj = ObjectId::meta(3);
+        match srv.call(KvRequest::Allocate { obj, delta: 100 }) {
+            KvResponse::Allocated { start } => assert_eq!(start, 0),
+            other => panic!("unexpected response {other:?}"),
+        }
+        match srv.call(KvRequest::Allocate { obj, delta: 1 }) {
+            KvResponse::Allocated { start } => assert_eq!(start, 100),
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Tracking of active snapshots, used to bound garbage collection.
+//!
+//! Every running transaction registers its start timestamp here; the
+//! garbage collector may only reclaim versions that no registered snapshot
+//! (and no future snapshot) can read.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use yesquel_common::Timestamp;
+
+/// Shared registry of active snapshot timestamps.
+#[derive(Clone, Default)]
+pub struct SnapshotTracker {
+    inner: Arc<Mutex<BTreeMap<Timestamp, usize>>>,
+}
+
+impl SnapshotTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an active snapshot at `ts`.
+    pub fn register(&self, ts: Timestamp) {
+        *self.inner.lock().entry(ts).or_insert(0) += 1;
+    }
+
+    /// Unregisters a snapshot previously registered at `ts`.
+    pub fn unregister(&self, ts: Timestamp) {
+        let mut g = self.inner.lock();
+        if let Some(c) = g.get_mut(&ts) {
+            *c -= 1;
+            if *c == 0 {
+                g.remove(&ts);
+            }
+        }
+    }
+
+    /// The oldest active snapshot timestamp, or `fallback` if no snapshot is
+    /// active (callers pass the oracle's latest timestamp, meaning "any
+    /// version older than now is collectable subject to keep_versions").
+    pub fn min_active(&self, fallback: Timestamp) -> Timestamp {
+        self.inner.lock().keys().next().copied().unwrap_or(fallback)
+    }
+
+    /// Number of active snapshots (diagnostics).
+    pub fn active_count(&self) -> usize {
+        self.inner.lock().values().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_unregister_min() {
+        let t = SnapshotTracker::new();
+        assert_eq!(t.min_active(42), 42);
+        t.register(10);
+        t.register(20);
+        t.register(10);
+        assert_eq!(t.min_active(42), 10);
+        assert_eq!(t.active_count(), 3);
+        t.unregister(10);
+        assert_eq!(t.min_active(42), 10);
+        t.unregister(10);
+        assert_eq!(t.min_active(42), 20);
+        t.unregister(20);
+        assert_eq!(t.min_active(42), 42);
+        assert_eq!(t.active_count(), 0);
+    }
+
+    #[test]
+    fn unregister_unknown_is_harmless() {
+        let t = SnapshotTracker::new();
+        t.unregister(5);
+        assert_eq!(t.min_active(1), 1);
+    }
+}

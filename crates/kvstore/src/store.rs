@@ -1,0 +1,411 @@
+//! Per-server multi-version storage with prepare locks.
+//!
+//! Each storage server owns one [`ServerStore`]: a map from [`ObjectId`] to
+//! the object's committed [`VersionChain`] plus, while a transaction is
+//! between its prepare and commit phases, a **prepare lock** holding the
+//! staged new value.  The store also owns the server's non-transactional
+//! allocation counters (used for node-id and row-id allocation).
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use yesquel_common::{ObjectId, Timestamp, TxnId};
+
+use crate::mvcc::VersionChain;
+use crate::protocol::WriteOp;
+
+/// Result of reading an object at a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReadOutcome {
+    /// The visible value (or `None` if unwritten/deleted at the snapshot).
+    Value(Option<Bytes>),
+    /// The object is locked by a preparing transaction; retry shortly.
+    Locked,
+}
+
+/// Result of prepare / one-phase-commit validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PrepareOutcome {
+    /// Validation passed and locks are held.
+    Prepared,
+    /// Validation failed; nothing is locked.
+    Conflict(String),
+}
+
+/// A prepare lock: the owning transaction and the value it intends to
+/// install.
+#[derive(Debug, Clone)]
+struct PrepareLock {
+    txn: TxnId,
+    staged: Option<Bytes>,
+}
+
+/// State of one object on one server.
+#[derive(Debug, Default, Clone)]
+struct ObjectState {
+    chain: VersionChain,
+    lock: Option<PrepareLock>,
+}
+
+/// Aggregate statistics of one server store.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Number of `Get` requests served.
+    pub gets: u64,
+    /// Number of prepares that acquired locks.
+    pub prepares: u64,
+    /// Number of commits applied (two-phase or one-phase).
+    pub commits: u64,
+    /// Number of aborts processed.
+    pub aborts: u64,
+    /// Number of validation failures.
+    pub conflicts: u64,
+    /// Number of reads that found a prepare lock.
+    pub locked_reads: u64,
+    /// Number of versions dropped by garbage collection.
+    pub gc_dropped: u64,
+}
+
+struct StoreInner {
+    objects: HashMap<ObjectId, ObjectState>,
+    /// Objects locked by each in-flight prepared transaction, so commit and
+    /// abort do not need to scan the whole store.
+    prepared: HashMap<TxnId, Vec<ObjectId>>,
+    /// Non-transactional allocation counters.
+    counters: HashMap<ObjectId, u64>,
+    stats: StoreStats,
+}
+
+/// The storage of one server.  All methods are safe to call concurrently;
+/// internally a single mutex serializes access, which also models the finite
+/// processing capacity of one storage server.
+pub struct ServerStore {
+    inner: Mutex<StoreInner>,
+}
+
+impl Default for ServerStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServerStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        ServerStore {
+            inner: Mutex::new(StoreInner {
+                objects: HashMap::new(),
+                prepared: HashMap::new(),
+                counters: HashMap::new(),
+                stats: StoreStats::default(),
+            }),
+        }
+    }
+
+    /// Reads `obj` at snapshot `ts`.
+    pub fn get(&self, obj: ObjectId, ts: Timestamp) -> ReadOutcome {
+        let mut g = self.inner.lock();
+        g.stats.gets += 1;
+        match g.objects.get(&obj) {
+            None => ReadOutcome::Value(None),
+            Some(state) => {
+                if state.lock.is_some() {
+                    g.stats.locked_reads += 1;
+                    ReadOutcome::Locked
+                } else {
+                    ReadOutcome::Value(state.chain.read_at(ts))
+                }
+            }
+        }
+    }
+
+    /// Validates and locks `writes` on behalf of transaction `txn` reading
+    /// at `start_ts`.  Either all writes are locked or none are.
+    pub fn prepare(&self, txn: TxnId, start_ts: Timestamp, writes: &[WriteOp]) -> PrepareOutcome {
+        let mut g = self.inner.lock();
+        // Validation pass: no lock held by another transaction, and no
+        // committed version newer than the snapshot (first-committer-wins).
+        if let Some(reason) = Self::validate(&g, txn, start_ts, writes) {
+            g.stats.conflicts += 1;
+            return PrepareOutcome::Conflict(reason);
+        }
+        // Lock pass.
+        let mut locked = Vec::with_capacity(writes.len());
+        for w in writes {
+            let state = g.objects.entry(w.obj).or_default();
+            state.lock = Some(PrepareLock { txn, staged: w.value.clone() });
+            locked.push(w.obj);
+        }
+        g.prepared.entry(txn).or_default().extend(locked);
+        g.stats.prepares += 1;
+        PrepareOutcome::Prepared
+    }
+
+    /// First-committer-wins and lock-conflict validation; returns a failure
+    /// reason or `None` when the writes may proceed.
+    fn validate(
+        g: &StoreInner,
+        txn: TxnId,
+        start_ts: Timestamp,
+        writes: &[WriteOp],
+    ) -> Option<String> {
+        for w in writes {
+            if let Some(state) = g.objects.get(&w.obj) {
+                if let Some(lock) = &state.lock {
+                    if lock.txn != txn {
+                        return Some(format!("object {} locked by txn {}", w.obj, lock.txn));
+                    }
+                }
+                if state.chain.has_newer_than(start_ts) {
+                    return Some(format!(
+                        "object {} has a version newer than snapshot {}",
+                        w.obj, start_ts
+                    ));
+                }
+            }
+        }
+        None
+    }
+
+    /// Installs the versions staged by a successful prepare of `txn` at
+    /// `commit_ts` and releases the locks.  Committing a transaction that
+    /// never prepared here is a no-op (idempotent, as phase two must be).
+    pub fn commit(&self, txn: TxnId, commit_ts: Timestamp) {
+        let mut g = self.inner.lock();
+        let objs = g.prepared.remove(&txn).unwrap_or_default();
+        for obj in objs {
+            if let Some(state) = g.objects.get_mut(&obj) {
+                match state.lock.take() {
+                    Some(lock) if lock.txn == txn => {
+                        state.chain.install(commit_ts, lock.staged);
+                    }
+                    other => {
+                        // Lock stolen or missing: put it back if it belongs
+                        // to someone else.  This cannot happen in the current
+                        // protocol (locks are only released by their owner),
+                        // but stay defensive.
+                        state.lock = other.filter(|l| l.txn != txn);
+                    }
+                }
+            }
+        }
+        g.stats.commits += 1;
+    }
+
+    /// Validates and installs `writes` in one step, assigning `commit_ts`.
+    /// Used by one-phase commit, where the caller obtains a commit timestamp
+    /// via the server-side oracle handle.
+    pub fn commit_one_phase(
+        &self,
+        txn: TxnId,
+        start_ts: Timestamp,
+        writes: &[WriteOp],
+        commit_ts: Timestamp,
+    ) -> PrepareOutcome {
+        let mut g = self.inner.lock();
+        if let Some(reason) = Self::validate(&g, txn, start_ts, writes) {
+            g.stats.conflicts += 1;
+            return PrepareOutcome::Conflict(reason);
+        }
+        for w in writes {
+            let state = g.objects.entry(w.obj).or_default();
+            state.chain.install(commit_ts, w.value.clone());
+        }
+        g.stats.commits += 1;
+        PrepareOutcome::Prepared
+    }
+
+    /// Releases every lock held by `txn` and discards its staged writes.
+    pub fn abort(&self, txn: TxnId) {
+        let mut g = self.inner.lock();
+        let objs = g.prepared.remove(&txn).unwrap_or_default();
+        for obj in objs {
+            if let Some(state) = g.objects.get_mut(&obj) {
+                if state.lock.as_ref().map(|l| l.txn == txn).unwrap_or(false) {
+                    state.lock = None;
+                }
+            }
+        }
+        g.stats.aborts += 1;
+    }
+
+    /// Atomically adds `delta` to the counter at `obj`, returning the
+    /// pre-increment value.
+    pub fn allocate(&self, obj: ObjectId, delta: u64) -> u64 {
+        let mut g = self.inner.lock();
+        let c = g.counters.entry(obj).or_insert(0);
+        let start = *c;
+        *c += delta;
+        start
+    }
+
+    /// Installs a version directly, bypassing concurrency control (bulk
+    /// loading only).
+    pub fn load_unchecked(&self, obj: ObjectId, ts: Timestamp, value: Bytes) {
+        let mut g = self.inner.lock();
+        g.objects.entry(obj).or_default().chain.install(ts, Some(value));
+    }
+
+    /// Garbage-collects old versions given the oldest active snapshot.
+    /// Returns the number of versions dropped.
+    pub fn gc(&self, min_active_ts: Timestamp, keep_versions: usize) -> u64 {
+        let mut g = self.inner.lock();
+        let mut dropped = 0u64;
+        let mut dead = Vec::new();
+        for (obj, state) in g.objects.iter_mut() {
+            dropped += state.chain.gc(min_active_ts, keep_versions) as u64;
+            if state.lock.is_none() && state.chain.is_fully_dead(min_active_ts) {
+                dead.push(*obj);
+            }
+        }
+        for obj in dead {
+            g.objects.remove(&obj);
+        }
+        g.stats.gc_dropped += dropped;
+        dropped
+    }
+
+    /// Snapshot of the store's statistics.
+    pub fn stats(&self) -> StoreStats {
+        self.inner.lock().stats
+    }
+
+    /// Number of objects currently stored.
+    pub fn object_count(&self) -> u64 {
+        self.inner.lock().objects.len() as u64
+    }
+
+    /// Total number of committed versions currently stored.
+    pub fn version_count(&self) -> u64 {
+        self.inner.lock().objects.values().map(|s| s.chain.len() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(o: u64) -> ObjectId {
+        ObjectId::new(1, o)
+    }
+
+    fn w(o: u64, v: &str) -> WriteOp {
+        WriteOp { obj: obj(o), value: Some(Bytes::copy_from_slice(v.as_bytes())) }
+    }
+
+    fn del(o: u64) -> WriteOp {
+        WriteOp { obj: obj(o), value: None }
+    }
+
+    #[test]
+    fn prepare_commit_read_cycle() {
+        let s = ServerStore::new();
+        assert_eq!(s.prepare(1, 5, &[w(1, "a"), w(2, "b")]), PrepareOutcome::Prepared);
+        // Reads see the lock, not the staged value.
+        assert_eq!(s.get(obj(1), 100), ReadOutcome::Locked);
+        s.commit(1, 10);
+        assert_eq!(s.get(obj(1), 100), ReadOutcome::Value(Some(Bytes::from_static(b"a"))));
+        assert_eq!(s.get(obj(1), 9), ReadOutcome::Value(None));
+        assert_eq!(s.object_count(), 2);
+        assert_eq!(s.stats().commits, 1);
+    }
+
+    #[test]
+    fn conflict_on_newer_version() {
+        let s = ServerStore::new();
+        assert_eq!(s.prepare(1, 5, &[w(1, "a")]), PrepareOutcome::Prepared);
+        s.commit(1, 10);
+        // A transaction that started before ts 10 cannot overwrite object 1.
+        match s.prepare(2, 5, &[w(1, "b")]) {
+            PrepareOutcome::Conflict(_) => {}
+            other => panic!("expected conflict, got {other:?}"),
+        }
+        assert_eq!(s.stats().conflicts, 1);
+        // A later snapshot can.
+        assert_eq!(s.prepare(3, 11, &[w(1, "c")]), PrepareOutcome::Prepared);
+        s.commit(3, 12);
+        assert_eq!(s.get(obj(1), 20), ReadOutcome::Value(Some(Bytes::from_static(b"c"))));
+    }
+
+    #[test]
+    fn conflict_on_foreign_lock_and_abort_releases() {
+        let s = ServerStore::new();
+        assert_eq!(s.prepare(1, 5, &[w(1, "a")]), PrepareOutcome::Prepared);
+        match s.prepare(2, 6, &[w(1, "b")]) {
+            PrepareOutcome::Conflict(msg) => assert!(msg.contains("locked")),
+            other => panic!("expected conflict, got {other:?}"),
+        }
+        s.abort(1);
+        assert_eq!(s.get(obj(1), 100), ReadOutcome::Value(None));
+        assert_eq!(s.prepare(2, 6, &[w(1, "b")]), PrepareOutcome::Prepared);
+        s.commit(2, 7);
+        assert_eq!(s.get(obj(1), 100), ReadOutcome::Value(Some(Bytes::from_static(b"b"))));
+    }
+
+    #[test]
+    fn delete_writes_tombstone() {
+        let s = ServerStore::new();
+        s.prepare(1, 1, &[w(1, "a")]);
+        s.commit(1, 2);
+        s.prepare(2, 3, &[del(1)]);
+        s.commit(2, 4);
+        assert_eq!(s.get(obj(1), 3), ReadOutcome::Value(Some(Bytes::from_static(b"a"))));
+        assert_eq!(s.get(obj(1), 10), ReadOutcome::Value(None));
+    }
+
+    #[test]
+    fn one_phase_commit_validates_and_installs() {
+        let s = ServerStore::new();
+        assert_eq!(s.commit_one_phase(1, 1, &[w(1, "a")], 5), PrepareOutcome::Prepared);
+        assert_eq!(s.get(obj(1), 10), ReadOutcome::Value(Some(Bytes::from_static(b"a"))));
+        // Stale snapshot conflicts.
+        match s.commit_one_phase(2, 1, &[w(1, "b")], 6) {
+            PrepareOutcome::Conflict(_) => {}
+            other => panic!("expected conflict, got {other:?}"),
+        }
+        assert_eq!(s.get(obj(1), 10), ReadOutcome::Value(Some(Bytes::from_static(b"a"))));
+    }
+
+    #[test]
+    fn allocate_is_monotone() {
+        let s = ServerStore::new();
+        assert_eq!(s.allocate(obj(9), 10), 0);
+        assert_eq!(s.allocate(obj(9), 5), 10);
+        assert_eq!(s.allocate(obj(9), 1), 15);
+        assert_eq!(s.allocate(obj(8), 1), 0);
+    }
+
+    #[test]
+    fn gc_drops_old_versions_and_dead_objects() {
+        let s = ServerStore::new();
+        for i in 0..5u64 {
+            s.prepare(i, 2 * i, &[w(1, &format!("v{i}"))]);
+            s.commit(i, 2 * i + 1);
+        }
+        assert_eq!(s.version_count(), 5);
+        let dropped = s.gc(100, 1);
+        assert_eq!(dropped, 4);
+        assert_eq!(s.version_count(), 1);
+        // Delete the object entirely, then GC removes it from the map.
+        s.prepare(10, 50, &[del(1)]);
+        s.commit(10, 51);
+        s.gc(100, 1);
+        assert_eq!(s.object_count(), 0);
+    }
+
+    #[test]
+    fn bulk_load_visible_to_all_snapshots() {
+        let s = ServerStore::new();
+        s.load_unchecked(obj(1), 0, Bytes::from_static(b"seed"));
+        assert_eq!(s.get(obj(1), 1), ReadOutcome::Value(Some(Bytes::from_static(b"seed"))));
+    }
+
+    #[test]
+    fn commit_unknown_txn_is_noop() {
+        let s = ServerStore::new();
+        s.commit(999, 5);
+        s.abort(999);
+        assert_eq!(s.object_count(), 0);
+    }
+}

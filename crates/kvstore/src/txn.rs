@@ -1,0 +1,355 @@
+//! Client-side transactions: snapshot reads, buffered writes, and the
+//! two-phase-commit coordinator.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use yesquel_common::stats::StatsRegistry;
+use yesquel_common::{Error, KvConfig, ObjectId, Result, ServerId, Timestamp, TxnId};
+use yesquel_rpc::Transport;
+
+use crate::oracle::TimestampOracle;
+use crate::protocol::{KvRequest, KvResponse, WriteOp};
+use crate::server::KvServer;
+use crate::snapshot::SnapshotTracker;
+
+/// Internals shared by a [`crate::KvClient`] and every transaction it
+/// creates.
+pub(crate) struct ClientCore {
+    pub(crate) transport: Arc<dyn Transport<KvServer>>,
+    pub(crate) oracle: TimestampOracle,
+    pub(crate) snapshots: SnapshotTracker,
+    pub(crate) cfg: KvConfig,
+    pub(crate) stats: StatsRegistry,
+}
+
+impl ClientCore {
+    pub(crate) fn num_servers(&self) -> usize {
+        self.transport.num_servers()
+    }
+
+    /// Home server of an object in this deployment.
+    pub(crate) fn home(&self, obj: ObjectId) -> ServerId {
+        obj.home_server(self.num_servers())
+    }
+}
+
+/// Lifecycle state of a transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnState {
+    /// Still accepting reads and writes.
+    Active,
+    /// Successfully committed.
+    Committed,
+    /// Aborted (explicitly, or after a failed commit).
+    Aborted,
+}
+
+/// A transaction with snapshot-isolation semantics.
+///
+/// Reads observe the snapshot defined by the start timestamp plus the
+/// transaction's own buffered writes; writes are buffered locally and sent
+/// to the storage servers only at commit.
+///
+/// All access methods take `&self`: the write buffer is internally
+/// synchronized so that the layers above (tree cursors, SQL operators) can
+/// hold several references to the same transaction.  A `Txn` is nevertheless
+/// meant to be driven by one thread at a time, as in the real client
+/// library.
+pub struct Txn {
+    core: Arc<ClientCore>,
+    id: TxnId,
+    start_ts: Timestamp,
+    state: Mutex<TxnState>,
+    writes: Mutex<BTreeMap<ObjectId, Option<Bytes>>>,
+    /// Number of Get RPCs issued (used by the latency-table experiment).
+    read_rpcs: AtomicU64,
+    snapshot_registered: Mutex<bool>,
+}
+
+impl Txn {
+    pub(crate) fn begin(core: Arc<ClientCore>) -> Self {
+        let id = core.oracle.next_txn_id();
+        let start_ts = core.oracle.next_timestamp();
+        core.snapshots.register(start_ts);
+        core.stats.counter("kv.txn_started").inc();
+        Txn {
+            core,
+            id,
+            start_ts,
+            state: Mutex::new(TxnState::Active),
+            writes: Mutex::new(BTreeMap::new()),
+            read_rpcs: AtomicU64::new(0),
+            snapshot_registered: Mutex::new(true),
+        }
+    }
+
+    /// The transaction's id.
+    pub fn id(&self) -> TxnId {
+        self.id
+    }
+
+    /// The snapshot timestamp this transaction reads at.
+    pub fn start_ts(&self) -> Timestamp {
+        self.start_ts
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> TxnState {
+        *self.state.lock()
+    }
+
+    /// True if the transaction has not written anything (such transactions
+    /// commit without any communication).
+    pub fn is_read_only(&self) -> bool {
+        self.writes.lock().is_empty()
+    }
+
+    /// Number of objects written so far.
+    pub fn write_count(&self) -> usize {
+        self.writes.lock().len()
+    }
+
+    /// Number of read RPCs issued so far (diagnostics; reads served from the
+    /// local write buffer do not count).
+    pub fn read_rpcs(&self) -> u64 {
+        self.read_rpcs.load(Ordering::Relaxed)
+    }
+
+    fn check_active(&self) -> Result<()> {
+        match self.state() {
+            TxnState::Active => Ok(()),
+            TxnState::Committed => {
+                Err(Error::InvalidArgument("transaction already committed".into()))
+            }
+            TxnState::Aborted => Err(Error::Aborted("transaction already aborted".into())),
+        }
+    }
+
+    /// Reads `obj` at this transaction's snapshot (observing its own writes).
+    pub fn get(&self, obj: ObjectId) -> Result<Option<Bytes>> {
+        self.check_active()?;
+        if let Some(v) = self.writes.lock().get(&obj) {
+            return Ok(v.clone());
+        }
+        let server = self.core.home(obj);
+        let mut attempts = 0usize;
+        loop {
+            self.read_rpcs.fetch_add(1, Ordering::Relaxed);
+            self.core.stats.counter("kv.get_rpcs").inc();
+            match self.core.transport.call(server, KvRequest::Get { obj, ts: self.start_ts })? {
+                KvResponse::Value(v) => return Ok(v),
+                KvResponse::Locked => {
+                    attempts += 1;
+                    self.core.stats.counter("kv.get_lock_retries").inc();
+                    if attempts > self.core.cfg.lock_acquire_retries {
+                        return Err(Error::LockTimeout(format!(
+                            "object {obj} still locked after {attempts} read attempts"
+                        )));
+                    }
+                    backoff(self.core.cfg.lock_backoff_us, attempts);
+                }
+                other => {
+                    return Err(Error::Internal(format!("unexpected Get response: {other:?}")))
+                }
+            }
+        }
+    }
+
+    /// Buffers a write of `value` to `obj`.
+    pub fn put(&self, obj: ObjectId, value: impl Into<Bytes>) -> Result<()> {
+        self.check_active()?;
+        self.writes.lock().insert(obj, Some(value.into()));
+        Ok(())
+    }
+
+    /// Buffers a deletion of `obj`.
+    pub fn delete(&self, obj: ObjectId) -> Result<()> {
+        self.check_active()?;
+        self.writes.lock().insert(obj, None);
+        Ok(())
+    }
+
+    /// Commits the transaction, returning its commit timestamp.
+    ///
+    /// Read-only transactions commit locally with no communication.  Single-
+    /// participant transactions use one-phase commit (one RPC); multi-
+    /// participant transactions use two-phase commit (one prepare RPC and
+    /// one commit RPC per participant).
+    pub fn commit(self) -> Result<Timestamp> {
+        self.check_active()?;
+        self.release_snapshot();
+
+        let writes = std::mem::take(&mut *self.writes.lock());
+        if writes.is_empty() {
+            *self.state.lock() = TxnState::Committed;
+            self.core.stats.counter("kv.readonly_commits").inc();
+            return Ok(self.start_ts);
+        }
+
+        // Group writes by participant server, preserving ObjectId order so
+        // that servers acquire locks in a deterministic order.
+        let mut by_server: BTreeMap<ServerId, Vec<WriteOp>> = BTreeMap::new();
+        for (obj, value) in &writes {
+            by_server
+                .entry(self.core.home(*obj))
+                .or_default()
+                .push(WriteOp { obj: *obj, value: value.clone() });
+        }
+        let participants: Vec<ServerId> = by_server.keys().copied().collect();
+        self.core.stats.counter("kv.commit_participants").add(participants.len() as u64);
+
+        // One-phase commit when a single server holds every written object.
+        if participants.len() == 1 && self.core.cfg.one_phase_commit {
+            let (server, writes) = by_server.into_iter().next().expect("one participant");
+            self.core.stats.counter("kv.commit_1pc").inc();
+            let resp = self.core.transport.call(
+                server,
+                KvRequest::CommitOnePhase { txn: self.id, start_ts: self.start_ts, writes },
+            )?;
+            return match resp {
+                KvResponse::Committed { commit_ts } => {
+                    *self.state.lock() = TxnState::Committed;
+                    self.core.stats.counter("kv.txn_committed").inc();
+                    Ok(commit_ts)
+                }
+                KvResponse::Conflict { reason } => {
+                    *self.state.lock() = TxnState::Aborted;
+                    self.core.stats.counter("kv.txn_conflicts").inc();
+                    Err(Error::Conflict(reason))
+                }
+                other => Err(Error::Internal(format!("unexpected 1PC response: {other:?}"))),
+            };
+        }
+
+        // Phase one: prepare at every participant.
+        self.core.stats.counter("kv.commit_2pc").inc();
+        let mut prepared: Vec<ServerId> = Vec::new();
+        for (&server, ws) in &by_server {
+            let resp = self.core.transport.call(
+                server,
+                KvRequest::Prepare { txn: self.id, start_ts: self.start_ts, writes: ws.clone() },
+            )?;
+            match resp {
+                KvResponse::Prepared => prepared.push(server),
+                KvResponse::Conflict { reason } => {
+                    // Roll back the prepares we already made.
+                    for &s in &prepared {
+                        let _ = self.core.transport.call(s, KvRequest::Abort { txn: self.id });
+                    }
+                    *self.state.lock() = TxnState::Aborted;
+                    self.core.stats.counter("kv.txn_conflicts").inc();
+                    return Err(Error::Conflict(reason));
+                }
+                other => {
+                    for &s in &prepared {
+                        let _ = self.core.transport.call(s, KvRequest::Abort { txn: self.id });
+                    }
+                    *self.state.lock() = TxnState::Aborted;
+                    return Err(Error::Internal(format!(
+                        "unexpected prepare response: {other:?}"
+                    )));
+                }
+            }
+        }
+
+        // All participants prepared: the transaction is committed as soon as
+        // its commit timestamp is fixed.
+        let commit_ts = self.core.oracle.next_timestamp();
+
+        // Phase two: install at every participant.
+        for &server in &participants {
+            self.core.transport.call(server, KvRequest::Commit { txn: self.id, commit_ts })?;
+        }
+        *self.state.lock() = TxnState::Committed;
+        self.core.stats.counter("kv.txn_committed").inc();
+        Ok(commit_ts)
+    }
+
+    /// Aborts the transaction, discarding its buffered writes.
+    ///
+    /// Because writes are buffered at the client until commit, aborting an
+    /// active transaction requires no communication.
+    pub fn abort(self) {
+        if self.state() == TxnState::Active {
+            *self.state.lock() = TxnState::Aborted;
+            self.core.stats.counter("kv.txn_user_aborts").inc();
+        }
+        self.release_snapshot();
+    }
+
+    fn release_snapshot(&self) {
+        let mut registered = self.snapshot_registered.lock();
+        if *registered {
+            self.core.snapshots.unregister(self.start_ts);
+            *registered = false;
+        }
+    }
+}
+
+impl Drop for Txn {
+    fn drop(&mut self) {
+        // A dropped active transaction holds no server-side state (writes
+        // are buffered locally and locks only exist during commit), so only
+        // the snapshot registration needs cleaning up.
+        self.release_snapshot();
+    }
+}
+
+/// Exponential-ish backoff between lock retries.
+fn backoff(base_us: u64, attempt: usize) {
+    if base_us == 0 {
+        std::thread::yield_now();
+    } else {
+        let us = base_us.saturating_mul(attempt.min(16) as u64);
+        std::thread::sleep(Duration::from_micros(us));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::KvDatabase;
+
+    #[test]
+    fn methods_take_shared_reference() {
+        let db = KvDatabase::with_servers(2);
+        let client = db.client();
+        let t = client.begin();
+        let r1 = &t;
+        let r2 = &t;
+        r1.put(ObjectId::new(1, 1), Bytes::from_static(b"a")).unwrap();
+        assert_eq!(r2.get(ObjectId::new(1, 1)).unwrap().as_deref(), Some(&b"a"[..]));
+        assert_eq!(t.write_count(), 1);
+        t.commit().unwrap();
+    }
+
+    #[test]
+    fn use_after_commit_rejected() {
+        let db = KvDatabase::with_servers(1);
+        let client = db.client();
+        let t = client.begin();
+        t.put(ObjectId::new(1, 1), Bytes::from_static(b"a")).unwrap();
+        // `commit` consumes the transaction, so using it afterwards is a
+        // compile error; the runtime guard is exercised through `state`.
+        assert_eq!(t.state(), TxnState::Active);
+        t.commit().unwrap();
+    }
+
+    #[test]
+    fn read_rpcs_counted() {
+        let db = KvDatabase::with_servers(2);
+        let client = db.client();
+        let t = client.begin();
+        let _ = t.get(ObjectId::new(1, 1)).unwrap();
+        let _ = t.get(ObjectId::new(1, 2)).unwrap();
+        t.put(ObjectId::new(1, 3), Bytes::from_static(b"x")).unwrap();
+        let _ = t.get(ObjectId::new(1, 3)).unwrap(); // served from write buffer
+        assert_eq!(t.read_rpcs(), 2);
+        t.commit().unwrap();
+    }
+}

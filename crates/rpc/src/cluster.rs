@@ -1,0 +1,182 @@
+//! A cluster of storage servers behind a single transport handle.
+//!
+//! [`Cluster`] owns the server objects, the chosen [`Transport`], the
+//! [`NetworkModel`] and the [`StatsRegistry`], and hands out cheap clones of
+//! the transport handle to any number of clients.  It is the in-process
+//! equivalent of "deploy N storage servers and give every client their
+//! addresses".
+
+use std::sync::Arc;
+
+use yesquel_common::stats::StatsRegistry;
+use yesquel_common::{NetConfig, Result, ServerId};
+
+use crate::netmodel::NetworkModel;
+use crate::transport::{DirectTransport, Service, ThreadedTransport, Transport, TransportKind};
+
+/// Builder for a [`Cluster`].
+pub struct ClusterBuilder<S: Service> {
+    servers: Vec<Arc<S>>,
+    kind: TransportKind,
+    net: NetConfig,
+    registry: StatsRegistry,
+}
+
+impl<S: Service> ClusterBuilder<S> {
+    /// Starts building a cluster from already-constructed server objects.
+    pub fn new(servers: Vec<Arc<S>>) -> Self {
+        ClusterBuilder {
+            servers,
+            kind: TransportKind::Direct,
+            net: NetConfig::default(),
+            registry: StatsRegistry::new(),
+        }
+    }
+
+    /// Chooses the transport (direct calls or per-server worker threads).
+    pub fn transport(mut self, kind: TransportKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Sets the network cost model.
+    pub fn network(mut self, net: NetConfig) -> Self {
+        self.net = net;
+        self
+    }
+
+    /// Uses an existing statistics registry (so several layers share one).
+    pub fn stats(mut self, registry: StatsRegistry) -> Self {
+        self.registry = registry;
+        self
+    }
+
+    /// Builds the cluster.
+    pub fn build(self) -> Cluster<S> {
+        let net = NetworkModel::new(self.net, self.registry.clone());
+        let transport: Arc<dyn Transport<S>> = match self.kind {
+            TransportKind::Direct => Arc::new(DirectTransport::new(
+                self.servers.clone(),
+                net.clone(),
+                self.registry.clone(),
+            )),
+            TransportKind::Threaded { workers_per_server } => Arc::new(ThreadedTransport::new(
+                self.servers.clone(),
+                workers_per_server,
+                net.clone(),
+                self.registry.clone(),
+            )),
+        };
+        Cluster { servers: self.servers, transport, net, registry: self.registry }
+    }
+}
+
+/// A running cluster of `S` servers plus the transport clients use to reach
+/// them.
+pub struct Cluster<S: Service> {
+    servers: Vec<Arc<S>>,
+    transport: Arc<dyn Transport<S>>,
+    net: NetworkModel,
+    registry: StatsRegistry,
+}
+
+impl<S: Service> Cluster<S> {
+    /// Builds a cluster with default transport (direct) and no network cost.
+    pub fn direct(servers: Vec<Arc<S>>) -> Self {
+        ClusterBuilder::new(servers).build()
+    }
+
+    /// Number of storage servers.
+    pub fn num_servers(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// The transport handle clients use to issue RPCs.
+    pub fn transport(&self) -> Arc<dyn Transport<S>> {
+        Arc::clone(&self.transport)
+    }
+
+    /// Direct access to a server object, for white-box assertions in tests
+    /// and for administrative operations (e.g. garbage-collection ticks)
+    /// that the real system would perform inside the server process.
+    pub fn server(&self, id: ServerId) -> Option<&Arc<S>> {
+        self.servers.get(id)
+    }
+
+    /// All server objects.
+    pub fn servers(&self) -> &[Arc<S>] {
+        &self.servers
+    }
+
+    /// The network cost model shared by every RPC of this cluster.
+    pub fn network(&self) -> &NetworkModel {
+        &self.net
+    }
+
+    /// The statistics registry shared by the cluster's transports.
+    pub fn stats(&self) -> &StatsRegistry {
+        &self.registry
+    }
+
+    /// Convenience wrapper for issuing one RPC.
+    pub fn call(&self, server: ServerId, req: S::Request) -> Result<S::Response> {
+        self.transport.call(server, req)
+    }
+}
+
+impl<S: Service> Clone for Cluster<S> {
+    fn clone(&self) -> Self {
+        Cluster {
+            servers: self.servers.clone(),
+            transport: Arc::clone(&self.transport),
+            net: self.net.clone(),
+            registry: self.registry.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Doubler;
+    impl Service for Doubler {
+        type Request = u64;
+        type Response = u64;
+        fn call(&self, req: u64) -> u64 {
+            req * 2
+        }
+    }
+
+    #[test]
+    fn builder_direct() {
+        let servers = (0..4).map(|_| Arc::new(Doubler)).collect();
+        let cluster = ClusterBuilder::new(servers).build();
+        assert_eq!(cluster.num_servers(), 4);
+        assert_eq!(cluster.call(3, 21).unwrap(), 42);
+        assert!(cluster.call(4, 21).is_err());
+        assert!(cluster.server(0).is_some());
+        assert!(cluster.server(9).is_none());
+    }
+
+    #[test]
+    fn builder_threaded_with_network() {
+        let servers = (0..2).map(|_| Arc::new(Doubler)).collect();
+        let cluster = ClusterBuilder::new(servers)
+            .transport(TransportKind::Threaded { workers_per_server: 2 })
+            .network(NetConfig { one_way_latency_us: 10, bytes_per_us: 0, sleep_latency: false })
+            .build();
+        assert_eq!(cluster.call(1, 5).unwrap(), 10);
+        assert!(cluster.network().simulated_us() >= 20);
+        assert_eq!(cluster.stats().counter("rpc.calls").get(), 1);
+    }
+
+    #[test]
+    fn cluster_clone_shares_servers() {
+        let servers = (0..1).map(|_| Arc::new(Doubler)).collect();
+        let cluster = Cluster::direct(servers);
+        let c2 = cluster.clone();
+        assert_eq!(c2.call(0, 2).unwrap(), 4);
+        assert_eq!(cluster.stats().counter("rpc.calls").get(), 1);
+    }
+}

@@ -1,0 +1,119 @@
+//! Network cost model.
+//!
+//! The simulated cluster runs inside one process, so the real network is
+//! absent.  To keep the *shape* of the paper's latency results, every RPC is
+//! charged a configurable cost: a fixed one-way latency per message plus a
+//! bandwidth term proportional to message size.  The cost can either be
+//! accumulated in a simulated-time counter (throughput experiments, latency
+//! tables computed analytically from RPC counts) or actually slept
+//! (closed-loop latency experiments).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use yesquel_common::stats::StatsRegistry;
+use yesquel_common::NetConfig;
+
+/// Shared network cost model; cheap to clone.
+#[derive(Clone)]
+pub struct NetworkModel {
+    inner: Arc<Inner>,
+}
+
+struct Inner {
+    cfg: NetConfig,
+    simulated_us: AtomicU64,
+    messages: AtomicU64,
+    registry: StatsRegistry,
+}
+
+impl NetworkModel {
+    /// Creates a model with the given configuration.
+    pub fn new(cfg: NetConfig, registry: StatsRegistry) -> Self {
+        NetworkModel {
+            inner: Arc::new(Inner {
+                cfg,
+                simulated_us: AtomicU64::new(0),
+                messages: AtomicU64::new(0),
+                registry,
+            }),
+        }
+    }
+
+    /// A model that charges nothing (unit tests, pure-throughput runs).
+    pub fn free(registry: StatsRegistry) -> Self {
+        Self::new(NetConfig::default(), registry)
+    }
+
+    /// The configuration this model was built with.
+    pub fn config(&self) -> &NetConfig {
+        &self.inner.cfg
+    }
+
+    /// Cost in microseconds of sending one message of `bytes` bytes one way.
+    pub fn one_way_cost_us(&self, bytes: usize) -> u64 {
+        let cfg = &self.inner.cfg;
+        let bw = if cfg.bytes_per_us == 0 { 0 } else { bytes as u64 / cfg.bytes_per_us };
+        cfg.one_way_latency_us + bw
+    }
+
+    /// Charges a full request/response round trip and returns the charged
+    /// microseconds.  If the model is configured to sleep, the calling
+    /// thread sleeps for that long, so closed-loop clients observe the
+    /// modelled latency.
+    pub fn charge_round_trip(&self, req_bytes: usize, resp_bytes: usize) -> u64 {
+        let us = self.one_way_cost_us(req_bytes) + self.one_way_cost_us(resp_bytes);
+        self.inner.messages.fetch_add(2, Ordering::Relaxed);
+        if us == 0 {
+            return 0;
+        }
+        self.inner.simulated_us.fetch_add(us, Ordering::Relaxed);
+        self.inner.registry.counter("net.charged_us").add(us);
+        if self.inner.cfg.sleep_latency {
+            std::thread::sleep(Duration::from_micros(us));
+        }
+        us
+    }
+
+    /// Total simulated network time charged so far, in microseconds.
+    pub fn simulated_us(&self) -> u64 {
+        self.inner.simulated_us.load(Ordering::Relaxed)
+    }
+
+    /// Total number of messages charged so far (2 per round trip).
+    pub fn messages(&self) -> u64 {
+        self.inner.messages.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_model_charges_nothing() {
+        let m = NetworkModel::free(StatsRegistry::new());
+        assert_eq!(m.charge_round_trip(1000, 1000), 0);
+        assert_eq!(m.simulated_us(), 0);
+        assert_eq!(m.messages(), 2);
+    }
+
+    #[test]
+    fn latency_and_bandwidth_terms() {
+        let cfg = NetConfig { one_way_latency_us: 50, bytes_per_us: 100, sleep_latency: false };
+        let m = NetworkModel::new(cfg, StatsRegistry::new());
+        // 1000 bytes at 100 B/us = 10us + 50us latency each way.
+        assert_eq!(m.one_way_cost_us(1000), 60);
+        let rt = m.charge_round_trip(1000, 0);
+        assert_eq!(rt, 60 + 50);
+        assert_eq!(m.simulated_us(), 110);
+    }
+
+    #[test]
+    fn datacenter_profile() {
+        let m = NetworkModel::new(NetConfig::datacenter(), StatsRegistry::new());
+        assert!(m.one_way_cost_us(0) >= 50);
+        assert!(m.one_way_cost_us(1_250_000) > m.one_way_cost_us(0));
+    }
+}

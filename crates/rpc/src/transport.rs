@@ -1,0 +1,304 @@
+//! RPC transports: how a client request reaches a storage server.
+
+use std::sync::Arc;
+
+use crossbeam::channel::{bounded, Sender};
+use yesquel_common::stats::StatsRegistry;
+use yesquel_common::{Error, Result, ServerId};
+
+use crate::netmodel::NetworkModel;
+
+/// A storage-server "process": receives a request, returns a response.
+///
+/// Implementations must be callable concurrently from many client threads;
+/// internal synchronization is the server's responsibility (exactly as a
+/// real multi-threaded RPC server would).
+pub trait Service: Send + Sync + 'static {
+    /// Request message type.
+    type Request: Send + 'static;
+    /// Response message type.
+    type Response: Send + 'static;
+
+    /// Handles one request.
+    fn call(&self, req: Self::Request) -> Self::Response;
+
+    /// Approximate wire size of a request, for the bandwidth model.
+    fn request_wire_size(_req: &Self::Request) -> usize {
+        64
+    }
+
+    /// Approximate wire size of a response, for the bandwidth model.
+    fn response_wire_size(_resp: &Self::Response) -> usize {
+        64
+    }
+}
+
+/// Which transport a cluster uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportKind {
+    /// Requests are executed by a direct function call on the caller's
+    /// thread.  Fastest; models a server with unbounded worker threads.
+    Direct,
+    /// Requests are queued to a fixed pool of worker threads per server,
+    /// modelling bounded per-server CPU capacity and queueing delay.
+    Threaded {
+        /// Number of worker threads per storage server.
+        workers_per_server: usize,
+    },
+}
+
+impl Default for TransportKind {
+    fn default() -> Self {
+        TransportKind::Direct
+    }
+}
+
+/// A connection from clients to every server of the cluster.
+pub trait Transport<S: Service>: Send + Sync {
+    /// Sends `req` to server `server` and waits for its response.
+    ///
+    /// Every call counts as one RPC round trip for the network model.
+    fn call(&self, server: ServerId, req: S::Request) -> Result<S::Response>;
+
+    /// Number of servers reachable through this transport.
+    fn num_servers(&self) -> usize;
+}
+
+/// Book-keeping shared by both transports.
+///
+/// Per-server request counts are exposed both through the vector returned by
+/// `per_server_request_counts` and as registry counters named
+/// `rpc.server.<id>.requests`, so that code holding only the shared
+/// [`StatsRegistry`] (e.g. the load-imbalance experiment) can read them.
+struct TransportStats {
+    registry: StatsRegistry,
+    per_server_requests: Vec<std::sync::Arc<yesquel_common::stats::Counter>>,
+}
+
+impl TransportStats {
+    fn new(registry: StatsRegistry, nservers: usize) -> Self {
+        let per_server_requests =
+            (0..nservers).map(|i| registry.counter(&format!("rpc.server.{i}.requests"))).collect();
+        TransportStats { registry, per_server_requests }
+    }
+
+    fn record(&self, server: ServerId, req_bytes: usize, resp_bytes: usize, net: &NetworkModel) {
+        self.registry.counter("rpc.calls").inc();
+        self.registry.counter("rpc.bytes_sent").add(req_bytes as u64);
+        self.registry.counter("rpc.bytes_received").add(resp_bytes as u64);
+        if let Some(c) = self.per_server_requests.get(server) {
+            c.inc();
+        }
+        let lat = net.charge_round_trip(req_bytes, resp_bytes);
+        if lat > 0 {
+            self.registry.histogram("rpc.simulated_latency_us").record(lat);
+        }
+    }
+}
+
+/// Transport that executes requests by calling the server object directly on
+/// the caller's thread.
+pub struct DirectTransport<S: Service> {
+    servers: Vec<Arc<S>>,
+    net: NetworkModel,
+    stats: TransportStats,
+}
+
+impl<S: Service> DirectTransport<S> {
+    /// Creates a direct transport over the given server objects.
+    pub fn new(servers: Vec<Arc<S>>, net: NetworkModel, registry: StatsRegistry) -> Self {
+        let stats = TransportStats::new(registry, servers.len());
+        DirectTransport { servers, net, stats }
+    }
+
+    /// Requests handled so far by each server (for load-imbalance reports).
+    pub fn per_server_request_counts(&self) -> Vec<u64> {
+        self.stats.per_server_requests.iter().map(|c| c.get()).collect()
+    }
+}
+
+impl<S: Service> Transport<S> for DirectTransport<S> {
+    fn call(&self, server: ServerId, req: S::Request) -> Result<S::Response> {
+        let srv = self
+            .servers
+            .get(server)
+            .ok_or_else(|| Error::ServerUnavailable(format!("no server {server}")))?;
+        let req_bytes = S::request_wire_size(&req);
+        let resp = srv.call(req);
+        let resp_bytes = S::response_wire_size(&resp);
+        self.stats.record(server, req_bytes, resp_bytes, &self.net);
+        Ok(resp)
+    }
+
+    fn num_servers(&self) -> usize {
+        self.servers.len()
+    }
+}
+
+/// A request queued to a server worker thread, paired with the channel on
+/// which the worker sends back the response.
+struct Envelope<S: Service> {
+    req: S::Request,
+    reply: Sender<S::Response>,
+}
+
+/// Transport that runs a fixed pool of worker threads per server and
+/// delivers requests through bounded channels.
+///
+/// This models the paper's deployment more closely than [`DirectTransport`]:
+/// each storage server has a bounded amount of CPU, so when many clients
+/// target one server (for example, the root server when client caching is
+/// disabled) requests queue up and per-operation latency grows, while other
+/// servers sit idle.
+pub struct ThreadedTransport<S: Service> {
+    queues: Vec<Sender<Envelope<S>>>,
+    net: NetworkModel,
+    stats: TransportStats,
+    // Worker threads are detached; they exit when the queue senders are
+    // dropped (the channel disconnects and `recv` returns Err).
+    _servers: Vec<Arc<S>>,
+}
+
+impl<S: Service> ThreadedTransport<S> {
+    /// Creates the transport and spawns `workers_per_server` threads per
+    /// server.
+    pub fn new(
+        servers: Vec<Arc<S>>,
+        workers_per_server: usize,
+        net: NetworkModel,
+        registry: StatsRegistry,
+    ) -> Self {
+        assert!(workers_per_server >= 1, "need at least one worker per server");
+        let stats = TransportStats::new(registry, servers.len());
+        let mut queues = Vec::with_capacity(servers.len());
+        for (sid, srv) in servers.iter().enumerate() {
+            let (tx, rx) = bounded::<Envelope<S>>(1024);
+            for w in 0..workers_per_server {
+                let rx = rx.clone();
+                let srv = Arc::clone(srv);
+                std::thread::Builder::new()
+                    .name(format!("yesquel-server-{sid}-worker-{w}"))
+                    .spawn(move || {
+                        while let Ok(env) = rx.recv() {
+                            let resp = srv.call(env.req);
+                            // The client may have given up; ignore send errors.
+                            let _ = env.reply.send(resp);
+                        }
+                    })
+                    .expect("failed to spawn server worker thread");
+            }
+            queues.push(tx);
+        }
+        ThreadedTransport { queues, net, stats, _servers: servers }
+    }
+
+    /// Requests handled so far by each server (for load-imbalance reports).
+    pub fn per_server_request_counts(&self) -> Vec<u64> {
+        self.stats.per_server_requests.iter().map(|c| c.get()).collect()
+    }
+}
+
+impl<S: Service> Transport<S> for ThreadedTransport<S> {
+    fn call(&self, server: ServerId, req: S::Request) -> Result<S::Response> {
+        let q = self
+            .queues
+            .get(server)
+            .ok_or_else(|| Error::ServerUnavailable(format!("no server {server}")))?;
+        let req_bytes = S::request_wire_size(&req);
+        let (reply_tx, reply_rx) = bounded(1);
+        q.send(Envelope { req, reply: reply_tx })
+            .map_err(|_| Error::ServerUnavailable(format!("server {server} shut down")))?;
+        let resp = reply_rx
+            .recv()
+            .map_err(|_| Error::ServerUnavailable(format!("server {server} dropped request")))?;
+        let resp_bytes = S::response_wire_size(&resp);
+        self.stats.record(server, req_bytes, resp_bytes, &self.net);
+        Ok(resp)
+    }
+
+    fn num_servers(&self) -> usize {
+        self.queues.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yesquel_common::NetConfig;
+
+    /// A toy service that echoes the request plus one.
+    struct AddOne;
+
+    impl Service for AddOne {
+        type Request = u64;
+        type Response = u64;
+        fn call(&self, req: u64) -> u64 {
+            req + 1
+        }
+    }
+
+    fn servers(n: usize) -> Vec<Arc<AddOne>> {
+        (0..n).map(|_| Arc::new(AddOne)).collect()
+    }
+
+    #[test]
+    fn direct_transport_routes_and_counts() {
+        let reg = StatsRegistry::new();
+        let t = DirectTransport::new(
+            servers(3),
+            NetworkModel::new(NetConfig::default(), reg.clone()),
+            reg.clone(),
+        );
+        assert_eq!(t.num_servers(), 3);
+        assert_eq!(t.call(0, 41).unwrap(), 42);
+        assert_eq!(t.call(2, 1).unwrap(), 2);
+        assert!(t.call(7, 1).is_err());
+        assert_eq!(reg.counter("rpc.calls").get(), 2);
+        let per = t.per_server_request_counts();
+        assert_eq!(per, vec![1, 0, 1]);
+    }
+
+    #[test]
+    fn threaded_transport_routes_and_counts() {
+        let reg = StatsRegistry::new();
+        let t = ThreadedTransport::new(
+            servers(2),
+            2,
+            NetworkModel::new(NetConfig::default(), reg.clone()),
+            reg.clone(),
+        );
+        assert_eq!(t.num_servers(), 2);
+        for i in 0..100u64 {
+            assert_eq!(t.call((i % 2) as usize, i).unwrap(), i + 1);
+        }
+        assert!(t.call(9, 1).is_err());
+        assert_eq!(reg.counter("rpc.calls").get(), 100);
+        let per = t.per_server_request_counts();
+        assert_eq!(per.iter().sum::<u64>(), 100);
+    }
+
+    #[test]
+    fn threaded_transport_concurrent_clients() {
+        let reg = StatsRegistry::new();
+        let t = Arc::new(ThreadedTransport::new(
+            servers(4),
+            2,
+            NetworkModel::new(NetConfig::default(), reg.clone()),
+            reg.clone(),
+        ));
+        let mut handles = Vec::new();
+        for c in 0..8u64 {
+            let t = Arc::clone(&t);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200u64 {
+                    let v = c * 1000 + i;
+                    assert_eq!(t.call((v % 4) as usize, v).unwrap(), v + 1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(reg.counter("rpc.calls").get(), 1600);
+    }
+}

@@ -1,0 +1,335 @@
+//! Abstract syntax tree for the supported SQL subset.
+
+use crate::types::{ColumnType, Value};
+
+/// A parsed SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `CREATE TABLE name (col type [constraints], ...)`
+    CreateTable(CreateTable),
+    /// `CREATE [UNIQUE] INDEX name ON table (col, ...)`
+    CreateIndex(CreateIndex),
+    /// `DROP TABLE name`
+    DropTable {
+        /// Table to drop.
+        name: String,
+        /// Do not error if it does not exist.
+        if_exists: bool,
+    },
+    /// `INSERT INTO table [(cols)] VALUES (...), (...)`
+    Insert(Insert),
+    /// `SELECT ...`
+    Select(Select),
+    /// `UPDATE table SET col = expr, ... [WHERE ...]`
+    Update(Update),
+    /// `DELETE FROM table [WHERE ...]`
+    Delete(Delete),
+    /// `BEGIN [TRANSACTION]`
+    Begin,
+    /// `COMMIT`
+    Commit,
+    /// `ROLLBACK`
+    Rollback,
+}
+
+/// Column definition in `CREATE TABLE`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnDef {
+    /// Column name.
+    pub name: String,
+    /// Declared type.
+    pub ctype: ColumnType,
+    /// `PRIMARY KEY` was declared on this column.
+    pub primary_key: bool,
+    /// `NOT NULL` was declared.
+    pub not_null: bool,
+    /// `UNIQUE` was declared.
+    pub unique: bool,
+}
+
+/// `CREATE TABLE` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateTable {
+    /// Table name.
+    pub name: String,
+    /// Column definitions.
+    pub columns: Vec<ColumnDef>,
+    /// `IF NOT EXISTS` was given.
+    pub if_not_exists: bool,
+}
+
+/// `CREATE INDEX` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateIndex {
+    /// Index name.
+    pub name: String,
+    /// Table the index is on.
+    pub table: String,
+    /// Indexed columns, in order.
+    pub columns: Vec<String>,
+    /// `UNIQUE` index.
+    pub unique: bool,
+    /// `IF NOT EXISTS` was given.
+    pub if_not_exists: bool,
+}
+
+/// `INSERT` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Insert {
+    /// Target table.
+    pub table: String,
+    /// Explicit column list (empty = all columns in schema order).
+    pub columns: Vec<String>,
+    /// Rows of value expressions.
+    pub rows: Vec<Vec<Expr>>,
+}
+
+/// A term in the SELECT projection list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// An expression with an optional alias.
+    Expr {
+        /// The expression.
+        expr: Expr,
+        /// `AS alias`.
+        alias: Option<String>,
+    },
+}
+
+/// A table reference in FROM.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    /// Table name.
+    pub name: String,
+    /// Optional alias.
+    pub alias: Option<String>,
+}
+
+/// FROM clause: a base table plus zero or more inner joins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FromClause {
+    /// First table.
+    pub base: TableRef,
+    /// `JOIN table ON cond` clauses, applied left to right.
+    pub joins: Vec<Join>,
+}
+
+/// One join.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Join {
+    /// Joined table.
+    pub table: TableRef,
+    /// Join condition (`ON ...`); `None` for a cross join.
+    pub on: Option<Expr>,
+}
+
+/// One ORDER BY key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderKey {
+    /// Sort expression.
+    pub expr: Expr,
+    /// Descending order.
+    pub desc: bool,
+}
+
+/// `SELECT` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Select {
+    /// Projection list.
+    pub items: Vec<SelectItem>,
+    /// FROM clause; `None` for expression-only selects (`SELECT 1+1`).
+    pub from: Option<FromClause>,
+    /// WHERE predicate.
+    pub where_clause: Option<Expr>,
+    /// GROUP BY expressions.
+    pub group_by: Vec<Expr>,
+    /// ORDER BY keys.
+    pub order_by: Vec<OrderKey>,
+    /// LIMIT.
+    pub limit: Option<u64>,
+    /// OFFSET.
+    pub offset: Option<u64>,
+    /// DISTINCT.
+    pub distinct: bool,
+}
+
+/// `UPDATE` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Update {
+    /// Target table.
+    pub table: String,
+    /// `SET column = expr` assignments.
+    pub assignments: Vec<(String, Expr)>,
+    /// WHERE predicate.
+    pub where_clause: Option<Expr>,
+}
+
+/// `DELETE` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delete {
+    /// Target table.
+    pub table: String,
+    /// WHERE predicate.
+    pub where_clause: Option<Expr>,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `||`
+    Concat,
+    /// `LIKE`
+    Like,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A literal value.
+    Literal(Value),
+    /// A column reference, optionally qualified by table name or alias.
+    Column {
+        /// Table qualifier.
+        table: Option<String>,
+        /// Column name.
+        name: String,
+    },
+    /// A positional parameter (`?`), 0-based.
+    Param(usize),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Unary minus.
+    Neg(Box<Expr>),
+    /// `NOT expr`.
+    Not(Box<Expr>),
+    /// `expr IS NULL` / `expr IS NOT NULL`.
+    IsNull {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// True for `IS NOT NULL`.
+        negated: bool,
+    },
+    /// `expr IN (v, v, ...)`.
+    InList {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Candidate values.
+        list: Vec<Expr>,
+        /// True for `NOT IN`.
+        negated: bool,
+    },
+    /// `expr BETWEEN low AND high`.
+    Between {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Lower bound (inclusive).
+        low: Box<Expr>,
+        /// Upper bound (inclusive).
+        high: Box<Expr>,
+        /// True for `NOT BETWEEN`.
+        negated: bool,
+    },
+    /// Function call (aggregates and a few scalar functions).
+    Function {
+        /// Function name, uppercased.
+        name: String,
+        /// Arguments (`COUNT(*)` has an empty list and `star = true`).
+        args: Vec<Expr>,
+        /// True for `COUNT(*)`.
+        star: bool,
+    },
+}
+
+impl Expr {
+    /// Convenience constructor for column references.
+    pub fn col(name: &str) -> Expr {
+        Expr::Column { table: None, name: name.to_string() }
+    }
+
+    /// Convenience constructor for integer literals.
+    pub fn int(v: i64) -> Expr {
+        Expr::Literal(Value::Int(v))
+    }
+
+    /// True if the expression contains an aggregate function call.
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            Expr::Function { name, .. } => {
+                matches!(name.as_str(), "COUNT" | "SUM" | "AVG" | "MIN" | "MAX")
+            }
+            Expr::Binary { left, right, .. } => {
+                left.contains_aggregate() || right.contains_aggregate()
+            }
+            Expr::Neg(e) | Expr::Not(e) => e.contains_aggregate(),
+            Expr::IsNull { expr, .. } => expr.contains_aggregate(),
+            Expr::InList { expr, list, .. } => {
+                expr.contains_aggregate() || list.iter().any(|e| e.contains_aggregate())
+            }
+            Expr::Between { expr, low, high, .. } => {
+                expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate()
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_detection() {
+        let agg = Expr::Function { name: "COUNT".into(), args: vec![], star: true };
+        assert!(agg.contains_aggregate());
+        let nested = Expr::Binary {
+            op: BinOp::Add,
+            left: Box::new(Expr::int(1)),
+            right: Box::new(agg),
+        };
+        assert!(nested.contains_aggregate());
+        assert!(!Expr::col("a").contains_aggregate());
+        let scalar_fn = Expr::Function { name: "LENGTH".into(), args: vec![Expr::col("a")], star: false };
+        assert!(!scalar_fn.contains_aggregate());
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(Expr::int(3), Expr::Literal(Value::Int(3)));
+        assert_eq!(Expr::col("x"), Expr::Column { table: None, name: "x".into() });
+    }
+}

@@ -1,0 +1,337 @@
+//! Expression evaluation.
+
+use std::cmp::Ordering;
+
+use yesquel_common::{Error, Result};
+
+use crate::ast::{BinOp, Expr};
+use crate::types::Value;
+
+/// The columns visible to an expression: `(table alias or name, column
+/// name)` for each slot of the current row.
+#[derive(Debug, Clone, Default)]
+pub struct ColumnLayout {
+    cols: Vec<(Option<String>, String)>,
+}
+
+impl ColumnLayout {
+    /// Creates an empty layout (expression-only SELECTs).
+    pub fn empty() -> Self {
+        ColumnLayout { cols: Vec::new() }
+    }
+
+    /// Creates a layout from `(qualifier, name)` pairs.
+    pub fn new(cols: Vec<(Option<String>, String)>) -> Self {
+        ColumnLayout { cols }
+    }
+
+    /// Appends another layout (used when joining tables).
+    pub fn extend(&mut self, other: &ColumnLayout) {
+        self.cols.extend(other.cols.iter().cloned());
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// True if there are no slots.
+    pub fn is_empty(&self) -> bool {
+        self.cols.is_empty()
+    }
+
+    /// Column names, unqualified (for result headers).
+    pub fn names(&self) -> Vec<String> {
+        self.cols.iter().map(|(_, n)| n.clone()).collect()
+    }
+
+    /// Resolves a (possibly qualified) column reference to a slot.
+    pub fn resolve(&self, table: Option<&str>, name: &str) -> Result<usize> {
+        let mut matches = self.cols.iter().enumerate().filter(|(_, (q, n))| {
+            n.eq_ignore_ascii_case(name)
+                && match (table, q) {
+                    (None, _) => true,
+                    (Some(t), Some(q)) => q.eq_ignore_ascii_case(t),
+                    (Some(_), None) => false,
+                }
+        });
+        match (matches.next(), matches.next()) {
+            (Some((i, _)), None) => Ok(i),
+            (Some(_), Some(_)) => Err(Error::Schema(format!("ambiguous column name: {name}"))),
+            (None, _) => Err(Error::Schema(format!(
+                "no such column: {}{name}",
+                table.map(|t| format!("{t}.")).unwrap_or_default()
+            ))),
+        }
+    }
+}
+
+/// Evaluation context: the column layout, the current row, and statement
+/// parameters.
+pub struct EvalCtx<'a> {
+    /// Column layout of `row`.
+    pub layout: &'a ColumnLayout,
+    /// Current row values.
+    pub row: &'a [Value],
+    /// Positional parameters bound to the statement.
+    pub params: &'a [Value],
+}
+
+impl EvalCtx<'_> {
+    /// Evaluates `expr` against this context.
+    pub fn eval(&self, expr: &Expr) -> Result<Value> {
+        match expr {
+            Expr::Literal(v) => Ok(v.clone()),
+            Expr::Param(i) => self
+                .params
+                .get(*i)
+                .cloned()
+                .ok_or_else(|| Error::InvalidArgument(format!("missing parameter ?{}", i + 1))),
+            Expr::Column { table, name } => {
+                let idx = self.layout.resolve(table.as_deref(), name)?;
+                Ok(self.row.get(idx).cloned().unwrap_or(Value::Null))
+            }
+            Expr::Neg(e) => {
+                let v = self.eval(e)?;
+                if v.is_null() {
+                    return Ok(Value::Null);
+                }
+                match v {
+                    Value::Int(i) => Ok(Value::Int(-i)),
+                    other => Ok(Value::Real(-other.as_real()?)),
+                }
+            }
+            Expr::Not(e) => {
+                let v = self.eval(e)?;
+                if v.is_null() {
+                    Ok(Value::Null)
+                } else {
+                    Ok(Value::Int(i64::from(!v.is_truthy())))
+                }
+            }
+            Expr::IsNull { expr, negated } => {
+                let v = self.eval(expr)?;
+                Ok(Value::Int(i64::from(v.is_null() != *negated)))
+            }
+            Expr::InList { expr, list, negated } => {
+                let v = self.eval(expr)?;
+                if v.is_null() {
+                    return Ok(Value::Null);
+                }
+                let mut found = false;
+                for item in list {
+                    let iv = self.eval(item)?;
+                    if v.compare(&iv) == Some(Ordering::Equal) {
+                        found = true;
+                        break;
+                    }
+                }
+                Ok(Value::Int(i64::from(found != *negated)))
+            }
+            Expr::Between { expr, low, high, negated } => {
+                let v = self.eval(expr)?;
+                let lo = self.eval(low)?;
+                let hi = self.eval(high)?;
+                if v.is_null() || lo.is_null() || hi.is_null() {
+                    return Ok(Value::Null);
+                }
+                let inside = v.compare(&lo) != Some(Ordering::Less)
+                    && v.compare(&hi) != Some(Ordering::Greater);
+                Ok(Value::Int(i64::from(inside != *negated)))
+            }
+            Expr::Binary { op, left, right } => self.eval_binary(*op, left, right),
+            Expr::Function { name, args, star } => self.eval_function(name, args, *star),
+        }
+    }
+
+    fn eval_binary(&self, op: BinOp, left: &Expr, right: &Expr) -> Result<Value> {
+        // Logical operators get SQL three-valued logic with short-circuiting.
+        if op == BinOp::And {
+            let l = self.eval(left)?;
+            if !l.is_null() && !l.is_truthy() {
+                return Ok(Value::Int(0));
+            }
+            let r = self.eval(right)?;
+            if !r.is_null() && !r.is_truthy() {
+                return Ok(Value::Int(0));
+            }
+            if l.is_null() || r.is_null() {
+                return Ok(Value::Null);
+            }
+            return Ok(Value::Int(1));
+        }
+        if op == BinOp::Or {
+            let l = self.eval(left)?;
+            if !l.is_null() && l.is_truthy() {
+                return Ok(Value::Int(1));
+            }
+            let r = self.eval(right)?;
+            if !r.is_null() && r.is_truthy() {
+                return Ok(Value::Int(1));
+            }
+            if l.is_null() || r.is_null() {
+                return Ok(Value::Null);
+            }
+            return Ok(Value::Int(0));
+        }
+
+        let l = self.eval(left)?;
+        let r = self.eval(right)?;
+        match op {
+            BinOp::Add => l.add(&r),
+            BinOp::Sub => l.sub(&r),
+            BinOp::Mul => l.mul(&r),
+            BinOp::Div => l.div(&r),
+            BinOp::Rem => l.rem(&r),
+            BinOp::Concat => l.concat(&r),
+            BinOp::Like => l.like(&r),
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                match l.compare(&r) {
+                    None => Ok(Value::Null),
+                    Some(ord) => {
+                        let b = match op {
+                            BinOp::Eq => ord == Ordering::Equal,
+                            BinOp::Ne => ord != Ordering::Equal,
+                            BinOp::Lt => ord == Ordering::Less,
+                            BinOp::Le => ord != Ordering::Greater,
+                            BinOp::Gt => ord == Ordering::Greater,
+                            BinOp::Ge => ord != Ordering::Less,
+                            _ => unreachable!(),
+                        };
+                        Ok(Value::Int(i64::from(b)))
+                    }
+                }
+            }
+            BinOp::And | BinOp::Or => unreachable!("handled above"),
+        }
+    }
+
+    fn eval_function(&self, name: &str, args: &[Expr], star: bool) -> Result<Value> {
+        if star {
+            return Err(Error::Unsupported(format!(
+                "{name}(*) is only valid as an aggregate in SELECT"
+            )));
+        }
+        let argv: Vec<Value> = args.iter().map(|a| self.eval(a)).collect::<Result<_>>()?;
+        match name {
+            "LENGTH" => match argv.first() {
+                Some(Value::Null) | None => Ok(Value::Null),
+                Some(v) => Ok(Value::Int(v.as_text()?.chars().count() as i64)),
+            },
+            "UPPER" => match argv.first() {
+                Some(Value::Null) | None => Ok(Value::Null),
+                Some(v) => Ok(Value::Text(v.as_text()?.to_uppercase())),
+            },
+            "LOWER" => match argv.first() {
+                Some(Value::Null) | None => Ok(Value::Null),
+                Some(v) => Ok(Value::Text(v.as_text()?.to_lowercase())),
+            },
+            "ABS" => match argv.first() {
+                Some(Value::Null) | None => Ok(Value::Null),
+                Some(Value::Int(i)) => Ok(Value::Int(i.abs())),
+                Some(v) => Ok(Value::Real(v.as_real()?.abs())),
+            },
+            "COALESCE" | "IFNULL" => {
+                for v in argv {
+                    if !v.is_null() {
+                        return Ok(v);
+                    }
+                }
+                Ok(Value::Null)
+            }
+            "COUNT" | "SUM" | "AVG" | "MIN" | "MAX" => Err(Error::Unsupported(format!(
+                "aggregate {name}() used where a scalar expression is required"
+            ))),
+            other => Err(Error::Unsupported(format!("unknown function {other}()"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::ast::{SelectItem, Statement};
+
+    fn eval_str(sql_expr: &str, layout: &ColumnLayout, row: &[Value]) -> Result<Value> {
+        let stmt = parse(&format!("SELECT {sql_expr}"))?;
+        let Statement::Select(sel) = stmt else { panic!("not a select") };
+        let SelectItem::Expr { expr, .. } = &sel.items[0] else { panic!("not an expr") };
+        EvalCtx { layout, row, params: &[] }.eval(expr)
+    }
+
+    #[test]
+    fn arithmetic_and_precedence() {
+        let l = ColumnLayout::empty();
+        assert_eq!(eval_str("1 + 2 * 3", &l, &[]).unwrap(), Value::Int(7));
+        assert_eq!(eval_str("(1 + 2) * 3", &l, &[]).unwrap(), Value::Int(9));
+        assert_eq!(eval_str("-5 + 2", &l, &[]).unwrap(), Value::Int(-3));
+        assert_eq!(eval_str("10 / 4", &l, &[]).unwrap(), Value::Int(2));
+        assert_eq!(eval_str("10.0 / 4", &l, &[]).unwrap(), Value::Real(2.5));
+        assert_eq!(eval_str("'a' || 'b' || 3", &l, &[]).unwrap(), Value::Text("ab3".into()));
+    }
+
+    #[test]
+    fn three_valued_logic() {
+        let l = ColumnLayout::empty();
+        assert_eq!(eval_str("NULL AND 1", &l, &[]).unwrap(), Value::Null);
+        assert_eq!(eval_str("NULL AND 0", &l, &[]).unwrap(), Value::Int(0));
+        assert_eq!(eval_str("NULL OR 1", &l, &[]).unwrap(), Value::Int(1));
+        assert_eq!(eval_str("NULL OR 0", &l, &[]).unwrap(), Value::Null);
+        assert_eq!(eval_str("NOT NULL", &l, &[]).unwrap(), Value::Null);
+        assert_eq!(eval_str("NULL IS NULL", &l, &[]).unwrap(), Value::Int(1));
+        assert_eq!(eval_str("1 IS NOT NULL", &l, &[]).unwrap(), Value::Int(1));
+        assert_eq!(eval_str("NULL = NULL", &l, &[]).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn comparisons_in_between() {
+        let l = ColumnLayout::empty();
+        assert_eq!(eval_str("2 BETWEEN 1 AND 3", &l, &[]).unwrap(), Value::Int(1));
+        assert_eq!(eval_str("5 NOT BETWEEN 1 AND 3", &l, &[]).unwrap(), Value::Int(1));
+        assert_eq!(eval_str("2 IN (1, 2, 3)", &l, &[]).unwrap(), Value::Int(1));
+        assert_eq!(eval_str("9 NOT IN (1, 2, 3)", &l, &[]).unwrap(), Value::Int(1));
+        assert_eq!(eval_str("'abc' LIKE 'a%'", &l, &[]).unwrap(), Value::Int(1));
+        assert_eq!(eval_str("'abc' NOT LIKE 'a%'", &l, &[]).unwrap(), Value::Int(0));
+    }
+
+    #[test]
+    fn column_resolution() {
+        let layout = ColumnLayout::new(vec![
+            (Some("u".into()), "id".into()),
+            (Some("u".into()), "name".into()),
+            (Some("o".into()), "id".into()),
+        ]);
+        let row = vec![Value::Int(1), Value::Text("alice".into()), Value::Int(9)];
+        assert_eq!(eval_str("name", &layout, &row).unwrap(), Value::Text("alice".into()));
+        assert_eq!(eval_str("u.id", &layout, &row).unwrap(), Value::Int(1));
+        assert_eq!(eval_str("o.id", &layout, &row).unwrap(), Value::Int(9));
+        // Unqualified ambiguous reference errors.
+        assert!(eval_str("id", &layout, &row).is_err());
+        assert!(eval_str("nope", &layout, &row).is_err());
+    }
+
+    #[test]
+    fn scalar_functions() {
+        let l = ColumnLayout::empty();
+        assert_eq!(eval_str("LENGTH('hello')", &l, &[]).unwrap(), Value::Int(5));
+        assert_eq!(eval_str("UPPER('ab')", &l, &[]).unwrap(), Value::Text("AB".into()));
+        assert_eq!(eval_str("LOWER('AB')", &l, &[]).unwrap(), Value::Text("ab".into()));
+        assert_eq!(eval_str("ABS(-3)", &l, &[]).unwrap(), Value::Int(3));
+        assert_eq!(eval_str("COALESCE(NULL, NULL, 7)", &l, &[]).unwrap(), Value::Int(7));
+        assert_eq!(eval_str("IFNULL(NULL, 'x')", &l, &[]).unwrap(), Value::Text("x".into()));
+        assert!(eval_str("NOSUCHFUNC(1)", &l, &[]).is_err());
+    }
+
+    #[test]
+    fn params_bind() {
+        let l = ColumnLayout::empty();
+        let stmt = parse("SELECT ? + ?").unwrap();
+        let Statement::Select(sel) = stmt else { panic!() };
+        let SelectItem::Expr { expr, .. } = &sel.items[0] else { panic!() };
+        let ctx = EvalCtx { layout: &l, row: &[], params: &[Value::Int(2), Value::Int(40)] };
+        assert_eq!(ctx.eval(expr).unwrap(), Value::Int(42));
+        let ctx_missing = EvalCtx { layout: &l, row: &[], params: &[Value::Int(2)] };
+        assert!(ctx_missing.eval(expr).is_err());
+    }
+}

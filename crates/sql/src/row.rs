@@ -1,0 +1,225 @@
+//! Record and index-key encodings.
+//!
+//! * **Rows** are stored in a table's primary tree under the key
+//!   `order_encode_i64(rowid)`, with all column values serialized in schema
+//!   order.
+//! * **Index entries** are stored in the index's tree under an
+//!   order-preserving composite key of the indexed column values; for
+//!   non-unique indexes the rowid is appended to make the key unique, for
+//!   unique indexes the rowid is the entry's value instead.
+
+use yesquel_common::encoding::{
+    order_encode_bytes, order_encode_f64, order_encode_i64, Reader, Writer,
+};
+use yesquel_common::{Error, Result};
+
+use crate::types::Value;
+
+// Value tags in the row encoding.
+const T_NULL: u8 = 0;
+const T_INT: u8 = 1;
+const T_REAL: u8 = 2;
+const T_TEXT: u8 = 3;
+const T_BLOB: u8 = 4;
+
+/// Serializes a row (all column values in schema order).
+pub fn encode_row(values: &[Value]) -> Vec<u8> {
+    let mut w = Writer::with_capacity(16 + values.len() * 8);
+    w.uvarint(values.len() as u64);
+    for v in values {
+        match v {
+            Value::Null => {
+                w.u8(T_NULL);
+            }
+            Value::Int(i) => {
+                w.u8(T_INT);
+                w.i64(*i);
+            }
+            Value::Real(r) => {
+                w.u8(T_REAL);
+                w.f64(*r);
+            }
+            Value::Text(s) => {
+                w.u8(T_TEXT);
+                w.bytes(s.as_bytes());
+            }
+            Value::Blob(b) => {
+                w.u8(T_BLOB);
+                w.bytes(b);
+            }
+        }
+    }
+    w.finish()
+}
+
+/// Deserializes a row produced by [`encode_row`].
+pub fn decode_row(buf: &[u8]) -> Result<Vec<Value>> {
+    let mut r = Reader::new(buf);
+    let n = r.uvarint()? as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let v = match r.u8()? {
+            T_NULL => Value::Null,
+            T_INT => Value::Int(r.i64()?),
+            T_REAL => Value::Real(r.f64()?),
+            T_TEXT => Value::Text(
+                String::from_utf8(r.bytes()?.to_vec())
+                    .map_err(|_| Error::Corruption("invalid UTF-8 in text value".into()))?,
+            ),
+            T_BLOB => Value::Blob(r.bytes()?.to_vec()),
+            t => return Err(Error::Corruption(format!("bad value tag {t}"))),
+        };
+        out.push(v);
+    }
+    Ok(out)
+}
+
+/// Encodes a rowid as the primary-tree key.
+pub fn encode_rowid_key(rowid: i64) -> Vec<u8> {
+    order_encode_i64(rowid).to_vec()
+}
+
+/// Decodes a primary-tree key back into a rowid.
+pub fn decode_rowid_key(key: &[u8]) -> Result<i64> {
+    yesquel_common::encoding::order_decode_i64(key)
+}
+
+// Class tags for the order-preserving index-key encoding.  They follow SQL's
+// cross-class ordering: NULL < numbers < text < blob (integers and reals are
+// kept in separate classes; values are coerced to the column's declared type
+// before indexing, so one column's entries share a class).
+const K_NULL: u8 = 0x10;
+const K_INT: u8 = 0x20;
+const K_REAL: u8 = 0x28;
+const K_TEXT: u8 = 0x30;
+const K_BLOB: u8 = 0x40;
+
+/// Appends one value to an order-preserving composite key.
+pub fn encode_index_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => out.push(K_NULL),
+        Value::Int(i) => {
+            out.push(K_INT);
+            out.extend_from_slice(&order_encode_i64(*i));
+        }
+        Value::Real(r) => {
+            out.push(K_REAL);
+            out.extend_from_slice(&order_encode_f64(*r));
+        }
+        Value::Text(s) => {
+            out.push(K_TEXT);
+            order_encode_bytes(out, s.as_bytes());
+        }
+        Value::Blob(b) => {
+            out.push(K_BLOB);
+            order_encode_bytes(out, b);
+        }
+    }
+}
+
+/// Builds the key of an index entry: the indexed values in order, optionally
+/// followed by the rowid (for non-unique indexes).
+pub fn encode_index_key(values: &[Value], rowid: Option<i64>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 10 + 9);
+    for v in values {
+        encode_index_value(&mut out, v);
+    }
+    if let Some(r) = rowid {
+        out.push(K_INT);
+        out.extend_from_slice(&order_encode_i64(r));
+    }
+    out
+}
+
+/// Builds the smallest possible key with the given prefix values (used as a
+/// range-scan lower bound).
+pub fn index_prefix(values: &[Value]) -> Vec<u8> {
+    encode_index_key(values, None)
+}
+
+/// Returns the smallest byte string strictly greater than every key that
+/// starts with `prefix` (used as a range-scan upper bound).  `None` means
+/// "unbounded" (the prefix was all `0xff`, which cannot happen for our
+/// encodings but is handled anyway).
+pub fn prefix_upper_bound(prefix: &[u8]) -> Option<Vec<u8>> {
+    let mut out = prefix.to_vec();
+    while let Some(last) = out.last_mut() {
+        if *last < 0xff {
+            *last += 1;
+            return Some(out);
+        }
+        out.pop();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_roundtrip() {
+        let row = vec![
+            Value::Null,
+            Value::Int(-42),
+            Value::Real(2.5),
+            Value::Text("héllo".into()),
+            Value::Blob(vec![0, 1, 255]),
+        ];
+        let buf = encode_row(&row);
+        assert_eq!(decode_row(&buf).unwrap(), row);
+        assert!(decode_row(&buf[..buf.len() - 1]).is_err());
+        assert!(decode_row(&[9, 9]).is_err());
+    }
+
+    #[test]
+    fn rowid_key_order_and_roundtrip() {
+        let keys: Vec<Vec<u8>> = [-5i64, -1, 0, 3, 1000].iter().map(|i| encode_rowid_key(*i)).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+        assert_eq!(decode_rowid_key(&encode_rowid_key(-77)).unwrap(), -77);
+    }
+
+    #[test]
+    fn index_key_ordering_within_class() {
+        let k = |v: Value| encode_index_key(&[v], None);
+        assert!(k(Value::Int(1)) < k(Value::Int(2)));
+        assert!(k(Value::Int(-10)) < k(Value::Int(0)));
+        assert!(k(Value::Text("abc".into())) < k(Value::Text("abd".into())));
+        assert!(k(Value::Text("ab".into())) < k(Value::Text("abc".into())));
+        assert!(k(Value::Real(1.5)) < k(Value::Real(2.0)));
+        // Cross-class ordering: NULL < int < real-class < text < blob.
+        assert!(k(Value::Null) < k(Value::Int(i64::MIN)));
+        assert!(k(Value::Int(5)) < k(Value::Text("0".into())));
+        assert!(k(Value::Text("zzz".into())) < k(Value::Blob(vec![0])));
+    }
+
+    #[test]
+    fn composite_keys_and_rowid_suffix() {
+        let a = encode_index_key(&[Value::Text("alice".into()), Value::Int(1)], Some(10));
+        let b = encode_index_key(&[Value::Text("alice".into()), Value::Int(1)], Some(11));
+        let c = encode_index_key(&[Value::Text("alice".into()), Value::Int(2)], Some(5));
+        let d = encode_index_key(&[Value::Text("bob".into()), Value::Int(0)], Some(1));
+        assert!(a < b && b < c && c < d);
+    }
+
+    #[test]
+    fn prefix_scan_bounds_cover_exactly_the_prefix() {
+        let prefix = index_prefix(&[Value::Text("alice".into())]);
+        let upper = prefix_upper_bound(&prefix).unwrap();
+        let inside = encode_index_key(&[Value::Text("alice".into())], Some(42));
+        let after = encode_index_key(&[Value::Text("alicf".into())], Some(0));
+        let before = encode_index_key(&[Value::Text("alicd".into())], Some(999));
+        assert!(prefix <= inside && inside < upper);
+        assert!(after >= upper);
+        assert!(before < prefix);
+    }
+
+    #[test]
+    fn prefix_upper_bound_edge_cases() {
+        assert_eq!(prefix_upper_bound(&[1, 2, 3]), Some(vec![1, 2, 4]));
+        assert_eq!(prefix_upper_bound(&[1, 0xff]), Some(vec![2]));
+        assert_eq!(prefix_upper_bound(&[0xff, 0xff]), None);
+    }
+}

@@ -1,0 +1,323 @@
+//! SQL tokenizer.
+
+use yesquel_common::{Error, Result};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier (unquoted identifiers are uppercased keywords
+    /// only when they match one; the parser compares case-insensitively).
+    Ident(String),
+    /// Double-quoted or backquoted identifier (never treated as a keyword).
+    QuotedIdent(String),
+    /// String literal.
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating literal.
+    Float(f64),
+    /// Punctuation and operators.
+    Symbol(Symbol),
+}
+
+/// Operator and punctuation tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Symbol {
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `;`
+    Semicolon,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `=` or `==`
+    Eq,
+    /// `!=` or `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `.`
+    Dot,
+    /// `||`
+    Concat,
+    /// `?` positional parameter
+    Question,
+}
+
+impl Token {
+    /// True if this token is the given keyword (case-insensitive).
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenizes `sql`, returning the token list.
+pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
+    let bytes = sql.as_bytes();
+    let mut i = 0usize;
+    let mut out = Vec::new();
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                // Line comment.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                out.push(Token::Symbol(Symbol::LParen));
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::Symbol(Symbol::RParen));
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Symbol(Symbol::Comma));
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Symbol(Symbol::Semicolon));
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Symbol(Symbol::Star));
+                i += 1;
+            }
+            '+' => {
+                out.push(Token::Symbol(Symbol::Plus));
+                i += 1;
+            }
+            '-' => {
+                out.push(Token::Symbol(Symbol::Minus));
+                i += 1;
+            }
+            '/' => {
+                out.push(Token::Symbol(Symbol::Slash));
+                i += 1;
+            }
+            '%' => {
+                out.push(Token::Symbol(Symbol::Percent));
+                i += 1;
+            }
+            '.' => {
+                out.push(Token::Symbol(Symbol::Dot));
+                i += 1;
+            }
+            '?' => {
+                out.push(Token::Symbol(Symbol::Question));
+                i += 1;
+            }
+            '|' => {
+                if bytes.get(i + 1) == Some(&b'|') {
+                    out.push(Token::Symbol(Symbol::Concat));
+                    i += 2;
+                } else {
+                    return Err(Error::Parse("unexpected '|'".into()));
+                }
+            }
+            '=' => {
+                out.push(Token::Symbol(Symbol::Eq));
+                i += if bytes.get(i + 1) == Some(&b'=') { 2 } else { 1 };
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Symbol(Symbol::Ne));
+                    i += 2;
+                } else {
+                    return Err(Error::Parse("unexpected '!'".into()));
+                }
+            }
+            '<' => match bytes.get(i + 1) {
+                Some(&b'=') => {
+                    out.push(Token::Symbol(Symbol::Le));
+                    i += 2;
+                }
+                Some(&b'>') => {
+                    out.push(Token::Symbol(Symbol::Ne));
+                    i += 2;
+                }
+                _ => {
+                    out.push(Token::Symbol(Symbol::Lt));
+                    i += 1;
+                }
+            },
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Symbol(Symbol::Ge));
+                    i += 2;
+                } else {
+                    out.push(Token::Symbol(Symbol::Gt));
+                    i += 1;
+                }
+            }
+            '\'' => {
+                // String literal with '' escaping.
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    if i >= bytes.len() {
+                        return Err(Error::Parse("unterminated string literal".into()));
+                    }
+                    if bytes[i] == b'\'' {
+                        if bytes.get(i + 1) == Some(&b'\'') {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        s.push(bytes[i] as char);
+                        i += 1;
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            '"' | '`' => {
+                let quote = bytes[i];
+                let mut s = String::new();
+                i += 1;
+                while i < bytes.len() && bytes[i] != quote {
+                    s.push(bytes[i] as char);
+                    i += 1;
+                }
+                if i >= bytes.len() {
+                    return Err(Error::Parse("unterminated quoted identifier".into()));
+                }
+                i += 1;
+                out.push(Token::QuotedIdent(s));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut is_float = false;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit()
+                        || bytes[i] == b'.'
+                        || bytes[i] == b'e'
+                        || bytes[i] == b'E'
+                        || ((bytes[i] == b'+' || bytes[i] == b'-')
+                            && (bytes[i - 1] == b'e' || bytes[i - 1] == b'E')))
+                {
+                    if bytes[i] == b'.' || bytes[i] == b'e' || bytes[i] == b'E' {
+                        is_float = true;
+                    }
+                    i += 1;
+                }
+                let text = &sql[start..i];
+                if is_float {
+                    let v: f64 = text
+                        .parse()
+                        .map_err(|_| Error::Parse(format!("bad numeric literal '{text}'")))?;
+                    out.push(Token::Float(v));
+                } else {
+                    let v: i64 = text
+                        .parse()
+                        .map_err(|_| Error::Parse(format!("bad integer literal '{text}'")))?;
+                    out.push(Token::Int(v));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Token::Ident(sql[start..i].to_string()));
+            }
+            other => return Err(Error::Parse(format!("unexpected character '{other}'"))),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_statement() {
+        let toks = tokenize("SELECT a, b FROM t WHERE a >= 10;").unwrap();
+        assert!(toks[0].is_kw("select"));
+        assert_eq!(toks[1], Token::Ident("a".into()));
+        assert_eq!(toks[2], Token::Symbol(Symbol::Comma));
+        assert!(toks.contains(&Token::Symbol(Symbol::Ge)));
+        assert!(toks.contains(&Token::Int(10)));
+        assert_eq!(*toks.last().unwrap(), Token::Symbol(Symbol::Semicolon));
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        let toks = tokenize("INSERT INTO t VALUES ('it''s', \"col name\", 1.5e2)").unwrap();
+        assert!(toks.contains(&Token::Str("it's".into())));
+        assert!(toks.contains(&Token::QuotedIdent("col name".into())));
+        assert!(toks.contains(&Token::Float(150.0)));
+    }
+
+    #[test]
+    fn operators() {
+        let toks = tokenize("a <> b != c <= d >= e < f > g == h || i ? %").unwrap();
+        let syms: Vec<_> = toks
+            .iter()
+            .filter_map(|t| match t {
+                Token::Symbol(s) => Some(*s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            syms,
+            vec![
+                Symbol::Ne,
+                Symbol::Ne,
+                Symbol::Le,
+                Symbol::Ge,
+                Symbol::Lt,
+                Symbol::Gt,
+                Symbol::Eq,
+                Symbol::Concat,
+                Symbol::Question,
+                Symbol::Percent
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let toks = tokenize("SELECT 1 -- this is a comment\n + 2").unwrap();
+        assert_eq!(toks.len(), 4);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("SELECT 'unterminated").is_err());
+        assert!(tokenize("SELECT @x").is_err());
+        assert!(tokenize("a ! b").is_err());
+        assert!(tokenize("a | b").is_err());
+    }
+
+    #[test]
+    fn negative_numbers_are_minus_then_literal() {
+        let toks = tokenize("-5").unwrap();
+        assert_eq!(toks, vec![Token::Symbol(Symbol::Minus), Token::Int(5)]);
+    }
+}

@@ -1,0 +1,416 @@
+//! SQL values and column types.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use yesquel_common::{Error, Result};
+
+/// Declared type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnType {
+    /// 64-bit signed integer.
+    Integer,
+    /// 64-bit float.
+    Real,
+    /// UTF-8 string.
+    Text,
+    /// Arbitrary bytes.
+    Blob,
+}
+
+impl ColumnType {
+    /// Parses a SQL type name (liberally, like SQLite's type affinity).
+    pub fn from_name(name: &str) -> ColumnType {
+        let up = name.to_ascii_uppercase();
+        if up.contains("INT") {
+            ColumnType::Integer
+        } else if up.contains("CHAR") || up.contains("TEXT") || up.contains("CLOB") {
+            ColumnType::Text
+        } else if up.contains("BLOB") {
+            ColumnType::Blob
+        } else if up.contains("REAL") || up.contains("FLOA") || up.contains("DOUB") {
+            ColumnType::Real
+        } else {
+            ColumnType::Text
+        }
+    }
+
+    /// SQL name of the type.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ColumnType::Integer => "INTEGER",
+            ColumnType::Real => "REAL",
+            ColumnType::Text => "TEXT",
+            ColumnType::Blob => "BLOB",
+        }
+    }
+}
+
+/// A SQL value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// Integer.
+    Int(i64),
+    /// Floating point.
+    Real(f64),
+    /// Text.
+    Text(String),
+    /// Bytes.
+    Blob(Vec<u8>),
+}
+
+impl Value {
+    /// True if the value is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// SQL truthiness: NULL and zero are false, everything else true.
+    pub fn is_truthy(&self) -> bool {
+        match self {
+            Value::Null => false,
+            Value::Int(i) => *i != 0,
+            Value::Real(r) => *r != 0.0,
+            Value::Text(s) => !s.is_empty() && s != "0",
+            Value::Blob(b) => !b.is_empty(),
+        }
+    }
+
+    /// Returns the integer value, coercing reals and numeric text.
+    pub fn as_int(&self) -> Result<i64> {
+        match self {
+            Value::Int(i) => Ok(*i),
+            Value::Real(r) => Ok(*r as i64),
+            Value::Text(s) => {
+                s.trim().parse().map_err(|_| Error::Type(format!("'{s}' is not an integer")))
+            }
+            Value::Null => Err(Error::Type("NULL is not an integer".into())),
+            Value::Blob(_) => Err(Error::Type("blob is not an integer".into())),
+        }
+    }
+
+    /// Returns the float value, coercing integers and numeric text.
+    pub fn as_real(&self) -> Result<f64> {
+        match self {
+            Value::Int(i) => Ok(*i as f64),
+            Value::Real(r) => Ok(*r),
+            Value::Text(s) => {
+                s.trim().parse().map_err(|_| Error::Type(format!("'{s}' is not a number")))
+            }
+            Value::Null => Err(Error::Type("NULL is not a number".into())),
+            Value::Blob(_) => Err(Error::Type("blob is not a number".into())),
+        }
+    }
+
+    /// Returns the text value (numbers are formatted).
+    pub fn as_text(&self) -> Result<String> {
+        match self {
+            Value::Text(s) => Ok(s.clone()),
+            Value::Int(i) => Ok(i.to_string()),
+            Value::Real(r) => Ok(r.to_string()),
+            Value::Null => Err(Error::Type("NULL is not text".into())),
+            Value::Blob(b) => Ok(String::from_utf8_lossy(b).into_owned()),
+        }
+    }
+
+    /// Coerces the value to a column's declared type for storage (SQLite-
+    /// style soft typing: a failed coercion stores the value as given).
+    pub fn coerce(self, ty: ColumnType) -> Value {
+        match (ty, &self) {
+            (ColumnType::Integer, Value::Text(s)) => {
+                s.trim().parse::<i64>().map(Value::Int).unwrap_or(self)
+            }
+            (ColumnType::Integer, Value::Real(r)) if r.fract() == 0.0 => Value::Int(*r as i64),
+            (ColumnType::Real, Value::Int(i)) => Value::Real(*i as f64),
+            (ColumnType::Real, Value::Text(s)) => {
+                s.trim().parse::<f64>().map(Value::Real).unwrap_or(self)
+            }
+            (ColumnType::Text, Value::Int(i)) => Value::Text(i.to_string()),
+            (ColumnType::Text, Value::Real(r)) => Value::Text(r.to_string()),
+            _ => self,
+        }
+    }
+
+    /// Rank used to order values of different storage classes, as SQL does:
+    /// NULL < numbers < text < blob.
+    fn class_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Int(_) | Value::Real(_) => 1,
+            Value::Text(_) => 2,
+            Value::Blob(_) => 3,
+        }
+    }
+
+    /// Total ordering over values (used by ORDER BY, GROUP BY and index
+    /// keys): NULLs first, then numbers by numeric value, then text, then
+    /// blobs.
+    pub fn sort_cmp(&self, other: &Value) -> Ordering {
+        let (ra, rb) = (self.class_rank(), other.class_rank());
+        if ra != rb {
+            return ra.cmp(&rb);
+        }
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (a, b) if ra == 1 => {
+                let fa = a.as_real().unwrap_or(0.0);
+                let fb = b.as_real().unwrap_or(0.0);
+                fa.partial_cmp(&fb).unwrap_or(Ordering::Equal)
+            }
+            (Value::Text(a), Value::Text(b)) => a.cmp(b),
+            (Value::Blob(a), Value::Blob(b)) => a.cmp(b),
+            _ => Ordering::Equal,
+        }
+    }
+
+    /// SQL three-valued comparison: returns `None` if either side is NULL.
+    pub fn compare(&self, other: &Value) -> Option<Ordering> {
+        if self.is_null() || other.is_null() {
+            return None;
+        }
+        Some(self.sort_cmp(other))
+    }
+
+    /// SQL equality (`=`), NULL-propagating.
+    pub fn sql_eq(&self, other: &Value) -> Value {
+        match self.compare(other) {
+            None => Value::Null,
+            Some(Ordering::Equal) => Value::Int(1),
+            Some(_) => Value::Int(0),
+        }
+    }
+
+    /// Arithmetic addition with numeric coercion; NULL-propagating.
+    pub fn add(&self, other: &Value) -> Result<Value> {
+        numeric_binop(self, other, |a, b| a.checked_add(b), |a, b| a + b)
+    }
+
+    /// Subtraction.
+    pub fn sub(&self, other: &Value) -> Result<Value> {
+        numeric_binop(self, other, |a, b| a.checked_sub(b), |a, b| a - b)
+    }
+
+    /// Multiplication.
+    pub fn mul(&self, other: &Value) -> Result<Value> {
+        numeric_binop(self, other, |a, b| a.checked_mul(b), |a, b| a * b)
+    }
+
+    /// Division; division by zero yields NULL (SQLite semantics).
+    pub fn div(&self, other: &Value) -> Result<Value> {
+        if self.is_null() || other.is_null() {
+            return Ok(Value::Null);
+        }
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => {
+                if *b == 0 {
+                    Ok(Value::Null)
+                } else {
+                    Ok(Value::Int(a / b))
+                }
+            }
+            _ => {
+                let b = other.as_real()?;
+                if b == 0.0 {
+                    Ok(Value::Null)
+                } else {
+                    Ok(Value::Real(self.as_real()? / b))
+                }
+            }
+        }
+    }
+
+    /// Remainder; zero divisor yields NULL.
+    pub fn rem(&self, other: &Value) -> Result<Value> {
+        if self.is_null() || other.is_null() {
+            return Ok(Value::Null);
+        }
+        let a = self.as_int()?;
+        let b = other.as_int()?;
+        if b == 0 {
+            Ok(Value::Null)
+        } else {
+            Ok(Value::Int(a % b))
+        }
+    }
+
+    /// String concatenation (`||`); NULL-propagating.
+    pub fn concat(&self, other: &Value) -> Result<Value> {
+        if self.is_null() || other.is_null() {
+            return Ok(Value::Null);
+        }
+        Ok(Value::Text(format!("{}{}", self.as_text()?, other.as_text()?)))
+    }
+
+    /// SQL `LIKE` with `%` and `_` wildcards, case-insensitive for ASCII.
+    pub fn like(&self, pattern: &Value) -> Result<Value> {
+        if self.is_null() || pattern.is_null() {
+            return Ok(Value::Null);
+        }
+        let text = self.as_text()?.to_ascii_lowercase();
+        let pat = pattern.as_text()?.to_ascii_lowercase();
+        Ok(Value::Int(like_match(text.as_bytes(), pat.as_bytes()) as i64))
+    }
+}
+
+fn numeric_binop(
+    a: &Value,
+    b: &Value,
+    int_op: impl Fn(i64, i64) -> Option<i64>,
+    real_op: impl Fn(f64, f64) -> f64,
+) -> Result<Value> {
+    if a.is_null() || b.is_null() {
+        return Ok(Value::Null);
+    }
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => match int_op(*x, *y) {
+            Some(v) => Ok(Value::Int(v)),
+            None => Ok(Value::Real(real_op(*x as f64, *y as f64))),
+        },
+        _ => Ok(Value::Real(real_op(a.as_real()?, b.as_real()?))),
+    }
+}
+
+/// Recursive `LIKE` matcher.
+fn like_match(text: &[u8], pat: &[u8]) -> bool {
+    match pat.first() {
+        None => text.is_empty(),
+        Some(b'%') => {
+            (0..=text.len()).any(|i| like_match(&text[i..], &pat[1..]))
+        }
+        Some(b'_') => !text.is_empty() && like_match(&text[1..], &pat[1..]),
+        Some(c) => text.first() == Some(c) && like_match(&text[1..], &pat[1..]),
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Real(r) => write!(f, "{r}"),
+            Value::Text(s) => write!(f, "{s}"),
+            Value::Blob(b) => write!(f, "x'{}'", b.iter().map(|c| format!("{c:02x}")).collect::<String>()),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Real(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+
+/// A row of values, as returned to applications.
+pub type Row = Vec<Value>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_type_affinity() {
+        assert_eq!(ColumnType::from_name("INTEGER"), ColumnType::Integer);
+        assert_eq!(ColumnType::from_name("int"), ColumnType::Integer);
+        assert_eq!(ColumnType::from_name("BIGINT"), ColumnType::Integer);
+        assert_eq!(ColumnType::from_name("VARCHAR(30)"), ColumnType::Text);
+        assert_eq!(ColumnType::from_name("TEXT"), ColumnType::Text);
+        assert_eq!(ColumnType::from_name("DOUBLE"), ColumnType::Real);
+        assert_eq!(ColumnType::from_name("BLOB"), ColumnType::Blob);
+        assert_eq!(ColumnType::Integer.name(), "INTEGER");
+    }
+
+    #[test]
+    fn null_propagation() {
+        assert_eq!(Value::Null.add(&Value::Int(1)).unwrap(), Value::Null);
+        assert_eq!(Value::Int(1).sql_eq(&Value::Null), Value::Null);
+        assert!(Value::Null.compare(&Value::Int(1)).is_none());
+        assert!(!Value::Null.is_truthy());
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(Value::Int(2).add(&Value::Int(3)).unwrap(), Value::Int(5));
+        assert_eq!(Value::Int(2).mul(&Value::Real(1.5)).unwrap(), Value::Real(3.0));
+        assert_eq!(Value::Int(7).div(&Value::Int(2)).unwrap(), Value::Int(3));
+        assert_eq!(Value::Int(7).div(&Value::Int(0)).unwrap(), Value::Null);
+        assert_eq!(Value::Int(7).rem(&Value::Int(4)).unwrap(), Value::Int(3));
+        assert_eq!(
+            Value::Int(i64::MAX).add(&Value::Int(1)).unwrap(),
+            Value::Real(i64::MAX as f64 + 1.0)
+        );
+        assert_eq!(
+            Value::Text("a".into()).concat(&Value::Int(3)).unwrap(),
+            Value::Text("a3".into())
+        );
+    }
+
+    #[test]
+    fn comparisons_and_sorting() {
+        assert_eq!(Value::Int(1).compare(&Value::Int(2)), Some(Ordering::Less));
+        assert_eq!(Value::Int(2).compare(&Value::Real(2.0)), Some(Ordering::Equal));
+        assert_eq!(
+            Value::Text("a".into()).compare(&Value::Text("b".into())),
+            Some(Ordering::Less)
+        );
+        // Cross-class ordering: numbers sort before text.
+        assert_eq!(Value::Int(99).sort_cmp(&Value::Text("1".into())), Ordering::Less);
+        assert_eq!(Value::Null.sort_cmp(&Value::Int(0)), Ordering::Less);
+        assert_eq!(Value::Int(1).sql_eq(&Value::Int(1)), Value::Int(1));
+        assert_eq!(Value::Int(1).sql_eq(&Value::Int(2)), Value::Int(0));
+    }
+
+    #[test]
+    fn coercion_on_store() {
+        assert_eq!(Value::Text("42".into()).coerce(ColumnType::Integer), Value::Int(42));
+        assert_eq!(Value::Text("x".into()).coerce(ColumnType::Integer), Value::Text("x".into()));
+        assert_eq!(Value::Int(3).coerce(ColumnType::Real), Value::Real(3.0));
+        assert_eq!(Value::Int(3).coerce(ColumnType::Text), Value::Text("3".into()));
+        assert_eq!(Value::Real(2.5).coerce(ColumnType::Integer), Value::Real(2.5));
+        assert_eq!(Value::Real(2.0).coerce(ColumnType::Integer), Value::Int(2));
+    }
+
+    #[test]
+    fn like_patterns() {
+        let t = |s: &str, p: &str| {
+            Value::Text(s.into()).like(&Value::Text(p.into())).unwrap() == Value::Int(1)
+        };
+        assert!(t("hello", "hello"));
+        assert!(t("hello", "he%"));
+        assert!(t("hello", "%llo"));
+        assert!(t("hello", "h_llo"));
+        assert!(t("HELLO", "hello"));
+        assert!(!t("hello", "h_y%"));
+        assert!(t("", "%"));
+        assert!(!t("abc", ""));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::Text(" 7 ".into()).as_int().unwrap(), 7);
+        assert!(Value::Text("abc".into()).as_int().is_err());
+        assert_eq!(Value::Int(3).as_text().unwrap(), "3");
+        assert_eq!(Value::from("x"), Value::Text("x".into()));
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(format!("{}", Value::Blob(vec![0xab])), "x'ab'");
+    }
+}

@@ -1,0 +1,126 @@
+//! Allocation of node object-ids.
+//!
+//! New tree nodes need fresh object ids.  Ids are drawn from a per-tree
+//! counter stored in the key-value store (via the non-transactional
+//! `Allocate` operation) and handed out locally in blocks, so allocating a
+//! node id almost never costs an RPC and never causes transactional
+//! conflicts.
+//!
+//! For load balancing, the allocator can also produce an id whose home
+//! server is a specific target: because placement is by hash, it simply
+//! draws ids until one maps to the requested server (a handful of draws in
+//! expectation).  This is how hot nodes get spread onto lightly-loaded
+//! servers after a load split.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use yesquel_common::ids::FIRST_NODE_OID;
+use yesquel_common::{Error, ObjectId, Oid, Result, ServerId, TreeId};
+use yesquel_kv::KvClient;
+
+/// Number of ids fetched from the store per RPC.
+const BLOCK_SIZE: u64 = 128;
+
+/// Block-caching allocator of node object ids; cheap to clone (clones share
+/// the local block cache).
+#[derive(Clone)]
+pub struct OidAllocator {
+    kv: KvClient,
+    blocks: Arc<Mutex<HashMap<TreeId, (u64, u64)>>>,
+}
+
+impl OidAllocator {
+    /// Creates an allocator backed by `kv`.
+    pub fn new(kv: KvClient) -> Self {
+        OidAllocator { kv, blocks: Arc::new(Mutex::new(HashMap::new())) }
+    }
+
+    /// Allocates one fresh object id in `tree`.
+    pub fn allocate(&self, tree: TreeId) -> Result<Oid> {
+        let mut g = self.blocks.lock();
+        let entry = g.entry(tree).or_insert((0, 0));
+        if entry.0 >= entry.1 {
+            let start = self.kv.allocate(ObjectId::meta(tree), BLOCK_SIZE)?;
+            *entry = (start, start + BLOCK_SIZE);
+        }
+        let raw = entry.0;
+        entry.0 += 1;
+        Ok(FIRST_NODE_OID + raw)
+    }
+
+    /// Allocates an object id in `tree` whose home server is `target`.
+    ///
+    /// Draws ids until one hashes to the target server; skipped ids are
+    /// simply never used (object ids are plentiful).
+    pub fn allocate_on_server(&self, tree: TreeId, target: ServerId) -> Result<Oid> {
+        let nservers = self.kv.num_servers();
+        if target >= nservers {
+            return Err(Error::InvalidArgument(format!(
+                "target server {target} out of range ({nservers} servers)"
+            )));
+        }
+        // With hash placement each draw hits the target with probability
+        // 1/nservers; bound the search generously.
+        let max_tries = 64 * nservers.max(1);
+        for _ in 0..max_tries {
+            let oid = self.allocate(tree)?;
+            if ObjectId::new(tree, oid).home_server(nservers) == target {
+                return Ok(oid);
+            }
+        }
+        // Extremely unlikely; fall back to any id rather than failing the
+        // split.
+        self.allocate(tree)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use yesquel_kv::KvDatabase;
+
+    #[test]
+    fn ids_are_unique_and_start_after_reserved() {
+        let db = KvDatabase::with_servers(2);
+        let alloc = OidAllocator::new(db.client());
+        let mut seen = HashSet::new();
+        for _ in 0..500 {
+            let oid = alloc.allocate(7).unwrap();
+            assert!(oid >= FIRST_NODE_OID);
+            assert!(seen.insert(oid), "duplicate oid {oid}");
+        }
+    }
+
+    #[test]
+    fn clones_share_block() {
+        let db = KvDatabase::with_servers(2);
+        let alloc = OidAllocator::new(db.client());
+        let alloc2 = alloc.clone();
+        let a = alloc.allocate(1).unwrap();
+        let b = alloc2.allocate(1).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn trees_have_independent_counters() {
+        let db = KvDatabase::with_servers(2);
+        let alloc = OidAllocator::new(db.client());
+        let a = alloc.allocate(1).unwrap();
+        let b = alloc.allocate(2).unwrap();
+        assert_eq!(a, b, "different trees should start from the same base");
+    }
+
+    #[test]
+    fn allocate_on_server_targets_placement() {
+        let db = KvDatabase::with_servers(4);
+        let alloc = OidAllocator::new(db.client());
+        for target in 0..4 {
+            let oid = alloc.allocate_on_server(3, target).unwrap();
+            assert_eq!(ObjectId::new(3, oid).home_server(4), target);
+        }
+        assert!(alloc.allocate_on_server(3, 99).is_err());
+    }
+}

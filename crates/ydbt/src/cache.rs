@@ -1,0 +1,145 @@
+//! Client-side cache of inner nodes.
+//!
+//! Each Yesquel client caches the inner nodes of the trees it uses, so that
+//! a warm lookup needs to fetch only the leaf (one RPC) instead of walking
+//! the whole tree through the root.  Without this cache the server holding
+//! the root becomes a bottleneck — the "no caching" ablation (F4 in
+//! DESIGN.md) demonstrates exactly that.
+//!
+//! Cache entries can be stale: splits performed by other clients change the
+//! tree underneath the cache.  Staleness is *detected*, not prevented: every
+//! node carries its fence interval, and a search that lands on a node whose
+//! interval does not contain the key invalidates the offending entries and
+//! backs up (see `tree.rs`).
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+use yesquel_common::stats::StatsRegistry;
+use yesquel_common::{Oid, TreeId};
+
+use crate::node::InnerNode;
+
+/// Default bound on cached entries; when exceeded the cache is cleared
+/// (inner nodes are tiny, so this is generous, and clearing is always safe —
+/// the cache is only a performance hint).
+const DEFAULT_MAX_ENTRIES: usize = 262_144;
+
+/// A shared cache of inner nodes, keyed by `(tree, oid)`.
+pub struct NodeCache {
+    map: Mutex<HashMap<(TreeId, Oid), InnerNode>>,
+    max_entries: usize,
+    stats: StatsRegistry,
+}
+
+impl NodeCache {
+    /// Creates an empty cache reporting into `stats`.
+    pub fn new(stats: StatsRegistry) -> Self {
+        Self::with_capacity(DEFAULT_MAX_ENTRIES, stats)
+    }
+
+    /// Creates an empty cache with an explicit entry bound.
+    pub fn with_capacity(max_entries: usize, stats: StatsRegistry) -> Self {
+        NodeCache { map: Mutex::new(HashMap::new()), max_entries: max_entries.max(16), stats }
+    }
+
+    /// Returns a clone of the cached inner node, if present.
+    pub fn get(&self, tree: TreeId, oid: Oid) -> Option<InnerNode> {
+        let g = self.map.lock();
+        match g.get(&(tree, oid)) {
+            Some(n) => {
+                self.stats.counter("dbt.cache_hits").inc();
+                Some(n.clone())
+            }
+            None => {
+                self.stats.counter("dbt.cache_misses").inc();
+                None
+            }
+        }
+    }
+
+    /// Inserts or refreshes an entry.
+    pub fn put(&self, tree: TreeId, oid: Oid, node: InnerNode) {
+        let mut g = self.map.lock();
+        if g.len() >= self.max_entries {
+            // Inner nodes are re-fetched lazily, so wholesale clearing is
+            // safe and keeps the eviction policy trivial.
+            g.clear();
+            self.stats.counter("dbt.cache_evictions").inc();
+        }
+        g.insert((tree, oid), node);
+    }
+
+    /// Removes one entry (after a fence miss showed it was stale).
+    pub fn invalidate(&self, tree: TreeId, oid: Oid) {
+        self.map.lock().remove(&(tree, oid));
+        self.stats.counter("dbt.cache_invalidations").inc();
+    }
+
+    /// Removes every entry of one tree (used when a tree is dropped).
+    pub fn invalidate_tree(&self, tree: TreeId) {
+        self.map.lock().retain(|(t, _), _| *t != tree);
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.lock().len()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::Bound;
+
+    fn inner(children: Vec<Oid>) -> InnerNode {
+        InnerNode {
+            lower: Bound::NegInf,
+            upper: Bound::PosInf,
+            keys: vec![b"m".to_vec(); children.len().saturating_sub(1)],
+            children,
+            height: 1,
+        }
+    }
+
+    #[test]
+    fn put_get_invalidate() {
+        let stats = StatsRegistry::new();
+        let c = NodeCache::new(stats.clone());
+        assert!(c.get(1, 0).is_none());
+        c.put(1, 0, inner(vec![5, 6]));
+        assert!(c.get(1, 0).is_some());
+        assert_eq!(c.len(), 1);
+        c.invalidate(1, 0);
+        assert!(c.get(1, 0).is_none());
+        assert_eq!(stats.counter("dbt.cache_hits").get(), 1);
+        assert_eq!(stats.counter("dbt.cache_misses").get(), 2);
+        assert_eq!(stats.counter("dbt.cache_invalidations").get(), 1);
+    }
+
+    #[test]
+    fn invalidate_tree_scoped() {
+        let c = NodeCache::new(StatsRegistry::new());
+        c.put(1, 0, inner(vec![5, 6]));
+        c.put(2, 0, inner(vec![7, 8]));
+        c.invalidate_tree(1);
+        assert!(c.get(1, 0).is_none());
+        assert!(c.get(2, 0).is_some());
+    }
+
+    #[test]
+    fn capacity_bound_clears() {
+        let stats = StatsRegistry::new();
+        let c = NodeCache::with_capacity(16, stats.clone());
+        for oid in 0..40u64 {
+            c.put(1, oid, inner(vec![oid + 100, oid + 200]));
+        }
+        assert!(c.len() <= 17);
+        assert!(stats.counter("dbt.cache_evictions").get() >= 1);
+    }
+}

@@ -1,0 +1,205 @@
+//! The DBT engine: per-client state shared by all trees the client uses.
+//!
+//! In the paper's architecture every client process links the storage-engine
+//! library; the engine here is that library's state: the key-value client,
+//! the cache of inner nodes, the load tracker, the node-id allocator and
+//! (when splits are delegated) the background splitter task.
+
+use std::sync::Arc;
+
+use yesquel_common::ids::ROOT_OID;
+use yesquel_common::stats::StatsRegistry;
+use yesquel_common::{DbtConfig, Error, ObjectId, Result, TreeId};
+use yesquel_common::config::SplitMode;
+use yesquel_kv::KvClient;
+
+use crate::alloc::OidAllocator;
+use crate::cache::NodeCache;
+use crate::load::LoadTracker;
+use crate::node::{LeafNode, Node};
+use crate::split::{SplitContext, SplitRequest, Splitter};
+use crate::tree::Dbt;
+
+/// Per-client DBT engine.  Create one per client process (or one per test)
+/// and open any number of trees through it.
+pub struct DbtEngine {
+    kv: KvClient,
+    cfg: DbtConfig,
+    cache: Arc<NodeCache>,
+    load: Arc<LoadTracker>,
+    alloc: OidAllocator,
+    stats: StatsRegistry,
+    splitter: Option<Splitter>,
+}
+
+impl DbtEngine {
+    /// Creates an engine over an existing key-value client.
+    pub fn new(kv: KvClient, cfg: DbtConfig) -> Arc<DbtEngine> {
+        let stats = kv.stats().clone();
+        let cache = Arc::new(NodeCache::new(stats.clone()));
+        let load = Arc::new(LoadTracker::new(cfg.load_split_threshold));
+        let alloc = OidAllocator::new(kv.clone());
+        let splitter = if cfg.split_mode == SplitMode::Delegated {
+            Some(Splitter::spawn(SplitContext {
+                kv: kv.clone(),
+                cfg: cfg.clone(),
+                cache: Arc::clone(&cache),
+                load: Arc::clone(&load),
+                alloc: alloc.clone(),
+                stats: stats.clone(),
+            }))
+        } else {
+            None
+        };
+        Arc::new(DbtEngine { kv, cfg, cache, load, alloc, stats, splitter })
+    }
+
+    /// The key-value client this engine issues its operations through.
+    pub fn kv(&self) -> &KvClient {
+        &self.kv
+    }
+
+    /// The engine's DBT configuration.
+    pub fn config(&self) -> &DbtConfig {
+        &self.cfg
+    }
+
+    /// The statistics registry shared with the lower layers.
+    pub fn stats(&self) -> &StatsRegistry {
+        &self.stats
+    }
+
+    /// The client cache of inner nodes.
+    pub(crate) fn cache(&self) -> &NodeCache {
+        &self.cache
+    }
+
+    /// The load tracker used for load splits.
+    pub(crate) fn load(&self) -> &LoadTracker {
+        &self.load
+    }
+
+    /// Number of inner nodes currently cached (diagnostics).
+    pub fn cached_nodes(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Initialises `tree`: writes an empty root leaf.  Fails if the tree
+    /// already exists.
+    pub fn create_tree(&self, tree: TreeId) -> Result<()> {
+        let txn = self.kv.begin();
+        if txn.get(ObjectId::root(tree))?.is_some() {
+            txn.abort();
+            return Err(Error::InvalidArgument(format!("tree {tree} already exists")));
+        }
+        txn.put(ObjectId::root(tree), Node::Leaf(LeafNode::empty_root()).encode())?;
+        txn.commit()?;
+        Ok(())
+    }
+
+    /// Removes every node of `tree` reachable from its root, in its own
+    /// transaction.  (Unreachable nodes left behind by unfinished splits are
+    /// reclaimed by GC of their versions.)
+    pub fn drop_tree(&self, tree: TreeId) -> Result<()> {
+        let txn = self.kv.begin();
+        self.drop_tree_in_txn(&txn, tree)?;
+        txn.commit()?;
+        Ok(())
+    }
+
+    /// Removes every node of `tree` reachable from its root, as part of the
+    /// caller's transaction (used by `DROP TABLE`, which also removes the
+    /// catalog entry in the same transaction).
+    pub fn drop_tree_in_txn(&self, txn: &yesquel_kv::Txn, tree: TreeId) -> Result<()> {
+        // Walk the tree and delete every node.
+        let mut queue = vec![ROOT_OID];
+        while let Some(oid) = queue.pop() {
+            match crate::tree::fetch_node(txn, tree, oid)? {
+                Some(Node::Inner(inner)) => queue.extend(inner.children.iter().copied()),
+                Some(Node::Leaf(_)) | None => {}
+            }
+            txn.delete(ObjectId::new(tree, oid))?;
+        }
+        self.cache.invalidate_tree(tree);
+        Ok(())
+    }
+
+    /// Opens a handle to `tree`.  The tree must have been created (by this
+    /// client or any other) before operations are issued through the handle.
+    pub fn tree(self: &Arc<Self>, tree: TreeId) -> Dbt {
+        Dbt::new(Arc::clone(self), tree)
+    }
+
+    /// Builds the context handed to the split machinery.
+    pub(crate) fn split_ctx(&self) -> SplitContext {
+        SplitContext {
+            kv: self.kv.clone(),
+            cfg: self.cfg.clone(),
+            cache: Arc::clone(&self.cache),
+            load: Arc::clone(&self.load),
+            alloc: self.alloc.clone(),
+            stats: self.stats.clone(),
+        }
+    }
+
+    /// Routes a split request: enqueued to the splitter when delegated
+    /// splitting is active, otherwise ignored (the synchronous path splits
+    /// inline and never calls this).
+    pub(crate) fn request_split(&self, req: SplitRequest) {
+        if let Some(s) = &self.splitter {
+            s.request(req);
+            self.stats.counter("dbt.split_requests").inc();
+        }
+    }
+
+    /// Blocks until every queued delegated split has been processed.  Tests
+    /// and benchmark loaders call this to reach a quiescent tree before
+    /// measuring.
+    pub fn wait_for_splits(&self) {
+        if let Some(s) = &self.splitter {
+            s.wait_idle();
+        }
+    }
+
+    /// Number of delegated splits still queued (diagnostics).
+    pub fn pending_splits(&self) -> usize {
+        self.splitter.as_ref().map(|s| s.pending_count()).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yesquel_kv::KvDatabase;
+
+    #[test]
+    fn create_tree_twice_fails() {
+        let db = KvDatabase::with_servers(2);
+        let engine = DbtEngine::new(db.client(), DbtConfig::default());
+        engine.create_tree(5).unwrap();
+        assert!(engine.create_tree(5).is_err());
+    }
+
+    #[test]
+    fn engine_without_delegation_has_no_splitter() {
+        let db = KvDatabase::with_servers(1);
+        let engine = DbtEngine::new(db.client(), DbtConfig::ablation_sync_splits());
+        assert_eq!(engine.pending_splits(), 0);
+        engine.wait_for_splits(); // no-op
+    }
+
+    #[test]
+    fn drop_tree_removes_nodes() {
+        let db = KvDatabase::with_servers(2);
+        let engine = DbtEngine::new(db.client(), DbtConfig::default());
+        engine.create_tree(9).unwrap();
+        let objects_before = db.total_objects();
+        engine.drop_tree(9).unwrap();
+        // The root's tombstone means the object may still exist as versions,
+        // but a fresh read must see nothing.
+        let txn = db.client().begin();
+        assert!(txn.get(ObjectId::root(9)).unwrap().is_none());
+        txn.commit().unwrap();
+        assert!(db.total_objects() >= objects_before);
+    }
+}

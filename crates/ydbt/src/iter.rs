@@ -1,0 +1,98 @@
+//! Forward range scans over a tree.
+//!
+//! A cursor walks a leaf's cells and then follows the leaf's right-sibling
+//! pointer, fetching the next leaf through the same transaction; the whole
+//! scan therefore observes one consistent snapshot, including the
+//! transaction's own uncommitted writes (which live in re-written leaf
+//! nodes inside the transaction's write buffer).
+
+use bytes::Bytes;
+use yesquel_common::stats::StatsRegistry;
+use yesquel_common::{Error, Result, TreeId};
+use yesquel_kv::Txn;
+
+use crate::node::{LeafNode, Node};
+use crate::tree::fetch_node;
+
+/// A forward cursor over `[start, end)` of one tree.
+pub struct DbtCursor<'a> {
+    txn: &'a Txn,
+    tree: TreeId,
+    leaf: Option<LeafNode>,
+    idx: usize,
+    end: Option<Vec<u8>>,
+    stats: StatsRegistry,
+}
+
+impl<'a> DbtCursor<'a> {
+    pub(crate) fn new(
+        txn: &'a Txn,
+        tree: TreeId,
+        leaf: LeafNode,
+        idx: usize,
+        end: Option<Vec<u8>>,
+        stats: StatsRegistry,
+    ) -> Self {
+        DbtCursor { txn, tree, leaf: Some(leaf), idx, end, stats }
+    }
+
+    fn advance_leaf(&mut self) -> Result<bool> {
+        let next = match &self.leaf {
+            Some(l) => l.next,
+            None => return Ok(false),
+        };
+        match next {
+            None => {
+                self.leaf = None;
+                Ok(false)
+            }
+            Some(oid) => {
+                self.stats.counter("dbt.scan_leaf_fetches").inc();
+                match fetch_node(self.txn, self.tree, oid)? {
+                    Some(Node::Leaf(l)) => {
+                        self.leaf = Some(l);
+                        self.idx = 0;
+                        Ok(true)
+                    }
+                    Some(Node::Inner(_)) => Err(Error::Corruption(format!(
+                        "leaf sibling pointer {}:{oid} refers to an inner node",
+                        self.tree
+                    ))),
+                    None => Err(Error::Corruption(format!(
+                        "leaf sibling pointer {}:{oid} dangles at this snapshot",
+                        self.tree
+                    ))),
+                }
+            }
+        }
+    }
+}
+
+impl Iterator for DbtCursor<'_> {
+    type Item = Result<(Vec<u8>, Bytes)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let leaf = self.leaf.as_ref()?;
+            if self.idx < leaf.cells.len() {
+                let (k, v) = leaf.cells[self.idx].clone();
+                if let Some(end) = &self.end {
+                    if k.as_slice() >= end.as_slice() {
+                        self.leaf = None;
+                        return None;
+                    }
+                }
+                self.idx += 1;
+                return Some(Ok((k, v)));
+            }
+            match self.advance_leaf() {
+                Ok(true) => continue,
+                Ok(false) => return None,
+                Err(e) => {
+                    self.leaf = None;
+                    return Some(Err(e));
+                }
+            }
+        }
+    }
+}

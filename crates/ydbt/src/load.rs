@@ -1,0 +1,98 @@
+//! Access-frequency tracking used to decide load splits.
+//!
+//! The paper splits nodes not only when they grow too large but also when
+//! they become access hot spots ("load splits"), and may place the resulting
+//! nodes on lightly-loaded servers.  This module tracks per-leaf access
+//! counts over a sliding window and reports leaves whose traffic exceeds the
+//! configured threshold.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+use yesquel_common::{Oid, TreeId};
+
+/// Per-leaf access counters.
+pub struct LoadTracker {
+    counts: Mutex<HashMap<(TreeId, Oid), u64>>,
+    threshold: u64,
+}
+
+impl LoadTracker {
+    /// Creates a tracker that flags leaves after `threshold` accesses within
+    /// one window.
+    pub fn new(threshold: u64) -> Self {
+        LoadTracker { counts: Mutex::new(HashMap::new()), threshold: threshold.max(1) }
+    }
+
+    /// Records one access to a leaf and returns true if the leaf has just
+    /// crossed the hot threshold (the counter resets so that the caller only
+    /// acts once per window).
+    pub fn record(&self, tree: TreeId, oid: Oid) -> bool {
+        let mut g = self.counts.lock();
+        let c = g.entry((tree, oid)).or_insert(0);
+        *c += 1;
+        if *c >= self.threshold {
+            *c = 0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Current access count of a leaf within the window (diagnostics).
+    pub fn count(&self, tree: TreeId, oid: Oid) -> u64 {
+        *self.counts.lock().get(&(tree, oid)).unwrap_or(&0)
+    }
+
+    /// Forgets a leaf (after it has been split).
+    pub fn forget(&self, tree: TreeId, oid: Oid) {
+        self.counts.lock().remove(&(tree, oid));
+    }
+
+    /// Clears the whole window.
+    pub fn reset(&self) {
+        self.counts.lock().clear();
+    }
+
+    /// The configured hot threshold.
+    pub fn threshold(&self) -> u64 {
+        self.threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crossing_threshold_fires_once_per_window() {
+        let t = LoadTracker::new(3);
+        assert!(!t.record(1, 7));
+        assert!(!t.record(1, 7));
+        assert!(t.record(1, 7));
+        // Counter reset: needs three more accesses to fire again.
+        assert!(!t.record(1, 7));
+        assert!(!t.record(1, 7));
+        assert!(t.record(1, 7));
+    }
+
+    #[test]
+    fn leaves_are_independent() {
+        let t = LoadTracker::new(2);
+        assert!(!t.record(1, 1));
+        assert!(!t.record(1, 2));
+        assert!(t.record(1, 1));
+        assert_eq!(t.count(1, 2), 1);
+        t.forget(1, 2);
+        assert_eq!(t.count(1, 2), 0);
+        t.reset();
+        assert_eq!(t.count(1, 1), 0);
+    }
+
+    #[test]
+    fn threshold_floor_is_one() {
+        let t = LoadTracker::new(0);
+        assert!(t.record(1, 1));
+        assert_eq!(t.threshold(), 1);
+    }
+}

@@ -1,0 +1,453 @@
+//! Tree-node representation and its binary encoding.
+//!
+//! Every node of a YDBT is stored as one key-value pair in the transactional
+//! key-value store: the key is the node's [`ObjectId`](yesquel_common::ObjectId)
+//! and the value is the encoding defined here.  Nodes carry their **fence
+//! interval** `[lower, upper)` — the range of keys the node is responsible
+//! for — which is what lets clients detect that a cached path is stale (the
+//! "back-down search" of the paper): if a search for key `k` arrives at a
+//! node whose fence interval does not contain `k`, the client's cache was
+//! out of date and the search backs up.
+
+use bytes::Bytes;
+use yesquel_common::encoding::{Reader, Writer};
+use yesquel_common::{Error, Oid, Result};
+
+/// One endpoint of a fence interval.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Bound {
+    /// Below every key.
+    NegInf,
+    /// An actual key.
+    Key(Vec<u8>),
+    /// Above every key.
+    PosInf,
+}
+
+impl Bound {
+    /// True if `key` is ≥ this bound when used as a lower bound.
+    pub fn le_key(&self, key: &[u8]) -> bool {
+        match self {
+            Bound::NegInf => true,
+            Bound::Key(k) => k.as_slice() <= key,
+            Bound::PosInf => false,
+        }
+    }
+
+    /// True if `key` is < this bound when used as an upper bound.
+    pub fn gt_key(&self, key: &[u8]) -> bool {
+        match self {
+            Bound::NegInf => false,
+            Bound::Key(k) => key < k.as_slice(),
+            Bound::PosInf => true,
+        }
+    }
+
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Bound::NegInf => {
+                w.u8(0);
+            }
+            Bound::Key(k) => {
+                w.u8(1);
+                w.bytes(k);
+            }
+            Bound::PosInf => {
+                w.u8(2);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Bound> {
+        match r.u8()? {
+            0 => Ok(Bound::NegInf),
+            1 => Ok(Bound::Key(r.bytes()?.to_vec())),
+            2 => Ok(Bound::PosInf),
+            t => Err(Error::Corruption(format!("bad bound tag {t}"))),
+        }
+    }
+}
+
+/// Returns true if `key` lies in the fence interval `[lower, upper)`.
+pub fn fence_contains(lower: &Bound, upper: &Bound, key: &[u8]) -> bool {
+    lower.le_key(key) && upper.gt_key(key)
+}
+
+/// A leaf node: sorted cells of `(key, value)` plus a pointer to the right
+/// sibling (used by range scans and by the stale-cache recovery path).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeafNode {
+    /// Inclusive lower fence.
+    pub lower: Bound,
+    /// Exclusive upper fence.
+    pub upper: Bound,
+    /// Sorted cells.
+    pub cells: Vec<(Vec<u8>, Bytes)>,
+    /// Right sibling, if any.
+    pub next: Option<Oid>,
+}
+
+impl LeafNode {
+    /// An empty leaf responsible for the whole key space (a new tree's root).
+    pub fn empty_root() -> Self {
+        LeafNode { lower: Bound::NegInf, upper: Bound::PosInf, cells: Vec::new(), next: None }
+    }
+
+    /// True if `key` is within this leaf's fence interval.
+    pub fn fence_contains(&self, key: &[u8]) -> bool {
+        fence_contains(&self.lower, &self.upper, key)
+    }
+
+    /// Looks up `key` among the cells.
+    pub fn find(&self, key: &[u8]) -> Option<&Bytes> {
+        self.cells
+            .binary_search_by(|(k, _)| k.as_slice().cmp(key))
+            .ok()
+            .map(|i| &self.cells[i].1)
+    }
+
+    /// Index of the first cell with key ≥ `key`.
+    pub fn lower_bound(&self, key: &[u8]) -> usize {
+        self.cells.partition_point(|(k, _)| k.as_slice() < key)
+    }
+
+    /// Inserts or replaces a cell; returns true if an existing cell was
+    /// replaced.
+    pub fn insert_cell(&mut self, key: Vec<u8>, value: Bytes) -> bool {
+        match self.cells.binary_search_by(|(k, _)| k.as_slice().cmp(key.as_slice())) {
+            Ok(i) => {
+                self.cells[i].1 = value;
+                true
+            }
+            Err(i) => {
+                self.cells.insert(i, (key, value));
+                false
+            }
+        }
+    }
+
+    /// Removes the cell with `key`; returns true if it existed.
+    pub fn remove_cell(&mut self, key: &[u8]) -> bool {
+        match self.cells.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+            Ok(i) => {
+                self.cells.remove(i);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True if the leaf has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
+
+/// An inner node: `children[i]` is responsible for keys in
+/// `[keys[i-1], keys[i])`, with the node's own fences standing in at the
+/// ends (`keys.len() == children.len() - 1`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InnerNode {
+    /// Inclusive lower fence.
+    pub lower: Bound,
+    /// Exclusive upper fence.
+    pub upper: Bound,
+    /// Separator keys.
+    pub keys: Vec<Vec<u8>>,
+    /// Child object ids.
+    pub children: Vec<Oid>,
+    /// Height above the leaves (1 = children are leaves).
+    pub height: u8,
+}
+
+impl InnerNode {
+    /// True if `key` is within this node's fence interval.
+    pub fn fence_contains(&self, key: &[u8]) -> bool {
+        fence_contains(&self.lower, &self.upper, key)
+    }
+
+    /// Index of the child responsible for `key`.
+    pub fn child_index(&self, key: &[u8]) -> usize {
+        self.keys.partition_point(|k| k.as_slice() <= key)
+    }
+
+    /// Object id of the child responsible for `key`.
+    pub fn child_for(&self, key: &[u8]) -> Oid {
+        self.children[self.child_index(key)]
+    }
+
+    /// Inserts separator `key` and child `oid` immediately after child
+    /// `after_index` (the child that was split).
+    pub fn insert_child_after(&mut self, after_index: usize, key: Vec<u8>, oid: Oid) {
+        debug_assert!(after_index < self.children.len());
+        self.keys.insert(after_index, key);
+        self.children.insert(after_index + 1, oid);
+    }
+
+    /// Number of children.
+    pub fn len(&self) -> usize {
+        self.children.len()
+    }
+
+    /// True if the node has no children (never the case for a valid node).
+    pub fn is_empty(&self) -> bool {
+        self.children.is_empty()
+    }
+
+    /// The leftmost child (used when descending for the smallest key).
+    pub fn first_child(&self) -> Oid {
+        self.children[0]
+    }
+}
+
+/// A tree node, as stored in the key-value store.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Node {
+    /// Leaf node.
+    Leaf(LeafNode),
+    /// Inner node.
+    Inner(InnerNode),
+}
+
+const LEAF_TAG: u8 = 0xd1;
+const INNER_TAG: u8 = 0xd2;
+
+impl Node {
+    /// Height above the leaves (0 for a leaf).
+    pub fn height(&self) -> u8 {
+        match self {
+            Node::Leaf(_) => 0,
+            Node::Inner(i) => i.height,
+        }
+    }
+
+    /// Returns the leaf, or an error if this is an inner node.
+    pub fn into_leaf(self) -> Result<LeafNode> {
+        match self {
+            Node::Leaf(l) => Ok(l),
+            Node::Inner(_) => Err(Error::Corruption("expected leaf, found inner node".into())),
+        }
+    }
+
+    /// Returns the inner node, or an error if this is a leaf.
+    pub fn into_inner(self) -> Result<InnerNode> {
+        match self {
+            Node::Inner(i) => Ok(i),
+            Node::Leaf(_) => Err(Error::Corruption("expected inner node, found leaf".into())),
+        }
+    }
+
+    /// Serializes the node into the byte string stored in the key-value
+    /// store.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::with_capacity(256);
+        match self {
+            Node::Leaf(l) => {
+                w.u8(LEAF_TAG);
+                l.lower.encode(&mut w);
+                l.upper.encode(&mut w);
+                w.u8(if l.next.is_some() { 1 } else { 0 });
+                if let Some(n) = l.next {
+                    w.u64(n);
+                }
+                w.uvarint(l.cells.len() as u64);
+                for (k, v) in &l.cells {
+                    w.bytes(k);
+                    w.bytes(v);
+                }
+            }
+            Node::Inner(i) => {
+                w.u8(INNER_TAG);
+                i.lower.encode(&mut w);
+                i.upper.encode(&mut w);
+                w.u8(i.height);
+                w.uvarint(i.children.len() as u64);
+                for c in &i.children {
+                    w.u64(*c);
+                }
+                for k in &i.keys {
+                    w.bytes(k);
+                }
+            }
+        }
+        w.finish()
+    }
+
+    /// Decodes a node previously produced by [`Node::encode`].
+    pub fn decode(buf: &[u8]) -> Result<Node> {
+        let mut r = Reader::new(buf);
+        match r.u8()? {
+            LEAF_TAG => {
+                let lower = Bound::decode(&mut r)?;
+                let upper = Bound::decode(&mut r)?;
+                let has_next = r.u8()? == 1;
+                let next = if has_next { Some(r.u64()?) } else { None };
+                let n = r.uvarint()? as usize;
+                let mut cells = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let k = r.bytes()?.to_vec();
+                    let v = Bytes::copy_from_slice(r.bytes()?);
+                    cells.push((k, v));
+                }
+                Ok(Node::Leaf(LeafNode { lower, upper, cells, next }))
+            }
+            INNER_TAG => {
+                let lower = Bound::decode(&mut r)?;
+                let upper = Bound::decode(&mut r)?;
+                let height = r.u8()?;
+                let n = r.uvarint()? as usize;
+                if n == 0 {
+                    return Err(Error::Corruption("inner node with no children".into()));
+                }
+                let mut children = Vec::with_capacity(n);
+                for _ in 0..n {
+                    children.push(r.u64()?);
+                }
+                let mut keys = Vec::with_capacity(n - 1);
+                for _ in 0..n - 1 {
+                    keys.push(r.bytes()?.to_vec());
+                }
+                Ok(Node::Inner(InnerNode { lower, upper, keys, children, height }))
+            }
+            t => Err(Error::Corruption(format!("bad node tag 0x{t:02x}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(s: &str) -> Vec<u8> {
+        s.as_bytes().to_vec()
+    }
+
+    fn v(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn bound_comparisons() {
+        assert!(Bound::NegInf.le_key(b""));
+        assert!(!Bound::PosInf.le_key(b"zzz"));
+        assert!(Bound::PosInf.gt_key(b"zzz"));
+        assert!(!Bound::NegInf.gt_key(b""));
+        assert!(Bound::Key(k("m")).le_key(b"m"));
+        assert!(Bound::Key(k("m")).le_key(b"z"));
+        assert!(!Bound::Key(k("m")).le_key(b"a"));
+        assert!(Bound::Key(k("m")).gt_key(b"a"));
+        assert!(!Bound::Key(k("m")).gt_key(b"m"));
+    }
+
+    #[test]
+    fn fence_interval_semantics() {
+        let lower = Bound::Key(k("b"));
+        let upper = Bound::Key(k("f"));
+        assert!(fence_contains(&lower, &upper, b"b"));
+        assert!(fence_contains(&lower, &upper, b"e"));
+        assert!(!fence_contains(&lower, &upper, b"f"));
+        assert!(!fence_contains(&lower, &upper, b"a"));
+    }
+
+    #[test]
+    fn leaf_insert_find_remove() {
+        let mut l = LeafNode::empty_root();
+        assert!(!l.insert_cell(k("b"), v("2")));
+        assert!(!l.insert_cell(k("a"), v("1")));
+        assert!(!l.insert_cell(k("c"), v("3")));
+        assert!(l.insert_cell(k("b"), v("2b"))); // replace
+        assert_eq!(l.len(), 3);
+        assert_eq!(l.find(b"b"), Some(&v("2b")));
+        assert_eq!(l.find(b"z"), None);
+        assert_eq!(l.lower_bound(b"b"), 1);
+        assert_eq!(l.lower_bound(b"bb"), 2);
+        assert!(l.remove_cell(b"a"));
+        assert!(!l.remove_cell(b"a"));
+        assert_eq!(l.len(), 2);
+        // Cells stay sorted.
+        let keys: Vec<_> = l.cells.iter().map(|(k, _)| k.clone()).collect();
+        assert_eq!(keys, vec![k("b"), k("c")]);
+    }
+
+    #[test]
+    fn inner_child_routing() {
+        let inner = InnerNode {
+            lower: Bound::NegInf,
+            upper: Bound::PosInf,
+            keys: vec![k("g"), k("p")],
+            children: vec![10, 20, 30],
+            height: 1,
+        };
+        assert_eq!(inner.child_for(b"a"), 10);
+        assert_eq!(inner.child_for(b"f"), 10);
+        assert_eq!(inner.child_for(b"g"), 20);
+        assert_eq!(inner.child_for(b"o"), 20);
+        assert_eq!(inner.child_for(b"p"), 30);
+        assert_eq!(inner.child_for(b"z"), 30);
+        assert_eq!(inner.first_child(), 10);
+    }
+
+    #[test]
+    fn inner_insert_child_after() {
+        let mut inner = InnerNode {
+            lower: Bound::NegInf,
+            upper: Bound::PosInf,
+            keys: vec![k("m")],
+            children: vec![1, 2],
+            height: 1,
+        };
+        // Child 0 splits at "f": new right half gets oid 3.
+        inner.insert_child_after(0, k("f"), 3);
+        assert_eq!(inner.keys, vec![k("f"), k("m")]);
+        assert_eq!(inner.children, vec![1, 3, 2]);
+        assert_eq!(inner.child_for(b"a"), 1);
+        assert_eq!(inner.child_for(b"g"), 3);
+        assert_eq!(inner.child_for(b"x"), 2);
+    }
+
+    #[test]
+    fn node_encode_decode_roundtrip() {
+        let leaf = Node::Leaf(LeafNode {
+            lower: Bound::Key(k("b")),
+            upper: Bound::PosInf,
+            cells: vec![(k("b"), v("vb")), (k("c"), v("vc"))],
+            next: Some(42),
+        });
+        let buf = leaf.encode();
+        assert_eq!(Node::decode(&buf).unwrap(), leaf);
+
+        let inner = Node::Inner(InnerNode {
+            lower: Bound::NegInf,
+            upper: Bound::Key(k("zz")),
+            keys: vec![k("g")],
+            children: vec![7, 9],
+            height: 3,
+        });
+        let buf = inner.encode();
+        assert_eq!(Node::decode(&buf).unwrap(), inner);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Node::decode(&[]).is_err());
+        assert!(Node::decode(&[0x00, 0x01]).is_err());
+        let mut good = Node::Leaf(LeafNode::empty_root()).encode();
+        good.truncate(good.len() - 1);
+        // Truncating an empty root leaves a still-valid prefix only if the
+        // cell count survived; either way decode must not panic.
+        let _ = Node::decode(&good);
+    }
+
+    #[test]
+    fn into_leaf_and_inner_guards() {
+        let leaf = Node::Leaf(LeafNode::empty_root());
+        assert!(leaf.clone().into_leaf().is_ok());
+        assert!(leaf.into_inner().is_err());
+        assert_eq!(Node::Leaf(LeafNode::empty_root()).height(), 0);
+    }
+}

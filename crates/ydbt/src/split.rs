@@ -1,0 +1,409 @@
+//! Node splits: size splits, load splits, root splits, and the delegated
+//! splitter task.
+//!
+//! Because the DBT sits **above** distributed transactions, moving cells
+//! between nodes is simply a transaction that rewrites the affected nodes
+//! and their parent — if it commits, the tree changed atomically; if it
+//! conflicts with a concurrent operation, it retries.  This is the property
+//! the paper emphasises about building the DBT over the transactional layer.
+//!
+//! Two execution modes exist (selected by
+//! [`DbtConfig::split_mode`](yesquel_common::DbtConfig)):
+//!
+//! * **Synchronous** — the client that made a node over-full performs the
+//!   split inside its own transaction before committing.  Simple, but that
+//!   client pays the split latency.
+//! * **Delegated** — the client only enqueues a split request; a background
+//!   splitter task performs the split as its own transaction.  Ordinary
+//!   operations never wait for splits (the paper's design).
+//!
+//! **Load splits** use the same machinery but are triggered by access
+//! frequency rather than size, and may place the new node on the least
+//! loaded server (see [`crate::alloc::OidAllocator::allocate_on_server`]).
+
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::Mutex;
+use yesquel_common::ids::ROOT_OID;
+use yesquel_common::stats::StatsRegistry;
+use yesquel_common::{DbtConfig, Error, ObjectId, Oid, Result, ServerId, TreeId};
+use yesquel_kv::{KvClient, Txn};
+
+use crate::alloc::OidAllocator;
+use crate::cache::NodeCache;
+use crate::load::LoadTracker;
+use crate::node::{Bound, InnerNode, LeafNode, Node};
+use crate::tree::fetch_node;
+
+/// Why a split was requested.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitReason {
+    /// The node exceeded its size bound.
+    Size,
+    /// The node became an access hot spot.
+    Load,
+}
+
+/// A request for the splitter to split one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitRequest {
+    /// Tree containing the node.
+    pub tree: TreeId,
+    /// The node to split.
+    pub oid: Oid,
+    /// Why the split was requested.
+    pub reason: SplitReason,
+}
+
+/// Everything the split machinery needs, independent of the engine that
+/// spawned it (so the splitter thread does not keep the engine alive).
+#[derive(Clone)]
+pub(crate) struct SplitContext {
+    pub(crate) kv: KvClient,
+    pub(crate) cfg: DbtConfig,
+    pub(crate) cache: Arc<NodeCache>,
+    pub(crate) load: Arc<LoadTracker>,
+    pub(crate) alloc: OidAllocator,
+    pub(crate) stats: StatsRegistry,
+}
+
+impl SplitContext {
+    /// Chooses the least-loaded server as the placement target for the new
+    /// node of a load split, if hot-node migration is enabled.
+    fn pick_target_server(&self) -> Option<ServerId> {
+        if !self.cfg.migrate_hot_nodes {
+            return None;
+        }
+        let n = self.kv.num_servers();
+        (0..n).min_by_key(|i| self.stats.counter(&format!("rpc.server.{i}.requests")).get())
+    }
+
+    /// Allocates the object id for the new (right) half of a split.
+    fn new_oid(&self, tree: TreeId, load_split: bool) -> Result<Oid> {
+        if load_split {
+            if let Some(target) = self.pick_target_server() {
+                return self.alloc.allocate_on_server(tree, target);
+            }
+        }
+        self.alloc.allocate(tree)
+    }
+}
+
+/// Splits the node at `path[idx]` inside the caller's transaction, updating
+/// its parent and cascading upward if the parent becomes over-full.
+///
+/// `path` is the chain of object ids from the root (`path[0] == ROOT_OID`)
+/// down to the node; it must have been built from nodes read in the same
+/// transaction (or, for the synchronous path, the search that produced it).
+pub(crate) fn split_node_in_txn(
+    ctx: &SplitContext,
+    txn: &Txn,
+    tree: TreeId,
+    path: &[Oid],
+    idx: usize,
+    reason: SplitReason,
+) -> Result<()> {
+    let oid = path[idx];
+    let node = fetch_node(txn, tree, oid)?
+        .ok_or_else(|| Error::Internal(format!("node {tree}:{oid} vanished during split")))?;
+    match node {
+        Node::Leaf(mut leaf) => {
+            if leaf.len() < 2 {
+                return Ok(());
+            }
+            if reason == SplitReason::Size && leaf.len() <= ctx.cfg.leaf_max_cells {
+                // Someone else already split it.
+                ctx.stats.counter("dbt.split_skipped").inc();
+                return Ok(());
+            }
+            let mid = leaf.len() / 2;
+            let split_key = leaf.cells[mid].0.clone();
+            let right_cells = leaf.cells.split_off(mid);
+            let new_oid = ctx.new_oid(tree, reason == SplitReason::Load)?;
+            let right = LeafNode {
+                lower: Bound::Key(split_key.clone()),
+                upper: leaf.upper.clone(),
+                cells: right_cells,
+                next: leaf.next,
+            };
+            leaf.upper = Bound::Key(split_key.clone());
+            leaf.next = Some(new_oid);
+            if reason == SplitReason::Load {
+                ctx.stats.counter("dbt.load_splits").inc();
+            }
+            finish_split(
+                ctx,
+                txn,
+                tree,
+                path,
+                idx,
+                oid,
+                Node::Leaf(leaf),
+                new_oid,
+                Node::Leaf(right),
+                split_key,
+            )
+        }
+        Node::Inner(mut inner) => {
+            if inner.len() < 3 {
+                return Ok(());
+            }
+            if reason == SplitReason::Size && inner.len() <= ctx.cfg.inner_max_children {
+                ctx.stats.counter("dbt.split_skipped").inc();
+                return Ok(());
+            }
+            let midc = inner.children.len() / 2;
+            let split_key = inner.keys[midc - 1].clone();
+            let right_children = inner.children.split_off(midc);
+            let right_keys = inner.keys.split_off(midc);
+            inner.keys.pop(); // the promoted separator
+            let new_oid = ctx.new_oid(tree, false)?;
+            let right = InnerNode {
+                lower: Bound::Key(split_key.clone()),
+                upper: inner.upper.clone(),
+                keys: right_keys,
+                children: right_children,
+                height: inner.height,
+            };
+            inner.upper = Bound::Key(split_key.clone());
+            finish_split(
+                ctx,
+                txn,
+                tree,
+                path,
+                idx,
+                oid,
+                Node::Inner(inner),
+                new_oid,
+                Node::Inner(right),
+                split_key,
+            )
+        }
+    }
+}
+
+/// Writes the two halves of a split and links the new half into the parent
+/// (or grows the tree by one level when the root itself split).
+#[allow(clippy::too_many_arguments)]
+fn finish_split(
+    ctx: &SplitContext,
+    txn: &Txn,
+    tree: TreeId,
+    path: &[Oid],
+    idx: usize,
+    left_oid: Oid,
+    left: Node,
+    right_oid: Oid,
+    right: Node,
+    split_key: Vec<u8>,
+) -> Result<()> {
+    ctx.stats.counter("dbt.splits").inc();
+    if idx == 0 {
+        // The root split.  The root keeps its well-known object id, so both
+        // halves move to fresh ids and the root becomes (or stays) an inner
+        // node one level taller.
+        debug_assert_eq!(left_oid, ROOT_OID);
+        let new_left_oid = ctx.alloc.allocate(tree)?;
+        let height = left.height() + 1;
+        // If the left half is a leaf, its sibling pointer must reference the
+        // right half (it was set before the halves were materialised).
+        let left = match left {
+            Node::Leaf(mut l) => {
+                l.next = Some(right_oid);
+                Node::Leaf(l)
+            }
+            other => other,
+        };
+        let new_root = InnerNode {
+            lower: Bound::NegInf,
+            upper: Bound::PosInf,
+            keys: vec![split_key],
+            children: vec![new_left_oid, right_oid],
+            height,
+        };
+        txn.put(ObjectId::new(tree, new_left_oid), left.encode())?;
+        txn.put(ObjectId::new(tree, right_oid), right.encode())?;
+        txn.put(ObjectId::new(tree, ROOT_OID), Node::Inner(new_root).encode())?;
+        ctx.cache.invalidate(tree, ROOT_OID);
+        ctx.load.forget(tree, ROOT_OID);
+        ctx.stats.counter("dbt.root_splits").inc();
+        return Ok(());
+    }
+
+    txn.put(ObjectId::new(tree, left_oid), left.encode())?;
+    txn.put(ObjectId::new(tree, right_oid), right.encode())?;
+
+    let parent_oid = path[idx - 1];
+    let parent = fetch_node(txn, tree, parent_oid)?
+        .ok_or_else(|| Error::Internal(format!("parent {tree}:{parent_oid} vanished")))?
+        .into_inner()?;
+    let mut parent = parent;
+    let child_pos = parent
+        .children
+        .iter()
+        .position(|c| *c == left_oid)
+        .ok_or_else(|| Error::Internal(format!("parent {parent_oid} no longer references {left_oid}")))?;
+    parent.insert_child_after(child_pos, split_key, right_oid);
+    let parent_len = parent.len();
+    txn.put(ObjectId::new(tree, parent_oid), Node::Inner(parent).encode())?;
+    ctx.cache.invalidate(tree, parent_oid);
+    ctx.load.forget(tree, left_oid);
+
+    if parent_len > ctx.cfg.inner_max_children {
+        split_node_in_txn(ctx, txn, tree, path, idx - 1, SplitReason::Size)?;
+    }
+    Ok(())
+}
+
+/// Performs a delegated split in its own transaction, retrying a few times
+/// on write-write conflicts.  Returns true if a split was committed.
+pub(crate) fn execute_delegated_split(ctx: &SplitContext, req: &SplitRequest) -> Result<bool> {
+    const ATTEMPTS: usize = 4;
+    for attempt in 0..ATTEMPTS {
+        let txn = ctx.kv.begin();
+        let Some(target) = fetch_node(&txn, req.tree, req.oid)? else {
+            txn.abort();
+            return Ok(false);
+        };
+        // Re-check that the split is still warranted at this snapshot.
+        let nav_key: Vec<u8> = match &target {
+            Node::Leaf(l) => {
+                if l.len() < 2
+                    || (req.reason == SplitReason::Size && l.len() <= ctx.cfg.leaf_max_cells)
+                {
+                    txn.abort();
+                    ctx.stats.counter("dbt.split_skipped").inc();
+                    return Ok(false);
+                }
+                match &l.lower {
+                    Bound::Key(k) => k.clone(),
+                    _ => Vec::new(),
+                }
+            }
+            Node::Inner(i) => {
+                if i.len() <= ctx.cfg.inner_max_children {
+                    txn.abort();
+                    ctx.stats.counter("dbt.split_skipped").inc();
+                    return Ok(false);
+                }
+                match &i.lower {
+                    Bound::Key(k) => k.clone(),
+                    _ => Vec::new(),
+                }
+            }
+        };
+
+        // Build the root-to-target path within this transaction's snapshot.
+        let mut path: Vec<Oid> = vec![ROOT_OID];
+        let found = loop {
+            let cur = *path.last().expect("path never empty");
+            if cur == req.oid {
+                break true;
+            }
+            if path.len() > 64 {
+                break false;
+            }
+            match fetch_node(&txn, req.tree, cur)? {
+                Some(Node::Inner(inner)) => path.push(inner.child_for(&nav_key)),
+                // Reached a leaf (or a hole) that is not the target: the
+                // tree changed since the request was made.
+                _ => break false,
+            }
+        };
+        if !found {
+            txn.abort();
+            ctx.stats.counter("dbt.split_skipped").inc();
+            return Ok(false);
+        }
+
+        let idx = path.len() - 1;
+        split_node_in_txn(ctx, &txn, req.tree, &path, idx, req.reason)?;
+        match txn.commit() {
+            Ok(_) => {
+                ctx.load.forget(req.tree, req.oid);
+                return Ok(true);
+            }
+            Err(e) if e.is_retryable() && attempt + 1 < ATTEMPTS => {
+                ctx.stats.counter("dbt.split_retries").inc();
+                continue;
+            }
+            Err(e) if e.is_retryable() => {
+                ctx.stats.counter("dbt.split_abandoned").inc();
+                return Ok(false);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(false)
+}
+
+/// Handle to the background splitter task.
+pub(crate) struct Splitter {
+    tx: Option<Sender<SplitRequest>>,
+    pending: Arc<Mutex<HashSet<(TreeId, Oid)>>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Splitter {
+    /// Spawns the splitter thread.
+    pub(crate) fn spawn(ctx: SplitContext) -> Splitter {
+        let (tx, rx) = unbounded::<SplitRequest>();
+        let pending: Arc<Mutex<HashSet<(TreeId, Oid)>>> = Arc::new(Mutex::new(HashSet::new()));
+        let pending_worker = Arc::clone(&pending);
+        let handle = std::thread::Builder::new()
+            .name("ydbt-splitter".to_string())
+            .spawn(move || {
+                while let Ok(req) = rx.recv() {
+                    // Failures are recorded but must not kill the splitter:
+                    // a failed split leaves an over-full node that a later
+                    // request (or the next insert) will pick up again.
+                    if let Err(e) = execute_delegated_split(&ctx, &req) {
+                        ctx.stats.counter("dbt.split_errors").inc();
+                        let _ = e;
+                    }
+                    pending_worker.lock().remove(&(req.tree, req.oid));
+                }
+            })
+            .expect("failed to spawn splitter thread");
+        Splitter { tx: Some(tx), pending, handle: Some(handle) }
+    }
+
+    /// Enqueues a split request, deduplicating per node.
+    pub(crate) fn request(&self, req: SplitRequest) {
+        let mut pending = self.pending.lock();
+        if pending.insert((req.tree, req.oid)) {
+            if let Some(tx) = &self.tx {
+                if tx.send(req).is_err() {
+                    pending.remove(&(req.tree, req.oid));
+                }
+            }
+        }
+    }
+
+    /// Number of requests not yet processed.
+    pub(crate) fn pending_count(&self) -> usize {
+        self.pending.lock().len()
+    }
+
+    /// Blocks until the splitter has drained its queue (tests and benchmark
+    /// loading phases use this to reach a quiescent tree).
+    pub(crate) fn wait_idle(&self) {
+        while self.pending_count() > 0 {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+}
+
+impl Drop for Splitter {
+    fn drop(&mut self) {
+        // Disconnect the channel so the worker exits, then join it.
+        self.tx.take();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}

@@ -1,0 +1,601 @@
+//! Tree operations: lookup, insert, delete and the search algorithm with
+//! client caching and back-down recovery.
+//!
+//! Every operation runs inside a caller-supplied key-value transaction
+//! ([`Txn`]), so a SQL statement that touches several trees (a table and its
+//! secondary indexes, say) is atomic and reads a consistent snapshot.
+//!
+//! ## The search path
+//!
+//! A search for key `k` proceeds in two phases:
+//!
+//! 1. **Cached descent** — starting at the root's well-known object id, the
+//!    client walks down using only its cache of inner nodes, picking the
+//!    child responsible for `k` at each level.  This costs no RPCs.
+//! 2. **Verified descent** — the deepest node reached in phase 1 is fetched
+//!    through the transaction.  If its fence interval contains `k`, the
+//!    descent continues from it (caching any inner nodes fetched on the
+//!    way) until a leaf containing `k` in its fence interval is reached.
+//!    If a fetched node's fence interval does **not** contain `k` (or the
+//!    node no longer exists in this snapshot), the cache was stale: the
+//!    offending entry is invalidated and the search **backs up** one level
+//!    and tries again — the paper's "back-down search".  With back-down
+//!    disabled the search restarts from the root instead.
+//!
+//! With a warm cache the common case fetches exactly one node — the leaf —
+//! which is what lets Yesquel approach NOSQL key-value latency for point
+//! queries.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use yesquel_common::ids::ROOT_OID;
+use yesquel_common::{Error, ObjectId, Oid, Result, TreeId};
+use yesquel_common::config::SplitMode;
+use yesquel_kv::Txn;
+
+use crate::engine::DbtEngine;
+use crate::iter::DbtCursor;
+use crate::node::{LeafNode, Node};
+use crate::split::{split_node_in_txn, SplitReason, SplitRequest};
+
+/// Reads and decodes a tree node within a transaction.  Returns `None` if
+/// the object has no visible version at the transaction's snapshot.
+pub(crate) fn fetch_node(txn: &Txn, tree: TreeId, oid: Oid) -> Result<Option<Node>> {
+    match txn.get(ObjectId::new(tree, oid))? {
+        Some(bytes) => Ok(Some(Node::decode(&bytes)?)),
+        None => Ok(None),
+    }
+}
+
+/// The leaf that a search arrived at, together with the root-to-leaf path of
+/// object ids used to reach it (needed by synchronous splits).
+pub(crate) struct LeafRef {
+    pub(crate) path: Vec<Oid>,
+    pub(crate) leaf: LeafNode,
+}
+
+impl LeafRef {
+    pub(crate) fn oid(&self) -> Oid {
+        *self.path.last().expect("path never empty")
+    }
+}
+
+/// A handle to one distributed balanced tree.
+///
+/// Handles are cheap to clone and share the client's engine (cache, load
+/// tracker, splitter).
+#[derive(Clone)]
+pub struct Dbt {
+    engine: Arc<DbtEngine>,
+    tree: TreeId,
+}
+
+impl Dbt {
+    pub(crate) fn new(engine: Arc<DbtEngine>, tree: TreeId) -> Self {
+        Dbt { engine, tree }
+    }
+
+    /// The tree id this handle operates on.
+    pub fn tree_id(&self) -> TreeId {
+        self.tree
+    }
+
+    /// The engine backing this handle.
+    pub fn engine(&self) -> &Arc<DbtEngine> {
+        &self.engine
+    }
+
+    /// Finds the leaf responsible for `key` at the transaction's snapshot.
+    pub(crate) fn find_leaf(&self, txn: &Txn, key: &[u8]) -> Result<LeafRef> {
+        let cfg = self.engine.config();
+        let stats = self.engine.stats();
+        let cache = self.engine.cache();
+
+        // Phase 1: cached descent (no RPCs).
+        let mut path: Vec<Oid> = vec![ROOT_OID];
+        if cfg.cache_inner_nodes {
+            loop {
+                let cur = *path.last().expect("path never empty");
+                match cache.get(self.tree, cur) {
+                    Some(inner) if inner.fence_contains(key) => {
+                        let child = inner.child_for(key);
+                        if path.contains(&child) || path.len() > 64 {
+                            break;
+                        }
+                        path.push(child);
+                    }
+                    _ => break,
+                }
+            }
+        }
+
+        // Phase 2: verified descent.
+        let mut idx = path.len() - 1;
+        let mut restarts = 0usize;
+        loop {
+            let oid = path[idx];
+            stats.counter("dbt.node_fetches").inc();
+            let fetched = fetch_node(txn, self.tree, oid)?;
+            match fetched {
+                Some(Node::Leaf(leaf)) if leaf.fence_contains(key) => {
+                    path.truncate(idx + 1);
+                    return Ok(LeafRef { path, leaf });
+                }
+                Some(Node::Inner(inner)) if inner.fence_contains(key) => {
+                    let child = inner.child_for(key);
+                    if cfg.cache_inner_nodes {
+                        cache.put(self.tree, oid, inner);
+                    }
+                    path.truncate(idx + 1);
+                    path.push(child);
+                    idx += 1;
+                    continue;
+                }
+                None if oid == ROOT_OID => {
+                    return Err(Error::NotFound(format!(
+                        "tree {} has no root node (was it created?)",
+                        self.tree
+                    )));
+                }
+                // Stale cache: wrong fence interval, or a node that does not
+                // exist at this snapshot.
+                _ => {
+                    cache.invalidate(self.tree, oid);
+                    restarts += 1;
+                    stats.counter("dbt.search_restarts").inc();
+                    if restarts > cfg.max_search_restarts {
+                        return Err(Error::Internal(format!(
+                            "search for key in tree {} did not converge after {restarts} restarts",
+                            self.tree
+                        )));
+                    }
+                    if cfg.back_down_search && idx > 0 {
+                        stats.counter("dbt.back_downs").inc();
+                        idx -= 1;
+                        path.truncate(idx + 1);
+                    } else {
+                        path.clear();
+                        path.push(ROOT_OID);
+                        idx = 0;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Records an access to a leaf for load-split tracking and requests a
+    /// load split if the leaf just became hot.
+    fn track_access(&self, oid: Oid, leaf_len: usize) {
+        let cfg = self.engine.config();
+        if !cfg.load_splits {
+            return;
+        }
+        if self.engine.load().record(self.tree, oid) && leaf_len >= 2 {
+            self.engine.request_split(SplitRequest {
+                tree: self.tree,
+                oid,
+                reason: SplitReason::Load,
+            });
+        }
+    }
+
+    /// Looks up `key`, returning its value if present.
+    pub fn lookup(&self, txn: &Txn, key: &[u8]) -> Result<Option<Bytes>> {
+        self.engine.stats().counter("dbt.lookups").inc();
+        let lr = self.find_leaf(txn, key)?;
+        self.track_access(lr.oid(), lr.leaf.len());
+        Ok(lr.leaf.find(key).cloned())
+    }
+
+    /// Inserts (or replaces) `key` → `value`.  Returns true if an existing
+    /// value was replaced.
+    pub fn insert(&self, txn: &Txn, key: &[u8], value: &[u8]) -> Result<bool> {
+        self.engine.stats().counter("dbt.inserts").inc();
+        let mut lr = self.find_leaf(txn, key)?;
+        let leaf_oid = lr.oid();
+        let replaced = lr.leaf.insert_cell(key.to_vec(), Bytes::copy_from_slice(value));
+        let new_len = lr.leaf.len();
+        txn.put(ObjectId::new(self.tree, leaf_oid), Node::Leaf(lr.leaf).encode())?;
+        self.track_access(leaf_oid, new_len);
+
+        if new_len > self.engine.config().leaf_max_cells {
+            match self.engine.config().split_mode {
+                SplitMode::Synchronous => {
+                    let ctx = self.engine.split_ctx();
+                    let idx = lr.path.len() - 1;
+                    split_node_in_txn(&ctx, txn, self.tree, &lr.path, idx, SplitReason::Size)?;
+                }
+                SplitMode::Delegated => {
+                    self.engine.request_split(SplitRequest {
+                        tree: self.tree,
+                        oid: leaf_oid,
+                        reason: SplitReason::Size,
+                    });
+                }
+            }
+        }
+        Ok(replaced)
+    }
+
+    /// Deletes `key`.  Returns true if it existed.
+    pub fn delete(&self, txn: &Txn, key: &[u8]) -> Result<bool> {
+        self.engine.stats().counter("dbt.deletes").inc();
+        let mut lr = self.find_leaf(txn, key)?;
+        let leaf_oid = lr.oid();
+        let existed = lr.leaf.remove_cell(key);
+        if existed {
+            let len = lr.leaf.len();
+            txn.put(ObjectId::new(self.tree, leaf_oid), Node::Leaf(lr.leaf).encode())?;
+            self.track_access(leaf_oid, len);
+        } else {
+            self.track_access(leaf_oid, lr.leaf.len());
+        }
+        Ok(existed)
+    }
+
+    /// Opens a forward cursor over `[start, end)`.  `None` bounds mean
+    /// "from the smallest key" / "to the end of the tree".
+    pub fn scan<'a>(
+        &self,
+        txn: &'a Txn,
+        start: Option<&[u8]>,
+        end: Option<&[u8]>,
+    ) -> Result<DbtCursor<'a>> {
+        self.engine.stats().counter("dbt.scans").inc();
+        let start_key = start.unwrap_or(b"");
+        let lr = self.find_leaf(txn, start_key)?;
+        let idx = lr.leaf.lower_bound(start_key);
+        Ok(DbtCursor::new(
+            txn,
+            self.tree,
+            lr.leaf,
+            idx,
+            end.map(|e| e.to_vec()),
+            self.engine.stats().clone(),
+        ))
+    }
+
+    /// Number of keys in the tree (full scan; tests and small tools only).
+    pub fn count(&self, txn: &Txn) -> Result<u64> {
+        let mut n = 0u64;
+        for item in self.scan(txn, None, None)? {
+            item?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Height of the tree at the transaction's snapshot (0 = the root is a
+    /// leaf).  Diagnostics and tests.
+    pub fn height(&self, txn: &Txn) -> Result<u8> {
+        let root = fetch_node(txn, self.tree, ROOT_OID)?
+            .ok_or_else(|| Error::NotFound(format!("tree {} has no root", self.tree)))?;
+        Ok(root.height())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yesquel_common::DbtConfig;
+    use yesquel_kv::KvDatabase;
+
+    fn setup(nservers: usize, cfg: DbtConfig) -> (KvDatabase, Arc<DbtEngine>, Dbt) {
+        let db = KvDatabase::with_servers(nservers);
+        let engine = DbtEngine::new(db.client(), cfg);
+        engine.create_tree(1).unwrap();
+        let dbt = engine.tree(1);
+        (db, engine, dbt)
+    }
+
+    fn small_cfg() -> DbtConfig {
+        DbtConfig {
+            leaf_max_cells: 4,
+            inner_max_children: 4,
+            split_mode: SplitMode::Synchronous,
+            load_splits: false,
+            ..DbtConfig::default()
+        }
+    }
+
+    fn key(i: u64) -> Vec<u8> {
+        yesquel_common::encoding::order_encode_i64(i as i64).to_vec()
+    }
+
+    #[test]
+    fn insert_lookup_delete_single_leaf() {
+        let (_db, _engine, dbt) = setup(2, DbtConfig::default());
+        let txn = _db.client().begin();
+        assert_eq!(dbt.lookup(&txn, b"a").unwrap(), None);
+        assert!(!dbt.insert(&txn, b"a", b"1").unwrap());
+        assert!(!dbt.insert(&txn, b"b", b"2").unwrap());
+        assert!(dbt.insert(&txn, b"a", b"1bis").unwrap());
+        assert_eq!(dbt.lookup(&txn, b"a").unwrap().as_deref(), Some(&b"1bis"[..]));
+        assert!(dbt.delete(&txn, b"a").unwrap());
+        assert!(!dbt.delete(&txn, b"a").unwrap());
+        assert_eq!(dbt.lookup(&txn, b"a").unwrap(), None);
+        txn.commit().unwrap();
+    }
+
+    #[test]
+    fn uncommitted_writes_invisible_to_other_transactions() {
+        let (db, _engine, dbt) = setup(2, DbtConfig::default());
+        let txn = db.client().begin();
+        dbt.insert(&txn, b"k", b"v").unwrap();
+        let other = db.client().begin();
+        assert_eq!(dbt.lookup(&other, b"k").unwrap(), None);
+        other.commit().unwrap();
+        txn.commit().unwrap();
+        let after = db.client().begin();
+        assert_eq!(dbt.lookup(&after, b"k").unwrap().as_deref(), Some(&b"v"[..]));
+        after.commit().unwrap();
+    }
+
+    #[test]
+    fn synchronous_splits_grow_tree_and_preserve_data() {
+        let (db, _engine, dbt) = setup(4, small_cfg());
+        let n = 200u64;
+        for i in 0..n {
+            let txn = db.client().begin();
+            dbt.insert(&txn, &key(i), format!("val{i}").as_bytes()).unwrap();
+            txn.commit().unwrap();
+        }
+        let txn = db.client().begin();
+        assert!(dbt.height(&txn).unwrap() >= 2, "tree should have grown");
+        assert_eq!(dbt.count(&txn).unwrap(), n);
+        for i in 0..n {
+            let v = dbt.lookup(&txn, &key(i)).unwrap().expect("present");
+            assert_eq!(&v[..], format!("val{i}").as_bytes());
+        }
+        txn.commit().unwrap();
+        assert!(db.stats().counter("dbt.splits").get() > 10);
+        assert!(db.stats().counter("dbt.root_splits").get() >= 1);
+    }
+
+    #[test]
+    fn delegated_splits_reach_same_state() {
+        let cfg = DbtConfig {
+            leaf_max_cells: 4,
+            inner_max_children: 4,
+            split_mode: SplitMode::Delegated,
+            load_splits: false,
+            ..DbtConfig::default()
+        };
+        let (db, engine, dbt) = setup(4, cfg);
+        let n = 300u64;
+        let client = db.client();
+        for i in 0..n {
+            // Delegated splits commit concurrently with these transactions,
+            // so an individual attempt may hit a write-write conflict; the
+            // retry wrapper is the intended usage pattern.
+            client.run_txn(|txn| dbt.insert(txn, &key(i), b"x")).unwrap();
+        }
+        engine.wait_for_splits();
+        let txn = db.client().begin();
+        assert_eq!(dbt.count(&txn).unwrap(), n);
+        assert!(dbt.height(&txn).unwrap() >= 1);
+        for i in (0..n).step_by(17) {
+            assert!(dbt.lookup(&txn, &key(i)).unwrap().is_some());
+        }
+        txn.commit().unwrap();
+        assert!(db.stats().counter("dbt.splits").get() >= 1);
+    }
+
+    #[test]
+    fn random_order_inserts_scan_sorted() {
+        let (db, _engine, dbt) = setup(3, small_cfg());
+        let mut keys: Vec<u64> = (0..150).collect();
+        // Deterministic shuffle.
+        keys.sort_by_key(|k| yesquel_common::ids::splitmix64(*k));
+        let txn = db.client().begin();
+        for k in &keys {
+            dbt.insert(&txn, &key(*k), b"v").unwrap();
+        }
+        let collected: Vec<Vec<u8>> =
+            dbt.scan(&txn, None, None).unwrap().map(|r| r.unwrap().0).collect();
+        let mut expected: Vec<Vec<u8>> = (0..150u64).map(key).collect();
+        expected.sort();
+        assert_eq!(collected, expected);
+        txn.commit().unwrap();
+    }
+
+    #[test]
+    fn range_scan_bounds() {
+        let (db, _engine, dbt) = setup(2, small_cfg());
+        let txn = db.client().begin();
+        for i in 0..50u64 {
+            dbt.insert(&txn, &key(i), b"v").unwrap();
+        }
+        let got: Vec<Vec<u8>> = dbt
+            .scan(&txn, Some(&key(10)), Some(&key(20)))
+            .unwrap()
+            .map(|r| r.unwrap().0)
+            .collect();
+        let expected: Vec<Vec<u8>> = (10..20u64).map(key).collect();
+        assert_eq!(got, expected);
+        // Empty range.
+        assert_eq!(dbt.scan(&txn, Some(&key(30)), Some(&key(30))).unwrap().count(), 0);
+        txn.commit().unwrap();
+    }
+
+    #[test]
+    fn cache_makes_warm_lookups_single_fetch() {
+        let (db, engine, dbt) = setup(4, DbtConfig { leaf_max_cells: 8, ..DbtConfig::default() });
+        // Build a tree of a few hundred keys so there are inner nodes.
+        let txn = db.client().begin();
+        for i in 0..400u64 {
+            dbt.insert(&txn, &key(i), b"v").unwrap();
+        }
+        txn.commit().unwrap();
+        engine.wait_for_splits();
+
+        // Warm the cache.
+        let txn = db.client().begin();
+        for i in 0..400u64 {
+            dbt.lookup(&txn, &key(i)).unwrap();
+        }
+        txn.commit().unwrap();
+
+        // Measure fetches per warm lookup.
+        let before = db.stats().counter("dbt.node_fetches").get();
+        let txn = db.client().begin();
+        let lookups = 200u64;
+        for i in 0..lookups {
+            assert!(dbt.lookup(&txn, &key(i * 2)).unwrap().is_some());
+        }
+        txn.commit().unwrap();
+        let fetches = db.stats().counter("dbt.node_fetches").get() - before;
+        let per_lookup = fetches as f64 / lookups as f64;
+        assert!(
+            per_lookup < 1.6,
+            "warm lookups should fetch ~1 node, measured {per_lookup:.2}"
+        );
+    }
+
+    #[test]
+    fn no_cache_fetches_whole_path() {
+        let cfg = DbtConfig { leaf_max_cells: 8, ..DbtConfig::ablation_no_cache() };
+        let (db, engine, dbt) = setup(4, cfg);
+        let txn = db.client().begin();
+        for i in 0..400u64 {
+            dbt.insert(&txn, &key(i), b"v").unwrap();
+        }
+        txn.commit().unwrap();
+        engine.wait_for_splits();
+
+        let txn = db.client().begin();
+        let height = dbt.height(&txn).unwrap() as f64;
+        let before = db.stats().counter("dbt.node_fetches").get();
+        let lookups = 100u64;
+        for i in 0..lookups {
+            dbt.lookup(&txn, &key(i * 3)).unwrap();
+        }
+        let fetches = db.stats().counter("dbt.node_fetches").get() - before;
+        txn.commit().unwrap();
+        let per_lookup = fetches as f64 / lookups as f64;
+        assert!(
+            per_lookup >= height,
+            "without a cache every lookup must walk the path: {per_lookup:.2} < height {height}"
+        );
+    }
+
+    #[test]
+    fn stale_cache_recovers_via_back_down() {
+        // Two engines over the same deployment: engine A builds its cache,
+        // engine B splits nodes underneath it, then A must still find keys.
+        let db = KvDatabase::with_servers(3);
+        let cfg = DbtConfig {
+            leaf_max_cells: 4,
+            inner_max_children: 4,
+            split_mode: SplitMode::Synchronous,
+            load_splits: false,
+            ..DbtConfig::default()
+        };
+        let engine_a = DbtEngine::new(db.client(), cfg.clone());
+        let engine_b = DbtEngine::new(db.client(), cfg);
+        engine_a.create_tree(1).unwrap();
+        let dbt_a = engine_a.tree(1);
+        let dbt_b = engine_b.tree(1);
+
+        // A inserts a little and warms its cache.
+        let txn = db.client().begin();
+        for i in 0..30u64 {
+            dbt_a.insert(&txn, &key(i), b"a").unwrap();
+        }
+        txn.commit().unwrap();
+        let txn = db.client().begin();
+        for i in 0..30u64 {
+            dbt_a.lookup(&txn, &key(i)).unwrap();
+        }
+        txn.commit().unwrap();
+
+        // B inserts a lot more, causing many splits A does not know about.
+        let txn = db.client().begin();
+        for i in 30..400u64 {
+            dbt_b.insert(&txn, &key(i), b"b").unwrap();
+        }
+        txn.commit().unwrap();
+
+        // A must still find everything despite its stale cache.
+        let txn = db.client().begin();
+        for i in (0..400u64).step_by(7) {
+            assert!(dbt_a.lookup(&txn, &key(i)).unwrap().is_some(), "key {i} lost");
+        }
+        txn.commit().unwrap();
+        assert!(db.stats().counter("dbt.search_restarts").get() > 0);
+    }
+
+    #[test]
+    fn load_splits_fire_on_hot_leaf() {
+        let cfg = DbtConfig {
+            leaf_max_cells: 64,
+            load_splits: true,
+            load_split_threshold: 50,
+            split_mode: SplitMode::Delegated,
+            ..DbtConfig::default()
+        };
+        let (db, engine, dbt) = setup(4, cfg);
+        let txn = db.client().begin();
+        for i in 0..16u64 {
+            dbt.insert(&txn, &key(i), b"v").unwrap();
+        }
+        txn.commit().unwrap();
+
+        // Hammer the same small key range.
+        for _ in 0..40 {
+            let txn = db.client().begin();
+            for i in 0..4u64 {
+                dbt.lookup(&txn, &key(i)).unwrap();
+            }
+            txn.commit().unwrap();
+        }
+        engine.wait_for_splits();
+        assert!(
+            db.stats().counter("dbt.load_splits").get() >= 1,
+            "hot leaf should have triggered a load split: {}",
+            db.stats().render_counters()
+        );
+        // Data is intact afterwards.
+        let txn = db.client().begin();
+        assert_eq!(dbt.count(&txn).unwrap(), 16);
+        txn.commit().unwrap();
+    }
+
+    #[test]
+    fn operations_on_missing_tree_fail_cleanly() {
+        let db = KvDatabase::with_servers(1);
+        let engine = DbtEngine::new(db.client(), DbtConfig::default());
+        let dbt = engine.tree(77);
+        let txn = db.client().begin();
+        match dbt.lookup(&txn, b"x") {
+            Err(Error::NotFound(_)) => {}
+            other => panic!("expected NotFound, got {other:?}"),
+        }
+        txn.abort();
+    }
+
+    #[test]
+    fn atomic_multi_insert_within_one_transaction() {
+        let (db, _engine, dbt) = setup(4, small_cfg());
+        // A transaction inserting many keys (causing splits) either commits
+        // entirely or not at all.
+        let txn = db.client().begin();
+        for i in 0..100u64 {
+            dbt.insert(&txn, &key(i), b"v").unwrap();
+        }
+        txn.abort();
+        let check = db.client().begin();
+        assert_eq!(dbt.count(&check).unwrap(), 0);
+        check.commit().unwrap();
+
+        let txn = db.client().begin();
+        for i in 0..100u64 {
+            dbt.insert(&txn, &key(i), b"v").unwrap();
+        }
+        txn.commit().unwrap();
+        let check = db.client().begin();
+        assert_eq!(dbt.count(&check).unwrap(), 100);
+        check.commit().unwrap();
+    }
+}

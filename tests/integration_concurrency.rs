@@ -1,0 +1,1 @@
+// Placeholder; implemented after the key-value layer.
