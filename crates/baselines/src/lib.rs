@@ -1,1 +1,83 @@
-//! Placeholder; implemented next.
+//! Single-node baseline stores.
+//!
+//! The paper compares Yesquel against single-node storage (MySQL) and NoSQL
+//! key-value stores (Redis-like).  This crate provides the in-process
+//! equivalents the benchmark harness measures against: a plain mutex-guarded
+//! B-tree map standing in for "one server, no distribution, no versioning".
+//! The gap between [`LocalKv`] and the full Yesquel stack bounds the cost of
+//! distribution + transactions on this hardware.
+
+use std::collections::BTreeMap;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+/// A single-node, non-transactional ordered key-value store: the NoSQL
+/// baseline of the evaluation, reduced to its in-process essence.
+#[derive(Default)]
+pub struct LocalKv {
+    map: Mutex<BTreeMap<Vec<u8>, Bytes>>,
+}
+
+impl LocalKv {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the value stored under `key`, if any.
+    pub fn get(&self, key: &[u8]) -> Option<Bytes> {
+        self.map.lock().get(key).cloned()
+    }
+
+    /// Stores `value` under `key`; returns true if a value was replaced.
+    pub fn put(&self, key: &[u8], value: impl Into<Bytes>) -> bool {
+        self.map.lock().insert(key.to_vec(), value.into()).is_some()
+    }
+
+    /// Removes `key`; returns true if it existed.
+    pub fn delete(&self, key: &[u8]) -> bool {
+        self.map.lock().remove(key).is_some()
+    }
+
+    /// Returns up to `limit` key/value pairs with keys in `[start, end)`.
+    pub fn scan(&self, start: &[u8], end: &[u8], limit: usize) -> Vec<(Vec<u8>, Bytes)> {
+        self.map
+            .lock()
+            .range(start.to_vec()..end.to_vec())
+            .take(limit)
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Number of stored keys.
+    pub fn len(&self) -> usize {
+        self.map.lock().len()
+    }
+
+    /// True if nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_delete_scan() {
+        let kv = LocalKv::new();
+        assert!(!kv.put(b"b", Bytes::from_static(b"2")));
+        assert!(!kv.put(b"a", Bytes::from_static(b"1")));
+        assert!(kv.put(b"a", Bytes::from_static(b"1bis")));
+        assert_eq!(kv.get(b"a").as_deref(), Some(&b"1bis"[..]));
+        assert_eq!(kv.get(b"z"), None);
+        let all = kv.scan(b"a", b"z", 10);
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].0, b"a".to_vec());
+        assert!(kv.delete(b"a"));
+        assert!(!kv.delete(b"a"));
+        assert_eq!(kv.len(), 1);
+    }
+}

@@ -1,1 +1,72 @@
-fn main() {}
+//! Benchmarks of node and key encodings: the per-fetch decode cost is paid
+//! on every RPC of every tree operation, so this is the innermost hot loop
+//! of the whole system.  `decode_shared` (zero-copy slices of the fetched
+//! buffer) is compared against `decode` (copying) to keep the win measured.
+
+use bytes::Bytes;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use yesquel_common::encoding::{order_decode_i64, order_encode_i64};
+use yesquel_ydbt::{Bound, InnerNode, LeafNode, Node};
+
+fn sample_leaf(cells: usize, value_len: usize) -> Node {
+    let value = vec![0xabu8; value_len];
+    let mut leaf = LeafNode::empty_root();
+    for i in 0..cells {
+        let key = order_encode_i64(i as i64);
+        leaf.insert_cell(&key, Bytes::from(value.clone()));
+    }
+    Node::Leaf(leaf)
+}
+
+fn sample_inner(children: usize) -> Node {
+    let keys = (1..children)
+        .map(|i| Bytes::copy_from_slice(&order_encode_i64(i as i64)))
+        .collect();
+    Node::Inner(InnerNode {
+        lower: Bound::key(&order_encode_i64(0)),
+        upper: Bound::PosInf,
+        keys,
+        children: (0..children as u64).map(|i| 100 + i).collect(),
+        height: 1,
+    })
+}
+
+fn bench_node_codec(c: &mut Criterion) {
+    let leaf = sample_leaf(64, 100);
+    let leaf_buf = Bytes::from(leaf.encode());
+    let inner = sample_inner(64);
+    let inner_buf = Bytes::from(inner.encode());
+
+    c.bench_function("node/encode_leaf64x100B", |b| {
+        b.iter(|| black_box(leaf.encode()))
+    });
+    c.bench_function("node/decode_leaf64x100B_copy", |b| {
+        b.iter(|| black_box(Node::decode(&leaf_buf).unwrap()))
+    });
+    c.bench_function("node/decode_leaf64x100B_shared", |b| {
+        b.iter(|| black_box(Node::decode_shared(&leaf_buf).unwrap()))
+    });
+    c.bench_function("node/encode_inner64", |b| {
+        b.iter(|| black_box(inner.encode()))
+    });
+    c.bench_function("node/decode_inner64_shared", |b| {
+        b.iter(|| black_box(Node::decode_shared(&inner_buf).unwrap()))
+    });
+}
+
+fn bench_key_codec(c: &mut Criterion) {
+    c.bench_function("encoding/order_encode_i64", |b| {
+        let mut i = 0i64;
+        b.iter(|| {
+            i = i.wrapping_add(0x9e37);
+            black_box(order_encode_i64(i))
+        });
+    });
+    let k = order_encode_i64(123_456_789);
+    c.bench_function("encoding/order_decode_i64", |b| {
+        b.iter(|| black_box(order_decode_i64(&k).unwrap()))
+    });
+}
+
+criterion_group!(encoding_benches, bench_node_codec, bench_key_codec);
+criterion_main!(encoding_benches);

@@ -1,1 +1,29 @@
-fn main() {}
+//! Benchmarks of the SQL front end (tokenizer and parser).  The SQL layer
+//! is not yet on the storage hot path, but parse cost bounds the per-query
+//! overhead every statement pays before touching a tree.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use yesquel_sql::{parse, tokenize};
+
+const POINT_SELECT: &str = "SELECT id, name, score FROM users WHERE id = 12345";
+const JOIN_SELECT: &str = "SELECT u.name, o.total FROM users u JOIN orders o ON u.id = o.user_id \
+                           WHERE o.total > 100 ORDER BY o.total DESC LIMIT 10";
+const INSERT: &str = "INSERT INTO users (id, name, score) VALUES (1, 'alice', 3.5)";
+
+fn bench_sql(c: &mut Criterion) {
+    c.bench_function("sql/tokenize_point_select", |b| {
+        b.iter(|| black_box(tokenize(POINT_SELECT).unwrap()))
+    });
+    c.bench_function("sql/parse_point_select", |b| {
+        b.iter(|| black_box(parse(POINT_SELECT).unwrap()))
+    });
+    c.bench_function("sql/parse_join_select", |b| {
+        b.iter(|| black_box(parse(JOIN_SELECT).unwrap()))
+    });
+    c.bench_function("sql/parse_insert", |b| {
+        b.iter(|| black_box(parse(INSERT).unwrap()))
+    });
+}
+
+criterion_group!(sql_benches, bench_sql);
+criterion_main!(sql_benches);

@@ -1,1 +1,113 @@
-//! Placeholder; implemented next.
+//! Benchmark harness support: deployment builders shared by the criterion
+//! benches and the hand-rolled JSON report writer that produces the
+//! `BENCH_*.json` baselines checked into the repository root.
+
+use std::fmt::Write as _;
+
+use yesquel_common::{DbtConfig, YesquelConfig};
+use yesquel_kv::KvDatabase;
+use yesquel_ydbt::{Dbt, DbtEngine};
+
+/// A standard deployment for kv-level benches: `n` servers, direct
+/// transport, no simulated network cost.
+pub fn kv_deployment(n: usize) -> KvDatabase {
+    KvDatabase::new(YesquelConfig::with_servers(n))
+}
+
+/// A deployment plus a tree pre-loaded with `keys` sequential i64 keys, used
+/// by the DBT point-read benches.  Returns the database, the engine whose
+/// cache is warm from loading, and the tree handle.
+pub fn loaded_tree(
+    n_servers: usize,
+    keys: u64,
+    cfg: DbtConfig,
+) -> (KvDatabase, std::sync::Arc<DbtEngine>, Dbt) {
+    let db = kv_deployment(n_servers);
+    let engine = DbtEngine::new(db.client(), cfg);
+    engine.create_tree(1).expect("fresh deployment");
+    let dbt = engine.tree(1);
+    let client = db.client();
+    for i in 0..keys {
+        client
+            .run_txn(|txn| dbt.insert(txn, &bench_key(i), b"benchmark-value"))
+            .expect("load");
+    }
+    engine.wait_for_splits();
+    (db, engine, dbt)
+}
+
+/// The order-preserving key used by every bench (8 bytes, sorted by i64).
+pub fn bench_key(i: u64) -> [u8; 8] {
+    yesquel_common::encoding::order_encode_i64(i as i64)
+}
+
+/// One row of a benchmark report.
+#[derive(Debug, Clone)]
+pub struct ReportEntry {
+    /// Benchmark name.
+    pub name: String,
+    /// Mean nanoseconds per operation.
+    pub mean_ns: f64,
+    /// Median nanoseconds per operation.
+    pub median_ns: f64,
+    /// p95 nanoseconds per operation.
+    pub p95_ns: f64,
+}
+
+/// Renders entries as the stable JSON layout used by `BENCH_*.json`
+/// (hand-rolled; the offline build has no serde/serde_json).
+pub fn render_report(label: &str, entries: &[ReportEntry]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"label\": \"{label}\",");
+    let _ = writeln!(out, "  \"results\": [");
+    for (i, e) in entries.iter().enumerate() {
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"mean_ns\": {:.1}, \"median_ns\": {:.1}, \"p95_ns\": {:.1}}}{comma}",
+            e.name, e.mean_ns, e.median_ns, e.p95_ns
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = write!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_valid_shape() {
+        let entries = vec![
+            ReportEntry {
+                name: "a".into(),
+                mean_ns: 1.5,
+                median_ns: 1.0,
+                p95_ns: 2.0,
+            },
+            ReportEntry {
+                name: "b".into(),
+                mean_ns: 10.0,
+                median_ns: 9.0,
+                p95_ns: 20.0,
+            },
+        ];
+        let s = render_report("BENCH_TEST", &entries);
+        assert!(s.starts_with('{') && s.ends_with('}'));
+        assert_eq!(s.matches("\"name\"").count(), 2);
+        assert!(!s.contains("},\n  ]"), "no trailing comma: {s}");
+    }
+
+    #[test]
+    fn loaded_tree_is_queryable() {
+        let (db, _engine, dbt) = loaded_tree(2, 50, DbtConfig::default());
+        let txn = db.client().begin();
+        assert_eq!(
+            dbt.lookup(&txn, &bench_key(7)).unwrap().as_deref(),
+            Some(&b"benchmark-value"[..])
+        );
+        txn.commit().unwrap();
+    }
+}

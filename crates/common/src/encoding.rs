@@ -93,6 +93,13 @@ impl<'a> Reader<'a> {
         self.buf.len() - self.pos
     }
 
+    /// Offset of the cursor from the start of the buffer.  Zero-copy
+    /// decoders use this to locate the slice a read returned within the
+    /// backing buffer.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
     /// True if every byte has been consumed.
     pub fn is_empty(&self) -> bool {
         self.remaining() == 0
@@ -174,7 +181,9 @@ impl Writer {
 
     /// Creates a writer with pre-reserved capacity.
     pub fn with_capacity(cap: usize) -> Self {
-        Writer { buf: Vec::with_capacity(cap) }
+        Writer {
+            buf: Vec::with_capacity(cap),
+        }
     }
 
     /// Appends a single byte.
@@ -280,7 +289,11 @@ pub fn order_decode_f64(b: &[u8]) -> Result<f64> {
         return Err(Error::Corruption("truncated ordered f64".into()));
     }
     let raw = u64::from_be_bytes(b[..8].try_into().unwrap());
-    let bits = if raw & (1u64 << 63) != 0 { raw & !(1u64 << 63) } else { !raw };
+    let bits = if raw & (1u64 << 63) != 0 {
+        raw & !(1u64 << 63)
+    } else {
+        !raw
+    };
     Ok(f64::from_bits(bits))
 }
 
@@ -372,7 +385,13 @@ mod tests {
     #[test]
     fn reader_writer_roundtrip() {
         let mut w = Writer::new();
-        w.u8(7).u32(0xdead_beef).u64(42).i64(-5).f64(1.5).uvarint(300).bytes(b"abc");
+        w.u8(7)
+            .u32(0xdead_beef)
+            .u64(42)
+            .i64(-5)
+            .f64(1.5)
+            .uvarint(300)
+            .bytes(b"abc");
         let buf = w.finish();
         let mut r = Reader::new(&buf);
         assert_eq!(r.u8().unwrap(), 7);
@@ -399,7 +418,17 @@ mod tests {
 
     #[test]
     fn ordered_f64_preserves_order() {
-        let vals = [f64::NEG_INFINITY, -1e300, -1.5, -0.0, 0.0, 1e-10, 2.5, 1e300, f64::INFINITY];
+        let vals = [
+            f64::NEG_INFINITY,
+            -1e300,
+            -1.5,
+            -0.0,
+            0.0,
+            1e-10,
+            2.5,
+            1e300,
+            f64::INFINITY,
+        ];
         for w in vals.windows(2) {
             let a = order_encode_f64(w[0]);
             let b = order_encode_f64(w[1]);
@@ -431,6 +460,6 @@ mod tests {
     #[test]
     fn ordered_bytes_bad_escape() {
         assert!(order_decode_bytes(&[0x00, 0x07]).is_err());
-        assert!(order_decode_bytes(&[b'a']).is_err());
+        assert!(order_decode_bytes(b"a").is_err());
     }
 }

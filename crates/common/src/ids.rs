@@ -62,12 +62,18 @@ impl ObjectId {
 
     /// The root node of tree `tree`.
     pub fn root(tree: TreeId) -> Self {
-        ObjectId { tree, oid: ROOT_OID }
+        ObjectId {
+            tree,
+            oid: ROOT_OID,
+        }
     }
 
     /// The per-tree metadata object of tree `tree`.
     pub fn meta(tree: TreeId) -> Self {
-        ObjectId { tree, oid: META_OID }
+        ObjectId {
+            tree,
+            oid: META_OID,
+        }
     }
 
     /// Returns true if this object is the root node of its tree.
@@ -128,6 +134,16 @@ impl fmt::Display for ObjectId {
 /// SplitMix64 hash step; cheap, well-mixed, and dependency-free.
 ///
 /// Used for object placement and for scrambling keys in workload generators.
+/// Mixes two words (plus a caller-chosen salt) into a shard index in
+/// `0..shards`, where `shards` is a power of two.  Used by every
+/// lock-striped structure keyed by `(tree, oid)`-shaped pairs — the server
+/// store and the client node cache — so a future change to the mixing
+/// function reaches all of them.
+pub fn shard_index(a: u64, b: u64, salt: u64, shards: usize) -> usize {
+    debug_assert!(shards.is_power_of_two());
+    (splitmix64(a ^ splitmix64(b ^ salt)) as usize) & (shards - 1)
+}
+
 pub fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     let mut z = x;

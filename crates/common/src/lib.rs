@@ -21,4 +21,4 @@ pub mod timeutil;
 
 pub use config::{DbtConfig, KvConfig, NetConfig, YesquelConfig};
 pub use error::{Error, Result};
-pub use ids::{ObjectId, Oid, ServerId, TreeId, Timestamp, TxnId};
+pub use ids::{ObjectId, Oid, ServerId, Timestamp, TreeId, TxnId};

@@ -43,7 +43,14 @@ impl Zipfian {
         let zeta2theta = Self::zeta(2, theta);
         let alpha = 1.0 / (1.0 - theta);
         let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2theta / zetan);
-        Zipfian { n, theta, alpha, zetan, eta, zeta2theta }
+        Zipfian {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            zeta2theta,
+        }
     }
 
     /// YCSB's default skew (theta = 0.99).
@@ -96,7 +103,9 @@ pub struct ScrambledZipfian {
 impl ScrambledZipfian {
     /// Creates a scrambled Zipfian over `0..n` with YCSB's default skew.
     pub fn new(n: u64, theta: f64) -> Self {
-        ScrambledZipfian { inner: Zipfian::new(n, theta) }
+        ScrambledZipfian {
+            inner: Zipfian::new(n, theta),
+        }
     }
 
     /// Draws the next item in `0..n`.
@@ -139,7 +148,12 @@ impl KeyChooser {
             KeyDistribution::Zipfian(theta) => Some(ScrambledZipfian::new(n, *theta)),
             _ => None,
         };
-        KeyChooser { n, dist, zipf, seq: 0 }
+        KeyChooser {
+            n,
+            dist,
+            zipf,
+            seq: 0,
+        }
     }
 
     /// Draws the next key in `0..n`.

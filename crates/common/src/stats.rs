@@ -24,7 +24,9 @@ pub struct Counter {
 impl Counter {
     /// Creates a counter starting at zero.
     pub fn new() -> Self {
-        Counter { value: AtomicU64::new(0) }
+        Counter {
+            value: AtomicU64::new(0),
+        }
     }
 
     /// Adds one.
@@ -217,13 +219,21 @@ impl StatsRegistry {
     /// Returns the counter named `name`, creating it if needed.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
         let mut g = self.inner.counters.lock().expect("stats registry poisoned");
-        g.entry(name.to_string()).or_insert_with(|| Arc::new(Counter::new())).clone()
+        g.entry(name.to_string())
+            .or_insert_with(|| Arc::new(Counter::new()))
+            .clone()
     }
 
     /// Returns the histogram named `name`, creating it if needed.
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
-        let mut g = self.inner.histograms.lock().expect("stats registry poisoned");
-        g.entry(name.to_string()).or_insert_with(|| Arc::new(Histogram::new())).clone()
+        let mut g = self
+            .inner
+            .histograms
+            .lock()
+            .expect("stats registry poisoned");
+        g.entry(name.to_string())
+            .or_insert_with(|| Arc::new(Histogram::new()))
+            .clone()
     }
 
     /// Snapshot of all counter values, sorted by name.
@@ -234,7 +244,11 @@ impl StatsRegistry {
 
     /// Snapshot of all histogram summaries, sorted by name.
     pub fn histogram_snapshot(&self) -> BTreeMap<String, HistogramSummary> {
-        let g = self.inner.histograms.lock().expect("stats registry poisoned");
+        let g = self
+            .inner
+            .histograms
+            .lock()
+            .expect("stats registry poisoned");
         g.iter().map(|(k, v)| (k.clone(), v.summary())).collect()
     }
 

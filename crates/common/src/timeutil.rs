@@ -17,7 +17,9 @@ impl Default for Stopwatch {
 impl Stopwatch {
     /// Starts a new stopwatch.
     pub fn start() -> Self {
-        Stopwatch { start: Instant::now() }
+        Stopwatch {
+            start: Instant::now(),
+        }
     }
 
     /// Elapsed time since start, in microseconds.

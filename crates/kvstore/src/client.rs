@@ -30,7 +30,15 @@ impl KvClient {
         cfg: KvConfig,
         stats: StatsRegistry,
     ) -> Self {
-        KvClient { core: Arc::new(ClientCore { transport, oracle, snapshots, cfg, stats }) }
+        KvClient {
+            core: Arc::new(ClientCore {
+                transport,
+                oracle,
+                snapshots,
+                cfg,
+                stats,
+            }),
+        }
     }
 
     /// Starts a new transaction.
@@ -94,9 +102,15 @@ impl KvClient {
     /// transactional counter stored at `obj`, returning the first id.
     pub fn allocate(&self, obj: ObjectId, count: u64) -> Result<u64> {
         let server = obj.home_server(self.num_servers());
-        match self.core.transport.call(server, KvRequest::Allocate { obj, delta: count })? {
+        match self
+            .core
+            .transport
+            .call(server, KvRequest::Allocate { obj, delta: count })?
+        {
             KvResponse::Allocated { start } => Ok(start),
-            other => Err(Error::Internal(format!("unexpected Allocate response: {other:?}"))),
+            other => Err(Error::Internal(format!(
+                "unexpected Allocate response: {other:?}"
+            ))),
         }
     }
 
@@ -106,22 +120,34 @@ impl KvClient {
         let server = obj.home_server(self.num_servers());
         match self.core.transport.call(
             server,
-            KvRequest::LoadUnchecked { obj, ts: 0, value: value.into() },
+            KvRequest::LoadUnchecked {
+                obj,
+                ts: 0,
+                value: value.into(),
+            },
         )? {
             KvResponse::Ok => Ok(()),
-            other => Err(Error::Internal(format!("unexpected Load response: {other:?}"))),
+            other => Err(Error::Internal(format!(
+                "unexpected Load response: {other:?}"
+            ))),
         }
     }
 
     /// Runs one round of multi-version garbage collection on every server,
     /// bounded by the oldest active snapshot.
     pub fn run_gc(&self) -> Result<()> {
-        let min_active = self.core.snapshots.min_active(self.core.oracle.last_timestamp());
+        let min_active = self
+            .core
+            .snapshots
+            .min_active(self.core.oracle.last_timestamp());
         let keep = self.core.cfg.gc_keep_versions;
         for server in 0..self.num_servers() {
             self.core.transport.call(
                 server,
-                KvRequest::Gc { min_active_ts: min_active, keep_versions: keep },
+                KvRequest::Gc {
+                    min_active_ts: min_active,
+                    keep_versions: keep,
+                },
             )?;
         }
         Ok(())

@@ -30,7 +30,10 @@ impl KvDatabase {
 
     /// Creates a deployment with an explicit transport choice.
     pub fn with_transport(config: YesquelConfig, transport: TransportKind) -> Self {
-        assert!(config.num_servers > 0, "deployment needs at least one storage server");
+        assert!(
+            config.num_servers > 0,
+            "deployment needs at least one storage server"
+        );
         let stats = StatsRegistry::new();
         let oracle = TimestampOracle::new();
         let servers = KvServer::make_servers(config.num_servers, &oracle);
@@ -97,19 +100,31 @@ impl KvDatabase {
 
     /// Total number of committed versions across all servers (diagnostics).
     pub fn total_versions(&self) -> u64 {
-        self.cluster.servers().iter().map(|s| s.store().version_count()).sum()
+        self.cluster
+            .servers()
+            .iter()
+            .map(|s| s.store().version_count())
+            .sum()
     }
 
     /// Total number of stored objects across all servers (diagnostics).
     pub fn total_objects(&self) -> u64 {
-        self.cluster.servers().iter().map(|s| s.store().object_count()).sum()
+        self.cluster
+            .servers()
+            .iter()
+            .map(|s| s.store().object_count())
+            .sum()
     }
 
     /// Per-server request counts observed by the transport, for load-
     /// imbalance reports.
     pub fn per_server_requests(&self) -> Vec<u64> {
         (0..self.num_servers())
-            .map(|i| self.stats.counter(&format!("rpc.server.{i}.requests")).get())
+            .map(|i| {
+                self.stats
+                    .counter(&format!("rpc.server.{i}.requests"))
+                    .get()
+            })
             .collect()
     }
 }
@@ -125,15 +140,16 @@ mod tests {
         let db = KvDatabase::with_servers(4);
         let client = db.client();
 
-        let mut t = client.begin();
+        let t = client.begin();
         for oid in 0..20u64 {
-            t.put(ObjectId::new(1, oid), Bytes::from(format!("value-{oid}"))).unwrap();
+            t.put(ObjectId::new(1, oid), Bytes::from(format!("value-{oid}")))
+                .unwrap();
         }
         assert_eq!(t.write_count(), 20);
         let commit_ts = t.commit().unwrap();
         assert!(commit_ts > 0);
 
-        let mut t2 = client.begin();
+        let t2 = client.begin();
         for oid in 0..20u64 {
             let v = t2.get(ObjectId::new(1, oid)).unwrap().expect("value");
             assert_eq!(&v[..], format!("value-{oid}").as_bytes());
@@ -149,16 +165,16 @@ mod tests {
         let client = db.client();
         let obj = ObjectId::new(3, 1);
 
-        let mut t1 = client.begin();
+        let t1 = client.begin();
         t1.put(obj, Bytes::from_static(b"v1")).unwrap();
         t1.commit().unwrap();
 
         // Reader starts now; a later writer must not be visible to it.
-        let mut reader = client.begin();
+        let reader = client.begin();
         let before = reader.get(obj).unwrap();
         assert_eq!(before.as_deref(), Some(&b"v1"[..]));
 
-        let mut writer = client.begin();
+        let writer = client.begin();
         writer.put(obj, Bytes::from_static(b"v2")).unwrap();
         writer.commit().unwrap();
 
@@ -166,7 +182,7 @@ mod tests {
         assert_eq!(after.as_deref(), Some(&b"v1"[..]), "snapshot must not move");
         reader.commit().unwrap();
 
-        let mut fresh = client.begin();
+        let fresh = client.begin();
         assert_eq!(fresh.get(obj).unwrap().as_deref(), Some(&b"v2"[..]));
         fresh.commit().unwrap();
     }
@@ -177,8 +193,8 @@ mod tests {
         let client = db.client();
         let obj = ObjectId::new(4, 1);
 
-        let mut a = client.begin();
-        let mut b = client.begin();
+        let a = client.begin();
+        let b = client.begin();
         a.put(obj, Bytes::from_static(b"a")).unwrap();
         b.put(obj, Bytes::from_static(b"b")).unwrap();
         a.commit().unwrap();
@@ -187,7 +203,7 @@ mod tests {
             other => panic!("expected conflict, got {other:?}"),
         }
 
-        let mut check = client.begin();
+        let check = client.begin();
         assert_eq!(check.get(obj).unwrap().as_deref(), Some(&b"a"[..]));
         check.commit().unwrap();
     }
@@ -198,16 +214,17 @@ mod tests {
         let client = db.client();
 
         // Write enough objects that multiple servers participate.
-        let mut t = client.begin();
+        let t = client.begin();
         for oid in 0..32u64 {
-            t.put(ObjectId::new(9, oid), Bytes::from_static(b"x")).unwrap();
+            t.put(ObjectId::new(9, oid), Bytes::from_static(b"x"))
+                .unwrap();
         }
         let stats_before = db.stats().counter("kv.commit_2pc").get();
         t.commit().unwrap();
         assert_eq!(db.stats().counter("kv.commit_2pc").get(), stats_before + 1);
 
         // All or nothing: every object is visible.
-        let mut r = client.begin();
+        let r = client.begin();
         for oid in 0..32u64 {
             assert!(r.get(ObjectId::new(9, oid)).unwrap().is_some());
         }
@@ -218,7 +235,7 @@ mod tests {
     fn readonly_commit_needs_no_rpcs() {
         let db = KvDatabase::with_servers(4);
         let client = db.client();
-        let mut t = client.begin();
+        let t = client.begin();
         let _ = t.get(ObjectId::new(1, 1)).unwrap();
         let rpcs_before = db.stats().counter("rpc.calls").get();
         t.commit().unwrap();
@@ -231,13 +248,13 @@ mod tests {
         let db = KvDatabase::with_servers(2);
         let client = db.client();
         let obj = ObjectId::new(5, 5);
-        let mut t = client.begin();
+        let t = client.begin();
         t.put(obj, Bytes::from_static(b"x")).unwrap();
         t.commit().unwrap();
-        let mut t = client.begin();
+        let t = client.begin();
         t.delete(obj).unwrap();
         t.commit().unwrap();
-        let mut t = client.begin();
+        let t = client.begin();
         assert_eq!(t.get(obj).unwrap(), None);
         t.commit().unwrap();
     }
@@ -247,10 +264,10 @@ mod tests {
         let db = KvDatabase::with_servers(2);
         let client = db.client();
         let obj = ObjectId::new(6, 1);
-        let mut t = client.begin();
+        let t = client.begin();
         t.put(obj, Bytes::from_static(b"x")).unwrap();
         t.abort();
-        let mut r = client.begin();
+        let r = client.begin();
         assert_eq!(r.get(obj).unwrap(), None);
         r.commit().unwrap();
     }
@@ -260,7 +277,7 @@ mod tests {
         let db = KvDatabase::with_servers(2);
         let client = db.client();
         let obj = ObjectId::new(7, 1);
-        let mut t = client.begin();
+        let t = client.begin();
         assert_eq!(t.get(obj).unwrap(), None);
         t.put(obj, Bytes::from_static(b"mine")).unwrap();
         assert_eq!(t.get(obj).unwrap().as_deref(), Some(&b"mine"[..]));
@@ -287,14 +304,14 @@ mod tests {
         let client = db.client();
         let obj = ObjectId::new(8, 1);
         for i in 0..10 {
-            let mut t = client.begin();
+            let t = client.begin();
             t.put(obj, Bytes::from(format!("v{i}"))).unwrap();
             t.commit().unwrap();
         }
         assert!(db.total_versions() >= 10);
         db.run_gc().unwrap();
         assert_eq!(db.total_versions(), 1);
-        let mut r = client.begin();
+        let r = client.begin();
         assert_eq!(r.get(obj).unwrap().as_deref(), Some(&b"v9"[..]));
         r.commit().unwrap();
     }
@@ -307,15 +324,15 @@ mod tests {
         let client = db.client();
         let obj = ObjectId::new(8, 2);
 
-        let mut t = client.begin();
+        let t = client.begin();
         t.put(obj, Bytes::from_static(b"old")).unwrap();
         t.commit().unwrap();
 
-        let mut reader = client.begin();
+        let reader = client.begin();
         assert_eq!(reader.get(obj).unwrap().as_deref(), Some(&b"old"[..]));
 
         for i in 0..5 {
-            let mut w = client.begin();
+            let w = client.begin();
             w.put(obj, Bytes::from(format!("new{i}"))).unwrap();
             w.commit().unwrap();
         }
@@ -331,9 +348,11 @@ mod tests {
         let db = KvDatabase::with_servers(4);
         let client = db.client();
         for oid in 0..10u64 {
-            client.load_unchecked(ObjectId::new(2, oid), Bytes::from_static(b"seed")).unwrap();
+            client
+                .load_unchecked(ObjectId::new(2, oid), Bytes::from_static(b"seed"))
+                .unwrap();
         }
-        let mut t = client.begin();
+        let t = client.begin();
         for oid in 0..10u64 {
             assert!(t.get(ObjectId::new(2, oid)).unwrap().is_some());
         }
@@ -344,7 +363,7 @@ mod tests {
     fn per_server_requests_reported() {
         let db = KvDatabase::with_servers(4);
         let client = db.client();
-        let mut t = client.begin();
+        let t = client.begin();
         for oid in 0..64u64 {
             let _ = t.get(ObjectId::new(11, oid)).unwrap();
         }
@@ -352,6 +371,9 @@ mod tests {
         let per = db.per_server_requests();
         assert_eq!(per.len(), 4);
         assert_eq!(per.iter().sum::<u64>(), 64);
-        assert!(per.iter().all(|&c| c > 0), "reads should spread over servers: {per:?}");
+        assert!(
+            per.iter().all(|&c| c > 0),
+            "reads should spread over servers: {per:?}"
+        );
     }
 }

@@ -26,7 +26,9 @@ pub struct VersionChain {
 impl VersionChain {
     /// An empty chain (object never written).
     pub fn new() -> Self {
-        VersionChain { versions: Vec::new() }
+        VersionChain {
+            versions: Vec::new(),
+        }
     }
 
     /// Number of committed versions currently retained.
@@ -124,7 +126,11 @@ impl VersionChain {
     pub fn is_fully_dead(&self, min_active_ts: Timestamp) -> bool {
         !self.versions.is_empty()
             && self.versions.iter().all(|v| v.value.is_none())
-            && self.versions.last().map(|v| v.ts <= min_active_ts).unwrap_or(false)
+            && self
+                .versions
+                .last()
+                .map(|v| v.ts <= min_active_ts)
+                .unwrap_or(false)
     }
 
     /// Iterates over the retained versions (oldest first); used by tests and

@@ -29,7 +29,9 @@ struct OracleInner {
 impl TimestampOracle {
     /// Creates a fresh oracle.
     pub fn new() -> Self {
-        let o = TimestampOracle { inner: Arc::new(OracleInner::default()) };
+        let o = TimestampOracle {
+            inner: Arc::new(OracleInner::default()),
+        };
         o.inner.next_ts.store(1, Ordering::SeqCst);
         o.inner.next_txn.store(1, Ordering::SeqCst);
         o

@@ -188,9 +188,19 @@ mod tests {
 
     #[test]
     fn wire_sizes_scale_with_payload() {
-        let small = KvRequest::Get { obj: ObjectId::new(1, 2), ts: 3 };
-        let w = WriteOp { obj: ObjectId::new(1, 2), value: Some(Bytes::from(vec![0u8; 1000])) };
-        let big = KvRequest::Prepare { txn: 1, start_ts: 1, writes: vec![w] };
+        let small = KvRequest::Get {
+            obj: ObjectId::new(1, 2),
+            ts: 3,
+        };
+        let w = WriteOp {
+            obj: ObjectId::new(1, 2),
+            value: Some(Bytes::from(vec![0u8; 1000])),
+        };
+        let big = KvRequest::Prepare {
+            txn: 1,
+            start_ts: 1,
+            writes: vec![w],
+        };
         assert!(big.wire_size() > small.wire_size() + 900);
 
         let rv = KvResponse::Value(Some(Bytes::from(vec![0u8; 500])));
@@ -200,7 +210,10 @@ mod tests {
 
     #[test]
     fn write_op_delete_is_small() {
-        let del = WriteOp { obj: ObjectId::new(1, 2), value: None };
+        let del = WriteOp {
+            obj: ObjectId::new(1, 2),
+            value: None,
+        };
         assert_eq!(del.wire_size(), 16);
     }
 }

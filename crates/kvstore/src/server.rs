@@ -19,7 +19,10 @@ pub struct KvServer {
 impl KvServer {
     /// Creates a server sharing the deployment's timestamp oracle.
     pub fn new(oracle: TimestampOracle) -> Self {
-        KvServer { store: ServerStore::new(), oracle }
+        KvServer {
+            store: ServerStore::new(),
+            oracle,
+        }
     }
 
     /// Direct access to the underlying store (tests, GC driving, stats).
@@ -29,7 +32,9 @@ impl KvServer {
 
     /// Creates `n` servers sharing one oracle.
     pub fn make_servers(n: usize, oracle: &TimestampOracle) -> Vec<Arc<KvServer>> {
-        (0..n).map(|_| Arc::new(KvServer::new(oracle.clone()))).collect()
+        (0..n)
+            .map(|_| Arc::new(KvServer::new(oracle.clone())))
+            .collect()
     }
 }
 
@@ -43,23 +48,32 @@ impl Service for KvServer {
                 ReadOutcome::Value(v) => KvResponse::Value(v),
                 ReadOutcome::Locked => KvResponse::Locked,
             },
-            KvRequest::Prepare { txn, start_ts, writes } => {
-                match self.store.prepare(txn, start_ts, &writes) {
-                    PrepareOutcome::Prepared => KvResponse::Prepared,
-                    PrepareOutcome::Conflict(reason) => KvResponse::Conflict { reason },
-                }
-            }
+            KvRequest::Prepare {
+                txn,
+                start_ts,
+                writes,
+            } => match self.store.prepare(txn, start_ts, &writes) {
+                PrepareOutcome::Prepared => KvResponse::Prepared,
+                PrepareOutcome::Conflict(reason) => KvResponse::Conflict { reason },
+            },
             KvRequest::Commit { txn, commit_ts } => {
                 self.store.commit(txn, commit_ts);
                 KvResponse::Committed { commit_ts }
             }
-            KvRequest::CommitOnePhase { txn, start_ts, writes } => {
+            KvRequest::CommitOnePhase {
+                txn,
+                start_ts,
+                writes,
+            } => {
                 // The commit timestamp is drawn while the request is being
                 // processed; the store applies validation and installation
                 // atomically under its lock, so any snapshot issued after
                 // this timestamp observes the installed versions.
                 let commit_ts = self.oracle.next_timestamp();
-                match self.store.commit_one_phase(txn, start_ts, &writes, commit_ts) {
+                match self
+                    .store
+                    .commit_one_phase(txn, start_ts, &writes, commit_ts)
+                {
                     PrepareOutcome::Prepared => KvResponse::Committed { commit_ts },
                     PrepareOutcome::Conflict(reason) => KvResponse::Conflict { reason },
                 }
@@ -68,10 +82,13 @@ impl Service for KvServer {
                 self.store.abort(txn);
                 KvResponse::Aborted
             }
-            KvRequest::Allocate { obj, delta } => {
-                KvResponse::Allocated { start: self.store.allocate(obj, delta) }
-            }
-            KvRequest::Gc { min_active_ts, keep_versions } => {
+            KvRequest::Allocate { obj, delta } => KvResponse::Allocated {
+                start: self.store.allocate(obj, delta),
+            },
+            KvRequest::Gc {
+                min_active_ts,
+                keep_versions,
+            } => {
                 self.store.gc(min_active_ts, keep_versions);
                 KvResponse::Ok
             }
@@ -118,7 +135,10 @@ mod tests {
         let resp = srv.call(KvRequest::CommitOnePhase {
             txn: 1,
             start_ts: oracle.next_timestamp(),
-            writes: vec![crate::protocol::WriteOp { obj, value: Some(Bytes::from_static(b"x")) }],
+            writes: vec![crate::protocol::WriteOp {
+                obj,
+                value: Some(Bytes::from_static(b"x")),
+            }],
         });
         let commit_ts = match resp {
             KvResponse::Committed { commit_ts } => commit_ts,
@@ -128,12 +148,17 @@ mod tests {
             KvResponse::Value(Some(v)) => assert_eq!(&v[..], b"x"),
             other => panic!("unexpected response {other:?}"),
         }
-        match srv.call(KvRequest::Get { obj, ts: commit_ts - 1 }) {
+        match srv.call(KvRequest::Get {
+            obj,
+            ts: commit_ts - 1,
+        }) {
             KvResponse::Value(None) => {}
             other => panic!("unexpected response {other:?}"),
         }
         match srv.call(KvRequest::Stats) {
-            KvResponse::Stats { objects, commits, .. } => {
+            KvResponse::Stats {
+                objects, commits, ..
+            } => {
                 assert_eq!(objects, 1);
                 assert_eq!(commits, 1);
             }
@@ -150,7 +175,10 @@ mod tests {
         match srv.call(KvRequest::Prepare {
             txn: 7,
             start_ts: start,
-            writes: vec![crate::protocol::WriteOp { obj, value: Some(Bytes::from_static(b"v")) }],
+            writes: vec![crate::protocol::WriteOp {
+                obj,
+                value: Some(Bytes::from_static(b"v")),
+            }],
         }) {
             KvResponse::Prepared => {}
             other => panic!("unexpected response {other:?}"),
@@ -160,7 +188,10 @@ mod tests {
             other => panic!("unexpected response {other:?}"),
         }
         let cts = oracle.next_timestamp();
-        srv.call(KvRequest::Commit { txn: 7, commit_ts: cts });
+        srv.call(KvRequest::Commit {
+            txn: 7,
+            commit_ts: cts,
+        });
         match srv.call(KvRequest::Get { obj, ts: cts }) {
             KvResponse::Value(Some(v)) => assert_eq!(&v[..], b"v"),
             other => panic!("unexpected response {other:?}"),

@@ -123,9 +123,9 @@ impl Txn {
     fn check_active(&self) -> Result<()> {
         match self.state() {
             TxnState::Active => Ok(()),
-            TxnState::Committed => {
-                Err(Error::InvalidArgument("transaction already committed".into()))
-            }
+            TxnState::Committed => Err(Error::InvalidArgument(
+                "transaction already committed".into(),
+            )),
             TxnState::Aborted => Err(Error::Aborted("transaction already aborted".into())),
         }
     }
@@ -141,7 +141,13 @@ impl Txn {
         loop {
             self.read_rpcs.fetch_add(1, Ordering::Relaxed);
             self.core.stats.counter("kv.get_rpcs").inc();
-            match self.core.transport.call(server, KvRequest::Get { obj, ts: self.start_ts })? {
+            match self.core.transport.call(
+                server,
+                KvRequest::Get {
+                    obj,
+                    ts: self.start_ts,
+                },
+            )? {
                 KvResponse::Value(v) => return Ok(v),
                 KvResponse::Locked => {
                     attempts += 1;
@@ -154,7 +160,9 @@ impl Txn {
                     backoff(self.core.cfg.lock_backoff_us, attempts);
                 }
                 other => {
-                    return Err(Error::Internal(format!("unexpected Get response: {other:?}")))
+                    return Err(Error::Internal(format!(
+                        "unexpected Get response: {other:?}"
+                    )))
                 }
             }
         }
@@ -198,10 +206,16 @@ impl Txn {
             by_server
                 .entry(self.core.home(*obj))
                 .or_default()
-                .push(WriteOp { obj: *obj, value: value.clone() });
+                .push(WriteOp {
+                    obj: *obj,
+                    value: value.clone(),
+                });
         }
         let participants: Vec<ServerId> = by_server.keys().copied().collect();
-        self.core.stats.counter("kv.commit_participants").add(participants.len() as u64);
+        self.core
+            .stats
+            .counter("kv.commit_participants")
+            .add(participants.len() as u64);
 
         // One-phase commit when a single server holds every written object.
         if participants.len() == 1 && self.core.cfg.one_phase_commit {
@@ -209,7 +223,11 @@ impl Txn {
             self.core.stats.counter("kv.commit_1pc").inc();
             let resp = self.core.transport.call(
                 server,
-                KvRequest::CommitOnePhase { txn: self.id, start_ts: self.start_ts, writes },
+                KvRequest::CommitOnePhase {
+                    txn: self.id,
+                    start_ts: self.start_ts,
+                    writes,
+                },
             )?;
             return match resp {
                 KvResponse::Committed { commit_ts } => {
@@ -222,7 +240,9 @@ impl Txn {
                     self.core.stats.counter("kv.txn_conflicts").inc();
                     Err(Error::Conflict(reason))
                 }
-                other => Err(Error::Internal(format!("unexpected 1PC response: {other:?}"))),
+                other => Err(Error::Internal(format!(
+                    "unexpected 1PC response: {other:?}"
+                ))),
             };
         }
 
@@ -232,14 +252,21 @@ impl Txn {
         for (&server, ws) in &by_server {
             let resp = self.core.transport.call(
                 server,
-                KvRequest::Prepare { txn: self.id, start_ts: self.start_ts, writes: ws.clone() },
+                KvRequest::Prepare {
+                    txn: self.id,
+                    start_ts: self.start_ts,
+                    writes: ws.clone(),
+                },
             )?;
             match resp {
                 KvResponse::Prepared => prepared.push(server),
                 KvResponse::Conflict { reason } => {
                     // Roll back the prepares we already made.
                     for &s in &prepared {
-                        let _ = self.core.transport.call(s, KvRequest::Abort { txn: self.id });
+                        let _ = self
+                            .core
+                            .transport
+                            .call(s, KvRequest::Abort { txn: self.id });
                     }
                     *self.state.lock() = TxnState::Aborted;
                     self.core.stats.counter("kv.txn_conflicts").inc();
@@ -247,7 +274,10 @@ impl Txn {
                 }
                 other => {
                     for &s in &prepared {
-                        let _ = self.core.transport.call(s, KvRequest::Abort { txn: self.id });
+                        let _ = self
+                            .core
+                            .transport
+                            .call(s, KvRequest::Abort { txn: self.id });
                     }
                     *self.state.lock() = TxnState::Aborted;
                     return Err(Error::Internal(format!(
@@ -263,7 +293,13 @@ impl Txn {
 
         // Phase two: install at every participant.
         for &server in &participants {
-            self.core.transport.call(server, KvRequest::Commit { txn: self.id, commit_ts })?;
+            self.core.transport.call(
+                server,
+                KvRequest::Commit {
+                    txn: self.id,
+                    commit_ts,
+                },
+            )?;
         }
         *self.state.lock() = TxnState::Committed;
         self.core.stats.counter("kv.txn_committed").inc();
@@ -322,8 +358,12 @@ mod tests {
         let t = client.begin();
         let r1 = &t;
         let r2 = &t;
-        r1.put(ObjectId::new(1, 1), Bytes::from_static(b"a")).unwrap();
-        assert_eq!(r2.get(ObjectId::new(1, 1)).unwrap().as_deref(), Some(&b"a"[..]));
+        r1.put(ObjectId::new(1, 1), Bytes::from_static(b"a"))
+            .unwrap();
+        assert_eq!(
+            r2.get(ObjectId::new(1, 1)).unwrap().as_deref(),
+            Some(&b"a"[..])
+        );
         assert_eq!(t.write_count(), 1);
         t.commit().unwrap();
     }
@@ -333,7 +373,8 @@ mod tests {
         let db = KvDatabase::with_servers(1);
         let client = db.client();
         let t = client.begin();
-        t.put(ObjectId::new(1, 1), Bytes::from_static(b"a")).unwrap();
+        t.put(ObjectId::new(1, 1), Bytes::from_static(b"a"))
+            .unwrap();
         // `commit` consumes the transaction, so using it afterwards is a
         // compile error; the runtime guard is exercised through `state`.
         assert_eq!(t.state(), TxnState::Active);
@@ -347,7 +388,8 @@ mod tests {
         let t = client.begin();
         let _ = t.get(ObjectId::new(1, 1)).unwrap();
         let _ = t.get(ObjectId::new(1, 2)).unwrap();
-        t.put(ObjectId::new(1, 3), Bytes::from_static(b"x")).unwrap();
+        t.put(ObjectId::new(1, 3), Bytes::from_static(b"x"))
+            .unwrap();
         let _ = t.get(ObjectId::new(1, 3)).unwrap(); // served from write buffer
         assert_eq!(t.read_rpcs(), 2);
         t.commit().unwrap();

@@ -67,7 +67,12 @@ impl<S: Service> ClusterBuilder<S> {
                 self.registry.clone(),
             )),
         };
-        Cluster { servers: self.servers, transport, net, registry: self.registry }
+        Cluster {
+            servers: self.servers,
+            transport,
+            net,
+            registry: self.registry,
+        }
     }
 }
 
@@ -163,8 +168,14 @@ mod tests {
     fn builder_threaded_with_network() {
         let servers = (0..2).map(|_| Arc::new(Doubler)).collect();
         let cluster = ClusterBuilder::new(servers)
-            .transport(TransportKind::Threaded { workers_per_server: 2 })
-            .network(NetConfig { one_way_latency_us: 10, bytes_per_us: 0, sleep_latency: false })
+            .transport(TransportKind::Threaded {
+                workers_per_server: 2,
+            })
+            .network(NetConfig {
+                one_way_latency_us: 10,
+                bytes_per_us: 0,
+                sleep_latency: false,
+            })
             .build();
         assert_eq!(cluster.call(1, 5).unwrap(), 10);
         assert!(cluster.network().simulated_us() >= 20);

@@ -54,7 +54,7 @@ impl NetworkModel {
     /// Cost in microseconds of sending one message of `bytes` bytes one way.
     pub fn one_way_cost_us(&self, bytes: usize) -> u64 {
         let cfg = &self.inner.cfg;
-        let bw = if cfg.bytes_per_us == 0 { 0 } else { bytes as u64 / cfg.bytes_per_us };
+        let bw = (bytes as u64).checked_div(cfg.bytes_per_us).unwrap_or(0);
         cfg.one_way_latency_us + bw
     }
 
@@ -101,7 +101,11 @@ mod tests {
 
     #[test]
     fn latency_and_bandwidth_terms() {
-        let cfg = NetConfig { one_way_latency_us: 50, bytes_per_us: 100, sleep_latency: false };
+        let cfg = NetConfig {
+            one_way_latency_us: 50,
+            bytes_per_us: 100,
+            sleep_latency: false,
+        };
         let m = NetworkModel::new(cfg, StatsRegistry::new());
         // 1000 bytes at 100 B/us = 10us + 50us latency each way.
         assert_eq!(m.one_way_cost_us(1000), 60);

@@ -34,10 +34,11 @@ pub trait Service: Send + Sync + 'static {
 }
 
 /// Which transport a cluster uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum TransportKind {
     /// Requests are executed by a direct function call on the caller's
     /// thread.  Fastest; models a server with unbounded worker threads.
+    #[default]
     Direct,
     /// Requests are queued to a fixed pool of worker threads per server,
     /// modelling bounded per-server CPU capacity and queueing delay.
@@ -45,12 +46,6 @@ pub enum TransportKind {
         /// Number of worker threads per storage server.
         workers_per_server: usize,
     },
-}
-
-impl Default for TransportKind {
-    fn default() -> Self {
-        TransportKind::Direct
-    }
 }
 
 /// A connection from clients to every server of the cluster.
@@ -77,21 +72,31 @@ struct TransportStats {
 
 impl TransportStats {
     fn new(registry: StatsRegistry, nservers: usize) -> Self {
-        let per_server_requests =
-            (0..nservers).map(|i| registry.counter(&format!("rpc.server.{i}.requests"))).collect();
-        TransportStats { registry, per_server_requests }
+        let per_server_requests = (0..nservers)
+            .map(|i| registry.counter(&format!("rpc.server.{i}.requests")))
+            .collect();
+        TransportStats {
+            registry,
+            per_server_requests,
+        }
     }
 
     fn record(&self, server: ServerId, req_bytes: usize, resp_bytes: usize, net: &NetworkModel) {
         self.registry.counter("rpc.calls").inc();
-        self.registry.counter("rpc.bytes_sent").add(req_bytes as u64);
-        self.registry.counter("rpc.bytes_received").add(resp_bytes as u64);
+        self.registry
+            .counter("rpc.bytes_sent")
+            .add(req_bytes as u64);
+        self.registry
+            .counter("rpc.bytes_received")
+            .add(resp_bytes as u64);
         if let Some(c) = self.per_server_requests.get(server) {
             c.inc();
         }
         let lat = net.charge_round_trip(req_bytes, resp_bytes);
         if lat > 0 {
-            self.registry.histogram("rpc.simulated_latency_us").record(lat);
+            self.registry
+                .histogram("rpc.simulated_latency_us")
+                .record(lat);
         }
     }
 }
@@ -108,12 +113,20 @@ impl<S: Service> DirectTransport<S> {
     /// Creates a direct transport over the given server objects.
     pub fn new(servers: Vec<Arc<S>>, net: NetworkModel, registry: StatsRegistry) -> Self {
         let stats = TransportStats::new(registry, servers.len());
-        DirectTransport { servers, net, stats }
+        DirectTransport {
+            servers,
+            net,
+            stats,
+        }
     }
 
     /// Requests handled so far by each server (for load-imbalance reports).
     pub fn per_server_request_counts(&self) -> Vec<u64> {
-        self.stats.per_server_requests.iter().map(|c| c.get()).collect()
+        self.stats
+            .per_server_requests
+            .iter()
+            .map(|c| c.get())
+            .collect()
     }
 }
 
@@ -168,7 +181,10 @@ impl<S: Service> ThreadedTransport<S> {
         net: NetworkModel,
         registry: StatsRegistry,
     ) -> Self {
-        assert!(workers_per_server >= 1, "need at least one worker per server");
+        assert!(
+            workers_per_server >= 1,
+            "need at least one worker per server"
+        );
         let stats = TransportStats::new(registry, servers.len());
         let mut queues = Vec::with_capacity(servers.len());
         for (sid, srv) in servers.iter().enumerate() {
@@ -189,12 +205,21 @@ impl<S: Service> ThreadedTransport<S> {
             }
             queues.push(tx);
         }
-        ThreadedTransport { queues, net, stats, _servers: servers }
+        ThreadedTransport {
+            queues,
+            net,
+            stats,
+            _servers: servers,
+        }
     }
 
     /// Requests handled so far by each server (for load-imbalance reports).
     pub fn per_server_request_counts(&self) -> Vec<u64> {
-        self.stats.per_server_requests.iter().map(|c| c.get()).collect()
+        self.stats
+            .per_server_requests
+            .iter()
+            .map(|c| c.get())
+            .collect()
     }
 }
 
@@ -206,8 +231,11 @@ impl<S: Service> Transport<S> for ThreadedTransport<S> {
             .ok_or_else(|| Error::ServerUnavailable(format!("no server {server}")))?;
         let req_bytes = S::request_wire_size(&req);
         let (reply_tx, reply_rx) = bounded(1);
-        q.send(Envelope { req, reply: reply_tx })
-            .map_err(|_| Error::ServerUnavailable(format!("server {server} shut down")))?;
+        q.send(Envelope {
+            req,
+            reply: reply_tx,
+        })
+        .map_err(|_| Error::ServerUnavailable(format!("server {server} shut down")))?;
         let resp = reply_rx
             .recv()
             .map_err(|_| Error::ServerUnavailable(format!("server {server} dropped request")))?;

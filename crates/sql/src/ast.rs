@@ -278,7 +278,10 @@ pub enum Expr {
 impl Expr {
     /// Convenience constructor for column references.
     pub fn col(name: &str) -> Expr {
-        Expr::Column { table: None, name: name.to_string() }
+        Expr::Column {
+            table: None,
+            name: name.to_string(),
+        }
     }
 
     /// Convenience constructor for integer literals.
@@ -300,9 +303,9 @@ impl Expr {
             Expr::InList { expr, list, .. } => {
                 expr.contains_aggregate() || list.iter().any(|e| e.contains_aggregate())
             }
-            Expr::Between { expr, low, high, .. } => {
-                expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate()
-            }
+            Expr::Between {
+                expr, low, high, ..
+            } => expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate(),
             _ => false,
         }
     }
@@ -314,7 +317,11 @@ mod tests {
 
     #[test]
     fn aggregate_detection() {
-        let agg = Expr::Function { name: "COUNT".into(), args: vec![], star: true };
+        let agg = Expr::Function {
+            name: "COUNT".into(),
+            args: vec![],
+            star: true,
+        };
         assert!(agg.contains_aggregate());
         let nested = Expr::Binary {
             op: BinOp::Add,
@@ -323,13 +330,23 @@ mod tests {
         };
         assert!(nested.contains_aggregate());
         assert!(!Expr::col("a").contains_aggregate());
-        let scalar_fn = Expr::Function { name: "LENGTH".into(), args: vec![Expr::col("a")], star: false };
+        let scalar_fn = Expr::Function {
+            name: "LENGTH".into(),
+            args: vec![Expr::col("a")],
+            star: false,
+        };
         assert!(!scalar_fn.contains_aggregate());
     }
 
     #[test]
     fn helpers() {
         assert_eq!(Expr::int(3), Expr::Literal(Value::Int(3)));
-        assert_eq!(Expr::col("x"), Expr::Column { table: None, name: "x".into() });
+        assert_eq!(
+            Expr::col("x"),
+            Expr::Column {
+                table: None,
+                name: "x".into()
+            }
+        );
     }
 }

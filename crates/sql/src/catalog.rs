@@ -72,12 +72,16 @@ pub struct TableSchema {
 impl TableSchema {
     /// Index of the column called `name` (case-insensitive).
     pub fn col_index(&self, name: &str) -> Option<usize> {
-        self.columns.iter().position(|c| c.name.eq_ignore_ascii_case(name))
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
     }
 
     /// The index named `name`, if any.
     pub fn index_named(&self, name: &str) -> Option<&IndexInfo> {
-        self.indexes.iter().find(|i| i.name.eq_ignore_ascii_case(name))
+        self.indexes
+            .iter()
+            .find(|i| i.name.eq_ignore_ascii_case(name))
     }
 
     /// Serializes the schema for storage in the catalog tree.
@@ -139,9 +143,18 @@ impl TableSchema {
             };
             let not_null = r.u8()? != 0;
             let primary_key = r.u8()? != 0;
-            columns.push(ColumnInfo { name: cname, ctype, not_null, primary_key });
+            columns.push(ColumnInfo {
+                name: cname,
+                ctype,
+                not_null,
+                primary_key,
+            });
         }
-        let rowid_col = if r.u8()? == 1 { Some(r.uvarint()? as usize) } else { None };
+        let rowid_col = if r.u8()? == 1 {
+            Some(r.uvarint()? as usize)
+        } else {
+            None
+        };
         let nidx = r.uvarint()? as usize;
         let mut indexes = Vec::with_capacity(nidx);
         for _ in 0..nidx {
@@ -154,9 +167,20 @@ impl TableSchema {
             for _ in 0..nic {
                 cols.push(r.uvarint()? as usize);
             }
-            indexes.push(IndexInfo { name: iname, tree: itree, columns: cols, unique });
+            indexes.push(IndexInfo {
+                name: iname,
+                tree: itree,
+                columns: cols,
+                unique,
+            });
         }
-        Ok(TableSchema { name, tree, columns, rowid_col, indexes })
+        Ok(TableSchema {
+            name,
+            tree,
+            columns,
+            rowid_col,
+            indexes,
+        })
     }
 }
 
@@ -180,7 +204,11 @@ impl Catalog {
             Err(e) => return Err(e),
         }
         let tree = engine.tree(CATALOG_TREE);
-        Ok(Catalog { engine, tree, cache: Mutex::new(HashMap::new()) })
+        Ok(Catalog {
+            engine,
+            tree,
+            cache: Mutex::new(HashMap::new()),
+        })
     }
 
     /// The engine this catalog issues storage operations through.
@@ -235,7 +263,10 @@ impl Catalog {
 
     /// Allocates `count` consecutive rowids for a table.
     pub fn allocate_rowids(&self, schema: &TableSchema, count: u64) -> Result<i64> {
-        let raw = self.engine.kv().allocate(ObjectId::new(schema.tree, ROWID_ALLOC_OID), count)?;
+        let raw = self
+            .engine
+            .kv()
+            .allocate(ObjectId::new(schema.tree, ROWID_ALLOC_OID), count)?;
         Ok(raw as i64 + 1)
     }
 
@@ -291,8 +322,13 @@ impl Catalog {
             }
         }
 
-        let schema =
-            TableSchema { name: stmt.name.clone(), tree, columns, rowid_col, indexes };
+        let schema = TableSchema {
+            name: stmt.name.clone(),
+            tree,
+            columns,
+            rowid_col,
+            indexes,
+        };
 
         // Create the trees and record the schema, all in the caller's
         // transaction.
@@ -300,9 +336,12 @@ impl Catalog {
         for ix in &schema.indexes {
             self.create_tree_in_txn(txn, ix.tree)?;
         }
-        self.tree.insert(txn, &Self::catalog_key(&stmt.name), &schema.encode())?;
+        self.tree
+            .insert(txn, &Self::catalog_key(&stmt.name), &schema.encode())?;
         let schema = Arc::new(schema);
-        self.cache.lock().insert(stmt.name.to_ascii_lowercase(), Arc::clone(&schema));
+        self.cache
+            .lock()
+            .insert(stmt.name.to_ascii_lowercase(), Arc::clone(&schema));
         Ok(schema)
     }
 
@@ -312,7 +351,10 @@ impl Catalog {
         if txn.get(ObjectId::root(tree))?.is_some() {
             return Err(Error::Internal(format!("tree {tree} already exists")));
         }
-        txn.put(ObjectId::root(tree), Node::Leaf(LeafNode::empty_root()).encode())?;
+        txn.put(
+            ObjectId::root(tree),
+            Node::Leaf(LeafNode::empty_root()).encode(),
+        )?;
         Ok(())
     }
 
@@ -348,8 +390,9 @@ impl Catalog {
         // Materialise first: the scan borrows the transaction immutably and
         // inserts need it too, which is fine, but collecting keeps the code
         // simple and tables being indexed are typically freshly created.
-        let rows: Vec<(Vec<u8>, bytes::Bytes)> =
-            table_tree.scan(txn, None, None)?.collect::<Result<Vec<_>>>()?;
+        let rows: Vec<(Vec<u8>, bytes::Bytes)> = table_tree
+            .scan(txn, None, None)?
+            .collect::<Result<Vec<_>>>()?;
         for (key, value) in rows {
             let rowid = crate::row::decode_rowid_key(&key)?;
             let row = crate::row::decode_row(&value)?;
@@ -371,9 +414,12 @@ impl Catalog {
 
         let mut new_schema = (*schema).clone();
         new_schema.indexes.push(index);
-        self.tree.insert(txn, &Self::catalog_key(&stmt.table), &new_schema.encode())?;
+        self.tree
+            .insert(txn, &Self::catalog_key(&stmt.table), &new_schema.encode())?;
         let new_schema = Arc::new(new_schema);
-        self.cache.lock().insert(stmt.table.to_ascii_lowercase(), Arc::clone(&new_schema));
+        self.cache
+            .lock()
+            .insert(stmt.table.to_ascii_lowercase(), Arc::clone(&new_schema));
         Ok(new_schema)
     }
 

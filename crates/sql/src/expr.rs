@@ -113,7 +113,11 @@ impl EvalCtx<'_> {
                 let v = self.eval(expr)?;
                 Ok(Value::Int(i64::from(v.is_null() != *negated)))
             }
-            Expr::InList { expr, list, negated } => {
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
                 let v = self.eval(expr)?;
                 if v.is_null() {
                     return Ok(Value::Null);
@@ -128,7 +132,12 @@ impl EvalCtx<'_> {
                 }
                 Ok(Value::Int(i64::from(found != *negated)))
             }
-            Expr::Between { expr, low, high, negated } => {
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
                 let v = self.eval(expr)?;
                 let lo = self.eval(low)?;
                 let hi = self.eval(high)?;
@@ -250,14 +259,23 @@ impl EvalCtx<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::parser::parse;
     use crate::ast::{SelectItem, Statement};
+    use crate::parser::parse;
 
     fn eval_str(sql_expr: &str, layout: &ColumnLayout, row: &[Value]) -> Result<Value> {
         let stmt = parse(&format!("SELECT {sql_expr}"))?;
-        let Statement::Select(sel) = stmt else { panic!("not a select") };
-        let SelectItem::Expr { expr, .. } = &sel.items[0] else { panic!("not an expr") };
-        EvalCtx { layout, row, params: &[] }.eval(expr)
+        let Statement::Select(sel) = stmt else {
+            panic!("not a select")
+        };
+        let SelectItem::Expr { expr, .. } = &sel.items[0] else {
+            panic!("not an expr")
+        };
+        EvalCtx {
+            layout,
+            row,
+            params: &[],
+        }
+        .eval(expr)
     }
 
     #[test]
@@ -268,7 +286,10 @@ mod tests {
         assert_eq!(eval_str("-5 + 2", &l, &[]).unwrap(), Value::Int(-3));
         assert_eq!(eval_str("10 / 4", &l, &[]).unwrap(), Value::Int(2));
         assert_eq!(eval_str("10.0 / 4", &l, &[]).unwrap(), Value::Real(2.5));
-        assert_eq!(eval_str("'a' || 'b' || 3", &l, &[]).unwrap(), Value::Text("ab3".into()));
+        assert_eq!(
+            eval_str("'a' || 'b' || 3", &l, &[]).unwrap(),
+            Value::Text("ab3".into())
+        );
     }
 
     #[test]
@@ -287,12 +308,24 @@ mod tests {
     #[test]
     fn comparisons_in_between() {
         let l = ColumnLayout::empty();
-        assert_eq!(eval_str("2 BETWEEN 1 AND 3", &l, &[]).unwrap(), Value::Int(1));
-        assert_eq!(eval_str("5 NOT BETWEEN 1 AND 3", &l, &[]).unwrap(), Value::Int(1));
+        assert_eq!(
+            eval_str("2 BETWEEN 1 AND 3", &l, &[]).unwrap(),
+            Value::Int(1)
+        );
+        assert_eq!(
+            eval_str("5 NOT BETWEEN 1 AND 3", &l, &[]).unwrap(),
+            Value::Int(1)
+        );
         assert_eq!(eval_str("2 IN (1, 2, 3)", &l, &[]).unwrap(), Value::Int(1));
-        assert_eq!(eval_str("9 NOT IN (1, 2, 3)", &l, &[]).unwrap(), Value::Int(1));
+        assert_eq!(
+            eval_str("9 NOT IN (1, 2, 3)", &l, &[]).unwrap(),
+            Value::Int(1)
+        );
         assert_eq!(eval_str("'abc' LIKE 'a%'", &l, &[]).unwrap(), Value::Int(1));
-        assert_eq!(eval_str("'abc' NOT LIKE 'a%'", &l, &[]).unwrap(), Value::Int(0));
+        assert_eq!(
+            eval_str("'abc' NOT LIKE 'a%'", &l, &[]).unwrap(),
+            Value::Int(0)
+        );
     }
 
     #[test]
@@ -303,7 +336,10 @@ mod tests {
             (Some("o".into()), "id".into()),
         ]);
         let row = vec![Value::Int(1), Value::Text("alice".into()), Value::Int(9)];
-        assert_eq!(eval_str("name", &layout, &row).unwrap(), Value::Text("alice".into()));
+        assert_eq!(
+            eval_str("name", &layout, &row).unwrap(),
+            Value::Text("alice".into())
+        );
         assert_eq!(eval_str("u.id", &layout, &row).unwrap(), Value::Int(1));
         assert_eq!(eval_str("o.id", &layout, &row).unwrap(), Value::Int(9));
         // Unqualified ambiguous reference errors.
@@ -315,11 +351,23 @@ mod tests {
     fn scalar_functions() {
         let l = ColumnLayout::empty();
         assert_eq!(eval_str("LENGTH('hello')", &l, &[]).unwrap(), Value::Int(5));
-        assert_eq!(eval_str("UPPER('ab')", &l, &[]).unwrap(), Value::Text("AB".into()));
-        assert_eq!(eval_str("LOWER('AB')", &l, &[]).unwrap(), Value::Text("ab".into()));
+        assert_eq!(
+            eval_str("UPPER('ab')", &l, &[]).unwrap(),
+            Value::Text("AB".into())
+        );
+        assert_eq!(
+            eval_str("LOWER('AB')", &l, &[]).unwrap(),
+            Value::Text("ab".into())
+        );
         assert_eq!(eval_str("ABS(-3)", &l, &[]).unwrap(), Value::Int(3));
-        assert_eq!(eval_str("COALESCE(NULL, NULL, 7)", &l, &[]).unwrap(), Value::Int(7));
-        assert_eq!(eval_str("IFNULL(NULL, 'x')", &l, &[]).unwrap(), Value::Text("x".into()));
+        assert_eq!(
+            eval_str("COALESCE(NULL, NULL, 7)", &l, &[]).unwrap(),
+            Value::Int(7)
+        );
+        assert_eq!(
+            eval_str("IFNULL(NULL, 'x')", &l, &[]).unwrap(),
+            Value::Text("x".into())
+        );
         assert!(eval_str("NOSUCHFUNC(1)", &l, &[]).is_err());
     }
 
@@ -327,11 +375,23 @@ mod tests {
     fn params_bind() {
         let l = ColumnLayout::empty();
         let stmt = parse("SELECT ? + ?").unwrap();
-        let Statement::Select(sel) = stmt else { panic!() };
-        let SelectItem::Expr { expr, .. } = &sel.items[0] else { panic!() };
-        let ctx = EvalCtx { layout: &l, row: &[], params: &[Value::Int(2), Value::Int(40)] };
+        let Statement::Select(sel) = stmt else {
+            panic!()
+        };
+        let SelectItem::Expr { expr, .. } = &sel.items[0] else {
+            panic!()
+        };
+        let ctx = EvalCtx {
+            layout: &l,
+            row: &[],
+            params: &[Value::Int(2), Value::Int(40)],
+        };
         assert_eq!(ctx.eval(expr).unwrap(), Value::Int(42));
-        let ctx_missing = EvalCtx { layout: &l, row: &[], params: &[Value::Int(2)] };
+        let ctx_missing = EvalCtx {
+            layout: &l,
+            row: &[],
+            params: &[Value::Int(2)],
+        };
         assert!(ctx_missing.eval(expr).is_err());
     }
 }

@@ -1,1 +1,24 @@
-//! Placeholder; implemented next.
+//! Yesquel's SQL layer: tokenizer, parser, expression evaluation, typed
+//! rows, and the catalog mapping tables and indexes onto distributed
+//! balanced trees.
+//!
+//! The layering follows Figure 1 of the paper: the SQL layer compiles
+//! statements into operations on DBTs (`yesquel-ydbt`), which in turn run
+//! inside the distributed transactions of the key-value store
+//! (`yesquel-kv`).  Every table is one DBT keyed by rowid; every secondary
+//! index is another DBT keyed by the order-preserving encoding of the
+//! indexed columns (see [`row`]).
+
+pub mod ast;
+pub mod catalog;
+pub mod expr;
+pub mod parser;
+pub mod row;
+pub mod token;
+pub mod types;
+
+pub use ast::Statement;
+pub use catalog::Catalog;
+pub use parser::{parse, parse_script};
+pub use token::tokenize;
+pub use types::{ColumnType, Value};

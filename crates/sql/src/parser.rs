@@ -9,11 +9,18 @@ use crate::types::{ColumnType, Value};
 /// Parses one SQL statement (a trailing semicolon is allowed).
 pub fn parse(sql: &str) -> Result<Statement> {
     let tokens = tokenize(sql)?;
-    let mut p = Parser { tokens, pos: 0, params: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        params: 0,
+    };
     let stmt = p.parse_statement()?;
     p.eat_symbol(Symbol::Semicolon);
     if !p.at_end() {
-        return Err(Error::Parse(format!("unexpected trailing tokens near {:?}", p.peek())));
+        return Err(Error::Parse(format!(
+            "unexpected trailing tokens near {:?}",
+            p.peek()
+        )));
     }
     Ok(stmt)
 }
@@ -61,7 +68,10 @@ impl Parser {
         if self.eat_kw(kw) {
             Ok(())
         } else {
-            Err(Error::Parse(format!("expected keyword {kw}, found {:?}", self.peek())))
+            Err(Error::Parse(format!(
+                "expected keyword {kw}, found {:?}",
+                self.peek()
+            )))
         }
     }
 
@@ -78,7 +88,10 @@ impl Parser {
         if self.eat_symbol(s) {
             Ok(())
         } else {
-            Err(Error::Parse(format!("expected {s:?}, found {:?}", self.peek())))
+            Err(Error::Parse(format!(
+                "expected {s:?}, found {:?}",
+                self.peek()
+            )))
         }
     }
 
@@ -86,7 +99,9 @@ impl Parser {
         match self.bump() {
             Some(Token::Ident(s)) => Ok(s),
             Some(Token::QuotedIdent(s)) => Ok(s),
-            other => Err(Error::Parse(format!("expected identifier, found {other:?}"))),
+            other => Err(Error::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -115,7 +130,9 @@ impl Parser {
                 self.bump();
                 Ok(Statement::Rollback)
             }
-            other => Err(Error::Parse(format!("unsupported statement starting with {other:?}"))),
+            other => Err(Error::Parse(format!(
+                "unsupported statement starting with {other:?}"
+            ))),
         }
     }
 
@@ -179,7 +196,11 @@ impl Parser {
                 }
             }
             self.expect_symbol(Symbol::RParen)?;
-            Ok(Statement::CreateTable(CreateTable { name, columns, if_not_exists }))
+            Ok(Statement::CreateTable(CreateTable {
+                name,
+                columns,
+                if_not_exists,
+            }))
         } else if self.eat_kw("index") {
             let if_not_exists = self.parse_if_not_exists()?;
             let name = self.ident()?;
@@ -194,7 +215,13 @@ impl Parser {
                 }
             }
             self.expect_symbol(Symbol::RParen)?;
-            Ok(Statement::CreateIndex(CreateIndex { name, table, columns, unique, if_not_exists }))
+            Ok(Statement::CreateIndex(CreateIndex {
+                name,
+                table,
+                columns,
+                unique,
+                if_not_exists,
+            }))
         } else {
             Err(Error::Parse("expected TABLE or INDEX after CREATE".into()))
         }
@@ -254,7 +281,11 @@ impl Parser {
                 break;
             }
         }
-        Ok(Statement::Insert(Insert { table, columns, rows }))
+        Ok(Statement::Insert(Insert {
+            table,
+            columns,
+            rows,
+        }))
     }
 
     fn parse_table_ref(&mut self) -> Result<TableRef> {
@@ -286,6 +317,16 @@ impl Parser {
             if self.eat_symbol(Symbol::Star) {
                 items.push(SelectItem::Wildcard);
             } else {
+                // A clause keyword here means the select list is missing
+                // ("SELECT FROM t"); without this check the keyword would be
+                // misparsed as a column reference named e.g. "from".
+                if let Some(Token::Ident(a)) = self.peek() {
+                    if is_clause_kw(a) && !a.eq_ignore_ascii_case("not") {
+                        return Err(Error::Parse(format!(
+                            "expected select item, found keyword '{a}'"
+                        )));
+                    }
+                }
                 let expr = self.parse_expr()?;
                 let alias = if self.eat_kw("as") {
                     Some(self.ident()?)
@@ -323,7 +364,11 @@ impl Parser {
                     break;
                 }
                 let table = self.parse_table_ref()?;
-                let on = if self.eat_kw("on") { Some(self.parse_expr()?) } else { None };
+                let on = if self.eat_kw("on") {
+                    Some(self.parse_expr()?)
+                } else {
+                    None
+                };
                 joins.push(Join { table, on });
             }
             Some(FromClause { base, joins })
@@ -331,7 +376,11 @@ impl Parser {
             None
         };
 
-        let where_clause = if self.eat_kw("where") { Some(self.parse_expr()?) } else { None };
+        let where_clause = if self.eat_kw("where") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
 
         let mut group_by = Vec::new();
         if self.eat_kw("group") {
@@ -371,13 +420,24 @@ impl Parser {
             }
         }
 
-        Ok(Select { items, from, where_clause, group_by, order_by, limit, offset, distinct })
+        Ok(Select {
+            items,
+            from,
+            where_clause,
+            group_by,
+            order_by,
+            limit,
+            offset,
+            distinct,
+        })
     }
 
     fn parse_u64(&mut self) -> Result<u64> {
         match self.bump() {
             Some(Token::Int(i)) if i >= 0 => Ok(i as u64),
-            other => Err(Error::Parse(format!("expected non-negative integer, found {other:?}"))),
+            other => Err(Error::Parse(format!(
+                "expected non-negative integer, found {other:?}"
+            ))),
         }
     }
 
@@ -395,16 +455,31 @@ impl Parser {
                 break;
             }
         }
-        let where_clause = if self.eat_kw("where") { Some(self.parse_expr()?) } else { None };
-        Ok(Statement::Update(Update { table, assignments, where_clause }))
+        let where_clause = if self.eat_kw("where") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Update(Update {
+            table,
+            assignments,
+            where_clause,
+        }))
     }
 
     fn parse_delete(&mut self) -> Result<Statement> {
         self.expect_kw("delete")?;
         self.expect_kw("from")?;
         let table = self.ident()?;
-        let where_clause = if self.eat_kw("where") { Some(self.parse_expr()?) } else { None };
-        Ok(Statement::Delete(Delete { table, where_clause }))
+        let where_clause = if self.eat_kw("where") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Delete(Delete {
+            table,
+            where_clause,
+        }))
     }
 
     // ----- expressions (precedence climbing) -----
@@ -417,7 +492,11 @@ impl Parser {
         let mut left = self.parse_and()?;
         while self.eat_kw("or") {
             let right = self.parse_and()?;
-            left = Expr::Binary { op: BinOp::Or, left: Box::new(left), right: Box::new(right) };
+            left = Expr::Binary {
+                op: BinOp::Or,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -426,7 +505,11 @@ impl Parser {
         let mut left = self.parse_not()?;
         while self.eat_kw("and") {
             let right = self.parse_not()?;
-            left = Expr::Binary { op: BinOp::And, left: Box::new(left), right: Box::new(right) };
+            left = Expr::Binary {
+                op: BinOp::And,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -446,7 +529,10 @@ impl Parser {
         if self.eat_kw("is") {
             let negated = self.eat_kw("not");
             self.expect_kw("null")?;
-            return Ok(Expr::IsNull { expr: Box::new(left), negated });
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
         }
         // [NOT] IN / BETWEEN / LIKE
         let negated = if matches!(self.peek(), Some(t) if t.is_kw("not")) {
@@ -471,7 +557,11 @@ impl Parser {
                 }
             }
             self.expect_symbol(Symbol::RParen)?;
-            return Ok(Expr::InList { expr: Box::new(left), list, negated });
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
         }
         if self.eat_kw("between") {
             let low = self.parse_additive()?;
@@ -486,9 +576,16 @@ impl Parser {
         }
         if self.eat_kw("like") {
             let right = self.parse_additive()?;
-            let like =
-                Expr::Binary { op: BinOp::Like, left: Box::new(left), right: Box::new(right) };
-            return Ok(if negated { Expr::Not(Box::new(like)) } else { like });
+            let like = Expr::Binary {
+                op: BinOp::Like,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+            return Ok(if negated {
+                Expr::Not(Box::new(like))
+            } else {
+                like
+            });
         }
 
         let op = match self.peek() {
@@ -503,7 +600,11 @@ impl Parser {
         if let Some(op) = op {
             self.bump();
             let right = self.parse_additive()?;
-            return Ok(Expr::Binary { op, left: Box::new(left), right: Box::new(right) });
+            return Ok(Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            });
         }
         Ok(left)
     }
@@ -519,7 +620,11 @@ impl Parser {
             };
             self.bump();
             let right = self.parse_multiplicative()?;
-            left = Expr::Binary { op, left: Box::new(left), right: Box::new(right) };
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -535,7 +640,11 @@ impl Parser {
             };
             self.bump();
             let right = self.parse_unary()?;
-            left = Expr::Binary { op, left: Box::new(left), right: Box::new(right) };
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -580,7 +689,11 @@ impl Parser {
                     let fname = name.to_ascii_uppercase();
                     if self.eat_symbol(Symbol::Star) {
                         self.expect_symbol(Symbol::RParen)?;
-                        return Ok(Expr::Function { name: fname, args: vec![], star: true });
+                        return Ok(Expr::Function {
+                            name: fname,
+                            args: vec![],
+                            star: true,
+                        });
                     }
                     let mut args = Vec::new();
                     if !self.eat_symbol(Symbol::RParen) {
@@ -592,24 +705,41 @@ impl Parser {
                         }
                         self.expect_symbol(Symbol::RParen)?;
                     }
-                    return Ok(Expr::Function { name: fname, args, star: false });
+                    return Ok(Expr::Function {
+                        name: fname,
+                        args,
+                        star: false,
+                    });
                 }
                 // Qualified column?
                 if self.eat_symbol(Symbol::Dot) {
                     let col = self.ident()?;
-                    return Ok(Expr::Column { table: Some(name), name: col });
+                    return Ok(Expr::Column {
+                        table: Some(name),
+                        name: col,
+                    });
                 }
                 Ok(Expr::Column { table: None, name })
             }
-            other => Err(Error::Parse(format!("unexpected token {other:?} in expression"))),
+            other => Err(Error::Parse(format!(
+                "unexpected token {other:?} in expression"
+            ))),
         }
     }
 }
 
 fn is_column_constraint_kw(s: &str) -> bool {
-    ["primary", "not", "null", "unique", "references", "default", "check"]
-        .iter()
-        .any(|k| s.eq_ignore_ascii_case(k))
+    [
+        "primary",
+        "not",
+        "null",
+        "unique",
+        "references",
+        "default",
+        "check",
+    ]
+    .iter()
+    .any(|k| s.eq_ignore_ascii_case(k))
 }
 
 fn is_clause_kw(s: &str) -> bool {
@@ -750,7 +880,10 @@ mod tests {
     fn drop_table() {
         assert_eq!(
             parse("DROP TABLE IF EXISTS t").unwrap(),
-            Statement::DropTable { name: "t".into(), if_exists: true }
+            Statement::DropTable {
+                name: "t".into(),
+                if_exists: true
+            }
         );
     }
 
@@ -776,7 +909,15 @@ mod tests {
         // 1 + 2 * 3 parses as 1 + (2 * 3)
         match parse("SELECT 1 + 2 * 3").unwrap() {
             Statement::Select(sel) => match &sel.items[0] {
-                SelectItem::Expr { expr: Expr::Binary { op: BinOp::Add, right, .. }, .. } => {
+                SelectItem::Expr {
+                    expr:
+                        Expr::Binary {
+                            op: BinOp::Add,
+                            right,
+                            ..
+                        },
+                    ..
+                } => {
                     assert!(matches!(**right, Expr::Binary { op: BinOp::Mul, .. }));
                 }
                 other => panic!("wrong parse {other:?}"),

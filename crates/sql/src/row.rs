@@ -174,7 +174,10 @@ mod tests {
 
     #[test]
     fn rowid_key_order_and_roundtrip() {
-        let keys: Vec<Vec<u8>> = [-5i64, -1, 0, 3, 1000].iter().map(|i| encode_rowid_key(*i)).collect();
+        let keys: Vec<Vec<u8>> = [-5i64, -1, 0, 3, 1000]
+            .iter()
+            .map(|i| encode_rowid_key(*i))
+            .collect();
         let mut sorted = keys.clone();
         sorted.sort();
         assert_eq!(keys, sorted);

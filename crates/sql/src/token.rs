@@ -137,7 +137,11 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
             }
             '=' => {
                 out.push(Token::Symbol(Symbol::Eq));
-                i += if bytes.get(i + 1) == Some(&b'=') { 2 } else { 1 };
+                i += if bytes.get(i + 1) == Some(&b'=') {
+                    2
+                } else {
+                    1
+                };
             }
             '!' => {
                 if bytes.get(i + 1) == Some(&b'=') {

@@ -83,9 +83,10 @@ impl Value {
         match self {
             Value::Int(i) => Ok(*i),
             Value::Real(r) => Ok(*r as i64),
-            Value::Text(s) => {
-                s.trim().parse().map_err(|_| Error::Type(format!("'{s}' is not an integer")))
-            }
+            Value::Text(s) => s
+                .trim()
+                .parse()
+                .map_err(|_| Error::Type(format!("'{s}' is not an integer"))),
             Value::Null => Err(Error::Type("NULL is not an integer".into())),
             Value::Blob(_) => Err(Error::Type("blob is not an integer".into())),
         }
@@ -96,9 +97,10 @@ impl Value {
         match self {
             Value::Int(i) => Ok(*i as f64),
             Value::Real(r) => Ok(*r),
-            Value::Text(s) => {
-                s.trim().parse().map_err(|_| Error::Type(format!("'{s}' is not a number")))
-            }
+            Value::Text(s) => s
+                .trim()
+                .parse()
+                .map_err(|_| Error::Type(format!("'{s}' is not a number"))),
             Value::Null => Err(Error::Type("NULL is not a number".into())),
             Value::Blob(_) => Err(Error::Type("blob is not a number".into())),
         }
@@ -240,7 +242,11 @@ impl Value {
         if self.is_null() || other.is_null() {
             return Ok(Value::Null);
         }
-        Ok(Value::Text(format!("{}{}", self.as_text()?, other.as_text()?)))
+        Ok(Value::Text(format!(
+            "{}{}",
+            self.as_text()?,
+            other.as_text()?
+        )))
     }
 
     /// SQL `LIKE` with `%` and `_` wildcards, case-insensitive for ASCII.
@@ -250,7 +256,9 @@ impl Value {
         }
         let text = self.as_text()?.to_ascii_lowercase();
         let pat = pattern.as_text()?.to_ascii_lowercase();
-        Ok(Value::Int(like_match(text.as_bytes(), pat.as_bytes()) as i64))
+        Ok(Value::Int(
+            like_match(text.as_bytes(), pat.as_bytes()) as i64
+        ))
     }
 }
 
@@ -276,9 +284,7 @@ fn numeric_binop(
 fn like_match(text: &[u8], pat: &[u8]) -> bool {
     match pat.first() {
         None => text.is_empty(),
-        Some(b'%') => {
-            (0..=text.len()).any(|i| like_match(&text[i..], &pat[1..]))
-        }
+        Some(b'%') => (0..=text.len()).any(|i| like_match(&text[i..], &pat[1..])),
         Some(b'_') => !text.is_empty() && like_match(&text[1..], &pat[1..]),
         Some(c) => text.first() == Some(c) && like_match(&text[1..], &pat[1..]),
     }
@@ -291,7 +297,11 @@ impl fmt::Display for Value {
             Value::Int(i) => write!(f, "{i}"),
             Value::Real(r) => write!(f, "{r}"),
             Value::Text(s) => write!(f, "{s}"),
-            Value::Blob(b) => write!(f, "x'{}'", b.iter().map(|c| format!("{c:02x}")).collect::<String>()),
+            Value::Blob(b) => write!(
+                f,
+                "x'{}'",
+                b.iter().map(|c| format!("{c:02x}")).collect::<String>()
+            ),
         }
     }
 }
@@ -350,7 +360,10 @@ mod tests {
     #[test]
     fn arithmetic() {
         assert_eq!(Value::Int(2).add(&Value::Int(3)).unwrap(), Value::Int(5));
-        assert_eq!(Value::Int(2).mul(&Value::Real(1.5)).unwrap(), Value::Real(3.0));
+        assert_eq!(
+            Value::Int(2).mul(&Value::Real(1.5)).unwrap(),
+            Value::Real(3.0)
+        );
         assert_eq!(Value::Int(7).div(&Value::Int(2)).unwrap(), Value::Int(3));
         assert_eq!(Value::Int(7).div(&Value::Int(0)).unwrap(), Value::Null);
         assert_eq!(Value::Int(7).rem(&Value::Int(4)).unwrap(), Value::Int(3));
@@ -367,13 +380,19 @@ mod tests {
     #[test]
     fn comparisons_and_sorting() {
         assert_eq!(Value::Int(1).compare(&Value::Int(2)), Some(Ordering::Less));
-        assert_eq!(Value::Int(2).compare(&Value::Real(2.0)), Some(Ordering::Equal));
+        assert_eq!(
+            Value::Int(2).compare(&Value::Real(2.0)),
+            Some(Ordering::Equal)
+        );
         assert_eq!(
             Value::Text("a".into()).compare(&Value::Text("b".into())),
             Some(Ordering::Less)
         );
         // Cross-class ordering: numbers sort before text.
-        assert_eq!(Value::Int(99).sort_cmp(&Value::Text("1".into())), Ordering::Less);
+        assert_eq!(
+            Value::Int(99).sort_cmp(&Value::Text("1".into())),
+            Ordering::Less
+        );
         assert_eq!(Value::Null.sort_cmp(&Value::Int(0)), Ordering::Less);
         assert_eq!(Value::Int(1).sql_eq(&Value::Int(1)), Value::Int(1));
         assert_eq!(Value::Int(1).sql_eq(&Value::Int(2)), Value::Int(0));
@@ -381,11 +400,23 @@ mod tests {
 
     #[test]
     fn coercion_on_store() {
-        assert_eq!(Value::Text("42".into()).coerce(ColumnType::Integer), Value::Int(42));
-        assert_eq!(Value::Text("x".into()).coerce(ColumnType::Integer), Value::Text("x".into()));
+        assert_eq!(
+            Value::Text("42".into()).coerce(ColumnType::Integer),
+            Value::Int(42)
+        );
+        assert_eq!(
+            Value::Text("x".into()).coerce(ColumnType::Integer),
+            Value::Text("x".into())
+        );
         assert_eq!(Value::Int(3).coerce(ColumnType::Real), Value::Real(3.0));
-        assert_eq!(Value::Int(3).coerce(ColumnType::Text), Value::Text("3".into()));
-        assert_eq!(Value::Real(2.5).coerce(ColumnType::Integer), Value::Real(2.5));
+        assert_eq!(
+            Value::Int(3).coerce(ColumnType::Text),
+            Value::Text("3".into())
+        );
+        assert_eq!(
+            Value::Real(2.5).coerce(ColumnType::Integer),
+            Value::Real(2.5)
+        );
         assert_eq!(Value::Real(2.0).coerce(ColumnType::Integer), Value::Int(2));
     }
 

@@ -34,7 +34,10 @@ pub struct OidAllocator {
 impl OidAllocator {
     /// Creates an allocator backed by `kv`.
     pub fn new(kv: KvClient) -> Self {
-        OidAllocator { kv, blocks: Arc::new(Mutex::new(HashMap::new())) }
+        OidAllocator {
+            kv,
+            blocks: Arc::new(Mutex::new(HashMap::new())),
+        }
     }
 
     /// Allocates one fresh object id in `tree`.

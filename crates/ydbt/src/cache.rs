@@ -11,24 +11,67 @@
 //! node carries its fence interval, and a search that lands on a node whose
 //! interval does not contain the key invalidates the offending entries and
 //! backs up (see `tree.rs`).
+//!
+//! ## Hot-path behaviour
+//!
+//! The cache sits on the point-read fast path (one probe per tree level per
+//! lookup), so it is built to cost almost nothing:
+//!
+//! * entries are `Arc<InnerNode>` — a hit returns a reference-count bump,
+//!   never a deep clone of the node's key vectors;
+//! * the map is split over [`CACHE_SHARDS`] independently locked shards so
+//!   concurrent client threads do not serialize on one mutex;
+//! * overflow is handled per shard by **second-chance eviction**: entries
+//!   touched since the last sweep survive, untouched ones go.  The previous
+//!   policy cleared the whole cache, which made every client re-walk every
+//!   tree from the root after each overflow.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use parking_lot::Mutex;
+use yesquel_common::ids::shard_index;
 use yesquel_common::stats::StatsRegistry;
 use yesquel_common::{Oid, TreeId};
 
 use crate::node::InnerNode;
 
-/// Default bound on cached entries; when exceeded the cache is cleared
-/// (inner nodes are tiny, so this is generous, and clearing is always safe —
-/// the cache is only a performance hint).
+/// Default bound on cached entries; inner nodes are tiny, so this is
+/// generous.
 const DEFAULT_MAX_ENTRIES: usize = 262_144;
+
+/// Number of cache shards (power of two).
+pub const CACHE_SHARDS: usize = 16;
+
+struct Entry {
+    node: Arc<InnerNode>,
+    /// Second-chance bit: set on every hit, cleared by an eviction sweep.
+    referenced: bool,
+}
+
+#[derive(Default)]
+struct CacheShard {
+    map: HashMap<(TreeId, Oid), Entry>,
+}
+
+impl CacheShard {
+    /// Evicts entries not referenced since the last sweep and clears the
+    /// bit on the survivors.  If every entry was recently referenced nothing
+    /// is evicted this round — the bits are now cleared, so the next
+    /// overflow sweep reclaims whatever was not touched in between; the
+    /// shard overshoots its bound by at most the inserts between two sweeps.
+    fn sweep(&mut self) -> usize {
+        let before = self.map.len();
+        self.map
+            .retain(|_, e| std::mem::replace(&mut e.referenced, false));
+        before - self.map.len()
+    }
+}
 
 /// A shared cache of inner nodes, keyed by `(tree, oid)`.
 pub struct NodeCache {
-    map: Mutex<HashMap<(TreeId, Oid), InnerNode>>,
-    max_entries: usize,
+    shards: Vec<Mutex<CacheShard>>,
+    max_per_shard: usize,
     stats: StatsRegistry,
 }
 
@@ -40,16 +83,28 @@ impl NodeCache {
 
     /// Creates an empty cache with an explicit entry bound.
     pub fn with_capacity(max_entries: usize, stats: StatsRegistry) -> Self {
-        NodeCache { map: Mutex::new(HashMap::new()), max_entries: max_entries.max(16), stats }
+        NodeCache {
+            shards: (0..CACHE_SHARDS)
+                .map(|_| Mutex::new(CacheShard::default()))
+                .collect(),
+            max_per_shard: (max_entries.max(CACHE_SHARDS) / CACHE_SHARDS).max(1),
+            stats,
+        }
     }
 
-    /// Returns a clone of the cached inner node, if present.
-    pub fn get(&self, tree: TreeId, oid: Oid) -> Option<InnerNode> {
-        let g = self.map.lock();
-        match g.get(&(tree, oid)) {
-            Some(n) => {
+    fn shard_of(tree: TreeId, oid: Oid) -> usize {
+        shard_index(tree, oid, 0x1234_5678_9abc_def0, CACHE_SHARDS)
+    }
+
+    /// Returns the cached inner node, if present.  A hit is a pointer bump —
+    /// the node itself is shared, never cloned.
+    pub fn get(&self, tree: TreeId, oid: Oid) -> Option<Arc<InnerNode>> {
+        let mut g = self.shards[Self::shard_of(tree, oid)].lock();
+        match g.map.get_mut(&(tree, oid)) {
+            Some(e) => {
+                e.referenced = true;
                 self.stats.counter("dbt.cache_hits").inc();
-                Some(n.clone())
+                Some(Arc::clone(&e.node))
             }
             None => {
                 self.stats.counter("dbt.cache_misses").inc();
@@ -59,31 +114,48 @@ impl NodeCache {
     }
 
     /// Inserts or refreshes an entry.
-    pub fn put(&self, tree: TreeId, oid: Oid, node: InnerNode) {
-        let mut g = self.map.lock();
-        if g.len() >= self.max_entries {
-            // Inner nodes are re-fetched lazily, so wholesale clearing is
-            // safe and keeps the eviction policy trivial.
-            g.clear();
-            self.stats.counter("dbt.cache_evictions").inc();
+    pub fn put(&self, tree: TreeId, oid: Oid, node: impl Into<Arc<InnerNode>>) {
+        let node = node.into();
+        let mut g = self.shards[Self::shard_of(tree, oid)].lock();
+        // Refreshing an existing entry cannot grow the shard, so it must not
+        // trigger an eviction sweep (a refresh-heavy phase would otherwise
+        // purge its neighbours for nothing).
+        if g.map.len() >= self.max_per_shard && !g.map.contains_key(&(tree, oid)) {
+            let evicted = g.sweep();
+            if evicted > 0 {
+                self.stats
+                    .counter("dbt.cache_evictions")
+                    .add(evicted as u64);
+            }
         }
-        g.insert((tree, oid), node);
+        g.map.insert(
+            (tree, oid),
+            Entry {
+                node,
+                referenced: false,
+            },
+        );
     }
 
     /// Removes one entry (after a fence miss showed it was stale).
     pub fn invalidate(&self, tree: TreeId, oid: Oid) {
-        self.map.lock().remove(&(tree, oid));
+        self.shards[Self::shard_of(tree, oid)]
+            .lock()
+            .map
+            .remove(&(tree, oid));
         self.stats.counter("dbt.cache_invalidations").inc();
     }
 
     /// Removes every entry of one tree (used when a tree is dropped).
     pub fn invalidate_tree(&self, tree: TreeId) {
-        self.map.lock().retain(|(t, _), _| *t != tree);
+        for shard in &self.shards {
+            shard.lock().map.retain(|(t, _), _| *t != tree);
+        }
     }
 
     /// Number of cached entries.
     pub fn len(&self) -> usize {
-        self.map.lock().len()
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
     }
 
     /// True if nothing is cached.
@@ -96,12 +168,13 @@ impl NodeCache {
 mod tests {
     use super::*;
     use crate::node::Bound;
+    use bytes::Bytes;
 
     fn inner(children: Vec<Oid>) -> InnerNode {
         InnerNode {
             lower: Bound::NegInf,
             upper: Bound::PosInf,
-            keys: vec![b"m".to_vec(); children.len().saturating_sub(1)],
+            keys: vec![Bytes::from_static(b"m"); children.len().saturating_sub(1)],
             children,
             height: 1,
         }
@@ -123,6 +196,17 @@ mod tests {
     }
 
     #[test]
+    fn hits_share_one_node_instance() {
+        let c = NodeCache::new(StatsRegistry::new());
+        c.put(1, 0, inner(vec![5, 6]));
+        let a = c.get(1, 0).unwrap();
+        let b = c.get(1, 0).unwrap();
+        // Same allocation: the cache returns shared pointers, not clones.
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(Arc::strong_count(&a) >= 3); // a, b, and the cache entry
+    }
+
+    #[test]
     fn invalidate_tree_scoped() {
         let c = NodeCache::new(StatsRegistry::new());
         c.put(1, 0, inner(vec![5, 6]));
@@ -133,13 +217,49 @@ mod tests {
     }
 
     #[test]
-    fn capacity_bound_clears() {
+    fn capacity_bound_evicts() {
         let stats = StatsRegistry::new();
         let c = NodeCache::with_capacity(16, stats.clone());
-        for oid in 0..40u64 {
+        for oid in 0..200u64 {
             c.put(1, oid, inner(vec![oid + 100, oid + 200]));
         }
-        assert!(c.len() <= 17);
+        assert!(
+            c.len() <= 2 * CACHE_SHARDS,
+            "cache grew unboundedly: {}",
+            c.len()
+        );
         assert!(stats.counter("dbt.cache_evictions").get() >= 1);
+    }
+
+    #[test]
+    fn second_chance_keeps_recently_used() {
+        let stats = StatsRegistry::new();
+        // One entry per shard before overflow.
+        let c = NodeCache::with_capacity(CACHE_SHARDS * 4, stats.clone());
+        // Find two oids in the same shard.
+        let shard0 = NodeCache::shard_of(1, 0);
+        let mut same: Vec<Oid> = Vec::new();
+        let mut oid = 0;
+        while same.len() < 6 {
+            if NodeCache::shard_of(1, oid) == shard0 {
+                same.push(oid);
+            }
+            oid += 1;
+        }
+        // Fill the shard to its bound (4 entries), touch the first one, then
+        // overflow: the touched entry must survive the sweep.
+        for &o in &same[..4] {
+            c.put(1, o, inner(vec![o + 1, o + 2]));
+        }
+        assert!(c.get(1, same[0]).is_some());
+        c.put(1, same[4], inner(vec![1, 2]));
+        assert!(
+            c.get(1, same[0]).is_some(),
+            "recently used entry was evicted"
+        );
+        assert!(
+            c.get(1, same[1]).is_none(),
+            "untouched entry should have been evicted"
+        );
     }
 }

@@ -7,10 +7,10 @@
 
 use std::sync::Arc;
 
+use yesquel_common::config::SplitMode;
 use yesquel_common::ids::ROOT_OID;
 use yesquel_common::stats::StatsRegistry;
 use yesquel_common::{DbtConfig, Error, ObjectId, Result, TreeId};
-use yesquel_common::config::SplitMode;
 use yesquel_kv::KvClient;
 
 use crate::alloc::OidAllocator;
@@ -51,7 +51,15 @@ impl DbtEngine {
         } else {
             None
         };
-        Arc::new(DbtEngine { kv, cfg, cache, load, alloc, stats, splitter })
+        Arc::new(DbtEngine {
+            kv,
+            cfg,
+            cache,
+            load,
+            alloc,
+            stats,
+            splitter,
+        })
     }
 
     /// The key-value client this engine issues its operations through.
@@ -84,15 +92,27 @@ impl DbtEngine {
         self.cache.len()
     }
 
+    /// Drops every cached inner node of `tree`.  The cache is a performance
+    /// hint, so this is always safe; benchmarks use it to measure cold-cache
+    /// lookups and tests use it to force back-down searches.
+    pub fn invalidate_cache(&self, tree: TreeId) {
+        self.cache.invalidate_tree(tree);
+    }
+
     /// Initialises `tree`: writes an empty root leaf.  Fails if the tree
     /// already exists.
     pub fn create_tree(&self, tree: TreeId) -> Result<()> {
         let txn = self.kv.begin();
         if txn.get(ObjectId::root(tree))?.is_some() {
             txn.abort();
-            return Err(Error::InvalidArgument(format!("tree {tree} already exists")));
+            return Err(Error::InvalidArgument(format!(
+                "tree {tree} already exists"
+            )));
         }
-        txn.put(ObjectId::root(tree), Node::Leaf(LeafNode::empty_root()).encode())?;
+        txn.put(
+            ObjectId::root(tree),
+            Node::Leaf(LeafNode::empty_root()).encode(),
+        )?;
         txn.commit()?;
         Ok(())
     }
@@ -163,7 +183,10 @@ impl DbtEngine {
 
     /// Number of delegated splits still queued (diagnostics).
     pub fn pending_splits(&self) -> usize {
-        self.splitter.as_ref().map(|s| s.pending_count()).unwrap_or(0)
+        self.splitter
+            .as_ref()
+            .map(|s| s.pending_count())
+            .unwrap_or(0)
     }
 }
 

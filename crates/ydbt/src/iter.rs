@@ -33,7 +33,14 @@ impl<'a> DbtCursor<'a> {
         end: Option<Vec<u8>>,
         stats: StatsRegistry,
     ) -> Self {
-        DbtCursor { txn, tree, leaf: Some(leaf), idx, end, stats }
+        DbtCursor {
+            txn,
+            tree,
+            leaf: Some(leaf),
+            idx,
+            end,
+            stats,
+        }
     }
 
     fn advance_leaf(&mut self) -> Result<bool> {

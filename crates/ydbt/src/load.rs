@@ -21,7 +21,10 @@ impl LoadTracker {
     /// Creates a tracker that flags leaves after `threshold` accesses within
     /// one window.
     pub fn new(threshold: u64) -> Self {
-        LoadTracker { counts: Mutex::new(HashMap::new()), threshold: threshold.max(1) }
+        LoadTracker {
+            counts: Mutex::new(HashMap::new()),
+            threshold: threshold.max(1),
+        }
     }
 
     /// Records one access to a leaf and returns true if the leaf has just

@@ -8,28 +8,48 @@
 //! "back-down search" of the paper): if a search for key `k` arrives at a
 //! node whose fence interval does not contain `k`, the client's cache was
 //! out of date and the search backs up.
+//!
+//! ## Decoding without copies
+//!
+//! Nodes arrive from the key-value store as [`Bytes`] — a reference-counted
+//! buffer.  [`Node::decode_shared`] decodes by **slicing** that buffer:
+//! cell values, fence-bound keys and inner separator keys all share the
+//! fetched allocation instead of being copied out one by one.  A warm point
+//! read therefore performs no per-value allocation between the RPC and the
+//! caller.  ([`Node::decode`] remains for callers holding a bare slice; it
+//! makes one copy of the whole buffer and then shares it.)
 
 use bytes::Bytes;
 use yesquel_common::encoding::{Reader, Writer};
 use yesquel_common::{Error, Oid, Result};
 
 /// One endpoint of a fence interval.
+///
+/// Keys are held as [`Bytes`] so that cloning a bound (which splits do
+/// repeatedly when rebuilding fences) is a reference-count bump, and so that
+/// decoded bounds can share the node's backing buffer.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Bound {
     /// Below every key.
     NegInf,
     /// An actual key.
-    Key(Vec<u8>),
+    Key(Bytes),
     /// Above every key.
     PosInf,
 }
 
 impl Bound {
+    /// A key bound copied from a slice (convenience for construction sites
+    /// that do not hold shared bytes).
+    pub fn key(k: &[u8]) -> Bound {
+        Bound::Key(Bytes::copy_from_slice(k))
+    }
+
     /// True if `key` is ≥ this bound when used as a lower bound.
     pub fn le_key(&self, key: &[u8]) -> bool {
         match self {
             Bound::NegInf => true,
-            Bound::Key(k) => k.as_slice() <= key,
+            Bound::Key(k) => &k[..] <= key,
             Bound::PosInf => false,
         }
     }
@@ -38,7 +58,7 @@ impl Bound {
     pub fn gt_key(&self, key: &[u8]) -> bool {
         match self {
             Bound::NegInf => false,
-            Bound::Key(k) => key < k.as_slice(),
+            Bound::Key(k) => key < &k[..],
             Bound::PosInf => true,
         }
     }
@@ -58,14 +78,22 @@ impl Bound {
         }
     }
 
-    fn decode(r: &mut Reader<'_>) -> Result<Bound> {
+    fn decode(r: &mut Reader<'_>, src: &Bytes) -> Result<Bound> {
         match r.u8()? {
             0 => Ok(Bound::NegInf),
-            1 => Ok(Bound::Key(r.bytes()?.to_vec())),
+            1 => Ok(Bound::Key(read_shared(r, src)?)),
             2 => Ok(Bound::PosInf),
             t => Err(Error::Corruption(format!("bad bound tag {t}"))),
         }
     }
+}
+
+/// Reads a length-prefixed byte string as a zero-copy slice of `src` (the
+/// buffer `r` is positioned in).
+fn read_shared(r: &mut Reader<'_>, src: &Bytes) -> Result<Bytes> {
+    let slice = r.bytes()?;
+    let end = r.pos();
+    Ok(src.slice(end - slice.len()..end))
 }
 
 /// Returns true if `key` lies in the fence interval `[lower, upper)`.
@@ -90,7 +118,12 @@ pub struct LeafNode {
 impl LeafNode {
     /// An empty leaf responsible for the whole key space (a new tree's root).
     pub fn empty_root() -> Self {
-        LeafNode { lower: Bound::NegInf, upper: Bound::PosInf, cells: Vec::new(), next: None }
+        LeafNode {
+            lower: Bound::NegInf,
+            upper: Bound::PosInf,
+            cells: Vec::new(),
+            next: None,
+        }
     }
 
     /// True if `key` is within this leaf's fence interval.
@@ -113,14 +146,18 @@ impl LeafNode {
 
     /// Inserts or replaces a cell; returns true if an existing cell was
     /// replaced.
-    pub fn insert_cell(&mut self, key: Vec<u8>, value: Bytes) -> bool {
-        match self.cells.binary_search_by(|(k, _)| k.as_slice().cmp(key.as_slice())) {
+    ///
+    /// Takes the key by reference and only allocates when a new cell is
+    /// actually inserted: replacing an existing cell — the common case for
+    /// update-heavy workloads — is allocation-free.
+    pub fn insert_cell(&mut self, key: &[u8], value: Bytes) -> bool {
+        match self.cells.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
             Ok(i) => {
                 self.cells[i].1 = value;
                 true
             }
             Err(i) => {
-                self.cells.insert(i, (key, value));
+                self.cells.insert(i, (key.to_vec(), value));
                 false
             }
         }
@@ -151,6 +188,10 @@ impl LeafNode {
 /// An inner node: `children[i]` is responsible for keys in
 /// `[keys[i-1], keys[i])`, with the node's own fences standing in at the
 /// ends (`keys.len() == children.len() - 1`).
+///
+/// Separator keys are [`Bytes`]: decoded inner nodes share their backing
+/// buffer (no per-key allocation on fetch) and splitting an inner node moves
+/// and clones separators by reference-count bump instead of `Vec` copy.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct InnerNode {
     /// Inclusive lower fence.
@@ -158,7 +199,7 @@ pub struct InnerNode {
     /// Exclusive upper fence.
     pub upper: Bound,
     /// Separator keys.
-    pub keys: Vec<Vec<u8>>,
+    pub keys: Vec<Bytes>,
     /// Child object ids.
     pub children: Vec<Oid>,
     /// Height above the leaves (1 = children are leaves).
@@ -173,7 +214,7 @@ impl InnerNode {
 
     /// Index of the child responsible for `key`.
     pub fn child_index(&self, key: &[u8]) -> usize {
-        self.keys.partition_point(|k| k.as_slice() <= key)
+        self.keys.partition_point(|k| &k[..] <= key)
     }
 
     /// Object id of the child responsible for `key`.
@@ -183,7 +224,7 @@ impl InnerNode {
 
     /// Inserts separator `key` and child `oid` immediately after child
     /// `after_index` (the child that was split).
-    pub fn insert_child_after(&mut self, after_index: usize, key: Vec<u8>, oid: Oid) {
+    pub fn insert_child_after(&mut self, after_index: usize, key: Bytes, oid: Oid) {
         debug_assert!(after_index < self.children.len());
         self.keys.insert(after_index, key);
         self.children.insert(after_index + 1, oid);
@@ -278,27 +319,42 @@ impl Node {
         w.finish()
     }
 
-    /// Decodes a node previously produced by [`Node::encode`].
+    /// Decodes a node from a bare slice.  Copies the buffer once and then
+    /// shares it; callers that already hold [`Bytes`] (everything on the
+    /// fetch path) should use [`Node::decode_shared`] instead.
     pub fn decode(buf: &[u8]) -> Result<Node> {
+        Self::decode_shared(&Bytes::copy_from_slice(buf))
+    }
+
+    /// Decodes a node previously produced by [`Node::encode`], sharing the
+    /// backing buffer: cell values, fence-bound keys and inner separator
+    /// keys are slices of `buf`, not copies.  Only leaf cell *keys* are
+    /// materialised as `Vec<u8>` (they are mutated in place by inserts).
+    pub fn decode_shared(buf: &Bytes) -> Result<Node> {
         let mut r = Reader::new(buf);
         match r.u8()? {
             LEAF_TAG => {
-                let lower = Bound::decode(&mut r)?;
-                let upper = Bound::decode(&mut r)?;
+                let lower = Bound::decode(&mut r, buf)?;
+                let upper = Bound::decode(&mut r, buf)?;
                 let has_next = r.u8()? == 1;
                 let next = if has_next { Some(r.u64()?) } else { None };
                 let n = r.uvarint()? as usize;
                 let mut cells = Vec::with_capacity(n);
                 for _ in 0..n {
                     let k = r.bytes()?.to_vec();
-                    let v = Bytes::copy_from_slice(r.bytes()?);
+                    let v = read_shared(&mut r, buf)?;
                     cells.push((k, v));
                 }
-                Ok(Node::Leaf(LeafNode { lower, upper, cells, next }))
+                Ok(Node::Leaf(LeafNode {
+                    lower,
+                    upper,
+                    cells,
+                    next,
+                }))
             }
             INNER_TAG => {
-                let lower = Bound::decode(&mut r)?;
-                let upper = Bound::decode(&mut r)?;
+                let lower = Bound::decode(&mut r, buf)?;
+                let upper = Bound::decode(&mut r, buf)?;
                 let height = r.u8()?;
                 let n = r.uvarint()? as usize;
                 if n == 0 {
@@ -310,9 +366,15 @@ impl Node {
                 }
                 let mut keys = Vec::with_capacity(n - 1);
                 for _ in 0..n - 1 {
-                    keys.push(r.bytes()?.to_vec());
+                    keys.push(read_shared(&mut r, buf)?);
                 }
-                Ok(Node::Inner(InnerNode { lower, upper, keys, children, height }))
+                Ok(Node::Inner(InnerNode {
+                    lower,
+                    upper,
+                    keys,
+                    children,
+                    height,
+                }))
             }
             t => Err(Error::Corruption(format!("bad node tag 0x{t:02x}"))),
         }
@@ -323,8 +385,8 @@ impl Node {
 mod tests {
     use super::*;
 
-    fn k(s: &str) -> Vec<u8> {
-        s.as_bytes().to_vec()
+    fn k(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
     }
 
     fn v(s: &str) -> Bytes {
@@ -342,6 +404,7 @@ mod tests {
         assert!(!Bound::Key(k("m")).le_key(b"a"));
         assert!(Bound::Key(k("m")).gt_key(b"a"));
         assert!(!Bound::Key(k("m")).gt_key(b"m"));
+        assert_eq!(Bound::key(b"m"), Bound::Key(k("m")));
     }
 
     #[test]
@@ -357,10 +420,10 @@ mod tests {
     #[test]
     fn leaf_insert_find_remove() {
         let mut l = LeafNode::empty_root();
-        assert!(!l.insert_cell(k("b"), v("2")));
-        assert!(!l.insert_cell(k("a"), v("1")));
-        assert!(!l.insert_cell(k("c"), v("3")));
-        assert!(l.insert_cell(k("b"), v("2b"))); // replace
+        assert!(!l.insert_cell(b"b", v("2")));
+        assert!(!l.insert_cell(b"a", v("1")));
+        assert!(!l.insert_cell(b"c", v("3")));
+        assert!(l.insert_cell(b"b", v("2b"))); // replace
         assert_eq!(l.len(), 3);
         assert_eq!(l.find(b"b"), Some(&v("2b")));
         assert_eq!(l.find(b"z"), None);
@@ -371,7 +434,7 @@ mod tests {
         assert_eq!(l.len(), 2);
         // Cells stay sorted.
         let keys: Vec<_> = l.cells.iter().map(|(k, _)| k.clone()).collect();
-        assert_eq!(keys, vec![k("b"), k("c")]);
+        assert_eq!(keys, vec![b"b".to_vec(), b"c".to_vec()]);
     }
 
     #[test]
@@ -415,7 +478,7 @@ mod tests {
         let leaf = Node::Leaf(LeafNode {
             lower: Bound::Key(k("b")),
             upper: Bound::PosInf,
-            cells: vec![(k("b"), v("vb")), (k("c"), v("vc"))],
+            cells: vec![(b"b".to_vec(), v("vb")), (b"c".to_vec(), v("vc"))],
             next: Some(42),
         });
         let buf = leaf.encode();
@@ -430,6 +493,63 @@ mod tests {
         });
         let buf = inner.encode();
         assert_eq!(Node::decode(&buf).unwrap(), inner);
+    }
+
+    #[test]
+    fn decode_shared_slices_backing_buffer() {
+        let leaf = Node::Leaf(LeafNode {
+            lower: Bound::Key(k("b")),
+            upper: Bound::PosInf,
+            cells: vec![(b"b".to_vec(), v("value-b")), (b"c".to_vec(), v("value-c"))],
+            next: None,
+        });
+        let buf = Bytes::from(leaf.encode());
+        let decoded = Node::decode_shared(&buf).unwrap();
+        assert_eq!(decoded, leaf);
+        let Node::Leaf(l) = decoded else {
+            panic!("leaf expected")
+        };
+        // Zero-copy: each value points inside the encoded buffer.
+        let base = buf.as_ref().as_ptr() as usize;
+        let end = base + buf.len();
+        for (_, value) in &l.cells {
+            let p = value.as_ref().as_ptr() as usize;
+            assert!(
+                p >= base && p + value.len() <= end,
+                "value copied instead of sliced"
+            );
+        }
+        if let Bound::Key(bk) = &l.lower {
+            let p = bk.as_ref().as_ptr() as usize;
+            assert!(
+                p >= base && p + bk.len() <= end,
+                "bound key copied instead of sliced"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_shared_inner_keys_are_slices() {
+        let inner = Node::Inner(InnerNode {
+            lower: Bound::NegInf,
+            upper: Bound::PosInf,
+            keys: vec![k("separator-g"), k("separator-p")],
+            children: vec![7, 9, 11],
+            height: 1,
+        });
+        let buf = Bytes::from(inner.encode());
+        let Node::Inner(i) = Node::decode_shared(&buf).unwrap() else {
+            panic!("inner expected")
+        };
+        let base = buf.as_ref().as_ptr() as usize;
+        let end = base + buf.len();
+        for key in &i.keys {
+            let p = key.as_ref().as_ptr() as usize;
+            assert!(
+                p >= base && p + key.len() <= end,
+                "separator copied instead of sliced"
+            );
+        }
     }
 
     #[test]

@@ -26,6 +26,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use bytes::Bytes;
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::Mutex;
 use yesquel_common::ids::ROOT_OID;
@@ -79,7 +80,11 @@ impl SplitContext {
             return None;
         }
         let n = self.kv.num_servers();
-        (0..n).min_by_key(|i| self.stats.counter(&format!("rpc.server.{i}.requests")).get())
+        (0..n).min_by_key(|i| {
+            self.stats
+                .counter(&format!("rpc.server.{i}.requests"))
+                .get()
+        })
     }
 
     /// Allocates the object id for the new (right) half of a split.
@@ -121,7 +126,10 @@ pub(crate) fn split_node_in_txn(
                 return Ok(());
             }
             let mid = leaf.len() / 2;
-            let split_key = leaf.cells[mid].0.clone();
+            // One allocation converts the separator to shared bytes; the
+            // bound/fence clones below are then reference-count bumps
+            // instead of fresh Vec copies.
+            let split_key = Bytes::copy_from_slice(&leaf.cells[mid].0);
             let right_cells = leaf.cells.split_off(mid);
             let new_oid = ctx.new_oid(tree, reason == SplitReason::Load)?;
             let right = LeafNode {
@@ -199,7 +207,7 @@ fn finish_split(
     left: Node,
     right_oid: Oid,
     right: Node,
-    split_key: Vec<u8>,
+    split_key: Bytes,
 ) -> Result<()> {
     ctx.stats.counter("dbt.splits").inc();
     if idx == 0 {
@@ -227,7 +235,10 @@ fn finish_split(
         };
         txn.put(ObjectId::new(tree, new_left_oid), left.encode())?;
         txn.put(ObjectId::new(tree, right_oid), right.encode())?;
-        txn.put(ObjectId::new(tree, ROOT_OID), Node::Inner(new_root).encode())?;
+        txn.put(
+            ObjectId::new(tree, ROOT_OID),
+            Node::Inner(new_root).encode(),
+        )?;
         ctx.cache.invalidate(tree, ROOT_OID);
         ctx.load.forget(tree, ROOT_OID);
         ctx.stats.counter("dbt.root_splits").inc();
@@ -246,10 +257,17 @@ fn finish_split(
         .children
         .iter()
         .position(|c| *c == left_oid)
-        .ok_or_else(|| Error::Internal(format!("parent {parent_oid} no longer references {left_oid}")))?;
+        .ok_or_else(|| {
+            Error::Internal(format!(
+                "parent {parent_oid} no longer references {left_oid}"
+            ))
+        })?;
     parent.insert_child_after(child_pos, split_key, right_oid);
     let parent_len = parent.len();
-    txn.put(ObjectId::new(tree, parent_oid), Node::Inner(parent).encode())?;
+    txn.put(
+        ObjectId::new(tree, parent_oid),
+        Node::Inner(parent).encode(),
+    )?;
     ctx.cache.invalidate(tree, parent_oid);
     ctx.load.forget(tree, left_oid);
 
@@ -270,7 +288,7 @@ pub(crate) fn execute_delegated_split(ctx: &SplitContext, req: &SplitRequest) ->
             return Ok(false);
         };
         // Re-check that the split is still warranted at this snapshot.
-        let nav_key: Vec<u8> = match &target {
+        let nav_key: Bytes = match &target {
             Node::Leaf(l) => {
                 if l.len() < 2
                     || (req.reason == SplitReason::Size && l.len() <= ctx.cfg.leaf_max_cells)
@@ -281,7 +299,7 @@ pub(crate) fn execute_delegated_split(ctx: &SplitContext, req: &SplitRequest) ->
                 }
                 match &l.lower {
                     Bound::Key(k) => k.clone(),
-                    _ => Vec::new(),
+                    _ => Bytes::new(),
                 }
             }
             Node::Inner(i) => {
@@ -292,7 +310,7 @@ pub(crate) fn execute_delegated_split(ctx: &SplitContext, req: &SplitRequest) ->
                 }
                 match &i.lower {
                     Bound::Key(k) => k.clone(),
-                    _ => Vec::new(),
+                    _ => Bytes::new(),
                 }
             }
         };
@@ -369,7 +387,11 @@ impl Splitter {
                 }
             })
             .expect("failed to spawn splitter thread");
-        Splitter { tx: Some(tx), pending, handle: Some(handle) }
+        Splitter {
+            tx: Some(tx),
+            pending,
+            handle: Some(handle),
+        }
     }
 
     /// Enqueues a split request, deduplicating per node.

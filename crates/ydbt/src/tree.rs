@@ -29,9 +29,9 @@
 use std::sync::Arc;
 
 use bytes::Bytes;
+use yesquel_common::config::SplitMode;
 use yesquel_common::ids::ROOT_OID;
 use yesquel_common::{Error, ObjectId, Oid, Result, TreeId};
-use yesquel_common::config::SplitMode;
 use yesquel_kv::Txn;
 
 use crate::engine::DbtEngine;
@@ -43,7 +43,9 @@ use crate::split::{split_node_in_txn, SplitReason, SplitRequest};
 /// the object has no visible version at the transaction's snapshot.
 pub(crate) fn fetch_node(txn: &Txn, tree: TreeId, oid: Oid) -> Result<Option<Node>> {
     match txn.get(ObjectId::new(tree, oid))? {
-        Some(bytes) => Ok(Some(Node::decode(&bytes)?)),
+        // Zero-copy decode: values and keys of the returned node are slices
+        // of the fetched buffer, so a leaf fetch allocates nothing per cell.
+        Some(bytes) => Ok(Some(Node::decode_shared(&bytes)?)),
         None => Ok(None),
     }
 }
@@ -125,6 +127,8 @@ impl Dbt {
                 Some(Node::Inner(inner)) if inner.fence_contains(key) => {
                     let child = inner.child_for(key);
                     if cfg.cache_inner_nodes {
+                        // The cache stores Arc<InnerNode>; later hits share
+                        // this instance instead of deep-cloning it.
                         cache.put(self.tree, oid, inner);
                     }
                     path.truncate(idx + 1);
@@ -181,6 +185,12 @@ impl Dbt {
     }
 
     /// Looks up `key`, returning its value if present.
+    ///
+    /// The returned [`Bytes`] is a zero-copy slice of the fetched leaf
+    /// buffer, so holding it keeps the whole encoded leaf (typically a few
+    /// KB) alive.  Callers that retain many values long-term should copy
+    /// them out (`Bytes::copy_from_slice(&v)`); callers that consume values
+    /// immediately — the common case — pay no copy at all.
     pub fn lookup(&self, txn: &Txn, key: &[u8]) -> Result<Option<Bytes>> {
         self.engine.stats().counter("dbt.lookups").inc();
         let lr = self.find_leaf(txn, key)?;
@@ -194,9 +204,12 @@ impl Dbt {
         self.engine.stats().counter("dbt.inserts").inc();
         let mut lr = self.find_leaf(txn, key)?;
         let leaf_oid = lr.oid();
-        let replaced = lr.leaf.insert_cell(key.to_vec(), Bytes::copy_from_slice(value));
+        let replaced = lr.leaf.insert_cell(key, Bytes::copy_from_slice(value));
         let new_len = lr.leaf.len();
-        txn.put(ObjectId::new(self.tree, leaf_oid), Node::Leaf(lr.leaf).encode())?;
+        txn.put(
+            ObjectId::new(self.tree, leaf_oid),
+            Node::Leaf(lr.leaf).encode(),
+        )?;
         self.track_access(leaf_oid, new_len);
 
         if new_len > self.engine.config().leaf_max_cells {
@@ -226,7 +239,10 @@ impl Dbt {
         let existed = lr.leaf.remove_cell(key);
         if existed {
             let len = lr.leaf.len();
-            txn.put(ObjectId::new(self.tree, leaf_oid), Node::Leaf(lr.leaf).encode())?;
+            txn.put(
+                ObjectId::new(self.tree, leaf_oid),
+                Node::Leaf(lr.leaf).encode(),
+            )?;
             self.track_access(leaf_oid, len);
         } else {
             self.track_access(leaf_oid, lr.leaf.len());
@@ -311,7 +327,10 @@ mod tests {
         assert!(!dbt.insert(&txn, b"a", b"1").unwrap());
         assert!(!dbt.insert(&txn, b"b", b"2").unwrap());
         assert!(dbt.insert(&txn, b"a", b"1bis").unwrap());
-        assert_eq!(dbt.lookup(&txn, b"a").unwrap().as_deref(), Some(&b"1bis"[..]));
+        assert_eq!(
+            dbt.lookup(&txn, b"a").unwrap().as_deref(),
+            Some(&b"1bis"[..])
+        );
         assert!(dbt.delete(&txn, b"a").unwrap());
         assert!(!dbt.delete(&txn, b"a").unwrap());
         assert_eq!(dbt.lookup(&txn, b"a").unwrap(), None);
@@ -328,7 +347,10 @@ mod tests {
         other.commit().unwrap();
         txn.commit().unwrap();
         let after = db.client().begin();
-        assert_eq!(dbt.lookup(&after, b"k").unwrap().as_deref(), Some(&b"v"[..]));
+        assert_eq!(
+            dbt.lookup(&after, b"k").unwrap().as_deref(),
+            Some(&b"v"[..])
+        );
         after.commit().unwrap();
     }
 
@@ -338,7 +360,8 @@ mod tests {
         let n = 200u64;
         for i in 0..n {
             let txn = db.client().begin();
-            dbt.insert(&txn, &key(i), format!("val{i}").as_bytes()).unwrap();
+            dbt.insert(&txn, &key(i), format!("val{i}").as_bytes())
+                .unwrap();
             txn.commit().unwrap();
         }
         let txn = db.client().begin();
@@ -369,7 +392,9 @@ mod tests {
             // Delegated splits commit concurrently with these transactions,
             // so an individual attempt may hit a write-write conflict; the
             // retry wrapper is the intended usage pattern.
-            client.run_txn(|txn| dbt.insert(txn, &key(i), b"x")).unwrap();
+            client
+                .run_txn(|txn| dbt.insert(txn, &key(i), b"x"))
+                .unwrap();
         }
         engine.wait_for_splits();
         let txn = db.client().begin();
@@ -392,8 +417,11 @@ mod tests {
         for k in &keys {
             dbt.insert(&txn, &key(*k), b"v").unwrap();
         }
-        let collected: Vec<Vec<u8>> =
-            dbt.scan(&txn, None, None).unwrap().map(|r| r.unwrap().0).collect();
+        let collected: Vec<Vec<u8>> = dbt
+            .scan(&txn, None, None)
+            .unwrap()
+            .map(|r| r.unwrap().0)
+            .collect();
         let mut expected: Vec<Vec<u8>> = (0..150u64).map(key).collect();
         expected.sort();
         assert_eq!(collected, expected);
@@ -415,13 +443,24 @@ mod tests {
         let expected: Vec<Vec<u8>> = (10..20u64).map(key).collect();
         assert_eq!(got, expected);
         // Empty range.
-        assert_eq!(dbt.scan(&txn, Some(&key(30)), Some(&key(30))).unwrap().count(), 0);
+        assert_eq!(
+            dbt.scan(&txn, Some(&key(30)), Some(&key(30)))
+                .unwrap()
+                .count(),
+            0
+        );
         txn.commit().unwrap();
     }
 
     #[test]
     fn cache_makes_warm_lookups_single_fetch() {
-        let (db, engine, dbt) = setup(4, DbtConfig { leaf_max_cells: 8, ..DbtConfig::default() });
+        let (db, engine, dbt) = setup(
+            4,
+            DbtConfig {
+                leaf_max_cells: 8,
+                ..DbtConfig::default()
+            },
+        );
         // Build a tree of a few hundred keys so there are inner nodes.
         let txn = db.client().begin();
         for i in 0..400u64 {
@@ -455,7 +494,10 @@ mod tests {
 
     #[test]
     fn no_cache_fetches_whole_path() {
-        let cfg = DbtConfig { leaf_max_cells: 8, ..DbtConfig::ablation_no_cache() };
+        let cfg = DbtConfig {
+            leaf_max_cells: 8,
+            ..DbtConfig::ablation_no_cache()
+        };
         let (db, engine, dbt) = setup(4, cfg);
         let txn = db.client().begin();
         for i in 0..400u64 {
@@ -520,7 +562,10 @@ mod tests {
         // A must still find everything despite its stale cache.
         let txn = db.client().begin();
         for i in (0..400u64).step_by(7) {
-            assert!(dbt_a.lookup(&txn, &key(i)).unwrap().is_some(), "key {i} lost");
+            assert!(
+                dbt_a.lookup(&txn, &key(i)).unwrap().is_some(),
+                "key {i} lost"
+            );
         }
         txn.commit().unwrap();
         assert!(db.stats().counter("dbt.search_restarts").get() > 0);

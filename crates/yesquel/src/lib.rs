@@ -1,1 +1,86 @@
-//! Placeholder; implemented next.
+//! Top-level facade of the Yesquel reproduction.
+//!
+//! Re-exports the public surface of every layer so applications (and the
+//! workspace's integration tests and examples) can depend on one crate:
+//!
+//! * [`KvDatabase`] / [`KvClient`] — the transactional key-value deployment;
+//! * [`DbtEngine`] / [`Dbt`] — the distributed balanced tree;
+//! * [`sql`] — the SQL front end (parser, catalog, rows);
+//! * [`baselines`] — single-node comparison stores.
+
+pub use yesquel_baselines as baselines;
+pub use yesquel_common as common;
+pub use yesquel_kv as kv;
+pub use yesquel_rpc as rpc;
+pub use yesquel_sql as sql;
+pub use yesquel_ydbt as ydbt;
+
+pub use yesquel_common::{DbtConfig, Error, KvConfig, NetConfig, ObjectId, Result, YesquelConfig};
+pub use yesquel_kv::{KvClient, KvDatabase, Txn};
+pub use yesquel_ydbt::{Dbt, DbtEngine};
+
+use std::sync::Arc;
+
+/// A whole Yesquel deployment plus one client-side DBT engine — the shape an
+/// embedding application uses: open, create trees, run transactions.
+pub struct Yesquel {
+    db: KvDatabase,
+    engine: Arc<DbtEngine>,
+}
+
+impl Yesquel {
+    /// Opens an in-process deployment with `num_servers` storage servers and
+    /// default configuration.
+    pub fn open(num_servers: usize) -> Self {
+        Self::open_with(YesquelConfig::with_servers(num_servers))
+    }
+
+    /// Opens a deployment from an explicit configuration.
+    pub fn open_with(config: YesquelConfig) -> Self {
+        let dbt_cfg = config.dbt.clone();
+        let db = KvDatabase::new(config);
+        let engine = DbtEngine::new(db.client(), dbt_cfg);
+        Yesquel { db, engine }
+    }
+
+    /// The key-value deployment.
+    pub fn db(&self) -> &KvDatabase {
+        &self.db
+    }
+
+    /// This client's DBT engine (cache, splitter, allocator).
+    pub fn engine(&self) -> &Arc<DbtEngine> {
+        &self.engine
+    }
+
+    /// Starts a key-value transaction.
+    pub fn begin(&self) -> Txn {
+        self.db.client().begin()
+    }
+
+    /// Creates a tree (table/index) and returns a handle to it.
+    pub fn create_tree(&self, tree: u64) -> Result<Dbt> {
+        self.engine.create_tree(tree)?;
+        Ok(self.engine.tree(tree))
+    }
+
+    /// Opens a handle to an existing tree.
+    pub fn tree(&self, tree: u64) -> Dbt {
+        self.engine.tree(tree)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_create_put_get() {
+        let y = Yesquel::open(3);
+        let t = y.create_tree(1).unwrap();
+        let txn = y.begin();
+        t.insert(&txn, b"k", b"v").unwrap();
+        assert_eq!(t.lookup(&txn, b"k").unwrap().as_deref(), Some(&b"v"[..]));
+        txn.commit().unwrap();
+    }
+}

@@ -1,0 +1,344 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the criterion API surface used by `crates/bench`
+//! (`criterion_group!` / `criterion_main!`, `Criterion::bench_function`,
+//! benchmark groups, `black_box`, `BenchmarkId`) with a simple but honest
+//! measurement loop: warm up, then time fixed-size batches and report the
+//! mean / median / p95 nanoseconds per iteration.  No statistical regression
+//! analysis is performed; this is a measuring stick, not a lab instrument.
+//!
+//! Machine-readable output: when the `BENCH_JSON_OUT` environment variable
+//! names a file, every finished benchmark appends one JSON object per line
+//! (`{"name": ..., "mean_ns": ..., "median_ns": ..., "p95_ns": ...,
+//! "iters": ...}`) to it.  The workspace's `BENCH_*.json` baselines are
+//! assembled from those lines (see `crates/bench`).
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target duration of the warm-up phase per benchmark.
+const WARMUP: Duration = Duration::from_millis(60);
+/// Target duration of one timed batch.
+const BATCH_TARGET: Duration = Duration::from_millis(4);
+/// Number of timed batches (samples).
+const SAMPLES: usize = 40;
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full benchmark name (`group/function` for grouped benches).
+    pub name: String,
+    /// Mean nanoseconds per iteration across samples.
+    pub mean_ns: f64,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// 95th-percentile nanoseconds per iteration.
+    pub p95_ns: f64,
+    /// Total iterations executed during measurement.
+    pub iters: u64,
+}
+
+/// Collects per-iteration timing samples for one benchmark.
+pub struct Bencher {
+    samples: Vec<f64>,
+    iters: u64,
+}
+
+/// Hint for `iter_batched` (accepted for API compatibility; the shim sizes
+/// batches by time, not by input size).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher {
+            samples: Vec::with_capacity(SAMPLES),
+            iters: 0,
+        }
+    }
+
+    /// Measures `f` called in a loop.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warm-up, and estimate the cost of one iteration.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < WARMUP {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let batch = ((BATCH_TARGET.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 1 << 22);
+
+        for _ in 0..SAMPLES {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let ns = t.elapsed().as_nanos() as f64 / batch as f64;
+            self.samples.push(ns);
+            self.iters += batch;
+        }
+    }
+
+    /// Measures `routine` on values produced by `setup`; only the routine is
+    /// timed.  Used for benchmarks whose input must be rebuilt per call
+    /// (e.g. cold-cache runs).
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        // Warm-up.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < WARMUP {
+            let input = setup();
+            black_box(routine(input));
+        }
+        for _ in 0..SAMPLES {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t.elapsed().as_nanos() as f64);
+            self.iters += 1;
+        }
+    }
+
+    fn result(mut self, name: &str) -> BenchResult {
+        self.samples
+            .sort_by(|a, b| a.partial_cmp(b).expect("non-NaN"));
+        let n = self.samples.len().max(1);
+        let mean = self.samples.iter().sum::<f64>() / n as f64;
+        let median = self.samples.get(n / 2).copied().unwrap_or(0.0);
+        let p95 = self.samples.get((n * 95) / 100).copied().unwrap_or(median);
+        BenchResult {
+            name: name.to_string(),
+            mean_ns: mean,
+            median_ns: median,
+            p95_ns: p95,
+            iters: self.iters,
+        }
+    }
+}
+
+/// Benchmark identifier (`BenchmarkId::new("decode", 64)` -> `decode/64`).
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter display value.
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            full: format!("{}/{}", name.into(), param),
+        }
+    }
+
+    /// Creates an id from a parameter alone.
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            full: param.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.full)
+    }
+}
+
+/// Throughput annotation (accepted, not used by the shim's reporting).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+    finalized: bool,
+}
+
+impl Criterion {
+    /// Runs one benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        let r = b.result(name);
+        eprintln!(
+            "bench {:<44} mean {:>12}  median {:>12}  p95 {:>12}",
+            r.name,
+            fmt_ns(r.mean_ns),
+            fmt_ns(r.median_ns),
+            fmt_ns(r.p95_ns)
+        );
+        self.results.push(r);
+        self
+    }
+
+    /// Opens a named group; benches run through it are reported as
+    /// `group/name`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            prefix: name.into(),
+        }
+    }
+
+    /// Emits the JSON lines (if `BENCH_JSON_OUT` is set) and a closing
+    /// summary.  Called automatically by `criterion_group!`.
+    pub fn finalize(&mut self) {
+        if self.finalized {
+            return;
+        }
+        self.finalized = true;
+        let Ok(path) = std::env::var("BENCH_JSON_OUT") else {
+            return;
+        };
+        if path.is_empty() {
+            return;
+        }
+        let mut out = String::new();
+        for r in &self.results {
+            let _ = writeln!(
+                out,
+                "{{\"name\": \"{}\", \"mean_ns\": {:.1}, \"median_ns\": {:.1}, \"p95_ns\": {:.1}, \"iters\": {}}}",
+                r.name.replace('"', "'"),
+                r.mean_ns,
+                r.median_ns,
+                r.p95_ns,
+                r.iters
+            );
+        }
+        match std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        {
+            Ok(mut f) => {
+                let _ = f.write_all(out.as_bytes());
+            }
+            Err(e) => eprintln!("criterion shim: cannot write {path}: {e}"),
+        }
+    }
+
+    /// Finished results (for programmatic use).
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+}
+
+impl Drop for Criterion {
+    fn drop(&mut self) {
+        self.finalize();
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    prefix: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark inside the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.prefix, id);
+        self.c.bench_function(&name, f);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim does not scale reports by
+    /// throughput.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declares a benchmark group function running each listed bench.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+            c.finalize();
+        }
+    };
+}
+
+/// Declares `main` running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_produces_sane_numbers() {
+        let mut c = Criterion::default();
+        c.bench_function("noop_add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+        let r = &c.results()[0];
+        assert_eq!(r.name, "noop_add");
+        assert!(r.mean_ns > 0.0);
+        assert!(r.iters > 0);
+        assert!(r.median_ns <= r.p95_ns * 1.001);
+    }
+
+    #[test]
+    fn grouped_names_are_prefixed() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("grp");
+            g.bench_function(BenchmarkId::new("f", 3), |b| b.iter(|| black_box(3)));
+            g.finish();
+        }
+        assert_eq!(c.results()[0].name, "grp/f/3");
+    }
+}

@@ -1,0 +1,257 @@
+//! Offline stand-in for `crossbeam` — just the `channel` module.
+//!
+//! Provides multi-producer **multi-consumer** channels (std's mpsc receiver
+//! is not clonable, and the threaded transport fans one queue out to several
+//! worker threads).  Built on a `Mutex<VecDeque>` plus condvars; throughput
+//! is far below real crossbeam's lock-free queues but entirely sufficient
+//! for the request rates the simulated cluster pushes through it.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Chan<T> {
+        queue: Mutex<VecDeque<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+        capacity: Option<usize>,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    /// Error returned by [`Sender::send`] when every receiver is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// every sender is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "receiving on an empty, disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty but senders remain.
+        Empty,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    /// The sending half of a channel.  Clonable.
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// The receiving half of a channel.  Clonable (MPMC).
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.chan.senders.fetch_add(1, Ordering::SeqCst);
+            Sender {
+                chan: Arc::clone(&self.chan),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.chan.receivers.fetch_add(1, Ordering::SeqCst);
+            Receiver {
+                chan: Arc::clone(&self.chan),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.chan.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // Last sender gone: wake blocked receivers so they observe
+                // the disconnect.
+                let _g = self.chan.queue.lock().unwrap();
+                self.chan.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            if self.chan.receivers.fetch_sub(1, Ordering::SeqCst) == 1 {
+                let _g = self.chan.queue.lock().unwrap();
+                self.chan.not_full.notify_all();
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `value`, blocking while a bounded channel is full.  Fails
+        /// only when every receiver has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut q = self.chan.queue.lock().unwrap();
+            loop {
+                if self.chan.receivers.load(Ordering::SeqCst) == 0 {
+                    return Err(SendError(value));
+                }
+                match self.chan.capacity {
+                    Some(cap) if q.len() >= cap => {
+                        q = self.chan.not_full.wait(q).unwrap();
+                    }
+                    _ => break,
+                }
+            }
+            q.push_back(value);
+            drop(q);
+            self.chan.not_empty.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receives a value, blocking while the channel is empty.  Fails only
+        /// when the channel is empty and every sender has been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut q = self.chan.queue.lock().unwrap();
+            loop {
+                if let Some(v) = q.pop_front() {
+                    drop(q);
+                    self.chan.not_full.notify_one();
+                    return Ok(v);
+                }
+                if self.chan.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvError);
+                }
+                q = self.chan.not_empty.wait(q).unwrap();
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut q = self.chan.queue.lock().unwrap();
+            if let Some(v) = q.pop_front() {
+                drop(q);
+                self.chan.not_full.notify_one();
+                return Ok(v);
+            }
+            if self.chan.senders.load(Ordering::SeqCst) == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            self.chan.queue.lock().unwrap().len()
+        }
+
+        /// True if no message is queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    fn channel<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            queue: Mutex::new(VecDeque::new()),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (
+            Sender {
+                chan: Arc::clone(&chan),
+            },
+            Receiver { chan },
+        )
+    }
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        channel(None)
+    }
+
+    /// Creates a bounded MPMC channel with capacity `cap` (at least 1).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        channel(Some(cap.max(1)))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn unbounded_fifo() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.recv().unwrap(), 1);
+            assert_eq!(rx.recv().unwrap(), 2);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        }
+
+        #[test]
+        fn disconnect_semantics() {
+            let (tx, rx) = unbounded::<u32>();
+            drop(tx);
+            assert_eq!(rx.recv(), Err(RecvError));
+            let (tx, rx) = unbounded::<u32>();
+            drop(rx);
+            assert_eq!(tx.send(1), Err(SendError(1)));
+        }
+
+        #[test]
+        fn mpmc_workers_drain_everything() {
+            let (tx, rx) = bounded::<u64>(8);
+            let mut workers = Vec::new();
+            let total = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+            for _ in 0..4 {
+                let rx = rx.clone();
+                let total = std::sync::Arc::clone(&total);
+                workers.push(std::thread::spawn(move || {
+                    while rx.recv().is_ok() {
+                        total.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                    }
+                }));
+            }
+            drop(rx);
+            for i in 0..1000 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            for w in workers {
+                w.join().unwrap();
+            }
+            assert_eq!(total.load(std::sync::atomic::Ordering::SeqCst), 1000);
+        }
+
+        #[test]
+        fn bounded_blocks_until_capacity_frees() {
+            let (tx, rx) = bounded::<u32>(1);
+            tx.send(1).unwrap();
+            let t = std::thread::spawn(move || {
+                tx.send(2).unwrap(); // blocks until the first recv
+            });
+            assert_eq!(rx.recv().unwrap(), 1);
+            assert_eq!(rx.recv().unwrap(), 2);
+            t.join().unwrap();
+        }
+    }
+}

@@ -1,1 +1,18 @@
-// Placeholder; implemented after the baselines.
+//! Sanity tests of the single-node baseline store the benchmarks compare
+//! against.
+
+use yesquel::baselines::LocalKv;
+
+#[test]
+fn baseline_kv_round_trip() {
+    let kv = LocalKv::new();
+    for i in 0..100u64 {
+        kv.put(&i.to_be_bytes(), format!("v{i}"));
+    }
+    assert_eq!(kv.len(), 100);
+    assert_eq!(kv.get(&42u64.to_be_bytes()).as_deref(), Some(&b"v42"[..]));
+    let scanned = kv.scan(&10u64.to_be_bytes(), &20u64.to_be_bytes(), 100);
+    assert_eq!(scanned.len(), 10);
+    assert!(kv.delete(&42u64.to_be_bytes()));
+    assert_eq!(kv.get(&42u64.to_be_bytes()), None);
+}

@@ -1,1 +1,147 @@
-// Placeholder; implemented after the key-value layer.
+//! Integration tests of the transactional key-value store, exercised
+//! through the public `yesquel` facade: snapshot isolation, the
+//! first-committer-wins rule, one-phase vs two-phase commit, and the
+//! no-communication read-only commit.
+
+use yesquel::{Error, KvDatabase, ObjectId};
+
+fn obj(oid: u64) -> ObjectId {
+    ObjectId::new(1, oid)
+}
+
+#[test]
+fn snapshot_isolation_holds_across_concurrent_commit() {
+    let db = KvDatabase::with_servers(4);
+    let client = db.client();
+
+    let setup = client.begin();
+    setup.put(obj(1), b"v1".to_vec()).unwrap();
+    setup.commit().unwrap();
+
+    let reader = client.begin();
+    assert_eq!(reader.get(obj(1)).unwrap().as_deref(), Some(&b"v1"[..]));
+
+    let writer = client.begin();
+    writer.put(obj(1), b"v2".to_vec()).unwrap();
+    writer.commit().unwrap();
+
+    // The reader's snapshot must not observe the later commit.
+    assert_eq!(reader.get(obj(1)).unwrap().as_deref(), Some(&b"v1"[..]));
+    reader.commit().unwrap();
+
+    let fresh = client.begin();
+    assert_eq!(fresh.get(obj(1)).unwrap().as_deref(), Some(&b"v2"[..]));
+    fresh.commit().unwrap();
+}
+
+#[test]
+fn first_committer_wins_second_aborts() {
+    let db = KvDatabase::with_servers(4);
+    let client = db.client();
+
+    let a = client.begin();
+    let b = client.begin();
+    a.put(obj(2), b"from-a".to_vec()).unwrap();
+    b.put(obj(2), b"from-b".to_vec()).unwrap();
+    a.commit().unwrap();
+    match b.commit() {
+        Err(Error::Conflict(_)) => {}
+        other => panic!("second committer must conflict, got {other:?}"),
+    }
+
+    let check = client.begin();
+    assert_eq!(check.get(obj(2)).unwrap().as_deref(), Some(&b"from-a"[..]));
+    check.commit().unwrap();
+}
+
+#[test]
+fn single_server_transactions_use_one_phase_commit() {
+    let db = KvDatabase::with_servers(4);
+    let client = db.client();
+    let before_1pc = db.stats().counter("kv.commit_1pc").get();
+    let before_2pc = db.stats().counter("kv.commit_2pc").get();
+
+    // One object -> exactly one participant server.
+    let t = client.begin();
+    t.put(obj(3), b"single".to_vec()).unwrap();
+    t.commit().unwrap();
+
+    assert_eq!(db.stats().counter("kv.commit_1pc").get(), before_1pc + 1);
+    assert_eq!(db.stats().counter("kv.commit_2pc").get(), before_2pc);
+    // A one-phase commit is a single RPC: no prepare recorded server-side.
+    let prepares: u64 = db
+        .cluster()
+        .servers()
+        .iter()
+        .map(|s| s.store().stats().prepares)
+        .sum();
+    assert_eq!(prepares, 0);
+}
+
+#[test]
+fn multi_server_transactions_use_two_phase_commit_atomically() {
+    let db = KvDatabase::with_servers(4);
+    let client = db.client();
+
+    // Find one object per server so every server participates.
+    let mut per_server: Vec<Option<ObjectId>> = vec![None; db.num_servers()];
+    let mut oid = 100;
+    while per_server.iter().any(Option::is_none) {
+        let o = obj(oid);
+        let s = o.home_server(db.num_servers());
+        per_server[s].get_or_insert(o);
+        oid += 1;
+    }
+
+    let before_2pc = db.stats().counter("kv.commit_2pc").get();
+    let t = client.begin();
+    for o in per_server.iter().flatten() {
+        t.put(*o, b"spread".to_vec()).unwrap();
+    }
+    t.commit().unwrap();
+    assert_eq!(db.stats().counter("kv.commit_2pc").get(), before_2pc + 1);
+
+    // Atomic: every write is visible, and every server prepared exactly once.
+    let r = client.begin();
+    for o in per_server.iter().flatten() {
+        assert_eq!(r.get(*o).unwrap().as_deref(), Some(&b"spread"[..]));
+    }
+    r.commit().unwrap();
+    for s in db.cluster().servers() {
+        assert_eq!(s.store().stats().prepares, 1);
+        assert_eq!(s.store().stats().commits, 1);
+    }
+}
+
+#[test]
+fn read_only_commit_needs_no_communication() {
+    let db = KvDatabase::with_servers(4);
+    let client = db.client();
+    let setup = client.begin();
+    setup.put(obj(5), b"x".to_vec()).unwrap();
+    setup.commit().unwrap();
+
+    let t = client.begin();
+    let _ = t.get(obj(5)).unwrap();
+    let rpcs_before = db.stats().counter("rpc.calls").get();
+    t.commit().unwrap();
+    assert_eq!(
+        db.stats().counter("rpc.calls").get(),
+        rpcs_before,
+        "read-only commit must not issue RPCs"
+    );
+    assert_eq!(db.stats().counter("kv.readonly_commits").get(), 1);
+}
+
+#[test]
+fn aborted_transaction_leaves_no_trace() {
+    let db = KvDatabase::with_servers(2);
+    let client = db.client();
+    let t = client.begin();
+    t.put(obj(6), b"ghost".to_vec()).unwrap();
+    t.abort();
+    let r = client.begin();
+    assert_eq!(r.get(obj(6)).unwrap(), None);
+    r.commit().unwrap();
+    assert_eq!(db.total_objects(), 0);
+}

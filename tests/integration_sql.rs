@@ -1,1 +1,50 @@
-// Placeholder; implemented after the SQL layer.
+//! Integration tests of the SQL front end: tokenizer + parser round trips
+//! over representative statements.  (Query execution over the DBT arrives
+//! with the executor; the catalog is unit-tested in `yesquel-sql`.)
+
+use yesquel::sql::{parse, parse_script, Statement};
+
+#[test]
+fn parses_ddl_dml_and_queries() {
+    assert!(matches!(
+        parse("CREATE TABLE users (id INT PRIMARY KEY, name TEXT, score FLOAT)").unwrap(),
+        Statement::CreateTable(_)
+    ));
+    assert!(matches!(
+        parse("INSERT INTO users (id, name) VALUES (1, 'alice'), (2, 'bob')").unwrap(),
+        Statement::Insert(_)
+    ));
+    assert!(matches!(
+        parse("SELECT name, score FROM users WHERE id = 1").unwrap(),
+        Statement::Select(_)
+    ));
+    assert!(matches!(
+        parse("UPDATE users SET score = score + 1 WHERE name = 'alice'").unwrap(),
+        Statement::Update(_)
+    ));
+    assert!(matches!(
+        parse("DELETE FROM users WHERE id = 2").unwrap(),
+        Statement::Delete(_)
+    ));
+}
+
+#[test]
+fn scripts_split_on_semicolons() {
+    let stmts = parse_script(
+        "CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t WHERE a > 0;",
+    )
+    .unwrap();
+    assert_eq!(stmts.len(), 3);
+}
+
+#[test]
+fn malformed_statements_are_rejected() {
+    for bad in [
+        "SELECT FROM t",
+        "SELEC 1",
+        "INSERT INTO t VALUES",
+        "CREATE TABLE",
+    ] {
+        assert!(parse(bad).is_err(), "{bad:?} should not parse");
+    }
+}

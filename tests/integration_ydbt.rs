@@ -1,1 +1,128 @@
-// Placeholder; implemented after the YDBT layer.
+//! Integration tests of the distributed balanced tree through the facade:
+//! growth under splits, scans, cache behaviour (single-fetch warm reads,
+//! shared cache entries), and stale-cache recovery.
+
+use yesquel::common::config::SplitMode;
+use yesquel::common::encoding::order_encode_i64;
+use yesquel::{DbtConfig, Yesquel, YesquelConfig};
+
+fn key(i: u64) -> [u8; 8] {
+    order_encode_i64(i as i64)
+}
+
+fn small_tree_cfg() -> DbtConfig {
+    DbtConfig {
+        leaf_max_cells: 4,
+        inner_max_children: 4,
+        split_mode: SplitMode::Synchronous,
+        load_splits: false,
+        ..DbtConfig::default()
+    }
+}
+
+#[test]
+fn grows_scans_and_survives_cache_invalidation() {
+    let mut cfg = YesquelConfig::with_servers(3);
+    cfg.dbt = small_tree_cfg();
+    let y = Yesquel::open_with(cfg);
+    let dbt = y.create_tree(1).unwrap();
+    let n = 300u64;
+
+    let txn = y.begin();
+    for i in 0..n {
+        dbt.insert(&txn, &key(i), format!("v{i}").as_bytes())
+            .unwrap();
+    }
+    txn.commit().unwrap();
+
+    let txn = y.begin();
+    assert!(
+        dbt.height(&txn).unwrap() >= 2,
+        "tree should have split into layers"
+    );
+    assert_eq!(dbt.count(&txn).unwrap(), n);
+
+    // Scans return sorted keys.
+    let keys: Vec<Vec<u8>> = dbt
+        .scan(&txn, None, None)
+        .unwrap()
+        .map(|r| r.unwrap().0)
+        .collect();
+    let mut expected: Vec<Vec<u8>> = (0..n).map(|i| key(i).to_vec()).collect();
+    expected.sort();
+    assert_eq!(keys, expected);
+
+    // Dropping the cache must not affect correctness, only fetch counts.
+    y.engine().invalidate_cache(dbt.tree_id());
+    assert_eq!(y.engine().cached_nodes(), 0);
+    for i in (0..n).step_by(17) {
+        assert!(dbt.lookup(&txn, &key(i)).unwrap().is_some());
+    }
+    txn.commit().unwrap();
+}
+
+#[test]
+fn warm_point_reads_fetch_one_node() {
+    let mut cfg = YesquelConfig::with_servers(4);
+    cfg.dbt = DbtConfig {
+        leaf_max_cells: 8,
+        ..small_tree_cfg()
+    };
+    let y = Yesquel::open_with(cfg);
+    let dbt = y.create_tree(1).unwrap();
+    let n = 400u64;
+    let txn = y.begin();
+    for i in 0..n {
+        dbt.insert(&txn, &key(i), b"v").unwrap();
+    }
+    txn.commit().unwrap();
+
+    // Warm the cache.
+    let txn = y.begin();
+    for i in 0..n {
+        dbt.lookup(&txn, &key(i)).unwrap();
+    }
+    txn.commit().unwrap();
+
+    let stats = y.db().stats();
+    let before = stats.counter("dbt.node_fetches").get();
+    let lookups = 200u64;
+    let txn = y.begin();
+    for i in 0..lookups {
+        assert!(dbt.lookup(&txn, &key(i * 2)).unwrap().is_some());
+    }
+    txn.commit().unwrap();
+    let per_lookup = (stats.counter("dbt.node_fetches").get() - before) as f64 / lookups as f64;
+    assert!(
+        per_lookup < 1.6,
+        "warm lookups should fetch ~1 node, got {per_lookup:.2}"
+    );
+}
+
+#[test]
+fn delete_and_reinsert_round_trips() {
+    let y = Yesquel::open(2);
+    let dbt = y.create_tree(9).unwrap();
+    let txn = y.begin();
+    for i in 0..50u64 {
+        dbt.insert(&txn, &key(i), b"first").unwrap();
+    }
+    for i in (0..50u64).step_by(2) {
+        assert!(dbt.delete(&txn, &key(i)).unwrap());
+    }
+    for i in (0..50u64).step_by(4) {
+        dbt.insert(&txn, &key(i), b"second").unwrap();
+    }
+    txn.commit().unwrap();
+
+    let txn = y.begin();
+    for i in 0..50u64 {
+        let got = dbt.lookup(&txn, &key(i)).unwrap();
+        match (i % 4, i % 2) {
+            (0, _) => assert_eq!(got.as_deref(), Some(&b"second"[..])),
+            (_, 0) => assert_eq!(got, None),
+            _ => assert_eq!(got.as_deref(), Some(&b"first"[..])),
+        }
+    }
+    txn.commit().unwrap();
+}
