@@ -95,6 +95,39 @@ fn bench_point_read_no_cache(c: &mut Criterion) {
     });
 }
 
+fn bench_scan(c: &mut Criterion) {
+    let (db, _engine, dbt) = loaded_tree(SERVERS, KEYS, tree_cfg());
+    let client = db.client();
+    // Warm the cache once.
+    {
+        let txn = client.begin();
+        for i in 0..KEYS {
+            dbt.lookup(&txn, &bench_key(i)).unwrap();
+        }
+        txn.commit().unwrap();
+    }
+    c.bench_function("dbt/scan_100", |b| {
+        // A warm 100-row range scan: one find_leaf, then cells streamed
+        // straight out of the leaf views (zero-copy Bytes per row).
+        let txn = client.begin();
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 97) % (KEYS - 100);
+            let mut rows = 0u64;
+            for item in dbt
+                .scan(&txn, Some(&bench_key(i)), Some(&bench_key(i + 100)))
+                .unwrap()
+            {
+                let (k, v) = item.unwrap();
+                black_box((&k, &v));
+                rows += 1;
+            }
+            assert_eq!(rows, 100);
+            black_box(rows)
+        });
+    });
+}
+
 fn bench_insert(c: &mut Criterion) {
     let (db, _engine, dbt) = loaded_tree(SERVERS, KEYS, tree_cfg());
     let client = db.client();
@@ -122,6 +155,7 @@ criterion_group!(
     dbt_benches,
     bench_point_read,
     bench_point_read_no_cache,
+    bench_scan,
     bench_insert
 );
 criterion_main!(dbt_benches);

@@ -1,12 +1,15 @@
 //! Benchmarks of node and key encodings: the per-fetch decode cost is paid
 //! on every RPC of every tree operation, so this is the innermost hot loop
-//! of the whole system.  `decode_shared` (zero-copy slices of the fetched
-//! buffer) is compared against `decode` (copying) to keep the win measured.
+//! of the whole system.  The headline number is `node/point_probe_leaf64`:
+//! one point probe through a [`LeafView`] — parse the page header plus an
+//! O(log n) binary search over the cell-offset directory, decoding only the
+//! keys it compares and allocating nothing.  The `decode_*` benches measure
+//! full materialisation for comparison (the write path still pays it).
 
 use bytes::Bytes;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use yesquel_common::encoding::{order_decode_i64, order_encode_i64};
-use yesquel_ydbt::{Bound, InnerNode, LeafNode, Node};
+use yesquel_ydbt::{Bound, InnerNode, InnerView, LeafNode, LeafView, Node};
 
 fn sample_leaf(cells: usize, value_len: usize) -> Node {
     let value = vec![0xabu8; value_len];
@@ -54,6 +57,38 @@ fn bench_node_codec(c: &mut Criterion) {
     });
 }
 
+fn bench_node_views(c: &mut Criterion) {
+    let leaf_buf = Bytes::from(sample_leaf(64, 100).encode());
+    let inner_buf = Bytes::from(sample_inner(64).encode());
+
+    // The paper's point-read inner loop: validate the page and binary-search
+    // one key, touching O(log 64) cells instead of decoding all 64.
+    c.bench_function("node/point_probe_leaf64", |b| {
+        let view = LeafView::parse(leaf_buf.clone()).unwrap();
+        let mut i = 0i64;
+        b.iter(|| {
+            i = (i + 37) % 64;
+            let key = order_encode_i64(i);
+            black_box(view.find(&key).unwrap())
+        });
+    });
+    // Parse alone (what a leaf fetch now pays instead of a full decode).
+    c.bench_function("node/view_parse_leaf64x100B", |b| {
+        b.iter(|| black_box(LeafView::parse(leaf_buf.clone()).unwrap()))
+    });
+    // Inner-node routing through the separator directory (the per-level
+    // cost of a cached descent).
+    c.bench_function("node/child_for_inner64", |b| {
+        let view = InnerView::parse(inner_buf.clone()).unwrap();
+        let mut i = 0i64;
+        b.iter(|| {
+            i = (i + 29) % 64;
+            let key = order_encode_i64(i);
+            black_box(view.child_for(&key).unwrap())
+        });
+    });
+}
+
 fn bench_key_codec(c: &mut Criterion) {
     c.bench_function("encoding/order_encode_i64", |b| {
         let mut i = 0i64;
@@ -68,5 +103,10 @@ fn bench_key_codec(c: &mut Criterion) {
     });
 }
 
-criterion_group!(encoding_benches, bench_node_codec, bench_key_codec);
+criterion_group!(
+    encoding_benches,
+    bench_node_codec,
+    bench_node_views,
+    bench_key_codec
+);
 criterion_main!(encoding_benches);

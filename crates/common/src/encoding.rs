@@ -234,6 +234,18 @@ impl Writer {
         self
     }
 
+    /// Overwrites the 4 bytes at `pos` with `v` (big-endian).  Used to
+    /// backpatch offset directories whose entries are only known once the
+    /// payloads behind them have been written.
+    ///
+    /// # Panics
+    /// Panics if `pos + 4` exceeds the written length (an encoder bug, not a
+    /// data error).
+    pub fn u32_at(&mut self, pos: usize, v: u32) -> &mut Self {
+        self.buf[pos..pos + 4].copy_from_slice(&v.to_be_bytes());
+        self
+    }
+
     /// Consumes the writer and returns the encoded bytes.
     pub fn finish(self) -> Vec<u8> {
         self.buf
@@ -403,6 +415,18 @@ mod tests {
         assert_eq!(r.bytes().unwrap(), b"abc");
         assert!(r.is_empty());
         assert!(r.u8().is_err());
+    }
+
+    #[test]
+    fn u32_backpatch() {
+        let mut w = Writer::new();
+        w.u8(0xaa).u32(0).bytes(b"payload");
+        w.u32_at(1, 0xdead_beef);
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 0xaa);
+        assert_eq!(r.u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.bytes().unwrap(), b"payload");
     }
 
     #[test]

@@ -390,7 +390,7 @@ impl Catalog {
         // Materialise first: the scan borrows the transaction immutably and
         // inserts need it too, which is fine, but collecting keeps the code
         // simple and tables being indexed are typically freshly created.
-        let rows: Vec<(Vec<u8>, bytes::Bytes)> = table_tree
+        let rows: Vec<(bytes::Bytes, bytes::Bytes)> = table_tree
             .scan(txn, None, None)?
             .collect::<Result<Vec<_>>>()?;
         for (key, value) in rows {

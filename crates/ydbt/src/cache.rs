@@ -17,10 +17,14 @@
 //! The cache sits on the point-read fast path (one probe per tree level per
 //! lookup), so it is built to cost almost nothing:
 //!
-//! * entries are `Arc<InnerNode>` — a hit returns a reference-count bump,
-//!   never a deep clone of the node's key vectors;
+//! * entries are [`InnerView`]s — lazy views over the encoded page.  A hit
+//!   clones the view, which is one reference-count bump on the page buffer
+//!   plus a few words; no node is ever materialised for the cache;
 //! * the map is split over [`CACHE_SHARDS`] independently locked shards so
 //!   concurrent client threads do not serialize on one mutex;
+//! * the hit/miss/invalidation counters are resolved **once** at
+//!   construction — bumping them is a relaxed atomic add, not a registry
+//!   lookup (which takes a mutex and walks a `BTreeMap`);
 //! * overflow is handled per shard by **second-chance eviction**: entries
 //!   touched since the last sweep survive, untouched ones go.  The previous
 //!   policy cleared the whole cache, which made every client re-walk every
@@ -31,10 +35,10 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use yesquel_common::ids::shard_index;
-use yesquel_common::stats::StatsRegistry;
+use yesquel_common::stats::{Counter, StatsRegistry};
 use yesquel_common::{Oid, TreeId};
 
-use crate::node::InnerNode;
+use crate::node::InnerView;
 
 /// Default bound on cached entries; inner nodes are tiny, so this is
 /// generous.
@@ -44,7 +48,7 @@ const DEFAULT_MAX_ENTRIES: usize = 262_144;
 pub const CACHE_SHARDS: usize = 16;
 
 struct Entry {
-    node: Arc<InnerNode>,
+    view: InnerView,
     /// Second-chance bit: set on every hit, cleared by an eviction sweep.
     referenced: bool,
 }
@@ -72,7 +76,10 @@ impl CacheShard {
 pub struct NodeCache {
     shards: Vec<Mutex<CacheShard>>,
     max_per_shard: usize,
-    stats: StatsRegistry,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    evictions: Arc<Counter>,
+    invalidations: Arc<Counter>,
 }
 
 impl NodeCache {
@@ -88,7 +95,10 @@ impl NodeCache {
                 .map(|_| Mutex::new(CacheShard::default()))
                 .collect(),
             max_per_shard: (max_entries.max(CACHE_SHARDS) / CACHE_SHARDS).max(1),
-            stats,
+            hits: stats.counter("dbt.cache_hits"),
+            misses: stats.counter("dbt.cache_misses"),
+            evictions: stats.counter("dbt.cache_evictions"),
+            invalidations: stats.counter("dbt.cache_invalidations"),
         }
     }
 
@@ -96,26 +106,25 @@ impl NodeCache {
         shard_index(tree, oid, 0x1234_5678_9abc_def0, CACHE_SHARDS)
     }
 
-    /// Returns the cached inner node, if present.  A hit is a pointer bump —
-    /// the node itself is shared, never cloned.
-    pub fn get(&self, tree: TreeId, oid: Oid) -> Option<Arc<InnerNode>> {
+    /// Returns the cached inner-node view, if present.  A hit clones the
+    /// view — a reference-count bump on the page, never a materialisation.
+    pub fn get(&self, tree: TreeId, oid: Oid) -> Option<InnerView> {
         let mut g = self.shards[Self::shard_of(tree, oid)].lock();
         match g.map.get_mut(&(tree, oid)) {
             Some(e) => {
                 e.referenced = true;
-                self.stats.counter("dbt.cache_hits").inc();
-                Some(Arc::clone(&e.node))
+                self.hits.inc();
+                Some(e.view.clone())
             }
             None => {
-                self.stats.counter("dbt.cache_misses").inc();
+                self.misses.inc();
                 None
             }
         }
     }
 
     /// Inserts or refreshes an entry.
-    pub fn put(&self, tree: TreeId, oid: Oid, node: impl Into<Arc<InnerNode>>) {
-        let node = node.into();
+    pub fn put(&self, tree: TreeId, oid: Oid, view: InnerView) {
         let mut g = self.shards[Self::shard_of(tree, oid)].lock();
         // Refreshing an existing entry cannot grow the shard, so it must not
         // trigger an eviction sweep (a refresh-heavy phase would otherwise
@@ -123,15 +132,13 @@ impl NodeCache {
         if g.map.len() >= self.max_per_shard && !g.map.contains_key(&(tree, oid)) {
             let evicted = g.sweep();
             if evicted > 0 {
-                self.stats
-                    .counter("dbt.cache_evictions")
-                    .add(evicted as u64);
+                self.evictions.add(evicted as u64);
             }
         }
         g.map.insert(
             (tree, oid),
             Entry {
-                node,
+                view,
                 referenced: false,
             },
         );
@@ -143,7 +150,7 @@ impl NodeCache {
             .lock()
             .map
             .remove(&(tree, oid));
-        self.stats.counter("dbt.cache_invalidations").inc();
+        self.invalidations.inc();
     }
 
     /// Removes every entry of one tree (used when a tree is dropped).
@@ -167,17 +174,18 @@ impl NodeCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::node::Bound;
+    use crate::node::{Bound, InnerNode, Node};
     use bytes::Bytes;
 
-    fn inner(children: Vec<Oid>) -> InnerNode {
-        InnerNode {
+    fn inner(children: Vec<Oid>) -> InnerView {
+        let node = InnerNode {
             lower: Bound::NegInf,
             upper: Bound::PosInf,
             keys: vec![Bytes::from_static(b"m"); children.len().saturating_sub(1)],
             children,
             height: 1,
-        }
+        };
+        InnerView::parse(Bytes::from(Node::Inner(node).encode())).unwrap()
     }
 
     #[test]
@@ -196,14 +204,16 @@ mod tests {
     }
 
     #[test]
-    fn hits_share_one_node_instance() {
+    fn hits_share_the_encoded_page() {
         let c = NodeCache::new(StatsRegistry::new());
         c.put(1, 0, inner(vec![5, 6]));
         let a = c.get(1, 0).unwrap();
         let b = c.get(1, 0).unwrap();
-        // Same allocation: the cache returns shared pointers, not clones.
-        assert!(Arc::ptr_eq(&a, &b));
-        assert!(Arc::strong_count(&a) >= 3); // a, b, and the cache entry
+        // Both hits route through the same page bytes (the views are clones
+        // sharing one buffer, not re-parses of separate copies).
+        assert_eq!(a.child_for(b"a").unwrap(), b.child_for(b"a").unwrap());
+        assert_eq!(a.first_child(), 5);
+        assert_eq!(a.child_for(b"z").unwrap(), 6);
     }
 
     #[test]

@@ -5,33 +5,40 @@
 //! scan therefore observes one consistent snapshot, including the
 //! transaction's own uncommitted writes (which live in re-written leaf
 //! nodes inside the transaction's write buffer).
+//!
+//! The cursor iterates straight out of the [`LeafView`] — leaves are never
+//! materialised, and every yielded `(key, value)` pair is a pair of
+//! zero-copy [`Bytes`] slices of the leaf page (reference-count bumps, no
+//! per-item allocation).
+
+use std::sync::Arc;
 
 use bytes::Bytes;
-use yesquel_common::stats::StatsRegistry;
-use yesquel_common::{Error, Result, TreeId};
+use yesquel_common::stats::Counter;
+use yesquel_common::{Result, TreeId};
 use yesquel_kv::Txn;
 
-use crate::node::{LeafNode, Node};
-use crate::tree::fetch_node;
+use crate::node::LeafView;
+use crate::tree::fetch_leaf_sibling;
 
 /// A forward cursor over `[start, end)` of one tree.
 pub struct DbtCursor<'a> {
     txn: &'a Txn,
     tree: TreeId,
-    leaf: Option<LeafNode>,
+    leaf: Option<LeafView>,
     idx: usize,
     end: Option<Vec<u8>>,
-    stats: StatsRegistry,
+    leaf_fetches: Arc<Counter>,
 }
 
 impl<'a> DbtCursor<'a> {
     pub(crate) fn new(
         txn: &'a Txn,
         tree: TreeId,
-        leaf: LeafNode,
+        leaf: LeafView,
         idx: usize,
         end: Option<Vec<u8>>,
-        stats: StatsRegistry,
+        leaf_fetches: Arc<Counter>,
     ) -> Self {
         DbtCursor {
             txn,
@@ -39,13 +46,13 @@ impl<'a> DbtCursor<'a> {
             leaf: Some(leaf),
             idx,
             end,
-            stats,
+            leaf_fetches,
         }
     }
 
     fn advance_leaf(&mut self) -> Result<bool> {
         let next = match &self.leaf {
-            Some(l) => l.next,
+            Some(l) => l.next(),
             None => return Ok(false),
         };
         match next {
@@ -54,37 +61,31 @@ impl<'a> DbtCursor<'a> {
                 Ok(false)
             }
             Some(oid) => {
-                self.stats.counter("dbt.scan_leaf_fetches").inc();
-                match fetch_node(self.txn, self.tree, oid)? {
-                    Some(Node::Leaf(l)) => {
-                        self.leaf = Some(l);
-                        self.idx = 0;
-                        Ok(true)
-                    }
-                    Some(Node::Inner(_)) => Err(Error::Corruption(format!(
-                        "leaf sibling pointer {}:{oid} refers to an inner node",
-                        self.tree
-                    ))),
-                    None => Err(Error::Corruption(format!(
-                        "leaf sibling pointer {}:{oid} dangles at this snapshot",
-                        self.tree
-                    ))),
-                }
+                self.leaf_fetches.inc();
+                self.leaf = Some(fetch_leaf_sibling(self.txn, self.tree, oid)?);
+                self.idx = 0;
+                Ok(true)
             }
         }
     }
 }
 
 impl Iterator for DbtCursor<'_> {
-    type Item = Result<(Vec<u8>, Bytes)>;
+    type Item = Result<(Bytes, Bytes)>;
 
     fn next(&mut self) -> Option<Self::Item> {
         loop {
             let leaf = self.leaf.as_ref()?;
-            if self.idx < leaf.cells.len() {
-                let (k, v) = leaf.cells[self.idx].clone();
+            if self.idx < leaf.len() {
+                let (k, v) = match leaf.cell_bytes(self.idx) {
+                    Ok(cell) => cell,
+                    Err(e) => {
+                        self.leaf = None;
+                        return Some(Err(e));
+                    }
+                };
                 if let Some(end) = &self.end {
-                    if k.as_slice() >= end.as_slice() {
+                    if &k[..] >= end.as_slice() {
                         self.leaf = None;
                         return None;
                     }

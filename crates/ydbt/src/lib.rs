@@ -36,6 +36,6 @@ pub use alloc::OidAllocator;
 pub use cache::NodeCache;
 pub use engine::DbtEngine;
 pub use iter::DbtCursor;
-pub use node::{Bound, InnerNode, LeafNode, Node};
+pub use node::{Bound, InnerNode, InnerView, LeafNode, LeafView, Node, NodeView};
 pub use split::{SplitReason, SplitRequest};
 pub use tree::Dbt;

@@ -9,15 +9,52 @@
 //! node whose fence interval does not contain `k`, the client's cache was
 //! out of date and the search backs up.
 //!
-//! ## Decoding without copies
+//! ## Page layout: the cell-offset directory
 //!
-//! Nodes arrive from the key-value store as [`Bytes`] — a reference-counted
-//! buffer.  [`Node::decode_shared`] decodes by **slicing** that buffer:
-//! cell values, fence-bound keys and inner separator keys all share the
-//! fetched allocation instead of being copied out one by one.  A warm point
-//! read therefore performs no per-value allocation between the RPC and the
-//! caller.  ([`Node::decode`] remains for callers holding a bare slice; it
-//! makes one copy of the whole buffer and then shares it.)
+//! Nodes are encoded as **directory pages** (the design SQLite's b-tree
+//! pages and LMDB use): a fixed header, a table of `u32` cell offsets, and
+//! then the cell payloads.  The k-th cell is addressable in O(1) through the
+//! directory, so a point probe binary-searches the encoded page directly —
+//! no cell is decoded except the O(log n) keys the search actually compares.
+//!
+//! ```text
+//! Leaf page                            Inner page
+//! +----------------------------+      +----------------------------+
+//! | 0  tag (0xd3)              |      | 0  tag (0xd4)              |
+//! | 1  flags                   |      | 1  flags                   |
+//! | 2  next sibling oid (8B)   |      | 2  height (1B)             |
+//! | 10 ncells (u32)            |      | 3  nchildren (u32)         |
+//! | 14 directory:              |      | 7  children: nchildren ×   |
+//! |    ncells × u32 offset ----+--+   |    u64 child oid           |
+//! +----------------------------+  |   +----------------------------+
+//! | lower fence key (if any)   |  |   | directory: (nchildren-1)   |
+//! | upper fence key (if any)   |  |   |   × u32 separator offset   |
+//! +----------------------------+  |   +----------------------------+
+//! | cell 0: klen k vlen v   <--+--+   | lower/upper fence keys     |
+//! | cell 1: klen k vlen v      |      +----------------------------+
+//! | ...                        |      | sep 0: klen k              |
+//! +----------------------------+      | ...                        |
+//!                                     +----------------------------+
+//! ```
+//!
+//! `flags` packs the leaf's has-next bit (bit 0) and the kind of each fence
+//! bound (bits 1–2 lower, bits 3–4 upper: 0 = −∞, 1 = key, 2 = +∞).
+//! Offsets are absolute page offsets; the directory is validated once at
+//! view-construction time (in range, monotonically increasing) and each
+//! cell decode is bounded to its directory slot, so a corrupt page yields
+//! [`Error::Corruption`] — never a panic or an out-of-bounds read.
+//!
+//! ## Lazy views: decode one cell, not sixty-four
+//!
+//! The read path never materialises a node.  [`LeafView`] and [`InnerView`]
+//! wrap the fetched [`Bytes`] and answer `find`, `lower_bound`, `child_for`
+//! and `fence_contains` by binary search over the directory with **zero
+//! per-cell allocation**; values and keys are handed out as `Bytes` slices
+//! of the page (reference-count bumps).  The mutable [`LeafNode`] /
+//! [`InnerNode`] structs are materialised from a view only when a write
+//! actually mutates the node — and even then their keys are `Bytes` slices
+//! of the page, so materialisation allocates the two `Vec`s and nothing
+//! per cell.
 
 use bytes::Bytes;
 use yesquel_common::encoding::{Reader, Writer};
@@ -63,37 +100,13 @@ impl Bound {
         }
     }
 
-    fn encode(&self, w: &mut Writer) {
+    fn kind_bits(&self) -> u8 {
         match self {
-            Bound::NegInf => {
-                w.u8(0);
-            }
-            Bound::Key(k) => {
-                w.u8(1);
-                w.bytes(k);
-            }
-            Bound::PosInf => {
-                w.u8(2);
-            }
+            Bound::NegInf => 0,
+            Bound::Key(_) => 1,
+            Bound::PosInf => 2,
         }
     }
-
-    fn decode(r: &mut Reader<'_>, src: &Bytes) -> Result<Bound> {
-        match r.u8()? {
-            0 => Ok(Bound::NegInf),
-            1 => Ok(Bound::Key(read_shared(r, src)?)),
-            2 => Ok(Bound::PosInf),
-            t => Err(Error::Corruption(format!("bad bound tag {t}"))),
-        }
-    }
-}
-
-/// Reads a length-prefixed byte string as a zero-copy slice of `src` (the
-/// buffer `r` is positioned in).
-fn read_shared(r: &mut Reader<'_>, src: &Bytes) -> Result<Bytes> {
-    let slice = r.bytes()?;
-    let end = r.pos();
-    Ok(src.slice(end - slice.len()..end))
 }
 
 /// Returns true if `key` lies in the fence interval `[lower, upper)`.
@@ -101,8 +114,484 @@ pub fn fence_contains(lower: &Bound, upper: &Bound, key: &[u8]) -> bool {
     lower.le_key(key) && upper.gt_key(key)
 }
 
+// ---------------------------------------------------------------------------
+// Page constants
+// ---------------------------------------------------------------------------
+
+const LEAF_TAG: u8 = 0xd3;
+const INNER_TAG: u8 = 0xd4;
+
+/// Leaf header: tag(1) flags(1) next(8) ncells(4).
+const LEAF_DIR_START: usize = 14;
+/// Inner header: tag(1) flags(1) height(1) nchildren(4).
+const INNER_CHILDREN_START: usize = 7;
+
+const FLAG_HAS_NEXT: u8 = 0b1;
+
+fn fence_flags(lower: &Bound, upper: &Bound) -> u8 {
+    (lower.kind_bits() << 1) | (upper.kind_bits() << 3)
+}
+
+// ---------------------------------------------------------------------------
+// Fence references (positions within a page, no allocation)
+// ---------------------------------------------------------------------------
+
+/// A fence bound as stored in a page: either infinite, or a key identified
+/// by its byte range within the page.  `Copy`, so cloning a view copies two
+/// words instead of bumping extra reference counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FenceRef {
+    NegInf,
+    Key { start: u32, len: u32 },
+    PosInf,
+}
+
+impl FenceRef {
+    fn key_slice<'p>(&self, page: &'p [u8]) -> Option<&'p [u8]> {
+        match self {
+            FenceRef::Key { start, len } => Some(&page[*start as usize..(*start + *len) as usize]),
+            _ => None,
+        }
+    }
+
+    fn le_key(&self, page: &[u8], key: &[u8]) -> bool {
+        match self {
+            FenceRef::NegInf => true,
+            FenceRef::Key { .. } => self.key_slice(page).expect("key fence") <= key,
+            FenceRef::PosInf => false,
+        }
+    }
+
+    fn gt_key(&self, page: &[u8], key: &[u8]) -> bool {
+        match self {
+            FenceRef::NegInf => false,
+            FenceRef::Key { .. } => key < self.key_slice(page).expect("key fence"),
+            FenceRef::PosInf => true,
+        }
+    }
+
+    fn to_bound(self, page: &Bytes) -> Bound {
+        match self {
+            FenceRef::NegInf => Bound::NegInf,
+            FenceRef::Key { start, len } => {
+                Bound::Key(page.slice(start as usize..(start + len) as usize))
+            }
+            FenceRef::PosInf => Bound::PosInf,
+        }
+    }
+
+    /// Reads one fence of the given kind bits at the reader's position.
+    /// `base` is the reader's offset from the start of the page.
+    fn read(kind: u8, r: &mut Reader<'_>, base: usize) -> Result<FenceRef> {
+        match kind {
+            0 => Ok(FenceRef::NegInf),
+            1 => {
+                let k = r.bytes()?;
+                let end = base + r.pos();
+                Ok(FenceRef::Key {
+                    start: (end - k.len()) as u32,
+                    len: k.len() as u32,
+                })
+            }
+            2 => Ok(FenceRef::PosInf),
+            b => Err(Error::Corruption(format!("bad fence kind {b}"))),
+        }
+    }
+}
+
+fn dir_entry(page: &[u8], dir_start: usize, i: usize) -> usize {
+    let at = dir_start + 4 * i;
+    u32::from_be_bytes(page[at..at + 4].try_into().expect("validated")) as usize
+}
+
+/// Validates a cell-offset directory: every entry must point past the end of
+/// the fixed region (`floor`), lie inside the page, and be monotonically
+/// increasing.  O(n) over the raw `u32` table — no cell is decoded.
+fn check_directory(page: &[u8], dir_start: usize, n: usize, floor: usize) -> Result<()> {
+    let mut prev = floor;
+    for i in 0..n {
+        let off = dir_entry(page, dir_start, i);
+        if off < prev || off >= page.len() {
+            return Err(Error::Corruption(format!(
+                "directory offset {off} of cell {i} out of range [{prev}, {})",
+                page.len()
+            )));
+        }
+        prev = off + 1;
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// LeafView
+// ---------------------------------------------------------------------------
+
+/// A lazy, zero-materialisation view of an encoded leaf page.
+///
+/// Construction validates the header and the offset directory (O(ncells)
+/// over the raw `u32` table); every accessor afterwards decodes **only the
+/// cells it touches**, bounded to their directory slots, and returns keys
+/// and values as `Bytes` slices of the page.  Cloning a view is one
+/// reference-count bump plus a few words.
+#[derive(Debug, Clone)]
+pub struct LeafView {
+    page: Bytes,
+    n: usize,
+    next: Option<Oid>,
+    lower: FenceRef,
+    upper: FenceRef,
+}
+
+impl LeafView {
+    /// Parses `page` as a leaf, validating the header and directory.
+    pub fn parse(page: Bytes) -> Result<LeafView> {
+        let buf: &[u8] = &page;
+        if buf.len() < LEAF_DIR_START {
+            return Err(Error::Corruption(format!(
+                "leaf page too short: {} bytes",
+                buf.len()
+            )));
+        }
+        if buf[0] != LEAF_TAG {
+            return Err(Error::Corruption(format!("bad leaf tag 0x{:02x}", buf[0])));
+        }
+        let flags = buf[1];
+        if flags >> 5 != 0 {
+            return Err(Error::Corruption(format!("bad leaf flags 0x{flags:02x}")));
+        }
+        let next = if flags & FLAG_HAS_NEXT != 0 {
+            Some(u64::from_be_bytes(buf[2..10].try_into().expect("len ok")))
+        } else {
+            None
+        };
+        let n = u32::from_be_bytes(buf[10..14].try_into().expect("len ok")) as usize;
+        let dir_end = LEAF_DIR_START
+            .checked_add(4usize.saturating_mul(n))
+            .filter(|&e| e <= buf.len())
+            .ok_or_else(|| {
+                Error::Corruption(format!("leaf directory of {n} cells overflows page"))
+            })?;
+        let mut r = Reader::new(&buf[dir_end..]);
+        let lower = FenceRef::read((flags >> 1) & 0b11, &mut r, dir_end)?;
+        let upper = FenceRef::read((flags >> 3) & 0b11, &mut r, dir_end)?;
+        let cells_start = dir_end + r.pos();
+        check_directory(buf, LEAF_DIR_START, n, cells_start)?;
+        Ok(LeafView {
+            page,
+            n,
+            next,
+            lower,
+            upper,
+        })
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if the leaf has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Right sibling, if any.
+    pub fn next(&self) -> Option<Oid> {
+        self.next
+    }
+
+    /// True if `key` is within this leaf's fence interval.
+    pub fn fence_contains(&self, key: &[u8]) -> bool {
+        self.lower.le_key(&self.page, key) && self.upper.gt_key(&self.page, key)
+    }
+
+    /// The byte range of cell `i` within the page: its directory slot, ending
+    /// where the next cell starts (or at the end of the page for the last).
+    fn slot(&self, i: usize) -> (usize, usize) {
+        let start = dir_entry(&self.page, LEAF_DIR_START, i);
+        let end = if i + 1 < self.n {
+            dir_entry(&self.page, LEAF_DIR_START, i + 1)
+        } else {
+            self.page.len()
+        };
+        (start, end)
+    }
+
+    /// Key and value ranges of cell `i`, bounds-checked against its slot.
+    fn cell_ranges(&self, i: usize) -> Result<(std::ops::Range<usize>, std::ops::Range<usize>)> {
+        debug_assert!(i < self.n);
+        let (start, end) = self.slot(i);
+        let mut r = Reader::new(&self.page[start..end]);
+        let k = r.bytes()?;
+        let key_end = start + r.pos();
+        let key_range = key_end - k.len()..key_end;
+        let v = r.bytes()?;
+        let val_end = start + r.pos();
+        Ok((key_range, val_end - v.len()..val_end))
+    }
+
+    /// The key of cell `i`, borrowed from the page (no refcount traffic —
+    /// this is what the binary searches compare against).
+    fn key_at(&self, i: usize) -> Result<&[u8]> {
+        let (start, end) = self.slot(i);
+        let mut r = Reader::new(&self.page[start..end]);
+        let k = r.bytes()?;
+        Ok(k)
+    }
+
+    /// Cell `i` as borrowed slices of the page.
+    pub fn cell(&self, i: usize) -> Result<(&[u8], &[u8])> {
+        let (kr, vr) = self.cell_ranges(i)?;
+        Ok((&self.page[kr], &self.page[vr]))
+    }
+
+    /// Cell `i` as zero-copy `Bytes` slices of the page (what cursors
+    /// yield: holding one keeps the page alive, copies nothing).
+    pub fn cell_bytes(&self, i: usize) -> Result<(Bytes, Bytes)> {
+        let (kr, vr) = self.cell_ranges(i)?;
+        Ok((self.page.slice(kr), self.page.slice(vr)))
+    }
+
+    /// Index of the first cell with key ≥ `key` — an O(log n) binary search
+    /// over the directory that decodes only the keys it compares.
+    pub fn lower_bound(&self, key: &[u8]) -> Result<usize> {
+        let (mut lo, mut hi) = (0usize, self.n);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.key_at(mid)? < key {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        Ok(lo)
+    }
+
+    /// Looks up `key`, returning its value as a zero-copy slice of the page.
+    pub fn find(&self, key: &[u8]) -> Result<Option<Bytes>> {
+        let i = self.lower_bound(key)?;
+        if i >= self.n {
+            return Ok(None);
+        }
+        let (kr, vr) = self.cell_ranges(i)?;
+        if &self.page[kr] != key {
+            return Ok(None);
+        }
+        Ok(Some(self.page.slice(vr)))
+    }
+
+    /// Materialises a mutable [`LeafNode`].  Cell keys and values are
+    /// `Bytes` slices of the page — the only fresh allocations are the two
+    /// `Vec`s, nothing per cell is copied.
+    pub fn to_leaf_node(&self) -> Result<LeafNode> {
+        let mut cells = Vec::with_capacity(self.n);
+        for i in 0..self.n {
+            let (kr, vr) = self.cell_ranges(i)?;
+            cells.push((self.page.slice(kr), self.page.slice(vr)));
+        }
+        Ok(LeafNode {
+            lower: self.lower.to_bound(&self.page),
+            upper: self.upper.to_bound(&self.page),
+            cells,
+            next: self.next,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// InnerView
+// ---------------------------------------------------------------------------
+
+/// A lazy view of an encoded inner page.
+///
+/// Child oids live in a fixed-width array (O(1) access); separator keys sit
+/// behind their own offset directory, so `child_for` is an O(log n) binary
+/// search decoding only the separators it compares.  This is the type the
+/// client cache stores: cloning it is one reference-count bump.
+#[derive(Debug, Clone)]
+pub struct InnerView {
+    page: Bytes,
+    /// Number of children (= separators + 1).
+    n: usize,
+    height: u8,
+    dir_start: usize,
+    lower: FenceRef,
+    upper: FenceRef,
+}
+
+impl InnerView {
+    /// Parses `page` as an inner node, validating the header and directory.
+    pub fn parse(page: Bytes) -> Result<InnerView> {
+        let buf: &[u8] = &page;
+        if buf.len() < INNER_CHILDREN_START {
+            return Err(Error::Corruption(format!(
+                "inner page too short: {} bytes",
+                buf.len()
+            )));
+        }
+        if buf[0] != INNER_TAG {
+            return Err(Error::Corruption(format!("bad inner tag 0x{:02x}", buf[0])));
+        }
+        let flags = buf[1];
+        if flags >> 5 != 0 || flags & FLAG_HAS_NEXT != 0 {
+            return Err(Error::Corruption(format!("bad inner flags 0x{flags:02x}")));
+        }
+        let height = buf[2];
+        let n = u32::from_be_bytes(buf[3..7].try_into().expect("len ok")) as usize;
+        if n == 0 {
+            return Err(Error::Corruption("inner node with no children".into()));
+        }
+        let dir_start = INNER_CHILDREN_START
+            .checked_add(8usize.saturating_mul(n))
+            .ok_or_else(|| Error::Corruption("child array overflows".into()))?;
+        let dir_end = dir_start
+            .checked_add(4usize.saturating_mul(n - 1))
+            .filter(|&e| e <= buf.len())
+            .ok_or_else(|| {
+                Error::Corruption(format!("inner node of {n} children overflows page"))
+            })?;
+        let mut r = Reader::new(&buf[dir_end..]);
+        let lower = FenceRef::read((flags >> 1) & 0b11, &mut r, dir_end)?;
+        let upper = FenceRef::read((flags >> 3) & 0b11, &mut r, dir_end)?;
+        let keys_start = dir_end + r.pos();
+        check_directory(buf, dir_start, n - 1, keys_start)?;
+        Ok(InnerView {
+            page,
+            n,
+            height,
+            dir_start,
+            lower,
+            upper,
+        })
+    }
+
+    /// Number of children.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if the node has no children (never the case for a valid node).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Height above the leaves (1 = children are leaves).
+    pub fn height(&self) -> u8 {
+        self.height
+    }
+
+    /// True if `key` is within this node's fence interval.
+    pub fn fence_contains(&self, key: &[u8]) -> bool {
+        self.lower.le_key(&self.page, key) && self.upper.gt_key(&self.page, key)
+    }
+
+    /// The `i`-th child oid — O(1) from the fixed-width array.
+    pub fn child(&self, i: usize) -> Oid {
+        debug_assert!(i < self.n);
+        let at = INNER_CHILDREN_START + 8 * i;
+        u64::from_be_bytes(self.page[at..at + 8].try_into().expect("validated"))
+    }
+
+    /// The leftmost child (used when descending for the smallest key).
+    pub fn first_child(&self) -> Oid {
+        self.child(0)
+    }
+
+    /// Separator key `j`, borrowed from the page.
+    fn key_at(&self, j: usize) -> Result<&[u8]> {
+        let start = dir_entry(&self.page, self.dir_start, j);
+        let end = if j + 1 < self.n - 1 {
+            dir_entry(&self.page, self.dir_start, j + 1)
+        } else {
+            self.page.len()
+        };
+        let mut r = Reader::new(&self.page[start..end]);
+        r.bytes()
+    }
+
+    /// Index of the child responsible for `key` — O(log n) binary search
+    /// over the separator directory.
+    pub fn child_index(&self, key: &[u8]) -> Result<usize> {
+        let (mut lo, mut hi) = (0usize, self.n - 1);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.key_at(mid)? <= key {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        Ok(lo)
+    }
+
+    /// Object id of the child responsible for `key`.
+    pub fn child_for(&self, key: &[u8]) -> Result<Oid> {
+        Ok(self.child(self.child_index(key)?))
+    }
+
+    /// Materialises a mutable [`InnerNode`]; separator keys are `Bytes`
+    /// slices of the page.
+    pub fn to_inner_node(&self) -> Result<InnerNode> {
+        let mut children = Vec::with_capacity(self.n);
+        for i in 0..self.n {
+            children.push(self.child(i));
+        }
+        let mut keys = Vec::with_capacity(self.n - 1);
+        for j in 0..self.n - 1 {
+            let k = self.key_at(j)?;
+            let start = k.as_ptr() as usize - self.page.as_ref().as_ptr() as usize;
+            keys.push(self.page.slice(start..start + k.len()));
+        }
+        Ok(InnerNode {
+            lower: self.lower.to_bound(&self.page),
+            upper: self.upper.to_bound(&self.page),
+            keys,
+            children,
+            height: self.height,
+        })
+    }
+}
+
+/// A parsed-but-not-materialised node: what the fetch path hands back.
+#[derive(Debug, Clone)]
+pub enum NodeView {
+    /// Leaf page view.
+    Leaf(LeafView),
+    /// Inner page view.
+    Inner(InnerView),
+}
+
+impl NodeView {
+    /// Parses a fetched page into the appropriate view, dispatching on the
+    /// tag byte.
+    pub fn parse(page: Bytes) -> Result<NodeView> {
+        match page.first() {
+            Some(&LEAF_TAG) => Ok(NodeView::Leaf(LeafView::parse(page)?)),
+            Some(&INNER_TAG) => Ok(NodeView::Inner(InnerView::parse(page)?)),
+            Some(&t) => Err(Error::Corruption(format!("bad node tag 0x{t:02x}"))),
+            None => Err(Error::Corruption("empty node page".into())),
+        }
+    }
+
+    /// Height above the leaves (0 for a leaf).
+    pub fn height(&self) -> u8 {
+        match self {
+            NodeView::Leaf(_) => 0,
+            NodeView::Inner(i) => i.height(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Materialised (mutable) nodes — the write path's working representation
+// ---------------------------------------------------------------------------
+
 /// A leaf node: sorted cells of `(key, value)` plus a pointer to the right
 /// sibling (used by range scans and by the stale-cache recovery path).
+///
+/// Keys and values are [`Bytes`]: a leaf materialised from a [`LeafView`]
+/// shares the fetched page (no per-cell copy), and splitting moves cells by
+/// reference-count bump.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LeafNode {
     /// Inclusive lower fence.
@@ -110,7 +599,7 @@ pub struct LeafNode {
     /// Exclusive upper fence.
     pub upper: Bound,
     /// Sorted cells.
-    pub cells: Vec<(Vec<u8>, Bytes)>,
+    pub cells: Vec<(Bytes, Bytes)>,
     /// Right sibling, if any.
     pub next: Option<Oid>,
 }
@@ -134,14 +623,14 @@ impl LeafNode {
     /// Looks up `key` among the cells.
     pub fn find(&self, key: &[u8]) -> Option<&Bytes> {
         self.cells
-            .binary_search_by(|(k, _)| k.as_slice().cmp(key))
+            .binary_search_by(|(k, _)| k.as_ref().cmp(key))
             .ok()
             .map(|i| &self.cells[i].1)
     }
 
     /// Index of the first cell with key ≥ `key`.
     pub fn lower_bound(&self, key: &[u8]) -> usize {
-        self.cells.partition_point(|(k, _)| k.as_slice() < key)
+        self.cells.partition_point(|(k, _)| &k[..] < key)
     }
 
     /// Inserts or replaces a cell; returns true if an existing cell was
@@ -151,13 +640,13 @@ impl LeafNode {
     /// actually inserted: replacing an existing cell — the common case for
     /// update-heavy workloads — is allocation-free.
     pub fn insert_cell(&mut self, key: &[u8], value: Bytes) -> bool {
-        match self.cells.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+        match self.cells.binary_search_by(|(k, _)| k.as_ref().cmp(key)) {
             Ok(i) => {
                 self.cells[i].1 = value;
                 true
             }
             Err(i) => {
-                self.cells.insert(i, (key.to_vec(), value));
+                self.cells.insert(i, (Bytes::copy_from_slice(key), value));
                 false
             }
         }
@@ -165,7 +654,7 @@ impl LeafNode {
 
     /// Removes the cell with `key`; returns true if it existed.
     pub fn remove_cell(&mut self, key: &[u8]) -> bool {
-        match self.cells.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+        match self.cells.binary_search_by(|(k, _)| k.as_ref().cmp(key)) {
             Ok(i) => {
                 self.cells.remove(i);
                 true
@@ -189,8 +678,8 @@ impl LeafNode {
 /// `[keys[i-1], keys[i])`, with the node's own fences standing in at the
 /// ends (`keys.len() == children.len() - 1`).
 ///
-/// Separator keys are [`Bytes`]: decoded inner nodes share their backing
-/// buffer (no per-key allocation on fetch) and splitting an inner node moves
+/// Separator keys are [`Bytes`]: materialised inner nodes share their
+/// backing page (no per-key allocation) and splitting an inner node moves
 /// and clones separators by reference-count bump instead of `Vec` copy.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct InnerNode {
@@ -255,9 +744,6 @@ pub enum Node {
     Inner(InnerNode),
 }
 
-const LEAF_TAG: u8 = 0xd1;
-const INNER_TAG: u8 = 0xd2;
-
 impl Node {
     /// Height above the leaves (0 for a leaf).
     pub fn height(&self) -> u8 {
@@ -283,40 +769,69 @@ impl Node {
         }
     }
 
-    /// Serializes the node into the byte string stored in the key-value
-    /// store.
+    /// Serializes the node into its directory-page encoding (see the module
+    /// docs for the layout).  Cell offsets are backpatched into the
+    /// directory as the payloads are written.
     pub fn encode(&self) -> Vec<u8> {
-        let mut w = Writer::with_capacity(256);
         match self {
             Node::Leaf(l) => {
+                let mut w = Writer::with_capacity(
+                    LEAF_DIR_START + l.cells.len() * 8 + 64, // rough guess, Vec grows as needed
+                );
                 w.u8(LEAF_TAG);
-                l.lower.encode(&mut w);
-                l.upper.encode(&mut w);
-                w.u8(if l.next.is_some() { 1 } else { 0 });
-                if let Some(n) = l.next {
-                    w.u64(n);
+                let mut flags = fence_flags(&l.lower, &l.upper);
+                if l.next.is_some() {
+                    flags |= FLAG_HAS_NEXT;
                 }
-                w.uvarint(l.cells.len() as u64);
-                for (k, v) in &l.cells {
+                w.u8(flags);
+                w.u64(l.next.unwrap_or(0));
+                w.u32(l.cells.len() as u32);
+                let dir_pos = w.len();
+                for _ in &l.cells {
+                    w.u32(0);
+                }
+                if let Bound::Key(k) = &l.lower {
+                    w.bytes(k);
+                }
+                if let Bound::Key(k) = &l.upper {
+                    w.bytes(k);
+                }
+                for (i, (k, v)) in l.cells.iter().enumerate() {
+                    let off = w.len() as u32;
+                    w.u32_at(dir_pos + 4 * i, off);
                     w.bytes(k);
                     w.bytes(v);
                 }
+                w.finish()
             }
-            Node::Inner(i) => {
+            Node::Inner(inner) => {
+                let mut w =
+                    Writer::with_capacity(INNER_CHILDREN_START + inner.children.len() * 12 + 64);
                 w.u8(INNER_TAG);
-                i.lower.encode(&mut w);
-                i.upper.encode(&mut w);
-                w.u8(i.height);
-                w.uvarint(i.children.len() as u64);
-                for c in &i.children {
+                w.u8(fence_flags(&inner.lower, &inner.upper));
+                w.u8(inner.height);
+                w.u32(inner.children.len() as u32);
+                for c in &inner.children {
                     w.u64(*c);
                 }
-                for k in &i.keys {
+                let dir_pos = w.len();
+                for _ in &inner.keys {
+                    w.u32(0);
+                }
+                if let Bound::Key(k) = &inner.lower {
                     w.bytes(k);
                 }
+                if let Bound::Key(k) = &inner.upper {
+                    w.bytes(k);
+                }
+                for (j, k) in inner.keys.iter().enumerate() {
+                    let off = w.len() as u32;
+                    w.u32_at(dir_pos + 4 * j, off);
+                    w.bytes(k);
+                }
+                w.finish()
             }
         }
-        w.finish()
     }
 
     /// Decodes a node from a bare slice.  Copies the buffer once and then
@@ -326,57 +841,15 @@ impl Node {
         Self::decode_shared(&Bytes::copy_from_slice(buf))
     }
 
-    /// Decodes a node previously produced by [`Node::encode`], sharing the
-    /// backing buffer: cell values, fence-bound keys and inner separator
-    /// keys are slices of `buf`, not copies.  Only leaf cell *keys* are
-    /// materialised as `Vec<u8>` (they are mutated in place by inserts).
+    /// Decodes and **materialises** a node, sharing the backing buffer: cell
+    /// keys/values, fence-bound keys and inner separator keys are all slices
+    /// of `buf`, never copies.  The read path does not use this — it works
+    /// on [`NodeView`]s directly; this is for the write path (which is about
+    /// to mutate the node) and for splits.
     pub fn decode_shared(buf: &Bytes) -> Result<Node> {
-        let mut r = Reader::new(buf);
-        match r.u8()? {
-            LEAF_TAG => {
-                let lower = Bound::decode(&mut r, buf)?;
-                let upper = Bound::decode(&mut r, buf)?;
-                let has_next = r.u8()? == 1;
-                let next = if has_next { Some(r.u64()?) } else { None };
-                let n = r.uvarint()? as usize;
-                let mut cells = Vec::with_capacity(n);
-                for _ in 0..n {
-                    let k = r.bytes()?.to_vec();
-                    let v = read_shared(&mut r, buf)?;
-                    cells.push((k, v));
-                }
-                Ok(Node::Leaf(LeafNode {
-                    lower,
-                    upper,
-                    cells,
-                    next,
-                }))
-            }
-            INNER_TAG => {
-                let lower = Bound::decode(&mut r, buf)?;
-                let upper = Bound::decode(&mut r, buf)?;
-                let height = r.u8()?;
-                let n = r.uvarint()? as usize;
-                if n == 0 {
-                    return Err(Error::Corruption("inner node with no children".into()));
-                }
-                let mut children = Vec::with_capacity(n);
-                for _ in 0..n {
-                    children.push(r.u64()?);
-                }
-                let mut keys = Vec::with_capacity(n - 1);
-                for _ in 0..n - 1 {
-                    keys.push(read_shared(&mut r, buf)?);
-                }
-                Ok(Node::Inner(InnerNode {
-                    lower,
-                    upper,
-                    keys,
-                    children,
-                    height,
-                }))
-            }
-            t => Err(Error::Corruption(format!("bad node tag 0x{t:02x}"))),
+        match NodeView::parse(buf.clone())? {
+            NodeView::Leaf(v) => Ok(Node::Leaf(v.to_leaf_node()?)),
+            NodeView::Inner(v) => Ok(Node::Inner(v.to_inner_node()?)),
         }
     }
 }
@@ -391,6 +864,14 @@ mod tests {
 
     fn v(s: &str) -> Bytes {
         Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    fn leaf_view(l: &LeafNode) -> LeafView {
+        LeafView::parse(Bytes::from(Node::Leaf(l.clone()).encode())).unwrap()
+    }
+
+    fn inner_view(i: &InnerNode) -> InnerView {
+        InnerView::parse(Bytes::from(Node::Inner(i.clone()).encode())).unwrap()
     }
 
     #[test]
@@ -434,7 +915,7 @@ mod tests {
         assert_eq!(l.len(), 2);
         // Cells stay sorted.
         let keys: Vec<_> = l.cells.iter().map(|(k, _)| k.clone()).collect();
-        assert_eq!(keys, vec![b"b".to_vec(), b"c".to_vec()]);
+        assert_eq!(keys, vec![k("b"), k("c")]);
     }
 
     #[test]
@@ -478,7 +959,7 @@ mod tests {
         let leaf = Node::Leaf(LeafNode {
             lower: Bound::Key(k("b")),
             upper: Bound::PosInf,
-            cells: vec![(b"b".to_vec(), v("vb")), (b"c".to_vec(), v("vc"))],
+            cells: vec![(k("b"), v("vb")), (k("c"), v("vc"))],
             next: Some(42),
         });
         let buf = leaf.encode();
@@ -493,51 +974,126 @@ mod tests {
         });
         let buf = inner.encode();
         assert_eq!(Node::decode(&buf).unwrap(), inner);
+
+        // Empty leaf (a fresh root) roundtrips too.
+        let empty = Node::Leaf(LeafNode::empty_root());
+        assert_eq!(Node::decode(&empty.encode()).unwrap(), empty);
     }
 
     #[test]
-    fn decode_shared_slices_backing_buffer() {
-        let leaf = Node::Leaf(LeafNode {
+    fn leaf_view_probes_without_materialising() {
+        let mut l = LeafNode {
+            lower: Bound::Key(k("c000")),
+            upper: Bound::Key(k("c999")),
+            cells: Vec::new(),
+            next: Some(77),
+        };
+        for i in 0..64 {
+            l.insert_cell(format!("c{:03}", i * 3).as_bytes(), v("val"));
+        }
+        let view = leaf_view(&l);
+        assert_eq!(view.len(), 64);
+        assert_eq!(view.next(), Some(77));
+        assert!(view.fence_contains(b"c000"));
+        assert!(view.fence_contains(b"c500"));
+        assert!(!view.fence_contains(b"c999"));
+        assert!(!view.fence_contains(b"b"));
+        // Every present key is found; absent keys are not.
+        for i in 0..64 {
+            let key = format!("c{:03}", i * 3);
+            let got = view.find(key.as_bytes()).unwrap();
+            assert_eq!(got.as_deref(), Some(&b"val"[..]), "key {key}");
+        }
+        assert_eq!(view.find(b"c001").unwrap(), None);
+        assert_eq!(view.find(b"zzz").unwrap(), None);
+        // lower_bound agrees with the materialised node.
+        for probe in ["c000", "c004", "c095", "c999", ""] {
+            assert_eq!(
+                view.lower_bound(probe.as_bytes()).unwrap(),
+                l.lower_bound(probe.as_bytes()),
+                "probe {probe}"
+            );
+        }
+        // cell() and cell_bytes() agree.
+        let (ck, cv) = view.cell(5).unwrap();
+        let (bk, bv) = view.cell_bytes(5).unwrap();
+        assert_eq!(ck, &bk[..]);
+        assert_eq!(cv, &bv[..]);
+    }
+
+    #[test]
+    fn leaf_view_zero_copy() {
+        let leaf = LeafNode {
             lower: Bound::Key(k("b")),
             upper: Bound::PosInf,
-            cells: vec![(b"b".to_vec(), v("value-b")), (b"c".to_vec(), v("value-c"))],
+            cells: vec![(k("b"), v("value-b")), (k("c"), v("value-c"))],
             next: None,
-        });
-        let buf = Bytes::from(leaf.encode());
-        let decoded = Node::decode_shared(&buf).unwrap();
-        assert_eq!(decoded, leaf);
-        let Node::Leaf(l) = decoded else {
-            panic!("leaf expected")
         };
-        // Zero-copy: each value points inside the encoded buffer.
+        let buf = Bytes::from(Node::Leaf(leaf).encode());
+        let view = LeafView::parse(buf.clone()).unwrap();
         let base = buf.as_ref().as_ptr() as usize;
         let end = base + buf.len();
-        for (_, value) in &l.cells {
-            let p = value.as_ref().as_ptr() as usize;
-            assert!(
-                p >= base && p + value.len() <= end,
-                "value copied instead of sliced"
-            );
+        let inside = |b: &Bytes| {
+            let p = b.as_ref().as_ptr() as usize;
+            p >= base && p + b.len() <= end
+        };
+        // find() hands out a slice of the page.
+        let found = view.find(b"b").unwrap().unwrap();
+        assert!(inside(&found), "value copied instead of sliced");
+        // cell_bytes() too.
+        let (ck, cv) = view.cell_bytes(1).unwrap();
+        assert!(inside(&ck) && inside(&cv), "cell copied instead of sliced");
+        // Materialisation slices as well — keys included.
+        let node = view.to_leaf_node().unwrap();
+        for (key, value) in &node.cells {
+            assert!(inside(key) && inside(value), "materialised cell copied");
         }
-        if let Bound::Key(bk) = &l.lower {
-            let p = bk.as_ref().as_ptr() as usize;
-            assert!(
-                p >= base && p + bk.len() <= end,
-                "bound key copied instead of sliced"
-            );
+        if let Bound::Key(bk) = &node.lower {
+            assert!(inside(bk), "bound key copied instead of sliced");
         }
     }
 
     #[test]
-    fn decode_shared_inner_keys_are_slices() {
-        let inner = Node::Inner(InnerNode {
+    fn inner_view_routes_like_materialised_node() {
+        let inner = InnerNode {
+            lower: Bound::Key(k("aa")),
+            upper: Bound::PosInf,
+            keys: (1..64)
+                .map(|i| Bytes::from(format!("k{i:03}")))
+                .collect::<Vec<_>>(),
+            children: (0..64u64).map(|i| 100 + i).collect(),
+            height: 2,
+        };
+        let view = inner_view(&inner);
+        assert_eq!(view.len(), 64);
+        assert_eq!(view.height(), 2);
+        assert_eq!(view.first_child(), 100);
+        for probe in ["", "aa", "k001", "k0015", "k032", "k063", "zz"] {
+            assert_eq!(
+                view.child_for(probe.as_bytes()).unwrap(),
+                inner.child_for(probe.as_bytes()),
+                "probe {probe}"
+            );
+            assert_eq!(
+                view.fence_contains(probe.as_bytes()),
+                inner.fence_contains(probe.as_bytes()),
+                "fence {probe}"
+            );
+        }
+        // Round trip through materialisation.
+        assert_eq!(view.to_inner_node().unwrap(), inner);
+    }
+
+    #[test]
+    fn inner_view_separators_are_slices() {
+        let inner = InnerNode {
             lower: Bound::NegInf,
             upper: Bound::PosInf,
             keys: vec![k("separator-g"), k("separator-p")],
             children: vec![7, 9, 11],
             height: 1,
-        });
-        let buf = Bytes::from(inner.encode());
+        };
+        let buf = Bytes::from(Node::Inner(inner).encode());
         let Node::Inner(i) = Node::decode_shared(&buf).unwrap() else {
             panic!("inner expected")
         };
@@ -553,14 +1109,86 @@ mod tests {
     }
 
     #[test]
+    fn node_view_dispatch() {
+        let leaf = Bytes::from(Node::Leaf(LeafNode::empty_root()).encode());
+        assert!(matches!(NodeView::parse(leaf).unwrap(), NodeView::Leaf(_)));
+        let inner = Bytes::from(
+            Node::Inner(InnerNode {
+                lower: Bound::NegInf,
+                upper: Bound::PosInf,
+                keys: vec![k("m")],
+                children: vec![1, 2],
+                height: 4,
+            })
+            .encode(),
+        );
+        let view = NodeView::parse(inner).unwrap();
+        assert_eq!(view.height(), 4);
+        assert!(NodeView::parse(Bytes::new()).is_err());
+        assert!(NodeView::parse(Bytes::copy_from_slice(&[0x00, 0x01])).is_err());
+    }
+
+    #[test]
     fn decode_rejects_garbage() {
         assert!(Node::decode(&[]).is_err());
         assert!(Node::decode(&[0x00, 0x01]).is_err());
-        let mut good = Node::Leaf(LeafNode::empty_root()).encode();
-        good.truncate(good.len() - 1);
-        // Truncating an empty root leaves a still-valid prefix only if the
-        // cell count survived; either way decode must not panic.
-        let _ = Node::decode(&good);
+        // Truncations of a valid page must error, never panic.
+        let good = Node::Leaf(LeafNode {
+            lower: Bound::NegInf,
+            upper: Bound::Key(k("zz")),
+            cells: vec![(k("a"), v("1")), (k("b"), v("2"))],
+            next: Some(9),
+        })
+        .encode();
+        for cut in 0..good.len() {
+            let _ = Node::decode(&good[..cut]);
+        }
+        assert!(Node::decode(&good).is_ok());
+    }
+
+    #[test]
+    fn parse_rejects_bad_directory() {
+        let good = Node::Leaf(LeafNode {
+            lower: Bound::NegInf,
+            upper: Bound::PosInf,
+            cells: vec![(k("a"), v("1")), (k("b"), v("2"))],
+            next: None,
+        })
+        .encode();
+        // Directory entry 0 lives at LEAF_DIR_START; point it past the page.
+        let mut bad = good.clone();
+        bad[LEAF_DIR_START..LEAF_DIR_START + 4].copy_from_slice(&u32::MAX.to_be_bytes());
+        assert!(LeafView::parse(Bytes::from(bad)).is_err());
+        // Non-monotonic directory (entry 1 before entry 0).
+        let mut bad = good.clone();
+        let e0 = bad[LEAF_DIR_START..LEAF_DIR_START + 4].to_vec();
+        let e1 = bad[LEAF_DIR_START + 4..LEAF_DIR_START + 8].to_vec();
+        bad[LEAF_DIR_START..LEAF_DIR_START + 4].copy_from_slice(&e1);
+        bad[LEAF_DIR_START + 4..LEAF_DIR_START + 8].copy_from_slice(&e0);
+        assert!(LeafView::parse(Bytes::from(bad)).is_err());
+        // Overstated cell count overflows the directory region.
+        let mut bad = good;
+        bad[10..14].copy_from_slice(&u32::MAX.to_be_bytes());
+        assert!(LeafView::parse(Bytes::from(bad)).is_err());
+    }
+
+    #[test]
+    fn overlapping_cells_error_on_access() {
+        // Two cells; move cell 1's offset to one byte after cell 0's start:
+        // the directory stays monotonic and in-range, but cell 0's slot is
+        // now a single byte, so decoding it must report corruption.
+        let good = Node::Leaf(LeafNode {
+            lower: Bound::NegInf,
+            upper: Bound::PosInf,
+            cells: vec![(k("aaaa"), v("1111")), (k("bbbb"), v("2222"))],
+            next: None,
+        })
+        .encode();
+        let off0 = u32::from_be_bytes(good[LEAF_DIR_START..LEAF_DIR_START + 4].try_into().unwrap());
+        let mut bad = good;
+        bad[LEAF_DIR_START + 4..LEAF_DIR_START + 8].copy_from_slice(&(off0 + 1).to_be_bytes());
+        let view = LeafView::parse(Bytes::from(bad)).unwrap();
+        assert!(view.cell(0).is_err(), "overlapping cell decoded");
     }
 
     #[test]

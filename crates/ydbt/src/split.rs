@@ -126,10 +126,9 @@ pub(crate) fn split_node_in_txn(
                 return Ok(());
             }
             let mid = leaf.len() / 2;
-            // One allocation converts the separator to shared bytes; the
-            // bound/fence clones below are then reference-count bumps
-            // instead of fresh Vec copies.
-            let split_key = Bytes::copy_from_slice(&leaf.cells[mid].0);
+            // Cell keys are shared bytes, so the separator and every
+            // bound/fence clone below is a reference-count bump, not a copy.
+            let split_key = leaf.cells[mid].0.clone();
             let right_cells = leaf.cells.split_off(mid);
             let new_oid = ctx.new_oid(tree, reason == SplitReason::Load)?;
             let right = LeafNode {

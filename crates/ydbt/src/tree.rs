@@ -25,6 +25,16 @@
 //! With a warm cache the common case fetches exactly one node — the leaf —
 //! which is what lets Yesquel approach NOSQL key-value latency for point
 //! queries.
+//!
+//! ## Reads never materialise nodes
+//!
+//! Both phases operate on [`NodeView`]s — lazy views over the encoded pages
+//! (see [`crate::node`]).  A warm point read therefore costs one node fetch
+//! plus an O(log n) binary search straight over the page bytes; no cell is
+//! decoded except the ones the search compares, and nothing is allocated
+//! per cell.  Only `insert`/`delete` materialise the destination leaf
+//! (into a [`LeafNode`] whose cells are `Bytes` slices of the page), because
+//! they are about to mutate and re-encode it.
 
 use std::sync::Arc;
 
@@ -36,25 +46,60 @@ use yesquel_kv::Txn;
 
 use crate::engine::DbtEngine;
 use crate::iter::DbtCursor;
-use crate::node::{LeafNode, Node};
+use crate::node::{LeafNode, LeafView, Node, NodeView};
 use crate::split::{split_node_in_txn, SplitReason, SplitRequest};
 
-/// Reads and decodes a tree node within a transaction.  Returns `None` if
-/// the object has no visible version at the transaction's snapshot.
+/// Upper bound on the depth of any search path; also the cycle guard for
+/// descents through (possibly inconsistent) cached nodes.  A tree with
+/// branching factor ≥ 2 of this depth would be astronomically large, so
+/// hitting the bound always means a stale or corrupt path.
+const MAX_SEARCH_DEPTH: usize = 64;
+
+/// Reads a node page within a transaction and wraps it in a lazy view —
+/// no cells are decoded.  Returns `None` if the object has no visible
+/// version at the transaction's snapshot.
+pub(crate) fn fetch_view(txn: &Txn, tree: TreeId, oid: Oid) -> Result<Option<NodeView>> {
+    match txn.get(ObjectId::new(tree, oid))? {
+        Some(bytes) => Ok(Some(NodeView::parse(bytes)?)),
+        None => Ok(None),
+    }
+}
+
+/// Follows a leaf's right-sibling pointer, returning the sibling's view.
+/// The chain is maintained transactionally, so a dangling pointer or a
+/// sibling that is not a leaf means a damaged tree at this snapshot and is
+/// reported as corruption.  Shared by cursors and the leaf-chain walk of
+/// [`Dbt::count`].
+pub(crate) fn fetch_leaf_sibling(txn: &Txn, tree: TreeId, oid: Oid) -> Result<LeafView> {
+    match fetch_view(txn, tree, oid)? {
+        Some(NodeView::Leaf(l)) => Ok(l),
+        Some(NodeView::Inner(_)) => Err(Error::Corruption(format!(
+            "leaf sibling pointer {tree}:{oid} refers to an inner node"
+        ))),
+        None => Err(Error::Corruption(format!(
+            "leaf sibling pointer {tree}:{oid} dangles at this snapshot"
+        ))),
+    }
+}
+
+/// Reads and **materialises** a node within a transaction (the write/split
+/// path, which is about to mutate it).  Returns `None` if the object has no
+/// visible version at the transaction's snapshot.
 pub(crate) fn fetch_node(txn: &Txn, tree: TreeId, oid: Oid) -> Result<Option<Node>> {
     match txn.get(ObjectId::new(tree, oid))? {
-        // Zero-copy decode: values and keys of the returned node are slices
-        // of the fetched buffer, so a leaf fetch allocates nothing per cell.
+        // Shared decode: keys, values and bounds of the returned node are
+        // Bytes slices of the fetched buffer, not copies.
         Some(bytes) => Ok(Some(Node::decode_shared(&bytes)?)),
         None => Ok(None),
     }
 }
 
-/// The leaf that a search arrived at, together with the root-to-leaf path of
-/// object ids used to reach it (needed by synchronous splits).
+/// The leaf that a search arrived at — still a lazy view — together with
+/// the root-to-leaf path of object ids used to reach it (needed by
+/// synchronous splits).
 pub(crate) struct LeafRef {
     pub(crate) path: Vec<Oid>,
-    pub(crate) leaf: LeafNode,
+    pub(crate) leaf: LeafView,
 }
 
 impl LeafRef {
@@ -91,21 +136,27 @@ impl Dbt {
     /// Finds the leaf responsible for `key` at the transaction's snapshot.
     pub(crate) fn find_leaf(&self, txn: &Txn, key: &[u8]) -> Result<LeafRef> {
         let cfg = self.engine.config();
-        let stats = self.engine.stats();
+        let counters = self.engine.counters();
         let cache = self.engine.cache();
 
-        // Phase 1: cached descent (no RPCs).
+        // Phase 1: cached descent (no RPCs).  Termination is guaranteed by
+        // the depth bound alone — O(depth), unlike a per-step scan of the
+        // whole path, which made deep descents O(depth²).  The `child != cur`
+        // guard only short-circuits the trivial self-loop a corrupt cache
+        // entry could produce; longer cycles run into the depth bound.
         let mut path: Vec<Oid> = vec![ROOT_OID];
         if cfg.cache_inner_nodes {
-            loop {
+            while path.len() < MAX_SEARCH_DEPTH {
                 let cur = *path.last().expect("path never empty");
                 match cache.get(self.tree, cur) {
                     Some(inner) if inner.fence_contains(key) => {
-                        let child = inner.child_for(key);
-                        if path.contains(&child) || path.len() > 64 {
-                            break;
+                        match inner.child_for(key) {
+                            Ok(child) if child != cur => path.push(child),
+                            // A cached page that cannot route (corrupt or
+                            // self-referential) is simply not descended
+                            // through; phase 2 will verify and invalidate.
+                            _ => break,
                         }
-                        path.push(child);
                     }
                     _ => break,
                 }
@@ -117,23 +168,29 @@ impl Dbt {
         let mut restarts = 0usize;
         loop {
             let oid = path[idx];
-            stats.counter("dbt.node_fetches").inc();
-            let fetched = fetch_node(txn, self.tree, oid)?;
+            counters.node_fetches.inc();
+            let fetched = fetch_view(txn, self.tree, oid)?;
             match fetched {
-                Some(Node::Leaf(leaf)) if leaf.fence_contains(key) => {
+                Some(NodeView::Leaf(leaf)) if leaf.fence_contains(key) => {
                     path.truncate(idx + 1);
                     return Ok(LeafRef { path, leaf });
                 }
-                Some(Node::Inner(inner)) if inner.fence_contains(key) => {
-                    let child = inner.child_for(key);
+                Some(NodeView::Inner(inner)) if inner.fence_contains(key) => {
+                    let child = inner.child_for(key)?;
                     if cfg.cache_inner_nodes {
-                        // The cache stores Arc<InnerNode>; later hits share
-                        // this instance instead of deep-cloning it.
+                        // The cache stores the view; later hits clone it
+                        // (a refcount bump) instead of re-fetching.
                         cache.put(self.tree, oid, inner);
                     }
                     path.truncate(idx + 1);
                     path.push(child);
                     idx += 1;
+                    if idx >= MAX_SEARCH_DEPTH {
+                        return Err(Error::Corruption(format!(
+                            "search path in tree {} exceeded depth {MAX_SEARCH_DEPTH}",
+                            self.tree
+                        )));
+                    }
                     continue;
                 }
                 None if oid == ROOT_OID => {
@@ -147,7 +204,7 @@ impl Dbt {
                 _ => {
                     cache.invalidate(self.tree, oid);
                     restarts += 1;
-                    stats.counter("dbt.search_restarts").inc();
+                    counters.search_restarts.inc();
                     if restarts > cfg.max_search_restarts {
                         return Err(Error::Internal(format!(
                             "search for key in tree {} did not converge after {restarts} restarts",
@@ -155,7 +212,7 @@ impl Dbt {
                         )));
                     }
                     if cfg.back_down_search && idx > 0 {
-                        stats.counter("dbt.back_downs").inc();
+                        counters.back_downs.inc();
                         idx -= 1;
                         path.truncate(idx + 1);
                     } else {
@@ -166,6 +223,13 @@ impl Dbt {
                 }
             }
         }
+    }
+
+    /// Finds the leaf for `key` and materialises it for mutation.
+    fn find_leaf_mut(&self, txn: &Txn, key: &[u8]) -> Result<(Vec<Oid>, LeafNode)> {
+        let lr = self.find_leaf(txn, key)?;
+        let leaf = lr.leaf.to_leaf_node()?;
+        Ok((lr.path, leaf))
     }
 
     /// Records an access to a leaf for load-split tracking and requests a
@@ -192,23 +256,23 @@ impl Dbt {
     /// them out (`Bytes::copy_from_slice(&v)`); callers that consume values
     /// immediately — the common case — pay no copy at all.
     pub fn lookup(&self, txn: &Txn, key: &[u8]) -> Result<Option<Bytes>> {
-        self.engine.stats().counter("dbt.lookups").inc();
+        self.engine.counters().lookups.inc();
         let lr = self.find_leaf(txn, key)?;
         self.track_access(lr.oid(), lr.leaf.len());
-        Ok(lr.leaf.find(key).cloned())
+        lr.leaf.find(key)
     }
 
     /// Inserts (or replaces) `key` → `value`.  Returns true if an existing
     /// value was replaced.
     pub fn insert(&self, txn: &Txn, key: &[u8], value: &[u8]) -> Result<bool> {
-        self.engine.stats().counter("dbt.inserts").inc();
-        let mut lr = self.find_leaf(txn, key)?;
-        let leaf_oid = lr.oid();
-        let replaced = lr.leaf.insert_cell(key, Bytes::copy_from_slice(value));
-        let new_len = lr.leaf.len();
+        self.engine.counters().inserts.inc();
+        let (path, mut leaf) = self.find_leaf_mut(txn, key)?;
+        let leaf_oid = *path.last().expect("path never empty");
+        let replaced = leaf.insert_cell(key, Bytes::copy_from_slice(value));
+        let new_len = leaf.len();
         txn.put(
             ObjectId::new(self.tree, leaf_oid),
-            Node::Leaf(lr.leaf).encode(),
+            Node::Leaf(leaf).encode(),
         )?;
         self.track_access(leaf_oid, new_len);
 
@@ -216,8 +280,8 @@ impl Dbt {
             match self.engine.config().split_mode {
                 SplitMode::Synchronous => {
                     let ctx = self.engine.split_ctx();
-                    let idx = lr.path.len() - 1;
-                    split_node_in_txn(&ctx, txn, self.tree, &lr.path, idx, SplitReason::Size)?;
+                    let idx = path.len() - 1;
+                    split_node_in_txn(&ctx, txn, self.tree, &path, idx, SplitReason::Size)?;
                 }
                 SplitMode::Delegated => {
                     self.engine.request_split(SplitRequest {
@@ -233,21 +297,24 @@ impl Dbt {
 
     /// Deletes `key`.  Returns true if it existed.
     pub fn delete(&self, txn: &Txn, key: &[u8]) -> Result<bool> {
-        self.engine.stats().counter("dbt.deletes").inc();
-        let mut lr = self.find_leaf(txn, key)?;
+        self.engine.counters().deletes.inc();
+        let lr = self.find_leaf(txn, key)?;
         let leaf_oid = lr.oid();
-        let existed = lr.leaf.remove_cell(key);
-        if existed {
-            let len = lr.leaf.len();
-            txn.put(
-                ObjectId::new(self.tree, leaf_oid),
-                Node::Leaf(lr.leaf).encode(),
-            )?;
-            self.track_access(leaf_oid, len);
-        } else {
+        // Probe the view first: a miss (the common case for blind deletes)
+        // never materialises or rewrites the leaf.
+        if lr.leaf.find(key)?.is_none() {
             self.track_access(leaf_oid, lr.leaf.len());
+            return Ok(false);
         }
-        Ok(existed)
+        let mut leaf = lr.leaf.to_leaf_node()?;
+        leaf.remove_cell(key);
+        let len = leaf.len();
+        txn.put(
+            ObjectId::new(self.tree, leaf_oid),
+            Node::Leaf(leaf).encode(),
+        )?;
+        self.track_access(leaf_oid, len);
+        Ok(true)
     }
 
     /// Opens a forward cursor over `[start, end)`.  `None` bounds mean
@@ -258,26 +325,35 @@ impl Dbt {
         start: Option<&[u8]>,
         end: Option<&[u8]>,
     ) -> Result<DbtCursor<'a>> {
-        self.engine.stats().counter("dbt.scans").inc();
+        self.engine.counters().scans.inc();
         let start_key = start.unwrap_or(b"");
         let lr = self.find_leaf(txn, start_key)?;
-        let idx = lr.leaf.lower_bound(start_key);
+        let idx = lr.leaf.lower_bound(start_key)?;
         Ok(DbtCursor::new(
             txn,
             self.tree,
             lr.leaf,
             idx,
             end.map(|e| e.to_vec()),
-            self.engine.stats().clone(),
+            Arc::clone(&self.engine.counters().scan_leaf_fetches),
         ))
     }
 
     /// Number of keys in the tree (full scan; tests and small tools only).
+    ///
+    /// Walks the leaf chain and sums per-leaf cell counts from the page
+    /// headers — no cell is decoded, nothing is allocated per key.
     pub fn count(&self, txn: &Txn) -> Result<u64> {
-        let mut n = 0u64;
-        for item in self.scan(txn, None, None)? {
-            item?;
-            n += 1;
+        self.engine.counters().scans.inc();
+        let counters = self.engine.counters();
+        let lr = self.find_leaf(txn, b"")?;
+        let mut n = lr.leaf.len() as u64;
+        let mut next = lr.leaf.next();
+        while let Some(oid) = next {
+            counters.scan_leaf_fetches.inc();
+            let leaf = fetch_leaf_sibling(txn, self.tree, oid)?;
+            n += leaf.len() as u64;
+            next = leaf.next();
         }
         Ok(n)
     }
@@ -285,7 +361,7 @@ impl Dbt {
     /// Height of the tree at the transaction's snapshot (0 = the root is a
     /// leaf).  Diagnostics and tests.
     pub fn height(&self, txn: &Txn) -> Result<u8> {
-        let root = fetch_node(txn, self.tree, ROOT_OID)?
+        let root = fetch_view(txn, self.tree, ROOT_OID)?
             .ok_or_else(|| Error::NotFound(format!("tree {} has no root", self.tree)))?;
         Ok(root.height())
     }
@@ -417,7 +493,7 @@ mod tests {
         for k in &keys {
             dbt.insert(&txn, &key(*k), b"v").unwrap();
         }
-        let collected: Vec<Vec<u8>> = dbt
+        let collected: Vec<Bytes> = dbt
             .scan(&txn, None, None)
             .unwrap()
             .map(|r| r.unwrap().0)
@@ -435,7 +511,7 @@ mod tests {
         for i in 0..50u64 {
             dbt.insert(&txn, &key(i), b"v").unwrap();
         }
-        let got: Vec<Vec<u8>> = dbt
+        let got: Vec<Bytes> = dbt
             .scan(&txn, Some(&key(10)), Some(&key(20)))
             .unwrap()
             .map(|r| r.unwrap().0)
@@ -642,5 +718,27 @@ mod tests {
         let check = db.client().begin();
         assert_eq!(dbt.count(&check).unwrap(), 100);
         check.commit().unwrap();
+    }
+
+    #[test]
+    fn scan_yields_page_slices() {
+        // Cursor items must be zero-copy slices of the fetched leaf pages,
+        // not per-item allocations.
+        let (db, _engine, dbt) = setup(2, small_cfg());
+        let txn = db.client().begin();
+        for i in 0..20u64 {
+            dbt.insert(&txn, &key(i), b"scan-value").unwrap();
+        }
+        txn.commit().unwrap();
+        let txn = db.client().begin();
+        for item in dbt.scan(&txn, None, None).unwrap() {
+            let (k, v) = item.unwrap();
+            // Key and value slices of one leaf page share its backing
+            // allocation; both being non-empty views is the observable
+            // contract (pointer identity is checked in node.rs tests).
+            assert_eq!(k.len(), 8);
+            assert_eq!(&v[..], b"scan-value");
+        }
+        txn.commit().unwrap();
     }
 }

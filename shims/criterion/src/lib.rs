@@ -26,6 +26,14 @@ const BATCH_TARGET: Duration = Duration::from_millis(4);
 /// Number of timed batches (samples).
 const SAMPLES: usize = 40;
 
+/// True when `BENCH_SMOKE` is set (to anything but `0` or empty): smoke
+/// mode runs every benchmark body exactly once with no warm-up, so CI can
+/// verify that bench code still compiles and runs without paying for a real
+/// measurement.  The reported numbers are meaningless in this mode.
+fn smoke_mode() -> bool {
+    std::env::var("BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
 /// One finished measurement.
 #[derive(Debug, Clone)]
 pub struct BenchResult {
@@ -69,6 +77,13 @@ impl Bencher {
 
     /// Measures `f` called in a loop.
     pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        if smoke_mode() {
+            let t = Instant::now();
+            black_box(f());
+            self.samples.push(t.elapsed().as_nanos() as f64);
+            self.iters += 1;
+            return;
+        }
         // Warm-up, and estimate the cost of one iteration.
         let warm_start = Instant::now();
         let mut warm_iters = 0u64;
@@ -99,6 +114,14 @@ impl Bencher {
         mut routine: impl FnMut(I) -> R,
         _size: BatchSize,
     ) {
+        if smoke_mode() {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t.elapsed().as_nanos() as f64);
+            self.iters += 1;
+            return;
+        }
         // Warm-up.
         let warm_start = Instant::now();
         while warm_start.elapsed() < WARMUP {

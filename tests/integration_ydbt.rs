@@ -42,8 +42,8 @@ fn grows_scans_and_survives_cache_invalidation() {
     );
     assert_eq!(dbt.count(&txn).unwrap(), n);
 
-    // Scans return sorted keys.
-    let keys: Vec<Vec<u8>> = dbt
+    // Scans return sorted keys (as zero-copy slices of the leaf pages).
+    let keys: Vec<bytes::Bytes> = dbt
         .scan(&txn, None, None)
         .unwrap()
         .map(|r| r.unwrap().0)

@@ -1,0 +1,254 @@
+//! Robustness of the node page codec against corrupt input.
+//!
+//! Node pages travel through the key-value store and (in a real deployment)
+//! the network, so the decoder must treat every byte as hostile: truncated
+//! buffers, out-of-range directory offsets, overlapping cells and garbage
+//! tags must all surface as `Err(Corruption)` — never a panic or an
+//! out-of-bounds read.  The randomized sections byte-flip and truncate
+//! valid encodings and then exercise **every** accessor of the resulting
+//! views; a flip that happens to leave the page well-formed is fine (the
+//! data is simply different), a panic is a bug.
+
+use bytes::Bytes;
+use rand::{Rng, SeedableRng};
+use yesquel::common::{Error, Result};
+use yesquel::ydbt::{Bound, InnerNode, LeafNode, Node, NodeView};
+
+/// A spread of leaf shapes: empty, single-cell, empty keys/values, many
+/// cells, finite and infinite fences, with and without a sibling.
+fn sample_leaves() -> Vec<LeafNode> {
+    let mut many = LeafNode {
+        lower: Bound::key(b"k000"),
+        upper: Bound::key(b"k999"),
+        cells: Vec::new(),
+        next: Some(4242),
+    };
+    for i in 0..64 {
+        many.insert_cell(
+            format!("k{:03}", i * 7).as_bytes(),
+            Bytes::from(vec![i as u8; (i % 13) as usize]),
+        );
+    }
+    vec![
+        LeafNode::empty_root(),
+        LeafNode {
+            lower: Bound::NegInf,
+            upper: Bound::PosInf,
+            cells: vec![(Bytes::from_static(b""), Bytes::from_static(b""))],
+            next: None,
+        },
+        LeafNode {
+            lower: Bound::key(b"a"),
+            upper: Bound::PosInf,
+            cells: vec![
+                (Bytes::from_static(b"a"), Bytes::from_static(b"1")),
+                (Bytes::from_static(b"b"), Bytes::from_static(b"")),
+                (Bytes::from_static(b"c"), Bytes::from_static(b"333")),
+            ],
+            next: Some(7),
+        },
+        many,
+    ]
+}
+
+fn sample_inners() -> Vec<InnerNode> {
+    vec![
+        InnerNode {
+            lower: Bound::NegInf,
+            upper: Bound::PosInf,
+            keys: Vec::new(),
+            children: vec![9],
+            height: 1,
+        },
+        InnerNode {
+            lower: Bound::key(b"g"),
+            upper: Bound::key(b"zz"),
+            keys: vec![Bytes::from_static(b"m")],
+            children: vec![1, 2],
+            height: 3,
+        },
+        InnerNode {
+            lower: Bound::NegInf,
+            upper: Bound::PosInf,
+            keys: (1..64).map(|i| Bytes::from(format!("s{i:03}"))).collect(),
+            children: (0..64u64).collect(),
+            height: 1,
+        },
+    ]
+}
+
+/// Drives every accessor of a parsed view.  Errors are fine (and expected
+/// for corrupt pages); panics and out-of-bounds reads are what this guards
+/// against.
+fn exercise(page: &[u8]) -> Result<()> {
+    let view = NodeView::parse(Bytes::copy_from_slice(page))?;
+    match view {
+        NodeView::Leaf(l) => {
+            l.fence_contains(b"");
+            l.fence_contains(b"k050");
+            l.next();
+            for i in 0..l.len() {
+                l.cell(i)?;
+                l.cell_bytes(i)?;
+            }
+            l.find(b"k014")?;
+            l.find(b"")?;
+            l.lower_bound(b"k")?;
+            l.to_leaf_node()?;
+        }
+        NodeView::Inner(i) => {
+            i.fence_contains(b"m");
+            i.height();
+            if !i.is_empty() {
+                i.first_child();
+            }
+            i.child_for(b"")?;
+            i.child_for(b"s031")?;
+            i.child_for(b"zzz")?;
+            i.to_inner_node()?;
+        }
+    }
+    // The materialising decoder must be exactly as robust.
+    Node::decode(page)?;
+    Ok(())
+}
+
+fn assert_corruption(r: Result<()>, what: &str) {
+    match r {
+        Err(Error::Corruption(_)) => {}
+        Err(other) => panic!("{what}: expected Corruption, got {other:?}"),
+        Ok(()) => panic!("{what}: corrupt page decoded successfully"),
+    }
+}
+
+#[test]
+fn valid_encodings_roundtrip() {
+    for leaf in sample_leaves() {
+        let node = Node::Leaf(leaf);
+        let buf = node.encode();
+        exercise(&buf).expect("valid leaf must decode");
+        assert_eq!(Node::decode(&buf).unwrap(), node);
+    }
+    for inner in sample_inners() {
+        let node = Node::Inner(inner);
+        let buf = node.encode();
+        exercise(&buf).expect("valid inner must decode");
+        assert_eq!(Node::decode(&buf).unwrap(), node);
+    }
+}
+
+#[test]
+fn garbage_tags_rejected() {
+    let mut buf = Node::Leaf(sample_leaves().pop().unwrap()).encode();
+    for tag in [0x00u8, 0x01, 0x7f, 0xd1, 0xd2, 0xff] {
+        buf[0] = tag;
+        assert_corruption(exercise(&buf), &format!("tag 0x{tag:02x}"));
+    }
+}
+
+#[test]
+fn every_truncation_errors_or_decodes_cleanly() {
+    // Chopping a valid page at any length must never panic; any successful
+    // parse must also survive full accessor exercise.
+    let pages: Vec<Vec<u8>> = sample_leaves()
+        .into_iter()
+        .map(|l| Node::Leaf(l).encode())
+        .chain(sample_inners().into_iter().map(|i| Node::Inner(i).encode()))
+        .collect();
+    for page in pages {
+        for cut in 0..page.len() {
+            let _ = exercise(&page[..cut]);
+        }
+    }
+}
+
+#[test]
+fn out_of_range_directory_offsets_rejected() {
+    // Leaf directory entries start at byte 14 (tag 1 + flags 1 + next 8 +
+    // ncells 4); each is a big-endian u32 absolute offset.
+    const LEAF_DIR_START: usize = 14;
+    let leaf = Node::Leaf(sample_leaves().pop().unwrap());
+    let good = leaf.encode();
+    for (i, bad_off) in [(0usize, u32::MAX), (1, 0), (5, u32::MAX - 7)] {
+        let mut bad = good.clone();
+        let at = LEAF_DIR_START + 4 * i;
+        bad[at..at + 4].copy_from_slice(&bad_off.to_be_bytes());
+        assert_corruption(exercise(&bad), &format!("dir[{i}] = {bad_off}"));
+    }
+    // Inner directory entries start after the header (7 bytes) and the
+    // fixed-width child array.
+    let inner = sample_inners().pop().unwrap();
+    let nchildren = inner.children.len();
+    let good = Node::Inner(inner).encode();
+    let dir_start = 7 + 8 * nchildren;
+    let mut bad = good.clone();
+    bad[dir_start..dir_start + 4].copy_from_slice(&u32::MAX.to_be_bytes());
+    assert_corruption(exercise(&bad), "inner dir[0] out of range");
+}
+
+#[test]
+fn overlapping_cells_rejected() {
+    // Shift a later directory entry so that the preceding cell's slot can
+    // no longer hold the cell it frames: decode must report corruption.
+    const LEAF_DIR_START: usize = 14;
+    let good = Node::Leaf(LeafNode {
+        lower: Bound::NegInf,
+        upper: Bound::PosInf,
+        cells: vec![
+            (Bytes::from_static(b"aaaa"), Bytes::from_static(b"11111111")),
+            (Bytes::from_static(b"bbbb"), Bytes::from_static(b"22222222")),
+        ],
+        next: None,
+    })
+    .encode();
+    let off0 = u32::from_be_bytes(good[LEAF_DIR_START..LEAF_DIR_START + 4].try_into().unwrap());
+    let mut bad = good;
+    bad[LEAF_DIR_START + 4..LEAF_DIR_START + 8].copy_from_slice(&(off0 + 2).to_be_bytes());
+    assert_corruption(exercise(&bad), "overlapping cells");
+}
+
+#[test]
+fn random_byte_flips_never_panic() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x5eed_c0de);
+    let pages: Vec<Vec<u8>> = sample_leaves()
+        .into_iter()
+        .map(|l| Node::Leaf(l).encode())
+        .chain(sample_inners().into_iter().map(|i| Node::Inner(i).encode()))
+        .collect();
+    for page in &pages {
+        for _round in 0..2000 {
+            let mut mutated = page.clone();
+            // 1–4 random byte flips anywhere in the page.
+            let flips = rng.gen_range(1usize..=4);
+            for _ in 0..flips {
+                let at = rng.gen_range(0usize..mutated.len());
+                mutated[at] ^= 1 << rng.gen_range(0u32..8);
+            }
+            // Occasionally also truncate.
+            if rng.gen_range(0u32..4) == 0 {
+                let cut = rng.gen_range(0usize..=mutated.len());
+                mutated.truncate(cut);
+            }
+            // Corruption errors are expected; panics are bugs.  A flip may
+            // also leave a structurally valid page with different data —
+            // exercise() walking it without panicking is the whole point.
+            let _ = exercise(&mutated);
+        }
+    }
+}
+
+#[test]
+fn random_multi_flip_storms_never_panic() {
+    // Heavier damage: flip up to 32 bytes at once so whole header fields
+    // (counts, offsets, flags) are scrambled.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xdead_beef);
+    let base = Node::Leaf(sample_leaves().pop().unwrap()).encode();
+    for _round in 0..5000 {
+        let mut mutated = base.clone();
+        for _ in 0..rng.gen_range(1usize..=32) {
+            let at = rng.gen_range(0usize..mutated.len());
+            mutated[at] = (rng.gen_range(0u32..256)) as u8;
+        }
+        let _ = exercise(&mutated);
+    }
+}
