@@ -1,16 +1,21 @@
-//! Benchmarks of the SQL front end (tokenizer and parser).  The SQL layer
-//! is not yet on the storage hot path, but parse cost bounds the per-query
-//! overhead every statement pays before touching a tree.
+//! Benchmarks of the SQL layer: the front end (tokenizer/parser) and the
+//! end-to-end execution path — statement text in, planner, executor, DBT
+//! operations, transaction commit.  `sql/point_select_pk` against
+//! `dbt/point_read_warm_with_txn` is the paper's "cost of SQL" question:
+//! what the query processor adds on top of a raw tree point read.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use yesquel_sql::{parse, tokenize};
+use yesquel_common::config::SplitMode;
+use yesquel_common::YesquelConfig;
+use yesquel_sql::{parse, tokenize, Value};
+use yesquel_ydbt::DbtEngine;
 
 const POINT_SELECT: &str = "SELECT id, name, score FROM users WHERE id = 12345";
 const JOIN_SELECT: &str = "SELECT u.name, o.total FROM users u JOIN orders o ON u.id = o.user_id \
                            WHERE o.total > 100 ORDER BY o.total DESC LIMIT 10";
 const INSERT: &str = "INSERT INTO users (id, name, score) VALUES (1, 'alice', 3.5)";
 
-fn bench_sql(c: &mut Criterion) {
+fn bench_frontend(c: &mut Criterion) {
     c.bench_function("sql/tokenize_point_select", |b| {
         b.iter(|| black_box(tokenize(POINT_SELECT).unwrap()))
     });
@@ -25,5 +30,115 @@ fn bench_sql(c: &mut Criterion) {
     });
 }
 
-criterion_group!(sql_benches, bench_sql);
+const ROWS: i64 = 4096;
+
+/// An in-process deployment with one populated, indexed table and a warm
+/// node cache, behind a SQL session.
+fn sql_fixture() -> (yesquel_kv::KvDatabase, yesquel_sql::Catalog) {
+    let mut config = YesquelConfig::with_servers(4);
+    // Synchronous splits keep the loaded tree deterministic.
+    config.dbt.split_mode = SplitMode::Synchronous;
+    config.dbt.load_splits = false;
+    let dbt_cfg = config.dbt.clone();
+    let db = yesquel_kv::KvDatabase::new(config);
+    let engine = DbtEngine::new(db.client(), dbt_cfg);
+    let catalog = yesquel_sql::Catalog::open(engine).unwrap();
+    let client = db.client();
+
+    let ddl = parse(
+        "CREATE TABLE users (id INTEGER PRIMARY KEY, name TEXT NOT NULL, score INT NOT NULL)",
+    )
+    .unwrap();
+    let ddl2 = parse("CREATE INDEX users_by_score ON users (score)").unwrap();
+    client
+        .run_txn(|txn| {
+            yesquel_sql::execute(&catalog, txn, &ddl, &[])?;
+            yesquel_sql::execute(&catalog, txn, &ddl2, &[])
+        })
+        .unwrap();
+    let ins = parse("INSERT INTO users (name, score) VALUES (?, ?)").unwrap();
+    for i in 0..ROWS {
+        client
+            .run_txn(|txn| {
+                yesquel_sql::execute(
+                    &catalog,
+                    txn,
+                    &ins,
+                    &[Value::Text(format!("user-{i}")), Value::Int(i % 512)],
+                )
+            })
+            .unwrap();
+    }
+    // Warm the client cache over both trees.
+    let probe = parse("SELECT name FROM users WHERE id = ?").unwrap();
+    let warm = parse("SELECT id FROM users WHERE score = ?").unwrap();
+    let txn = client.begin();
+    for i in 0..ROWS {
+        yesquel_sql::execute(&catalog, &txn, &probe, &[Value::Int(i + 1)]).unwrap();
+    }
+    for s in 0..512 {
+        yesquel_sql::execute(&catalog, &txn, &warm, &[Value::Int(s)]).unwrap();
+    }
+    txn.commit().unwrap();
+    (db, catalog)
+}
+
+fn bench_execution(c: &mut Criterion) {
+    let (db, catalog) = sql_fixture();
+    let client = db.client();
+
+    c.bench_function("sql/point_select_pk", |b| {
+        // Full auto-commit statement: parse + plan + one warm DBT point
+        // read + read-only commit.
+        let mut i = 0i64;
+        b.iter(|| {
+            i = (i + 1) % ROWS;
+            let stmt = parse("SELECT name, score FROM users WHERE id = ?").unwrap();
+            let txn = client.begin();
+            let rs = yesquel_sql::execute(&catalog, &txn, &stmt, &[Value::Int(i + 1)]).unwrap();
+            txn.commit().unwrap();
+            assert_eq!(rs.rows.len(), 1);
+            black_box(rs)
+        });
+    });
+
+    c.bench_function("sql/index_range_scan", |b| {
+        // Secondary-index range scan (8 score values ~= 64 rows) with rowid
+        // fetch-back per entry, ORDER BY + LIMIT on top.
+        let stmt =
+            parse("SELECT name FROM users WHERE score >= ? AND score < ? ORDER BY score LIMIT 50")
+                .unwrap();
+        let mut s = 0i64;
+        b.iter(|| {
+            s = (s + 7) % 504;
+            let txn = client.begin();
+            let rs =
+                yesquel_sql::execute(&catalog, &txn, &stmt, &[Value::Int(s), Value::Int(s + 8)])
+                    .unwrap();
+            txn.commit().unwrap();
+            black_box(rs)
+        });
+    });
+
+    c.bench_function("sql/insert_row", |b| {
+        // Transactional INSERT maintaining the secondary index, committed.
+        let stmt = parse("INSERT INTO users (name, score) VALUES (?, ?)").unwrap();
+        let mut i = ROWS;
+        b.iter(|| {
+            i += 1;
+            client
+                .run_txn(|txn| {
+                    yesquel_sql::execute(
+                        &catalog,
+                        txn,
+                        &stmt,
+                        &[Value::Text(format!("new-{i}")), Value::Int(i % 512)],
+                    )
+                })
+                .unwrap()
+        });
+    });
+}
+
+criterion_group!(sql_benches, bench_frontend, bench_execution);
 criterion_main!(sql_benches);

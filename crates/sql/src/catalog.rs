@@ -279,6 +279,14 @@ impl Catalog {
             }
             return Err(Error::Schema(format!("table {} already exists", stmt.name)));
         }
+        if self.name_in_use(txn, &stmt.name)? {
+            // get_table found no table of this name, so the collision is
+            // with an index.
+            return Err(Error::Schema(format!(
+                "there is already an index named {}",
+                stmt.name
+            )));
+        }
         if stmt.columns.is_empty() {
             return Err(Error::Schema("a table needs at least one column".into()));
         }
@@ -358,6 +366,25 @@ impl Catalog {
         Ok(())
     }
 
+    /// True if any table or index in the catalog already uses `name`
+    /// (tables and indexes share one namespace, as in SQLite).  Walks every
+    /// schema in the catalog tree; DDL is rare, so the full scan is fine.
+    fn name_in_use(&self, txn: &Txn, name: &str) -> Result<bool> {
+        for entry in self.tree.scan(txn, None, None)? {
+            let (_, value) = entry?;
+            let schema = TableSchema::decode(&value)?;
+            if schema.name.eq_ignore_ascii_case(name)
+                || schema
+                    .indexes
+                    .iter()
+                    .any(|ix| ix.name.eq_ignore_ascii_case(name))
+            {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
     /// Creates a secondary index and backfills it from the table's existing
     /// rows.
     pub fn create_index(&self, txn: &Txn, stmt: &CreateIndex) -> Result<Arc<TableSchema>> {
@@ -368,13 +395,30 @@ impl Catalog {
             }
             return Err(Error::Schema(format!("index {} already exists", stmt.name)));
         }
+        if self.name_in_use(txn, &stmt.name)? {
+            if stmt.if_not_exists {
+                return Ok(schema);
+            }
+            return Err(Error::Schema(format!(
+                "there is already a table or index named {}",
+                stmt.name
+            )));
+        }
+        if stmt.columns.is_empty() {
+            return Err(Error::Schema("an index needs at least one column".into()));
+        }
         let mut col_positions = Vec::with_capacity(stmt.columns.len());
         for c in &stmt.columns {
-            col_positions.push(
-                schema
-                    .col_index(c)
-                    .ok_or_else(|| Error::Schema(format!("no such column: {c}")))?,
-            );
+            let pos = schema
+                .col_index(c)
+                .ok_or_else(|| Error::Schema(format!("no such column: {c}")))?;
+            if col_positions.contains(&pos) {
+                return Err(Error::Schema(format!(
+                    "duplicate column {c} in index {}",
+                    stmt.name
+                )));
+            }
+            col_positions.push(pos);
         }
         let index = IndexInfo {
             name: stmt.name.clone(),
@@ -397,7 +441,11 @@ impl Catalog {
             let rowid = crate::row::decode_rowid_key(&key)?;
             let row = crate::row::decode_row(&value)?;
             let vals: Vec<Value> = index.columns.iter().map(|i| row[*i].clone()).collect();
-            if index.unique {
+            // Entry shape must match the executor's index maintenance:
+            // unique entries keyed by the values alone (rowid in the value),
+            // except that entries containing NULL never conflict and are
+            // stored non-unique style, with the rowid as a key suffix.
+            if index.unique && !vals.iter().any(Value::is_null) {
                 let ikey = encode_index_key(&vals, None);
                 if index_tree.lookup(txn, &ikey)?.is_some() {
                     return Err(Error::Constraint(format!(
@@ -443,5 +491,137 @@ impl Catalog {
     /// Internal helper for the primary-tree rowid key of a row.
     pub fn rowid_key(rowid: i64) -> Vec<u8> {
         encode_rowid_key(rowid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yesquel_common::DbtConfig;
+    use yesquel_kv::KvDatabase;
+
+    fn setup() -> (KvDatabase, Catalog) {
+        let db = KvDatabase::with_servers(2);
+        let engine = DbtEngine::new(db.client(), DbtConfig::default());
+        let catalog = Catalog::open(engine).unwrap();
+        (db, catalog)
+    }
+
+    fn create(catalog: &Catalog, txn: &Txn, sql: &str) -> Result<Arc<TableSchema>> {
+        match crate::parse(sql).unwrap() {
+            crate::ast::Statement::CreateTable(ct) => catalog.create_table(txn, &ct),
+            crate::ast::Statement::CreateIndex(ci) => catalog.create_index(txn, &ci),
+            other => panic!("not DDL: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_table_name_rejected() {
+        let (db, catalog) = setup();
+        let txn = db.client().begin();
+        create(&catalog, &txn, "CREATE TABLE t (a INT)").unwrap();
+        match create(&catalog, &txn, "CREATE TABLE t (b INT)") {
+            Err(Error::Schema(m)) => assert!(m.contains("already exists"), "{m}"),
+            other => panic!("expected Schema error, got {other:?}"),
+        }
+        // IF NOT EXISTS downgrades the error to a no-op.
+        let s = create(&catalog, &txn, "CREATE TABLE IF NOT EXISTS t (b INT)").unwrap();
+        assert_eq!(s.columns[0].name, "a");
+        txn.commit().unwrap();
+    }
+
+    #[test]
+    fn duplicate_column_name_rejected() {
+        let (db, catalog) = setup();
+        let txn = db.client().begin();
+        match create(&catalog, &txn, "CREATE TABLE t (a INT, A TEXT)") {
+            Err(Error::Schema(m)) => assert!(m.contains("duplicate column"), "{m}"),
+            other => panic!("expected Schema error, got {other:?}"),
+        }
+        txn.abort();
+    }
+
+    #[test]
+    fn index_on_unknown_column_rejected() {
+        let (db, catalog) = setup();
+        let txn = db.client().begin();
+        create(&catalog, &txn, "CREATE TABLE t (a INT)").unwrap();
+        match create(&catalog, &txn, "CREATE INDEX i ON t (nope)") {
+            Err(Error::Schema(m)) => assert!(m.contains("no such column"), "{m}"),
+            other => panic!("expected Schema error, got {other:?}"),
+        }
+        match create(&catalog, &txn, "CREATE INDEX i ON missing (a)") {
+            Err(Error::Schema(m)) => assert!(m.contains("no such table"), "{m}"),
+            other => panic!("expected Schema error, got {other:?}"),
+        }
+        txn.abort();
+    }
+
+    #[test]
+    fn duplicate_index_names_rejected_across_tables() {
+        let (db, catalog) = setup();
+        let txn = db.client().begin();
+        create(&catalog, &txn, "CREATE TABLE t (a INT)").unwrap();
+        create(&catalog, &txn, "CREATE TABLE u (b INT)").unwrap();
+        create(&catalog, &txn, "CREATE INDEX i ON t (a)").unwrap();
+        // Same table.
+        assert!(matches!(
+            create(&catalog, &txn, "CREATE INDEX i ON t (a)"),
+            Err(Error::Schema(_))
+        ));
+        // Other table: indexes share one namespace.
+        assert!(matches!(
+            create(&catalog, &txn, "CREATE INDEX i ON u (b)"),
+            Err(Error::Schema(_))
+        ));
+        // An index may not shadow a table name, nor a table an index name.
+        assert!(matches!(
+            create(&catalog, &txn, "CREATE INDEX u ON t (a)"),
+            Err(Error::Schema(_))
+        ));
+        assert!(matches!(
+            create(&catalog, &txn, "CREATE TABLE i (x INT)"),
+            Err(Error::Schema(_))
+        ));
+        txn.commit().unwrap();
+    }
+
+    #[test]
+    fn duplicate_column_in_index_rejected() {
+        let (db, catalog) = setup();
+        let txn = db.client().begin();
+        create(&catalog, &txn, "CREATE TABLE t (a INT, b INT)").unwrap();
+        match create(&catalog, &txn, "CREATE INDEX i ON t (a, b, A)") {
+            Err(Error::Schema(m)) => assert!(m.contains("duplicate column"), "{m}"),
+            other => panic!("expected Schema error, got {other:?}"),
+        }
+        txn.abort();
+    }
+
+    #[test]
+    fn schema_roundtrips_through_catalog_tree() {
+        let (db, catalog) = setup();
+        let txn = db.client().begin();
+        create(
+            &catalog,
+            &txn,
+            "CREATE TABLE t (id INTEGER PRIMARY KEY, name TEXT NOT NULL, tag TEXT UNIQUE)",
+        )
+        .unwrap();
+        create(&catalog, &txn, "CREATE INDEX by_name ON t (name)").unwrap();
+        txn.commit().unwrap();
+
+        // A second catalog over the same storage sees the same schema.
+        let engine2 = DbtEngine::new(db.client(), yesquel_common::DbtConfig::default());
+        let catalog2 = Catalog::open(engine2).unwrap();
+        let txn = db.client().begin();
+        let s = catalog2.require_table(&txn, "T").unwrap();
+        assert_eq!(s.rowid_col, Some(0));
+        assert_eq!(s.columns.len(), 3);
+        assert!(s.columns[1].not_null);
+        // The UNIQUE column got an implicit unique index plus the named one.
+        assert_eq!(s.indexes.len(), 2);
+        assert!(s.index_named("by_name").is_some());
+        txn.commit().unwrap();
     }
 }

@@ -1,0 +1,717 @@
+//! The executor: runs physical plans inside a key-value transaction via DBT
+//! cursors.
+//!
+//! Every statement executes entirely within one caller-supplied [`Txn`], so
+//! a statement touching a table and its secondary indexes is atomic and
+//! reads one consistent snapshot; the session layer decides when that
+//! transaction commits (autocommit or explicit BEGIN/COMMIT).
+//!
+//! Row access follows the plan's [`AccessPath`]: a rowid point lookup is one
+//! DBT `lookup` (one node fetch when the client cache is warm — the paper's
+//! headline property), an index scan is a bounded DBT range scan over the
+//! index tree plus one `lookup` fetch-back per entry, and UPDATE/DELETE
+//! materialise their match set before mutating so the scan never observes
+//! its own writes (the classic Halloween problem).
+
+use std::cmp::Ordering;
+use std::collections::HashSet;
+
+use yesquel_common::{Error, Result};
+use yesquel_kv::Txn;
+use yesquel_ydbt::Dbt;
+
+use crate::ast::Statement;
+use crate::catalog::{Catalog, IndexInfo, TableSchema};
+use crate::expr::{ColumnLayout, EvalCtx};
+use crate::plan::{
+    plan_statement, table_layout, AccessPath, DmlTarget, InsertPlan, OrderTarget, OutputCol, Plan,
+    RangeBound, SelectPlan,
+};
+use crate::row::{
+    decode_index_rowid, decode_row, decode_rowid_key, encode_index_key, encode_index_value,
+    encode_row, encode_rowid_key, prefix_upper_bound,
+};
+use crate::types::Value;
+
+/// The result of executing one statement.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ResultSet {
+    /// Column headers (empty for DML/DDL).
+    pub columns: Vec<String>,
+    /// Result rows (empty for DML/DDL).
+    pub rows: Vec<Vec<Value>>,
+    /// Rows inserted/updated/deleted.
+    pub rows_affected: u64,
+    /// Rowid assigned to the last inserted row.
+    pub last_rowid: Option<i64>,
+}
+
+impl ResultSet {
+    fn empty() -> ResultSet {
+        ResultSet::default()
+    }
+}
+
+/// Plans and executes one statement inside `txn`.  Transaction control
+/// statements are rejected here; the session intercepts them.
+pub fn execute(
+    catalog: &Catalog,
+    txn: &Txn,
+    stmt: &Statement,
+    params: &[Value],
+) -> Result<ResultSet> {
+    let plan = plan_statement(catalog, txn, stmt)?;
+    execute_plan(catalog, txn, &plan, params)
+}
+
+/// Executes an already-built plan inside `txn`.
+pub fn execute_plan(
+    catalog: &Catalog,
+    txn: &Txn,
+    plan: &Plan,
+    params: &[Value],
+) -> Result<ResultSet> {
+    match plan {
+        Plan::ConstSelect(output) => exec_const_select(output, params),
+        Plan::Select(p) => exec_select(catalog, txn, p, params),
+        Plan::Insert(p) => exec_insert(catalog, txn, p, params),
+        Plan::Update(p) => exec_update(catalog, txn, p, params),
+        Plan::Delete(p) => exec_delete(catalog, txn, p, params),
+        Plan::CreateTable(ct) => {
+            catalog.create_table(txn, ct)?;
+            Ok(ResultSet::empty())
+        }
+        Plan::CreateIndex(ci) => {
+            catalog.create_index(txn, ci)?;
+            Ok(ResultSet::empty())
+        }
+        Plan::DropTable { name, if_exists } => {
+            catalog.drop_table(txn, name, *if_exists)?;
+            Ok(ResultSet::empty())
+        }
+    }
+}
+
+/// Evaluates a constant expression (no column references).
+fn const_eval(e: &crate::ast::Expr, params: &[Value]) -> Result<Value> {
+    EvalCtx {
+        layout: &ColumnLayout::empty(),
+        row: &[],
+        params,
+    }
+    .eval(e)
+}
+
+/// An exact rowid from a value, if the value can ever equal a rowid.
+fn value_to_rowid(v: &Value) -> Option<i64> {
+    match v {
+        Value::Int(i) => Some(*i),
+        Value::Real(r) if r.fract() == 0.0 && *r >= i64::MIN as f64 && *r <= i64::MAX as f64 => {
+            Some(*r as i64)
+        }
+        _ => None,
+    }
+}
+
+/// A rowid-range endpoint resolved to an integer.
+enum RowidBound {
+    /// The predicate can never hold: the scan is empty.
+    Empty,
+    /// The bound does not constrain the scan.
+    Unbounded,
+    /// Scan from/to this rowid (inclusive).
+    At(i64),
+}
+
+/// Resolves a lower bound on the rowid.  Non-numeric bound values follow
+/// SQL's cross-class ordering (numbers sort below text and blobs), so
+/// `rowid > 'x'` is always false and `rowid > NULL` is never true.
+fn rowid_lower_bound(v: &Value, inclusive: bool) -> RowidBound {
+    match v {
+        Value::Null | Value::Text(_) | Value::Blob(_) => RowidBound::Empty,
+        Value::Int(i) => {
+            if inclusive {
+                RowidBound::At(*i)
+            } else if *i == i64::MAX {
+                RowidBound::Empty
+            } else {
+                RowidBound::At(*i + 1)
+            }
+        }
+        Value::Real(r) => {
+            let b = if inclusive { r.ceil() } else { r.floor() + 1.0 };
+            if b > i64::MAX as f64 {
+                RowidBound::Empty
+            } else if b < i64::MIN as f64 {
+                RowidBound::Unbounded
+            } else {
+                RowidBound::At(b as i64)
+            }
+        }
+    }
+}
+
+/// Resolves an upper bound on the rowid (`rowid < 'x'` is always true).
+fn rowid_upper_bound(v: &Value, inclusive: bool) -> RowidBound {
+    match v {
+        Value::Null => RowidBound::Empty,
+        Value::Text(_) | Value::Blob(_) => RowidBound::Unbounded,
+        Value::Int(i) => {
+            if inclusive {
+                RowidBound::At(*i)
+            } else if *i == i64::MIN {
+                RowidBound::Empty
+            } else {
+                RowidBound::At(*i - 1)
+            }
+        }
+        Value::Real(r) => {
+            let b = if inclusive { r.floor() } else { r.ceil() - 1.0 };
+            if b < i64::MIN as f64 {
+                RowidBound::Empty
+            } else if b > i64::MAX as f64 {
+                RowidBound::Unbounded
+            } else {
+                RowidBound::At(b as i64)
+            }
+        }
+    }
+}
+
+/// Walks the rows selected by `access`, calling `f(rowid, row)` for each;
+/// `f` returns false to stop early (LIMIT without ORDER BY).
+fn visit_rows(
+    catalog: &Catalog,
+    txn: &Txn,
+    schema: &TableSchema,
+    access: &AccessPath,
+    params: &[Value],
+    f: &mut dyn FnMut(i64, Vec<Value>) -> Result<bool>,
+) -> Result<()> {
+    let table = catalog.engine().tree(schema.tree);
+    match access {
+        AccessPath::RowidPoint(e) => {
+            let v = const_eval(e, params)?;
+            let Some(rid) = value_to_rowid(&v) else {
+                return Ok(());
+            };
+            if let Some(bytes) = table.lookup(txn, &encode_rowid_key(rid))? {
+                f(rid, decode_row(&bytes)?)?;
+            }
+            Ok(())
+        }
+        AccessPath::RowidRange { lo, hi } => {
+            let lo_key = match lo {
+                None => None,
+                Some(b) => match rowid_lower_bound(&const_eval(&b.expr, params)?, b.inclusive) {
+                    RowidBound::Empty => return Ok(()),
+                    RowidBound::Unbounded => None,
+                    RowidBound::At(i) => Some(encode_rowid_key(i)),
+                },
+            };
+            let hi_key = match hi {
+                None => None,
+                Some(b) => match rowid_upper_bound(&const_eval(&b.expr, params)?, b.inclusive) {
+                    RowidBound::Empty => return Ok(()),
+                    RowidBound::Unbounded => None,
+                    RowidBound::At(i) => {
+                        // Inclusive end: the smallest key above rowid i.
+                        let mut k = encode_rowid_key(i);
+                        k.push(0);
+                        Some(k)
+                    }
+                },
+            };
+            scan_table(&table, txn, lo_key.as_deref(), hi_key.as_deref(), f)
+        }
+        AccessPath::IndexScan { index, eq, lo, hi } => {
+            let ix = &schema.indexes[*index];
+            let itree = catalog.engine().tree(ix.tree);
+            let mut prefix = Vec::new();
+            for e in eq {
+                let v = const_eval(e, params)?;
+                if v.is_null() {
+                    // Equality with NULL matches nothing.
+                    return Ok(());
+                }
+                encode_index_value(&mut prefix, &v);
+            }
+            let lo_key = match lo {
+                None => Some(prefix.clone()),
+                Some(b) => match index_lower_key(&prefix, b, params)? {
+                    Some(k) => Some(k),
+                    None => return Ok(()),
+                },
+            };
+            let hi_key = match hi {
+                None => prefix_upper_bound(&prefix),
+                Some(b) => match index_upper_key(&prefix, b, params)? {
+                    IndexUpper::Empty => return Ok(()),
+                    IndexUpper::Unbounded => prefix_upper_bound(&prefix),
+                    IndexUpper::Key(k) => Some(k),
+                },
+            };
+            let cursor = itree.scan(txn, lo_key.as_deref(), hi_key.as_deref())?;
+            for entry in cursor {
+                let (key, value) = entry?;
+                let rid = if value.is_empty() {
+                    decode_index_rowid(&key)?
+                } else {
+                    // Unique-index entry: the value is the rowid record.
+                    decode_row(&value)?
+                        .first()
+                        .and_then(value_to_rowid)
+                        .ok_or_else(|| {
+                            Error::Corruption(format!("bad unique index entry in {}", ix.name))
+                        })?
+                };
+                let row_bytes = table.lookup(txn, &encode_rowid_key(rid))?.ok_or_else(|| {
+                    Error::Corruption(format!(
+                        "index {} refers to missing rowid {rid} of table {}",
+                        ix.name, schema.name
+                    ))
+                })?;
+                if !f(rid, decode_row(&row_bytes)?)? {
+                    return Ok(());
+                }
+            }
+            Ok(())
+        }
+        AccessPath::FullScan => scan_table(&table, txn, None, None, f),
+    }
+}
+
+/// Scans the primary tree over `[lo, hi)`, decoding each row.
+fn scan_table(
+    table: &Dbt,
+    txn: &Txn,
+    lo: Option<&[u8]>,
+    hi: Option<&[u8]>,
+    f: &mut dyn FnMut(i64, Vec<Value>) -> Result<bool>,
+) -> Result<()> {
+    for entry in table.scan(txn, lo, hi)? {
+        let (key, value) = entry?;
+        let rid = decode_rowid_key(&key)?;
+        if !f(rid, decode_row(&value)?)? {
+            return Ok(());
+        }
+    }
+    Ok(())
+}
+
+/// Encoded start key for an index range lower bound; `None` = empty scan.
+fn index_lower_key(prefix: &[u8], b: &RangeBound, params: &[Value]) -> Result<Option<Vec<u8>>> {
+    let v = const_eval(&b.expr, params)?;
+    if v.is_null() {
+        return Ok(None);
+    }
+    let mut k = prefix.to_vec();
+    encode_index_value(&mut k, &v);
+    if b.inclusive {
+        Ok(Some(k))
+    } else {
+        // Skip every entry whose column value equals the bound: start at the
+        // successor of the value prefix (entries append a rowid suffix, so a
+        // plain +1 on the last byte is not enough).
+        Ok(prefix_upper_bound(&k))
+    }
+}
+
+enum IndexUpper {
+    Empty,
+    Unbounded,
+    Key(Vec<u8>),
+}
+
+/// Encoded end key (exclusive) for an index range upper bound.
+fn index_upper_key(prefix: &[u8], b: &RangeBound, params: &[Value]) -> Result<IndexUpper> {
+    let v = const_eval(&b.expr, params)?;
+    if v.is_null() {
+        return Ok(IndexUpper::Empty);
+    }
+    let mut k = prefix.to_vec();
+    encode_index_value(&mut k, &v);
+    if b.inclusive {
+        // Include entries equal to the bound (they carry a rowid suffix):
+        // end at the successor of the value prefix.
+        match prefix_upper_bound(&k) {
+            Some(k) => Ok(IndexUpper::Key(k)),
+            None => Ok(IndexUpper::Unbounded),
+        }
+    } else {
+        Ok(IndexUpper::Key(k))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SELECT
+// ---------------------------------------------------------------------------
+
+fn exec_const_select(output: &[OutputCol], params: &[Value]) -> Result<ResultSet> {
+    let layout = ColumnLayout::empty();
+    let ctx = EvalCtx {
+        layout: &layout,
+        row: &[],
+        params,
+    };
+    let row: Vec<Value> = output
+        .iter()
+        .map(|o| ctx.eval(&o.expr))
+        .collect::<Result<_>>()?;
+    Ok(ResultSet {
+        columns: output.iter().map(|o| o.name.clone()).collect(),
+        rows: vec![row],
+        rows_affected: 0,
+        last_rowid: None,
+    })
+}
+
+fn exec_select(
+    catalog: &Catalog,
+    txn: &Txn,
+    p: &SelectPlan,
+    params: &[Value],
+) -> Result<ResultSet> {
+    let layout = table_layout(&p.schema, &p.qualifier);
+    // Early exit is sound only when no later stage reorders or drops rows.
+    let early_budget = if p.order_by.is_empty() && !p.distinct {
+        p.limit.map(|l| l.saturating_add(p.offset.unwrap_or(0)))
+    } else {
+        None
+    };
+
+    let mut rows: Vec<(Vec<Value>, Vec<Value>)> = Vec::new();
+    visit_rows(
+        catalog,
+        txn,
+        &p.schema,
+        &p.access,
+        params,
+        &mut |_rid, row| {
+            let ctx = EvalCtx {
+                layout: &layout,
+                row: &row,
+                params,
+            };
+            if let Some(filter) = &p.filter {
+                if !ctx.eval(filter)?.is_truthy() {
+                    return Ok(true);
+                }
+            }
+            let out: Vec<Value> = p
+                .output
+                .iter()
+                .map(|o| ctx.eval(&o.expr))
+                .collect::<Result<_>>()?;
+            let keys: Vec<Value> = p
+                .order_by
+                .iter()
+                .map(|s| match &s.target {
+                    OrderTarget::Output(i) => Ok(out[*i].clone()),
+                    OrderTarget::Expr(e) => ctx.eval(e),
+                })
+                .collect::<Result<_>>()?;
+            rows.push((keys, out));
+            Ok(early_budget
+                .map(|b| (rows.len() as u64) < b)
+                .unwrap_or(true))
+        },
+    )?;
+
+    if !p.order_by.is_empty() {
+        rows.sort_by(|a, b| {
+            for (i, spec) in p.order_by.iter().enumerate() {
+                let ord = a.0[i].sort_cmp(&b.0[i]);
+                let ord = if spec.desc { ord.reverse() } else { ord };
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            Ordering::Equal
+        });
+    }
+
+    let mut out_rows: Vec<Vec<Value>> = rows.into_iter().map(|(_, o)| o).collect();
+    if p.distinct {
+        let mut seen = HashSet::new();
+        out_rows.retain(|r| seen.insert(encode_row(r)));
+    }
+    let offset = p.offset.unwrap_or(0) as usize;
+    let mut out_rows: Vec<Vec<Value>> = out_rows.into_iter().skip(offset).collect();
+    if let Some(limit) = p.limit {
+        out_rows.truncate(limit as usize);
+    }
+
+    Ok(ResultSet {
+        columns: p.output.iter().map(|o| o.name.clone()).collect(),
+        rows: out_rows,
+        rows_affected: 0,
+        last_rowid: None,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// DML
+// ---------------------------------------------------------------------------
+
+/// An exact rowid from a column value, for explicit rowid-column writes.
+fn exact_rowid(v: &Value, table: &str, col: &str) -> Result<i64> {
+    value_to_rowid(v).ok_or_else(|| {
+        Error::Type(format!(
+            "{table}.{col} is the rowid and must be an integer, got {v}"
+        ))
+    })
+}
+
+/// Enforces NOT NULL (and PRIMARY KEY, which implies it) on a full row.
+fn check_not_null(schema: &TableSchema, row: &[Value]) -> Result<()> {
+    for (i, c) in schema.columns.iter().enumerate() {
+        if (c.not_null || c.primary_key) && row[i].is_null() {
+            return Err(Error::Constraint(format!(
+                "NOT NULL constraint failed: {}.{}",
+                schema.name, c.name
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// The indexed values of a row for one index.
+fn index_values(ix: &IndexInfo, row: &[Value]) -> Vec<Value> {
+    ix.columns.iter().map(|&c| row[c].clone()).collect()
+}
+
+/// Inserts one index entry, enforcing uniqueness.  Unique entries with any
+/// NULL value are stored with a rowid suffix like non-unique entries (SQL
+/// treats NULLs as distinct, so they never conflict).
+fn insert_index_entry(
+    itree: &Dbt,
+    txn: &Txn,
+    ix: &IndexInfo,
+    table_name: &str,
+    vals: &[Value],
+    rid: i64,
+) -> Result<()> {
+    if ix.unique && !vals.iter().any(Value::is_null) {
+        let key = encode_index_key(vals, None);
+        if itree.lookup(txn, &key)?.is_some() {
+            return Err(Error::Constraint(format!(
+                "UNIQUE constraint failed: {table_name} index {}",
+                ix.name
+            )));
+        }
+        itree.insert(txn, &key, &encode_row(&[Value::Int(rid)]))?;
+    } else {
+        itree.insert(txn, &encode_index_key(vals, Some(rid)), &[])?;
+    }
+    Ok(())
+}
+
+/// Removes the index entry a row contributed.
+fn delete_index_entry(
+    itree: &Dbt,
+    txn: &Txn,
+    ix: &IndexInfo,
+    vals: &[Value],
+    rid: i64,
+) -> Result<()> {
+    let key = if ix.unique && !vals.iter().any(Value::is_null) {
+        encode_index_key(vals, None)
+    } else {
+        encode_index_key(vals, Some(rid))
+    };
+    itree.delete(txn, &key)?;
+    Ok(())
+}
+
+/// Picks the rowid for a new row: the explicit rowid-column value when
+/// given, otherwise the next free id from the table's allocator (skipping
+/// ids taken by explicit inserts).
+fn assign_rowid(
+    catalog: &Catalog,
+    txn: &Txn,
+    schema: &TableSchema,
+    table: &Dbt,
+    row: &mut [Value],
+) -> Result<i64> {
+    if let Some(rc) = schema.rowid_col {
+        if !row[rc].is_null() {
+            let rid = exact_rowid(&row[rc], &schema.name, &schema.columns[rc].name)?;
+            if table.lookup(txn, &encode_rowid_key(rid))?.is_some() {
+                return Err(Error::Constraint(format!(
+                    "UNIQUE constraint failed: {}.{}",
+                    schema.name, schema.columns[rc].name
+                )));
+            }
+            row[rc] = Value::Int(rid);
+            return Ok(rid);
+        }
+    }
+    // The allocator is non-transactional (ids burned by aborts are lost,
+    // like SQLite's AUTOINCREMENT under concurrency); explicit inserts may
+    // have taken ids ahead of the counter, so skip occupied ones.
+    loop {
+        let rid = catalog.allocate_rowids(schema, 1)?;
+        if table.lookup(txn, &encode_rowid_key(rid))?.is_none() {
+            if let Some(rc) = schema.rowid_col {
+                row[rc] = Value::Int(rid);
+            }
+            return Ok(rid);
+        }
+    }
+}
+
+fn exec_insert(
+    catalog: &Catalog,
+    txn: &Txn,
+    p: &InsertPlan,
+    params: &[Value],
+) -> Result<ResultSet> {
+    let schema = &p.schema;
+    let table = catalog.engine().tree(schema.tree);
+    let mut affected = 0u64;
+    let mut last_rowid = None;
+    for value_exprs in &p.rows {
+        let mut row = vec![Value::Null; schema.columns.len()];
+        for (i, e) in value_exprs.iter().enumerate() {
+            let col = p.columns[i];
+            row[col] = const_eval(e, params)?.coerce(schema.columns[col].ctype);
+        }
+        let rid = assign_rowid(catalog, txn, schema, &table, &mut row)?;
+        check_not_null(schema, &row)?;
+        table.insert(txn, &encode_rowid_key(rid), &encode_row(&row))?;
+        for ix in &schema.indexes {
+            let itree = catalog.engine().tree(ix.tree);
+            insert_index_entry(&itree, txn, ix, &schema.name, &index_values(ix, &row), rid)?;
+        }
+        affected += 1;
+        last_rowid = Some(rid);
+    }
+    Ok(ResultSet {
+        columns: Vec::new(),
+        rows: Vec::new(),
+        rows_affected: affected,
+        last_rowid,
+    })
+}
+
+/// Materialises the rows an UPDATE/DELETE affects.  Collecting first keeps
+/// the mutation phase from racing the scan that feeds it (the scan would
+/// otherwise observe the statement's own writes through the transaction's
+/// buffer — the Halloween problem).
+fn collect_matches(
+    catalog: &Catalog,
+    txn: &Txn,
+    target: &DmlTarget,
+    params: &[Value],
+) -> Result<Vec<(i64, Vec<Value>)>> {
+    let layout = table_layout(&target.schema, &target.schema.name);
+    let mut matches = Vec::new();
+    visit_rows(
+        catalog,
+        txn,
+        &target.schema,
+        &target.access,
+        params,
+        &mut |rid, row| {
+            let keep = match &target.filter {
+                None => true,
+                Some(f) => EvalCtx {
+                    layout: &layout,
+                    row: &row,
+                    params,
+                }
+                .eval(f)?
+                .is_truthy(),
+            };
+            if keep {
+                matches.push((rid, row));
+            }
+            Ok(true)
+        },
+    )?;
+    Ok(matches)
+}
+
+fn exec_update(
+    catalog: &Catalog,
+    txn: &Txn,
+    p: &crate::plan::UpdatePlan,
+    params: &[Value],
+) -> Result<ResultSet> {
+    let schema = &p.target.schema;
+    let table = catalog.engine().tree(schema.tree);
+    let layout = table_layout(schema, &schema.name);
+    let matches = collect_matches(catalog, txn, &p.target, params)?;
+    let mut affected = 0u64;
+    for (rid, old_row) in matches {
+        let ctx = EvalCtx {
+            layout: &layout,
+            row: &old_row,
+            params,
+        };
+        let mut new_row = old_row.clone();
+        for (pos, e) in &p.assignments {
+            new_row[*pos] = ctx.eval(e)?.coerce(schema.columns[*pos].ctype);
+        }
+        let mut new_rid = rid;
+        if let Some(rc) = schema.rowid_col {
+            if p.assignments.iter().any(|(pos, _)| *pos == rc) {
+                new_rid = exact_rowid(&new_row[rc], &schema.name, &schema.columns[rc].name)?;
+                new_row[rc] = Value::Int(new_rid);
+            }
+        }
+        check_not_null(schema, &new_row)?;
+
+        if new_rid != rid {
+            if table.lookup(txn, &encode_rowid_key(new_rid))?.is_some() {
+                return Err(Error::Constraint(format!(
+                    "UNIQUE constraint failed: {}.{}",
+                    schema.name,
+                    schema.columns[schema.rowid_col.expect("rowid change")].name
+                )));
+            }
+            table.delete(txn, &encode_rowid_key(rid))?;
+        }
+        for ix in &schema.indexes {
+            let old_vals = index_values(ix, &old_row);
+            let new_vals = index_values(ix, &new_row);
+            if old_vals == new_vals && new_rid == rid {
+                continue;
+            }
+            let itree = catalog.engine().tree(ix.tree);
+            delete_index_entry(&itree, txn, ix, &old_vals, rid)?;
+            insert_index_entry(&itree, txn, ix, &schema.name, &new_vals, new_rid)?;
+        }
+        table.insert(txn, &encode_rowid_key(new_rid), &encode_row(&new_row))?;
+        affected += 1;
+    }
+    Ok(ResultSet {
+        rows_affected: affected,
+        ..ResultSet::empty()
+    })
+}
+
+fn exec_delete(
+    catalog: &Catalog,
+    txn: &Txn,
+    p: &crate::plan::DeletePlan,
+    params: &[Value],
+) -> Result<ResultSet> {
+    let schema = &p.target.schema;
+    let table = catalog.engine().tree(schema.tree);
+    let matches = collect_matches(catalog, txn, &p.target, params)?;
+    let mut affected = 0u64;
+    for (rid, row) in matches {
+        for ix in &schema.indexes {
+            let itree = catalog.engine().tree(ix.tree);
+            delete_index_entry(&itree, txn, ix, &index_values(ix, &row), rid)?;
+        }
+        table.delete(txn, &encode_rowid_key(rid))?;
+        affected += 1;
+    }
+    Ok(ResultSet {
+        rows_affected: affected,
+        ..ResultSet::empty()
+    })
+}

@@ -1,24 +1,33 @@
 //! Yesquel's SQL layer: tokenizer, parser, expression evaluation, typed
-//! rows, and the catalog mapping tables and indexes onto distributed
-//! balanced trees.
+//! rows, the catalog mapping tables and indexes onto distributed balanced
+//! trees, and the query processor ([`plan`] + [`exec`]) compiling
+//! statements into DBT operations.
 //!
 //! The layering follows Figure 1 of the paper: the SQL layer compiles
 //! statements into operations on DBTs (`yesquel-ydbt`), which in turn run
 //! inside the distributed transactions of the key-value store
 //! (`yesquel-kv`).  Every table is one DBT keyed by rowid; every secondary
 //! index is another DBT keyed by the order-preserving encoding of the
-//! indexed columns (see [`row`]).
+//! indexed columns (see [`row`]).  The planner binds a parsed statement
+//! against the catalog into one of a small set of physical plan shapes
+//! (point lookup, bounded index/rowid range scan, full scan); the executor
+//! runs the plan inside a caller-supplied transaction, maintaining every
+//! secondary index on DML.
 
 pub mod ast;
 pub mod catalog;
+pub mod exec;
 pub mod expr;
 pub mod parser;
+pub mod plan;
 pub mod row;
 pub mod token;
 pub mod types;
 
 pub use ast::Statement;
 pub use catalog::Catalog;
+pub use exec::{execute, execute_plan, ResultSet};
 pub use parser::{parse, parse_script};
+pub use plan::{plan_statement, AccessPath, Plan};
 pub use token::tokenize;
 pub use types::{ColumnType, Value};

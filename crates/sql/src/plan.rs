@@ -1,0 +1,748 @@
+//! The query planner: binds a parsed [`Statement`] against the [`Catalog`]
+//! and produces a typed physical plan.
+//!
+//! Plan shapes are deliberately few and scale-predictable (in the spirit of
+//! PIQL): a point lookup by rowid, a bounded rowid range scan, a secondary-
+//! index scan with an equality prefix plus at most one range column, and a
+//! full table scan — each followed by a residual filter, projection,
+//! ORDER BY / DISTINCT / LIMIT / OFFSET.  Joins, aggregates and GROUP BY are
+//! rejected with [`Error::Unsupported`] until the executor grows them.
+//!
+//! ## Why predicate pushdown is exact
+//!
+//! The index-key encoding ([`crate::row`]) orders entries exactly as
+//! [`Value::sort_cmp`] orders values — one numeric class shared by integers
+//! and reals, then text, then blobs, with NULLs first.  A pushed-down bound
+//! therefore never excludes a row the predicate would accept, whatever the
+//! storage classes involved; the residual filter (the full WHERE clause is
+//! always re-evaluated) only ever removes rows, so access-path choice is a
+//! pure performance decision, never a correctness one.
+
+use std::sync::Arc;
+
+use yesquel_common::{Error, Result};
+use yesquel_kv::Txn;
+
+use crate::ast::{
+    BinOp, CreateIndex, CreateTable, Delete, Expr, Insert, Select, SelectItem, Statement, Update,
+};
+use crate::catalog::{Catalog, TableSchema};
+use crate::expr::ColumnLayout;
+
+/// One endpoint of a pushed-down range predicate.  The expression is
+/// constant (no column references) and is evaluated at execution time, so
+/// plans with parameters (`WHERE id > ?`) stay reusable.
+#[derive(Debug, Clone)]
+pub struct RangeBound {
+    /// Constant expression producing the bound value.
+    pub expr: Expr,
+    /// True for `>=` / `<=`, false for `>` / `<`.
+    pub inclusive: bool,
+}
+
+/// How the executor reaches the rows of one table.
+#[derive(Debug, Clone)]
+pub enum AccessPath {
+    /// `rowid = const`: one DBT point lookup.
+    RowidPoint(Expr),
+    /// Bounded scan of the primary tree by rowid.
+    RowidRange {
+        /// Lower bound, if any.
+        lo: Option<RangeBound>,
+        /// Upper bound, if any.
+        hi: Option<RangeBound>,
+    },
+    /// Secondary-index scan: equality on a prefix of the indexed columns,
+    /// optionally a range on the next one, then a rowid fetch-back per entry.
+    IndexScan {
+        /// Position of the index in [`TableSchema::indexes`].
+        index: usize,
+        /// Constant equality probes for `index.columns[..eq.len()]`.
+        eq: Vec<Expr>,
+        /// Range lower bound on column `index.columns[eq.len()]`.
+        lo: Option<RangeBound>,
+        /// Range upper bound on the same column.
+        hi: Option<RangeBound>,
+    },
+    /// Scan every row of the primary tree.
+    FullScan,
+}
+
+/// One projected output column.
+#[derive(Debug, Clone)]
+pub struct OutputCol {
+    /// Result-set header.
+    pub name: String,
+    /// Alias explicitly given with `AS` (resolvable in ORDER BY).
+    pub alias: Option<String>,
+    /// Expression over the base table's columns.
+    pub expr: Expr,
+}
+
+/// What one ORDER BY key sorts on.
+#[derive(Debug, Clone)]
+pub enum OrderTarget {
+    /// An output column (by ordinal `ORDER BY 2` or by alias).
+    Output(usize),
+    /// An arbitrary expression over the base row.
+    Expr(Expr),
+}
+
+/// A resolved ORDER BY key.
+#[derive(Debug, Clone)]
+pub struct OrderSpec {
+    /// What to sort on.
+    pub target: OrderTarget,
+    /// Descending order.
+    pub desc: bool,
+}
+
+/// Physical plan of a SELECT over one table.
+#[derive(Debug, Clone)]
+pub struct SelectPlan {
+    /// The table scanned.
+    pub schema: Arc<TableSchema>,
+    /// Qualifier rows resolve against (alias if given, else table name).
+    pub qualifier: String,
+    /// How rows are reached.
+    pub access: AccessPath,
+    /// Residual filter: the full WHERE clause, re-evaluated on every row.
+    pub filter: Option<Expr>,
+    /// Projection.
+    pub output: Vec<OutputCol>,
+    /// Sort keys.
+    pub order_by: Vec<OrderSpec>,
+    /// Drop duplicate output rows.
+    pub distinct: bool,
+    /// Row limit.
+    pub limit: Option<u64>,
+    /// Rows skipped before the limit.
+    pub offset: Option<u64>,
+}
+
+/// Rows the executor must visit for an UPDATE or DELETE.
+#[derive(Debug, Clone)]
+pub struct DmlTarget {
+    /// The table mutated.
+    pub schema: Arc<TableSchema>,
+    /// How the affected rows are found.
+    pub access: AccessPath,
+    /// Residual filter (full WHERE clause).
+    pub filter: Option<Expr>,
+}
+
+/// Physical plan of an INSERT.
+#[derive(Debug, Clone)]
+pub struct InsertPlan {
+    /// Target table.
+    pub schema: Arc<TableSchema>,
+    /// Column positions the value lists assign, in statement order.
+    pub columns: Vec<usize>,
+    /// Value expressions (constant: no column references).
+    pub rows: Vec<Vec<Expr>>,
+}
+
+/// Physical plan of an UPDATE.
+#[derive(Debug, Clone)]
+pub struct UpdatePlan {
+    /// Affected rows.
+    pub target: DmlTarget,
+    /// `(column position, new-value expression)` assignments.
+    pub assignments: Vec<(usize, Expr)>,
+}
+
+/// Physical plan of a DELETE.
+#[derive(Debug, Clone)]
+pub struct DeletePlan {
+    /// Affected rows.
+    pub target: DmlTarget,
+}
+
+/// A planned statement, ready for the executor.
+#[derive(Debug, Clone)]
+pub enum Plan {
+    /// SELECT without FROM: evaluate the items once.
+    ConstSelect(Vec<OutputCol>),
+    /// SELECT over a table.
+    Select(SelectPlan),
+    /// INSERT.
+    Insert(InsertPlan),
+    /// UPDATE.
+    Update(UpdatePlan),
+    /// DELETE.
+    Delete(DeletePlan),
+    /// CREATE TABLE (executed by the catalog).
+    CreateTable(CreateTable),
+    /// CREATE INDEX (executed by the catalog).
+    CreateIndex(CreateIndex),
+    /// DROP TABLE (executed by the catalog).
+    DropTable {
+        /// Table to drop.
+        name: String,
+        /// Do not error if missing.
+        if_exists: bool,
+    },
+}
+
+impl Plan {
+    /// A one-line, EXPLAIN-style description of the access path (tests and
+    /// diagnostics; the format is stable enough to assert on).
+    pub fn describe(&self) -> String {
+        fn access(schema: &TableSchema, a: &AccessPath) -> String {
+            match a {
+                AccessPath::RowidPoint(_) => format!("POINT {} (rowid=?)", schema.name),
+                AccessPath::RowidRange { lo, hi } => format!(
+                    "RANGE {} (rowid {}..{})",
+                    schema.name,
+                    if lo.is_some() { "lo" } else { "" },
+                    if hi.is_some() { "hi" } else { "" }
+                ),
+                AccessPath::IndexScan { index, eq, lo, hi } => {
+                    let ix = &schema.indexes[*index];
+                    let mut parts = vec![format!("eq={}", eq.len())];
+                    if lo.is_some() || hi.is_some() {
+                        parts.push(format!(
+                            "range {}..{}",
+                            if lo.is_some() { "lo" } else { "" },
+                            if hi.is_some() { "hi" } else { "" }
+                        ));
+                    }
+                    format!(
+                        "INDEX {} USING {} ({})",
+                        schema.name,
+                        ix.name,
+                        parts.join(", ")
+                    )
+                }
+                AccessPath::FullScan => format!("SCAN {}", schema.name),
+            }
+        }
+        match self {
+            Plan::ConstSelect(_) => "CONST".into(),
+            Plan::Select(p) => access(&p.schema, &p.access),
+            Plan::Insert(p) => format!("INSERT {}", p.schema.name),
+            Plan::Update(p) => format!("UPDATE {}", access(&p.target.schema, &p.target.access)),
+            Plan::Delete(p) => format!("DELETE {}", access(&p.target.schema, &p.target.access)),
+            Plan::CreateTable(ct) => format!("CREATE TABLE {}", ct.name),
+            Plan::CreateIndex(ci) => format!("CREATE INDEX {}", ci.name),
+            Plan::DropTable { name, .. } => format!("DROP TABLE {name}"),
+        }
+    }
+}
+
+/// Plans one statement.  `BEGIN`/`COMMIT`/`ROLLBACK` are session control and
+/// must be intercepted before planning.
+pub fn plan_statement(catalog: &Catalog, txn: &Txn, stmt: &Statement) -> Result<Plan> {
+    match stmt {
+        Statement::CreateTable(ct) => Ok(Plan::CreateTable(ct.clone())),
+        Statement::CreateIndex(ci) => Ok(Plan::CreateIndex(ci.clone())),
+        Statement::DropTable { name, if_exists } => Ok(Plan::DropTable {
+            name: name.clone(),
+            if_exists: *if_exists,
+        }),
+        Statement::Select(sel) => plan_select(catalog, txn, sel),
+        Statement::Insert(ins) => plan_insert(catalog, txn, ins),
+        Statement::Update(upd) => plan_update(catalog, txn, upd),
+        Statement::Delete(del) => plan_delete(catalog, txn, del),
+        Statement::Begin | Statement::Commit | Statement::Rollback => Err(Error::InvalidArgument(
+            "transaction control must be handled by the session".into(),
+        )),
+    }
+}
+
+/// The column layout of one table under a qualifier.
+pub fn table_layout(schema: &TableSchema, qualifier: &str) -> ColumnLayout {
+    ColumnLayout::new(
+        schema
+            .columns
+            .iter()
+            .map(|c| (Some(qualifier.to_string()), c.name.clone()))
+            .collect(),
+    )
+}
+
+/// True if `e` references no columns (parameters and scalar functions are
+/// fine) — i.e. it can be evaluated once at execution start.
+fn is_const(e: &Expr) -> bool {
+    match e {
+        Expr::Literal(_) | Expr::Param(_) => true,
+        Expr::Column { .. } => false,
+        Expr::Binary { left, right, .. } => is_const(left) && is_const(right),
+        Expr::Neg(x) | Expr::Not(x) => is_const(x),
+        Expr::IsNull { expr, .. } => is_const(expr),
+        Expr::InList { expr, list, .. } => is_const(expr) && list.iter().all(is_const),
+        Expr::Between {
+            expr, low, high, ..
+        } => is_const(expr) && is_const(low) && is_const(high),
+        Expr::Function { args, star, .. } => !star && args.iter().all(is_const),
+    }
+}
+
+/// Validates every column reference in `e` against `layout` and rejects
+/// aggregates, so errors surface at plan time rather than per-row.
+fn validate_expr(e: &Expr, layout: &ColumnLayout) -> Result<()> {
+    match e {
+        Expr::Literal(_) | Expr::Param(_) => Ok(()),
+        Expr::Column { table, name } => {
+            layout.resolve(table.as_deref(), name)?;
+            Ok(())
+        }
+        Expr::Binary { left, right, .. } => {
+            validate_expr(left, layout)?;
+            validate_expr(right, layout)
+        }
+        Expr::Neg(x) | Expr::Not(x) => validate_expr(x, layout),
+        Expr::IsNull { expr, .. } => validate_expr(expr, layout),
+        Expr::InList { expr, list, .. } => {
+            validate_expr(expr, layout)?;
+            list.iter().try_for_each(|x| validate_expr(x, layout))
+        }
+        Expr::Between {
+            expr, low, high, ..
+        } => {
+            validate_expr(expr, layout)?;
+            validate_expr(low, layout)?;
+            validate_expr(high, layout)
+        }
+        Expr::Function { name, args, star } => {
+            if *star || matches!(name.as_str(), "COUNT" | "SUM" | "AVG" | "MIN" | "MAX") {
+                return Err(Error::Unsupported(format!(
+                    "aggregate {name}() is not yet supported"
+                )));
+            }
+            args.iter().try_for_each(|x| validate_expr(x, layout))
+        }
+    }
+}
+
+/// Flattens a conjunction into its conjuncts.
+fn split_conjuncts(e: &Expr, out: &mut Vec<Expr>) {
+    if let Expr::Binary {
+        op: BinOp::And,
+        left,
+        right,
+    } = e
+    {
+        split_conjuncts(left, out);
+        split_conjuncts(right, out);
+    } else {
+        out.push(e.clone());
+    }
+}
+
+/// A conjunct normalized to `column <op> constant`.
+struct ColConstraint {
+    col: usize,
+    op: BinOp,
+    value: Expr,
+}
+
+/// Tries to view a conjunct as `column <op> const` (commuting if the column
+/// is on the right).  BETWEEN becomes a `Ge` + `Le` pair.
+fn extract_constraints(
+    conjunct: &Expr,
+    schema: &TableSchema,
+    qualifier: &str,
+    out: &mut Vec<ColConstraint>,
+) {
+    let resolve = |table: &Option<String>, name: &str| -> Option<usize> {
+        if let Some(t) = table {
+            if !t.eq_ignore_ascii_case(qualifier) {
+                return None;
+            }
+        }
+        schema.col_index(name)
+    };
+    match conjunct {
+        Expr::Binary { op, left, right }
+            if matches!(
+                op,
+                BinOp::Eq | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+            ) =>
+        {
+            if let (Expr::Column { table, name }, v) = (&**left, &**right) {
+                if is_const(v) {
+                    if let Some(col) = resolve(table, name) {
+                        out.push(ColConstraint {
+                            col,
+                            op: *op,
+                            value: v.clone(),
+                        });
+                    }
+                }
+            } else if let (v, Expr::Column { table, name }) = (&**left, &**right) {
+                if is_const(v) {
+                    if let Some(col) = resolve(table, name) {
+                        let flipped = match op {
+                            BinOp::Lt => BinOp::Gt,
+                            BinOp::Le => BinOp::Ge,
+                            BinOp::Gt => BinOp::Lt,
+                            BinOp::Ge => BinOp::Le,
+                            other => *other,
+                        };
+                        out.push(ColConstraint {
+                            col,
+                            op: flipped,
+                            value: v.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated: false,
+        } => {
+            if let Expr::Column { table, name } = &**expr {
+                if is_const(low) && is_const(high) {
+                    if let Some(col) = resolve(table, name) {
+                        out.push(ColConstraint {
+                            col,
+                            op: BinOp::Ge,
+                            value: (**low).clone(),
+                        });
+                        out.push(ColConstraint {
+                            col,
+                            op: BinOp::Le,
+                            value: (**high).clone(),
+                        });
+                    }
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Range bounds on one column assembled from its constraints.
+fn range_for(
+    constraints: &[ColConstraint],
+    col: usize,
+) -> (Option<RangeBound>, Option<RangeBound>) {
+    let mut lo = None;
+    let mut hi = None;
+    for c in constraints.iter().filter(|c| c.col == col) {
+        // Keep the first bound seen on each side; duplicates stay in the
+        // residual filter.
+        match c.op {
+            BinOp::Gt | BinOp::Ge if lo.is_none() => {
+                lo = Some(RangeBound {
+                    expr: c.value.clone(),
+                    inclusive: c.op == BinOp::Ge,
+                });
+            }
+            BinOp::Lt | BinOp::Le if hi.is_none() => {
+                hi = Some(RangeBound {
+                    expr: c.value.clone(),
+                    inclusive: c.op == BinOp::Le,
+                });
+            }
+            _ => {}
+        }
+    }
+    (lo, hi)
+}
+
+/// Chooses the access path for one table given the WHERE clause.
+fn choose_access(schema: &TableSchema, qualifier: &str, where_clause: Option<&Expr>) -> AccessPath {
+    let mut constraints = Vec::new();
+    if let Some(w) = where_clause {
+        let mut conjuncts = Vec::new();
+        split_conjuncts(w, &mut conjuncts);
+        for c in &conjuncts {
+            extract_constraints(c, schema, qualifier, &mut constraints);
+        }
+    }
+    if constraints.is_empty() {
+        return AccessPath::FullScan;
+    }
+
+    // 1. Equality on the rowid column: a point lookup beats everything.
+    if let Some(rc) = schema.rowid_col {
+        if let Some(c) = constraints
+            .iter()
+            .find(|c| c.col == rc && c.op == BinOp::Eq)
+        {
+            return AccessPath::RowidPoint(c.value.clone());
+        }
+    }
+
+    // 2. Best secondary index: longest equality prefix, then a range on the
+    //    next column; unique indexes win ties.
+    struct IndexCandidate {
+        index: usize,
+        eq: Vec<Expr>,
+        lo: Option<RangeBound>,
+        hi: Option<RangeBound>,
+        score: u64,
+    }
+    let mut best: Option<IndexCandidate> = None;
+    for (i, ix) in schema.indexes.iter().enumerate() {
+        let mut eq = Vec::new();
+        for &col in &ix.columns {
+            match constraints
+                .iter()
+                .find(|c| c.col == col && c.op == BinOp::Eq)
+            {
+                Some(c) => eq.push(c.value.clone()),
+                None => break,
+            }
+        }
+        let (lo, hi) = if eq.len() < ix.columns.len() {
+            range_for(&constraints, ix.columns[eq.len()])
+        } else {
+            (None, None)
+        };
+        let score = (eq.len() as u64) * 4
+            + u64::from(lo.is_some())
+            + u64::from(hi.is_some())
+            + u64::from(ix.unique && eq.len() == ix.columns.len());
+        if score > 0 && best.as_ref().map(|b| b.score < score).unwrap_or(true) {
+            best = Some(IndexCandidate {
+                index: i,
+                eq,
+                lo,
+                hi,
+                score,
+            });
+        }
+    }
+    if let Some(IndexCandidate {
+        index, eq, lo, hi, ..
+    }) = best
+    {
+        return AccessPath::IndexScan { index, eq, lo, hi };
+    }
+
+    // 3. Range on the rowid column.
+    if let Some(rc) = schema.rowid_col {
+        let (lo, hi) = range_for(&constraints, rc);
+        if lo.is_some() || hi.is_some() {
+            return AccessPath::RowidRange { lo, hi };
+        }
+    }
+
+    AccessPath::FullScan
+}
+
+/// Display name of a projected expression without an alias.
+fn output_name(e: &Expr, ordinal: usize) -> String {
+    match e {
+        Expr::Column { name, .. } => name.clone(),
+        Expr::Function { name, .. } => format!("{}()", name.to_lowercase()),
+        _ => format!("column{}", ordinal + 1),
+    }
+}
+
+fn plan_select(catalog: &Catalog, txn: &Txn, sel: &Select) -> Result<Plan> {
+    if !sel.group_by.is_empty() {
+        return Err(Error::Unsupported("GROUP BY is not yet supported".into()));
+    }
+
+    let Some(from) = &sel.from else {
+        // Expression-only SELECT: items must not reference columns.
+        let layout = ColumnLayout::empty();
+        let mut output = Vec::new();
+        for (i, item) in sel.items.iter().enumerate() {
+            match item {
+                SelectItem::Wildcard => {
+                    return Err(Error::Schema("SELECT * requires a FROM clause".into()))
+                }
+                SelectItem::Expr { expr, alias } => {
+                    validate_expr(expr, &layout)?;
+                    output.push(OutputCol {
+                        name: alias.clone().unwrap_or_else(|| output_name(expr, i)),
+                        alias: alias.clone(),
+                        expr: expr.clone(),
+                    });
+                }
+            }
+        }
+        return Ok(Plan::ConstSelect(output));
+    };
+
+    if !from.joins.is_empty() {
+        return Err(Error::Unsupported(
+            "joins are not yet supported by the executor".into(),
+        ));
+    }
+    let schema = catalog.require_table(txn, &from.base.name)?;
+    let qualifier = from
+        .base
+        .alias
+        .clone()
+        .unwrap_or_else(|| schema.name.clone());
+    let layout = table_layout(&schema, &qualifier);
+
+    // Projection.
+    let mut output = Vec::new();
+    for (i, item) in sel.items.iter().enumerate() {
+        match item {
+            SelectItem::Wildcard => {
+                for c in &schema.columns {
+                    output.push(OutputCol {
+                        name: c.name.clone(),
+                        alias: None,
+                        expr: Expr::Column {
+                            table: Some(qualifier.clone()),
+                            name: c.name.clone(),
+                        },
+                    });
+                }
+            }
+            SelectItem::Expr { expr, alias } => {
+                validate_expr(expr, &layout)?;
+                output.push(OutputCol {
+                    name: alias.clone().unwrap_or_else(|| output_name(expr, i)),
+                    alias: alias.clone(),
+                    expr: expr.clone(),
+                });
+            }
+        }
+    }
+
+    if let Some(w) = &sel.where_clause {
+        validate_expr(w, &layout)?;
+    }
+
+    // ORDER BY: ordinals and output aliases resolve to output columns,
+    // anything else is an expression over the base row.
+    let mut order_by = Vec::new();
+    for key in &sel.order_by {
+        let target = match &key.expr {
+            Expr::Literal(crate::types::Value::Int(n)) => {
+                let n = *n;
+                if n < 1 || n as usize > output.len() {
+                    return Err(Error::Schema(format!(
+                        "ORDER BY position {n} is out of range (1..{})",
+                        output.len()
+                    )));
+                }
+                OrderTarget::Output(n as usize - 1)
+            }
+            Expr::Column { table: None, name } => {
+                match output.iter().position(|o| {
+                    o.alias
+                        .as_deref()
+                        .map(|a| a.eq_ignore_ascii_case(name))
+                        .unwrap_or(false)
+                }) {
+                    Some(i) => OrderTarget::Output(i),
+                    None => {
+                        validate_expr(&key.expr, &layout)?;
+                        OrderTarget::Expr(key.expr.clone())
+                    }
+                }
+            }
+            e => {
+                validate_expr(e, &layout)?;
+                OrderTarget::Expr(e.clone())
+            }
+        };
+        order_by.push(OrderSpec {
+            target,
+            desc: key.desc,
+        });
+    }
+
+    let access = choose_access(&schema, &qualifier, sel.where_clause.as_ref());
+    Ok(Plan::Select(SelectPlan {
+        schema,
+        qualifier,
+        access,
+        filter: sel.where_clause.clone(),
+        output,
+        order_by,
+        distinct: sel.distinct,
+        limit: sel.limit,
+        offset: sel.offset,
+    }))
+}
+
+fn plan_insert(catalog: &Catalog, txn: &Txn, ins: &Insert) -> Result<Plan> {
+    let schema = catalog.require_table(txn, &ins.table)?;
+    let columns: Vec<usize> = if ins.columns.is_empty() {
+        (0..schema.columns.len()).collect()
+    } else {
+        let mut cols = Vec::with_capacity(ins.columns.len());
+        for name in &ins.columns {
+            let pos = schema
+                .col_index(name)
+                .ok_or_else(|| Error::Schema(format!("no such column: {name}")))?;
+            if cols.contains(&pos) {
+                return Err(Error::Schema(format!("duplicate column {name} in INSERT")));
+            }
+            cols.push(pos);
+        }
+        cols
+    };
+    for row in &ins.rows {
+        if row.len() != columns.len() {
+            return Err(Error::Schema(format!(
+                "INSERT has {} values for {} columns",
+                row.len(),
+                columns.len()
+            )));
+        }
+        for e in row {
+            if !is_const(e) {
+                return Err(Error::Schema(
+                    "INSERT values must not reference columns".into(),
+                ));
+            }
+        }
+    }
+    Ok(Plan::Insert(InsertPlan {
+        schema,
+        columns,
+        rows: ins.rows.clone(),
+    }))
+}
+
+fn plan_dml_target(
+    catalog: &Catalog,
+    txn: &Txn,
+    table: &str,
+    where_clause: Option<&Expr>,
+) -> Result<DmlTarget> {
+    let schema = catalog.require_table(txn, table)?;
+    let qualifier = schema.name.clone();
+    let layout = table_layout(&schema, &qualifier);
+    if let Some(w) = where_clause {
+        validate_expr(w, &layout)?;
+    }
+    let access = choose_access(&schema, &qualifier, where_clause);
+    Ok(DmlTarget {
+        access,
+        filter: where_clause.cloned(),
+        schema,
+    })
+}
+
+fn plan_update(catalog: &Catalog, txn: &Txn, upd: &Update) -> Result<Plan> {
+    let target = plan_dml_target(catalog, txn, &upd.table, upd.where_clause.as_ref())?;
+    let layout = table_layout(&target.schema, &target.schema.name);
+    let mut assignments = Vec::with_capacity(upd.assignments.len());
+    for (name, expr) in &upd.assignments {
+        let pos = target
+            .schema
+            .col_index(name)
+            .ok_or_else(|| Error::Schema(format!("no such column: {name}")))?;
+        if assignments.iter().any(|(p, _)| *p == pos) {
+            return Err(Error::Schema(format!("column {name} assigned twice")));
+        }
+        validate_expr(expr, &layout)?;
+        assignments.push((pos, expr.clone()));
+    }
+    Ok(Plan::Update(UpdatePlan {
+        target,
+        assignments,
+    }))
+}
+
+fn plan_delete(catalog: &Catalog, txn: &Txn, del: &Delete) -> Result<Plan> {
+    let target = plan_dml_target(catalog, txn, &del.table, del.where_clause.as_ref())?;
+    Ok(Plan::Delete(DeletePlan { target }))
+}

@@ -85,12 +85,16 @@ pub fn decode_rowid_key(key: &[u8]) -> Result<i64> {
 }
 
 // Class tags for the order-preserving index-key encoding.  They follow SQL's
-// cross-class ordering: NULL < numbers < text < blob (integers and reals are
-// kept in separate classes; values are coerced to the column's declared type
-// before indexing, so one column's entries share a class).
+// cross-class ordering: NULL < numbers < text < blob.  Integers and reals
+// share ONE numeric class encoded as an order-preserving f64, because
+// [`Value::sort_cmp`] compares all numerics as f64 — the encoded key order is
+// therefore exactly the SQL comparison order, which is what lets the planner
+// push equality and range predicates into index scans without re-checking
+// class boundaries (an `Int(2)` probe finds a stored `Real(2.0)` and
+// vice versa).
+const K_ROWID: u8 = 0x08;
 const K_NULL: u8 = 0x10;
-const K_INT: u8 = 0x20;
-const K_REAL: u8 = 0x28;
+const K_NUM: u8 = 0x20;
 const K_TEXT: u8 = 0x30;
 const K_BLOB: u8 = 0x40;
 
@@ -99,12 +103,23 @@ pub fn encode_index_value(out: &mut Vec<u8>, v: &Value) {
     match v {
         Value::Null => out.push(K_NULL),
         Value::Int(i) => {
-            out.push(K_INT);
-            out.extend_from_slice(&order_encode_i64(*i));
+            out.push(K_NUM);
+            out.extend_from_slice(&order_encode_f64(*i as f64));
         }
         Value::Real(r) => {
-            out.push(K_REAL);
-            out.extend_from_slice(&order_encode_f64(*r));
+            out.push(K_NUM);
+            if r.is_nan() {
+                // NaN sorts below every number (cf. Value::sort_cmp); no
+                // real f64 order-encodes to all zeros, so this key is
+                // strictly below order_encode_f64 of anything, -inf
+                // included.  (Probe-side only: storage coerces NaN to NULL.)
+                out.extend_from_slice(&[0u8; 8]);
+            } else {
+                // Normalize -0.0: sort_cmp deems it equal to 0.0, so both
+                // must encode to the same key.
+                let r = if *r == 0.0 { 0.0 } else { *r };
+                out.extend_from_slice(&order_encode_f64(r));
+            }
         }
         Value::Text(s) => {
             out.push(K_TEXT);
@@ -118,17 +133,29 @@ pub fn encode_index_value(out: &mut Vec<u8>, v: &Value) {
 }
 
 /// Builds the key of an index entry: the indexed values in order, optionally
-/// followed by the rowid (for non-unique indexes).
+/// followed by the rowid (for non-unique indexes).  The rowid suffix keeps
+/// its own tag and an exact i64 encoding (rowids must round-trip without the
+/// f64 precision loss the numeric value class accepts).
 pub fn encode_index_key(values: &[Value], rowid: Option<i64>) -> Vec<u8> {
     let mut out = Vec::with_capacity(values.len() * 10 + 9);
     for v in values {
         encode_index_value(&mut out, v);
     }
     if let Some(r) = rowid {
-        out.push(K_INT);
+        out.push(K_ROWID);
         out.extend_from_slice(&order_encode_i64(r));
     }
     out
+}
+
+/// Extracts the rowid suffix from a non-unique index entry's key.
+pub fn decode_index_rowid(key: &[u8]) -> Result<i64> {
+    if key.len() < 9 || key[key.len() - 9] != K_ROWID {
+        return Err(Error::Corruption(
+            "index entry key has no rowid suffix".into(),
+        ));
+    }
+    yesquel_common::encoding::order_decode_i64(&key[key.len() - 8..])
 }
 
 /// Builds the smallest possible key with the given prefix values (used as a
@@ -137,21 +164,10 @@ pub fn index_prefix(values: &[Value]) -> Vec<u8> {
     encode_index_key(values, None)
 }
 
-/// Returns the smallest byte string strictly greater than every key that
-/// starts with `prefix` (used as a range-scan upper bound).  `None` means
-/// "unbounded" (the prefix was all `0xff`, which cannot happen for our
-/// encodings but is handled anyway).
-pub fn prefix_upper_bound(prefix: &[u8]) -> Option<Vec<u8>> {
-    let mut out = prefix.to_vec();
-    while let Some(last) = out.last_mut() {
-        if *last < 0xff {
-            *last += 1;
-            return Some(out);
-        }
-        out.pop();
-    }
-    None
-}
+/// The smallest byte string strictly greater than every key with a given
+/// prefix — the upper bound of a prefix scan.  This is the tree layer's
+/// successor computation, re-exported so index-key code has one name for it.
+pub use yesquel_ydbt::prefix_successor as prefix_upper_bound;
 
 #[cfg(test)]
 mod tests {
@@ -192,10 +208,32 @@ mod tests {
         assert!(k(Value::Text("abc".into())) < k(Value::Text("abd".into())));
         assert!(k(Value::Text("ab".into())) < k(Value::Text("abc".into())));
         assert!(k(Value::Real(1.5)) < k(Value::Real(2.0)));
-        // Cross-class ordering: NULL < int < real-class < text < blob.
+        // Cross-class ordering: NULL < numbers < text < blob.
         assert!(k(Value::Null) < k(Value::Int(i64::MIN)));
         assert!(k(Value::Int(5)) < k(Value::Text("0".into())));
         assert!(k(Value::Text("zzz".into())) < k(Value::Blob(vec![0])));
+    }
+
+    #[test]
+    fn index_key_order_matches_sql_numeric_order() {
+        // Ints and reals share one class and interleave numerically, exactly
+        // like Value::sort_cmp — the invariant index range scans rely on.
+        let k = |v: Value| encode_index_key(&[v], None);
+        assert!(k(Value::Int(2)) < k(Value::Real(2.5)));
+        assert!(k(Value::Real(2.5)) < k(Value::Int(3)));
+        assert!(k(Value::Real(-0.5)) < k(Value::Int(0)));
+        // SQL-equal numerics encode identically.
+        assert_eq!(k(Value::Int(2)), k(Value::Real(2.0)));
+    }
+
+    #[test]
+    fn index_rowid_suffix_roundtrip() {
+        let key = encode_index_key(&[Value::Text("a".into())], Some(12345));
+        assert_eq!(decode_index_rowid(&key).unwrap(), 12345);
+        let neg = encode_index_key(&[Value::Int(7)], Some(-3));
+        assert_eq!(decode_index_rowid(&neg).unwrap(), -3);
+        // A key without a suffix is rejected.
+        assert!(decode_index_rowid(&encode_index_key(&[Value::Int(7)], None)).is_err());
     }
 
     #[test]
@@ -220,9 +258,14 @@ mod tests {
     }
 
     #[test]
-    fn prefix_upper_bound_edge_cases() {
-        assert_eq!(prefix_upper_bound(&[1, 2, 3]), Some(vec![1, 2, 4]));
-        assert_eq!(prefix_upper_bound(&[1, 0xff]), Some(vec![2]));
-        assert_eq!(prefix_upper_bound(&[0xff, 0xff]), None);
+    fn nan_and_negative_zero_agree_with_sort_cmp() {
+        let k = |v: Value| encode_index_key(&[v], None);
+        // -0.0 and 0.0 compare Equal, so they must encode identically.
+        assert_eq!(k(Value::Real(-0.0)), k(Value::Real(0.0)));
+        assert_eq!(k(Value::Real(-0.0)), k(Value::Int(0)));
+        // NaN sorts below every number, -inf included, and above NULL.
+        assert!(k(Value::Real(f64::NAN)) < k(Value::Real(f64::NEG_INFINITY)));
+        assert!(k(Value::Null) < k(Value::Real(f64::NAN)));
+        assert_eq!(k(Value::Real(f64::NAN)), k(Value::Real(-f64::NAN)));
     }
 }

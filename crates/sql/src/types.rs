@@ -119,7 +119,12 @@ impl Value {
 
     /// Coerces the value to a column's declared type for storage (SQLite-
     /// style soft typing: a failed coercion stores the value as given).
+    /// NaN becomes NULL whatever the column type, as in SQLite — so stored
+    /// rows and index entries never contain NaN.
     pub fn coerce(self, ty: ColumnType) -> Value {
+        if matches!(self, Value::Real(r) if r.is_nan()) {
+            return Value::Null;
+        }
         match (ty, &self) {
             (ColumnType::Integer, Value::Text(s)) => {
                 s.trim().parse::<i64>().map(Value::Int).unwrap_or(self)
@@ -159,7 +164,19 @@ impl Value {
             (a, b) if ra == 1 => {
                 let fa = a.as_real().unwrap_or(0.0);
                 let fb = b.as_real().unwrap_or(0.0);
-                fa.partial_cmp(&fb).unwrap_or(Ordering::Equal)
+                match fa.partial_cmp(&fb) {
+                    Some(o) => o,
+                    // NaN sorts below every other number and equal to
+                    // itself, keeping this a total order (an inconsistent
+                    // comparator would also break sorts and the index-key
+                    // encoding, which must agree with this ordering).
+                    None => match (fa.is_nan(), fb.is_nan()) {
+                        (true, true) => Ordering::Equal,
+                        (true, false) => Ordering::Less,
+                        (false, true) => Ordering::Greater,
+                        (false, false) => unreachable!("partial_cmp is None only with NaN"),
+                    },
+                }
             }
             (Value::Text(a), Value::Text(b)) => a.cmp(b),
             (Value::Blob(a), Value::Blob(b)) => a.cmp(b),
@@ -396,6 +413,28 @@ mod tests {
         assert_eq!(Value::Null.sort_cmp(&Value::Int(0)), Ordering::Less);
         assert_eq!(Value::Int(1).sql_eq(&Value::Int(1)), Value::Int(1));
         assert_eq!(Value::Int(1).sql_eq(&Value::Int(2)), Value::Int(0));
+    }
+
+    #[test]
+    fn nan_total_order_and_storage() {
+        // NaN is a consistent total order: below every number, equal to
+        // itself (an inconsistent comparator would corrupt sorts and the
+        // index-key encoding).
+        let nan = Value::Real(f64::NAN);
+        assert_eq!(nan.sort_cmp(&Value::Real(f64::NAN)), Ordering::Equal);
+        assert_eq!(
+            nan.sort_cmp(&Value::Real(f64::NEG_INFINITY)),
+            Ordering::Less
+        );
+        assert_eq!(Value::Int(0).sort_cmp(&nan), Ordering::Greater);
+        assert_eq!(nan.sort_cmp(&Value::Text(String::new())), Ordering::Less);
+        assert_eq!(Value::Null.sort_cmp(&nan), Ordering::Less);
+        // Storage coercion turns NaN into NULL (SQLite semantics), for any
+        // declared type.
+        assert_eq!(Value::Real(f64::NAN).coerce(ColumnType::Real), Value::Null);
+        assert_eq!(Value::Real(f64::NAN).coerce(ColumnType::Text), Value::Null);
+        // -0.0 compares equal to 0.0 across classes.
+        assert_eq!(Value::Real(-0.0).sort_cmp(&Value::Int(0)), Ordering::Equal);
     }
 
     #[test]

@@ -52,7 +52,15 @@ impl<'a> DbtCursor<'a> {
 
     fn advance_leaf(&mut self) -> Result<bool> {
         let next = match &self.leaf {
-            Some(l) => l.next(),
+            // With an end bound, the sibling is fetched only while the
+            // current leaf's upper fence is still below the bound: every key
+            // in a right sibling is >= this leaf's upper fence, so once the
+            // fence reaches the bound the scan is over — no trailing
+            // over-read of one leaf per bounded scan.
+            Some(l) => match &self.end {
+                Some(end) if !l.upper_fence_below(end) => None,
+                _ => l.next(),
+            },
             None => return Ok(false),
         };
         match next {

@@ -38,4 +38,4 @@ pub use engine::DbtEngine;
 pub use iter::DbtCursor;
 pub use node::{Bound, InnerNode, InnerView, LeafNode, LeafView, Node, NodeView};
 pub use split::{SplitReason, SplitRequest};
-pub use tree::Dbt;
+pub use tree::{prefix_successor, Dbt};

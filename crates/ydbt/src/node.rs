@@ -305,6 +305,17 @@ impl LeafView {
         self.lower.le_key(&self.page, key) && self.upper.gt_key(&self.page, key)
     }
 
+    /// True if this leaf's upper fence is strictly below `key`, i.e. a right
+    /// sibling could still hold keys `< key`.  Bounded cursors use this to
+    /// stop at the end of their range without fetching the next leaf.
+    pub fn upper_fence_below(&self, key: &[u8]) -> bool {
+        match &self.upper {
+            FenceRef::NegInf => true,
+            FenceRef::Key { .. } => self.upper.key_slice(&self.page).expect("key fence") < key,
+            FenceRef::PosInf => false,
+        }
+    }
+
     /// The byte range of cell `i` within the page: its directory slot, ending
     /// where the next cell starts (or at the end of the page for the last).
     fn slot(&self, i: usize) -> (usize, usize) {

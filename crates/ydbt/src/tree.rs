@@ -108,6 +108,20 @@ impl LeafRef {
     }
 }
 
+/// Returns the smallest byte string strictly greater than every key that
+/// starts with `prefix`; `None` means unbounded (the prefix was all `0xff`).
+pub fn prefix_successor(prefix: &[u8]) -> Option<Vec<u8>> {
+    let mut out = prefix.to_vec();
+    while let Some(last) = out.last_mut() {
+        if *last < 0xff {
+            *last += 1;
+            return Some(out);
+        }
+        out.pop();
+    }
+    None
+}
+
 /// A handle to one distributed balanced tree.
 ///
 /// Handles are cheap to clone and share the client's engine (cache, load
@@ -339,6 +353,19 @@ impl Dbt {
         ))
     }
 
+    /// Opens a cursor over exactly the keys that start with `prefix`.
+    ///
+    /// The upper bound is the smallest byte string greater than every key
+    /// with that prefix (computed here, not by the caller), so the scan
+    /// stops at the bound instead of over-reading and filtering client-side.
+    /// This is the shape of a secondary-index equality scan: the prefix is
+    /// the encoded indexed values and the entries differ only in their
+    /// rowid suffix.
+    pub fn scan_prefix<'a>(&self, txn: &'a Txn, prefix: &[u8]) -> Result<DbtCursor<'a>> {
+        let end = prefix_successor(prefix);
+        self.scan(txn, Some(prefix), end.as_deref())
+    }
+
     /// Number of keys in the tree (full scan; tests and small tools only).
     ///
     /// Walks the leaf chain and sums per-leaf cell counts from the page
@@ -526,6 +553,69 @@ mod tests {
             0
         );
         txn.commit().unwrap();
+    }
+
+    #[test]
+    fn bounded_scan_stops_without_fetching_past_the_bound() {
+        let (db, _engine, dbt) = setup(2, small_cfg());
+        let txn = db.client().begin();
+        for i in 0..50u64 {
+            dbt.insert(&txn, &key(i), b"v").unwrap();
+        }
+        txn.commit().unwrap();
+        let txn = db.client().begin();
+        let lr = dbt.find_leaf(&txn, &key(0)).unwrap();
+        let n0 = lr.leaf.len();
+        assert!(lr.leaf.next().is_some(), "tree should have several leaves");
+        // End the scan exactly at the first leaf's upper fence (the first
+        // key of its right sibling): the cursor must stop on the fence
+        // check alone, without fetching the sibling.
+        let end = key(n0 as u64);
+        let before = db.stats().counter("dbt.scan_leaf_fetches").get();
+        let got = dbt.scan(&txn, None, Some(&end)).unwrap().count();
+        assert_eq!(got, n0);
+        assert_eq!(
+            db.stats().counter("dbt.scan_leaf_fetches").get(),
+            before,
+            "scan bounded at a leaf boundary must not fetch the next leaf"
+        );
+        txn.commit().unwrap();
+    }
+
+    #[test]
+    fn scan_prefix_yields_exactly_prefixed_keys() {
+        let (db, _engine, dbt) = setup(2, small_cfg());
+        let txn = db.client().begin();
+        for k in [
+            &[1u8, 1][..],
+            &[1, 2],
+            &[2],
+            &[2, 0],
+            &[2, 255],
+            &[2, 255, 255],
+            &[3, 0],
+        ] {
+            dbt.insert(&txn, k, b"v").unwrap();
+        }
+        let got: Vec<Bytes> = dbt
+            .scan_prefix(&txn, &[2])
+            .unwrap()
+            .map(|r| r.unwrap().0)
+            .collect();
+        let expected: Vec<&[u8]> = vec![&[2], &[2, 0], &[2, 255], &[2, 255, 255]];
+        assert_eq!(got, expected);
+        // An all-0xff prefix has no successor: the scan is unbounded above.
+        dbt.insert(&txn, &[255, 255, 7], b"v").unwrap();
+        assert_eq!(dbt.scan_prefix(&txn, &[255, 255]).unwrap().count(), 1);
+        txn.commit().unwrap();
+    }
+
+    #[test]
+    fn prefix_successor_edge_cases() {
+        assert_eq!(prefix_successor(&[1, 2, 3]), Some(vec![1, 2, 4]));
+        assert_eq!(prefix_successor(&[1, 0xff]), Some(vec![2]));
+        assert_eq!(prefix_successor(&[0xff, 0xff]), None);
+        assert_eq!(prefix_successor(&[]), None);
     }
 
     #[test]

@@ -5,8 +5,14 @@
 //!
 //! * [`KvDatabase`] / [`KvClient`] — the transactional key-value deployment;
 //! * [`DbtEngine`] / [`Dbt`] — the distributed balanced tree;
-//! * [`sql`] — the SQL front end (parser, catalog, rows);
+//! * [`sql`] — the SQL front end (parser, catalog, planner, executor);
 //! * [`baselines`] — single-node comparison stores.
+//!
+//! The application-facing shape is [`Yesquel::execute`]: SQL text in,
+//! [`ResultSet`] out, with the statement compiled onto DBT operations that
+//! run inside a distributed transaction (Figure 1 of the paper).  A
+//! [`Session`] holds the per-connection state — the schema cache and the
+//! explicit transaction opened by `BEGIN`, if any.
 
 pub use yesquel_baselines as baselines;
 pub use yesquel_common as common;
@@ -17,15 +23,176 @@ pub use yesquel_ydbt as ydbt;
 
 pub use yesquel_common::{DbtConfig, Error, KvConfig, NetConfig, ObjectId, Result, YesquelConfig};
 pub use yesquel_kv::{KvClient, KvDatabase, Txn};
+pub use yesquel_sql::{ResultSet, Value};
 pub use yesquel_ydbt::{Dbt, DbtEngine};
 
 use std::sync::Arc;
 
-/// A whole Yesquel deployment plus one client-side DBT engine — the shape an
-/// embedding application uses: open, create trees, run transactions.
+use parking_lot::Mutex;
+use yesquel_sql::ast::Statement;
+use yesquel_sql::Catalog;
+
+/// One SQL connection: the catalog (schema cache) plus the explicit
+/// transaction opened by `BEGIN`, if any.
+///
+/// Outside an explicit transaction every statement autocommits: it runs in
+/// its own snapshot-isolated transaction, retried on write-write conflicts.
+/// Inside `BEGIN`…`COMMIT` all statements share one transaction and a
+/// commit-time conflict surfaces as [`Error::Conflict`] from `COMMIT`.
+pub struct Session {
+    client: KvClient,
+    catalog: Arc<Catalog>,
+    current: Mutex<Option<Txn>>,
+}
+
+impl Session {
+    /// Opens a session over a client-side DBT engine (bootstrapping the
+    /// catalog tree on first use of the deployment).
+    pub fn new(engine: Arc<DbtEngine>) -> Result<Session> {
+        let client = engine.kv().clone();
+        let catalog = Arc::new(Catalog::open(engine)?);
+        Ok(Session {
+            client,
+            catalog,
+            current: Mutex::new(None),
+        })
+    }
+
+    /// The session's catalog.
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    /// True while an explicit transaction (`BEGIN`) is open.
+    pub fn in_transaction(&self) -> bool {
+        self.current.lock().is_some()
+    }
+
+    /// Parses and executes one statement.
+    pub fn execute(&self, sql_text: &str, params: &[Value]) -> Result<ResultSet> {
+        let stmt = yesquel_sql::parse(sql_text)?;
+        self.execute_statement(&stmt, params)
+    }
+
+    /// Executes every statement of a semicolon-separated script, returning
+    /// the result of each.
+    pub fn execute_script(&self, sql_text: &str) -> Result<Vec<ResultSet>> {
+        let stmts = yesquel_sql::parse_script(sql_text)?;
+        let mut out = Vec::with_capacity(stmts.len());
+        for stmt in &stmts {
+            out.push(self.execute_statement(stmt, &[])?);
+        }
+        Ok(out)
+    }
+
+    /// Executes one parsed statement.
+    pub fn execute_statement(&self, stmt: &Statement, params: &[Value]) -> Result<ResultSet> {
+        match stmt {
+            Statement::Begin => {
+                let mut cur = self.current.lock();
+                if cur.is_some() {
+                    return Err(Error::InvalidArgument(
+                        "cannot BEGIN: a transaction is already open".into(),
+                    ));
+                }
+                *cur = Some(self.client.begin());
+                Ok(ResultSet::default())
+            }
+            Statement::Commit => {
+                let txn = self.current.lock().take().ok_or_else(|| {
+                    Error::InvalidArgument("cannot COMMIT: no open transaction".into())
+                })?;
+                match txn.commit() {
+                    Ok(_) => Ok(ResultSet::default()),
+                    Err(e) => {
+                        // The transaction is gone; any DDL it performed must
+                        // not survive in the schema cache.
+                        self.catalog.invalidate_all();
+                        Err(e)
+                    }
+                }
+            }
+            Statement::Rollback => {
+                let txn = self.current.lock().take().ok_or_else(|| {
+                    Error::InvalidArgument("cannot ROLLBACK: no open transaction".into())
+                })?;
+                txn.abort();
+                self.catalog.invalidate_all();
+                Ok(ResultSet::default())
+            }
+            other => self.execute_dml(other, params),
+        }
+    }
+
+    fn execute_dml(&self, stmt: &Statement, params: &[Value]) -> Result<ResultSet> {
+        // Explicit transaction: run the statement inside it.  Planning
+        // errors (parse/schema/unsupported) write nothing and leave the
+        // transaction usable; an execution error may have buffered partial
+        // writes, so the whole transaction is aborted (statement-level
+        // rollback is not implemented).
+        let mut cur = self.current.lock();
+        if let Some(txn) = cur.as_ref() {
+            let plan = yesquel_sql::plan_statement(&self.catalog, txn, stmt)?;
+            return match yesquel_sql::execute_plan(&self.catalog, txn, &plan, params) {
+                Ok(rs) => Ok(rs),
+                Err(e) => {
+                    if let Some(txn) = cur.take() {
+                        txn.abort();
+                    }
+                    self.catalog.invalidate_all();
+                    Err(e)
+                }
+            };
+        }
+        drop(cur);
+
+        // Autocommit: one transaction per statement, retried on conflicts
+        // (the documented recovery strategy under snapshot isolation).  A
+        // failed attempt may have cached schemas from its aborted writes,
+        // so the schema cache is dropped before every retry.
+        const MAX_ATTEMPTS: usize = 24;
+        let mut last_err = Error::Internal("statement retry limit reached".into());
+        for attempt in 0..MAX_ATTEMPTS {
+            let txn = self.client.begin();
+            let result = yesquel_sql::execute(&self.catalog, &txn, stmt, params);
+            match result {
+                Ok(rs) => match txn.commit() {
+                    Ok(_) => return Ok(rs),
+                    Err(e) if e.is_retryable() => {
+                        self.catalog.invalidate_all();
+                        last_err = e;
+                    }
+                    Err(e) => {
+                        self.catalog.invalidate_all();
+                        return Err(e);
+                    }
+                },
+                Err(e) if e.is_retryable() => {
+                    txn.abort();
+                    self.catalog.invalidate_all();
+                    last_err = e;
+                }
+                Err(e) => {
+                    txn.abort();
+                    self.catalog.invalidate_all();
+                    return Err(e);
+                }
+            }
+            if attempt > 2 {
+                std::thread::sleep(std::time::Duration::from_micros(50 * attempt as u64));
+            }
+        }
+        Err(last_err)
+    }
+}
+
+/// A whole Yesquel deployment plus one client-side DBT engine and a default
+/// SQL session — the shape an embedding application uses: open, `execute`
+/// SQL, or drop down to trees and raw transactions.
 pub struct Yesquel {
     db: KvDatabase,
     engine: Arc<DbtEngine>,
+    session: Session,
 }
 
 impl Yesquel {
@@ -40,7 +207,12 @@ impl Yesquel {
         let dbt_cfg = config.dbt.clone();
         let db = KvDatabase::new(config);
         let engine = DbtEngine::new(db.client(), dbt_cfg);
-        Yesquel { db, engine }
+        let session = Session::new(Arc::clone(&engine)).expect("catalog bootstrap cannot fail");
+        Yesquel {
+            db,
+            engine,
+            session,
+        }
     }
 
     /// The key-value deployment.
@@ -51,6 +223,27 @@ impl Yesquel {
     /// This client's DBT engine (cache, splitter, allocator).
     pub fn engine(&self) -> &Arc<DbtEngine> {
         &self.engine
+    }
+
+    /// The default SQL session.
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// Opens an additional, independent SQL session (its own schema cache
+    /// and transaction state) over the same deployment.
+    pub fn new_session(&self) -> Result<Session> {
+        Session::new(Arc::clone(&self.engine))
+    }
+
+    /// Parses and executes one SQL statement on the default session.
+    pub fn execute(&self, sql_text: &str, params: &[Value]) -> Result<ResultSet> {
+        self.session.execute(sql_text, params)
+    }
+
+    /// Executes a semicolon-separated SQL script on the default session.
+    pub fn execute_script(&self, sql_text: &str) -> Result<Vec<ResultSet>> {
+        self.session.execute_script(sql_text)
     }
 
     /// Starts a key-value transaction.
@@ -82,5 +275,37 @@ mod tests {
         t.insert(&txn, b"k", b"v").unwrap();
         assert_eq!(t.lookup(&txn, b"k").unwrap().as_deref(), Some(&b"v"[..]));
         txn.commit().unwrap();
+    }
+
+    #[test]
+    fn execute_sql_end_to_end() {
+        let y = Yesquel::open(3);
+        y.execute("CREATE TABLE kv (id INTEGER PRIMARY KEY, v TEXT)", &[])
+            .unwrap();
+        let ins = y
+            .execute(
+                "INSERT INTO kv (v) VALUES (?), (?)",
+                &["a".into(), "b".into()],
+            )
+            .unwrap();
+        assert_eq!(ins.rows_affected, 2);
+        assert_eq!(ins.last_rowid, Some(2));
+        let rs = y
+            .execute("SELECT v FROM kv WHERE id = ?", &[Value::Int(2)])
+            .unwrap();
+        assert_eq!(rs.rows, vec![vec![Value::Text("b".into())]]);
+    }
+
+    #[test]
+    fn explicit_transactions_roll_back() {
+        let y = Yesquel::open(2);
+        y.execute("CREATE TABLE t (a INT)", &[]).unwrap();
+        y.execute_script("BEGIN; INSERT INTO t VALUES (1); ROLLBACK")
+            .unwrap();
+        assert!(y.execute("SELECT * FROM t", &[]).unwrap().rows.is_empty());
+        y.execute_script("BEGIN; INSERT INTO t VALUES (2); COMMIT")
+            .unwrap();
+        assert_eq!(y.execute("SELECT * FROM t", &[]).unwrap().rows.len(), 1);
+        assert!(!y.session().in_transaction());
     }
 }

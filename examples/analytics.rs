@@ -1,1 +1,69 @@
-fn main() {}
+//! An event-analytics workload on SQL: append-mostly inserts, then bounded
+//! index range scans with ORDER BY/LIMIT — the scale-predictable plan
+//! shapes (PIQL-style) the planner is restricted to.
+//!
+//! Run with: `cargo run --release --example analytics`
+
+use yesquel::{Result, Value, Yesquel};
+
+fn main() -> Result<()> {
+    let y = Yesquel::open(4);
+    y.execute_script(
+        "CREATE TABLE events (id INTEGER PRIMARY KEY, user TEXT NOT NULL,
+                              kind TEXT NOT NULL, at INT NOT NULL, amount INT);
+         CREATE INDEX events_by_user_time ON events (user, at);
+         CREATE INDEX events_by_kind ON events (kind);",
+    )?;
+
+    // Ingest a stream of events from a handful of users.
+    let kinds = ["view", "click", "buy"];
+    for t in 0..600i64 {
+        y.execute(
+            "INSERT INTO events (user, kind, at, amount) VALUES (?, ?, ?, ?)",
+            &[
+                Value::Text(format!("user-{}", t % 7)),
+                Value::Text(kinds[(t % 3) as usize].into()),
+                Value::Int(t),
+                Value::Int((t * 13) % 97),
+            ],
+        )?;
+    }
+    println!("ingested 600 events");
+
+    // Per-user timeline slice: composite-index scan with an equality prefix
+    // (user) and a range on the next column (at) — stops at the bound, no
+    // client-side over-read.
+    let rs = y.execute(
+        "SELECT at, kind, amount FROM events \
+         WHERE user = ? AND at BETWEEN ? AND ? ORDER BY at",
+        &[
+            Value::Text("user-3".into()),
+            Value::Int(100),
+            Value::Int(200),
+        ],
+    )?;
+    println!("user-3 activity in [100, 200]: {} events", rs.rows.len());
+
+    // Recent purchases across all users (index on kind, residual ORDER BY).
+    let rs = y.execute(
+        "SELECT user, at, amount FROM events WHERE kind = 'buy' \
+         ORDER BY at DESC LIMIT 10",
+        &[],
+    )?;
+    println!("latest purchases:");
+    for row in &rs.rows {
+        println!("  {} at t={} ({} units)", row[0], row[1], row[2]);
+    }
+
+    // Big spenders: index scan plus residual filter on a non-indexed column.
+    let rs = y.execute(
+        "SELECT DISTINCT user FROM events WHERE kind = 'buy' AND amount >= 80",
+        &[],
+    )?;
+    println!("{} users made a purchase of 80+ units", rs.rows.len());
+
+    // Cold data retention: trim old events transactionally.
+    let rs = y.execute("DELETE FROM events WHERE at < ?", &[Value::Int(100)])?;
+    println!("expired {} old events", rs.rows_affected);
+    Ok(())
+}

@@ -1,1 +1,94 @@
-fn main() {}
+//! A shopping-cart service on SQL with explicit transactions: checkout
+//! moves stock and cart rows atomically, and a conflicting checkout aborts
+//! at COMMIT (first-committer-wins under snapshot isolation) and retries.
+//!
+//! Run with: `cargo run --release --example shopping_cart`
+
+use yesquel::{Error, Result, Value, Yesquel};
+
+fn main() -> Result<()> {
+    let y = Yesquel::open(3);
+    y.execute_script(
+        "CREATE TABLE products (id INTEGER PRIMARY KEY, name TEXT NOT NULL, stock INT NOT NULL);
+         CREATE TABLE cart_items (id INTEGER PRIMARY KEY, cart TEXT NOT NULL,
+                                  product INT NOT NULL, qty INT NOT NULL);
+         CREATE INDEX cart_items_by_cart ON cart_items (cart);",
+    )?;
+    y.execute(
+        "INSERT INTO products (name, stock) VALUES ('keyboard', 5), ('mouse', 9), ('monitor', 2)",
+        &[],
+    )?;
+
+    // Two customers fill their carts (autocommitted statements).
+    for (cart, product, qty) in [("alice", 1, 1), ("alice", 3, 2), ("bob", 3, 1)] {
+        y.execute(
+            "INSERT INTO cart_items (cart, product, qty) VALUES (?, ?, ?)",
+            &[cart.into(), Value::Int(product), Value::Int(qty)],
+        )?;
+    }
+
+    // Checkout = one explicit transaction: read the cart through the index,
+    // decrement stock per line, clear the cart.  Retried as a whole on
+    // commit conflicts.
+    let checkout = |who: &str| -> Result<()> {
+        let session = y.new_session()?;
+        loop {
+            session.execute("BEGIN", &[])?;
+            let run = (|| -> Result<()> {
+                let items = session.execute(
+                    "SELECT product, qty FROM cart_items WHERE cart = ?",
+                    &[who.into()],
+                )?;
+                for line in &items.rows {
+                    let left = session.execute(
+                        "SELECT stock FROM products WHERE id = ?",
+                        &[line[0].clone()],
+                    )?;
+                    let (Value::Int(stock), Value::Int(qty)) = (&left.rows[0][0], &line[1]) else {
+                        return Err(Error::Internal("bad row".into()));
+                    };
+                    if stock < qty {
+                        return Err(Error::Constraint(format!("{who}: out of stock")));
+                    }
+                    session.execute(
+                        "UPDATE products SET stock = stock - ? WHERE id = ?",
+                        &[line[1].clone(), line[0].clone()],
+                    )?;
+                }
+                session.execute("DELETE FROM cart_items WHERE cart = ?", &[who.into()])?;
+                Ok(())
+            })();
+            match run.and_then(|()| session.execute("COMMIT", &[]).map(|_| ())) {
+                Ok(()) => return Ok(()),
+                Err(e) if e.is_retryable() => {
+                    println!("{who}: checkout conflicted, retrying");
+                    continue;
+                }
+                Err(e) => {
+                    if session.in_transaction() {
+                        session.execute("ROLLBACK", &[])?;
+                    }
+                    return Err(e);
+                }
+            }
+        }
+    };
+
+    // Alice and Bob both want the last monitors; both checkouts run, the
+    // conflict resolves by retry, and stock never goes negative.
+    checkout("alice")?;
+    match checkout("bob") {
+        Ok(()) => println!("bob checked out"),
+        Err(Error::Constraint(msg)) => println!("{msg}"),
+        Err(e) => return Err(e),
+    }
+
+    let rs = y.execute("SELECT name, stock FROM products ORDER BY id", &[])?;
+    println!("remaining stock:");
+    for row in &rs.rows {
+        println!("  {}: {}", row[0], row[1]);
+    }
+    let rs = y.execute("SELECT id FROM cart_items", &[])?;
+    println!("cart rows left: {}", rs.rows.len());
+    Ok(())
+}

@@ -1,0 +1,284 @@
+//! Randomized property test of the SQL executor: a deterministic stream of
+//! random DML and queries runs both through `Yesquel::execute` and against a
+//! plain in-memory model; results must match at every step.
+//!
+//! Queries are drawn so that every access path gets exercised — rowid point
+//! reads, rowid ranges, secondary-index equality and range scans (the table
+//! has a composite index on `(cat, score)`), and full scans with residual
+//! filters — and compared as ordered rows when the query has a total ORDER
+//! BY, as multisets otherwise.
+
+use std::cmp::Ordering;
+
+use rand::Rng;
+use yesquel::common::rand_util::seeded_rng;
+use yesquel::sql::Value;
+use yesquel::Yesquel;
+
+/// One row of the model: rowid plus the non-rowid columns.
+#[derive(Debug, Clone)]
+struct ModelRow {
+    id: i64,
+    cat: Value,
+    score: Value,
+    note: Value,
+}
+
+/// SQL comparison truth: NULL operands never satisfy a comparison.
+fn cmp_true(a: &Value, op: &str, b: &Value) -> bool {
+    let Some(ord) = a.compare(b) else {
+        return false;
+    };
+    match op {
+        "=" => ord == Ordering::Equal,
+        "<" => ord == Ordering::Less,
+        "<=" => ord != Ordering::Greater,
+        ">" => ord == Ordering::Greater,
+        ">=" => ord != Ordering::Less,
+        _ => unreachable!(),
+    }
+}
+
+/// The WHERE clauses the generator draws, mirrored on the model.
+#[derive(Debug, Clone)]
+enum Pred {
+    All,
+    IdEq(i64),
+    IdRange(i64, i64),
+    CatEq(Value),
+    CatEqScoreRange(Value, i64, i64),
+    ScoreGe(i64),
+    NoteLike,
+}
+
+impl Pred {
+    fn sql(&self) -> (String, Vec<Value>) {
+        match self {
+            Pred::All => (String::new(), vec![]),
+            Pred::IdEq(i) => (" WHERE id = ?".into(), vec![Value::Int(*i)]),
+            Pred::IdRange(a, b) => (
+                " WHERE id >= ? AND id < ?".into(),
+                vec![Value::Int(*a), Value::Int(*b)],
+            ),
+            Pred::CatEq(c) => (" WHERE cat = ?".into(), vec![c.clone()]),
+            Pred::CatEqScoreRange(c, a, b) => (
+                " WHERE cat = ? AND score BETWEEN ? AND ?".into(),
+                vec![c.clone(), Value::Int(*a), Value::Int(*b)],
+            ),
+            Pred::ScoreGe(a) => (" WHERE score >= ?".into(), vec![Value::Int(*a)]),
+            Pred::NoteLike => (" WHERE note LIKE 'n1%'".into(), vec![]),
+        }
+    }
+
+    fn eval(&self, r: &ModelRow) -> bool {
+        match self {
+            Pred::All => true,
+            Pred::IdEq(i) => r.id == *i,
+            Pred::IdRange(a, b) => r.id >= *a && r.id < *b,
+            Pred::CatEq(c) => cmp_true(&r.cat, "=", c),
+            Pred::CatEqScoreRange(c, a, b) => {
+                cmp_true(&r.cat, "=", c)
+                    && cmp_true(&r.score, ">=", &Value::Int(*a))
+                    && cmp_true(&r.score, "<=", &Value::Int(*b))
+            }
+            Pred::ScoreGe(a) => cmp_true(&r.score, ">=", &Value::Int(*a)),
+            Pred::NoteLike => match &r.note {
+                Value::Text(s) => s.to_ascii_lowercase().starts_with("n1"),
+                _ => false,
+            },
+        }
+    }
+}
+
+fn random_cat(rng: &mut impl Rng) -> Value {
+    match rng.gen_range(0u32..10) {
+        0 => Value::Null,
+        n => Value::Text(format!("cat-{}", n % 4)),
+    }
+}
+
+fn random_score(rng: &mut impl Rng) -> Value {
+    match rng.gen_range(0u32..12) {
+        0 => Value::Null,
+        1 => Value::Real(rng.gen_range(0i64..40) as f64 + 0.5),
+        _ => Value::Int(rng.gen_range(0i64..40)),
+    }
+}
+
+fn random_pred(rng: &mut impl Rng, max_id: i64) -> Pred {
+    match rng.gen_range(0u32..8) {
+        0 => Pred::All,
+        1 => Pred::IdEq(rng.gen_range(1..max_id.max(2))),
+        2 => {
+            let a = rng.gen_range(0..max_id.max(2));
+            Pred::IdRange(a, a + rng.gen_range(1i64..20))
+        }
+        3 => Pred::CatEq(random_cat(rng)),
+        4 => {
+            let a = rng.gen_range(0i64..30);
+            Pred::CatEqScoreRange(random_cat(rng), a, a + rng.gen_range(0i64..15))
+        }
+        5 => Pred::ScoreGe(rng.gen_range(0i64..40)),
+        _ => Pred::NoteLike,
+    }
+}
+
+/// Canonical form of a result row for multiset comparison.
+fn canon(rows: &[Vec<Value>]) -> Vec<String> {
+    let mut v: Vec<String> = rows.iter().map(|r| format!("{r:?}")).collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn random_sql_matches_in_memory_model() {
+    let y = Yesquel::open(3);
+    y.execute_script(
+        "CREATE TABLE items (id INTEGER PRIMARY KEY, cat TEXT, score INT, note TEXT);
+         CREATE INDEX by_cat_score ON items (cat, score);",
+    )
+    .unwrap();
+    let mut model: Vec<ModelRow> = Vec::new();
+    let mut next_id = 1i64;
+    let mut rng = seeded_rng(0x5A1_51E2E, 7);
+
+    for step in 0..600u32 {
+        match rng.gen_range(0u32..10) {
+            // ~40% inserts.
+            0..=3 => {
+                let cat = random_cat(&mut rng);
+                let score = random_score(&mut rng);
+                let note = Value::Text(format!("n{}", rng.gen_range(0u32..30)));
+                let rs = y
+                    .execute(
+                        "INSERT INTO items (cat, score, note) VALUES (?, ?, ?)",
+                        &[cat.clone(), score.clone(), note.clone()],
+                    )
+                    .unwrap();
+                let id = rs.last_rowid.unwrap();
+                assert_eq!(id, next_id, "step {step}: rowid allocation diverged");
+                model.push(ModelRow {
+                    id,
+                    cat,
+                    // Stored values are coerced to the declared column type.
+                    score: score.coerce(yesquel::sql::ColumnType::Integer),
+                    note,
+                });
+                next_id += 1;
+            }
+            // ~20% updates through a random access path.
+            4..=5 => {
+                let pred = random_pred(&mut rng, next_id);
+                let bump = rng.gen_range(1i64..5);
+                let (where_sql, mut params) = pred.sql();
+                params.insert(0, Value::Int(bump));
+                let rs = y
+                    .execute(
+                        &format!("UPDATE items SET score = score + ?{where_sql}"),
+                        &params,
+                    )
+                    .unwrap();
+                let mut affected = 0;
+                for r in model.iter_mut().filter(|r| pred.eval(r)) {
+                    r.score = match &r.score {
+                        Value::Int(s) => Value::Int(s + bump),
+                        Value::Real(s) => Value::Real(s + bump as f64),
+                        Value::Null => Value::Null,
+                        other => other.clone(),
+                    };
+                    affected += 1;
+                }
+                assert_eq!(rs.rows_affected, affected, "step {step}: UPDATE count");
+            }
+            // ~10% deletes.
+            6 => {
+                let pred = random_pred(&mut rng, next_id);
+                let (where_sql, params) = pred.sql();
+                let rs = y
+                    .execute(&format!("DELETE FROM items{where_sql}"), &params)
+                    .unwrap();
+                let before = model.len();
+                model.retain(|r| !pred.eval(r));
+                assert_eq!(
+                    rs.rows_affected,
+                    (before - model.len()) as u64,
+                    "step {step}: DELETE count"
+                );
+            }
+            // ~30% queries.
+            _ => {
+                let pred = random_pred(&mut rng, next_id);
+                let (where_sql, params) = pred.sql();
+                let mut expected: Vec<Vec<Value>> = model
+                    .iter()
+                    .filter(|r| pred.eval(r))
+                    .map(|r| {
+                        vec![
+                            Value::Int(r.id),
+                            r.cat.clone(),
+                            r.score.clone(),
+                            r.note.clone(),
+                        ]
+                    })
+                    .collect();
+                if rng.gen_range(0u32..2) == 0 {
+                    // Totally ordered query: compare rows in order, with
+                    // LIMIT/OFFSET applied to both sides.
+                    let limit = rng.gen_range(1u64..15);
+                    let offset = rng.gen_range(0u64..5);
+                    let got = y
+                        .execute(
+                            &format!(
+                                "SELECT id, cat, score, note FROM items{where_sql} \
+                                 ORDER BY score DESC, id LIMIT {limit} OFFSET {offset}"
+                            ),
+                            &params,
+                        )
+                        .unwrap();
+                    expected
+                        .sort_by(|a, b| b[2].sort_cmp(&a[2]).then_with(|| a[0].sort_cmp(&b[0])));
+                    let expected: Vec<Vec<Value>> = expected
+                        .into_iter()
+                        .skip(offset as usize)
+                        .take(limit as usize)
+                        .collect();
+                    assert_eq!(got.rows, expected, "step {step}: ordered {pred:?}");
+                } else {
+                    let got = y
+                        .execute(
+                            &format!("SELECT id, cat, score, note FROM items{where_sql}"),
+                            &params,
+                        )
+                        .unwrap();
+                    assert_eq!(
+                        canon(&got.rows),
+                        canon(&expected),
+                        "step {step}: unordered {pred:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    // Final invariant: the secondary index agrees with the base table for
+    // every category value it can hold.
+    for cat in [
+        Value::Text("cat-0".into()),
+        Value::Text("cat-1".into()),
+        Value::Text("cat-2".into()),
+        Value::Text("cat-3".into()),
+    ] {
+        let via_index = y
+            .execute(
+                "SELECT id FROM items WHERE cat = ?",
+                std::slice::from_ref(&cat),
+            )
+            .unwrap();
+        let expected: Vec<Vec<Value>> = model
+            .iter()
+            .filter(|r| cmp_true(&r.cat, "=", &cat))
+            .map(|r| vec![Value::Int(r.id)])
+            .collect();
+        assert_eq!(canon(&via_index.rows), canon(&expected));
+    }
+}
