@@ -120,6 +120,60 @@ fn bench_execution(c: &mut Criterion) {
         });
     });
 
+    c.bench_function("sql/covering_index_scan", |b| {
+        // Same 8-score window (~64 rows) as sql/index_range_scan, but the
+        // projection lives in the index: rows decode straight out of the
+        // entries with zero rowid fetch-backs, and the ORDER BY comes from
+        // the scan itself.
+        let stmt =
+            parse("SELECT score FROM users WHERE score >= ? AND score < ? ORDER BY score LIMIT 50")
+                .unwrap();
+        let mut s = 0i64;
+        b.iter(|| {
+            s = (s + 7) % 504;
+            let txn = client.begin();
+            let rs =
+                yesquel_sql::execute(&catalog, &txn, &stmt, &[Value::Int(s), Value::Int(s + 8)])
+                    .unwrap();
+            txn.commit().unwrap();
+            black_box(rs)
+        });
+    });
+
+    c.bench_function("sql/order_by_limit_indexed", |b| {
+        // ORDER BY subsumed by the index order: LIMIT 10 pulls exactly ten
+        // entries and stops, however many rows match the predicate.
+        let stmt =
+            parse("SELECT score FROM users WHERE score >= ? ORDER BY score LIMIT 10").unwrap();
+        let mut s = 0i64;
+        b.iter(|| {
+            s = (s + 7) % 504;
+            let txn = client.begin();
+            let rs = yesquel_sql::execute(&catalog, &txn, &stmt, &[Value::Int(s)]).unwrap();
+            txn.commit().unwrap();
+            black_box(rs)
+        });
+    });
+
+    c.bench_function("sql/group_by_agg", |b| {
+        // Streamed GROUP BY over the covering index: 8 contiguous groups of
+        // ~8 rows each, one group of aggregate state live at a time.
+        let stmt = parse(
+            "SELECT score, COUNT(*), SUM(score) FROM users \
+             WHERE score >= ? AND score < ? GROUP BY score",
+        )
+        .unwrap();
+        let mut s = 0i64;
+        b.iter(|| {
+            s = (s + 7) % 504;
+            let txn = client.begin();
+            let rs =
+                yesquel_sql::execute(&catalog, &txn, &stmt, &[Value::Int(s), Value::Int(s + 8)])
+                    .unwrap();
+            txn.commit().unwrap();
+            black_box(rs)
+        });
+    });
     c.bench_function("sql/insert_row", |b| {
         // Transactional INSERT maintaining the secondary index, committed.
         let stmt = parse("INSERT INTO users (name, score) VALUES (?, ?)").unwrap();
@@ -140,5 +194,50 @@ fn bench_execution(c: &mut Criterion) {
     });
 }
 
-criterion_group!(sql_benches, bench_frontend, bench_execution);
+fn bench_session(c: &mut Criterion) {
+    // The facade path: a Session with its statement cache, so repeated
+    // statement texts skip the parse and the plan entirely.  Against
+    // sql/point_select_pk (which re-parses and re-plans each iteration)
+    // this isolates the statement-cache win.
+    let mut config = YesquelConfig::with_servers(4);
+    config.dbt.split_mode = SplitMode::Synchronous;
+    config.dbt.load_splits = false;
+    let y = yesquel::Yesquel::open_with(config);
+    y.execute(
+        "CREATE TABLE users (id INTEGER PRIMARY KEY, name TEXT NOT NULL, score INT NOT NULL)",
+        &[],
+    )
+    .unwrap();
+    for i in 0..ROWS {
+        y.execute(
+            "INSERT INTO users (name, score) VALUES (?, ?)",
+            &[Value::Text(format!("user-{i}")), Value::Int(i % 512)],
+        )
+        .unwrap();
+    }
+    for i in 0..ROWS {
+        y.execute(
+            "SELECT name, score FROM users WHERE id = ?",
+            &[Value::Int(i + 1)],
+        )
+        .unwrap();
+    }
+
+    c.bench_function("sql/point_select_pk_cached", |b| {
+        let mut i = 0i64;
+        b.iter(|| {
+            i = (i + 1) % ROWS;
+            let rs = y
+                .execute(
+                    "SELECT name, score FROM users WHERE id = ?",
+                    &[Value::Int(i + 1)],
+                )
+                .unwrap();
+            assert_eq!(rs.rows.len(), 1);
+            black_box(rs)
+        });
+    });
+}
+
+criterion_group!(sql_benches, bench_frontend, bench_execution, bench_session);
 criterion_main!(sql_benches);

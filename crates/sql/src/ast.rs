@@ -24,6 +24,9 @@ pub enum Statement {
     Update(Update),
     /// `DELETE FROM table [WHERE ...]`
     Delete(Delete),
+    /// `EXPLAIN <statement>`: plan the inner statement and return its
+    /// one-line description instead of executing it.
+    Explain(Box<Statement>),
     /// `BEGIN [TRANSACTION]`
     Begin,
     /// `COMMIT`
@@ -273,6 +276,11 @@ pub enum Expr {
         /// True for `COUNT(*)`.
         star: bool,
     },
+    /// Direct reference to a slot of the current row, bypassing name
+    /// resolution.  Never produced by the parser: the planner rewrites
+    /// aggregate-query expressions into slot references over the
+    /// post-aggregation row layout (`[group keys..., aggregates...]`).
+    Slot(usize),
 }
 
 impl Expr {

@@ -5,10 +5,12 @@
 //! storage as the data, DDL is transactional like everything else.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 use yesquel_common::encoding::{Reader, Writer};
+use yesquel_common::stats::Counter;
 use yesquel_common::{Error, ObjectId, Result, TreeId};
 use yesquel_kv::Txn;
 use yesquel_ydbt::{Dbt, DbtEngine};
@@ -184,12 +186,50 @@ impl TableSchema {
     }
 }
 
+/// Counters bumped on the SQL executor's hot paths, resolved from the
+/// registry once at catalog construction (the same pattern as the DBT
+/// engine's `HotCounters` — a registry lookup per row would be measurable).
+pub struct SqlCounters {
+    /// Base rows (index entries or primary rows) examined by scans.  With
+    /// streaming LIMIT early-exit, a bounded plan bumps this at most
+    /// `limit + offset` times.
+    pub rows_scanned: Arc<Counter>,
+    /// Primary-tree fetch-back lookups performed by non-covering index
+    /// scans; a covering scan performs exactly zero.
+    pub fetchbacks: Arc<Counter>,
+    /// Index scans that ran in covering mode (rows reconstructed from the
+    /// index entries alone).
+    pub covering_scans: Arc<Counter>,
+    /// Statement-cache hits (plan reused without parsing or planning).
+    pub stmt_cache_hits: Arc<Counter>,
+    /// Statement-cache misses (fresh parse + plan).
+    pub stmt_cache_misses: Arc<Counter>,
+}
+
+impl SqlCounters {
+    fn new(stats: &yesquel_common::stats::StatsRegistry) -> SqlCounters {
+        SqlCounters {
+            rows_scanned: stats.counter("sql.rows_scanned"),
+            fetchbacks: stats.counter("sql.fetchbacks"),
+            covering_scans: stats.counter("sql.covering_scans"),
+            stmt_cache_hits: stats.counter("sql.stmt_cache_hits"),
+            stmt_cache_misses: stats.counter("sql.stmt_cache_misses"),
+        }
+    }
+}
+
 /// Per-connection catalog handle: resolves names to schemas and performs
 /// DDL.
 pub struct Catalog {
     engine: Arc<DbtEngine>,
     tree: Dbt,
     cache: Mutex<HashMap<String, Arc<TableSchema>>>,
+    /// Bumped whenever this connection's view of any schema may have
+    /// changed (local DDL or cache invalidation).  Statement caches keyed
+    /// by SQL text store the generation their plan was built under and
+    /// replan when it moves.
+    generation: AtomicU64,
+    counters: SqlCounters,
 }
 
 impl Catalog {
@@ -204,16 +244,33 @@ impl Catalog {
             Err(e) => return Err(e),
         }
         let tree = engine.tree(CATALOG_TREE);
+        let counters = SqlCounters::new(engine.stats());
         Ok(Catalog {
             engine,
             tree,
             cache: Mutex::new(HashMap::new()),
+            generation: AtomicU64::new(0),
+            counters,
         })
     }
 
     /// The engine this catalog issues storage operations through.
     pub fn engine(&self) -> &Arc<DbtEngine> {
         &self.engine
+    }
+
+    /// Pre-resolved SQL-layer counters.
+    pub fn counters(&self) -> &SqlCounters {
+        &self.counters
+    }
+
+    /// Current schema generation of this connection (see the field docs).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    fn bump_generation(&self) {
+        self.generation.fetch_add(1, Ordering::AcqRel);
     }
 
     fn catalog_key(name: &str) -> Vec<u8> {
@@ -246,11 +303,13 @@ impl Catalog {
     /// a way that suggests staleness).
     pub fn invalidate(&self, name: &str) {
         self.cache.lock().remove(&name.to_ascii_lowercase());
+        self.bump_generation();
     }
 
     /// Clears the whole schema cache.
     pub fn invalidate_all(&self) {
         self.cache.lock().clear();
+        self.bump_generation();
     }
 
     fn allocate_tree_id(&self) -> Result<TreeId> {
@@ -350,6 +409,7 @@ impl Catalog {
         self.cache
             .lock()
             .insert(stmt.name.to_ascii_lowercase(), Arc::clone(&schema));
+        self.bump_generation();
         Ok(schema)
     }
 
@@ -468,6 +528,7 @@ impl Catalog {
         self.cache
             .lock()
             .insert(stmt.table.to_ascii_lowercase(), Arc::clone(&new_schema));
+        self.bump_generation();
         Ok(new_schema)
     }
 

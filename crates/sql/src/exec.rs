@@ -1,37 +1,73 @@
-//! The executor: runs physical plans inside a key-value transaction via DBT
-//! cursors.
+//! The executor: a streaming, Volcano-style operator pipeline that pulls
+//! rows one at a time out of DBT cursors.
 //!
 //! Every statement executes entirely within one caller-supplied [`Txn`], so
 //! a statement touching a table and its secondary indexes is atomic and
 //! reads one consistent snapshot; the session layer decides when that
 //! transaction commits (autocommit or explicit BEGIN/COMMIT).
 //!
+//! ## The operator stack
+//!
+//! A SELECT compiles to a pull pipeline assembled from the plan's physical
+//! properties; an operator that stops pulling (LIMIT) stops everything
+//! beneath it, so bounded plans touch only the rows they return:
+//!
+//! ```text
+//!      DbtCursor (RawCursor)            Dbt::seek_last
+//!            │ index/row entries              │ one-row MIN/MAX
+//!            ▼                                │
+//!   ScanOp ─ covering: decode entries         │
+//!          ─ else: rowid fetch-back lookup    │
+//!          ─ residual WHERE filter            │
+//!            │ base rows                      │
+//!            ▼                                ▼
+//!   [AggregateOp: stream | hash]  ◄──── OneRowOp (minmax)
+//!            │ post-aggregation rows [group keys…, aggregates…]
+//!            ▼
+//!   ProjectOp (output exprs; appends sort keys when a sort is needed)
+//!            ▼
+//!   [SortOp → TrimOp]   — elided when the scan order subsumes ORDER BY
+//!            ▼
+//!   [DistinctOp]        — streaming set-based dedup, order-preserving
+//!            ▼
+//!   [OffsetLimitOp]     — stops pulling after limit+offset rows
+//! ```
+//!
+//! Operators implement [`RowSource`] and own no borrow of the transaction:
+//! it is threaded through every [`RowSource::next_row`] call via
+//! [`ExecCtx`], which is what lets [`RowStream`]s live inside fully owned
+//! values (the facade's pulling `Rows` iterator owns its autocommit
+//! transaction *and* its operator tree).
+//!
 //! Row access follows the plan's [`AccessPath`]: a rowid point lookup is one
 //! DBT `lookup` (one node fetch when the client cache is warm — the paper's
-//! headline property), an index scan is a bounded DBT range scan over the
-//! index tree plus one `lookup` fetch-back per entry, and UPDATE/DELETE
-//! materialise their match set before mutating so the scan never observes
-//! its own writes (the classic Halloween problem).
+//! headline property); an index scan is a bounded DBT range scan over the
+//! index tree that either decodes rows straight out of the entries
+//! (covering plans — zero fetch-backs) or pays one `lookup` fetch-back per
+//! entry; a lone `MIN`/`MAX` over the scanned column is a one-row bounded
+//! read (first entry of the range, or a reverse fence descent for `MAX`).
+//! UPDATE/DELETE materialise their match set before mutating so the scan
+//! never observes its own writes (the classic Halloween problem).
 
 use std::cmp::Ordering;
-use std::collections::HashSet;
+use std::collections::{BTreeMap, HashSet};
 
 use yesquel_common::{Error, Result};
 use yesquel_kv::Txn;
-use yesquel_ydbt::Dbt;
+use yesquel_ydbt::{Dbt, RawCursor};
 
-use crate::ast::Statement;
+use crate::ast::{Expr, Statement};
 use crate::catalog::{Catalog, IndexInfo, TableSchema};
 use crate::expr::{ColumnLayout, EvalCtx};
 use crate::plan::{
-    plan_statement, table_layout, AccessPath, DmlTarget, InsertPlan, OrderTarget, OutputCol, Plan,
-    RangeBound, SelectPlan,
+    plan_statement, AccessPath, AggFunc, AggStrategy, AggregatePlan, DmlTarget, InsertPlan,
+    OrderSpec, OrderTarget, OutputCol, Plan, RangeBound, SelectPlan,
 };
 use crate::row::{
-    decode_index_rowid, decode_row, decode_rowid_key, encode_index_key, encode_index_value,
-    encode_row, encode_rowid_key, prefix_upper_bound,
+    decode_index_entry, decode_index_rowid, decode_row, decode_rowid_key, encode_index_key,
+    encode_index_value, encode_row, encode_rowid_key, index_nonnull_floor, prefix_upper_bound,
 };
-use crate::types::Value;
+use crate::types::{ColumnType, Value};
 
 /// The result of executing one statement.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -49,6 +85,45 @@ pub struct ResultSet {
 impl ResultSet {
     fn empty() -> ResultSet {
         ResultSet::default()
+    }
+}
+
+/// Everything an operator needs per pull that it must not own: the catalog
+/// (engine + counters), the transaction, and the statement parameters.
+pub struct ExecCtx<'a> {
+    /// The catalog the statement was planned against.
+    pub catalog: &'a Catalog,
+    /// The transaction every read and write goes through.
+    pub txn: &'a Txn,
+    /// Positional parameters bound to the statement.
+    pub params: &'a [Value],
+}
+
+/// A pull-based row operator: the executor's one interface.  `next_row`
+/// returns the next row of the operator's output, or `None` at the end.
+pub trait RowSource {
+    /// Pulls the next row.
+    fn next_row(&mut self, cx: &ExecCtx<'_>) -> Result<Option<Vec<Value>>>;
+}
+
+/// An open, pullable query: column headers plus the operator stack.  Owns
+/// no borrow of the transaction — the caller passes it (via [`ExecCtx`]) on
+/// every pull, which is what lets a session hand out a `Rows` iterator that
+/// owns both its transaction and this stream.
+pub struct RowStream {
+    columns: Vec<String>,
+    src: Box<dyn RowSource + Send>,
+}
+
+impl RowStream {
+    /// Column headers of the result.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Pulls the next output row.
+    pub fn next_row(&mut self, cx: &ExecCtx<'_>) -> Result<Option<Vec<Value>>> {
+        self.src.next_row(cx)
     }
 }
 
@@ -71,12 +146,28 @@ pub fn execute_plan(
     plan: &Plan,
     params: &[Value],
 ) -> Result<ResultSet> {
+    let cx = ExecCtx {
+        catalog,
+        txn,
+        params,
+    };
     match plan {
-        Plan::ConstSelect(output) => exec_const_select(output, params),
-        Plan::Select(p) => exec_select(catalog, txn, p, params),
-        Plan::Insert(p) => exec_insert(catalog, txn, p, params),
-        Plan::Update(p) => exec_update(catalog, txn, p, params),
-        Plan::Delete(p) => exec_delete(catalog, txn, p, params),
+        Plan::ConstSelect(_) | Plan::Select(_) | Plan::Explain(_) => {
+            let mut stream = open_stream(catalog, txn, plan, params)?;
+            let mut rows = Vec::new();
+            while let Some(row) = stream.next_row(&cx)? {
+                rows.push(row);
+            }
+            Ok(ResultSet {
+                columns: stream.columns,
+                rows,
+                rows_affected: 0,
+                last_rowid: None,
+            })
+        }
+        Plan::Insert(p) => exec_insert(&cx, p),
+        Plan::Update(p) => exec_update(&cx, p),
+        Plan::Delete(p) => exec_delete(&cx, p),
         Plan::CreateTable(ct) => {
             catalog.create_table(txn, ct)?;
             Ok(ResultSet::empty())
@@ -92,8 +183,43 @@ pub fn execute_plan(
     }
 }
 
+/// Opens a query plan as a pullable [`RowStream`].  Only query-shaped plans
+/// (SELECT, expression-only SELECT, EXPLAIN) can stream; DML and DDL have
+/// no rows to pull.
+pub fn open_stream(
+    catalog: &Catalog,
+    txn: &Txn,
+    plan: &Plan,
+    params: &[Value],
+) -> Result<RowStream> {
+    let cx = ExecCtx {
+        catalog,
+        txn,
+        params,
+    };
+    match plan {
+        Plan::ConstSelect(output) => Ok(RowStream {
+            columns: output.iter().map(|o| o.name.clone()).collect(),
+            src: Box::new(ConstOp {
+                exprs: output.iter().map(|o| o.expr.clone()).collect(),
+                done: false,
+            }),
+        }),
+        Plan::Explain(inner) => Ok(RowStream {
+            columns: vec!["plan".to_string()],
+            src: Box::new(OneRowOp {
+                row: Some(vec![Value::Text(inner.describe())]),
+            }),
+        }),
+        Plan::Select(p) => open_select(&cx, p),
+        _ => Err(Error::InvalidArgument(
+            "only SELECT and EXPLAIN statements produce a row stream".into(),
+        )),
+    }
+}
+
 /// Evaluates a constant expression (no column references).
-fn const_eval(e: &crate::ast::Expr, params: &[Value]) -> Result<Value> {
+fn const_eval(e: &Expr, params: &[Value]) -> Result<Value> {
     EvalCtx {
         layout: &ColumnLayout::empty(),
         row: &[],
@@ -178,127 +304,6 @@ fn rowid_upper_bound(v: &Value, inclusive: bool) -> RowidBound {
     }
 }
 
-/// Walks the rows selected by `access`, calling `f(rowid, row)` for each;
-/// `f` returns false to stop early (LIMIT without ORDER BY).
-fn visit_rows(
-    catalog: &Catalog,
-    txn: &Txn,
-    schema: &TableSchema,
-    access: &AccessPath,
-    params: &[Value],
-    f: &mut dyn FnMut(i64, Vec<Value>) -> Result<bool>,
-) -> Result<()> {
-    let table = catalog.engine().tree(schema.tree);
-    match access {
-        AccessPath::RowidPoint(e) => {
-            let v = const_eval(e, params)?;
-            let Some(rid) = value_to_rowid(&v) else {
-                return Ok(());
-            };
-            if let Some(bytes) = table.lookup(txn, &encode_rowid_key(rid))? {
-                f(rid, decode_row(&bytes)?)?;
-            }
-            Ok(())
-        }
-        AccessPath::RowidRange { lo, hi } => {
-            let lo_key = match lo {
-                None => None,
-                Some(b) => match rowid_lower_bound(&const_eval(&b.expr, params)?, b.inclusive) {
-                    RowidBound::Empty => return Ok(()),
-                    RowidBound::Unbounded => None,
-                    RowidBound::At(i) => Some(encode_rowid_key(i)),
-                },
-            };
-            let hi_key = match hi {
-                None => None,
-                Some(b) => match rowid_upper_bound(&const_eval(&b.expr, params)?, b.inclusive) {
-                    RowidBound::Empty => return Ok(()),
-                    RowidBound::Unbounded => None,
-                    RowidBound::At(i) => {
-                        // Inclusive end: the smallest key above rowid i.
-                        let mut k = encode_rowid_key(i);
-                        k.push(0);
-                        Some(k)
-                    }
-                },
-            };
-            scan_table(&table, txn, lo_key.as_deref(), hi_key.as_deref(), f)
-        }
-        AccessPath::IndexScan { index, eq, lo, hi } => {
-            let ix = &schema.indexes[*index];
-            let itree = catalog.engine().tree(ix.tree);
-            let mut prefix = Vec::new();
-            for e in eq {
-                let v = const_eval(e, params)?;
-                if v.is_null() {
-                    // Equality with NULL matches nothing.
-                    return Ok(());
-                }
-                encode_index_value(&mut prefix, &v);
-            }
-            let lo_key = match lo {
-                None => Some(prefix.clone()),
-                Some(b) => match index_lower_key(&prefix, b, params)? {
-                    Some(k) => Some(k),
-                    None => return Ok(()),
-                },
-            };
-            let hi_key = match hi {
-                None => prefix_upper_bound(&prefix),
-                Some(b) => match index_upper_key(&prefix, b, params)? {
-                    IndexUpper::Empty => return Ok(()),
-                    IndexUpper::Unbounded => prefix_upper_bound(&prefix),
-                    IndexUpper::Key(k) => Some(k),
-                },
-            };
-            let cursor = itree.scan(txn, lo_key.as_deref(), hi_key.as_deref())?;
-            for entry in cursor {
-                let (key, value) = entry?;
-                let rid = if value.is_empty() {
-                    decode_index_rowid(&key)?
-                } else {
-                    // Unique-index entry: the value is the rowid record.
-                    decode_row(&value)?
-                        .first()
-                        .and_then(value_to_rowid)
-                        .ok_or_else(|| {
-                            Error::Corruption(format!("bad unique index entry in {}", ix.name))
-                        })?
-                };
-                let row_bytes = table.lookup(txn, &encode_rowid_key(rid))?.ok_or_else(|| {
-                    Error::Corruption(format!(
-                        "index {} refers to missing rowid {rid} of table {}",
-                        ix.name, schema.name
-                    ))
-                })?;
-                if !f(rid, decode_row(&row_bytes)?)? {
-                    return Ok(());
-                }
-            }
-            Ok(())
-        }
-        AccessPath::FullScan => scan_table(&table, txn, None, None, f),
-    }
-}
-
-/// Scans the primary tree over `[lo, hi)`, decoding each row.
-fn scan_table(
-    table: &Dbt,
-    txn: &Txn,
-    lo: Option<&[u8]>,
-    hi: Option<&[u8]>,
-    f: &mut dyn FnMut(i64, Vec<Value>) -> Result<bool>,
-) -> Result<()> {
-    for entry in table.scan(txn, lo, hi)? {
-        let (key, value) = entry?;
-        let rid = decode_rowid_key(&key)?;
-        if !f(rid, decode_row(&value)?)? {
-            return Ok(());
-        }
-    }
-    Ok(())
-}
-
 /// Encoded start key for an index range lower bound; `None` = empty scan.
 fn index_lower_key(prefix: &[u8], b: &RangeBound, params: &[Value]) -> Result<Option<Vec<u8>>> {
     let v = const_eval(&b.expr, params)?;
@@ -343,110 +348,950 @@ fn index_upper_key(prefix: &[u8], b: &RangeBound, params: &[Value]) -> Result<In
     }
 }
 
-// ---------------------------------------------------------------------------
-// SELECT
-// ---------------------------------------------------------------------------
-
-fn exec_const_select(output: &[OutputCol], params: &[Value]) -> Result<ResultSet> {
-    let layout = ColumnLayout::empty();
-    let ctx = EvalCtx {
-        layout: &layout,
-        row: &[],
-        params,
-    };
-    let row: Vec<Value> = output
-        .iter()
-        .map(|o| ctx.eval(&o.expr))
-        .collect::<Result<_>>()?;
-    Ok(ResultSet {
-        columns: output.iter().map(|o| o.name.clone()).collect(),
-        rows: vec![row],
-        rows_affected: 0,
-        last_rowid: None,
-    })
+/// Resolved byte-key bounds of an index scan.  `None` = provably empty.
+struct IndexBounds {
+    /// Encoded equality prefix.
+    prefix: Vec<u8>,
+    /// Inclusive start key.
+    lo: Vec<u8>,
+    /// Exclusive end key; `None` = to the end of the tree.
+    hi: Option<Vec<u8>>,
 }
 
-fn exec_select(
-    catalog: &Catalog,
-    txn: &Txn,
-    p: &SelectPlan,
+/// Computes the byte-key bounds of an index scan from the plan's equality
+/// probes and range bounds.
+fn index_scan_bounds(
+    eq: &[Expr],
+    lo: &Option<RangeBound>,
+    hi: &Option<RangeBound>,
     params: &[Value],
-) -> Result<ResultSet> {
-    let layout = table_layout(&p.schema, &p.qualifier);
-    // Early exit is sound only when no later stage reorders or drops rows.
-    let early_budget = if p.order_by.is_empty() && !p.distinct {
-        p.limit.map(|l| l.saturating_add(p.offset.unwrap_or(0)))
-    } else {
-        None
+) -> Result<Option<IndexBounds>> {
+    let mut prefix = Vec::new();
+    for e in eq {
+        let v = const_eval(e, params)?;
+        if v.is_null() {
+            // Equality with NULL matches nothing.
+            return Ok(None);
+        }
+        encode_index_value(&mut prefix, &v);
+    }
+    let lo_key = match lo {
+        None => prefix.clone(),
+        Some(b) => match index_lower_key(&prefix, b, params)? {
+            Some(k) => k,
+            None => return Ok(None),
+        },
+    };
+    let hi_key = match hi {
+        None => prefix_upper_bound(&prefix),
+        Some(b) => match index_upper_key(&prefix, b, params)? {
+            IndexUpper::Empty => return Ok(None),
+            IndexUpper::Unbounded => prefix_upper_bound(&prefix),
+            IndexUpper::Key(k) => Some(k),
+        },
+    };
+    Ok(Some(IndexBounds {
+        prefix,
+        lo: lo_key,
+        hi: hi_key,
+    }))
+}
+
+/// Optional `[start, end)` byte keys of a rowid scan (`None` side =
+/// unbounded).
+type RowidKeys = (Option<Vec<u8>>, Option<Vec<u8>>);
+
+/// Resolved rowid-scan bounds.  `None` = provably empty.
+fn rowid_scan_bounds(
+    lo: &Option<RangeBound>,
+    hi: &Option<RangeBound>,
+    params: &[Value],
+) -> Result<Option<RowidKeys>> {
+    let lo_key = match lo {
+        None => None,
+        Some(b) => match rowid_lower_bound(&const_eval(&b.expr, params)?, b.inclusive) {
+            RowidBound::Empty => return Ok(None),
+            RowidBound::Unbounded => None,
+            RowidBound::At(i) => Some(encode_rowid_key(i)),
+        },
+    };
+    let hi_key = match hi {
+        None => None,
+        Some(b) => match rowid_upper_bound(&const_eval(&b.expr, params)?, b.inclusive) {
+            RowidBound::Empty => return Ok(None),
+            RowidBound::Unbounded => None,
+            RowidBound::At(i) => {
+                // Inclusive end: the smallest key above rowid i.
+                let mut k = encode_rowid_key(i);
+                k.push(0);
+                Some(k)
+            }
+        },
+    };
+    Ok(Some((lo_key, hi_key)))
+}
+
+// ---------------------------------------------------------------------------
+// Scan operator
+// ---------------------------------------------------------------------------
+
+/// How [`ScanOp`] reaches its entries.
+enum ScanKind {
+    /// Provably empty (NULL probe, contradictory bounds).
+    Empty,
+    /// One rowid point lookup, already performed at open.
+    Point(Option<(i64, Vec<Value>)>),
+    /// Bounded cursor over the primary tree.
+    Rowid(RawCursor),
+    /// Bounded cursor over an index tree.
+    Index {
+        /// The cursor over the entries.
+        cur: RawCursor,
+        /// Position of the index in the schema.
+        index: usize,
+        /// Decode rows from the entries instead of fetching them back.
+        covering: bool,
+    },
+}
+
+/// The leaf operator: walks the access path, reconstructs base rows, and
+/// applies the residual filter.  Yields `(rowid, row)` pairs through
+/// [`ScanOp::next_base`] (the DML shape) and plain rows through
+/// [`RowSource`].
+struct ScanOp {
+    schema: std::sync::Arc<TableSchema>,
+    /// Handle to the primary tree, resolved once at open (fetch-backs pay
+    /// one lookup per row; they should not also pay a handle construction).
+    table: Dbt,
+    kind: ScanKind,
+    filter: Option<std::sync::Arc<Expr>>,
+    layout: ColumnLayout,
+}
+
+impl ScanOp {
+    /// Opens the access path: evaluates bound expressions, seeks cursors,
+    /// performs the point lookup.  `covering` must only be set when the
+    /// plan proved coverage.
+    fn open(
+        cx: &ExecCtx<'_>,
+        schema: std::sync::Arc<TableSchema>,
+        layout: ColumnLayout,
+        access: &AccessPath,
+        filter: Option<std::sync::Arc<Expr>>,
+        covering: bool,
+    ) -> Result<ScanOp> {
+        let table = cx.catalog.engine().tree(schema.tree);
+        let kind = match access {
+            AccessPath::RowidPoint(e) => {
+                let v = const_eval(e, cx.params)?;
+                match value_to_rowid(&v) {
+                    None => ScanKind::Empty,
+                    Some(rid) => match table.lookup(cx.txn, &encode_rowid_key(rid))? {
+                        None => ScanKind::Empty,
+                        Some(bytes) => {
+                            cx.catalog.counters().rows_scanned.inc();
+                            ScanKind::Point(Some((rid, decode_row(&bytes)?)))
+                        }
+                    },
+                }
+            }
+            AccessPath::RowidRange { lo, hi } => match rowid_scan_bounds(lo, hi, cx.params)? {
+                None => ScanKind::Empty,
+                Some((lo_key, hi_key)) => {
+                    ScanKind::Rowid(table.scan_raw(cx.txn, lo_key.as_deref(), hi_key.as_deref())?)
+                }
+            },
+            AccessPath::FullScan => ScanKind::Rowid(table.scan_raw(cx.txn, None, None)?),
+            AccessPath::IndexScan { index, eq, lo, hi } => {
+                match index_scan_bounds(eq, lo, hi, cx.params)? {
+                    None => ScanKind::Empty,
+                    Some(b) => {
+                        let ix = &schema.indexes[*index];
+                        let itree = cx.catalog.engine().tree(ix.tree);
+                        if covering {
+                            cx.catalog.counters().covering_scans.inc();
+                        }
+                        ScanKind::Index {
+                            cur: itree.scan_raw(cx.txn, Some(&b.lo), b.hi.as_deref())?,
+                            index: *index,
+                            covering,
+                        }
+                    }
+                }
+            }
+        };
+        Ok(ScanOp {
+            schema,
+            table,
+            kind,
+            filter,
+            layout,
+        })
+    }
+
+    /// Pulls the next base row that passes the residual filter.
+    fn next_base(&mut self, cx: &ExecCtx<'_>) -> Result<Option<(i64, Vec<Value>)>> {
+        loop {
+            let counters = cx.catalog.counters();
+            let (rid, row) = match &mut self.kind {
+                ScanKind::Empty => return Ok(None),
+                ScanKind::Point(slot) => match slot.take() {
+                    None => return Ok(None),
+                    Some(pair) => pair,
+                },
+                ScanKind::Rowid(cur) => match cur.next_entry(cx.txn)? {
+                    None => return Ok(None),
+                    Some((key, value)) => {
+                        counters.rows_scanned.inc();
+                        (decode_rowid_key(&key)?, decode_row(&value)?)
+                    }
+                },
+                ScanKind::Index {
+                    cur,
+                    index,
+                    covering,
+                } => {
+                    let ix = &self.schema.indexes[*index];
+                    match cur.next_entry(cx.txn)? {
+                        None => return Ok(None),
+                        Some((key, value)) => {
+                            counters.rows_scanned.inc();
+                            if *covering {
+                                decode_covered_row(&self.schema, ix, &key, &value)?
+                            } else {
+                                let rid = if value.is_empty() {
+                                    decode_index_rowid(&key)?
+                                } else {
+                                    // Unique-index entry: the value is the
+                                    // rowid record.
+                                    decode_row(&value)?
+                                        .first()
+                                        .and_then(value_to_rowid)
+                                        .ok_or_else(|| {
+                                            Error::Corruption(format!(
+                                                "bad unique index entry in {}",
+                                                ix.name
+                                            ))
+                                        })?
+                                };
+                                counters.fetchbacks.inc();
+                                let row_bytes = self
+                                    .table
+                                    .lookup(cx.txn, &encode_rowid_key(rid))?
+                                    .ok_or_else(|| {
+                                        Error::Corruption(format!(
+                                            "index {} refers to missing rowid {rid} of table {}",
+                                            ix.name, self.schema.name
+                                        ))
+                                    })?;
+                                (rid, decode_row(&row_bytes)?)
+                            }
+                        }
+                    }
+                }
+            };
+            let keep = match &self.filter {
+                None => true,
+                Some(f) => EvalCtx {
+                    layout: &self.layout,
+                    row: &row,
+                    params: cx.params,
+                }
+                .eval(f.as_ref())?
+                .is_truthy(),
+            };
+            if keep {
+                return Ok(Some((rid, row)));
+            }
+        }
+    }
+}
+
+impl RowSource for ScanOp {
+    fn next_row(&mut self, cx: &ExecCtx<'_>) -> Result<Option<Vec<Value>>> {
+        Ok(self.next_base(cx)?.map(|(_, row)| row))
+    }
+}
+
+/// Reconstructs a base row from a covering-index entry: decoded indexed
+/// values at their column positions, the rowid at the rowid column, NULL in
+/// every slot the statement never reads.
+fn decode_covered_row(
+    schema: &TableSchema,
+    ix: &IndexInfo,
+    key: &[u8],
+    value: &[u8],
+) -> Result<(i64, Vec<Value>)> {
+    let types: Vec<ColumnType> = ix
+        .columns
+        .iter()
+        .map(|&c| schema.columns[c].ctype)
+        .collect();
+    let (vals, rid) = decode_index_entry(key, value, &types)?;
+    let mut row = vec![Value::Null; schema.columns.len()];
+    for (v, &c) in vals.into_iter().zip(&ix.columns) {
+        row[c] = v;
+    }
+    if let Some(rc) = schema.rowid_col {
+        row[rc] = Value::Int(rid);
+    }
+    Ok((rid, row))
+}
+
+// ---------------------------------------------------------------------------
+// Stateless / one-shot sources
+// ---------------------------------------------------------------------------
+
+/// Expression-only SELECT: one row of constant expressions.
+struct ConstOp {
+    exprs: Vec<Expr>,
+    done: bool,
+}
+
+impl RowSource for ConstOp {
+    fn next_row(&mut self, cx: &ExecCtx<'_>) -> Result<Option<Vec<Value>>> {
+        if self.done {
+            return Ok(None);
+        }
+        self.done = true;
+        let ctx = EvalCtx {
+            layout: &ColumnLayout::empty(),
+            row: &[],
+            params: cx.params,
+        };
+        let row: Vec<Value> = self
+            .exprs
+            .iter()
+            .map(|e| ctx.eval(e))
+            .collect::<Result<_>>()?;
+        Ok(Some(row))
+    }
+}
+
+/// A single precomputed row (EXPLAIN output, one-row MIN/MAX reads).
+struct OneRowOp {
+    row: Option<Vec<Value>>,
+}
+
+impl RowSource for OneRowOp {
+    fn next_row(&mut self, _cx: &ExecCtx<'_>) -> Result<Option<Vec<Value>>> {
+        Ok(self.row.take())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation
+// ---------------------------------------------------------------------------
+
+/// Running state of one aggregate within one group.
+enum AccState {
+    CountStar(i64),
+    Count(i64),
+    /// Integer sum until a non-integer input promotes it to real; `None`
+    /// while no non-NULL input has been seen.
+    Sum(Option<SumVal>),
+    Avg {
+        sum: f64,
+        n: i64,
+    },
+    Min(Option<Value>),
+    Max(Option<Value>),
+}
+
+enum SumVal {
+    Int(i64),
+    Real(f64),
+}
+
+impl AccState {
+    fn new(func: AggFunc) -> AccState {
+        match func {
+            AggFunc::CountStar => AccState::CountStar(0),
+            AggFunc::Count => AccState::Count(0),
+            AggFunc::Sum => AccState::Sum(None),
+            AggFunc::Avg => AccState::Avg { sum: 0.0, n: 0 },
+            AggFunc::Min => AccState::Min(None),
+            AggFunc::Max => AccState::Max(None),
+        }
+    }
+
+    /// Folds one input value in (`None` only for `COUNT(*)`).
+    fn update(&mut self, v: Option<Value>) -> Result<()> {
+        match self {
+            AccState::CountStar(n) => *n += 1,
+            AccState::Count(n) => {
+                if matches!(v, Some(ref x) if !x.is_null()) {
+                    *n += 1;
+                }
+            }
+            AccState::Sum(state) => {
+                let Some(v) = v else { return Ok(()) };
+                if v.is_null() {
+                    return Ok(());
+                }
+                let next = match (state.take(), &v) {
+                    (None, Value::Int(i)) => SumVal::Int(*i),
+                    (Some(SumVal::Int(a)), Value::Int(b)) => SumVal::Int(
+                        a.checked_add(*b)
+                            .ok_or_else(|| Error::Type("integer overflow in SUM()".into()))?,
+                    ),
+                    // A non-integer input promotes the whole sum to real
+                    // (text coerces numerically, like SQLite; non-numeric
+                    // text counts as 0).
+                    (prev, other) => {
+                        let acc = match prev {
+                            None => 0.0,
+                            Some(SumVal::Int(a)) => a as f64,
+                            Some(SumVal::Real(a)) => a,
+                        };
+                        SumVal::Real(acc + other.as_real().unwrap_or(0.0))
+                    }
+                };
+                *state = Some(next);
+            }
+            AccState::Avg { sum, n } => {
+                if let Some(v) = v {
+                    if !v.is_null() {
+                        *sum += v.as_real().unwrap_or(0.0);
+                        *n += 1;
+                    }
+                }
+            }
+            AccState::Min(best) => {
+                if let Some(v) = v {
+                    if !v.is_null()
+                        && best
+                            .as_ref()
+                            .map(|b| v.sort_cmp(b) == Ordering::Less)
+                            .unwrap_or(true)
+                    {
+                        *best = Some(v);
+                    }
+                }
+            }
+            AccState::Max(best) => {
+                if let Some(v) = v {
+                    if !v.is_null()
+                        && best
+                            .as_ref()
+                            .map(|b| v.sort_cmp(b) == Ordering::Greater)
+                            .unwrap_or(true)
+                    {
+                        *best = Some(v);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Final value of the aggregate for its group.
+    fn finish(self) -> Value {
+        match self {
+            AccState::CountStar(n) | AccState::Count(n) => Value::Int(n),
+            AccState::Sum(None) => Value::Null,
+            AccState::Sum(Some(SumVal::Int(i))) => Value::Int(i),
+            AccState::Sum(Some(SumVal::Real(r))) => Value::Real(r),
+            AccState::Avg { n: 0, .. } => Value::Null,
+            AccState::Avg { sum, n } => Value::Real(sum / n as f64),
+            AccState::Min(best) | AccState::Max(best) => best.unwrap_or(Value::Null),
+        }
+    }
+}
+
+/// Groups its input and folds the aggregates, yielding one row per group in
+/// the layout `[group key values…, aggregate results…]`.
+///
+/// In **stream** mode (group keys are a prefix of the scan order) only one
+/// group's state is live at a time and each group row is emitted the moment
+/// the key changes — an early-exiting consumer stops the scan after the
+/// groups it needs.  In **hash** mode the whole input is drained into a map
+/// keyed by the order-preserving encoding of the group key (so groups with
+/// SQL-equal keys — `2` and `2.0` — merge, and output order is
+/// deterministic: group-key order).
+struct AggregateOp {
+    input: Box<dyn RowSource + Send>,
+    layout: ColumnLayout,
+    plan: std::sync::Arc<AggregatePlan>,
+    hash: bool,
+    // Stream state.
+    cur: Option<(Vec<Value>, Vec<AccState>)>,
+    emitted_any: bool,
+    input_done: bool,
+    // Hash state.
+    drained: Option<std::collections::btree_map::IntoIter<Vec<u8>, Group>>,
+}
+
+/// One group under accumulation: its key values and aggregate states.
+type Group = (Vec<Value>, Vec<AccState>);
+
+impl AggregateOp {
+    fn new(
+        input: Box<dyn RowSource + Send>,
+        layout: ColumnLayout,
+        plan: std::sync::Arc<AggregatePlan>,
+    ) -> AggregateOp {
+        AggregateOp {
+            input,
+            layout,
+            hash: plan.strategy == AggStrategy::Hash,
+            plan,
+            cur: None,
+            emitted_any: false,
+            input_done: false,
+            drained: None,
+        }
+    }
+
+    fn fresh_accs(&self) -> Vec<AccState> {
+        self.plan
+            .aggs
+            .iter()
+            .map(|a| AccState::new(a.func))
+            .collect()
+    }
+
+    fn eval_keys(&self, row: &[Value], params: &[Value]) -> Result<Vec<Value>> {
+        let ctx = EvalCtx {
+            layout: &self.layout,
+            row,
+            params,
+        };
+        self.plan.group_by.iter().map(|g| ctx.eval(g)).collect()
+    }
+
+    fn accumulate(&self, accs: &mut [AccState], row: &[Value], params: &[Value]) -> Result<()> {
+        let ctx = EvalCtx {
+            layout: &self.layout,
+            row,
+            params,
+        };
+        for (acc, spec) in accs.iter_mut().zip(&self.plan.aggs) {
+            let v = match &spec.arg {
+                None => None,
+                Some(e) => Some(ctx.eval(e)?),
+            };
+            acc.update(v)?;
+        }
+        Ok(())
+    }
+
+    fn finish_group(keys: Vec<Value>, accs: Vec<AccState>) -> Vec<Value> {
+        let mut row = keys;
+        row.extend(accs.into_iter().map(AccState::finish));
+        row
+    }
+
+    fn next_stream(&mut self, cx: &ExecCtx<'_>) -> Result<Option<Vec<Value>>> {
+        loop {
+            if self.input_done {
+                if let Some((keys, accs)) = self.cur.take() {
+                    self.emitted_any = true;
+                    return Ok(Some(Self::finish_group(keys, accs)));
+                }
+                // Zero input rows without GROUP BY still yields one row of
+                // defaults (COUNT = 0, SUM = NULL, ...).
+                if self.plan.group_by.is_empty() && !self.emitted_any {
+                    self.emitted_any = true;
+                    return Ok(Some(Self::finish_group(vec![], self.fresh_accs())));
+                }
+                return Ok(None);
+            }
+            match self.input.next_row(cx)? {
+                None => {
+                    self.input_done = true;
+                }
+                Some(row) => {
+                    let keys = self.eval_keys(&row, cx.params)?;
+                    let same = match &self.cur {
+                        Some((ck, _)) => ck
+                            .iter()
+                            .zip(&keys)
+                            .all(|(a, b)| a.sort_cmp(b) == Ordering::Equal),
+                        None => false,
+                    };
+                    if same || self.cur.is_none() {
+                        let (group_keys, mut accs) = match self.cur.take() {
+                            Some(x) => x,
+                            None => (keys, self.fresh_accs()),
+                        };
+                        self.accumulate(&mut accs, &row, cx.params)?;
+                        self.cur = Some((group_keys, accs));
+                    } else {
+                        // Key change: emit the finished group, start the new
+                        // one with this row.
+                        let mut accs = self.fresh_accs();
+                        self.accumulate(&mut accs, &row, cx.params)?;
+                        let done = self.cur.replace((keys, accs)).expect("checked");
+                        self.emitted_any = true;
+                        return Ok(Some(Self::finish_group(done.0, done.1)));
+                    }
+                }
+            }
+        }
+    }
+
+    fn next_hash(&mut self, cx: &ExecCtx<'_>) -> Result<Option<Vec<Value>>> {
+        if self.drained.is_none() {
+            let mut groups: BTreeMap<Vec<u8>, Group> = BTreeMap::new();
+            while let Some(row) = self.input.next_row(cx)? {
+                let keys = self.eval_keys(&row, cx.params)?;
+                let mut enc = Vec::with_capacity(keys.len() * 10);
+                for k in &keys {
+                    encode_index_value(&mut enc, k);
+                }
+                // `groups` is local, so the entry borrow and the `&self` of
+                // accumulate() do not conflict; fresh state is built only
+                // when the group is first seen.
+                let entry = groups
+                    .entry(enc)
+                    .or_insert_with(|| (keys, self.fresh_accs()));
+                self.accumulate(&mut entry.1, &row, cx.params)?;
+            }
+            self.drained = Some(groups.into_iter());
+        }
+        Ok(self
+            .drained
+            .as_mut()
+            .expect("set above")
+            .next()
+            .map(|(_, (keys, accs))| Self::finish_group(keys, accs)))
+    }
+}
+
+impl RowSource for AggregateOp {
+    fn next_row(&mut self, cx: &ExecCtx<'_>) -> Result<Option<Vec<Value>>> {
+        if self.hash {
+            self.next_hash(cx)
+        } else {
+            self.next_stream(cx)
+        }
+    }
+}
+
+/// Opens the one-row bounded MIN/MAX read: the first entry of the scanned
+/// range for MIN (NULL entries skipped by key), a reverse fence descent
+/// ([`Dbt::seek_last`]) for MAX.  Returns the post-aggregation row `[value]`.
+fn open_minmax(cx: &ExecCtx<'_>, p: &SelectPlan, agg: &AggregatePlan) -> Result<Vec<Value>> {
+    let is_max = agg.aggs[0].func == AggFunc::Max;
+    let counters = cx.catalog.counters();
+    match &p.access {
+        AccessPath::IndexScan { index, eq, lo, hi } => {
+            let ix = &p.schema.indexes[*index];
+            let itree = cx.catalog.engine().tree(ix.tree);
+            let Some(bounds) = index_scan_bounds(eq, lo, hi, cx.params)? else {
+                return Ok(vec![Value::Null]);
+            };
+            // MIN/MAX ignore NULLs; NULL entries sort first, so the floor
+            // skips them and a MAX landing on one means all entries were
+            // NULL (in which case NULL is the correct answer anyway).
+            let lo_key = if lo.is_none() {
+                index_nonnull_floor(&bounds.prefix)
+            } else {
+                bounds.lo.clone()
+            };
+            counters.covering_scans.inc();
+            let entry = if is_max {
+                match itree.seek_last(cx.txn, bounds.hi.as_deref())? {
+                    Some((k, v)) if k.as_ref() >= lo_key.as_slice() => Some((k, v)),
+                    _ => None,
+                }
+            } else {
+                itree
+                    .scan_raw(cx.txn, Some(&lo_key), bounds.hi.as_deref())?
+                    .next_entry(cx.txn)?
+            };
+            match entry {
+                None => Ok(vec![Value::Null]),
+                Some((key, value)) => {
+                    counters.rows_scanned.inc();
+                    let (_, row) = decode_covered_row(&p.schema, ix, &key, &value)?;
+                    Ok(vec![row[ix.columns[eq.len()]].clone()])
+                }
+            }
+        }
+        AccessPath::RowidRange { .. } | AccessPath::FullScan => {
+            // MIN/MAX of the rowid itself: the edge of the primary tree.
+            let (lo, hi) = match &p.access {
+                AccessPath::RowidRange { lo, hi } => (lo.clone(), hi.clone()),
+                _ => (None, None),
+            };
+            let table = cx.catalog.engine().tree(p.schema.tree);
+            let Some((lo_key, hi_key)) = rowid_scan_bounds(&lo, &hi, cx.params)? else {
+                return Ok(vec![Value::Null]);
+            };
+            let entry = if is_max {
+                match table.seek_last(cx.txn, hi_key.as_deref())? {
+                    Some((k, v)) if lo_key.as_deref().map(|l| k.as_ref() >= l).unwrap_or(true) => {
+                        Some((k, v))
+                    }
+                    _ => None,
+                }
+            } else {
+                table
+                    .scan_raw(cx.txn, lo_key.as_deref(), hi_key.as_deref())?
+                    .next_entry(cx.txn)?
+            };
+            match entry {
+                None => Ok(vec![Value::Null]),
+                Some((key, _)) => {
+                    counters.rows_scanned.inc();
+                    Ok(vec![Value::Int(decode_rowid_key(&key)?)])
+                }
+            }
+        }
+        _ => Err(Error::Internal(
+            "minmax aggregate over an unsupported access path".into(),
+        )),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Projection / sort / distinct / limit operators
+// ---------------------------------------------------------------------------
+
+/// Computes the output expressions (and, when a sort follows, appends the
+/// evaluated sort keys after the output columns).  Holds the plan's shared
+/// projection and ORDER BY lists by reference count.
+struct ProjectOp {
+    input: Box<dyn RowSource + Send>,
+    layout: ColumnLayout,
+    output: std::sync::Arc<Vec<OutputCol>>,
+    order: std::sync::Arc<Vec<OrderSpec>>,
+    with_keys: bool,
+}
+
+impl RowSource for ProjectOp {
+    fn next_row(&mut self, cx: &ExecCtx<'_>) -> Result<Option<Vec<Value>>> {
+        let Some(row) = self.input.next_row(cx)? else {
+            return Ok(None);
+        };
+        let ctx = EvalCtx {
+            layout: &self.layout,
+            row: &row,
+            params: cx.params,
+        };
+        let mut out: Vec<Value> = self
+            .output
+            .iter()
+            .map(|o| ctx.eval(&o.expr))
+            .collect::<Result<_>>()?;
+        if self.with_keys {
+            for spec in self.order.iter() {
+                let v = match &spec.target {
+                    OrderTarget::Output(i) => out[*i].clone(),
+                    OrderTarget::Expr(e) => ctx.eval(e)?,
+                };
+                out.push(v);
+            }
+        }
+        Ok(Some(out))
+    }
+}
+
+/// Materialises its input and emits it sorted by the key slots appended by
+/// [`ProjectOp`] (only present in plans whose scan order does not already
+/// satisfy the ORDER BY).
+struct SortOp {
+    input: Box<dyn RowSource + Send>,
+    key_start: usize,
+    desc: Vec<bool>,
+    sorted: Option<std::vec::IntoIter<Vec<Value>>>,
+}
+
+impl RowSource for SortOp {
+    fn next_row(&mut self, cx: &ExecCtx<'_>) -> Result<Option<Vec<Value>>> {
+        if self.sorted.is_none() {
+            let mut rows = Vec::new();
+            while let Some(r) = self.input.next_row(cx)? {
+                rows.push(r);
+            }
+            let key_start = self.key_start;
+            let desc = self.desc.clone();
+            rows.sort_by(|a, b| {
+                for (i, d) in desc.iter().enumerate() {
+                    let ord = a[key_start + i].sort_cmp(&b[key_start + i]);
+                    let ord = if *d { ord.reverse() } else { ord };
+                    if ord != Ordering::Equal {
+                        return ord;
+                    }
+                }
+                Ordering::Equal
+            });
+            self.sorted = Some(rows.into_iter());
+        }
+        Ok(self.sorted.as_mut().expect("set above").next())
+    }
+}
+
+/// Truncates rows back to the output width (drops the sort-key suffix).
+struct TrimOp {
+    input: Box<dyn RowSource + Send>,
+    keep: usize,
+}
+
+impl RowSource for TrimOp {
+    fn next_row(&mut self, cx: &ExecCtx<'_>) -> Result<Option<Vec<Value>>> {
+        Ok(self.input.next_row(cx)?.map(|mut r| {
+            r.truncate(self.keep);
+            r
+        }))
+    }
+}
+
+/// Streaming DISTINCT: drops rows whose output values were already seen,
+/// preserving input order.  Values are compared by their order-preserving
+/// encoding, so SQL-equal numerics (`2`, `2.0`) deduplicate and NULLs are
+/// one value, as in SQLite.
+struct DistinctOp {
+    input: Box<dyn RowSource + Send>,
+    seen: HashSet<Vec<u8>>,
+}
+
+impl RowSource for DistinctOp {
+    fn next_row(&mut self, cx: &ExecCtx<'_>) -> Result<Option<Vec<Value>>> {
+        while let Some(row) = self.input.next_row(cx)? {
+            let mut enc = Vec::with_capacity(row.len() * 10);
+            for v in &row {
+                encode_index_value(&mut enc, v);
+            }
+            if self.seen.insert(enc) {
+                return Ok(Some(row));
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// OFFSET/LIMIT: skips, then yields at most `take` rows — and never pulls
+/// the row after the last one, which is what makes bounded ordered scans
+/// read `limit + offset` entries and stop.
+struct OffsetLimitOp {
+    input: Box<dyn RowSource + Send>,
+    skip: u64,
+    take: Option<u64>,
+    yielded: u64,
+    done: bool,
+}
+
+impl RowSource for OffsetLimitOp {
+    fn next_row(&mut self, cx: &ExecCtx<'_>) -> Result<Option<Vec<Value>>> {
+        if self.done {
+            return Ok(None);
+        }
+        if let Some(t) = self.take {
+            if self.yielded >= t {
+                self.done = true;
+                return Ok(None);
+            }
+        }
+        while self.skip > 0 {
+            if self.input.next_row(cx)?.is_none() {
+                self.done = true;
+                return Ok(None);
+            }
+            self.skip -= 1;
+        }
+        match self.input.next_row(cx)? {
+            Some(r) => {
+                self.yielded += 1;
+                Ok(Some(r))
+            }
+            None => {
+                self.done = true;
+                Ok(None)
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SELECT pipeline assembly
+// ---------------------------------------------------------------------------
+
+/// Assembles the operator stack of a SELECT (see the module diagram).
+fn open_select(cx: &ExecCtx<'_>, p: &SelectPlan) -> Result<RowStream> {
+    // Source: scan (+ aggregation), or the one-row MIN/MAX read.
+    let (src, proj_layout): (Box<dyn RowSource + Send>, ColumnLayout) = match &p.aggregate {
+        Some(agg) if agg.strategy == AggStrategy::MinMax => (
+            Box::new(OneRowOp {
+                row: Some(open_minmax(cx, p, agg)?),
+            }),
+            ColumnLayout::empty(),
+        ),
+        Some(agg) => {
+            let scan = ScanOp::open(
+                cx,
+                std::sync::Arc::clone(&p.schema),
+                p.layout.clone(),
+                &p.access,
+                p.filter.clone(),
+                p.covering,
+            )?;
+            (
+                Box::new(AggregateOp::new(
+                    Box::new(scan),
+                    p.layout.clone(),
+                    std::sync::Arc::clone(agg),
+                )),
+                // Aggregate-query expressions are Slot-based; no names to
+                // resolve.
+                ColumnLayout::empty(),
+            )
+        }
+        None => {
+            let scan = ScanOp::open(
+                cx,
+                std::sync::Arc::clone(&p.schema),
+                p.layout.clone(),
+                &p.access,
+                p.filter.clone(),
+                p.covering,
+            )?;
+            (Box::new(scan), p.layout.clone())
+        }
     };
 
-    let mut rows: Vec<(Vec<Value>, Vec<Value>)> = Vec::new();
-    visit_rows(
-        catalog,
-        txn,
-        &p.schema,
-        &p.access,
-        params,
-        &mut |_rid, row| {
-            let ctx = EvalCtx {
-                layout: &layout,
-                row: &row,
-                params,
-            };
-            if let Some(filter) = &p.filter {
-                if !ctx.eval(filter)?.is_truthy() {
-                    return Ok(true);
-                }
-            }
-            let out: Vec<Value> = p
-                .output
-                .iter()
-                .map(|o| ctx.eval(&o.expr))
-                .collect::<Result<_>>()?;
-            let keys: Vec<Value> = p
-                .order_by
-                .iter()
-                .map(|s| match &s.target {
-                    OrderTarget::Output(i) => Ok(out[*i].clone()),
-                    OrderTarget::Expr(e) => ctx.eval(e),
-                })
-                .collect::<Result<_>>()?;
-            rows.push((keys, out));
-            Ok(early_budget
-                .map(|b| (rows.len() as u64) < b)
-                .unwrap_or(true))
-        },
-    )?;
+    // Projection (+ sort keys when the sort survives).
+    let n_out = p.output.len();
+    let mut src: Box<dyn RowSource + Send> = Box::new(ProjectOp {
+        input: src,
+        layout: proj_layout,
+        output: std::sync::Arc::clone(&p.output),
+        order: std::sync::Arc::clone(&p.order_by),
+        with_keys: p.sort_needed,
+    });
 
-    if !p.order_by.is_empty() {
-        rows.sort_by(|a, b| {
-            for (i, spec) in p.order_by.iter().enumerate() {
-                let ord = a.0[i].sort_cmp(&b.0[i]);
-                let ord = if spec.desc { ord.reverse() } else { ord };
-                if ord != Ordering::Equal {
-                    return ord;
-                }
-            }
-            Ordering::Equal
+    if p.sort_needed {
+        src = Box::new(TrimOp {
+            input: Box::new(SortOp {
+                input: src,
+                key_start: n_out,
+                desc: p.order_by.iter().map(|s| s.desc).collect(),
+                sorted: None,
+            }),
+            keep: n_out,
+        });
+    }
+    if p.distinct {
+        src = Box::new(DistinctOp {
+            input: src,
+            seen: HashSet::new(),
+        });
+    }
+    if p.limit.is_some() || p.offset.is_some() {
+        src = Box::new(OffsetLimitOp {
+            input: src,
+            skip: p.offset.unwrap_or(0),
+            take: p.limit,
+            yielded: 0,
+            done: false,
         });
     }
 
-    let mut out_rows: Vec<Vec<Value>> = rows.into_iter().map(|(_, o)| o).collect();
-    if p.distinct {
-        let mut seen = HashSet::new();
-        out_rows.retain(|r| seen.insert(encode_row(r)));
-    }
-    let offset = p.offset.unwrap_or(0) as usize;
-    let mut out_rows: Vec<Vec<Value>> = out_rows.into_iter().skip(offset).collect();
-    if let Some(limit) = p.limit {
-        out_rows.truncate(limit as usize);
-    }
-
-    Ok(ResultSet {
+    Ok(RowStream {
         columns: p.output.iter().map(|o| o.name.clone()).collect(),
-        rows: out_rows,
-        rows_affected: 0,
-        last_rowid: None,
+        src,
     })
 }
 
@@ -561,28 +1406,30 @@ fn assign_rowid(
     }
 }
 
-fn exec_insert(
-    catalog: &Catalog,
-    txn: &Txn,
-    p: &InsertPlan,
-    params: &[Value],
-) -> Result<ResultSet> {
+fn exec_insert(cx: &ExecCtx<'_>, p: &InsertPlan) -> Result<ResultSet> {
     let schema = &p.schema;
-    let table = catalog.engine().tree(schema.tree);
+    let table = cx.catalog.engine().tree(schema.tree);
     let mut affected = 0u64;
     let mut last_rowid = None;
     for value_exprs in &p.rows {
         let mut row = vec![Value::Null; schema.columns.len()];
         for (i, e) in value_exprs.iter().enumerate() {
             let col = p.columns[i];
-            row[col] = const_eval(e, params)?.coerce(schema.columns[col].ctype);
+            row[col] = const_eval(e, cx.params)?.coerce(schema.columns[col].ctype);
         }
-        let rid = assign_rowid(catalog, txn, schema, &table, &mut row)?;
+        let rid = assign_rowid(cx.catalog, cx.txn, schema, &table, &mut row)?;
         check_not_null(schema, &row)?;
-        table.insert(txn, &encode_rowid_key(rid), &encode_row(&row))?;
+        table.insert(cx.txn, &encode_rowid_key(rid), &encode_row(&row))?;
         for ix in &schema.indexes {
-            let itree = catalog.engine().tree(ix.tree);
-            insert_index_entry(&itree, txn, ix, &schema.name, &index_values(ix, &row), rid)?;
+            let itree = cx.catalog.engine().tree(ix.tree);
+            insert_index_entry(
+                &itree,
+                cx.txn,
+                ix,
+                &schema.name,
+                &index_values(ix, &row),
+                rid,
+            )?;
         }
         affected += 1;
         last_rowid = Some(rid);
@@ -599,56 +1446,33 @@ fn exec_insert(
 /// the mutation phase from racing the scan that feeds it (the scan would
 /// otherwise observe the statement's own writes through the transaction's
 /// buffer — the Halloween problem).
-fn collect_matches(
-    catalog: &Catalog,
-    txn: &Txn,
-    target: &DmlTarget,
-    params: &[Value],
-) -> Result<Vec<(i64, Vec<Value>)>> {
-    let layout = table_layout(&target.schema, &target.schema.name);
-    let mut matches = Vec::new();
-    visit_rows(
-        catalog,
-        txn,
-        &target.schema,
+fn collect_matches(cx: &ExecCtx<'_>, target: &DmlTarget) -> Result<Vec<(i64, Vec<Value>)>> {
+    let mut scan = ScanOp::open(
+        cx,
+        std::sync::Arc::clone(&target.schema),
+        target.layout.clone(),
         &target.access,
-        params,
-        &mut |rid, row| {
-            let keep = match &target.filter {
-                None => true,
-                Some(f) => EvalCtx {
-                    layout: &layout,
-                    row: &row,
-                    params,
-                }
-                .eval(f)?
-                .is_truthy(),
-            };
-            if keep {
-                matches.push((rid, row));
-            }
-            Ok(true)
-        },
+        target.filter.clone(),
+        false,
     )?;
+    let mut matches = Vec::new();
+    while let Some(m) = scan.next_base(cx)? {
+        matches.push(m);
+    }
     Ok(matches)
 }
 
-fn exec_update(
-    catalog: &Catalog,
-    txn: &Txn,
-    p: &crate::plan::UpdatePlan,
-    params: &[Value],
-) -> Result<ResultSet> {
+fn exec_update(cx: &ExecCtx<'_>, p: &crate::plan::UpdatePlan) -> Result<ResultSet> {
     let schema = &p.target.schema;
-    let table = catalog.engine().tree(schema.tree);
-    let layout = table_layout(schema, &schema.name);
-    let matches = collect_matches(catalog, txn, &p.target, params)?;
+    let table = cx.catalog.engine().tree(schema.tree);
+    let layout = p.target.layout.clone();
+    let matches = collect_matches(cx, &p.target)?;
     let mut affected = 0u64;
     for (rid, old_row) in matches {
         let ctx = EvalCtx {
             layout: &layout,
             row: &old_row,
-            params,
+            params: cx.params,
         };
         let mut new_row = old_row.clone();
         for (pos, e) in &p.assignments {
@@ -664,14 +1488,14 @@ fn exec_update(
         check_not_null(schema, &new_row)?;
 
         if new_rid != rid {
-            if table.lookup(txn, &encode_rowid_key(new_rid))?.is_some() {
+            if table.lookup(cx.txn, &encode_rowid_key(new_rid))?.is_some() {
                 return Err(Error::Constraint(format!(
                     "UNIQUE constraint failed: {}.{}",
                     schema.name,
                     schema.columns[schema.rowid_col.expect("rowid change")].name
                 )));
             }
-            table.delete(txn, &encode_rowid_key(rid))?;
+            table.delete(cx.txn, &encode_rowid_key(rid))?;
         }
         for ix in &schema.indexes {
             let old_vals = index_values(ix, &old_row);
@@ -679,11 +1503,11 @@ fn exec_update(
             if old_vals == new_vals && new_rid == rid {
                 continue;
             }
-            let itree = catalog.engine().tree(ix.tree);
-            delete_index_entry(&itree, txn, ix, &old_vals, rid)?;
-            insert_index_entry(&itree, txn, ix, &schema.name, &new_vals, new_rid)?;
+            let itree = cx.catalog.engine().tree(ix.tree);
+            delete_index_entry(&itree, cx.txn, ix, &old_vals, rid)?;
+            insert_index_entry(&itree, cx.txn, ix, &schema.name, &new_vals, new_rid)?;
         }
-        table.insert(txn, &encode_rowid_key(new_rid), &encode_row(&new_row))?;
+        table.insert(cx.txn, &encode_rowid_key(new_rid), &encode_row(&new_row))?;
         affected += 1;
     }
     Ok(ResultSet {
@@ -692,22 +1516,17 @@ fn exec_update(
     })
 }
 
-fn exec_delete(
-    catalog: &Catalog,
-    txn: &Txn,
-    p: &crate::plan::DeletePlan,
-    params: &[Value],
-) -> Result<ResultSet> {
+fn exec_delete(cx: &ExecCtx<'_>, p: &crate::plan::DeletePlan) -> Result<ResultSet> {
     let schema = &p.target.schema;
-    let table = catalog.engine().tree(schema.tree);
-    let matches = collect_matches(catalog, txn, &p.target, params)?;
+    let table = cx.catalog.engine().tree(schema.tree);
+    let matches = collect_matches(cx, &p.target)?;
     let mut affected = 0u64;
     for (rid, row) in matches {
         for ix in &schema.indexes {
-            let itree = catalog.engine().tree(ix.tree);
-            delete_index_entry(&itree, txn, ix, &index_values(ix, &row), rid)?;
+            let itree = cx.catalog.engine().tree(ix.tree);
+            delete_index_entry(&itree, cx.txn, ix, &index_values(ix, &row), rid)?;
         }
-        table.delete(txn, &encode_rowid_key(rid))?;
+        table.delete(cx.txn, &encode_rowid_key(rid))?;
         affected += 1;
     }
     Ok(ResultSet {

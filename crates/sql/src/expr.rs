@@ -1,6 +1,7 @@
 //! Expression evaluation.
 
 use std::cmp::Ordering;
+use std::sync::Arc;
 
 use yesquel_common::{Error, Result};
 
@@ -9,25 +10,33 @@ use crate::types::Value;
 
 /// The columns visible to an expression: `(table alias or name, column
 /// name)` for each slot of the current row.
+///
+/// The slot list is behind an `Arc`: layouts are built once at plan time
+/// and cloned into every operator of every execution, so a clone must be a
+/// reference-count bump, not a re-allocation of all the name strings.
 #[derive(Debug, Clone, Default)]
 pub struct ColumnLayout {
-    cols: Vec<(Option<String>, String)>,
+    cols: Arc<Vec<(Option<String>, String)>>,
 }
 
 impl ColumnLayout {
     /// Creates an empty layout (expression-only SELECTs).
     pub fn empty() -> Self {
-        ColumnLayout { cols: Vec::new() }
+        ColumnLayout {
+            cols: Arc::new(Vec::new()),
+        }
     }
 
     /// Creates a layout from `(qualifier, name)` pairs.
     pub fn new(cols: Vec<(Option<String>, String)>) -> Self {
-        ColumnLayout { cols }
+        ColumnLayout {
+            cols: Arc::new(cols),
+        }
     }
 
     /// Appends another layout (used when joining tables).
     pub fn extend(&mut self, other: &ColumnLayout) {
-        self.cols.extend(other.cols.iter().cloned());
+        Arc::make_mut(&mut self.cols).extend(other.cols.iter().cloned());
     }
 
     /// Number of slots.
@@ -91,6 +100,7 @@ impl EvalCtx<'_> {
                 let idx = self.layout.resolve(table.as_deref(), name)?;
                 Ok(self.row.get(idx).cloned().unwrap_or(Value::Null))
             }
+            Expr::Slot(i) => Ok(self.row.get(*i).cloned().unwrap_or(Value::Null)),
             Expr::Neg(e) => {
                 let v = self.eval(e)?;
                 if v.is_null() {

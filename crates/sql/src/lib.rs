@@ -25,9 +25,9 @@ pub mod token;
 pub mod types;
 
 pub use ast::Statement;
-pub use catalog::Catalog;
-pub use exec::{execute, execute_plan, ResultSet};
+pub use catalog::{Catalog, SqlCounters};
+pub use exec::{execute, execute_plan, open_stream, ExecCtx, ResultSet, RowSource, RowStream};
 pub use parser::{parse, parse_script};
-pub use plan::{plan_statement, AccessPath, Plan};
+pub use plan::{plan_statement, AccessPath, AggFunc, AggStrategy, Plan};
 pub use token::tokenize;
 pub use types::{ColumnType, Value};

@@ -111,6 +111,11 @@ impl Parser {
             .cloned()
             .ok_or_else(|| Error::Parse("empty statement".into()))?;
         match &first {
+            t if t.is_kw("explain") => {
+                self.bump();
+                let inner = self.parse_statement()?;
+                Ok(Statement::Explain(Box::new(inner)))
+            }
             t if t.is_kw("create") => self.parse_create(),
             t if t.is_kw("drop") => self.parse_drop(),
             t if t.is_kw("insert") => self.parse_insert(),

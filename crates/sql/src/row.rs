@@ -9,11 +9,12 @@
 //!   unique indexes the rowid is the entry's value instead.
 
 use yesquel_common::encoding::{
-    order_encode_bytes, order_encode_f64, order_encode_i64, Reader, Writer,
+    order_decode_bytes, order_decode_f64, order_encode_bytes, order_encode_f64, order_encode_i64,
+    Reader, Writer,
 };
 use yesquel_common::{Error, Result};
 
-use crate::types::Value;
+use crate::types::{ColumnType, Value};
 
 // Value tags in the row encoding.
 const T_NULL: u8 = 0;
@@ -158,10 +159,94 @@ pub fn decode_index_rowid(key: &[u8]) -> Result<i64> {
     yesquel_common::encoding::order_decode_i64(&key[key.len() - 8..])
 }
 
+/// Decodes an index entry back into its column values and rowid, given the
+/// *declared* types of the indexed columns — the covering-index read path,
+/// which reconstructs rows from index entries without touching the primary
+/// tree.
+///
+/// The key encoding collapses integers and reals into one order-preserving
+/// f64 class, so a `K_NUM` payload alone cannot name its storage class; the
+/// declared type disambiguates using the storage coercion invariants
+/// (`Value::coerce`): an INTEGER column never stores an integral `Real`
+/// (coerced to `Int` on write), a REAL column never stores an `Int`, and a
+/// TEXT column never stores a numeric at all.  The planner refuses coverage
+/// for BLOB-declared columns, where no such invariant holds.  Like the key
+/// encoding itself, integers beyond ±2^53 round through f64.
+///
+/// The rowid comes from the key's suffix when present (non-unique entries,
+/// and unique entries containing NULL) and from the entry's value otherwise.
+pub fn decode_index_entry(
+    key: &[u8],
+    value: &[u8],
+    types: &[ColumnType],
+) -> Result<(Vec<Value>, i64)> {
+    let mut vals = Vec::with_capacity(types.len());
+    let mut at = 0usize;
+    for ty in types {
+        let tag = *key
+            .get(at)
+            .ok_or_else(|| Error::Corruption("truncated index entry key".into()))?;
+        at += 1;
+        let v = match tag {
+            K_NULL => Value::Null,
+            K_NUM => {
+                let f = order_decode_f64(&key[at..])?;
+                at += 8;
+                if *ty == ColumnType::Integer
+                    && f.fract() == 0.0
+                    && f >= i64::MIN as f64
+                    && f <= i64::MAX as f64
+                {
+                    Value::Int(f as i64)
+                } else {
+                    Value::Real(f)
+                }
+            }
+            K_TEXT => {
+                let (bytes, used) = order_decode_bytes(&key[at..])?;
+                at += used;
+                Value::Text(String::from_utf8(bytes).map_err(|_| {
+                    Error::Corruption("invalid UTF-8 in index entry text value".into())
+                })?)
+            }
+            K_BLOB => {
+                let (bytes, used) = order_decode_bytes(&key[at..])?;
+                at += used;
+                Value::Blob(bytes)
+            }
+            t => return Err(Error::Corruption(format!("bad index value tag {t}"))),
+        };
+        vals.push(v);
+    }
+    let rowid = if at < key.len() {
+        // Rowid suffix on the key.
+        if key.len() != at + 9 || key[at] != K_ROWID {
+            return Err(Error::Corruption("bad index entry rowid suffix".into()));
+        }
+        yesquel_common::encoding::order_decode_i64(&key[at + 1..])?
+    } else {
+        // Unique entry: the value is a one-column record holding the rowid.
+        match decode_row(value)?.first() {
+            Some(Value::Int(r)) => *r,
+            _ => return Err(Error::Corruption("bad unique index entry value".into())),
+        }
+    };
+    Ok((vals, rowid))
+}
+
 /// Builds the smallest possible key with the given prefix values (used as a
 /// range-scan lower bound).
 pub fn index_prefix(values: &[Value]) -> Vec<u8> {
     encode_index_key(values, None)
+}
+
+/// The scan lower bound that skips every entry whose next value after
+/// `prefix` is NULL (their class tag sorts below all others): `MIN(col)`
+/// ignores NULLs, so its one-row read starts here.
+pub fn index_nonnull_floor(prefix: &[u8]) -> Vec<u8> {
+    let mut k = prefix.to_vec();
+    k.push(K_NULL + 1);
+    k
 }
 
 /// The smallest byte string strictly greater than every key with a given
@@ -255,6 +340,42 @@ mod tests {
         assert!(prefix <= inside && inside < upper);
         assert!(after >= upper);
         assert!(before < prefix);
+    }
+
+    #[test]
+    fn index_entry_roundtrips_through_typed_decode() {
+        use crate::types::ColumnType as T;
+        // Non-unique entry: rowid in the key suffix.
+        let vals = vec![
+            Value::Text("alice".into()),
+            Value::Int(42),
+            Value::Null,
+            Value::Real(2.5),
+            Value::Blob(vec![0, 1, 0xff]),
+        ];
+        let types = [T::Text, T::Integer, T::Text, T::Real, T::Blob];
+        let key = encode_index_key(&vals, Some(77));
+        let (got, rid) = decode_index_entry(&key, &[], &types).unwrap();
+        assert_eq!(got, vals);
+        assert_eq!(rid, 77);
+
+        // Unique entry: rowid in the value record.
+        let key = encode_index_key(&[Value::Int(5)], None);
+        let val = encode_row(&[Value::Int(9)]);
+        let (got, rid) = decode_index_entry(&key, &val, &[T::Integer]).unwrap();
+        assert_eq!(got, vec![Value::Int(5)]);
+        assert_eq!(rid, 9);
+
+        // An integral real under an INTEGER column decodes as Int (the
+        // coercion invariant: such a value could only have been stored as
+        // Int), while a fractional one stays Real.
+        let key = encode_index_key(&[Value::Real(3.0), Value::Real(3.5)], Some(1));
+        let (got, _) = decode_index_entry(&key, &[], &[T::Integer, T::Integer]).unwrap();
+        assert_eq!(got, vec![Value::Int(3), Value::Real(3.5)]);
+
+        // Truncated keys are corruption, not a panic.
+        assert!(decode_index_entry(&key[..3], &[], &[T::Integer, T::Integer]).is_err());
+        assert!(decode_index_entry(&key, &[], &[T::Integer]).is_err());
     }
 
     #[test]

@@ -10,6 +10,17 @@
 //! materialised, and every yielded `(key, value)` pair is a pair of
 //! zero-copy [`Bytes`] slices of the leaf page (reference-count bumps, no
 //! per-item allocation).
+//!
+//! Two shapes are provided:
+//!
+//! * [`RawCursor`] owns only scan *state* (the current leaf view, position
+//!   and end bound) and is handed the transaction on every
+//!   [`RawCursor::next_entry`] call.  Because it borrows nothing, a fully
+//!   owned operator tree (the SQL executor's pulling pipeline, which must
+//!   outlive the statement that built it) can store it alongside the
+//!   transaction it reads through.
+//! * [`DbtCursor`] pairs a `RawCursor` with a borrowed transaction and
+//!   implements [`Iterator`] — the convenient shape for straight-line code.
 
 use std::sync::Arc;
 
@@ -21,9 +32,10 @@ use yesquel_kv::Txn;
 use crate::node::LeafView;
 use crate::tree::fetch_leaf_sibling;
 
-/// A forward cursor over `[start, end)` of one tree.
-pub struct DbtCursor<'a> {
-    txn: &'a Txn,
+/// Transaction-free scan state over `[start, end)` of one tree.  The
+/// transaction is supplied per call, so the cursor itself is `'static` and
+/// can live inside owned operator trees.
+pub struct RawCursor {
     tree: TreeId,
     leaf: Option<LeafView>,
     idx: usize,
@@ -31,17 +43,15 @@ pub struct DbtCursor<'a> {
     leaf_fetches: Arc<Counter>,
 }
 
-impl<'a> DbtCursor<'a> {
+impl RawCursor {
     pub(crate) fn new(
-        txn: &'a Txn,
         tree: TreeId,
         leaf: LeafView,
         idx: usize,
         end: Option<Vec<u8>>,
         leaf_fetches: Arc<Counter>,
     ) -> Self {
-        DbtCursor {
-            txn,
+        RawCursor {
             tree,
             leaf: Some(leaf),
             idx,
@@ -50,7 +60,7 @@ impl<'a> DbtCursor<'a> {
         }
     }
 
-    fn advance_leaf(&mut self) -> Result<bool> {
+    fn advance_leaf(&mut self, txn: &Txn) -> Result<bool> {
         let next = match &self.leaf {
             // With an end bound, the sibling is fetched only while the
             // current leaf's upper fence is still below the bound: every key
@@ -70,11 +80,60 @@ impl<'a> DbtCursor<'a> {
             }
             Some(oid) => {
                 self.leaf_fetches.inc();
-                self.leaf = Some(fetch_leaf_sibling(self.txn, self.tree, oid)?);
+                self.leaf = Some(fetch_leaf_sibling(txn, self.tree, oid)?);
                 self.idx = 0;
                 Ok(true)
             }
         }
+    }
+
+    /// Yields the next `(key, value)` entry of the scan, reading any further
+    /// leaves through `txn`, or `None` at the end of the range.  The caller
+    /// must pass the same transaction the cursor was opened under.
+    pub fn next_entry(&mut self, txn: &Txn) -> Result<Option<(Bytes, Bytes)>> {
+        loop {
+            let Some(leaf) = self.leaf.as_ref() else {
+                return Ok(None);
+            };
+            if self.idx < leaf.len() {
+                let (k, v) = match leaf.cell_bytes(self.idx) {
+                    Ok(cell) => cell,
+                    Err(e) => {
+                        self.leaf = None;
+                        return Err(e);
+                    }
+                };
+                if let Some(end) = &self.end {
+                    if &k[..] >= end.as_slice() {
+                        self.leaf = None;
+                        return Ok(None);
+                    }
+                }
+                self.idx += 1;
+                return Ok(Some((k, v)));
+            }
+            match self.advance_leaf(txn) {
+                Ok(true) => continue,
+                Ok(false) => return Ok(None),
+                Err(e) => {
+                    self.leaf = None;
+                    return Err(e);
+                }
+            }
+        }
+    }
+}
+
+/// A forward cursor over `[start, end)` of one tree, borrowing its
+/// transaction: [`RawCursor`] plus `Iterator` convenience.
+pub struct DbtCursor<'a> {
+    txn: &'a Txn,
+    raw: RawCursor,
+}
+
+impl<'a> DbtCursor<'a> {
+    pub(crate) fn new(txn: &'a Txn, raw: RawCursor) -> Self {
+        DbtCursor { txn, raw }
     }
 }
 
@@ -82,33 +141,6 @@ impl Iterator for DbtCursor<'_> {
     type Item = Result<(Bytes, Bytes)>;
 
     fn next(&mut self) -> Option<Self::Item> {
-        loop {
-            let leaf = self.leaf.as_ref()?;
-            if self.idx < leaf.len() {
-                let (k, v) = match leaf.cell_bytes(self.idx) {
-                    Ok(cell) => cell,
-                    Err(e) => {
-                        self.leaf = None;
-                        return Some(Err(e));
-                    }
-                };
-                if let Some(end) = &self.end {
-                    if &k[..] >= end.as_slice() {
-                        self.leaf = None;
-                        return None;
-                    }
-                }
-                self.idx += 1;
-                return Some(Ok((k, v)));
-            }
-            match self.advance_leaf() {
-                Ok(true) => continue,
-                Ok(false) => return None,
-                Err(e) => {
-                    self.leaf = None;
-                    return Some(Err(e));
-                }
-            }
-        }
+        self.raw.next_entry(self.txn).transpose()
     }
 }

@@ -35,7 +35,7 @@ pub mod tree;
 pub use alloc::OidAllocator;
 pub use cache::NodeCache;
 pub use engine::DbtEngine;
-pub use iter::DbtCursor;
+pub use iter::{DbtCursor, RawCursor};
 pub use node::{Bound, InnerNode, InnerView, LeafNode, LeafView, Node, NodeView};
 pub use split::{SplitReason, SplitRequest};
 pub use tree::{prefix_successor, Dbt};

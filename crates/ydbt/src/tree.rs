@@ -45,7 +45,7 @@ use yesquel_common::{Error, ObjectId, Oid, Result, TreeId};
 use yesquel_kv::Txn;
 
 use crate::engine::DbtEngine;
-use crate::iter::DbtCursor;
+use crate::iter::{DbtCursor, RawCursor};
 use crate::node::{LeafNode, LeafView, Node, NodeView};
 use crate::split::{split_node_in_txn, SplitReason, SplitRequest};
 
@@ -339,18 +339,96 @@ impl Dbt {
         start: Option<&[u8]>,
         end: Option<&[u8]>,
     ) -> Result<DbtCursor<'a>> {
+        Ok(DbtCursor::new(txn, self.scan_raw(txn, start, end)?))
+    }
+
+    /// Opens the transaction-free scan state over `[start, end)`; the same
+    /// transaction must be passed to every [`RawCursor::next_entry`] call.
+    /// This is the shape owned operator trees (the SQL executor) store.
+    pub fn scan_raw(
+        &self,
+        txn: &Txn,
+        start: Option<&[u8]>,
+        end: Option<&[u8]>,
+    ) -> Result<RawCursor> {
         self.engine.counters().scans.inc();
         let start_key = start.unwrap_or(b"");
         let lr = self.find_leaf(txn, start_key)?;
         let idx = lr.leaf.lower_bound(start_key)?;
-        Ok(DbtCursor::new(
-            txn,
+        Ok(RawCursor::new(
             self.tree,
             lr.leaf,
             idx,
             end.map(|e| e.to_vec()),
             Arc::clone(&self.engine.counters().scan_leaf_fetches),
         ))
+    }
+
+    /// Returns the last entry whose key is strictly below `hi` (or the last
+    /// entry of the tree when `hi` is `None`).
+    ///
+    /// The tree has no left-sibling pointers, so this is a verified descent
+    /// from the root that backtracks through earlier children when a subtree
+    /// turns out to hold nothing below the bound — O(height) node fetches in
+    /// the common case.  This is what compiles `MAX(col)` over an indexed
+    /// column into a bounded read instead of a full scan.
+    pub fn seek_last(&self, txn: &Txn, hi: Option<&[u8]>) -> Result<Option<(Bytes, Bytes)>> {
+        self.engine.counters().scans.inc();
+        self.last_under(txn, ROOT_OID, hi, 0)
+    }
+
+    fn last_under(
+        &self,
+        txn: &Txn,
+        oid: Oid,
+        hi: Option<&[u8]>,
+        depth: usize,
+    ) -> Result<Option<(Bytes, Bytes)>> {
+        if depth >= MAX_SEARCH_DEPTH {
+            return Err(Error::Corruption(format!(
+                "reverse seek in tree {} exceeded depth {MAX_SEARCH_DEPTH}",
+                self.tree
+            )));
+        }
+        self.engine.counters().node_fetches.inc();
+        match fetch_view(txn, self.tree, oid)? {
+            None if oid == ROOT_OID => Err(Error::NotFound(format!(
+                "tree {} has no root node (was it created?)",
+                self.tree
+            ))),
+            // The descent never trusts the cache, so a dangling child means
+            // a damaged tree at this snapshot.
+            None => Err(Error::Corruption(format!(
+                "child pointer {}:{oid} dangles at this snapshot",
+                self.tree
+            ))),
+            Some(NodeView::Leaf(leaf)) => {
+                let idx = match hi {
+                    Some(h) => leaf.lower_bound(h)?,
+                    None => leaf.len(),
+                };
+                if idx == 0 {
+                    Ok(None)
+                } else {
+                    leaf.cell_bytes(idx - 1).map(Some)
+                }
+            }
+            Some(NodeView::Inner(inner)) => {
+                // Start at the child responsible for the bound; children to
+                // its left hold strictly smaller keys, so walk leftwards
+                // only when a subtree is empty below the bound.
+                let start = match hi {
+                    Some(h) if inner.fence_contains(h) => inner.child_index(h)?,
+                    _ => inner.len() - 1,
+                };
+                for j in (0..=start).rev() {
+                    if let Some(found) = self.last_under(txn, inner.child(j), hi, depth + 1)? {
+                        return Ok(Some(found));
+                    }
+                }
+                Ok(None)
+            }
+        }
     }
 
     /// Opens a cursor over exactly the keys that start with `prefix`.
@@ -808,6 +886,55 @@ mod tests {
         let check = db.client().begin();
         assert_eq!(dbt.count(&check).unwrap(), 100);
         check.commit().unwrap();
+    }
+
+    #[test]
+    fn seek_last_finds_predecessor_across_leaves() {
+        let (db, _engine, dbt) = setup(3, small_cfg());
+        let txn = db.client().begin();
+        // Empty tree: nothing below any bound.
+        assert_eq!(dbt.seek_last(&txn, None).unwrap(), None);
+        for i in (0..100u64).step_by(2) {
+            dbt.insert(&txn, &key(i), format!("v{i}").as_bytes())
+                .unwrap();
+        }
+        txn.commit().unwrap();
+        let txn = db.client().begin();
+        // Unbounded: the very last entry.
+        let (k, v) = dbt.seek_last(&txn, None).unwrap().unwrap();
+        assert_eq!(&k[..], &key(98)[..]);
+        assert_eq!(&v[..], b"v98");
+        // Exclusive bound on a present key returns its predecessor.
+        let (k, _) = dbt.seek_last(&txn, Some(&key(50))).unwrap().unwrap();
+        assert_eq!(&k[..], &key(48)[..]);
+        // Bound between keys returns the last key below it.
+        let (k, _) = dbt.seek_last(&txn, Some(&key(51))).unwrap().unwrap();
+        assert_eq!(&k[..], &key(50)[..]);
+        // Bound below the smallest key: nothing.
+        assert_eq!(dbt.seek_last(&txn, Some(&key(0))).unwrap(), None);
+        // Bound above the largest key: the last entry.
+        let (k, _) = dbt.seek_last(&txn, Some(&key(1000))).unwrap().unwrap();
+        assert_eq!(&k[..], &key(98)[..]);
+        txn.commit().unwrap();
+    }
+
+    #[test]
+    fn raw_cursor_threads_transaction_per_call() {
+        let (db, _engine, dbt) = setup(2, small_cfg());
+        let txn = db.client().begin();
+        for i in 0..30u64 {
+            dbt.insert(&txn, &key(i), b"v").unwrap();
+        }
+        // The raw cursor owns only scan state; the transaction is passed to
+        // every pull (the shape the SQL executor's owned pipelines need).
+        let mut raw = dbt.scan_raw(&txn, Some(&key(5)), Some(&key(25))).unwrap();
+        let mut got = Vec::new();
+        while let Some((k, _)) = raw.next_entry(&txn).unwrap() {
+            got.push(k);
+        }
+        let expected: Vec<Vec<u8>> = (5..25u64).map(key).collect();
+        assert_eq!(got, expected);
+        txn.commit().unwrap();
     }
 
     #[test]

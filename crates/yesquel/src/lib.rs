@@ -26,14 +26,36 @@ pub use yesquel_kv::{KvClient, KvDatabase, Txn};
 pub use yesquel_sql::{ResultSet, Value};
 pub use yesquel_ydbt::{Dbt, DbtEngine};
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 use yesquel_sql::ast::Statement;
-use yesquel_sql::Catalog;
+use yesquel_sql::{Catalog, ExecCtx, Plan, RowStream};
 
-/// One SQL connection: the catalog (schema cache) plus the explicit
-/// transaction opened by `BEGIN`, if any.
+/// Capacity of the per-session statement cache (parsed + planned statements
+/// keyed by SQL text).  Web workloads repeat a small set of statement
+/// shapes, so a small LRU captures nearly all of the parse/plan cost.
+const STMT_CACHE_CAP: usize = 128;
+
+/// One cached statement: its plan and the catalog generation it was planned
+/// under (a generation mismatch — any DDL or schema-cache invalidation —
+/// forces a replan).
+struct CachedStmt {
+    plan: Arc<Plan>,
+    generation: u64,
+    last_used: u64,
+}
+
+/// The per-session LRU of planned statements.
+#[derive(Default)]
+struct StmtCache {
+    map: HashMap<String, CachedStmt>,
+    tick: u64,
+}
+
+/// One SQL connection: the catalog (schema cache), the statement cache, and
+/// the explicit transaction opened by `BEGIN`, if any.
 ///
 /// Outside an explicit transaction every statement autocommits: it runs in
 /// its own snapshot-isolated transaction, retried on write-write conflicts.
@@ -43,6 +65,7 @@ pub struct Session {
     client: KvClient,
     catalog: Arc<Catalog>,
     current: Mutex<Option<Txn>>,
+    stmt_cache: Mutex<StmtCache>,
 }
 
 impl Session {
@@ -55,6 +78,7 @@ impl Session {
             client,
             catalog,
             current: Mutex::new(None),
+            stmt_cache: Mutex::new(StmtCache::default()),
         })
     }
 
@@ -69,9 +93,204 @@ impl Session {
     }
 
     /// Parses and executes one statement.
+    ///
+    /// Statements are planned through the session's statement cache: the
+    /// second execution of the same SQL text skips both the parse and the
+    /// plan (parameters still bind per execution).  Cached plans are keyed
+    /// by the catalog generation and replanned after any DDL or schema-
+    /// cache invalidation.
     pub fn execute(&self, sql_text: &str, params: &[Value]) -> Result<ResultSet> {
+        if let Some(plan) = self.cached_plan(sql_text) {
+            // Transaction-control statements are never cached, so a hit
+            // means a plain planned statement.
+            return self.execute_planned(Some(sql_text), None, Some(plan), params);
+        }
         let stmt = yesquel_sql::parse(sql_text)?;
-        self.execute_statement(&stmt, params)
+        match stmt {
+            Statement::Begin | Statement::Commit | Statement::Rollback => {
+                self.execute_statement(&stmt, params)
+            }
+            other => self.execute_planned(Some(sql_text), Some(&other), None, params),
+        }
+    }
+
+    /// Opens a statement as a pulling [`Rows`] iterator instead of
+    /// materialising a [`ResultSet`].
+    ///
+    /// Only query statements (SELECT, EXPLAIN) can stream.  In autocommit
+    /// mode the iterator owns its read-only transaction and commits it when
+    /// the stream is drained (or abandons it on drop — read-only
+    /// transactions hold no server-side state).  Inside an explicit
+    /// transaction the result is materialised eagerly (the session's
+    /// transaction must stay available to subsequent statements) and the
+    /// iterator merely replays it.
+    pub fn query(&self, sql_text: &str, params: &[Value]) -> Result<Rows> {
+        {
+            let mut cur = self.current.lock();
+            if cur.is_some() {
+                let plan = {
+                    let txn = cur.as_ref().expect("checked above");
+                    self.plan_for(txn, Some(sql_text), None, true)?
+                };
+                Self::require_query_plan(&plan)?;
+                let txn = cur.as_ref().expect("checked above");
+                // Same failure policy as execute(): an execution error may
+                // have buffered partial state, so the transaction aborts.
+                let rs = match yesquel_sql::execute_plan(&self.catalog, txn, &plan, params) {
+                    Ok(rs) => rs,
+                    Err(e) => {
+                        if let Some(txn) = cur.take() {
+                            txn.abort();
+                        }
+                        self.catalog.invalidate_all();
+                        return Err(e);
+                    }
+                };
+                return Ok(Rows {
+                    catalog: Arc::clone(&self.catalog),
+                    params: params.to_vec(),
+                    state: RowsState::Collected {
+                        columns: rs.columns,
+                        iter: rs.rows.into_iter(),
+                    },
+                });
+            }
+        }
+        let txn = self.client.begin();
+        let plan = self.plan_for(&txn, Some(sql_text), None, true)?;
+        if let Err(e) = Self::require_query_plan(&plan) {
+            txn.abort();
+            return Err(e);
+        }
+        let stream = yesquel_sql::open_stream(&self.catalog, &txn, &plan, params)?;
+        Ok(Rows {
+            catalog: Arc::clone(&self.catalog),
+            params: params.to_vec(),
+            state: RowsState::Streaming {
+                txn: Some(txn),
+                stream,
+                finished: false,
+            },
+        })
+    }
+
+    /// Rejects non-query plans handed to [`Session::query`].
+    fn require_query_plan(plan: &Plan) -> Result<()> {
+        if matches!(
+            plan,
+            Plan::Select(_) | Plan::ConstSelect(_) | Plan::Explain(_)
+        ) {
+            Ok(())
+        } else {
+            Err(Error::InvalidArgument(
+                "query() streams SELECT/EXPLAIN statements; use execute() for DML/DDL".into(),
+            ))
+        }
+    }
+
+    /// Looks `sql` up in the statement cache, counting the hit or miss; a
+    /// hit requires the catalog generation the plan was built under to
+    /// still be current.  Callers that miss go on to plan fresh (and must
+    /// not probe again on the same call chain).
+    fn cached_plan(&self, sql: &str) -> Option<Arc<Plan>> {
+        let generation = self.catalog.generation();
+        let mut cache = self.stmt_cache.lock();
+        cache.tick += 1;
+        let tick = cache.tick;
+        let hit = match cache.map.get_mut(sql) {
+            Some(e) if e.generation == generation => {
+                e.last_used = tick;
+                Some(Arc::clone(&e.plan))
+            }
+            Some(_) => {
+                cache.map.remove(sql);
+                None
+            }
+            None => None,
+        };
+        drop(cache);
+        let counters = self.catalog.counters();
+        if hit.is_some() {
+            counters.stmt_cache_hits.inc();
+        } else {
+            counters.stmt_cache_misses.inc();
+        }
+        hit
+    }
+
+    /// Caches a freshly built plan (planned statements only — DDL mutates
+    /// the schema it would be keyed under, and transaction control never
+    /// reaches the planner).
+    fn cache_plan(&self, sql: &str, plan: &Arc<Plan>, generation: u64) {
+        if !matches!(
+            &**plan,
+            Plan::Select(_)
+                | Plan::ConstSelect(_)
+                | Plan::Insert(_)
+                | Plan::Update(_)
+                | Plan::Delete(_)
+                | Plan::Explain(_)
+        ) {
+            return;
+        }
+        let mut cache = self.stmt_cache.lock();
+        cache.tick += 1;
+        let tick = cache.tick;
+        cache.map.insert(
+            sql.to_string(),
+            CachedStmt {
+                plan: Arc::clone(plan),
+                generation,
+                last_used: tick,
+            },
+        );
+        if cache.map.len() > STMT_CACHE_CAP {
+            if let Some(evict) = cache
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                cache.map.remove(&evict);
+            }
+        }
+    }
+
+    /// Produces the plan for one statement: from the cache when `probe` is
+    /// set and `sql_text` hits, otherwise by parsing (if needed) and
+    /// planning inside `txn`, populating the cache on the way out.  Callers
+    /// that already probed the cache themselves pass `probe = false`.
+    fn plan_for(
+        &self,
+        txn: &Txn,
+        sql_text: Option<&str>,
+        stmt: Option<&Statement>,
+        probe: bool,
+    ) -> Result<Arc<Plan>> {
+        if probe {
+            if let Some(text) = sql_text {
+                if let Some(plan) = self.cached_plan(text) {
+                    return Ok(plan);
+                }
+            }
+        }
+        let parsed;
+        let stmt = match stmt {
+            Some(s) => s,
+            None => {
+                parsed = yesquel_sql::parse(sql_text.expect("plan_for needs text or statement"))?;
+                &parsed
+            }
+        };
+        // Captured before planning: if a concurrent invalidation bumps the
+        // generation mid-plan, the cached entry is already stale and the
+        // next lookup replans.
+        let generation = self.catalog.generation();
+        let plan = Arc::new(yesquel_sql::plan_statement(&self.catalog, txn, stmt)?);
+        if let Some(text) = sql_text {
+            self.cache_plan(text, &plan, generation);
+        }
+        Ok(plan)
     }
 
     /// Executes every statement of a semicolon-separated script, returning
@@ -120,11 +339,23 @@ impl Session {
                 self.catalog.invalidate_all();
                 Ok(ResultSet::default())
             }
-            other => self.execute_dml(other, params),
+            other => self.execute_planned(None, Some(other), None, params),
         }
     }
 
-    fn execute_dml(&self, stmt: &Statement, params: &[Value]) -> Result<ResultSet> {
+    /// Plans (through the cache, when the SQL text is available) and
+    /// executes one non-transaction-control statement.  `first_plan` is a
+    /// plan the caller already pulled from the cache — used for the first
+    /// attempt so the cache is not consulted twice; retries always replan
+    /// (the conflict handler invalidates the schema cache, which also
+    /// stales the statement cache).
+    fn execute_planned(
+        &self,
+        sql_text: Option<&str>,
+        stmt: Option<&Statement>,
+        first_plan: Option<Arc<Plan>>,
+        params: &[Value],
+    ) -> Result<ResultSet> {
         // Explicit transaction: run the statement inside it.  Planning
         // errors (parse/schema/unsupported) write nothing and leave the
         // transaction usable; an execution error may have buffered partial
@@ -132,7 +363,10 @@ impl Session {
         // rollback is not implemented).
         let mut cur = self.current.lock();
         if let Some(txn) = cur.as_ref() {
-            let plan = yesquel_sql::plan_statement(&self.catalog, txn, stmt)?;
+            let plan = match first_plan {
+                Some(p) => p,
+                None => self.plan_for(txn, sql_text, stmt, false)?,
+            };
             return match yesquel_sql::execute_plan(&self.catalog, txn, &plan, params) {
                 Ok(rs) => Ok(rs),
                 Err(e) => {
@@ -149,12 +383,18 @@ impl Session {
         // Autocommit: one transaction per statement, retried on conflicts
         // (the documented recovery strategy under snapshot isolation).  A
         // failed attempt may have cached schemas from its aborted writes,
-        // so the schema cache is dropped before every retry.
+        // so the schema cache is dropped before every retry — which bumps
+        // the catalog generation, so the retry also replans.
         const MAX_ATTEMPTS: usize = 24;
         let mut last_err = Error::Internal("statement retry limit reached".into());
         for attempt in 0..MAX_ATTEMPTS {
             let txn = self.client.begin();
-            let result = yesquel_sql::execute(&self.catalog, &txn, stmt, params);
+            let plan = match (&first_plan, attempt) {
+                (Some(p), 0) => Ok(Arc::clone(p)),
+                _ => self.plan_for(&txn, sql_text, stmt, false),
+            };
+            let result =
+                plan.and_then(|plan| yesquel_sql::execute_plan(&self.catalog, &txn, &plan, params));
             match result {
                 Ok(rs) => match txn.commit() {
                     Ok(_) => return Ok(rs),
@@ -183,6 +423,106 @@ impl Session {
             }
         }
         Err(last_err)
+    }
+}
+
+/// How an open [`Rows`] iterator produces its rows.
+enum RowsState {
+    /// Pulling straight out of the operator pipeline, inside an iterator-
+    /// owned autocommit transaction.
+    Streaming {
+        txn: Option<Txn>,
+        stream: RowStream,
+        finished: bool,
+    },
+    /// Materialised up front (queries inside an explicit transaction).
+    Collected {
+        columns: Vec<String>,
+        iter: std::vec::IntoIter<Vec<Value>>,
+    },
+}
+
+/// A pulling result iterator returned by [`Session::query`]: rows stream
+/// one at a time out of the executor's operator stack, so abandoning the
+/// iterator early leaves unvisited rows unread (a `LIMIT`-less query you
+/// stop consuming costs only what you consumed).
+///
+/// Yields `Result<Vec<Value>>`; the first error ends the stream.  When the
+/// stream is drained the owned read-only transaction commits (a local
+/// no-op that cannot conflict); dropping the iterator mid-stream simply
+/// drops the transaction (client-buffered, no server-side state).
+pub struct Rows {
+    catalog: Arc<Catalog>,
+    params: Vec<Value>,
+    state: RowsState,
+}
+
+impl Rows {
+    /// Column headers of the result.
+    pub fn columns(&self) -> &[String] {
+        match &self.state {
+            RowsState::Streaming { stream, .. } => stream.columns(),
+            RowsState::Collected { columns, .. } => columns,
+        }
+    }
+
+    /// Drains the remaining rows into a [`ResultSet`] (the collect-all
+    /// convenience the executor's `ResultSet` path is itself built on).
+    pub fn into_result_set(mut self) -> Result<ResultSet> {
+        let columns = self.columns().to_vec();
+        let mut rows = Vec::new();
+        for row in &mut self {
+            rows.push(row?);
+        }
+        Ok(ResultSet {
+            columns,
+            rows,
+            rows_affected: 0,
+            last_rowid: None,
+        })
+    }
+}
+
+impl Iterator for Rows {
+    type Item = Result<Vec<Value>>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match &mut self.state {
+            RowsState::Collected { iter, .. } => iter.next().map(Ok),
+            RowsState::Streaming {
+                txn,
+                stream,
+                finished,
+            } => {
+                if *finished {
+                    return None;
+                }
+                let cx = ExecCtx {
+                    catalog: &self.catalog,
+                    txn: txn.as_ref().expect("transaction lives until finish"),
+                    params: &self.params,
+                };
+                match stream.next_row(&cx) {
+                    Ok(Some(row)) => Some(Ok(row)),
+                    Ok(None) => {
+                        *finished = true;
+                        if let Some(t) = txn.take() {
+                            if let Err(e) = t.commit() {
+                                return Some(Err(e));
+                            }
+                        }
+                        None
+                    }
+                    Err(e) => {
+                        *finished = true;
+                        if let Some(t) = txn.take() {
+                            t.abort();
+                        }
+                        Some(Err(e))
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -244,6 +584,11 @@ impl Yesquel {
     /// Executes a semicolon-separated SQL script on the default session.
     pub fn execute_script(&self, sql_text: &str) -> Result<Vec<ResultSet>> {
         self.session.execute_script(sql_text)
+    }
+
+    /// Opens a SELECT as a pulling [`Rows`] iterator on the default session.
+    pub fn query(&self, sql_text: &str, params: &[Value]) -> Result<Rows> {
+        self.session.query(sql_text, params)
     }
 
     /// Starts a key-value transaction.

@@ -365,13 +365,518 @@ fn rolled_back_ddl_leaves_no_trace() {
 fn unsupported_features_error_cleanly() {
     let y = wiki_fixture();
     for sql in [
-        "SELECT COUNT(*) FROM pages",
-        "SELECT views, SUM(views) FROM pages GROUP BY views",
         "SELECT p.title FROM pages p JOIN pages q ON p.id = q.id",
+        "SELECT MAX(MIN(views)) FROM pages",
+        "SELECT LENGTH(*) FROM pages",
     ] {
         let err = y.execute(sql, &[]).unwrap_err();
         assert!(matches!(err, Error::Unsupported(_)), "{sql}: {err}");
     }
+    // A bare column in an aggregate query must be grouped or aggregated.
+    let err = y
+        .execute("SELECT title, COUNT(*) FROM pages", &[])
+        .unwrap_err();
+    assert!(matches!(err, Error::Schema(_)), "{err}");
+}
+
+#[test]
+fn aggregates_without_group_by() {
+    let y = wiki_fixture();
+    // views are 0, 10, ..., 490.
+    let rs = y
+        .execute(
+            "SELECT COUNT(*), SUM(views), MIN(views), MAX(views), AVG(views) \
+             FROM pages WHERE views < 50",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(
+        rs.rows,
+        vec![vec![
+            Value::Int(5),
+            Value::Int(100),
+            Value::Int(0),
+            Value::Int(40),
+            Value::Real(20.0),
+        ]]
+    );
+    // Aggregates over zero rows: COUNT is 0, the others NULL.
+    let rs = y
+        .execute(
+            "SELECT COUNT(*), COUNT(views), SUM(views), AVG(views), MIN(views) \
+             FROM pages WHERE views > 10000",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(
+        rs.rows,
+        vec![vec![
+            Value::Int(0),
+            Value::Int(0),
+            Value::Null,
+            Value::Null,
+            Value::Null,
+        ]]
+    );
+    // Aggregates compose inside expressions.
+    let rs = y
+        .execute("SELECT MAX(views) - MIN(views) + 1 FROM pages", &[])
+        .unwrap();
+    assert_eq!(rs.rows, vec![vec![Value::Int(491)]]);
+}
+
+#[test]
+fn group_by_streams_and_hashes() {
+    let y = Yesquel::open(3);
+    y.execute_script(
+        "CREATE TABLE g (id INTEGER PRIMARY KEY, cat TEXT, v INT);
+         CREATE INDEX g_by_cat ON g (cat);
+         INSERT INTO g (cat, v) VALUES
+            ('a', 1), ('a', 2), ('b', NULL), ('b', 3), (NULL, 4)",
+    )
+    .unwrap();
+
+    // Indexed group keys: streamed, covering needs only cat + v?  v is not
+    // indexed, so this one pays fetch-backs — correctness is the point.
+    let rs = y
+        .execute(
+            "SELECT cat, COUNT(*), COUNT(v), SUM(v), AVG(v), MIN(v), MAX(v) \
+             FROM g GROUP BY cat ORDER BY cat",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(
+        rs.rows,
+        vec![
+            vec![
+                Value::Null,
+                Value::Int(1),
+                Value::Int(1),
+                Value::Int(4),
+                Value::Real(4.0),
+                Value::Int(4),
+                Value::Int(4),
+            ],
+            vec![
+                Value::Text("a".into()),
+                Value::Int(2),
+                Value::Int(2),
+                Value::Int(3),
+                Value::Real(1.5),
+                Value::Int(1),
+                Value::Int(2),
+            ],
+            vec![
+                Value::Text("b".into()),
+                Value::Int(2),
+                Value::Int(1),
+                Value::Int(3),
+                Value::Real(3.0),
+                Value::Int(3),
+                Value::Int(3),
+            ],
+        ]
+    );
+
+    // Un-indexed group keys: hash aggregation, same answers.
+    let rs = y
+        .execute(
+            "SELECT v % 2, COUNT(*) FROM g WHERE v IS NOT NULL GROUP BY v % 2 ORDER BY 1",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(
+        rs.rows,
+        vec![
+            vec![Value::Int(0), Value::Int(2)], // 2, 4
+            vec![Value::Int(1), Value::Int(2)], // 1, 3
+        ]
+    );
+
+    // ORDER BY an aggregate (via alias) with GROUP BY.
+    let rs = y
+        .execute(
+            "SELECT cat, COUNT(*) AS n FROM g GROUP BY cat ORDER BY n DESC, cat",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(
+        rs.rows,
+        vec![
+            vec![Value::Text("a".into()), Value::Int(2)],
+            vec![Value::Text("b".into()), Value::Int(2)],
+            vec![Value::Null, Value::Int(1)],
+        ]
+    );
+
+    // Zero matching rows with GROUP BY: zero groups.
+    let rs = y
+        .execute("SELECT cat, COUNT(*) FROM g WHERE v > 99 GROUP BY cat", &[])
+        .unwrap();
+    assert!(rs.rows.is_empty());
+
+    // Group-key matching resolves names like everything else: identifier
+    // case and table qualifiers are insignificant.
+    let rs = y
+        .execute("SELECT CAT, COUNT(*) FROM g GROUP BY g.cat ORDER BY 1", &[])
+        .unwrap();
+    assert_eq!(rs.rows.len(), 3);
+    assert_eq!(rs.rows[1][0], Value::Text("a".into()));
+
+    // An out-of-range ORDER BY ordinal errors in aggregate queries too.
+    let err = y
+        .execute("SELECT cat, COUNT(*) FROM g GROUP BY cat ORDER BY 5", &[])
+        .unwrap_err();
+    assert!(matches!(err, Error::Schema(_)), "{err}");
+}
+
+#[test]
+fn min_max_compile_to_bounded_reads() {
+    let y = wiki_fixture();
+    let stats = y.db().stats();
+
+    // Warm the schema cache so the measured statements only touch data.
+    y.execute("SELECT MIN(views) FROM pages", &[]).unwrap();
+
+    let before = stats.counter("sql.rows_scanned").get();
+    assert_eq!(
+        y.execute("SELECT MIN(views) FROM pages", &[]).unwrap().rows,
+        vec![vec![Value::Int(0)]]
+    );
+    assert_eq!(
+        y.execute("SELECT MAX(views) FROM pages", &[]).unwrap().rows,
+        vec![vec![Value::Int(490)]]
+    );
+    assert_eq!(
+        y.execute("SELECT MAX(views) FROM pages WHERE views < 245", &[])
+            .unwrap()
+            .rows,
+        vec![vec![Value::Int(240)]]
+    );
+    assert_eq!(
+        y.execute("SELECT MIN(views) FROM pages WHERE views > 245", &[])
+            .unwrap()
+            .rows,
+        vec![vec![Value::Int(250)]]
+    );
+    // Four MIN/MAX statements, one entry examined each.
+    assert_eq!(stats.counter("sql.rows_scanned").get() - before, 4);
+
+    // MIN/MAX of the rowid run against the primary tree's edges.
+    assert_eq!(
+        y.execute("SELECT MIN(id) FROM pages WHERE id > 10", &[])
+            .unwrap()
+            .rows,
+        vec![vec![Value::Int(11)]]
+    );
+    assert_eq!(
+        y.execute("SELECT MAX(id) FROM pages", &[]).unwrap().rows,
+        vec![vec![Value::Int(50)]]
+    );
+
+    // A residual the pushdown cannot absorb falls back to a scan — and
+    // still answers correctly.
+    assert_eq!(
+        y.execute(
+            "SELECT MAX(views) FROM pages WHERE title LIKE 'page-1%'",
+            &[]
+        )
+        .unwrap()
+        .rows,
+        vec![vec![Value::Int(190)]]
+    );
+}
+
+#[test]
+fn explain_reports_physical_properties() {
+    let y = wiki_fixture();
+    let explain = |sql: &str| -> String {
+        let rs = y.execute(&format!("EXPLAIN {sql}"), &[]).unwrap();
+        assert_eq!(rs.columns, vec!["plan"]);
+        match &rs.rows[0][0] {
+            Value::Text(s) => s.clone(),
+            other => panic!("EXPLAIN returned {other:?}"),
+        }
+    };
+    assert_eq!(
+        explain("SELECT * FROM pages WHERE id = 7"),
+        "POINT pages (rowid=?)"
+    );
+    // Covering: the projection and predicate live entirely in the index.
+    assert_eq!(
+        explain("SELECT views FROM pages WHERE views > 10"),
+        "INDEX pages USING by_views (eq=0, range lo..) covering"
+    );
+    // Order elision without coverage: fetch-backs, but no sort.
+    assert_eq!(
+        explain("SELECT title FROM pages WHERE views > 10 ORDER BY views LIMIT 3"),
+        "INDEX pages USING by_views (eq=0, range lo..) ordered by index"
+    );
+    // An unconstrained ORDER BY switches to a covering index scan.
+    assert_eq!(
+        explain("SELECT views FROM pages ORDER BY views LIMIT 3"),
+        "INDEX pages USING by_views (eq=0) covering ordered by index"
+    );
+    // DESC defeats elision (scans are forward-only).
+    assert_eq!(
+        explain("SELECT views FROM pages WHERE views > 10 ORDER BY views DESC"),
+        "INDEX pages USING by_views (eq=0, range lo..) covering"
+    );
+    // Aggregates.
+    assert_eq!(
+        explain("SELECT COUNT(*) FROM pages"),
+        "SCAN pages AGG stream(COUNT(*))"
+    );
+    assert_eq!(
+        explain("SELECT MAX(views) FROM pages"),
+        "INDEX pages USING by_views (eq=0) covering AGG minmax(MAX)"
+    );
+    assert_eq!(
+        explain("SELECT views, COUNT(*) FROM pages GROUP BY views"),
+        "INDEX pages USING by_views (eq=0) covering AGG stream(COUNT(*)) GROUP BY 1"
+    );
+    assert_eq!(
+        explain("SELECT body, COUNT(*) FROM pages GROUP BY body"),
+        "SCAN pages AGG hash(COUNT(*)) GROUP BY 1"
+    );
+    // EXPLAIN of DML describes without executing.
+    assert_eq!(
+        explain("DELETE FROM pages WHERE id = 1"),
+        "DELETE POINT pages (rowid=?)"
+    );
+    assert_eq!(rows_i64(&y, "SELECT id FROM pages").len(), 50);
+}
+
+#[test]
+fn covering_scan_performs_zero_fetchbacks() {
+    let y = wiki_fixture();
+    let stats = y.db().stats();
+
+    // Warm up (schema + node cache).
+    y.execute(
+        "SELECT views FROM pages WHERE views >= 100 AND views < 200",
+        &[],
+    )
+    .unwrap();
+
+    let fetchbacks = stats.counter("sql.fetchbacks").get();
+    let lookups = stats.counter("dbt.lookups").get();
+    let rs = y
+        .execute(
+            "SELECT views FROM pages WHERE views >= 100 AND views < 200 ORDER BY views",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(rs.rows.len(), 10);
+    assert_eq!(
+        stats.counter("sql.fetchbacks").get() - fetchbacks,
+        0,
+        "covering scan must not fetch back"
+    );
+    assert_eq!(
+        stats.counter("dbt.lookups").get() - lookups,
+        0,
+        "covering scan must not touch the primary tree"
+    );
+
+    // The same query projecting an uncovered column pays one fetch-back
+    // per matching entry.
+    let fetchbacks = stats.counter("sql.fetchbacks").get();
+    let rs = y
+        .execute(
+            "SELECT body FROM pages WHERE views >= 100 AND views < 200",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(rs.rows.len(), 10);
+    assert_eq!(stats.counter("sql.fetchbacks").get() - fetchbacks, 10);
+}
+
+#[test]
+fn ordered_limit_reads_only_limit_entries() {
+    let y = wiki_fixture();
+    let stats = y.db().stats();
+    y.execute(
+        "SELECT title FROM pages WHERE views >= 0 ORDER BY views LIMIT 3",
+        &[],
+    )
+    .unwrap();
+
+    // The scan order subsumes ORDER BY, so LIMIT k pulls exactly k index
+    // entries — not the whole match set.
+    let before = stats.counter("sql.rows_scanned").get();
+    let rs = y
+        .execute(
+            "SELECT title FROM pages WHERE views >= 0 ORDER BY views LIMIT 3",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(
+        rs.rows,
+        vec![
+            vec![Value::Text("page-00".into())],
+            vec![Value::Text("page-01".into())],
+            vec![Value::Text("page-02".into())],
+        ]
+    );
+    assert_eq!(stats.counter("sql.rows_scanned").get() - before, 3);
+
+    // OFFSET counts against the bound too.
+    let before = stats.counter("sql.rows_scanned").get();
+    let rs = y
+        .execute(
+            "SELECT title FROM pages WHERE views >= 0 ORDER BY views LIMIT 2 OFFSET 2",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(rs.rows.len(), 2);
+    assert_eq!(rs.rows[0], vec![Value::Text("page-02".into())]);
+    assert_eq!(stats.counter("sql.rows_scanned").get() - before, 4);
+
+    // A DESC order cannot come from the forward scan: the whole match set
+    // is read and sorted (correctness baseline for the elision).
+    let before = stats.counter("sql.rows_scanned").get();
+    let rs = y
+        .execute(
+            "SELECT title FROM pages WHERE views >= 0 ORDER BY views DESC LIMIT 3",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(rs.rows[0], vec![Value::Text("page-49".into())]);
+    assert_eq!(stats.counter("sql.rows_scanned").get() - before, 50);
+}
+
+#[test]
+fn order_elision_respects_nullable_unique_indexes() {
+    // Unique indexes store NULL-containing entries non-unique style (rowid
+    // suffix, duplicates allowed), so consuming all columns of a unique
+    // index only totalises the order when the scanned columns are NOT NULL
+    // — otherwise ORDER BY keys past the index columns must still sort.
+    let y = Yesquel::open(2);
+    y.execute_script(
+        "CREATE TABLE t (id INTEGER PRIMARY KEY, a INT, b INT, c INT);
+         CREATE UNIQUE INDEX u ON t (a, b);
+         INSERT INTO t (a, b, c) VALUES (5, NULL, 9), (5, NULL, 1)",
+    )
+    .unwrap();
+    let rs = y
+        .execute("SELECT c FROM t WHERE a = 5 ORDER BY b, c", &[])
+        .unwrap();
+    assert_eq!(rs.rows, vec![vec![Value::Int(1)], vec![Value::Int(9)]]);
+    // And the plan admits the sort is needed.
+    let rs = y
+        .execute("EXPLAIN SELECT c FROM t WHERE a = 5 ORDER BY b, c", &[])
+        .unwrap();
+    assert_eq!(rs.rows[0][0], Value::Text("INDEX t USING u (eq=1)".into()));
+
+    // With NOT NULL columns the unique key is genuinely total and the
+    // trailing ORDER BY keys elide.
+    let y2 = Yesquel::open(2);
+    y2.execute_script(
+        "CREATE TABLE t (id INTEGER PRIMARY KEY, a INT NOT NULL, b INT NOT NULL, c INT);
+         CREATE UNIQUE INDEX u ON t (a, b)",
+    )
+    .unwrap();
+    let rs = y2
+        .execute("EXPLAIN SELECT c FROM t WHERE a = 5 ORDER BY b, c", &[])
+        .unwrap();
+    assert_eq!(
+        rs.rows[0][0],
+        Value::Text("INDEX t USING u (eq=1) ordered by index".into())
+    );
+}
+
+#[test]
+fn statement_cache_reuses_and_invalidates_plans() {
+    let y = Yesquel::open(2);
+    y.execute(
+        "CREATE TABLE t (id INTEGER PRIMARY KEY, a INT, b TEXT)",
+        &[],
+    )
+    .unwrap();
+    for i in 0..20i64 {
+        y.execute(
+            "INSERT INTO t (a, b) VALUES (?, ?)",
+            &[Value::Int(i % 5), Value::Text(format!("b{i}"))],
+        )
+        .unwrap();
+    }
+    let stats = y.db().stats();
+
+    let sql = "SELECT id FROM t WHERE a = ?";
+    y.execute(sql, &[Value::Int(3)]).unwrap();
+    let hits = stats.counter("sql.stmt_cache_hits").get();
+    let rs = y.execute(sql, &[Value::Int(4)]).unwrap();
+    assert_eq!(rs.rows.len(), 4);
+    assert!(
+        stats.counter("sql.stmt_cache_hits").get() > hits,
+        "second execution of the same text must hit the statement cache"
+    );
+
+    // Before the index exists, the cached plan is a full scan...
+    let explain_sql = "EXPLAIN SELECT id FROM t WHERE a = ?";
+    let plan_before = y.execute(explain_sql, &[]).unwrap().rows[0][0].clone();
+    assert_eq!(plan_before, Value::Text("SCAN t".into()));
+    // ...and DDL bumps the catalog generation, so the same cached text
+    // replans onto the new index.
+    y.execute("CREATE INDEX t_by_a ON t (a)", &[]).unwrap();
+    let plan_after = y.execute(explain_sql, &[]).unwrap().rows[0][0].clone();
+    assert_eq!(
+        plan_after,
+        Value::Text("INDEX t USING t_by_a (eq=1) covering".into())
+    );
+    // And the cached data statement keeps answering correctly.
+    assert_eq!(y.execute(sql, &[Value::Int(4)]).unwrap().rows.len(), 4);
+}
+
+#[test]
+fn query_streams_rows_lazily() {
+    let y = wiki_fixture();
+    let stats = y.db().stats();
+    y.execute("SELECT id FROM pages", &[]).unwrap();
+
+    // Pull three rows of an unbounded ordered query, then drop the
+    // iterator: only the pulled prefix is ever read from storage.
+    let before = stats.counter("sql.rows_scanned").get();
+    let mut rows = y
+        .query("SELECT id, title FROM pages ORDER BY id", &[])
+        .unwrap();
+    assert_eq!(rows.columns(), &["id".to_string(), "title".to_string()]);
+    let got: Vec<Vec<Value>> = rows.by_ref().take(3).map(|r| r.unwrap()).collect();
+    assert_eq!(
+        got,
+        vec![
+            vec![Value::Int(1), Value::Text("page-00".into())],
+            vec![Value::Int(2), Value::Text("page-01".into())],
+            vec![Value::Int(3), Value::Text("page-02".into())],
+        ]
+    );
+    drop(rows);
+    let scanned = stats.counter("sql.rows_scanned").get() - before;
+    assert!(
+        scanned <= 4,
+        "pulling 3 rows must not scan the table ({scanned} scanned)"
+    );
+
+    // Draining matches execute() and commits cleanly.
+    let all: Result<Vec<_>, _> = y.query("SELECT id FROM pages", &[]).unwrap().collect();
+    assert_eq!(all.unwrap().len(), 50);
+
+    // query() rejects DML.
+    assert!(y.query("DELETE FROM pages", &[]).is_err());
+    assert_eq!(rows_i64(&y, "SELECT id FROM pages").len(), 50);
+
+    // Inside an explicit transaction the iterator still works (collected) —
+    // and DML through query() is rejected there too, without executing.
+    let s = y.new_session().unwrap();
+    s.execute("BEGIN", &[]).unwrap();
+    let n = s.query("SELECT id FROM pages", &[]).unwrap().count();
+    assert_eq!(n, 50);
+    assert!(s.query("DELETE FROM pages", &[]).is_err());
+    assert!(s.in_transaction(), "a rejected query() must not abort");
+    assert_eq!(s.query("SELECT id FROM pages", &[]).unwrap().count(), 50);
+    s.execute("COMMIT", &[]).unwrap();
+    assert_eq!(rows_i64(&y, "SELECT id FROM pages").len(), 50);
 }
 
 #[test]

@@ -4,9 +4,12 @@
 //!
 //! Queries are drawn so that every access path gets exercised — rowid point
 //! reads, rowid ranges, secondary-index equality and range scans (the table
-//! has a composite index on `(cat, score)`), and full scans with residual
-//! filters — and compared as ordered rows when the query has a total ORDER
-//! BY, as multisets otherwise.
+//! has a composite index on `(cat, score)`), covering scans, and full scans
+//! with residual filters — and compared as ordered rows when the query has
+//! a total ORDER BY, as multisets otherwise.  Aggregate queries (global,
+//! GROUP BY cat streamed off the index, and the one-row bounded MIN/MAX
+//! plans) are checked value-exactly against the model: generated scores are
+//! integers or halves, so even float sums have one exact answer.
 
 use std::cmp::Ordering;
 
@@ -130,6 +133,84 @@ fn canon(rows: &[Vec<Value>]) -> Vec<String> {
     v
 }
 
+/// Model aggregates over a stream of score values, mirroring the executor:
+/// `(COUNT(*), COUNT(score), SUM(score), MIN(score), MAX(score),
+/// AVG(score))`.  SUM stays an integer until a real appears; every score the
+/// generator draws is an integer or a half (`k + 0.5`), so float sums are
+/// exact in any accumulation order and model-vs-engine comparison is exact.
+fn model_aggs(scores: &[&Value]) -> Vec<Value> {
+    let count_star = scores.len() as i64;
+    let non_null: Vec<&Value> = scores.iter().copied().filter(|v| !v.is_null()).collect();
+    let count = non_null.len() as i64;
+    let sum = if non_null.is_empty() {
+        Value::Null
+    } else if non_null.iter().all(|v| matches!(v, Value::Int(_))) {
+        Value::Int(
+            non_null
+                .iter()
+                .map(|v| match v {
+                    Value::Int(i) => *i,
+                    _ => unreachable!(),
+                })
+                .sum(),
+        )
+    } else {
+        Value::Real(
+            non_null
+                .iter()
+                .map(|v| match v {
+                    Value::Int(i) => *i as f64,
+                    Value::Real(r) => *r,
+                    _ => 0.0,
+                })
+                .sum(),
+        )
+    };
+    let best = |want_less: bool| -> Value {
+        let mut best: Option<&Value> = None;
+        for v in &non_null {
+            let better = match best {
+                None => true,
+                Some(b) => {
+                    let ord = v.sort_cmp(b);
+                    if want_less {
+                        ord == Ordering::Less
+                    } else {
+                        ord == Ordering::Greater
+                    }
+                }
+            };
+            if better {
+                best = Some(v);
+            }
+        }
+        best.cloned().unwrap_or(Value::Null)
+    };
+    let avg = if non_null.is_empty() {
+        Value::Null
+    } else {
+        let total: f64 = non_null
+            .iter()
+            .map(|v| match v {
+                Value::Int(i) => *i as f64,
+                Value::Real(r) => *r,
+                _ => 0.0,
+            })
+            .sum();
+        Value::Real(total / count as f64)
+    };
+    vec![
+        Value::Int(count_star),
+        Value::Int(count),
+        sum,
+        best(true),
+        best(false),
+        avg,
+    ]
+}
+
+const AGG_SELECT: &str = "COUNT(*), COUNT(score), SUM(score), MIN(score), MAX(score), AVG(score)";
+
 #[test]
 fn random_sql_matches_in_memory_model() {
     let y = Yesquel::open(3);
@@ -205,7 +286,94 @@ fn random_sql_matches_in_memory_model() {
                     "step {step}: DELETE count"
                 );
             }
-            // ~30% queries.
+            // ~10% aggregate queries (global, grouped, and the one-row
+            // MIN/MAX plans), checked value-exactly against the model.
+            7 => {
+                let pred = random_pred(&mut rng, next_id);
+                let (where_sql, params) = pred.sql();
+                let matching: Vec<&ModelRow> = model.iter().filter(|r| pred.eval(r)).collect();
+                match rng.gen_range(0u32..3) {
+                    // Global aggregates.
+                    0 => {
+                        let got = y
+                            .execute(
+                                &format!("SELECT {AGG_SELECT} FROM items{where_sql}"),
+                                &params,
+                            )
+                            .unwrap();
+                        let scores: Vec<&Value> = matching.iter().map(|r| &r.score).collect();
+                        assert_eq!(
+                            got.rows,
+                            vec![model_aggs(&scores)],
+                            "step {step}: aggregate {pred:?}"
+                        );
+                    }
+                    // GROUP BY cat (streamed off the (cat, score) index when
+                    // the access path allows, hashed otherwise).
+                    1 => {
+                        let got = y
+                            .execute(
+                                &format!(
+                                    "SELECT cat, {AGG_SELECT} FROM items{where_sql} GROUP BY cat"
+                                ),
+                                &params,
+                            )
+                            .unwrap();
+                        let mut groups: Vec<(&Value, Vec<&Value>)> = Vec::new();
+                        for r in &matching {
+                            match groups
+                                .iter_mut()
+                                .find(|(k, _)| k.sort_cmp(&r.cat) == Ordering::Equal)
+                            {
+                                Some((_, scores)) => scores.push(&r.score),
+                                None => groups.push((&r.cat, vec![&r.score])),
+                            }
+                        }
+                        let expected: Vec<Vec<Value>> = groups
+                            .into_iter()
+                            .map(|(k, scores)| {
+                                let mut row = vec![k.clone()];
+                                row.extend(model_aggs(&scores));
+                                row
+                            })
+                            .collect();
+                        assert_eq!(
+                            canon(&got.rows),
+                            canon(&expected),
+                            "step {step}: group {pred:?}"
+                        );
+                    }
+                    // Lone MIN/MAX — the equality-prefix form compiles to a
+                    // one-row bounded read (first entry / reverse seek).
+                    _ => {
+                        let cat = random_cat(&mut rng);
+                        let func = if rng.gen_range(0u32..2) == 0 {
+                            "MIN"
+                        } else {
+                            "MAX"
+                        };
+                        let got = y
+                            .execute(
+                                &format!("SELECT {func}(score) FROM items WHERE cat = ?"),
+                                std::slice::from_ref(&cat),
+                            )
+                            .unwrap();
+                        let scores: Vec<&Value> = model
+                            .iter()
+                            .filter(|r| cmp_true(&r.cat, "=", &cat))
+                            .map(|r| &r.score)
+                            .collect();
+                        let aggs = model_aggs(&scores);
+                        let expected = if func == "MIN" { &aggs[3] } else { &aggs[4] };
+                        assert_eq!(
+                            got.rows,
+                            vec![vec![expected.clone()]],
+                            "step {step}: {func}(score) cat={cat:?}"
+                        );
+                    }
+                }
+            }
+            // ~20% queries.
             _ => {
                 let pred = random_pred(&mut rng, next_id);
                 let (where_sql, params) = pred.sql();
@@ -261,7 +429,11 @@ fn random_sql_matches_in_memory_model() {
     }
 
     // Final invariant: the secondary index agrees with the base table for
-    // every category value it can hold.
+    // every category value it can hold — and because `id` is the rowid and
+    // `cat` is indexed, these queries are covering: across the whole loop
+    // the executor must never fetch back into the primary tree.
+    let stats = y.db().stats();
+    let fetchbacks_before = stats.counter("sql.fetchbacks").get();
     for cat in [
         Value::Text("cat-0".into()),
         Value::Text("cat-1".into()),
@@ -281,4 +453,9 @@ fn random_sql_matches_in_memory_model() {
             .collect();
         assert_eq!(canon(&via_index.rows), canon(&expected));
     }
+    assert_eq!(
+        stats.counter("sql.fetchbacks").get(),
+        fetchbacks_before,
+        "covering index scans must not fetch back"
+    );
 }
