@@ -7,7 +7,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use yesquel_common::config::SplitMode;
 use yesquel_common::YesquelConfig;
-use yesquel_sql::{parse, tokenize, Value};
+use yesquel_sql::{params, parse, tokenize, Value};
 use yesquel_ydbt::DbtEngine;
 
 const POINT_SELECT: &str = "SELECT id, name, score FROM users WHERE id = 12345";
@@ -195,10 +195,13 @@ fn bench_execution(c: &mut Criterion) {
 }
 
 fn bench_session(c: &mut Criterion) {
-    // The facade path: a Session with its statement cache, so repeated
-    // statement texts skip the parse and the plan entirely.  Against
+    // The facade paths: a Session with its statement cache (repeated
+    // statement texts skip the parse and the plan) and prepared handles
+    // (no text re-hash either — the handle owns the plan).  Against
     // sql/point_select_pk (which re-parses and re-plans each iteration)
-    // this isolates the statement-cache win.
+    // sql/point_select_pk_cached isolates the statement-cache win, and
+    // sql/prepared_point_select the remaining cost of the text hash +
+    // cache probe.
     let mut config = YesquelConfig::with_servers(4);
     config.dbt.split_mode = SplitMode::Synchronous;
     config.dbt.load_splits = false;
@@ -234,6 +237,38 @@ fn bench_session(c: &mut Criterion) {
                 )
                 .unwrap();
             assert_eq!(rs.rows.len(), 1);
+            black_box(rs)
+        });
+    });
+
+    c.bench_function("sql/prepared_point_select", |b| {
+        // Handle reuse: zero parse, zero plan, zero statement-cache probe
+        // per execution — bind the parameter and run.
+        let prep = y
+            .session()
+            .prepare("SELECT name, score FROM users WHERE id = ?")
+            .unwrap();
+        let mut i = 0i64;
+        b.iter(|| {
+            i = (i + 1) % ROWS;
+            let rs = prep.execute(params![i + 1]).unwrap();
+            assert_eq!(rs.rows.len(), 1);
+            black_box(rs)
+        });
+    });
+
+    c.bench_function("sql/prepared_insert", |b| {
+        // Transactional INSERT maintaining the secondary index through a
+        // reused handle, committed per call.  Runs last in this group so
+        // the point-select benches above see a stable table size.
+        let prep = y
+            .session()
+            .prepare("INSERT INTO users (name, score) VALUES (?1, ?2)")
+            .unwrap();
+        let mut i = ROWS;
+        b.iter(|| {
+            i += 1;
+            let rs = prep.execute(params![format!("new-{i}"), i % 512]).unwrap();
             black_box(rs)
         });
     });

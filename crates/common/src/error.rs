@@ -40,6 +40,11 @@ pub enum Error {
     /// A SQL type error (e.g. adding a string to an integer without a
     /// defined coercion).
     Type(String),
+    /// A statement parameter could not be bound: arity mismatch, an unknown
+    /// `:name`, mixing named and positional placeholders, or a typed row
+    /// access that does not fit the value.  Surfaced at bind time, before
+    /// any row is touched.
+    Bind(String),
     /// The feature is recognised but not supported by this implementation.
     Unsupported(String),
     /// Invalid argument or state transition requested by the caller.
@@ -69,6 +74,7 @@ impl Error {
             Error::Schema(_) => "schema",
             Error::Constraint(_) => "constraint",
             Error::Type(_) => "type",
+            Error::Bind(_) => "bind",
             Error::Unsupported(_) => "unsupported",
             Error::InvalidArgument(_) => "invalid_argument",
             Error::Internal(_) => "internal",
@@ -89,6 +95,7 @@ impl fmt::Display for Error {
             Error::Schema(m) => write!(f, "schema error: {m}"),
             Error::Constraint(m) => write!(f, "constraint violation: {m}"),
             Error::Type(m) => write!(f, "type error: {m}"),
+            Error::Bind(m) => write!(f, "bind error: {m}"),
             Error::Unsupported(m) => write!(f, "unsupported: {m}"),
             Error::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
             Error::Internal(m) => write!(f, "internal error: {m}"),
@@ -130,6 +137,7 @@ mod tests {
             Error::Schema(String::new()),
             Error::Constraint(String::new()),
             Error::Type(String::new()),
+            Error::Bind(String::new()),
             Error::Unsupported(String::new()),
             Error::InvalidArgument(String::new()),
             Error::Internal(String::new()),

@@ -204,6 +204,15 @@ pub struct SqlCounters {
     pub stmt_cache_hits: Arc<Counter>,
     /// Statement-cache misses (fresh parse + plan).
     pub stmt_cache_misses: Arc<Counter>,
+    /// Statement-cache entries evicted: generation-stale entries swept on
+    /// lookup plus capacity evictions.
+    pub stmt_cache_evictions: Arc<Counter>,
+    /// SQL texts parsed by the session layer.  Re-executing a prepared
+    /// handle performs zero parses; tests assert on the delta.
+    pub parses: Arc<Counter>,
+    /// Statements planned ([`crate::plan_statement`] calls).  A statement-
+    /// cache hit or a prepared re-execution performs zero.
+    pub plans: Arc<Counter>,
 }
 
 impl SqlCounters {
@@ -214,6 +223,9 @@ impl SqlCounters {
             covering_scans: stats.counter("sql.covering_scans"),
             stmt_cache_hits: stats.counter("sql.stmt_cache_hits"),
             stmt_cache_misses: stats.counter("sql.stmt_cache_misses"),
+            stmt_cache_evictions: stats.counter("sql.stmt_cache_evictions"),
+            parses: stats.counter("sql.parses"),
+            plans: stats.counter("sql.plans"),
         }
     }
 }

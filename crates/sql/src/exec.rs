@@ -51,6 +51,7 @@
 
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, HashSet};
+use std::sync::Arc;
 
 use yesquel_common::{Error, Result};
 use yesquel_kv::Txn;
@@ -67,6 +68,7 @@ use crate::row::{
     decode_index_entry, decode_index_rowid, decode_row, decode_rowid_key, encode_index_key,
     encode_index_value, encode_row, encode_rowid_key, index_nonnull_floor, prefix_upper_bound,
 };
+use crate::typed::Row;
 use crate::types::{ColumnType, Value};
 
 /// The result of executing one statement.
@@ -85,6 +87,58 @@ pub struct ResultSet {
 impl ResultSet {
     fn empty() -> ResultSet {
         ResultSet::default()
+    }
+
+    /// Position of the named result column (case-insensitive), the typed
+    /// alternative to hard-coding `rows[i][2]`.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.eq_ignore_ascii_case(name))
+    }
+
+    /// The column header as the shared `Arc` form [`Row`]s carry.
+    fn header(&self) -> Arc<[String]> {
+        Arc::from(self.columns.clone())
+    }
+
+    /// Iterates the result as typed [`Row`]s (values cloned; the header is
+    /// shared).  Consume the set with `into_iter()` to avoid the clones.
+    pub fn iter(&self) -> impl Iterator<Item = Row> + '_ {
+        let header = self.header();
+        self.rows
+            .iter()
+            .map(move |r| Row::new(Arc::clone(&header), r.clone()))
+    }
+}
+
+impl IntoIterator for ResultSet {
+    type Item = Row;
+    type IntoIter = ResultRows;
+
+    /// Consumes the result into typed [`Row`]s without cloning the values
+    /// (the header moves too).
+    fn into_iter(self) -> ResultRows {
+        ResultRows {
+            header: Arc::from(self.columns),
+            rows: self.rows.into_iter(),
+        }
+    }
+}
+
+/// Consuming [`Row`] iterator over a [`ResultSet`].
+pub struct ResultRows {
+    header: Arc<[String]>,
+    rows: std::vec::IntoIter<Vec<Value>>,
+}
+
+impl Iterator for ResultRows {
+    type Item = Row;
+
+    fn next(&mut self) -> Option<Row> {
+        self.rows
+            .next()
+            .map(|r| Row::new(Arc::clone(&self.header), r))
     }
 }
 

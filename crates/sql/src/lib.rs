@@ -18,16 +18,22 @@ pub mod ast;
 pub mod catalog;
 pub mod exec;
 pub mod expr;
+pub mod params;
 pub mod parser;
 pub mod plan;
 pub mod row;
 pub mod token;
+pub mod typed;
 pub mod types;
 
 pub use ast::Statement;
 pub use catalog::{Catalog, SqlCounters};
-pub use exec::{execute, execute_plan, open_stream, ExecCtx, ResultSet, RowSource, RowStream};
-pub use parser::{parse, parse_script};
+pub use exec::{
+    execute, execute_plan, open_stream, ExecCtx, ResultRows, ResultSet, RowSource, RowStream,
+};
+pub use params::ParamInfo;
+pub use parser::{parse, parse_script, parse_with_params};
 pub use plan::{plan_statement, AccessPath, AggFunc, AggStrategy, Plan};
 pub use token::tokenize;
+pub use typed::{FromValue, Row, ToValue};
 pub use types::{ColumnType, Value};

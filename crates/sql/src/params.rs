@@ -1,0 +1,302 @@
+//! Statement parameters: the [`ParamInfo`] table the parser builds while it
+//! resolves placeholders, and the bind-time checks built on it.
+//!
+//! Three placeholder spellings are supported, resolved to 0-based slots of
+//! the parameter array handed to every execution:
+//!
+//! * `?` — anonymous positional: takes the slot after the highest one
+//!   assigned so far (so a plain `?, ?, ?` sequence is slots 0, 1, 2);
+//! * `?NNN` — numbered positional: slot `NNN - 1` (1-based, as in SQLite),
+//!   so `?2, ?1` binds the supplied values in reverse;
+//! * `:name` — named: the first occurrence takes the next free slot and
+//!   every later occurrence of the same name reuses it.
+//!
+//! Named and positional placeholders cannot be mixed in one statement —
+//! the combination makes the positional order ambiguous to a reader, and
+//! rejecting it at parse time turns a silent misbinding into an
+//! [`Error::Bind`].  All violations (mixing, arity mismatches, unknown
+//! names) surface as [`Error::Bind`] *before* execution touches a row;
+//! without this table an out-of-range parameter used to travel all the way
+//! into expression evaluation before failing.
+
+use yesquel_common::{Error, Result};
+
+use crate::types::Value;
+
+/// Largest parameter number accepted for `?NNN` (the slot table is dense,
+/// so an absurd number would allocate absurd storage).
+const MAX_NUMBERED_PARAM: u32 = 999;
+
+/// The parameter table of one parsed statement: one entry per slot, carrying
+/// the slot's name when the statement spelled it `:name`.
+///
+/// Built by the parser, carried alongside the plan (the session's statement
+/// cache and every `Prepared` handle keep it), and consulted at bind time.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ParamInfo {
+    /// Slot -> name (without the leading colon); `None` for positional.
+    names: Vec<Option<String>>,
+}
+
+impl ParamInfo {
+    /// Number of parameter slots the statement takes.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when the statement takes no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Name of slot `i` (0-based), if the statement used `:name` for it.
+    pub fn name_of(&self, i: usize) -> Option<&str> {
+        self.names.get(i).and_then(|n| n.as_deref())
+    }
+
+    /// Slot of the named parameter, accepted with or without the leading
+    /// colon.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        let bare = name.strip_prefix(':').unwrap_or(name);
+        self.names.iter().position(|n| n.as_deref() == Some(bare))
+    }
+
+    /// Checks that `supplied` positional values exactly fill the slots.
+    pub fn check_arity(&self, supplied: usize) -> Result<()> {
+        if supplied == self.names.len() {
+            Ok(())
+        } else {
+            Err(Error::Bind(format!(
+                "statement takes {} parameter(s), {} supplied",
+                self.names.len(),
+                supplied
+            )))
+        }
+    }
+
+    /// Resolves `(name, value)` pairs into per-slot values, rejecting
+    /// unknown names and double binds (shared by both named-binding forms).
+    fn resolve_pairs(&self, pairs: &[(&str, Value)]) -> Result<Vec<Option<Value>>> {
+        let mut out: Vec<Option<Value>> = vec![None; self.names.len()];
+        for (name, value) in pairs {
+            let i = self.index_of(name).ok_or_else(|| {
+                Error::Bind(format!(
+                    "statement has no parameter named :{}",
+                    name.strip_prefix(':').unwrap_or(name)
+                ))
+            })?;
+            if out[i].replace(value.clone()).is_some() {
+                return Err(Error::Bind(format!(
+                    "parameter :{} bound twice",
+                    self.names[i].as_deref().unwrap_or("?")
+                )));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Resolves `(name, value)` pairs into the positional parameter array.
+    /// Every pair must match a `:name` slot and every slot must be covered;
+    /// names are accepted with or without the leading colon.
+    pub fn bind_named(&self, pairs: &[(&str, Value)]) -> Result<Vec<Value>> {
+        self.resolve_pairs(pairs)?
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| {
+                v.ok_or_else(|| match &self.names[i] {
+                    Some(n) => Error::Bind(format!("parameter :{n} is unbound")),
+                    None => Error::Bind(format!(
+                        "parameter {} has no name; bind it positionally",
+                        i + 1
+                    )),
+                })
+            })
+            .collect()
+    }
+
+    /// Like [`ParamInfo::bind_named`] but fills unbound slots with NULL
+    /// instead of erroring — the EXPLAIN form, where parameters are never
+    /// evaluated.  Unknown names and double binds still error.
+    pub fn bind_named_lenient(&self, pairs: &[(&str, Value)]) -> Result<Vec<Value>> {
+        Ok(self
+            .resolve_pairs(pairs)?
+            .into_iter()
+            .map(|v| v.unwrap_or(Value::Null))
+            .collect())
+    }
+}
+
+/// Accumulates placeholder occurrences during the parse; [`finish`] yields
+/// the statement's [`ParamInfo`].
+///
+/// [`finish`]: ParamBuilder::finish
+#[derive(Debug, Default)]
+pub struct ParamBuilder {
+    names: Vec<Option<String>>,
+    has_positional: bool,
+    has_named: bool,
+}
+
+impl ParamBuilder {
+    fn check_mix(&self) -> Result<()> {
+        if self.has_positional && self.has_named {
+            Err(Error::Bind(
+                "cannot mix named (:name) and positional (?) parameters in one statement".into(),
+            ))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Resolves an anonymous `?`: the slot after the highest assigned so far.
+    pub fn anon(&mut self) -> Result<usize> {
+        self.has_positional = true;
+        self.check_mix()?;
+        self.names.push(None);
+        Ok(self.names.len() - 1)
+    }
+
+    /// Resolves a numbered `?NNN` (1-based).
+    pub fn numbered(&mut self, n: u32) -> Result<usize> {
+        self.has_positional = true;
+        self.check_mix()?;
+        if n == 0 || n > MAX_NUMBERED_PARAM {
+            return Err(Error::Bind(format!(
+                "parameter number ?{n} is out of range (1..{MAX_NUMBERED_PARAM})"
+            )));
+        }
+        let slot = (n - 1) as usize;
+        while self.names.len() <= slot {
+            self.names.push(None);
+        }
+        Ok(slot)
+    }
+
+    /// Resolves a `:name`, reusing the slot of an earlier occurrence.
+    pub fn named(&mut self, name: &str) -> Result<usize> {
+        self.has_named = true;
+        self.check_mix()?;
+        if let Some(i) = self.names.iter().position(|n| n.as_deref() == Some(name)) {
+            return Ok(i);
+        }
+        self.names.push(Some(name.to_string()));
+        Ok(self.names.len() - 1)
+    }
+
+    /// The finished parameter table.
+    pub fn finish(self) -> ParamInfo {
+        ParamInfo { names: self.names }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anonymous_params_number_sequentially() {
+        let mut b = ParamBuilder::default();
+        assert_eq!(b.anon().unwrap(), 0);
+        assert_eq!(b.anon().unwrap(), 1);
+        let info = b.finish();
+        assert_eq!(info.len(), 2);
+        assert_eq!(info.name_of(0), None);
+        info.check_arity(2).unwrap();
+        assert!(matches!(info.check_arity(1), Err(Error::Bind(_))));
+        assert!(matches!(info.check_arity(3), Err(Error::Bind(_))));
+    }
+
+    #[test]
+    fn numbered_params_take_their_slot() {
+        let mut b = ParamBuilder::default();
+        assert_eq!(b.numbered(2).unwrap(), 1);
+        assert_eq!(b.numbered(1).unwrap(), 0);
+        // A bare `?` after `?2` takes the next slot (SQLite numbering).
+        assert_eq!(b.anon().unwrap(), 2);
+        assert_eq!(b.finish().len(), 3);
+
+        let mut b = ParamBuilder::default();
+        assert!(matches!(b.numbered(0), Err(Error::Bind(_))));
+        assert!(matches!(b.numbered(100_000), Err(Error::Bind(_))));
+    }
+
+    #[test]
+    fn named_params_deduplicate() {
+        let mut b = ParamBuilder::default();
+        assert_eq!(b.named("lo").unwrap(), 0);
+        assert_eq!(b.named("hi").unwrap(), 1);
+        assert_eq!(b.named("lo").unwrap(), 0, "repeated name reuses its slot");
+        let info = b.finish();
+        assert_eq!(info.len(), 2);
+        assert_eq!(info.name_of(0), Some("lo"));
+        assert_eq!(info.index_of("hi"), Some(1));
+        assert_eq!(info.index_of(":hi"), Some(1));
+        assert_eq!(info.index_of("nope"), None);
+    }
+
+    #[test]
+    fn mixing_named_and_positional_is_a_bind_error() {
+        let mut b = ParamBuilder::default();
+        b.anon().unwrap();
+        assert!(matches!(b.named("x"), Err(Error::Bind(_))));
+        let mut b = ParamBuilder::default();
+        b.named("x").unwrap();
+        assert!(matches!(b.numbered(1), Err(Error::Bind(_))));
+    }
+
+    #[test]
+    fn bind_named_resolves_and_validates() {
+        let mut b = ParamBuilder::default();
+        b.named("a").unwrap();
+        b.named("b").unwrap();
+        let info = b.finish();
+        let vals = info
+            .bind_named(&[(":b", Value::Int(2)), ("a", Value::Int(1))])
+            .unwrap();
+        assert_eq!(vals, vec![Value::Int(1), Value::Int(2)]);
+        // Unknown name.
+        assert!(matches!(
+            info.bind_named(&[("c", Value::Null)]),
+            Err(Error::Bind(_))
+        ));
+        // Unbound slot.
+        assert!(matches!(
+            info.bind_named(&[("a", Value::Null)]),
+            Err(Error::Bind(_))
+        ));
+        // Double bind.
+        assert!(matches!(
+            info.bind_named(&[("a", Value::Null), (":a", Value::Null), ("b", Value::Null)]),
+            Err(Error::Bind(_))
+        ));
+    }
+
+    #[test]
+    fn bind_named_lenient_fills_unbound_with_null() {
+        let mut b = ParamBuilder::default();
+        b.named("a").unwrap();
+        b.named("b").unwrap();
+        let info = b.finish();
+        assert_eq!(
+            info.bind_named_lenient(&[("b", Value::Int(2))]).unwrap(),
+            vec![Value::Null, Value::Int(2)]
+        );
+        // Unknown names and double binds still error.
+        assert!(matches!(
+            info.bind_named_lenient(&[("c", Value::Null)]),
+            Err(Error::Bind(_))
+        ));
+        assert!(matches!(
+            info.bind_named_lenient(&[("a", Value::Null), (":a", Value::Null)]),
+            Err(Error::Bind(_))
+        ));
+    }
+
+    #[test]
+    fn bind_named_rejects_positional_slots() {
+        let mut b = ParamBuilder::default();
+        b.anon().unwrap();
+        let info = b.finish();
+        assert!(matches!(info.bind_named(&[]), Err(Error::Bind(_))));
+    }
+}

@@ -3,16 +3,25 @@
 use yesquel_common::{Error, Result};
 
 use crate::ast::*;
+use crate::params::{ParamBuilder, ParamInfo};
 use crate::token::{tokenize, Symbol, Token};
 use crate::types::{ColumnType, Value};
 
 /// Parses one SQL statement (a trailing semicolon is allowed).
 pub fn parse(sql: &str) -> Result<Statement> {
+    parse_with_params(sql).map(|(stmt, _)| stmt)
+}
+
+/// Parses one SQL statement together with its parameter table: the slot
+/// each `?` / `?NNN` / `:name` placeholder resolved to (see
+/// [`crate::params`]).  This is the entry point prepared statements use;
+/// [`parse`] is the convenience that discards the table.
+pub fn parse_with_params(sql: &str) -> Result<(Statement, ParamInfo)> {
     let tokens = tokenize(sql)?;
     let mut p = Parser {
         tokens,
         pos: 0,
-        params: 0,
+        params: ParamBuilder::default(),
     };
     let stmt = p.parse_statement()?;
     p.eat_symbol(Symbol::Semicolon);
@@ -22,7 +31,7 @@ pub fn parse(sql: &str) -> Result<Statement> {
             p.peek()
         )));
     }
-    Ok(stmt)
+    Ok((stmt, p.params.finish()))
 }
 
 /// Parses a semicolon-separated script into its statements.
@@ -37,7 +46,7 @@ pub fn parse_script(sql: &str) -> Result<Vec<Statement>> {
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
-    params: usize,
+    params: ParamBuilder,
 }
 
 impl Parser {
@@ -669,11 +678,9 @@ impl Parser {
             Some(Token::Int(i)) => Ok(Expr::Literal(Value::Int(i))),
             Some(Token::Float(f)) => Ok(Expr::Literal(Value::Real(f))),
             Some(Token::Str(s)) => Ok(Expr::Literal(Value::Text(s))),
-            Some(Token::Symbol(Symbol::Question)) => {
-                let idx = self.params;
-                self.params += 1;
-                Ok(Expr::Param(idx))
-            }
+            Some(Token::Symbol(Symbol::Question)) => Ok(Expr::Param(self.params.anon()?)),
+            Some(Token::NumberedParam(n)) => Ok(Expr::Param(self.params.numbered(n)?)),
+            Some(Token::NamedParam(name)) => Ok(Expr::Param(self.params.named(&name)?)),
             Some(Token::Symbol(Symbol::LParen)) => {
                 let e = self.parse_expr()?;
                 self.expect_symbol(Symbol::RParen)?;
@@ -871,6 +878,46 @@ mod tests {
             }
             other => panic!("wrong statement {other:?}"),
         }
+    }
+
+    #[test]
+    fn named_and_numbered_params_resolve_to_slots() {
+        // Numbered placeholders bind out of order.
+        let (stmt, info) = parse_with_params("SELECT * FROM t WHERE a = ?2 AND b = ?1").unwrap();
+        assert_eq!(info.len(), 2);
+        let w = format!("{stmt:?}");
+        assert!(w.contains("Param(1)") && w.contains("Param(0)"), "{w}");
+
+        // A repeated :name shares one slot.
+        let (stmt, info) =
+            parse_with_params("SELECT * FROM t WHERE a = :x AND b = :y AND c = :x").unwrap();
+        assert_eq!(info.len(), 2);
+        assert_eq!(info.name_of(0), Some("x"));
+        assert_eq!(info.name_of(1), Some("y"));
+        let w = format!("{stmt:?}");
+        assert_eq!(w.matches("Param(0)").count(), 2, "{w}");
+
+        // EXPLAIN shares the inner statement's parameter table.
+        let (_, info) = parse_with_params("EXPLAIN SELECT * FROM t WHERE a = :x").unwrap();
+        assert_eq!(info.len(), 1);
+    }
+
+    #[test]
+    fn mixing_placeholder_kinds_is_a_bind_error() {
+        for sql in [
+            "SELECT * FROM t WHERE a = ? AND b = :x",
+            "SELECT * FROM t WHERE a = :x AND b = ?",
+            "SELECT * FROM t WHERE a = :x AND b = ?2",
+        ] {
+            let err = parse(sql).unwrap_err();
+            assert!(
+                matches!(err, yesquel_common::Error::Bind(_)),
+                "{sql}: {err}"
+            );
+        }
+        // Anonymous and numbered positional placeholders may mix.
+        let (_, info) = parse_with_params("SELECT * FROM t WHERE a = ?2 AND b = ?").unwrap();
+        assert_eq!(info.len(), 3);
     }
 
     #[test]

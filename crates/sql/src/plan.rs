@@ -411,6 +411,13 @@ impl Plan {
 /// Plans one statement.  `BEGIN`/`COMMIT`/`ROLLBACK` are session control and
 /// must be intercepted before planning.
 pub fn plan_statement(catalog: &Catalog, txn: &Txn, stmt: &Statement) -> Result<Plan> {
+    catalog.counters().plans.inc();
+    plan_inner(catalog, txn, stmt)
+}
+
+/// [`plan_statement`] without the `sql.plans` bump (so an EXPLAIN counts as
+/// one plan, not two).
+fn plan_inner(catalog: &Catalog, txn: &Txn, stmt: &Statement) -> Result<Plan> {
     match stmt {
         Statement::CreateTable(ct) => Ok(Plan::CreateTable(ct.clone())),
         Statement::CreateIndex(ci) => Ok(Plan::CreateIndex(ci.clone())),
@@ -423,7 +430,7 @@ pub fn plan_statement(catalog: &Catalog, txn: &Txn, stmt: &Statement) -> Result<
         Statement::Update(upd) => plan_update(catalog, txn, upd),
         Statement::Delete(del) => plan_delete(catalog, txn, del),
         Statement::Explain(inner) => {
-            let inner = plan_statement(catalog, txn, inner)?;
+            let inner = plan_inner(catalog, txn, inner)?;
             Ok(Plan::Explain(Box::new(inner)))
         }
         Statement::Begin | Statement::Commit | Statement::Rollback => Err(Error::InvalidArgument(

@@ -18,6 +18,10 @@ pub enum Token {
     Float(f64),
     /// Punctuation and operators.
     Symbol(Symbol),
+    /// Numbered parameter `?NNN` (1-based, as written).
+    NumberedParam(u32),
+    /// Named parameter `:name` (stored without the colon).
+    NamedParam(String),
 }
 
 /// Operator and punctuation tokens.
@@ -124,8 +128,34 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
                 i += 1;
             }
             '?' => {
-                out.push(Token::Symbol(Symbol::Question));
+                // `?NNN` is a numbered parameter; a bare `?` stays anonymous.
                 i += 1;
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                if i > start {
+                    let n: u32 = sql[start..i].parse().map_err(|_| {
+                        Error::Parse(format!("bad parameter number ?{}", &sql[start..i]))
+                    })?;
+                    out.push(Token::NumberedParam(n));
+                } else {
+                    out.push(Token::Symbol(Symbol::Question));
+                }
+            }
+            ':' => {
+                // `:name` named parameter.
+                i += 1;
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                if i == start {
+                    return Err(Error::Parse("expected parameter name after ':'".into()));
+                }
+                out.push(Token::NamedParam(sql[start..i].to_string()));
             }
             '|' => {
                 if bytes.get(i + 1) == Some(&b'|') {
@@ -317,6 +347,21 @@ mod tests {
         assert!(tokenize("SELECT @x").is_err());
         assert!(tokenize("a ! b").is_err());
         assert!(tokenize("a | b").is_err());
+    }
+
+    #[test]
+    fn placeholders() {
+        let toks = tokenize("a = ? AND b = ?7 AND c = :name AND d = :x_1").unwrap();
+        assert!(toks.contains(&Token::Symbol(Symbol::Question)));
+        assert!(toks.contains(&Token::NumberedParam(7)));
+        assert!(toks.contains(&Token::NamedParam("name".into())));
+        assert!(toks.contains(&Token::NamedParam("x_1".into())));
+        // A bare colon is not a parameter.
+        assert!(tokenize("a = :").is_err());
+        assert!(tokenize("a = : name").is_err());
+        // '?' inside a string literal stays text.
+        let toks = tokenize("SELECT '?1'").unwrap();
+        assert!(toks.contains(&Token::Str("?1".into())));
     }
 
     #[test]

@@ -1,0 +1,420 @@
+//! Typed client-side access: [`ToValue`] for binding parameters, the
+//! [`params!`] macro, and the [`Row`] type with [`FromValue`]-typed getters.
+//!
+//! These are the rusqlite-style ergonomics of the prepared-statement API:
+//! callers write `prep.execute(params![title, views])?` instead of
+//! hand-wrapping `Value::Text(...)`, and read results with
+//! `row.get::<i64>("views")?` instead of indexing `rows[0][2]` by a magic
+//! column position.  Typed reads are strict — an `i64` getter on a TEXT
+//! value is an [`Error::Bind`] naming the column, not a silent coercion —
+//! because the misread, not the conversion, is the bug worth surfacing.
+//!
+//! [`params!`]: crate::params!
+
+use std::fmt;
+use std::sync::Arc;
+
+use yesquel_common::{Error, Result};
+
+use crate::types::Value;
+
+// ---------------------------------------------------------------------------
+// Parameter binding
+// ---------------------------------------------------------------------------
+
+/// A Rust value that can be bound as a SQL parameter.
+pub trait ToValue {
+    /// The SQL value to bind.
+    fn to_value(&self) -> Value;
+}
+
+impl ToValue for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl ToValue for &Value {
+    fn to_value(&self) -> Value {
+        (*self).clone()
+    }
+}
+
+macro_rules! to_value_int {
+    ($($t:ty),*) => {$(
+        impl ToValue for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+    )*};
+}
+to_value_int!(i8, i16, i32, i64, u8, u16, u32);
+
+impl ToValue for bool {
+    fn to_value(&self) -> Value {
+        Value::Int(i64::from(*self))
+    }
+}
+
+impl ToValue for f64 {
+    fn to_value(&self) -> Value {
+        Value::Real(*self)
+    }
+}
+
+impl ToValue for f32 {
+    fn to_value(&self) -> Value {
+        Value::Real(f64::from(*self))
+    }
+}
+
+impl ToValue for &str {
+    fn to_value(&self) -> Value {
+        Value::Text((*self).to_string())
+    }
+}
+
+impl ToValue for String {
+    fn to_value(&self) -> Value {
+        Value::Text(self.clone())
+    }
+}
+
+impl ToValue for &[u8] {
+    fn to_value(&self) -> Value {
+        Value::Blob(self.to_vec())
+    }
+}
+
+impl ToValue for Vec<u8> {
+    fn to_value(&self) -> Value {
+        Value::Blob(self.clone())
+    }
+}
+
+impl<T: ToValue> ToValue for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+/// Builds the positional parameter slice of one statement execution from
+/// plain Rust values: `prep.execute(params![title, views])?`.  Each argument
+/// is converted through [`ToValue`]; an empty invocation binds nothing.
+#[macro_export]
+macro_rules! params {
+    () => {
+        &[] as &[$crate::types::Value]
+    };
+    ($($p:expr),+ $(,)?) => {
+        &[$($crate::typed::ToValue::to_value(&$p)),+] as &[$crate::types::Value]
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Typed row access
+// ---------------------------------------------------------------------------
+
+/// A Rust type a result [`Value`] can be read as.  The lifetime lets
+/// borrowing reads (`&str`, `&[u8]`) hand out slices of the row instead of
+/// allocating.
+pub trait FromValue<'a>: Sized {
+    /// Converts the value, or reports why it does not fit.
+    fn from_value(v: &'a Value) -> Result<Self>;
+}
+
+fn type_err(want: &str, got: &Value) -> Error {
+    Error::Bind(format!("expected {want}, got {got:?}"))
+}
+
+impl<'a> FromValue<'a> for i64 {
+    fn from_value(v: &'a Value) -> Result<Self> {
+        match v {
+            Value::Int(i) => Ok(*i),
+            other => Err(type_err("an INTEGER", other)),
+        }
+    }
+}
+
+impl<'a> FromValue<'a> for i32 {
+    fn from_value(v: &'a Value) -> Result<Self> {
+        let i = i64::from_value(v)?;
+        i32::try_from(i).map_err(|_| Error::Bind(format!("integer {i} does not fit in i32")))
+    }
+}
+
+impl<'a> FromValue<'a> for bool {
+    fn from_value(v: &'a Value) -> Result<Self> {
+        Ok(i64::from_value(v)? != 0)
+    }
+}
+
+impl<'a> FromValue<'a> for f64 {
+    fn from_value(v: &'a Value) -> Result<Self> {
+        match v {
+            Value::Real(r) => Ok(*r),
+            Value::Int(i) => Ok(*i as f64),
+            other => Err(type_err("a number", other)),
+        }
+    }
+}
+
+impl<'a> FromValue<'a> for &'a str {
+    fn from_value(v: &'a Value) -> Result<Self> {
+        match v {
+            Value::Text(s) => Ok(s.as_str()),
+            other => Err(type_err("TEXT", other)),
+        }
+    }
+}
+
+impl<'a> FromValue<'a> for String {
+    fn from_value(v: &'a Value) -> Result<Self> {
+        <&str>::from_value(v).map(str::to_string)
+    }
+}
+
+impl<'a> FromValue<'a> for &'a [u8] {
+    fn from_value(v: &'a Value) -> Result<Self> {
+        match v {
+            Value::Blob(b) => Ok(b.as_slice()),
+            other => Err(type_err("a BLOB", other)),
+        }
+    }
+}
+
+impl<'a> FromValue<'a> for Vec<u8> {
+    fn from_value(v: &'a Value) -> Result<Self> {
+        <&[u8]>::from_value(v).map(<[u8]>::to_vec)
+    }
+}
+
+impl<'a> FromValue<'a> for Value {
+    fn from_value(v: &'a Value) -> Result<Self> {
+        Ok(v.clone())
+    }
+}
+
+impl<'a> FromValue<'a> for &'a Value {
+    fn from_value(v: &'a Value) -> Result<Self> {
+        Ok(v)
+    }
+}
+
+impl<'a, T: FromValue<'a>> FromValue<'a> for Option<T> {
+    fn from_value(v: &'a Value) -> Result<Self> {
+        if v.is_null() {
+            Ok(None)
+        } else {
+            T::from_value(v).map(Some)
+        }
+    }
+}
+
+/// One result row with its column header: values are read by name or
+/// position through [`FromValue`], so application code never indexes by a
+/// magic column number.
+///
+/// The header is an `Arc<[String]>` shared by every row of one result — a
+/// row costs its values plus one reference-count bump, whether it came from
+/// the streaming `Rows` iterator or from a materialised `ResultSet`.
+#[derive(Clone, PartialEq)]
+pub struct Row {
+    header: Arc<[String]>,
+    values: Vec<Value>,
+}
+
+impl Row {
+    /// Assembles a row from a shared header and its values.
+    pub fn new(header: Arc<[String]>, values: Vec<Value>) -> Row {
+        Row { header, values }
+    }
+
+    /// The column headers.
+    pub fn columns(&self) -> &[String] {
+        &self.header
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True for a zero-column row.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Position of the named column (case-insensitive).
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.header
+            .iter()
+            .position(|c| c.eq_ignore_ascii_case(name))
+    }
+
+    /// Reads the named column as `T`.  Unknown names and type mismatches are
+    /// [`Error::Bind`]s naming the column.
+    pub fn get<'a, T: FromValue<'a>>(&'a self, name: &str) -> Result<T> {
+        let i = self
+            .column_index(name)
+            .ok_or_else(|| Error::Bind(format!("no such column in result: {name}")))?;
+        let v = self.values.get(i).ok_or_else(|| {
+            Error::Bind(format!(
+                "column {name}: row has no value at slot {i} (header wider than row)"
+            ))
+        })?;
+        T::from_value(v).map_err(|e| Error::Bind(format!("column {name}: {}", bind_msg(e))))
+    }
+
+    /// Reads column `i` (0-based) as `T`.
+    pub fn get_at<'a, T: FromValue<'a>>(&'a self, i: usize) -> Result<T> {
+        let v = self.values.get(i).ok_or_else(|| {
+            Error::Bind(format!(
+                "column index {i} out of range (result has {} columns)",
+                self.values.len()
+            ))
+        })?;
+        T::from_value(v).map_err(|e| Error::Bind(format!("column {i}: {}", bind_msg(e))))
+    }
+
+    /// The raw values of the row.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Consumes the row into its values (the pre-typed-API row shape).
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+}
+
+/// The message of a bind error (other variants pass through [`fmt::Display`]).
+fn bind_msg(e: Error) -> String {
+    match e {
+        Error::Bind(m) => m,
+        other => other.to_string(),
+    }
+}
+
+impl fmt::Debug for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut m = f.debug_map();
+        for (c, v) in self.header.iter().zip(&self.values) {
+            m.entry(c, v);
+        }
+        m.finish()
+    }
+}
+
+impl std::ops::Index<usize> for Row {
+    type Output = Value;
+
+    fn index(&self, i: usize) -> &Value {
+        &self.values[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Row {
+        let header: Arc<[String]> = Arc::from(vec![
+            "id".to_string(),
+            "name".to_string(),
+            "score".to_string(),
+            "tag".to_string(),
+        ]);
+        Row::new(
+            header,
+            vec![
+                Value::Int(7),
+                Value::Text("alice".into()),
+                Value::Real(2.5),
+                Value::Null,
+            ],
+        )
+    }
+
+    #[test]
+    fn typed_gets_by_name_and_position() {
+        let row = sample();
+        assert_eq!(row.get::<i64>("id").unwrap(), 7);
+        assert_eq!(
+            row.get::<i64>("ID").unwrap(),
+            7,
+            "names are case-insensitive"
+        );
+        assert_eq!(row.get::<&str>("name").unwrap(), "alice");
+        assert_eq!(row.get::<String>("name").unwrap(), "alice");
+        assert_eq!(row.get::<f64>("score").unwrap(), 2.5);
+        assert_eq!(row.get::<f64>("id").unwrap(), 7.0, "ints read as f64");
+        assert_eq!(row.get_at::<i64>(0).unwrap(), 7);
+        assert_eq!(row.get_at::<&str>(1).unwrap(), "alice");
+        assert_eq!(row[1], Value::Text("alice".into()));
+    }
+
+    #[test]
+    fn nulls_and_options() {
+        let row = sample();
+        assert_eq!(row.get::<Option<String>>("tag").unwrap(), None);
+        assert_eq!(row.get::<Option<i64>>("id").unwrap(), Some(7));
+        assert_eq!(row.get::<Value>("tag").unwrap(), Value::Null);
+        // A non-optional getter on NULL is a bind error.
+        assert!(matches!(row.get::<i64>("tag"), Err(Error::Bind(_))));
+    }
+
+    #[test]
+    fn mismatches_are_bind_errors_naming_the_column() {
+        let row = sample();
+        let err = row.get::<i64>("name").unwrap_err();
+        match &err {
+            Error::Bind(m) => assert!(m.contains("name") && m.contains("INTEGER"), "{m}"),
+            other => panic!("expected Bind, got {other:?}"),
+        }
+        assert!(matches!(row.get::<i64>("missing"), Err(Error::Bind(_))));
+        assert!(matches!(row.get_at::<i64>(9), Err(Error::Bind(_))));
+        assert!(matches!(row.get::<&str>("id"), Err(Error::Bind(_))));
+        // A header wider than the row errors instead of panicking.
+        let short = Row::new(
+            Arc::from(vec!["a".to_string(), "b".to_string()]),
+            vec![Value::Int(1)],
+        );
+        assert!(matches!(short.get::<i64>("b"), Err(Error::Bind(_))));
+        assert_eq!(short.get::<i64>("a").unwrap(), 1);
+    }
+
+    #[test]
+    fn params_macro_converts_rust_values() {
+        let name = String::from("bob");
+        let maybe: Option<i64> = None;
+        let bound: &[Value] = params![1i64, 2i32, 2.5f64, "x", name, true, maybe];
+        assert_eq!(
+            bound,
+            &[
+                Value::Int(1),
+                Value::Int(2),
+                Value::Real(2.5),
+                Value::Text("x".into()),
+                Value::Text("bob".into()),
+                Value::Int(1),
+                Value::Null,
+            ]
+        );
+        let empty: &[Value] = params![];
+        assert!(empty.is_empty());
+        // Values and references pass through.
+        let v = Value::Blob(vec![1, 2]);
+        assert_eq!(params![&v][0], v);
+    }
+
+    #[test]
+    fn row_debug_shows_names() {
+        let s = format!("{:?}", sample());
+        assert!(s.contains("\"name\"") && s.contains("alice"), "{s}");
+    }
+}

@@ -347,9 +347,6 @@ impl From<String> for Value {
     }
 }
 
-/// A row of values, as returned to applications.
-pub type Row = Vec<Value>;
-
 #[cfg(test)]
 mod tests {
     use super::*;

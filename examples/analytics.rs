@@ -1,10 +1,11 @@
-//! An event-analytics workload on SQL: append-mostly inserts, then bounded
-//! index range scans with ORDER BY/LIMIT — the scale-predictable plan
-//! shapes (PIQL-style) the planner is restricted to.
+//! An event-analytics workload on SQL: append-mostly inserts through one
+//! prepared statement, then bounded index range scans with ORDER BY/LIMIT
+//! — the scale-predictable plan shapes (PIQL-style) the planner is
+//! restricted to — read back through typed rows.
 //!
 //! Run with: `cargo run --release --example analytics`
 
-use yesquel::{Result, Value, Yesquel};
+use yesquel::{params, Result, Value, Yesquel};
 
 fn main() -> Result<()> {
     let y = Yesquel::open(4);
@@ -15,55 +16,62 @@ fn main() -> Result<()> {
          CREATE INDEX events_by_kind ON events (kind);",
     )?;
 
-    // Ingest a stream of events from a handful of users.
+    // Ingest a stream of events from a handful of users: the INSERT is
+    // parsed and planned exactly once, then re-executed 600 times.
+    let ingest =
+        y.prepare("INSERT INTO events (user, kind, at, amount) VALUES (?1, ?2, ?3, ?4)")?;
     let kinds = ["view", "click", "buy"];
     for t in 0..600i64 {
-        y.execute(
-            "INSERT INTO events (user, kind, at, amount) VALUES (?, ?, ?, ?)",
-            &[
-                Value::Text(format!("user-{}", t % 7)),
-                Value::Text(kinds[(t % 3) as usize].into()),
-                Value::Int(t),
-                Value::Int((t * 13) % 97),
-            ],
-        )?;
+        ingest.execute(params![
+            format!("user-{}", t % 7),
+            kinds[(t % 3) as usize],
+            t,
+            (t * 13) % 97
+        ])?;
     }
     println!("ingested 600 events");
 
     // Per-user timeline slice: composite-index scan with an equality prefix
     // (user) and a range on the next column (at) — stops at the bound, no
-    // client-side over-read.
-    let rs = y.execute(
+    // client-side over-read.  Named parameters keep the three bindings
+    // readable at the call site.
+    let timeline = y.prepare(
         "SELECT at, kind, amount FROM events \
-         WHERE user = ? AND at BETWEEN ? AND ? ORDER BY at",
-        &[
-            Value::Text("user-3".into()),
-            Value::Int(100),
-            Value::Int(200),
-        ],
+         WHERE user = :user AND at BETWEEN :lo AND :hi ORDER BY at",
     )?;
-    println!("user-3 activity in [100, 200]: {} events", rs.rows.len());
+    let slice = timeline.execute_named(&[
+        (":user", "user-3".into()),
+        (":lo", Value::Int(100)),
+        (":hi", Value::Int(200)),
+    ])?;
+    println!("user-3 activity in [100, 200]: {} events", slice.rows.len());
 
-    // Recent purchases across all users (index on kind, residual ORDER BY).
-    let rs = y.execute(
-        "SELECT user, at, amount FROM events WHERE kind = 'buy' \
+    // Recent purchases across all users (index on kind, residual ORDER BY),
+    // mapped into typed tuples by column name.
+    let purchases = y.prepare(
+        "SELECT user, at, amount FROM events WHERE kind = ? \
          ORDER BY at DESC LIMIT 10",
-        &[],
     )?;
     println!("latest purchases:");
-    for row in &rs.rows {
-        println!("  {} at t={} ({} units)", row[0], row[1], row[2]);
+    for (user, at, amount) in purchases.query_map(params!["buy"], |r| {
+        Ok((
+            r.get::<String>("user")?,
+            r.get::<i64>("at")?,
+            r.get::<i64>("amount")?,
+        ))
+    })? {
+        println!("  {user} at t={at} ({amount} units)");
     }
 
     // Big spenders: index scan plus residual filter on a non-indexed column.
-    let rs = y.execute(
-        "SELECT DISTINCT user FROM events WHERE kind = 'buy' AND amount >= 80",
-        &[],
+    let spenders = y.execute(
+        "SELECT DISTINCT user FROM events WHERE kind = ? AND amount >= ?",
+        params!["buy", 80],
     )?;
-    println!("{} users made a purchase of 80+ units", rs.rows.len());
+    println!("{} users made a purchase of 80+ units", spenders.rows.len());
 
     // Cold data retention: trim old events transactionally.
-    let rs = y.execute("DELETE FROM events WHERE at < ?", &[Value::Int(100)])?;
-    println!("expired {} old events", rs.rows_affected);
+    let expired = y.execute("DELETE FROM events WHERE at < ?", params![100])?;
+    println!("expired {} old events", expired.rows_affected);
     Ok(())
 }

@@ -1,10 +1,13 @@
 //! A shopping-cart service on SQL with explicit transactions: checkout
 //! moves stock and cart rows atomically, and a conflicting checkout aborts
 //! at COMMIT (first-committer-wins under snapshot isolation) and retries.
+//! All statements are prepared once per session and re-executed across
+//! retries — the plan pin survives the retry loop, revalidated against the
+//! catalog generation.
 //!
 //! Run with: `cargo run --release --example shopping_cart`
 
-use yesquel::{Error, Result, Value, Yesquel};
+use yesquel::{params, Error, Result, Value, Yesquel};
 
 fn main() -> Result<()> {
     let y = Yesquel::open(3);
@@ -19,43 +22,42 @@ fn main() -> Result<()> {
         &[],
     )?;
 
-    // Two customers fill their carts (autocommitted statements).
-    for (cart, product, qty) in [("alice", 1, 1), ("alice", 3, 2), ("bob", 3, 1)] {
-        y.execute(
-            "INSERT INTO cart_items (cart, product, qty) VALUES (?, ?, ?)",
-            &[cart.into(), Value::Int(product), Value::Int(qty)],
-        )?;
+    // Two customers fill their carts (one prepared INSERT, autocommitted).
+    let add = y.prepare("INSERT INTO cart_items (cart, product, qty) VALUES (?, ?, ?)")?;
+    for (cart, product, qty) in [("alice", 1i64, 1i64), ("alice", 3, 2), ("bob", 3, 1)] {
+        add.execute(params![cart, product, qty])?;
     }
 
     // Checkout = one explicit transaction: read the cart through the index,
     // decrement stock per line, clear the cart.  Retried as a whole on
-    // commit conflicts.
+    // commit conflicts, re-driving the same prepared handles.
+    let session = y.new_session()?;
+    let cart_lines = session.prepare("SELECT product, qty FROM cart_items WHERE cart = ?")?;
+    let stock_of = session.prepare("SELECT stock FROM products WHERE id = ?")?;
+    let take_stock = session.prepare("UPDATE products SET stock = stock - :qty WHERE id = :id")?;
+    let clear_cart = session.prepare("DELETE FROM cart_items WHERE cart = ?")?;
+
     let checkout = |who: &str| -> Result<()> {
-        let session = y.new_session()?;
         loop {
             session.execute("BEGIN", &[])?;
             let run = (|| -> Result<()> {
-                let items = session.execute(
-                    "SELECT product, qty FROM cart_items WHERE cart = ?",
-                    &[who.into()],
-                )?;
-                for line in &items.rows {
-                    let left = session.execute(
-                        "SELECT stock FROM products WHERE id = ?",
-                        &[line[0].clone()],
-                    )?;
-                    let (Value::Int(stock), Value::Int(qty)) = (&left.rows[0][0], &line[1]) else {
-                        return Err(Error::Internal("bad row".into()));
-                    };
+                let lines: Vec<(i64, i64)> = cart_lines
+                    .query_map(params![who], |r| Ok((r.get("product")?, r.get("qty")?)))?;
+                for (product, qty) in lines {
+                    let rs = stock_of.execute(params![product])?;
+                    let stock = rs
+                        .iter()
+                        .next()
+                        .map_or(0, |r| r.get::<i64>("stock").unwrap_or(0));
                     if stock < qty {
                         return Err(Error::Constraint(format!("{who}: out of stock")));
                     }
-                    session.execute(
-                        "UPDATE products SET stock = stock - ? WHERE id = ?",
-                        &[line[1].clone(), line[0].clone()],
-                    )?;
+                    take_stock.execute_named(&[
+                        (":qty", Value::Int(qty)),
+                        (":id", Value::Int(product)),
+                    ])?;
                 }
-                session.execute("DELETE FROM cart_items WHERE cart = ?", &[who.into()])?;
+                clear_cart.execute(params![who])?;
                 Ok(())
             })();
             match run.and_then(|()| session.execute("COMMIT", &[]).map(|_| ())) {
@@ -85,8 +87,12 @@ fn main() -> Result<()> {
 
     let rs = y.execute("SELECT name, stock FROM products ORDER BY id", &[])?;
     println!("remaining stock:");
-    for row in &rs.rows {
-        println!("  {}: {}", row[0], row[1]);
+    for row in rs.iter() {
+        println!(
+            "  {}: {}",
+            row.get::<&str>("name")?,
+            row.get::<i64>("stock")?
+        );
     }
     let rs = y.execute("SELECT id FROM cart_items", &[])?;
     println!("cart rows left: {}", rs.rows.len());

@@ -1,11 +1,11 @@
 //! A Wikipedia-style application on real SQL — the workload family the
-//! paper evaluates Yesquel against.  Every statement below is compiled by
-//! the planner onto DBT operations running inside distributed transactions;
-//! no hand-rolled tree calls remain.
+//! paper evaluates Yesquel against.  The hot statements are prepared once
+//! and re-executed with fresh parameters; every one is compiled by the
+//! planner onto DBT operations running inside distributed transactions.
 //!
 //! Run with: `cargo run --release --example wiki_app`
 
-use yesquel::{Result, Value, Yesquel};
+use yesquel::{params, Result, Value, Yesquel};
 
 fn main() -> Result<()> {
     let y = Yesquel::open(4);
@@ -19,64 +19,74 @@ fn main() -> Result<()> {
          CREATE INDEX pages_by_views ON pages (views);",
     )?;
 
-    // Load some articles.
+    // Load some articles through one prepared INSERT with named parameters.
+    let insert =
+        y.prepare("INSERT INTO pages (title, body, views) VALUES (:title, :body, :views)")?;
     for i in 0..200i64 {
-        y.execute(
-            "INSERT INTO pages (title, body, views) VALUES (?, ?, ?)",
-            &[
-                Value::Text(format!("Article_{i:03}")),
+        insert.execute_named(&[
+            (":title", Value::Text(format!("Article_{i:03}"))),
+            (
+                ":body",
                 Value::Text(format!("The contents of article {i}.")),
-                Value::Int(i % 17),
-            ],
-        )?;
+            ),
+            (":views", Value::Int(i % 17)),
+        ])?;
     }
     println!("loaded 200 pages");
 
     // The hot path of a wiki: fetch a page by title.  The planner compiles
-    // this to a unique-index probe plus one rowid fetch-back.
-    let rs = y.execute(
-        "SELECT id, body, views FROM pages WHERE title = ?",
-        &[Value::Text("Article_042".into())],
-    )?;
-    println!("Article_042 -> {:?}", rs.rows[0]);
+    // this to a unique-index probe plus one rowid fetch-back; the handle
+    // re-executes it with zero parse and zero plan work.
+    let by_title = y.prepare("SELECT id, body, views FROM pages WHERE title = ?")?;
+    let rs = by_title.execute(params!["Article_042"])?;
+    let page = rs.iter().next().expect("article exists");
+    println!(
+        "Article_042 -> id {} ({} views): {}",
+        page.get::<i64>("id")?,
+        page.get::<i64>("views")?,
+        page.get::<&str>("body")?
+    );
 
     // A page view: bump the counter (index on views is maintained).
-    y.execute(
-        "UPDATE pages SET views = views + 1 WHERE title = ?",
-        &[Value::Text("Article_042".into())],
-    )?;
+    let touch = y.prepare("UPDATE pages SET views = views + 1 WHERE title = ?")?;
+    touch.execute(params!["Article_042"])?;
 
-    // Most-viewed listing: bounded index range scan with ORDER BY + LIMIT.
-    let rs = y.execute(
-        "SELECT title, views FROM pages WHERE views >= 10 ORDER BY views DESC, title LIMIT 5",
-        &[],
+    // Most-viewed listing: bounded index range scan with ORDER BY + LIMIT,
+    // mapped straight into typed tuples.
+    let top = y.prepare(
+        "SELECT title, views FROM pages WHERE views >= ?1 ORDER BY views DESC, title LIMIT 5",
     )?;
     println!("top pages:");
-    for row in &rs.rows {
-        println!("  {} ({} views)", row[0], row[1]);
+    for (title, views) in top.query_map(params![10], |r| {
+        Ok((r.get::<String>("title")?, r.get::<i64>("views")?))
+    })? {
+        println!("  {title} ({views} views)");
     }
 
     // An edit session: read-modify-write of one article inside an explicit
     // transaction (snapshot isolated; a racing editor would abort and
-    // retry at COMMIT).
+    // retry at COMMIT).  Prepared handles work inside BEGIN/COMMIT too.
     let editor = y.new_session()?;
+    let read = editor.prepare("SELECT id, body FROM pages WHERE title = ?")?;
+    let write = editor.prepare("UPDATE pages SET body = :body WHERE id = :id")?;
     editor.execute("BEGIN", &[])?;
-    let page = editor.execute(
-        "SELECT id, body FROM pages WHERE title = ?",
-        &[Value::Text("Article_007".into())],
-    )?;
-    let new_body = format!("{} (edited)", page.rows[0][1]);
-    editor.execute(
-        "UPDATE pages SET body = ? WHERE id = ?",
-        &[Value::Text(new_body), page.rows[0][0].clone()],
-    )?;
+    let rs = read.execute(params!["Article_007"])?;
+    let row = rs.iter().next().expect("article exists");
+    let new_body = format!("{} (edited)", row.get::<&str>("body")?);
+    write.execute_named(&[
+        (":body", Value::Text(new_body)),
+        (":id", row.get::<Value>("id")?),
+    ])?;
     editor.execute("COMMIT", &[])?;
-    let rs = y.execute("SELECT body FROM pages WHERE title = 'Article_007'", &[])?;
-    println!("after edit: {}", rs.rows[0][0]);
+    let rs = by_title.execute(params!["Article_007"])?;
+    println!(
+        "after edit: {}",
+        rs.iter().next().unwrap().get::<&str>("body")?
+    );
 
     // Deleting a page removes it from every index transactionally.
-    y.execute("DELETE FROM pages WHERE title = 'Article_013'", &[])?;
-    let gone = y.execute("SELECT id FROM pages WHERE title = 'Article_013'", &[])?;
+    y.execute("DELETE FROM pages WHERE title = ?", params!["Article_013"])?;
+    let gone = by_title.execute(params!["Article_013"])?;
     assert!(gone.rows.is_empty());
     println!("Article_013 deleted; indexes consistent");
     Ok(())

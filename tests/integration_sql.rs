@@ -5,7 +5,7 @@
 //! handling.
 
 use yesquel::sql::{plan_statement, Value};
-use yesquel::{Error, Yesquel};
+use yesquel::{params, Error, Yesquel};
 
 fn rows_i64(y: &Yesquel, sql: &str) -> Vec<Vec<i64>> {
     y.execute(sql, &[])
@@ -836,19 +836,30 @@ fn query_streams_rows_lazily() {
     y.execute("SELECT id FROM pages", &[]).unwrap();
 
     // Pull three rows of an unbounded ordered query, then drop the
-    // iterator: only the pulled prefix is ever read from storage.
+    // iterator: only the pulled prefix is ever read from storage.  The
+    // stream yields typed rows, so the prefix reads by column name.
     let before = stats.counter("sql.rows_scanned").get();
     let mut rows = y
         .query("SELECT id, title FROM pages ORDER BY id", &[])
         .unwrap();
     assert_eq!(rows.columns(), &["id".to_string(), "title".to_string()]);
-    let got: Vec<Vec<Value>> = rows.by_ref().take(3).map(|r| r.unwrap()).collect();
+    let got: Vec<(i64, String)> = rows
+        .by_ref()
+        .take(3)
+        .map(|r| {
+            let r = r.unwrap();
+            (
+                r.get::<i64>("id").unwrap(),
+                r.get::<String>("title").unwrap(),
+            )
+        })
+        .collect();
     assert_eq!(
         got,
         vec![
-            vec![Value::Int(1), Value::Text("page-00".into())],
-            vec![Value::Int(2), Value::Text("page-01".into())],
-            vec![Value::Int(3), Value::Text("page-02".into())],
+            (1, "page-00".to_string()),
+            (2, "page-01".to_string()),
+            (3, "page-02".to_string()),
         ]
     );
     drop(rows);
@@ -877,6 +888,267 @@ fn query_streams_rows_lazily() {
     assert_eq!(s.query("SELECT id FROM pages", &[]).unwrap().count(), 50);
     s.execute("COMMIT", &[]).unwrap();
     assert_eq!(rows_i64(&y, "SELECT id FROM pages").len(), 50);
+}
+
+#[test]
+fn prepared_reexecution_does_zero_parse_and_zero_plan_work() {
+    let y = wiki_fixture();
+    let stats = y.db().stats();
+
+    let by_title = y
+        .prepare("SELECT id, views FROM pages WHERE title = ?")
+        .unwrap();
+    // One warm-up execution, then measure: N re-executions with fresh
+    // parameters must not parse or plan anything.
+    by_title.execute(params!["page-00"]).unwrap();
+    let parses = stats.counter("sql.parses").get();
+    let plans = stats.counter("sql.plans").get();
+    for i in 0..20i64 {
+        let rs = by_title.execute(params![format!("page-{i:02}")]).unwrap();
+        assert_eq!(rs.rows, vec![vec![Value::Int(i + 1), Value::Int(i * 10)]]);
+    }
+    assert_eq!(
+        stats.counter("sql.parses").get(),
+        parses,
+        "prepared re-execution must not parse"
+    );
+    assert_eq!(
+        stats.counter("sql.plans").get(),
+        plans,
+        "prepared re-execution must not plan"
+    );
+
+    // The streaming query path through the same handle is also plan-free.
+    let n = by_title.query(params!["page-07"]).unwrap().count();
+    assert_eq!(n, 1);
+    assert_eq!(stats.counter("sql.parses").get(), parses);
+    assert_eq!(stats.counter("sql.plans").get(), plans);
+}
+
+#[test]
+fn prepared_handle_replans_after_ddl() {
+    let y = Yesquel::open(2);
+    y.execute(
+        "CREATE TABLE t (id INTEGER PRIMARY KEY, a INT, b TEXT)",
+        &[],
+    )
+    .unwrap();
+    for i in 0..20i64 {
+        y.execute(
+            "INSERT INTO t (a, b) VALUES (?, ?)",
+            params![i % 5, format!("b{i}")],
+        )
+        .unwrap();
+    }
+
+    let by_a = y.prepare("SELECT id FROM t WHERE a = ?").unwrap();
+    assert_eq!(by_a.describe().unwrap(), "SCAN t");
+    assert_eq!(by_a.execute(params![3]).unwrap().rows.len(), 4);
+
+    // DDL bumps the catalog generation: the pinned plan is stale and the
+    // handle replans (from the retained AST — no reparse) onto the index.
+    y.execute("CREATE INDEX t_by_a ON t (a)", &[]).unwrap();
+    let stats = y.db().stats();
+    let parses = stats.counter("sql.parses").get();
+    assert_eq!(
+        by_a.describe().unwrap(),
+        "INDEX t USING t_by_a (eq=1) covering"
+    );
+    assert_eq!(by_a.execute(params![3]).unwrap().rows.len(), 4);
+    assert_eq!(
+        stats.counter("sql.parses").get(),
+        parses,
+        "replanning must not reparse"
+    );
+    // EXPLAIN through the ad-hoc path agrees with the handle.
+    let rs = y
+        .execute("EXPLAIN SELECT id FROM t WHERE a = ?", &[])
+        .unwrap();
+    assert_eq!(
+        rs.rows[0][0],
+        Value::Text("INDEX t USING t_by_a (eq=1) covering".into())
+    );
+}
+
+#[test]
+fn named_and_numbered_placeholders_bind() {
+    let y = wiki_fixture();
+
+    // :name placeholders, bound by name in any order; :lo appears once in
+    // the table even though the WHERE uses distinct names.
+    let window = y
+        .prepare("SELECT title, views FROM pages WHERE views >= :lo AND views < :hi ORDER BY views")
+        .unwrap();
+    assert_eq!(window.param_count(), 2);
+    let rs = window
+        .execute_named(&[(":hi", Value::Int(130)), (":lo", Value::Int(100))])
+        .unwrap();
+    assert_eq!(rs.rows.len(), 3);
+    assert_eq!(rs.rows[0][1], Value::Int(100));
+    // Positional binding fills named slots in declaration order.
+    let rs = window.execute(params![100, 130]).unwrap();
+    assert_eq!(rs.rows.len(), 3);
+
+    // A repeated :name binds one slot that feeds both uses.
+    let eq = y
+        .prepare("SELECT id FROM pages WHERE views >= :v AND views <= :v")
+        .unwrap();
+    assert_eq!(eq.param_count(), 1);
+    let rs = eq.execute_named(&[("v", Value::Int(110))]).unwrap();
+    assert_eq!(rs.rows, vec![vec![Value::Int(12)]]);
+
+    // ?NNN placeholders bind by number, here deliberately reversed.
+    let rs = y
+        .execute(
+            "SELECT title FROM pages WHERE views >= ?2 AND views < ?1",
+            params![120, 100],
+        )
+        .unwrap();
+    assert_eq!(rs.rows.len(), 2);
+
+    // Named placeholders work through the ad-hoc text path too (positional
+    // values fill the slots).
+    let rs = y
+        .execute("SELECT id FROM pages WHERE title = :t", params!["page-04"])
+        .unwrap();
+    assert_eq!(rs.rows, vec![vec![Value::Int(5)]]);
+
+    // EXPLAIN never evaluates parameters: unbound slots are fine through
+    // both binding styles, but a misspelled name still errors.
+    let p = y
+        .prepare("EXPLAIN SELECT id FROM pages WHERE views = :v")
+        .unwrap();
+    assert!(p.execute(&[]).is_ok());
+    assert!(p.execute_named(&[]).is_ok());
+    assert!(p.execute_named(&[(":v", Value::Int(1))]).is_ok());
+    assert!(matches!(
+        p.execute_named(&[(":typo", Value::Null)]),
+        Err(Error::Bind(_))
+    ));
+}
+
+#[test]
+fn bind_errors_surface_before_execution() {
+    let y = wiki_fixture();
+
+    // Arity mismatch on the ad-hoc path: too few and too many.
+    for params in [&[][..], params![1, 2]] {
+        let err = y
+            .execute("SELECT id FROM pages WHERE id = ?", params)
+            .unwrap_err();
+        assert!(matches!(err, Error::Bind(_)), "{err}");
+    }
+    // Arity is also checked on the streaming path.
+    let err = y
+        .query("SELECT id FROM pages WHERE id = ?", &[])
+        .unwrap_err();
+    assert!(matches!(err, Error::Bind(_)), "{err}");
+
+    // Unknown :name.
+    let p = y.prepare("SELECT id FROM pages WHERE views = :v").unwrap();
+    let err = p.execute_named(&[(":nope", Value::Int(1))]).unwrap_err();
+    assert!(matches!(err, Error::Bind(_)), "{err}");
+    // Unbound :name.
+    let err = p.execute_named(&[]).unwrap_err();
+    assert!(matches!(err, Error::Bind(_)), "{err}");
+
+    // Mixing named and positional placeholders is rejected at parse.
+    let err = y
+        .execute(
+            "SELECT id FROM pages WHERE views = :v AND id = ?",
+            params![1, 2],
+        )
+        .unwrap_err();
+    assert!(matches!(err, Error::Bind(_)), "{err}");
+    // Out-of-range parameter number.
+    let err = y.prepare("SELECT id FROM pages WHERE id = ?0").unwrap_err();
+    assert!(matches!(err, Error::Bind(_)), "{err}");
+
+    // A bind failure executes nothing (the table is intact and usable).
+    assert_eq!(rows_i64(&y, "SELECT id FROM pages").len(), 50);
+}
+
+#[test]
+fn typed_row_access() {
+    let y = wiki_fixture();
+    let rs = y
+        .execute(
+            "SELECT id, title, views, body FROM pages WHERE id = ?",
+            params![8],
+        )
+        .unwrap();
+
+    assert_eq!(rs.column_index("views"), Some(2));
+    assert_eq!(rs.column_index("VIEWS"), Some(2));
+    assert_eq!(rs.column_index("nope"), None);
+
+    let row = rs.iter().next().unwrap();
+    assert_eq!(row.get::<i64>("id").unwrap(), 8);
+    assert_eq!(row.get::<&str>("title").unwrap(), "page-07");
+    assert_eq!(row.get::<i64>("views").unwrap(), 70);
+    assert_eq!(row.get_at::<&str>(1).unwrap(), "page-07");
+    assert_eq!(row.get::<Option<i64>>("views").unwrap(), Some(70));
+    // Type mismatches and unknown columns are bind errors, not panics.
+    assert!(matches!(row.get::<i64>("title"), Err(Error::Bind(_))));
+    assert!(matches!(row.get::<&str>("nope"), Err(Error::Bind(_))));
+
+    // NULL reads as None through Option.
+    y.execute("INSERT INTO pages (title) VALUES ('untitled')", &[])
+        .unwrap();
+    let rs = y
+        .execute(
+            "SELECT views FROM pages WHERE title = ?",
+            params!["untitled"],
+        )
+        .unwrap();
+    let row = rs.iter().next().unwrap();
+    assert_eq!(row.get::<Option<i64>>("views").unwrap(), None);
+    assert!(matches!(row.get::<i64>("views"), Err(Error::Bind(_))));
+
+    // The consuming iterator hands out the same typed rows.
+    let total: i64 = y
+        .execute("SELECT id, views FROM pages WHERE views < 30", &[])
+        .unwrap()
+        .into_iter()
+        .map(|r| r.get::<i64>("views").unwrap())
+        .sum();
+    assert_eq!(total, 30); // views 0 + 10 + 20
+}
+
+#[test]
+fn stale_statement_cache_entries_are_swept() {
+    let y = Yesquel::open(2);
+    y.execute("CREATE TABLE s (id INTEGER PRIMARY KEY, a INT)", &[])
+        .unwrap();
+    let stats = y.db().stats();
+
+    // Populate the cache with several distinct statement texts.
+    for i in 0..6i64 {
+        y.execute(&format!("SELECT id FROM s WHERE a = {i}"), &[])
+            .unwrap();
+    }
+    let resident = y.session().stmt_cache_len();
+    assert!(
+        resident >= 6,
+        "expected ≥6 cached statements, got {resident}"
+    );
+
+    // DDL bumps the catalog generation: every resident entry is dead.  The
+    // next probe (any text) sweeps them all instead of leaving them
+    // resident until individually re-probed.
+    y.execute("CREATE TABLE s2 (id INTEGER PRIMARY KEY)", &[])
+        .unwrap();
+    let evictions = stats.counter("sql.stmt_cache_evictions").get();
+    y.execute("SELECT id FROM s WHERE a = 0", &[]).unwrap();
+    let swept = stats.counter("sql.stmt_cache_evictions").get() - evictions;
+    assert!(swept >= resident as u64, "swept only {swept} of {resident}");
+    // The probed statement was re-planned and re-cached; the other stale
+    // texts are gone.
+    assert!(
+        y.session().stmt_cache_len() <= 2,
+        "stale entries still resident: {}",
+        y.session().stmt_cache_len()
+    );
 }
 
 #[test]

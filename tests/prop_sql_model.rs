@@ -10,13 +10,18 @@
 //! GROUP BY cat streamed off the index, and the one-row bounded MIN/MAX
 //! plans) are checked value-exactly against the model: generated scores are
 //! integers or halves, so even float sums have one exact answer.
+//!
+//! Executions mix the ad-hoc text path with prepared handles re-executed
+//! under varying parameters (positional and named), and a `CREATE INDEX`
+//! lands mid-stream so every pinned and cached plan goes stale and must
+//! replan without results moving.
 
 use std::cmp::Ordering;
 
 use rand::Rng;
 use yesquel::common::rand_util::seeded_rng;
 use yesquel::sql::Value;
-use yesquel::Yesquel;
+use yesquel::{params, Yesquel};
 
 /// One row of the model: rowid plus the non-rowid columns.
 #[derive(Debug, Clone)]
@@ -223,19 +228,52 @@ fn random_sql_matches_in_memory_model() {
     let mut next_id = 1i64;
     let mut rng = seeded_rng(0x5A1_51E2E, 7);
 
+    // Prepared handles reused across the whole stream, interleaved with
+    // ad-hoc text executions of the same statements: both paths must agree
+    // with the model, and the handles must survive the mid-stream DDL below
+    // (plan revalidation against the catalog generation).
+    let prep_insert = y
+        .prepare("INSERT INTO items (cat, score, note) VALUES (:cat, :score, :note)")
+        .unwrap();
+    let prep_point = y
+        .prepare("SELECT id, cat, score, note FROM items WHERE id = ?")
+        .unwrap();
+    let prep_min = y
+        .prepare("SELECT MIN(score) FROM items WHERE cat = ?")
+        .unwrap();
+    let prep_max = y
+        .prepare("SELECT MAX(score) FROM items WHERE cat = ?")
+        .unwrap();
+
     for step in 0..600u32 {
+        // Mid-stream DDL: a new index stales every cached and pinned plan;
+        // later ScoreGe queries replan onto it, and results must not move.
+        if step == 300 {
+            y.execute("CREATE INDEX by_score ON items (score)", &[])
+                .unwrap();
+        }
         match rng.gen_range(0u32..10) {
-            // ~40% inserts.
+            // ~40% inserts, half through the prepared handle with named
+            // parameters.
             0..=3 => {
                 let cat = random_cat(&mut rng);
                 let score = random_score(&mut rng);
                 let note = Value::Text(format!("n{}", rng.gen_range(0u32..30)));
-                let rs = y
-                    .execute(
+                let rs = if rng.gen_range(0u32..2) == 0 {
+                    prep_insert
+                        .execute_named(&[
+                            (":cat", cat.clone()),
+                            (":score", score.clone()),
+                            (":note", note.clone()),
+                        ])
+                        .unwrap()
+                } else {
+                    y.execute(
                         "INSERT INTO items (cat, score, note) VALUES (?, ?, ?)",
                         &[cat.clone(), score.clone(), note.clone()],
                     )
-                    .unwrap();
+                    .unwrap()
+                };
                 let id = rs.last_rowid.unwrap();
                 assert_eq!(id, next_id, "step {step}: rowid allocation diverged");
                 model.push(ModelRow {
@@ -344,7 +382,9 @@ fn random_sql_matches_in_memory_model() {
                         );
                     }
                     // Lone MIN/MAX — the equality-prefix form compiles to a
-                    // one-row bounded read (first entry / reverse seek).
+                    // one-row bounded read (first entry / reverse seek),
+                    // alternating between the prepared handles and the text
+                    // path.
                     _ => {
                         let cat = random_cat(&mut rng);
                         let func = if rng.gen_range(0u32..2) == 0 {
@@ -352,12 +392,16 @@ fn random_sql_matches_in_memory_model() {
                         } else {
                             "MAX"
                         };
-                        let got = y
-                            .execute(
+                        let got = if rng.gen_range(0u32..2) == 0 {
+                            let prep = if func == "MIN" { &prep_min } else { &prep_max };
+                            prep.execute(std::slice::from_ref(&cat)).unwrap()
+                        } else {
+                            y.execute(
                                 &format!("SELECT {func}(score) FROM items WHERE cat = ?"),
                                 std::slice::from_ref(&cat),
                             )
-                            .unwrap();
+                            .unwrap()
+                        };
                         let scores: Vec<&Value> = model
                             .iter()
                             .filter(|r| cmp_true(&r.cat, "=", &cat))
@@ -412,12 +456,20 @@ fn random_sql_matches_in_memory_model() {
                         .collect();
                     assert_eq!(got.rows, expected, "step {step}: ordered {pred:?}");
                 } else {
-                    let got = y
-                        .execute(
-                            &format!("SELECT id, cat, score, note FROM items{where_sql}"),
-                            &params,
-                        )
-                        .unwrap();
+                    // Point predicates alternate between the prepared
+                    // handle (re-executed with a fresh id) and the text
+                    // path; everything else goes through the text path.
+                    let got = match &pred {
+                        Pred::IdEq(id) if rng.gen_range(0u32..2) == 0 => {
+                            prep_point.execute(params![*id]).unwrap()
+                        }
+                        _ => y
+                            .execute(
+                                &format!("SELECT id, cat, score, note FROM items{where_sql}"),
+                                &params,
+                            )
+                            .unwrap(),
+                    };
                     assert_eq!(
                         canon(&got.rows),
                         canon(&expected),
