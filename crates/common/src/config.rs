@@ -125,6 +125,38 @@ pub struct KvConfig {
     /// If true, single-server transactions skip the prepare phase and commit
     /// in one round trip (the standard one-phase-commit optimisation).
     pub one_phase_commit: bool,
+    /// Maximum number of attempts for one RPC (first try plus retries)
+    /// before the client gives up with [`crate::Error::Timeout`] /
+    /// [`crate::Error::Unavailable`].  Every request is safe to retry:
+    /// reads and timestamp operations are idempotent, and prepare / commit /
+    /// abort are deduplicated server-side by transaction id.
+    pub rpc_max_attempts: usize,
+    /// Base backoff, in microseconds, between RPC retries.  Doubled per
+    /// attempt (capped at [`KvConfig::rpc_backoff_cap_us`]) with
+    /// deterministic jitter so concurrent clients do not retry in lockstep.
+    pub rpc_backoff_us: u64,
+    /// Upper bound on the per-retry backoff, in microseconds.
+    pub rpc_backoff_cap_us: u64,
+    /// Extra attempt budget for the commit-point RPC of a two-phase commit
+    /// (the commit to the primary participant).  Once every participant has
+    /// prepared, the cheapest way out of an outage is to keep knocking on
+    /// the primary: giving up there surfaces the expensive
+    /// [`crate::Error::Indeterminate`].
+    pub commit_resolve_attempts: usize,
+    /// Lease, in microseconds, granted to the coordinator by each prepare.
+    /// A participant that is still prepared after the lease expires presumes
+    /// the coordinator dead and runs the reaper protocol (the primary
+    /// participant aborts; the others adopt the primary's outcome).  Must
+    /// comfortably exceed the worst-case prepare-to-commit latency.
+    pub prepare_lease_us: u64,
+    /// Minimum interval, in microseconds, between reaper passes piggybacked
+    /// on request processing at a server.
+    pub reap_interval_us: u64,
+    /// Number of per-server transaction outcomes (committed/aborted)
+    /// retained for deduplicating retried or duplicated prepare / commit /
+    /// abort messages.  Bounded FIFO; must exceed the number of commits that
+    /// can land between a message and its last retry by a wide margin.
+    pub txn_outcome_retention: usize,
 }
 
 impl Default for KvConfig {
@@ -134,6 +166,35 @@ impl Default for KvConfig {
             lock_acquire_retries: 100,
             lock_backoff_us: 50,
             one_phase_commit: true,
+            rpc_max_attempts: 5,
+            rpc_backoff_us: 100,
+            rpc_backoff_cap_us: 10_000,
+            commit_resolve_attempts: 12,
+            prepare_lease_us: 500_000,
+            reap_interval_us: 50_000,
+            txn_outcome_retention: 4_096,
+        }
+    }
+}
+
+impl KvConfig {
+    /// A configuration with short deadlines, leases and backoffs, sized for
+    /// fault-injection tests: failed RPCs give up in microseconds instead of
+    /// milliseconds and orphaned prepares are reaped almost immediately, so
+    /// a chaos run converges quickly.  Not meant for production-shaped
+    /// benchmarks (the lease is far too short for a loaded commit path).
+    pub fn impatient() -> Self {
+        KvConfig {
+            lock_acquire_retries: 40,
+            lock_backoff_us: 20,
+            rpc_max_attempts: 4,
+            rpc_backoff_us: 20,
+            rpc_backoff_cap_us: 200,
+            commit_resolve_attempts: 6,
+            prepare_lease_us: 3_000,
+            reap_interval_us: 300,
+            txn_outcome_retention: 4_096,
+            ..Self::default()
         }
     }
 }

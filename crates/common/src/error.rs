@@ -27,6 +27,31 @@ pub enum Error {
     LockTimeout(String),
     /// The requested server does not exist or is unreachable.
     ServerUnavailable(String),
+    /// An RPC deadline elapsed before a response arrived (request or
+    /// response lost on the wire, or the server stalled).  The operation may
+    /// or may not have been applied server-side; retries are made safe by
+    /// server-side deduplication on the transaction id.
+    Timeout(String),
+    /// A server is temporarily unreachable (crashed, restarting, or a
+    /// transient transport failure) and the operation was definitely not
+    /// applied.  Retrying the whole transaction after a backoff is the
+    /// documented recovery strategy; the SQL layer surfaces this variant
+    /// only once its own retries are exhausted.
+    Unavailable(String),
+    /// The fate of a commit could not be determined: the commit decision was
+    /// in flight when the coordinator lost contact with the commit point, so
+    /// the transaction may or may not have committed.  Never blindly retried
+    /// (a retry could double-apply); the application must reconcile.
+    Indeterminate(String),
+    /// A bounded retry loop gave up.  Carries the attempt count and the last
+    /// underlying error so callers can distinguish "retried conflicts until
+    /// the limit" from "the cluster is down".
+    RetriesExhausted {
+        /// Number of attempts made before giving up.
+        attempts: usize,
+        /// The error observed on the final attempt.
+        last: Box<Error>,
+    },
     /// Stored bytes could not be decoded (corrupt node, record or message).
     Corruption(String),
     /// SQL text could not be tokenized or parsed.
@@ -56,8 +81,24 @@ pub enum Error {
 impl Error {
     /// Returns true if the error indicates a transient condition under which
     /// retrying the whole transaction is the documented recovery strategy.
+    ///
+    /// `Timeout` and `Unavailable` qualify because every path that surfaces
+    /// them has either not applied the operation or made it idempotent via
+    /// server-side deduplication; `Indeterminate` deliberately does not (the
+    /// commit may have been applied, so re-running could double-apply).
     pub fn is_retryable(&self) -> bool {
-        matches!(self, Error::Conflict(_) | Error::LockTimeout(_))
+        matches!(
+            self,
+            Error::Conflict(_) | Error::LockTimeout(_) | Error::Timeout(_) | Error::Unavailable(_)
+        )
+    }
+
+    /// True for the availability-class errors (`Timeout`, `Unavailable`):
+    /// the cluster misbehaved, not the transaction.  Retry loops use this to
+    /// pick a longer backoff and to report exhaustion as [`Error::Unavailable`]
+    /// rather than a conflict.
+    pub fn is_availability(&self) -> bool {
+        matches!(self, Error::Timeout(_) | Error::Unavailable(_))
     }
 
     /// Short machine-readable tag for the error category, used by the
@@ -69,6 +110,10 @@ impl Error {
             Error::Aborted(_) => "aborted",
             Error::LockTimeout(_) => "lock_timeout",
             Error::ServerUnavailable(_) => "server_unavailable",
+            Error::Timeout(_) => "timeout",
+            Error::Unavailable(_) => "unavailable",
+            Error::Indeterminate(_) => "indeterminate",
+            Error::RetriesExhausted { .. } => "retries_exhausted",
             Error::Corruption(_) => "corruption",
             Error::Parse(_) => "parse",
             Error::Schema(_) => "schema",
@@ -90,6 +135,12 @@ impl fmt::Display for Error {
             Error::Aborted(m) => write!(f, "transaction aborted: {m}"),
             Error::LockTimeout(m) => write!(f, "lock timeout: {m}"),
             Error::ServerUnavailable(m) => write!(f, "server unavailable: {m}"),
+            Error::Timeout(m) => write!(f, "rpc timeout: {m}"),
+            Error::Unavailable(m) => write!(f, "unavailable: {m}"),
+            Error::Indeterminate(m) => write!(f, "commit outcome indeterminate: {m}"),
+            Error::RetriesExhausted { attempts, last } => {
+                write!(f, "retries exhausted after {attempts} attempts: {last}")
+            }
             Error::Corruption(m) => write!(f, "data corruption: {m}"),
             Error::Parse(m) => write!(f, "SQL parse error: {m}"),
             Error::Schema(m) => write!(f, "schema error: {m}"),
@@ -113,8 +164,36 @@ mod tests {
     fn retryable_classification() {
         assert!(Error::Conflict("x".into()).is_retryable());
         assert!(Error::LockTimeout("x".into()).is_retryable());
+        assert!(Error::Timeout("x".into()).is_retryable());
+        assert!(Error::Unavailable("x".into()).is_retryable());
+        assert!(!Error::Indeterminate("x".into()).is_retryable());
         assert!(!Error::NotFound("x".into()).is_retryable());
         assert!(!Error::Parse("x".into()).is_retryable());
+        let exhausted = Error::RetriesExhausted {
+            attempts: 3,
+            last: Box::new(Error::Conflict("x".into())),
+        };
+        assert!(!exhausted.is_retryable());
+    }
+
+    #[test]
+    fn availability_classification() {
+        assert!(Error::Timeout("x".into()).is_availability());
+        assert!(Error::Unavailable("x".into()).is_availability());
+        assert!(!Error::Conflict("x".into()).is_availability());
+        assert!(!Error::Indeterminate("x".into()).is_availability());
+    }
+
+    #[test]
+    fn retries_exhausted_reports_cause() {
+        let e = Error::RetriesExhausted {
+            attempts: 7,
+            last: Box::new(Error::Timeout("server 2 silent".into())),
+        };
+        let s = e.to_string();
+        assert!(s.contains("7 attempts"));
+        assert!(s.contains("server 2 silent"));
+        assert_eq!(e.tag(), "retries_exhausted");
     }
 
     #[test]
@@ -132,6 +211,13 @@ mod tests {
             Error::Aborted(String::new()),
             Error::LockTimeout(String::new()),
             Error::ServerUnavailable(String::new()),
+            Error::Timeout(String::new()),
+            Error::Unavailable(String::new()),
+            Error::Indeterminate(String::new()),
+            Error::RetriesExhausted {
+                attempts: 0,
+                last: Box::new(Error::Internal(String::new())),
+            },
             Error::Corruption(String::new()),
             Error::Parse(String::new()),
             Error::Schema(String::new()),

@@ -37,6 +37,7 @@ impl KvClient {
                 snapshots,
                 cfg,
                 stats,
+                retry_salt: std::sync::atomic::AtomicU64::new(0),
             }),
         }
     }
@@ -48,12 +49,19 @@ impl KvClient {
 
     /// Runs `body` inside a transaction, committing it afterwards, and
     /// retries the whole transaction (up to a bounded number of attempts)
-    /// when it aborts for a retryable reason — a write-write conflict or a
-    /// lock timeout.  This is the standard usage pattern under snapshot
-    /// isolation and what the layers above use for auto-commit operations.
+    /// when it aborts for a retryable reason — a write-write conflict, a
+    /// lock timeout, or an availability failure (RPC timeout / server
+    /// temporarily unreachable).  This is the standard usage pattern under
+    /// snapshot isolation and what the layers above use for auto-commit
+    /// operations.
+    ///
+    /// On exhaustion the caller receives [`Error::RetriesExhausted`] with
+    /// the attempt count and the error from the final attempt, so "retried
+    /// conflicts until the limit" and "the cluster is down" stay
+    /// distinguishable.
     pub fn run_txn<T>(&self, mut body: impl FnMut(&Txn) -> Result<T>) -> Result<T> {
         const MAX_ATTEMPTS: usize = 24;
-        let mut last_err = Error::Internal("transaction retry limit reached".into());
+        let mut last_err = None;
         for attempt in 0..MAX_ATTEMPTS {
             let txn = self.begin();
             match body(&txn) {
@@ -61,26 +69,37 @@ impl KvClient {
                     Ok(_) => return Ok(value),
                     Err(e) if e.is_retryable() => {
                         self.core.stats.counter("kv.txn_retries").inc();
-                        last_err = e;
+                        last_err = Some(e);
                     }
                     Err(e) => return Err(e),
                 },
                 Err(e) if e.is_retryable() => {
                     txn.abort();
                     self.core.stats.counter("kv.txn_retries").inc();
-                    last_err = e;
+                    last_err = Some(e);
                 }
                 Err(e) => {
                     txn.abort();
                     return Err(e);
                 }
             }
-            // Brief backoff to let the conflicting transaction finish.
-            if attempt > 2 {
-                std::thread::sleep(std::time::Duration::from_micros(50 * attempt as u64));
+            // Back off so the conflicting transaction (or the recovering
+            // server) gets a chance; availability failures wait from the
+            // first retry, conflicts only once retries repeat.
+            let availability = last_err.as_ref().is_some_and(Error::is_availability);
+            if availability || attempt > 2 {
+                yesquel_common::timeutil::sleep_backoff(
+                    attempt,
+                    self.core.cfg.rpc_backoff_us,
+                    self.core.cfg.rpc_backoff_cap_us,
+                    0x5eed ^ attempt as u64,
+                );
             }
         }
-        Err(last_err)
+        Err(Error::RetriesExhausted {
+            attempts: MAX_ATTEMPTS,
+            last: Box::new(last_err.expect("exhaustion implies a retryable error occurred")),
+        })
     }
 
     /// Number of storage servers in the deployment.
@@ -93,6 +112,12 @@ impl KvClient {
         &self.core.stats
     }
 
+    /// The key-value configuration this client operates under (retry
+    /// budgets, backoff parameters; read-only).
+    pub fn config(&self) -> &KvConfig {
+        &self.core.cfg
+    }
+
     /// The deployment's timestamp oracle.
     pub fn oracle(&self) -> &TimestampOracle {
         &self.core.oracle
@@ -100,13 +125,15 @@ impl KvClient {
 
     /// Atomically allocates a block of `count` ids from the non-
     /// transactional counter stored at `obj`, returning the first id.
+    /// Retried on availability failures: a retry after a lost response
+    /// wastes a block of ids but never hands the same id out twice.
     pub fn allocate(&self, obj: ObjectId, count: u64) -> Result<u64> {
         let server = obj.home_server(self.num_servers());
-        match self
-            .core
-            .transport
-            .call(server, KvRequest::Allocate { obj, delta: count })?
-        {
+        match self.core.call_retry(
+            server,
+            KvRequest::Allocate { obj, delta: count },
+            self.core.cfg.rpc_max_attempts,
+        )? {
             KvResponse::Allocated { start } => Ok(start),
             other => Err(Error::Internal(format!(
                 "unexpected Allocate response: {other:?}"
@@ -118,13 +145,14 @@ impl KvClient {
     /// control.  Only for bulk-loading initial data before serving starts.
     pub fn load_unchecked(&self, obj: ObjectId, value: impl Into<Bytes>) -> Result<()> {
         let server = obj.home_server(self.num_servers());
-        match self.core.transport.call(
+        match self.core.call_retry(
             server,
             KvRequest::LoadUnchecked {
                 obj,
                 ts: 0,
                 value: value.into(),
             },
+            self.core.cfg.rpc_max_attempts,
         )? {
             KvResponse::Ok => Ok(()),
             other => Err(Error::Internal(format!(
@@ -142,12 +170,13 @@ impl KvClient {
             .min_active(self.core.oracle.last_timestamp());
         let keep = self.core.cfg.gc_keep_versions;
         for server in 0..self.num_servers() {
-            self.core.transport.call(
+            self.core.call_retry(
                 server,
                 KvRequest::Gc {
                     min_active_ts: min_active,
                     keep_versions: keep,
                 },
+                self.core.cfg.rpc_max_attempts,
             )?;
         }
         Ok(())
@@ -155,7 +184,8 @@ impl KvClient {
 
     /// Fetches a server's statistics.
     pub fn server_stats(&self, server: usize) -> Result<KvResponse> {
-        self.core.transport.call(server, KvRequest::Stats)
+        self.core
+            .call_retry(server, KvRequest::Stats, self.core.cfg.rpc_max_attempts)
     }
 
     /// Oldest active snapshot (diagnostics; `fallback` is returned when no

@@ -1,8 +1,10 @@
 //! Construction of a whole key-value deployment: servers, cluster, oracle.
 
+use std::sync::Arc;
+
 use yesquel_common::stats::StatsRegistry;
 use yesquel_common::{Result, YesquelConfig};
-use yesquel_rpc::{Cluster, ClusterBuilder, TransportKind};
+use yesquel_rpc::{Cluster, ClusterBuilder, FaultPlan, FaultyTransport, Transport, TransportKind};
 
 use crate::client::KvClient;
 use crate::oracle::TimestampOracle;
@@ -15,6 +17,10 @@ use crate::snapshot::SnapshotTracker;
 /// harness instantiate.
 pub struct KvDatabase {
     cluster: Cluster<KvServer>,
+    /// The transport clients (and the server-to-server reaper) actually use:
+    /// the cluster transport, optionally wrapped in a [`FaultyTransport`].
+    client_transport: Arc<dyn Transport<KvServer>>,
+    faults: Option<Arc<FaultyTransport<KvServer>>>,
     oracle: TimestampOracle,
     snapshots: SnapshotTracker,
     config: YesquelConfig,
@@ -30,20 +36,59 @@ impl KvDatabase {
 
     /// Creates a deployment with an explicit transport choice.
     pub fn with_transport(config: YesquelConfig, transport: TransportKind) -> Self {
+        Self::build(config, transport, None)
+    }
+
+    /// Creates a deployment whose transport injects faults according to
+    /// `plans` (one [`FaultPlan`] per server; missing entries are healthy).
+    /// Everything — client RPCs and the server-to-server transaction-status
+    /// traffic of the prepare-lease reaper — goes through the faulty
+    /// transport, so crashes partition a server from its peers too.
+    pub fn with_faults(
+        config: YesquelConfig,
+        transport: TransportKind,
+        plans: Vec<FaultPlan>,
+    ) -> Self {
+        Self::build(config, transport, Some(plans))
+    }
+
+    fn build(
+        config: YesquelConfig,
+        transport: TransportKind,
+        plans: Option<Vec<FaultPlan>>,
+    ) -> Self {
         assert!(
             config.num_servers > 0,
             "deployment needs at least one storage server"
         );
         let stats = StatsRegistry::new();
         let oracle = TimestampOracle::new();
-        let servers = KvServer::make_servers(config.num_servers, &oracle);
+        let servers = KvServer::make_servers_with(config.num_servers, &oracle, &config.kv);
         let cluster = ClusterBuilder::new(servers)
             .transport(transport)
             .network(config.net.clone())
             .stats(stats.clone())
             .build();
+        let mut faults = None;
+        let client_transport: Arc<dyn Transport<KvServer>> = match plans {
+            None => cluster.transport(),
+            Some(plans) => {
+                let faulty = Arc::new(FaultyTransport::new(
+                    cluster.transport(),
+                    plans,
+                    stats.clone(),
+                ));
+                faults = Some(Arc::clone(&faulty));
+                faulty
+            }
+        };
+        for srv in cluster.servers() {
+            srv.set_peer_transport(&client_transport);
+        }
         KvDatabase {
             cluster,
+            client_transport,
+            faults,
             oracle,
             snapshots: SnapshotTracker::new(),
             config,
@@ -60,12 +105,38 @@ impl KvDatabase {
     /// own clone of a client.
     pub fn client(&self) -> KvClient {
         KvClient::new(
-            self.cluster.transport(),
+            Arc::clone(&self.client_transport),
             self.oracle.clone(),
             self.snapshots.clone(),
             self.config.kv.clone(),
             self.stats.clone(),
         )
+    }
+
+    /// The fault-injection layer, when this deployment was built with
+    /// [`KvDatabase::with_faults`].  Tests use it to crash and restart
+    /// servers or rewrite fault plans mid-run.
+    pub fn faults(&self) -> Option<&Arc<FaultyTransport<KvServer>>> {
+        self.faults.as_ref()
+    }
+
+    /// Forces a reaper pass on every server, resolving any prepared
+    /// transaction whose lease has expired.  Tests call this after healing
+    /// faults instead of waiting for request traffic to trigger the
+    /// piggybacked reaper.
+    pub fn reap_all(&self) {
+        for srv in self.cluster.servers() {
+            srv.reap();
+        }
+    }
+
+    /// Total number of prepared (in-doubt) transactions across all servers.
+    pub fn prepared_total(&self) -> usize {
+        self.cluster
+            .servers()
+            .iter()
+            .map(|s| s.store().prepared_count())
+            .sum()
     }
 
     /// Number of storage servers.

@@ -6,7 +6,7 @@
 //! feed the bandwidth model.
 
 use bytes::Bytes;
-use yesquel_common::{ObjectId, Timestamp, TxnId};
+use yesquel_common::{ObjectId, ServerId, Timestamp, TxnId};
 
 /// A buffered write shipped to a participant at prepare time.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -43,6 +43,14 @@ pub enum KvRequest {
         start_ts: Timestamp,
         /// Writes destined for objects homed at this server.
         writes: Vec<WriteOp>,
+        /// The transaction's primary participant — the 2PC commit point.  A
+        /// participant whose prepare lease expires resolves the transaction
+        /// by asking the primary (see [`KvRequest::TxnStatus`]); the primary
+        /// itself may unilaterally presume abort.
+        primary: ServerId,
+        /// Coordinator lease in microseconds: how long this participant
+        /// holds the prepare locks before presuming the coordinator dead.
+        lease_us: u64,
     },
     /// Phase two of two-phase commit: install the versions staged by
     /// `Prepare` at `commit_ts` and release the locks.
@@ -96,8 +104,34 @@ pub enum KvRequest {
         /// Value to install.
         value: Bytes,
     },
+    /// Ask this server (as a transaction's primary participant) what it
+    /// knows about the transaction's fate.  Sent server-to-server by the
+    /// prepare-lease reaper on a secondary participant.
+    TxnStatus {
+        /// Transaction being resolved.
+        txn: TxnId,
+    },
     /// Return this server's operation statistics (diagnostics).
     Stats,
+}
+
+/// What a server knows about a transaction's fate, in response to
+/// [`KvRequest::TxnStatus`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnStatusKind {
+    /// The transaction committed at this timestamp.
+    Committed(Timestamp),
+    /// The transaction aborted (explicitly or by presumed abort).
+    Aborted,
+    /// The transaction is still prepared here; its lease has not expired.
+    /// The asking participant should keep waiting.
+    Pending,
+    /// Nothing is known about the transaction.  Under presumed abort this
+    /// reads as "aborted": the primary records every commit in its outcome
+    /// table, so an unknown transaction never committed (or committed so
+    /// long ago that the record was evicted, which the generous retention
+    /// bound makes unreachable while any participant is still prepared).
+    Unknown,
 }
 
 /// Responses from a storage server.
@@ -123,8 +157,15 @@ pub enum KvResponse {
         /// Commit timestamp of the transaction.
         commit_ts: Timestamp,
     },
-    /// Abort processed.
+    /// Abort processed — or, in response to a `Commit`, the transaction was
+    /// already aborted here (its prepare lease expired and the reaper
+    /// presumed abort), so the commit could not be applied.
     Aborted,
+    /// Response to [`KvRequest::TxnStatus`].
+    TxnOutcome {
+        /// What this server knows about the transaction.
+        status: TxnStatusKind,
+    },
     /// Result of `Allocate`: the first id of the allocated block.
     Allocated {
         /// Pre-increment counter value.
@@ -165,6 +206,7 @@ impl KvRequest {
             KvRequest::Allocate { .. } => 28,
             KvRequest::Gc { .. } => 24,
             KvRequest::LoadUnchecked { value, .. } => 28 + value.len(),
+            KvRequest::TxnStatus { .. } => 16,
             KvRequest::Stats => 8,
         }
     }
@@ -200,6 +242,8 @@ mod tests {
             txn: 1,
             start_ts: 1,
             writes: vec![w],
+            primary: 0,
+            lease_us: 500_000,
         };
         assert!(big.wire_size() > small.wire_size() + 900);
 

@@ -1,28 +1,81 @@
 //! The storage-server process: dispatches protocol requests to the store.
+//!
+//! Besides plain dispatch, the server owns the **prepare-lease reaper**: a
+//! pass, piggybacked on request processing (and callable explicitly), that
+//! resolves prepared transactions whose coordinator went silent.  The
+//! protocol is presumed-abort with a primary participant acting as the
+//! commit point:
+//!
+//! * the coordinator commits the **primary first**; only after the primary
+//!   acknowledges does it commit the remaining participants;
+//! * a primary whose lease expires may therefore **unilaterally abort** —
+//!   no secondary can have committed before it;
+//! * a secondary whose lease expires asks the primary (over the peer
+//!   transport) what happened and **adopts** the primary's outcome:
+//!   committed → install, aborted/unknown → release.  If the primary is
+//!   unreachable the secondary conservatively stays prepared and retries on
+//!   a later pass.
 
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
 
-use yesquel_rpc::Service;
+use parking_lot::Mutex;
+use yesquel_common::{KvConfig, ServerId};
+use yesquel_rpc::{Service, Transport};
 
 use crate::oracle::TimestampOracle;
-use crate::protocol::{KvRequest, KvResponse};
-use crate::store::{PrepareOutcome, ReadOutcome, ServerStore};
+use crate::protocol::{KvRequest, KvResponse, TxnStatusKind};
+use crate::store::{
+    CommitOnePhaseOutcome, CommitOutcome, PrepareOutcome, ReadOutcome, ServerStore, TxnOutcome,
+};
 
-/// One storage server: a [`ServerStore`] plus a handle to the timestamp
-/// oracle (used only for one-phase commits, where the server assigns the
-/// commit timestamp itself).
+/// One storage server: a [`ServerStore`], a handle to the timestamp oracle
+/// (used only for one-phase commits, where the server assigns the commit
+/// timestamp itself), and the reaper state.
 pub struct KvServer {
+    id: ServerId,
     store: ServerStore,
     oracle: TimestampOracle,
+    /// Transport to the sibling servers, used by the reaper to ask a
+    /// transaction's primary for its outcome.  `Weak` because the transport
+    /// owns the servers — an `Arc` here would leak the whole cluster.
+    peer: Mutex<Option<Weak<dyn Transport<KvServer>>>>,
+    /// Minimum microseconds between piggybacked reaper passes.
+    reap_interval_us: u64,
+    /// Elapsed-microsecond timestamp (relative to `started`) of the last
+    /// reaper pass.
+    last_reap_us: AtomicU64,
+    started: Instant,
+    reaped_aborts: AtomicU64,
+    reaped_commits: AtomicU64,
 }
 
 impl KvServer {
-    /// Creates a server sharing the deployment's timestamp oracle.
-    pub fn new(oracle: TimestampOracle) -> Self {
+    /// Creates server `id` sharing the deployment's timestamp oracle, with
+    /// default reaper and dedup settings.
+    pub fn new(id: ServerId, oracle: TimestampOracle) -> Self {
+        Self::with_config(id, oracle, &KvConfig::default())
+    }
+
+    /// Creates server `id` with explicit reaper / dedup configuration.
+    pub fn with_config(id: ServerId, oracle: TimestampOracle, cfg: &KvConfig) -> Self {
         KvServer {
-            store: ServerStore::new(),
+            id,
+            store: ServerStore::with_outcome_retention(cfg.txn_outcome_retention),
             oracle,
+            peer: Mutex::new(None),
+            reap_interval_us: cfg.reap_interval_us.max(1),
+            last_reap_us: AtomicU64::new(0),
+            started: Instant::now(),
+            reaped_aborts: AtomicU64::new(0),
+            reaped_commits: AtomicU64::new(0),
         }
+    }
+
+    /// This server's id (its index in the cluster).
+    pub fn id(&self) -> ServerId {
+        self.id
     }
 
     /// Direct access to the underlying store (tests, GC driving, stats).
@@ -30,11 +83,126 @@ impl KvServer {
         &self.store
     }
 
-    /// Creates `n` servers sharing one oracle.
+    /// Connects this server to its siblings for reaper resolution calls.
+    /// Called once at deployment build time.
+    pub fn set_peer_transport(&self, transport: &Arc<dyn Transport<KvServer>>) {
+        *self.peer.lock() = Some(Arc::downgrade(transport));
+    }
+
+    /// Creates `n` servers sharing one oracle, with default settings.
     pub fn make_servers(n: usize, oracle: &TimestampOracle) -> Vec<Arc<KvServer>> {
         (0..n)
-            .map(|_| Arc::new(KvServer::new(oracle.clone())))
+            .map(|id| Arc::new(KvServer::new(id, oracle.clone())))
             .collect()
+    }
+
+    /// Creates `n` servers sharing one oracle and a configuration.
+    pub fn make_servers_with(
+        n: usize,
+        oracle: &TimestampOracle,
+        cfg: &KvConfig,
+    ) -> Vec<Arc<KvServer>> {
+        (0..n)
+            .map(|id| Arc::new(KvServer::with_config(id, oracle.clone(), cfg)))
+            .collect()
+    }
+
+    /// Transactions resolved by this server's reaper so far, as
+    /// `(adopted commits, presumed aborts)`.
+    pub fn reap_counts(&self) -> (u64, u64) {
+        (
+            self.reaped_commits.load(Ordering::Relaxed),
+            self.reaped_aborts.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Runs a reaper pass if at least `reap_interval_us` elapsed since the
+    /// previous one.  The fast path is one relaxed atomic load: unless some
+    /// transaction is actually sitting in the prepared state, neither the
+    /// monotonic clock (tens of nanoseconds — measurable on a
+    /// sub-microsecond Get) nor any lock is touched.
+    fn maybe_reap(&self) {
+        if !self.store.has_prepared() {
+            return;
+        }
+        let now_us = self.started.elapsed().as_micros() as u64;
+        let last = self.last_reap_us.load(Ordering::Relaxed);
+        if now_us.saturating_sub(last) < self.reap_interval_us {
+            return;
+        }
+        if self
+            .last_reap_us
+            .compare_exchange(last, now_us, Ordering::Relaxed, Ordering::Relaxed)
+            .is_err()
+        {
+            return; // another request's piggyback won the race
+        }
+        self.reap();
+    }
+
+    /// Resolves every prepared transaction whose coordinator lease expired.
+    /// Normally piggybacked on request processing; exposed so tests and the
+    /// deployment can force convergence after healing a partition.
+    pub fn reap(&self) {
+        let expired = self.store.expired_prepared(Instant::now());
+        if expired.is_empty() {
+            return;
+        }
+        let peer = self.peer.lock().as_ref().and_then(Weak::upgrade);
+        for (txn, primary) in expired {
+            if primary == self.id {
+                // Primary participant: the coordinator commits the primary
+                // before any secondary, so if we are still prepared past the
+                // lease, no secondary has committed — presumed abort is safe.
+                self.store.abort(txn);
+                self.reaped_aborts.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            // Secondary participant: adopt the primary's outcome.
+            let Some(peer) = peer.as_ref() else {
+                continue; // no peer transport wired up: stay prepared
+            };
+            // On an unreachable primary or a malformed answer, stay
+            // conservative: keep the locks and retry on a later pass.
+            if let Ok(KvResponse::TxnOutcome { status }) =
+                peer.call(primary, KvRequest::TxnStatus { txn })
+            {
+                match status {
+                    TxnStatusKind::Committed(commit_ts) => {
+                        // The commit to this participant was lost; install
+                        // it from the primary's record.
+                        self.store.commit(txn, commit_ts);
+                        self.reaped_commits.fetch_add(1, Ordering::Relaxed);
+                    }
+                    TxnStatusKind::Aborted | TxnStatusKind::Unknown => {
+                        // Aborted, or the primary never heard of the
+                        // transaction (its prepare never landed, so the
+                        // coordinator can never have committed): release.
+                        self.store.abort(txn);
+                        self.reaped_aborts.fetch_add(1, Ordering::Relaxed);
+                    }
+                    TxnStatusKind::Pending => {
+                        // The primary is still waiting on its own lease;
+                        // stay prepared and let a later pass resolve.
+                    }
+                }
+            }
+        }
+    }
+
+    /// What this server knows about a transaction, for `TxnStatus`.
+    fn txn_status(&self, txn: yesquel_common::TxnId) -> TxnStatusKind {
+        match self.store.outcome(txn) {
+            Some(TxnOutcome::Committed(ts)) => TxnStatusKind::Committed(ts),
+            Some(TxnOutcome::Aborted) => TxnStatusKind::Aborted,
+            None => {
+                if self.store.is_prepared(txn) {
+                    TxnStatusKind::Pending
+                } else {
+                    TxnStatusKind::Unknown
+                }
+            }
+        }
     }
 }
 
@@ -43,6 +211,12 @@ impl Service for KvServer {
     type Response = KvResponse;
 
     fn call(&self, req: KvRequest) -> KvResponse {
+        // Piggyback the reaper on ordinary traffic — but not on TxnStatus,
+        // which the reaper itself sends (bounding reaper recursion to one
+        // hop: secondary reap → primary status, never further).
+        if !matches!(req, KvRequest::TxnStatus { .. }) {
+            self.maybe_reap();
+        }
         match req {
             KvRequest::Get { obj, ts } => match self.store.get(obj, ts) {
                 ReadOutcome::Value(v) => KvResponse::Value(v),
@@ -52,14 +226,22 @@ impl Service for KvServer {
                 txn,
                 start_ts,
                 writes,
-            } => match self.store.prepare(txn, start_ts, &writes) {
+                primary,
+                lease_us,
+            } => match self.store.prepare_leased(
+                txn,
+                start_ts,
+                &writes,
+                primary,
+                Duration::from_micros(lease_us.max(1)),
+            ) {
                 PrepareOutcome::Prepared => KvResponse::Prepared,
                 PrepareOutcome::Conflict(reason) => KvResponse::Conflict { reason },
             },
-            KvRequest::Commit { txn, commit_ts } => {
-                self.store.commit(txn, commit_ts);
-                KvResponse::Committed { commit_ts }
-            }
+            KvRequest::Commit { txn, commit_ts } => match self.store.commit(txn, commit_ts) {
+                CommitOutcome::Committed(ts) => KvResponse::Committed { commit_ts: ts },
+                CommitOutcome::AlreadyAborted => KvResponse::Aborted,
+            },
             KvRequest::CommitOnePhase {
                 txn,
                 start_ts,
@@ -68,14 +250,15 @@ impl Service for KvServer {
                 // The commit timestamp is drawn while the request is being
                 // processed; the store applies validation and installation
                 // atomically under its lock, so any snapshot issued after
-                // this timestamp observes the installed versions.
+                // this timestamp observes the installed versions.  A
+                // deduplicated retry reports the original timestamp instead.
                 let commit_ts = self.oracle.next_timestamp();
                 match self
                     .store
                     .commit_one_phase(txn, start_ts, &writes, commit_ts)
                 {
-                    PrepareOutcome::Prepared => KvResponse::Committed { commit_ts },
-                    PrepareOutcome::Conflict(reason) => KvResponse::Conflict { reason },
+                    CommitOnePhaseOutcome::Committed(ts) => KvResponse::Committed { commit_ts: ts },
+                    CommitOnePhaseOutcome::Conflict(reason) => KvResponse::Conflict { reason },
                 }
             }
             KvRequest::Abort { txn } => {
@@ -96,6 +279,9 @@ impl Service for KvServer {
                 self.store.load_unchecked(obj, ts, value);
                 KvResponse::Ok
             }
+            KvRequest::TxnStatus { txn } => KvResponse::TxnOutcome {
+                status: self.txn_status(txn),
+            },
             KvRequest::Stats => {
                 let s = self.store.stats();
                 KvResponse::Stats {
@@ -125,10 +311,20 @@ mod tests {
     use bytes::Bytes;
     use yesquel_common::ObjectId;
 
+    fn prepare_req(txn: u64, start_ts: u64, writes: Vec<crate::protocol::WriteOp>) -> KvRequest {
+        KvRequest::Prepare {
+            txn,
+            start_ts,
+            writes,
+            primary: 0,
+            lease_us: 1_000_000,
+        }
+    }
+
     #[test]
     fn server_dispatch_roundtrip() {
         let oracle = TimestampOracle::new();
-        let srv = KvServer::new(oracle.clone());
+        let srv = KvServer::new(0, oracle.clone());
         let obj = ObjectId::new(5, 7);
 
         // One-phase commit a value, then read it back.
@@ -169,17 +365,17 @@ mod tests {
     #[test]
     fn two_phase_dispatch() {
         let oracle = TimestampOracle::new();
-        let srv = KvServer::new(oracle.clone());
+        let srv = KvServer::new(0, oracle.clone());
         let obj = ObjectId::new(1, 1);
         let start = oracle.next_timestamp();
-        match srv.call(KvRequest::Prepare {
-            txn: 7,
-            start_ts: start,
-            writes: vec![crate::protocol::WriteOp {
+        match srv.call(prepare_req(
+            7,
+            start,
+            vec![crate::protocol::WriteOp {
                 obj,
                 value: Some(Bytes::from_static(b"v")),
             }],
-        }) {
+        )) {
             KvResponse::Prepared => {}
             other => panic!("unexpected response {other:?}"),
         }
@@ -201,7 +397,7 @@ mod tests {
     #[test]
     fn allocate_dispatch() {
         let oracle = TimestampOracle::new();
-        let srv = KvServer::new(oracle);
+        let srv = KvServer::new(0, oracle);
         let obj = ObjectId::meta(3);
         match srv.call(KvRequest::Allocate { obj, delta: 100 }) {
             KvResponse::Allocated { start } => assert_eq!(start, 0),
@@ -209,6 +405,94 @@ mod tests {
         }
         match srv.call(KvRequest::Allocate { obj, delta: 1 }) {
             KvResponse::Allocated { start } => assert_eq!(start, 100),
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn txn_status_reports_fate() {
+        let oracle = TimestampOracle::new();
+        let srv = KvServer::new(0, oracle.clone());
+        let obj = ObjectId::new(1, 1);
+        let w = crate::protocol::WriteOp {
+            obj,
+            value: Some(Bytes::from_static(b"v")),
+        };
+        // Unknown before anything happens.
+        match srv.call(KvRequest::TxnStatus { txn: 42 }) {
+            KvResponse::TxnOutcome {
+                status: TxnStatusKind::Unknown,
+            } => {}
+            other => panic!("unexpected response {other:?}"),
+        }
+        // Pending while prepared.
+        srv.call(prepare_req(42, oracle.next_timestamp(), vec![w]));
+        match srv.call(KvRequest::TxnStatus { txn: 42 }) {
+            KvResponse::TxnOutcome {
+                status: TxnStatusKind::Pending,
+            } => {}
+            other => panic!("unexpected response {other:?}"),
+        }
+        // Committed after commit.
+        let cts = oracle.next_timestamp();
+        srv.call(KvRequest::Commit {
+            txn: 42,
+            commit_ts: cts,
+        });
+        match srv.call(KvRequest::TxnStatus { txn: 42 }) {
+            KvResponse::TxnOutcome {
+                status: TxnStatusKind::Committed(ts),
+            } => assert_eq!(ts, cts),
+            other => panic!("unexpected response {other:?}"),
+        }
+        // Aborted for an aborted transaction.
+        srv.call(KvRequest::Abort { txn: 43 });
+        match srv.call(KvRequest::TxnStatus { txn: 43 }) {
+            KvResponse::TxnOutcome {
+                status: TxnStatusKind::Aborted,
+            } => {}
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn primary_reaper_presumes_abort_on_expired_lease() {
+        let oracle = TimestampOracle::new();
+        let cfg = KvConfig {
+            prepare_lease_us: 1,
+            reap_interval_us: 1,
+            ..Default::default()
+        };
+        let srv = KvServer::with_config(0, oracle.clone(), &cfg);
+        let obj = ObjectId::new(1, 1);
+        match srv.call(KvRequest::Prepare {
+            txn: 9,
+            start_ts: oracle.next_timestamp(),
+            writes: vec![crate::protocol::WriteOp {
+                obj,
+                value: Some(Bytes::from_static(b"v")),
+            }],
+            primary: 0, // this server is the primary
+            lease_us: 1,
+        }) {
+            KvResponse::Prepared => {}
+            other => panic!("unexpected response {other:?}"),
+        }
+        std::thread::sleep(Duration::from_millis(2));
+        // Any ordinary request piggybacks the reaper.
+        let _ = srv.call(KvRequest::Get { obj, ts: 1 });
+        assert_eq!(srv.store().prepared_count(), 0, "reaper must have fired");
+        assert_eq!(srv.reap_counts().1, 1);
+        // The coordinator's late commit is refused.
+        match srv.call(KvRequest::Commit {
+            txn: 9,
+            commit_ts: oracle.next_timestamp(),
+        }) {
+            KvResponse::Aborted => {}
+            other => panic!("unexpected response {other:?}"),
+        }
+        match srv.call(KvRequest::Get { obj, ts: 1_000 }) {
+            KvResponse::Value(None) => {}
             other => panic!("unexpected response {other:?}"),
         }
     }

@@ -26,13 +26,14 @@
 //! atomicity (the invariant snapshot isolation needs) is preserved by the
 //! per-shard critical sections.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use parking_lot::{Mutex, MutexGuard};
-use yesquel_common::ids::shard_index;
-use yesquel_common::{ObjectId, Timestamp, TxnId};
+use yesquel_common::ids::{shard_index, splitmix64};
+use yesquel_common::{ObjectId, ServerId, Timestamp, TxnId};
 
 use crate::mvcc::VersionChain;
 use crate::protocol::WriteOp;
@@ -60,12 +61,123 @@ pub enum PrepareOutcome {
     Conflict(String),
 }
 
+/// Result of a one-phase commit.  Distinct from [`PrepareOutcome`] because a
+/// deduplicated retry must report the *original* commit timestamp, not the
+/// one freshly drawn for the retry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommitOnePhaseOutcome {
+    /// Validation passed and the writes are installed at this timestamp.
+    Committed(Timestamp),
+    /// Validation failed (or the transaction had already aborted); nothing
+    /// was installed.
+    Conflict(String),
+}
+
 /// A prepare lock: the owning transaction and the value it intends to
 /// install.
 #[derive(Debug, Clone)]
 struct PrepareLock {
     txn: TxnId,
     staged: Option<Bytes>,
+}
+
+/// Book-keeping for a transaction between its prepare and commit phases.
+#[derive(Debug, Clone)]
+struct PreparedTxn {
+    /// Objects this transaction holds prepare locks on.
+    objs: Vec<ObjectId>,
+    /// The transaction's primary participant (2PC commit point).
+    primary: ServerId,
+    /// When the coordinator's lease expires and the reaper may act.
+    lease_deadline: Instant,
+}
+
+/// Recorded fate of a finished transaction, kept in a bounded FIFO so that
+/// retried or duplicated prepare / commit / abort messages are recognized
+/// and answered idempotently instead of re-applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnOutcome {
+    /// The transaction committed here at this timestamp.
+    Committed(Timestamp),
+    /// The transaction aborted here (explicitly or by presumed abort).
+    Aborted,
+}
+
+/// Result of applying a `Commit` message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitOutcome {
+    /// The staged writes were installed (or had already been installed by an
+    /// earlier delivery of the same commit) at this timestamp.
+    Committed(Timestamp),
+    /// The transaction was already aborted here — its lease expired and the
+    /// reaper presumed abort — so there was nothing to install.
+    AlreadyAborted,
+}
+
+/// One-round [`splitmix64`] hasher for `TxnId` keys.  The outcome and
+/// prepared tables sit on the commit hot path, where SipHash (the `HashMap`
+/// default) is measurable; a single multiply-xorshift round gives full
+/// avalanche on a 64-bit id for a fraction of the cost.
+#[derive(Default, Clone)]
+struct TxnIdHasher(u64);
+
+impl std::hash::Hasher for TxnIdHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("TxnId keys hash via write_u64");
+    }
+
+    fn write_u64(&mut self, x: u64) {
+        self.0 = splitmix64(x);
+    }
+}
+
+type TxnIdMap<V> = HashMap<TxnId, V, std::hash::BuildHasherDefault<TxnIdHasher>>;
+
+/// Bounded FIFO of transaction outcomes.
+struct OutcomeTable {
+    map: TxnIdMap<TxnOutcome>,
+    order: VecDeque<TxnId>,
+    cap: usize,
+}
+
+impl OutcomeTable {
+    fn new(cap: usize) -> Self {
+        OutcomeTable {
+            map: TxnIdMap::default(),
+            order: VecDeque::new(),
+            cap: cap.max(16),
+        }
+    }
+
+    fn get(&self, txn: TxnId) -> Option<TxnOutcome> {
+        self.map.get(&txn).copied()
+    }
+
+    /// Records an outcome.  A `Committed` record is never downgraded: a
+    /// stale abort arriving after the commit installed must not rewrite
+    /// history.
+    fn record(&mut self, txn: TxnId, outcome: TxnOutcome) {
+        match self.map.entry(txn) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                if !matches!(e.get(), TxnOutcome::Committed(_)) {
+                    e.insert(outcome);
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(outcome);
+                self.order.push_back(txn);
+                if self.order.len() > self.cap {
+                    if let Some(old) = self.order.pop_front() {
+                        self.map.remove(&old);
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// State of one object on one server.
@@ -92,6 +204,9 @@ pub struct StoreStats {
     pub locked_reads: u64,
     /// Number of versions dropped by garbage collection.
     pub gc_dropped: u64,
+    /// Number of retried or duplicated prepare/commit/abort messages that
+    /// were answered from the outcome table instead of re-applied.
+    pub dedup_hits: u64,
 }
 
 /// Atomic counters behind [`StoreStats`]; updated without any lock so the
@@ -105,6 +220,7 @@ struct StatsCells {
     conflicts: AtomicU64,
     locked_reads: AtomicU64,
     gc_dropped: AtomicU64,
+    dedup_hits: AtomicU64,
 }
 
 impl StatsCells {
@@ -117,6 +233,7 @@ impl StatsCells {
             conflicts: self.conflicts.load(Ordering::Relaxed),
             locked_reads: self.locked_reads.load(Ordering::Relaxed),
             gc_dropped: self.gc_dropped.load(Ordering::Relaxed),
+            dedup_hits: self.dedup_hits.load(Ordering::Relaxed),
         }
     }
 }
@@ -132,10 +249,19 @@ struct Shard {
 /// shards, so requests for different objects proceed in parallel.
 pub struct ServerStore {
     shards: Vec<Mutex<Shard>>,
-    /// Objects locked by each in-flight prepared transaction, so commit and
-    /// abort do not need to scan the whole store.  Touched once per
-    /// prepare/commit/abort, never per object, so one small mutex suffices.
-    prepared: Mutex<HashMap<TxnId, Vec<ObjectId>>>,
+    /// In-flight prepared transactions (objects locked, primary, lease), so
+    /// commit and abort do not need to scan the whole store.  Touched once
+    /// per prepare/commit/abort, never per object, so one small mutex
+    /// suffices.
+    prepared: Mutex<TxnIdMap<PreparedTxn>>,
+    /// Lock-free hint mirroring `prepared.len()`, so the piggybacked reaper
+    /// can skip clock reads and locking entirely while no transaction is in
+    /// the prepared state (the overwhelmingly common case).  Only a hint:
+    /// the reaper re-checks under the real lock.
+    prepared_hint: AtomicU64,
+    /// Fates of finished transactions, for deduplicating retried and
+    /// duplicated prepare / commit / abort messages.
+    outcomes: Mutex<OutcomeTable>,
     /// Non-transactional allocation counters (a handful of objects per tree;
     /// not on the read/commit hot path).
     counters: Mutex<HashMap<ObjectId, u64>>,
@@ -149,13 +275,21 @@ impl Default for ServerStore {
 }
 
 impl ServerStore {
-    /// Creates an empty store.
+    /// Creates an empty store with the default outcome retention.
     pub fn new() -> Self {
+        Self::with_outcome_retention(4_096)
+    }
+
+    /// Creates an empty store retaining up to `retention` transaction
+    /// outcomes for message deduplication.
+    pub fn with_outcome_retention(retention: usize) -> Self {
         ServerStore {
             shards: (0..SHARD_COUNT)
                 .map(|_| Mutex::new(Shard::default()))
                 .collect(),
-            prepared: Mutex::new(HashMap::new()),
+            prepared: Mutex::new(TxnIdMap::default()),
+            prepared_hint: AtomicU64::new(0),
+            outcomes: Mutex::new(OutcomeTable::new(retention)),
             counters: Mutex::new(HashMap::new()),
             stats: StatsCells::default(),
         }
@@ -209,8 +343,46 @@ impl ServerStore {
     }
 
     /// Validates and locks `writes` on behalf of transaction `txn` reading
-    /// at `start_ts`.  Either all writes are locked or none are.
+    /// at `start_ts`, with a generous lease and this server as primary.
+    /// Convenience wrapper used by single-store tests; the server dispatch
+    /// path goes through [`ServerStore::prepare_leased`].
     pub fn prepare(&self, txn: TxnId, start_ts: Timestamp, writes: &[WriteOp]) -> PrepareOutcome {
+        self.prepare_leased(txn, start_ts, writes, 0, Duration::from_secs(3600))
+    }
+
+    /// Validates and locks `writes` on behalf of transaction `txn` reading
+    /// at `start_ts`.  Either all writes are locked or none are.  The locks
+    /// are leased: if neither `Commit` nor `Abort` arrives within `lease`,
+    /// the reaper may resolve the transaction through its `primary`
+    /// participant (presumed abort).
+    ///
+    /// Idempotent under retries and duplicate deliveries: re-preparing an
+    /// already-prepared transaction refreshes its lease and reports
+    /// `Prepared`; re-preparing one that already committed reports
+    /// `Prepared` (the coordinator will proceed to a deduplicated commit);
+    /// re-preparing one that was already aborted reports a conflict so the
+    /// coordinator cannot resurrect a reaped transaction.
+    pub fn prepare_leased(
+        &self,
+        txn: TxnId,
+        start_ts: Timestamp,
+        writes: &[WriteOp],
+        primary: ServerId,
+        lease: Duration,
+    ) -> PrepareOutcome {
+        match self.outcomes.lock().get(txn) {
+            Some(TxnOutcome::Committed(_)) => {
+                self.stats.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                return PrepareOutcome::Prepared;
+            }
+            Some(TxnOutcome::Aborted) => {
+                self.stats.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                return PrepareOutcome::Conflict(format!(
+                    "txn {txn} was already aborted (presumed abort)"
+                ));
+            }
+            None => {}
+        }
         let mut guards = self.lock_shards_for(writes);
         // Validation pass: no lock held by another transaction, and no
         // committed version newer than the snapshot (first-committer-wins).
@@ -233,7 +405,20 @@ impl ServerStore {
             locked.push(w.obj);
         }
         drop(guards);
-        self.prepared.lock().entry(txn).or_default().extend(locked);
+        // Insert (not extend): a duplicate prepare carries the same writes,
+        // so replacing the entry both deduplicates the object list and
+        // refreshes the coordinator's lease.
+        let replaced = self.prepared.lock().insert(
+            txn,
+            PreparedTxn {
+                objs: locked,
+                primary,
+                lease_deadline: Instant::now() + lease,
+            },
+        );
+        if replaced.is_none() {
+            self.prepared_hint.fetch_add(1, Ordering::Relaxed);
+        }
         self.stats.prepares.fetch_add(1, Ordering::Relaxed);
         PrepareOutcome::Prepared
     }
@@ -258,11 +443,46 @@ impl ServerStore {
     }
 
     /// Installs the versions staged by a successful prepare of `txn` at
-    /// `commit_ts` and releases the locks.  Committing a transaction that
-    /// never prepared here is a no-op (idempotent, as phase two must be).
-    pub fn commit(&self, txn: TxnId, commit_ts: Timestamp) {
-        let objs = self.prepared.lock().remove(&txn).unwrap_or_default();
-        for obj in objs {
+    /// `commit_ts` and releases the locks.  Idempotent, as phase two must
+    /// be: a re-delivered commit answers from the outcome table, and a
+    /// commit for a transaction this store has never heard of is treated as
+    /// presumed-aborted (the only way a commit can reference an unknown
+    /// transaction is that the reaper already expired its prepare).
+    pub fn commit(&self, txn: TxnId, commit_ts: Timestamp) -> CommitOutcome {
+        let entry = {
+            let mut outcomes = self.outcomes.lock();
+            // Fast path first: a live prepared entry.  A duplicate commit
+            // racing us serializes on the outcomes lock, loses the `remove`,
+            // and falls through to the outcome table, which we fill while
+            // still holding that lock.
+            match self.prepared.lock().remove(&txn) {
+                Some(p) => {
+                    self.prepared_hint.fetch_sub(1, Ordering::Relaxed);
+                    outcomes.record(txn, TxnOutcome::Committed(commit_ts));
+                    p
+                }
+                None => {
+                    // Not prepared here: either a duplicate delivery
+                    // (answer from the outcome table) or a commit for a
+                    // transaction this store never prepared (presume abort).
+                    return match outcomes.get(txn) {
+                        Some(TxnOutcome::Committed(ts)) => {
+                            self.stats.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                            CommitOutcome::Committed(ts)
+                        }
+                        Some(TxnOutcome::Aborted) => {
+                            self.stats.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                            CommitOutcome::AlreadyAborted
+                        }
+                        None => {
+                            outcomes.record(txn, TxnOutcome::Aborted);
+                            CommitOutcome::AlreadyAborted
+                        }
+                    };
+                }
+            }
+        };
+        for obj in entry.objs {
             let mut shard = self.shards[self.shard_of(obj)].lock();
             if let Some(state) = shard.objects.get_mut(&obj) {
                 match state.lock.take() {
@@ -280,6 +500,7 @@ impl ServerStore {
             }
         }
         self.stats.commits.fetch_add(1, Ordering::Relaxed);
+        CommitOutcome::Committed(commit_ts)
     }
 
     /// Validates and installs `writes` in one step, assigning `commit_ts`.
@@ -291,13 +512,31 @@ impl ServerStore {
         start_ts: Timestamp,
         writes: &[WriteOp],
         commit_ts: Timestamp,
-    ) -> PrepareOutcome {
+    ) -> CommitOnePhaseOutcome {
+        // Dedup: a retried one-phase commit (its first response was lost)
+        // must report the original fate, not re-validate — re-validation
+        // would see the transaction's own installed versions as "newer than
+        // snapshot" and wrongly report a conflict.
+        match self.outcomes.lock().get(txn) {
+            Some(TxnOutcome::Committed(ts)) => {
+                self.stats.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                return CommitOnePhaseOutcome::Committed(ts);
+            }
+            Some(TxnOutcome::Aborted) => {
+                self.stats.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                return CommitOnePhaseOutcome::Conflict(format!(
+                    "txn {txn} already aborted (duplicate one-phase commit)"
+                ));
+            }
+            None => {}
+        }
         let mut guards = self.lock_shards_for(writes);
         for w in writes {
             let shard = self.guard_for(&mut guards, w.obj);
             if let Some(reason) = Self::validate_one(shard, txn, start_ts, w) {
                 self.stats.conflicts.fetch_add(1, Ordering::Relaxed);
-                return PrepareOutcome::Conflict(reason);
+                self.outcomes.lock().record(txn, TxnOutcome::Aborted);
+                return CommitOnePhaseOutcome::Conflict(reason);
             }
         }
         for w in writes {
@@ -305,15 +544,40 @@ impl ServerStore {
             let state = shard.objects.entry(w.obj).or_default();
             state.chain.install(commit_ts, w.value.clone());
         }
+        // Record the fate before the shard guards drop so a racing duplicate
+        // cannot slip between installation and the record.
+        self.outcomes
+            .lock()
+            .record(txn, TxnOutcome::Committed(commit_ts));
         drop(guards);
         self.stats.commits.fetch_add(1, Ordering::Relaxed);
-        PrepareOutcome::Prepared
+        CommitOnePhaseOutcome::Committed(commit_ts)
     }
 
     /// Releases every lock held by `txn` and discards its staged writes.
+    /// Idempotent; records an `Aborted` outcome (never overwriting a
+    /// commit) so duplicate prepares and commits of this transaction are
+    /// refused from then on.
     pub fn abort(&self, txn: TxnId) {
-        let objs = self.prepared.lock().remove(&txn).unwrap_or_default();
-        for obj in objs {
+        let entry = {
+            let mut outcomes = self.outcomes.lock();
+            if let Some(TxnOutcome::Committed(_)) = outcomes.get(txn) {
+                // A stale abort after the commit installed: ignore.
+                self.stats.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            let entry = self.prepared.lock().remove(&txn);
+            if entry.is_some() {
+                self.prepared_hint.fetch_sub(1, Ordering::Relaxed);
+            }
+            outcomes.record(txn, TxnOutcome::Aborted);
+            entry
+        };
+        let Some(entry) = entry else {
+            self.stats.aborts.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        for obj in entry.objs {
             let mut shard = self.shards[self.shard_of(obj)].lock();
             if let Some(state) = shard.objects.get_mut(&obj) {
                 if state.lock.as_ref().map(|l| l.txn == txn).unwrap_or(false) {
@@ -322,6 +586,62 @@ impl ServerStore {
             }
         }
         self.stats.aborts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// What this store knows about `txn`'s fate (outcome table only; a
+    /// still-prepared transaction reports `None` — see
+    /// [`ServerStore::is_prepared`]).
+    pub fn outcome(&self, txn: TxnId) -> Option<TxnOutcome> {
+        self.outcomes.lock().get(txn)
+    }
+
+    /// True if `txn` is currently prepared (locks held) at this store.
+    pub fn is_prepared(&self, txn: TxnId) -> bool {
+        self.prepared.lock().contains_key(&txn)
+    }
+
+    /// Number of transactions currently holding prepare locks.
+    pub fn prepared_count(&self) -> usize {
+        self.prepared.lock().len()
+    }
+
+    /// Lock-free check for "is anything prepared at all", the reaper's
+    /// fast-path gate.  Approximate during concurrent prepare/commit, exact
+    /// when quiescent.
+    pub fn has_prepared(&self) -> bool {
+        self.prepared_hint.load(Ordering::Relaxed) != 0
+    }
+
+    /// Prepared transactions whose coordinator lease expired before `now`,
+    /// with their primary participant.  Collected under the lock and
+    /// returned by value so the caller (the reaper) can resolve them — which
+    /// involves RPCs — without holding any store lock.
+    pub fn expired_prepared(&self, now: Instant) -> Vec<(TxnId, ServerId)> {
+        self.prepared
+            .lock()
+            .iter()
+            .filter(|(_, p)| p.lease_deadline <= now)
+            .map(|(txn, p)| (*txn, p.primary))
+            .collect()
+    }
+
+    /// Committed version history of `obj`, newest first, as
+    /// `(timestamp, value)` pairs.  White-box accessor for durability and
+    /// double-apply assertions in the chaos tests.
+    pub fn dump_versions(&self, obj: ObjectId) -> Vec<(Timestamp, Option<Bytes>)> {
+        let shard = self.shards[self.shard_of(obj)].lock();
+        shard
+            .objects
+            .get(&obj)
+            .map(|state| {
+                state
+                    .chain
+                    .versions()
+                    .iter()
+                    .map(|v| (v.ts, v.value.clone()))
+                    .collect()
+            })
+            .unwrap_or_default()
     }
 
     /// Atomically adds `delta` to the counter at `obj`, returning the
@@ -494,7 +814,7 @@ mod tests {
         let s = ServerStore::new();
         assert_eq!(
             s.commit_one_phase(1, 1, &[w(1, "a")], 5),
-            PrepareOutcome::Prepared
+            CommitOnePhaseOutcome::Committed(5)
         );
         assert_eq!(
             s.get(obj(1), 10),
@@ -502,7 +822,7 @@ mod tests {
         );
         // Stale snapshot conflicts.
         match s.commit_one_phase(2, 1, &[w(1, "b")], 6) {
-            PrepareOutcome::Conflict(_) => {}
+            CommitOnePhaseOutcome::Conflict(_) => {}
             other => panic!("expected conflict, got {other:?}"),
         }
         assert_eq!(
@@ -549,11 +869,123 @@ mod tests {
     }
 
     #[test]
-    fn commit_unknown_txn_is_noop() {
+    fn commit_unknown_txn_presumes_abort() {
         let s = ServerStore::new();
-        s.commit(999, 5);
+        // A commit for a transaction this store never prepared can only be
+        // the tail of a reaped transaction: refuse it.
+        assert_eq!(s.commit(999, 5), CommitOutcome::AlreadyAborted);
         s.abort(999);
         assert_eq!(s.object_count(), 0);
+        assert_eq!(s.outcome(999), Some(TxnOutcome::Aborted));
+    }
+
+    #[test]
+    fn duplicate_commit_and_abort_are_deduped() {
+        let s = ServerStore::new();
+        assert_eq!(s.prepare(1, 5, &[w(1, "a")]), PrepareOutcome::Prepared);
+        assert_eq!(s.commit(1, 10), CommitOutcome::Committed(10));
+        // Retried commit (response was lost): same answer, nothing re-done.
+        assert_eq!(s.commit(1, 10), CommitOutcome::Committed(10));
+        // A stale abort after the commit must not erase it.
+        s.abort(1);
+        assert_eq!(s.outcome(1), Some(TxnOutcome::Committed(10)));
+        assert_eq!(
+            s.get(obj(1), 20),
+            ReadOutcome::Value(Some(Bytes::from_static(b"a")))
+        );
+        assert_eq!(s.version_count(), 1, "commit must not double-install");
+        assert!(s.stats().dedup_hits >= 2);
+    }
+
+    #[test]
+    fn duplicate_prepare_is_idempotent() {
+        let s = ServerStore::new();
+        assert_eq!(s.prepare(1, 5, &[w(1, "a")]), PrepareOutcome::Prepared);
+        // Duplicate delivery of the same prepare: still prepared, exactly
+        // one lock, exactly one prepared entry.
+        assert_eq!(s.prepare(1, 5, &[w(1, "a")]), PrepareOutcome::Prepared);
+        assert_eq!(s.prepared_count(), 1);
+        s.commit(1, 10);
+        assert_eq!(s.version_count(), 1);
+        assert_eq!(s.prepared_count(), 0);
+    }
+
+    #[test]
+    fn lease_expiry_feeds_the_reaper_and_blocks_resurrection() {
+        let s = ServerStore::new();
+        assert_eq!(
+            s.prepare_leased(7, 5, &[w(1, "a")], 3, Duration::from_micros(1)),
+            PrepareOutcome::Prepared
+        );
+        std::thread::sleep(Duration::from_millis(1));
+        let expired = s.expired_prepared(Instant::now());
+        assert_eq!(expired, vec![(7, 3)]);
+        // The reaper presumes abort...
+        s.abort(7);
+        assert_eq!(s.prepared_count(), 0);
+        assert_eq!(s.get(obj(1), 100), ReadOutcome::Value(None));
+        // ...after which neither a late prepare nor a late commit of the
+        // same transaction may resurrect it.
+        match s.prepare_leased(7, 5, &[w(1, "a")], 3, Duration::from_secs(10)) {
+            PrepareOutcome::Conflict(_) => {}
+            other => panic!("expected conflict, got {other:?}"),
+        }
+        assert_eq!(s.commit(7, 20), CommitOutcome::AlreadyAborted);
+        assert_eq!(s.version_count(), 0);
+    }
+
+    #[test]
+    fn one_phase_commit_retry_reports_original_fate() {
+        let s = ServerStore::new();
+        assert_eq!(
+            s.commit_one_phase(1, 1, &[w(1, "a")], 5),
+            CommitOnePhaseOutcome::Committed(5)
+        );
+        // Retry with a fresh timestamp: the original fate is reported and
+        // nothing is re-installed.
+        assert_eq!(
+            s.commit_one_phase(1, 1, &[w(1, "a")], 9),
+            CommitOnePhaseOutcome::Committed(5)
+        );
+        assert_eq!(s.version_count(), 1);
+        // A conflicted one-phase commit is remembered as aborted.
+        match s.commit_one_phase(2, 1, &[w(1, "b")], 10) {
+            CommitOnePhaseOutcome::Conflict(_) => {}
+            other => panic!("expected conflict, got {other:?}"),
+        }
+        assert_eq!(s.outcome(2), Some(TxnOutcome::Aborted));
+        match s.commit_one_phase(2, 1, &[w(1, "b")], 11) {
+            CommitOnePhaseOutcome::Conflict(_) => {}
+            other => panic!("expected conflict on retry, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn outcome_table_is_bounded_and_keeps_commits_intact() {
+        let s = ServerStore::with_outcome_retention(16);
+        for i in 0..100u64 {
+            assert_eq!(
+                s.commit_one_phase(i + 1, 2 * i + 1, &[w(i, "v")], 2 * i + 2),
+                CommitOnePhaseOutcome::Committed(2 * i + 2)
+            );
+        }
+        // Old outcomes were evicted, recent ones retained.
+        assert_eq!(s.outcome(1), None);
+        assert_eq!(s.outcome(100), Some(TxnOutcome::Committed(200)));
+    }
+
+    #[test]
+    fn dump_versions_reports_history() {
+        let s = ServerStore::new();
+        s.prepare(1, 1, &[w(1, "a")]);
+        s.commit(1, 2);
+        s.prepare(2, 3, &[del(1)]);
+        s.commit(2, 4);
+        let hist = s.dump_versions(obj(1));
+        assert_eq!(hist.len(), 2);
+        assert!(hist.contains(&(2, Some(Bytes::from_static(b"a")))));
+        assert!(hist.contains(&(4, None)));
+        assert!(s.dump_versions(obj(99)).is_empty());
     }
 
     #[test]
@@ -594,7 +1026,7 @@ mod tests {
                     let ts = 2 * o + 1;
                     assert_eq!(
                         s.commit_one_phase(txn, ts, &[w(o, "v")], ts + 1),
-                        PrepareOutcome::Prepared
+                        CommitOnePhaseOutcome::Committed(ts + 1)
                     );
                 }
             }));
@@ -626,8 +1058,8 @@ mod tests {
                     let commit = ts.fetch_add(1, Ordering::SeqCst);
                     let txn = t * 1000 + i + 1;
                     match s.commit_one_phase(txn, start, &[w(7, "contended")], commit) {
-                        PrepareOutcome::Prepared => wins.fetch_add(1, Ordering::SeqCst),
-                        PrepareOutcome::Conflict(_) => losses.fetch_add(1, Ordering::SeqCst),
+                        CommitOnePhaseOutcome::Committed(_) => wins.fetch_add(1, Ordering::SeqCst),
+                        CommitOnePhaseOutcome::Conflict(_) => losses.fetch_add(1, Ordering::SeqCst),
                     };
                 }
             }));

@@ -9,6 +9,7 @@ use std::time::Duration;
 use bytes::Bytes;
 use parking_lot::Mutex;
 use yesquel_common::stats::StatsRegistry;
+use yesquel_common::timeutil::sleep_backoff;
 use yesquel_common::{Error, KvConfig, ObjectId, Result, ServerId, Timestamp, TxnId};
 use yesquel_rpc::Transport;
 
@@ -25,6 +26,9 @@ pub(crate) struct ClientCore {
     pub(crate) snapshots: SnapshotTracker,
     pub(crate) cfg: KvConfig,
     pub(crate) stats: StatsRegistry,
+    /// Monotone salt for retry-backoff jitter, so concurrent RPCs from one
+    /// client spread out while staying deterministic per deployment.
+    pub(crate) retry_salt: AtomicU64,
 }
 
 impl ClientCore {
@@ -35,6 +39,74 @@ impl ClientCore {
     /// Home server of an object in this deployment.
     pub(crate) fn home(&self, obj: ObjectId) -> ServerId {
         obj.home_server(self.num_servers())
+    }
+
+    /// Issues one RPC with a deadline-and-retry policy: availability-class
+    /// failures ([`Error::Timeout`], [`Error::Unavailable`]) are retried up
+    /// to `max_attempts` times with exponential backoff and jitter; every
+    /// other error propagates immediately.
+    ///
+    /// Retrying is safe for every request in the protocol: reads, GC and
+    /// status queries are idempotent, allocation merely skips ids, and
+    /// prepare / commit / abort are deduplicated server-side by transaction
+    /// id.  On exhaustion, if *any* attempt timed out the returned error is
+    /// a `Timeout` (the operation may have been applied — a commit path must
+    /// escalate to [`Error::Indeterminate`]); otherwise the operation was
+    /// definitely not applied and the last `Unavailable` is returned.
+    pub(crate) fn call_retry(
+        &self,
+        server: ServerId,
+        req: KvRequest,
+        max_attempts: usize,
+    ) -> Result<KvResponse> {
+        let max = max_attempts.max(1);
+        let mut salt: Option<u64> = None;
+        let mut saw_timeout = false;
+        let mut last: Option<Error> = None;
+        let mut req = Some(req);
+        for attempt in 0..max {
+            // The final attempt consumes the request; earlier ones clone it.
+            let this_req = if attempt + 1 < max {
+                req.clone()
+                    .expect("request present until the final attempt")
+            } else {
+                req.take().expect("request present until the final attempt")
+            };
+            match self.transport.call(server, this_req) {
+                Ok(resp) => return Ok(resp),
+                Err(e) if e.is_availability() => {
+                    if matches!(e, Error::Timeout(_)) {
+                        saw_timeout = true;
+                        self.stats.counter("rpc.timeouts").inc();
+                    }
+                    last = Some(e);
+                    if attempt + 1 < max {
+                        self.stats.counter("rpc.retries").inc();
+                        // Drawn lazily: the fault-free fast path never
+                        // touches the shared salt counter.
+                        let salt = *salt
+                            .get_or_insert_with(|| self.retry_salt.fetch_add(1, Ordering::Relaxed));
+                        sleep_backoff(
+                            attempt,
+                            self.cfg.rpc_backoff_us,
+                            self.cfg.rpc_backoff_cap_us,
+                            salt,
+                        );
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let last = last.expect("loop ran at least once and only exits retryably");
+        if saw_timeout && !matches!(last, Error::Timeout(_)) {
+            // An earlier attempt may have been applied even though the final
+            // one failed differently; report the in-doubt flavour.
+            Err(Error::Timeout(format!(
+                "server {server}: {last} (an earlier attempt timed out)"
+            )))
+        } else {
+            Err(last)
+        }
     }
 }
 
@@ -141,12 +213,13 @@ impl Txn {
         loop {
             self.read_rpcs.fetch_add(1, Ordering::Relaxed);
             self.core.stats.counter("kv.get_rpcs").inc();
-            match self.core.transport.call(
+            match self.core.call_retry(
                 server,
                 KvRequest::Get {
                     obj,
                     ts: self.start_ts,
                 },
+                self.core.cfg.rpc_max_attempts,
             )? {
                 KvResponse::Value(v) => return Ok(v),
                 KvResponse::Locked => {
@@ -218,17 +291,34 @@ impl Txn {
             .add(participants.len() as u64);
 
         // One-phase commit when a single server holds every written object.
+        // Retries are deduplicated server-side, so a lost response does not
+        // double-apply; only full exhaustion with a possible application
+        // (timeout) escalates to `Indeterminate`.
         if participants.len() == 1 && self.core.cfg.one_phase_commit {
             let (server, writes) = by_server.into_iter().next().expect("one participant");
             self.core.stats.counter("kv.commit_1pc").inc();
-            let resp = self.core.transport.call(
-                server,
-                KvRequest::CommitOnePhase {
-                    txn: self.id,
-                    start_ts: self.start_ts,
-                    writes,
-                },
-            )?;
+            let resp = self
+                .core
+                .call_retry(
+                    server,
+                    KvRequest::CommitOnePhase {
+                        txn: self.id,
+                        start_ts: self.start_ts,
+                        writes,
+                    },
+                    self.core.cfg.rpc_max_attempts,
+                )
+                .map_err(|e| {
+                    if matches!(e, Error::Timeout(_)) {
+                        self.core.stats.counter("kv.commit_indeterminate").inc();
+                        Error::Indeterminate(format!(
+                            "one-phase commit of txn {} to server {server}: {e}",
+                            self.id
+                        ))
+                    } else {
+                        e
+                    }
+                })?;
             return match resp {
                 KvResponse::Committed { commit_ts } => {
                     *self.state.lock() = TxnState::Committed;
@@ -246,64 +336,146 @@ impl Txn {
             };
         }
 
-        // Phase one: prepare at every participant.
+        // Phase one: prepare at every participant.  The lowest-numbered
+        // participant is the primary — the 2PC commit point the reaper
+        // protocol revolves around (see `crate::server`).
         self.core.stats.counter("kv.commit_2pc").inc();
-        let mut prepared: Vec<ServerId> = Vec::new();
-        for (&server, ws) in &by_server {
-            let resp = self.core.transport.call(
+        let primary = participants[0];
+        for (server, ws) in by_server {
+            let resp = self.core.call_retry(
                 server,
                 KvRequest::Prepare {
                     txn: self.id,
                     start_ts: self.start_ts,
-                    writes: ws.clone(),
+                    writes: ws,
+                    primary,
+                    lease_us: self.core.cfg.prepare_lease_us,
                 },
-            )?;
+                self.core.cfg.rpc_max_attempts,
+            );
             match resp {
-                KvResponse::Prepared => prepared.push(server),
-                KvResponse::Conflict { reason } => {
-                    // Roll back the prepares we already made.
-                    for &s in &prepared {
-                        let _ = self
-                            .core
-                            .transport
-                            .call(s, KvRequest::Abort { txn: self.id });
-                    }
+                Ok(KvResponse::Prepared) => {}
+                Ok(KvResponse::Conflict { reason }) => {
+                    self.abort_participants(&participants);
                     *self.state.lock() = TxnState::Aborted;
                     self.core.stats.counter("kv.txn_conflicts").inc();
                     return Err(Error::Conflict(reason));
                 }
-                other => {
-                    for &s in &prepared {
-                        let _ = self
-                            .core
-                            .transport
-                            .call(s, KvRequest::Abort { txn: self.id });
-                    }
+                Ok(other) => {
+                    self.abort_participants(&participants);
                     *self.state.lock() = TxnState::Aborted;
                     return Err(Error::Internal(format!(
                         "unexpected prepare response: {other:?}"
                     )));
                 }
+                Err(e) => {
+                    // Coordinator deadline: a participant stayed unreachable
+                    // through the retry budget.  No commit was sent, so the
+                    // transaction cannot have committed anywhere — abort the
+                    // others (best-effort; the reaper collects whatever the
+                    // aborts miss) and report a clean retryable failure.
+                    self.abort_participants(&participants);
+                    *self.state.lock() = TxnState::Aborted;
+                    self.core.stats.counter("kv.prepare_deadline_aborts").inc();
+                    return Err(if e.is_availability() {
+                        Error::Unavailable(format!(
+                            "prepare of txn {} at server {server} failed ({e}); transaction aborted",
+                            self.id
+                        ))
+                    } else {
+                        e
+                    });
+                }
             }
         }
 
         // All participants prepared: the transaction is committed as soon as
-        // its commit timestamp is fixed.
+        // its commit timestamp is fixed *at the primary*.
         let commit_ts = self.core.oracle.next_timestamp();
 
-        // Phase two: install at every participant.
-        for &server in &participants {
-            self.core.transport.call(
+        // Phase two, commit point: the primary, with the larger resolve
+        // budget — once everyone is prepared, pounding on the primary is far
+        // cheaper than surfacing an indeterminate commit.
+        let commit_ts = match self.core.call_retry(
+            primary,
+            KvRequest::Commit {
+                txn: self.id,
+                commit_ts,
+            },
+            self.core.cfg.commit_resolve_attempts,
+        ) {
+            Ok(KvResponse::Committed { commit_ts }) => commit_ts,
+            Ok(KvResponse::Aborted) => {
+                // The primary's reaper presumed abort before our commit
+                // arrived (lease expired).  Nothing committed anywhere:
+                // secondaries never commit before the primary.
+                self.abort_participants(&participants);
+                *self.state.lock() = TxnState::Aborted;
+                self.core.stats.counter("kv.txn_conflicts").inc();
+                return Err(Error::Conflict(format!(
+                    "txn {} aborted by the prepare-lease reaper before commit reached \
+                     the primary",
+                    self.id
+                )));
+            }
+            Ok(other) => {
+                *self.state.lock() = TxnState::Aborted;
+                return Err(Error::Internal(format!(
+                    "unexpected commit response: {other:?}"
+                )));
+            }
+            Err(e) => {
+                // The commit decision is in flight but unconfirmed: the
+                // primary may have installed it, or its reaper may abort it.
+                // Only the primary knows; blindly retrying the transaction
+                // could double-apply, so surface the in-doubt state.
+                self.core.stats.counter("kv.commit_indeterminate").inc();
+                return Err(Error::Indeterminate(format!(
+                    "commit of txn {} unconfirmed by primary server {primary}: {e}",
+                    self.id
+                )));
+            }
+        };
+
+        // Phase two, secondaries: best-effort.  The transaction is durably
+        // committed at the primary; a secondary that misses its commit will
+        // adopt it from the primary through the reaper.
+        for &server in participants.iter().filter(|&&s| s != primary) {
+            match self.core.call_retry(
                 server,
                 KvRequest::Commit {
                     txn: self.id,
                     commit_ts,
                 },
-            )?;
+                self.core.cfg.rpc_max_attempts,
+            ) {
+                Ok(KvResponse::Committed { .. }) => {}
+                _ => {
+                    // Lost or refused: the reaper will converge this
+                    // participant.  The commit itself already succeeded.
+                    self.core
+                        .stats
+                        .counter("kv.commit_lagging_participants")
+                        .inc();
+                }
+            }
         }
         *self.state.lock() = TxnState::Committed;
         self.core.stats.counter("kv.txn_committed").inc();
         Ok(commit_ts)
+    }
+
+    /// Best-effort abort fan-out used when a prepare round fails.  Abort is
+    /// idempotent and deduplicated server-side, and participants that miss
+    /// the message are cleaned up by the prepare-lease reaper.
+    fn abort_participants(&self, participants: &[ServerId]) {
+        for &s in participants {
+            let _ = self.core.call_retry(
+                s,
+                KvRequest::Abort { txn: self.id },
+                self.core.cfg.rpc_max_attempts,
+            );
+        }
     }
 
     /// Aborts the transaction, discarding its buffered writes.

@@ -23,9 +23,11 @@
 //! absolute wall-clock numbers necessarily differ.
 
 pub mod cluster;
+pub mod fault;
 pub mod netmodel;
 pub mod transport;
 
 pub use cluster::{Cluster, ClusterBuilder};
+pub use fault::{FaultPlan, FaultyTransport};
 pub use netmodel::NetworkModel;
 pub use transport::{DirectTransport, Service, ThreadedTransport, Transport, TransportKind};

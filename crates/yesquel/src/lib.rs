@@ -554,12 +554,15 @@ impl Session {
         drop(cur);
 
         // Autocommit: one transaction per statement, retried on conflicts
-        // (the documented recovery strategy under snapshot isolation).  A
-        // failed attempt may have cached schemas from its aborted writes,
-        // so the schema cache is dropped before every retry — which bumps
-        // the catalog generation, so the retry also replans.
+        // and availability failures (RPC timeout, server temporarily down)
+        // — the documented recovery strategy under snapshot isolation with
+        // an unreliable network.  A failed attempt may have cached schemas
+        // from its aborted writes, so the schema cache is dropped before
+        // every retry — which bumps the catalog generation, so the retry
+        // also replans.
         const MAX_ATTEMPTS: usize = 24;
-        let mut last_err = Error::Internal("statement retry limit reached".into());
+        let cfg = self.client.config().clone();
+        let mut last_err = None;
         for attempt in 0..MAX_ATTEMPTS {
             let txn = self.client.begin();
             let plan = match (&first_plan, attempt) {
@@ -573,7 +576,7 @@ impl Session {
                     Ok(_) => return Ok(rs),
                     Err(e) if e.is_retryable() => {
                         self.catalog.invalidate_all();
-                        last_err = e;
+                        last_err = Some(e);
                     }
                     Err(e) => {
                         self.catalog.invalidate_all();
@@ -583,7 +586,7 @@ impl Session {
                 Err(e) if e.is_retryable() => {
                     txn.abort();
                     self.catalog.invalidate_all();
-                    last_err = e;
+                    last_err = Some(e);
                 }
                 Err(e) => {
                     txn.abort();
@@ -591,11 +594,33 @@ impl Session {
                     return Err(e);
                 }
             }
-            if attempt > 2 {
-                std::thread::sleep(std::time::Duration::from_micros(50 * attempt as u64));
+            // Conflicts back off only once retries repeat (the first two
+            // immediate retries usually win); availability failures back
+            // off from the first retry to let the server recover.
+            let availability = last_err.as_ref().is_some_and(Error::is_availability);
+            if availability || attempt > 2 {
+                yesquel_common::timeutil::sleep_backoff(
+                    attempt,
+                    cfg.rpc_backoff_us.max(50),
+                    cfg.rpc_backoff_cap_us,
+                    0x5a1_u64 ^ attempt as u64,
+                );
             }
         }
-        Err(last_err)
+        // Exhausted.  Availability failures degrade to a clean "service
+        // unavailable" the application can act on; everything else keeps
+        // the full retry context.
+        let last = last_err.expect("exhaustion implies a retryable error occurred");
+        if last.is_availability() {
+            Err(Error::Unavailable(format!(
+                "statement gave up after {MAX_ATTEMPTS} attempts: {last}"
+            )))
+        } else {
+            Err(Error::RetriesExhausted {
+                attempts: MAX_ATTEMPTS,
+                last: Box::new(last),
+            })
+        }
     }
 }
 
@@ -875,15 +900,23 @@ impl Yesquel {
 
     /// Opens a deployment from an explicit configuration.
     pub fn open_with(config: YesquelConfig) -> Self {
-        let dbt_cfg = config.dbt.clone();
-        let db = KvDatabase::new(config);
+        Self::open_db(KvDatabase::new(config)).expect("catalog bootstrap cannot fail")
+    }
+
+    /// Opens the SQL stack over a pre-built key-value deployment.  This is
+    /// the entry point for fault-injected deployments: build the database
+    /// with [`KvDatabase::with_faults`], then open SQL on top.  Returns an
+    /// error if the catalog bootstrap itself fails (possible when faults
+    /// are already active during open).
+    pub fn open_db(db: KvDatabase) -> Result<Self> {
+        let dbt_cfg = db.config().dbt.clone();
         let engine = DbtEngine::new(db.client(), dbt_cfg);
-        let session = Session::new(Arc::clone(&engine)).expect("catalog bootstrap cannot fail");
-        Yesquel {
+        let session = Session::new(Arc::clone(&engine))?;
+        Ok(Yesquel {
             db,
             engine,
             session,
-        }
+        })
     }
 
     /// The key-value deployment.
@@ -1002,6 +1035,65 @@ mod tests {
         ));
         // Transaction control cannot be prepared.
         assert!(y.prepare("BEGIN").is_err());
+    }
+
+    #[test]
+    fn autocommit_degrades_to_unavailable_and_recovers() {
+        let mut cfg = YesquelConfig::with_servers(2);
+        cfg.kv = KvConfig::impatient();
+        let db = KvDatabase::with_faults(cfg, rpc::TransportKind::Direct, vec![]);
+        let y = Yesquel::open_db(db).unwrap();
+        y.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)", &[])
+            .unwrap();
+        y.execute("INSERT INTO t VALUES (1, 'a')", &[]).unwrap();
+
+        let faults = Arc::clone(y.db().faults().expect("fault-injected deployment"));
+        faults.crash(0);
+        faults.crash(1);
+        match y.execute("SELECT v FROM t WHERE id = 1", &[]) {
+            Err(Error::Unavailable(msg)) => {
+                assert!(msg.contains("attempts"), "degradation message: {msg}")
+            }
+            other => panic!("expected clean Unavailable, got {other:?}"),
+        }
+
+        // Service resumes transparently once the servers come back.
+        faults.restart(0);
+        faults.restart(1);
+        let rs = y.execute("SELECT v FROM t WHERE id = 1", &[]).unwrap();
+        assert_eq!(rs.rows, vec![vec![Value::Text("a".into())]]);
+    }
+
+    #[test]
+    fn autocommit_rides_out_transient_faults() {
+        let mut cfg = YesquelConfig::with_servers(2);
+        cfg.kv = KvConfig::impatient();
+        // Every server drops ~20% of requests and delays some others; the
+        // retry stack must hide all of it from SQL callers.
+        let plan = rpc::FaultPlan {
+            seed: 7,
+            drop_request: 0.15,
+            drop_response: 0.05,
+            transient_error: 0.05,
+            ..rpc::FaultPlan::healthy()
+        };
+        let db = KvDatabase::with_faults(cfg, rpc::TransportKind::Direct, vec![plan.clone(), plan]);
+        let y = Yesquel::open_db(db).unwrap();
+        y.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, n INT)", &[])
+            .unwrap();
+        let ins = y.prepare("INSERT INTO t VALUES (?, ?)").unwrap();
+        for i in 0..40i64 {
+            ins.execute(params![i, i * 10]).unwrap();
+        }
+        let rs = y.execute("SELECT COUNT(*), SUM(n) FROM t", &[]).unwrap();
+        assert_eq!(
+            rs.rows,
+            vec![vec![
+                Value::Int(40),
+                Value::Int((0..40).map(|i| i * 10).sum())
+            ]]
+        );
+        assert!(y.db().faults().unwrap().faults_injected() > 0);
     }
 
     #[test]
