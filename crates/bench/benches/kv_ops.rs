@@ -4,8 +4,8 @@
 //! `BENCH_JSON_OUT=<file>` to also record JSON lines (see BENCH_1.json).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use yesquel_bench::kv_deployment;
-use yesquel_common::ObjectId;
+use yesquel_bench::{durable_kv_deployment, kv_deployment};
+use yesquel_common::{ObjectId, WalFsyncPolicy};
 
 const SERVERS: usize = 4;
 /// Tree id used for bench objects.
@@ -102,6 +102,43 @@ fn bench_commit(c: &mut Criterion) {
     });
 }
 
+fn bench_commit_wal(c: &mut Criterion) {
+    // Same workload as kv/commit_1pc, but every server appends to a
+    // write-ahead log before acknowledging.  Two fsync policies: group
+    // commit (the default; a single appender pays the full window of
+    // latency — the win is fsync batching under concurrency) and an fsync
+    // per record.  Compare against kv/commit_1pc for the durability tax.
+    let cases = [
+        (
+            "kv/commit_1pc_wal_group",
+            WalFsyncPolicy::Group { window_us: 100 },
+        ),
+        ("kv/commit_1pc_wal_always", WalFsyncPolicy::Always),
+    ];
+    for (name, policy) in cases {
+        let (db, _wal_dir) = durable_kv_deployment(SERVERS, policy);
+        let client = db.client();
+        c.bench_function(name, |b| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                let txn = client.begin();
+                txn.put(ObjectId::new(TREE, 1_000_000 + (i % 512)), b"x".to_vec())
+                    .unwrap();
+                txn.commit().unwrap()
+            });
+        });
+        assert!(
+            db.stats().counter("wal.appends").get() > 0,
+            "WAL path not exercised"
+        );
+        assert!(
+            db.stats().counter("wal.fsyncs").get() > 0,
+            "fsync policy not exercised"
+        );
+    }
+}
+
 fn bench_baseline(c: &mut Criterion) {
     // Single-node, non-transactional reference point.
     let kv = yesquel_baselines::LocalKv::new();
@@ -117,5 +154,11 @@ fn bench_baseline(c: &mut Criterion) {
     });
 }
 
-criterion_group!(kv_benches, bench_get, bench_commit, bench_baseline);
+criterion_group!(
+    kv_benches,
+    bench_get,
+    bench_commit,
+    bench_commit_wal,
+    bench_baseline
+);
 criterion_main!(kv_benches);

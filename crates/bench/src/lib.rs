@@ -4,14 +4,26 @@
 
 use std::fmt::Write as _;
 
-use yesquel_common::{DbtConfig, YesquelConfig};
+use yesquel_common::tempdir::TempDir;
+use yesquel_common::{DbtConfig, WalFsyncPolicy, YesquelConfig};
 use yesquel_kv::KvDatabase;
 use yesquel_ydbt::{Dbt, DbtEngine};
 
 /// A standard deployment for kv-level benches: `n` servers, direct
-/// transport, no simulated network cost.
+/// transport, no simulated network cost, no write-ahead log.
 pub fn kv_deployment(n: usize) -> KvDatabase {
     KvDatabase::new(YesquelConfig::with_servers(n))
+}
+
+/// A durable deployment: every server logs to a per-server write-ahead log
+/// under a self-cleaning temp directory (returned so the caller keeps it
+/// alive for the life of the database).
+pub fn durable_kv_deployment(n: usize, policy: WalFsyncPolicy) -> (KvDatabase, TempDir) {
+    let tmp = TempDir::new("yesquel-bench-wal").expect("bench tempdir");
+    let mut cfg = YesquelConfig::with_servers(n);
+    cfg.kv.wal_dir = Some(tmp.path().to_path_buf());
+    cfg.kv.wal_fsync = policy;
+    (KvDatabase::new(cfg), tmp)
 }
 
 /// A deployment plus a tree pre-loaded with `keys` sequential i64 keys, used

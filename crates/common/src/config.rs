@@ -109,6 +109,33 @@ impl DbtConfig {
     }
 }
 
+/// When a storage server's write-ahead log forces appended records to disk.
+///
+/// Orthogonal to *whether* a server logs at all (that is
+/// [`KvConfig::wal_dir`]): the policy only governs when an append is
+/// considered durable enough to acknowledge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalFsyncPolicy {
+    /// Every append fsyncs before the operation is acknowledged.  Strongest
+    /// guarantee, one disk sync per commit.
+    Always,
+    /// Group commit: an appender waits up to `window_us` microseconds for
+    /// concurrent committers to pile in, then one fsync covers the whole
+    /// group.  Same guarantee as `Always` once the append call returns —
+    /// the ack still waits for the sync — at a fraction of the fsyncs under
+    /// concurrency, traded against up to `window_us` of added commit
+    /// latency.
+    Group {
+        /// How long the sync leader waits for the group to grow.
+        window_us: u64,
+    },
+    /// Appends are buffered OS-side and never explicitly synced (checkpoint
+    /// and segment rotation still sync).  An acknowledged commit can vanish
+    /// in a power loss; only suitable when durability is externally
+    /// guaranteed or deliberately waived (benchmarking the log's CPU cost).
+    Off,
+}
+
 /// Configuration of the transactional key-value store.
 #[derive(Debug, Clone, PartialEq)]
 pub struct KvConfig {
@@ -157,6 +184,14 @@ pub struct KvConfig {
     /// abort messages.  Bounded FIFO; must exceed the number of commits that
     /// can land between a message and its last retry by a wide margin.
     pub txn_outcome_retention: usize,
+    /// Directory under which each storage server keeps its write-ahead log
+    /// (server `i` logs in `<wal_dir>/server-<i>`).  `None` — the default —
+    /// runs the store purely in memory, exactly as before durability was
+    /// added: no logging, no recovery, zero overhead on the hot paths.
+    pub wal_dir: Option<std::path::PathBuf>,
+    /// Fsync policy of the write-ahead log; ignored when `wal_dir` is
+    /// `None`.
+    pub wal_fsync: WalFsyncPolicy,
 }
 
 impl Default for KvConfig {
@@ -173,6 +208,8 @@ impl Default for KvConfig {
             prepare_lease_us: 500_000,
             reap_interval_us: 50_000,
             txn_outcome_retention: 4_096,
+            wal_dir: None,
+            wal_fsync: WalFsyncPolicy::Group { window_us: 100 },
         }
     }
 }

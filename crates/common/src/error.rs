@@ -54,6 +54,16 @@ pub enum Error {
     },
     /// Stored bytes could not be decoded (corrupt node, record or message).
     Corruption(String),
+    /// A disk operation failed (open, write, fsync, rename).  Carries the
+    /// failing path or operation for context.  Never retried blindly: a
+    /// server whose log is failing must stop acknowledging writes.
+    Io(String),
+    /// The write-ahead log contains a record that fails its checksum or
+    /// cannot be decoded *before* the recoverable tail.  A torn or corrupt
+    /// tail record is not an error — recovery truncates it — so this variant
+    /// only surfaces for damage that makes the clean prefix ambiguous (e.g.
+    /// an unreadable checkpoint with no older segment to fall back to).
+    WalCorrupt(String),
     /// SQL text could not be tokenized or parsed.
     Parse(String),
     /// The SQL statement refers to a table, column or index that does not
@@ -115,6 +125,8 @@ impl Error {
             Error::Indeterminate(_) => "indeterminate",
             Error::RetriesExhausted { .. } => "retries_exhausted",
             Error::Corruption(_) => "corruption",
+            Error::Io(_) => "io",
+            Error::WalCorrupt(_) => "wal_corrupt",
             Error::Parse(_) => "parse",
             Error::Schema(_) => "schema",
             Error::Constraint(_) => "constraint",
@@ -142,6 +154,8 @@ impl fmt::Display for Error {
                 write!(f, "retries exhausted after {attempts} attempts: {last}")
             }
             Error::Corruption(m) => write!(f, "data corruption: {m}"),
+            Error::Io(m) => write!(f, "i/o error: {m}"),
+            Error::WalCorrupt(m) => write!(f, "write-ahead log corrupt: {m}"),
             Error::Parse(m) => write!(f, "SQL parse error: {m}"),
             Error::Schema(m) => write!(f, "schema error: {m}"),
             Error::Constraint(m) => write!(f, "constraint violation: {m}"),
@@ -151,6 +165,21 @@ impl fmt::Display for Error {
             Error::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
             Error::Internal(m) => write!(f, "internal error: {m}"),
         }
+    }
+}
+
+impl Error {
+    /// Wraps a [`std::io::Error`] with context (typically the path or the
+    /// operation that failed), so disk failures surface as typed errors
+    /// instead of panics or stringly `Internal`s.
+    pub fn io(context: impl std::fmt::Display, err: std::io::Error) -> Self {
+        Error::Io(format!("{context}: {err}"))
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(err: std::io::Error) -> Self {
+        Error::Io(err.to_string())
     }
 }
 
@@ -204,6 +233,26 @@ mod tests {
     }
 
     #[test]
+    fn io_errors_are_typed_and_not_retryable() {
+        let e = Error::io(
+            "/var/wal/segment-0.wal",
+            std::io::Error::new(std::io::ErrorKind::PermissionDenied, "denied"),
+        );
+        assert_eq!(e.tag(), "io");
+        assert!(e.to_string().contains("/var/wal/segment-0.wal"));
+        assert!(e.to_string().contains("denied"));
+        assert!(!e.is_retryable());
+        assert!(!e.is_availability());
+
+        let from: Error = std::io::Error::other("disk on fire").into();
+        assert_eq!(from.tag(), "io");
+
+        let wc = Error::WalCorrupt("checkpoint checksum mismatch".into());
+        assert_eq!(wc.tag(), "wal_corrupt");
+        assert!(!wc.is_retryable());
+    }
+
+    #[test]
     fn tags_are_distinct() {
         let errs = [
             Error::NotFound(String::new()),
@@ -219,6 +268,8 @@ mod tests {
                 last: Box::new(Error::Internal(String::new())),
             },
             Error::Corruption(String::new()),
+            Error::Io(String::new()),
+            Error::WalCorrupt(String::new()),
             Error::Parse(String::new()),
             Error::Schema(String::new()),
             Error::Constraint(String::new()),

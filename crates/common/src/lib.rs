@@ -17,8 +17,9 @@ pub mod error;
 pub mod ids;
 pub mod rand_util;
 pub mod stats;
+pub mod tempdir;
 pub mod timeutil;
 
-pub use config::{DbtConfig, KvConfig, NetConfig, YesquelConfig};
+pub use config::{DbtConfig, KvConfig, NetConfig, WalFsyncPolicy, YesquelConfig};
 pub use error::{Error, Result};
 pub use ids::{ObjectId, Oid, ServerId, Timestamp, TreeId, TxnId};

@@ -1,0 +1,92 @@
+//! A minimal self-cleaning temporary directory.
+//!
+//! The offline build has no `tempfile` crate, and the WAL tests need
+//! isolated per-test log directories that disappear when the test ends —
+//! including when it fails, which is why cleanup lives in `Drop` rather
+//! than at the end of each test body.  Uniqueness comes from the process id,
+//! a process-wide counter and the wall clock, so concurrently running test
+//! binaries (cargo runs one process per integration test) never collide.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::{Error, Result};
+
+static NEXT: AtomicU64 = AtomicU64::new(0);
+
+/// A directory under the system temp dir, removed (recursively) on drop.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Creates a fresh empty directory whose name starts with `prefix`.
+    pub fn new(prefix: &str) -> Result<Self> {
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.subsec_nanos())
+            .unwrap_or(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let name = format!("{prefix}-{}-{n}-{nanos:09}", std::process::id());
+        let path = std::env::temp_dir().join(name);
+        std::fs::create_dir_all(&path).map_err(|e| Error::io(path.display(), e))?;
+        Ok(TempDir { path })
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Consumes the guard without deleting the directory (debugging aid:
+    /// keep a failing test's WAL around for inspection).
+    pub fn into_path(self) -> PathBuf {
+        let path = self.path.clone();
+        std::mem::forget(self);
+        path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        // Best effort: a missing directory or a permission race at process
+        // teardown is not worth a panic in a destructor.
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_and_removes() {
+        let kept;
+        {
+            let t = TempDir::new("yesquel-tempdir-test").unwrap();
+            kept = t.path().to_path_buf();
+            assert!(kept.is_dir());
+            std::fs::write(t.path().join("file"), b"x").unwrap();
+            std::fs::create_dir(t.path().join("sub")).unwrap();
+            std::fs::write(t.path().join("sub/nested"), b"y").unwrap();
+        }
+        assert!(!kept.exists(), "drop must remove the tree");
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let a = TempDir::new("yesquel-uniq").unwrap();
+        let b = TempDir::new("yesquel-uniq").unwrap();
+        assert_ne!(a.path(), b.path());
+    }
+
+    #[test]
+    fn into_path_keeps_directory() {
+        let t = TempDir::new("yesquel-keep").unwrap();
+        let p = t.into_path();
+        assert!(p.is_dir());
+        std::fs::remove_dir_all(&p).unwrap();
+    }
+}

@@ -135,6 +135,7 @@ impl KvClient {
             self.core.cfg.rpc_max_attempts,
         )? {
             KvResponse::Allocated { start } => Ok(start),
+            KvResponse::ServerError { message } => Err(Error::Io(message)),
             other => Err(Error::Internal(format!(
                 "unexpected Allocate response: {other:?}"
             ))),
@@ -155,6 +156,7 @@ impl KvClient {
             self.core.cfg.rpc_max_attempts,
         )? {
             KvResponse::Ok => Ok(()),
+            KvResponse::ServerError { message } => Err(Error::Io(message)),
             other => Err(Error::Internal(format!(
                 "unexpected Load response: {other:?}"
             ))),

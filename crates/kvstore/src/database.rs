@@ -5,6 +5,7 @@ use std::sync::Arc;
 use yesquel_common::stats::StatsRegistry;
 use yesquel_common::{Result, YesquelConfig};
 use yesquel_rpc::{Cluster, ClusterBuilder, FaultPlan, FaultyTransport, Transport, TransportKind};
+use yesquel_wal::Wal;
 
 use crate::client::KvClient;
 use crate::oracle::TimestampOracle;
@@ -29,26 +30,46 @@ pub struct KvDatabase {
 
 impl KvDatabase {
     /// Creates a deployment from a configuration, using the direct (same
-    /// thread) transport.
+    /// thread) transport.  Panics if `KvConfig::wal_dir` is set and a log
+    /// cannot be opened; durability-aware callers use [`KvDatabase::try_new`].
     pub fn new(config: YesquelConfig) -> Self {
         Self::with_transport(config, TransportKind::Direct)
     }
 
+    /// Fallible variant of [`KvDatabase::new`]: opening or recovering a
+    /// per-server write-ahead log surfaces as a typed error instead of a
+    /// panic.
+    pub fn try_new(config: YesquelConfig) -> Result<Self> {
+        Self::build(config, TransportKind::Direct, None)
+    }
+
     /// Creates a deployment with an explicit transport choice.
     pub fn with_transport(config: YesquelConfig, transport: TransportKind) -> Self {
-        Self::build(config, transport, None)
+        Self::build(config, transport, None).expect("failed to open write-ahead logs")
     }
 
     /// Creates a deployment whose transport injects faults according to
     /// `plans` (one [`FaultPlan`] per server; missing entries are healthy).
     /// Everything — client RPCs and the server-to-server transaction-status
     /// traffic of the prepare-lease reaper — goes through the faulty
-    /// transport, so crashes partition a server from its peers too.
+    /// transport, so crashes partition a server from its peers too.  When a
+    /// plan has [`FaultPlan::amnesia`] set, restarting that crashed server
+    /// wipes its volatile state and recovers from its write-ahead log (or
+    /// comes back empty without one).
     pub fn with_faults(
         config: YesquelConfig,
         transport: TransportKind,
         plans: Vec<FaultPlan>,
     ) -> Self {
+        Self::build(config, transport, Some(plans)).expect("failed to open write-ahead logs")
+    }
+
+    /// Fallible variant of [`KvDatabase::with_faults`].
+    pub fn try_with_faults(
+        config: YesquelConfig,
+        transport: TransportKind,
+        plans: Vec<FaultPlan>,
+    ) -> Result<Self> {
         Self::build(config, transport, Some(plans))
     }
 
@@ -56,14 +77,44 @@ impl KvDatabase {
         config: YesquelConfig,
         transport: TransportKind,
         plans: Option<Vec<FaultPlan>>,
-    ) -> Self {
+    ) -> Result<Self> {
         assert!(
             config.num_servers > 0,
             "deployment needs at least one storage server"
         );
         let stats = StatsRegistry::new();
         let oracle = TimestampOracle::new();
-        let servers = KvServer::make_servers_with(config.num_servers, &oracle, &config.kv);
+        let servers = match &config.kv.wal_dir {
+            None => KvServer::make_servers_with(config.num_servers, &oracle, &config.kv),
+            Some(dir) => {
+                // One log per server, under `<wal_dir>/server-<i>`; opening
+                // a log also recovers it, so building a deployment over an
+                // existing directory restores the previous incarnation.
+                let mut servers = Vec::with_capacity(config.num_servers);
+                for id in 0..config.num_servers {
+                    let wal = Wal::open(
+                        dir.join(format!("server-{id}")),
+                        config.kv.wal_fsync,
+                        &stats,
+                    )?;
+                    servers.push(Arc::new(KvServer::with_wal(
+                        id,
+                        oracle.clone(),
+                        &config.kv,
+                        Some(Arc::new(wal)),
+                    )?));
+                }
+                // Recovered versions carry timestamps issued by the previous
+                // incarnation's oracle; move this one past them so fresh
+                // snapshots can see them and ids are never reissued.
+                for srv in &servers {
+                    let (ts, txn) = srv.store().high_water();
+                    oracle.advance_past(ts);
+                    oracle.advance_txn_past(txn);
+                }
+                servers
+            }
+        };
         let cluster = ClusterBuilder::new(servers)
             .transport(transport)
             .network(config.net.clone())
@@ -78,6 +129,17 @@ impl KvDatabase {
                     plans,
                     stats.clone(),
                 ));
+                // A restart of a crashed server under an amnesia plan kills
+                // the "process": volatile state is dropped and the store is
+                // rebuilt from the write-ahead log before any request gets
+                // through.
+                for (id, srv) in cluster.servers().iter().enumerate() {
+                    let srv = Arc::clone(srv);
+                    faulty.set_restart_hook(id, move || {
+                        srv.amnesia_restart()
+                            .expect("amnesia recovery from the write-ahead log failed");
+                    });
+                }
                 faults = Some(Arc::clone(&faulty));
                 faulty
             }
@@ -85,7 +147,7 @@ impl KvDatabase {
         for srv in cluster.servers() {
             srv.set_peer_transport(&client_transport);
         }
-        KvDatabase {
+        Ok(KvDatabase {
             cluster,
             client_transport,
             faults,
@@ -93,7 +155,7 @@ impl KvDatabase {
             snapshots: SnapshotTracker::new(),
             config,
             stats,
-        }
+        })
     }
 
     /// Convenience constructor: `n` servers, everything else default.
@@ -128,6 +190,15 @@ impl KvDatabase {
         for srv in self.cluster.servers() {
             srv.reap();
         }
+    }
+
+    /// Checkpoints every server's store into a fresh write-ahead-log
+    /// segment, truncating the old ones (no-op for servers without a log).
+    pub fn checkpoint_all(&self) -> Result<()> {
+        for srv in self.cluster.servers() {
+            srv.checkpoint()?;
+        }
+        Ok(())
     }
 
     /// Total number of prepared (in-doubt) transactions across all servers.
@@ -427,6 +498,98 @@ mod tests {
         for oid in 0..10u64 {
             assert!(t.get(ObjectId::new(2, oid)).unwrap().is_some());
         }
+        t.commit().unwrap();
+    }
+
+    #[test]
+    fn durable_deployment_survives_rebuild() {
+        let tmp = yesquel_common::tempdir::TempDir::new("kvdb-durable").unwrap();
+        let mut cfg = YesquelConfig::with_servers(2);
+        cfg.kv.wal_dir = Some(tmp.path().to_path_buf());
+        let obj = ObjectId::new(21, 1);
+        let committed_ts;
+        {
+            let db = KvDatabase::new(cfg.clone());
+            let client = db.client();
+            let t = client.begin();
+            t.put(obj, Bytes::from_static(b"persisted")).unwrap();
+            committed_ts = t.commit().unwrap();
+        }
+        // A fresh deployment over the same directory recovers the commit and
+        // advances its oracle past the previous incarnation's timestamps.
+        let db = KvDatabase::new(cfg);
+        assert!(db.oracle().last_timestamp() >= committed_ts);
+        let client = db.client();
+        let t = client.begin();
+        assert_eq!(t.get(obj).unwrap().as_deref(), Some(&b"persisted"[..]));
+        t.commit().unwrap();
+        // A write in the second incarnation must win over the recovered one.
+        let t = client.begin();
+        t.put(obj, Bytes::from_static(b"newer")).unwrap();
+        t.commit().unwrap();
+        let t = client.begin();
+        assert_eq!(t.get(obj).unwrap().as_deref(), Some(&b"newer"[..]));
+        t.commit().unwrap();
+    }
+
+    #[test]
+    fn amnesia_restart_recovers_acknowledged_commits() {
+        let tmp = yesquel_common::tempdir::TempDir::new("kvdb-amnesia").unwrap();
+        let mut cfg = YesquelConfig::with_servers(2);
+        cfg.kv.wal_dir = Some(tmp.path().to_path_buf());
+        let plan = FaultPlan {
+            amnesia: true,
+            ..FaultPlan::healthy()
+        };
+        let db = KvDatabase::with_faults(cfg, TransportKind::Direct, vec![plan.clone(), plan]);
+        let client = db.client();
+        for oid in 0..16u64 {
+            let t = client.begin();
+            t.put(ObjectId::new(22, oid), Bytes::from(format!("v{oid}")))
+                .unwrap();
+            t.commit().unwrap();
+        }
+        let faults = db.faults().unwrap();
+        for server in 0..2 {
+            faults.crash(server);
+            faults.restart(server);
+        }
+        // The restart wiped volatile memory; everything acknowledged must
+        // still be readable because it was replayed from the log.
+        let t = client.begin();
+        for oid in 0..16u64 {
+            assert_eq!(
+                t.get(ObjectId::new(22, oid)).unwrap().as_deref(),
+                Some(format!("v{oid}").as_bytes()),
+                "object {oid} lost across amnesia restart"
+            );
+        }
+        t.commit().unwrap();
+        assert!(db.stats().counter("wal.recovered_txns").get() > 0);
+    }
+
+    #[test]
+    fn amnesia_restart_without_wal_loses_everything() {
+        let plan = FaultPlan {
+            amnesia: true,
+            ..FaultPlan::healthy()
+        };
+        let db = KvDatabase::with_faults(
+            YesquelConfig::with_servers(1),
+            TransportKind::Direct,
+            vec![plan],
+        );
+        let client = db.client();
+        let t = client.begin();
+        t.put(ObjectId::new(23, 1), Bytes::from_static(b"volatile"))
+            .unwrap();
+        t.commit().unwrap();
+        let faults = db.faults().unwrap();
+        faults.crash(0);
+        faults.restart(0);
+        // No log: an amnesia crash is a disk-less process kill.
+        let t = client.begin();
+        assert_eq!(t.get(ObjectId::new(23, 1)).unwrap(), None);
         t.commit().unwrap();
     }
 

@@ -51,6 +51,21 @@ impl TimestampOracle {
     pub fn next_txn_id(&self) -> TxnId {
         self.inner.next_txn.fetch_add(1, Ordering::SeqCst)
     }
+
+    /// Advances the counter so the next issued timestamp is strictly greater
+    /// than `ts`.  Never moves the counter backwards.  Called after
+    /// write-ahead-log recovery, when the stores hold versions stamped by a
+    /// previous incarnation's oracle.
+    pub fn advance_past(&self, ts: Timestamp) {
+        self.inner.next_ts.fetch_max(ts + 1, Ordering::SeqCst);
+    }
+
+    /// Advances the counter so the next issued transaction id is strictly
+    /// greater than `txn` (recovery counterpart of [`Self::advance_past`];
+    /// reusing an id would collide with recovered outcome-table entries).
+    pub fn advance_txn_past(&self, txn: TxnId) {
+        self.inner.next_txn.fetch_max(txn + 1, Ordering::SeqCst);
+    }
 }
 
 #[cfg(test)]

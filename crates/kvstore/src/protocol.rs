@@ -173,6 +173,14 @@ pub enum KvResponse {
     },
     /// Generic acknowledgement (GC, bulk load).
     Ok,
+    /// The server failed to process the request for a non-protocol reason —
+    /// in practice a write-ahead-log append or fsync failure.  Nothing was
+    /// applied or acknowledged (the log is written before any state
+    /// change); the client surfaces this as a typed I/O error.
+    ServerError {
+        /// Rendered error (includes the failing path and the OS error).
+        message: String,
+    },
     /// Server statistics.
     Stats {
         /// Number of objects stored.
@@ -218,6 +226,7 @@ impl KvResponse {
         match self {
             KvResponse::Value(v) => 16 + v.as_ref().map(|b| b.len()).unwrap_or(0),
             KvResponse::Conflict { reason } => 16 + reason.len(),
+            KvResponse::ServerError { message } => 16 + message.len(),
             KvResponse::Stats { .. } => 64,
             _ => 16,
         }

@@ -21,8 +21,9 @@ use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
-use yesquel_common::{KvConfig, ServerId};
+use yesquel_common::{Error, KvConfig, Result, ServerId};
 use yesquel_rpc::{Service, Transport};
+use yesquel_wal::Wal;
 
 use crate::oracle::TimestampOracle;
 use crate::protocol::{KvRequest, KvResponse, TxnStatusKind};
@@ -49,6 +50,9 @@ pub struct KvServer {
     started: Instant,
     reaped_aborts: AtomicU64,
     reaped_commits: AtomicU64,
+    /// Lease granted to prepared transactions restored from the log; their
+    /// coordinator may be gone, so after this long the reaper takes over.
+    recovery_lease: Duration,
 }
 
 impl KvServer {
@@ -60,9 +64,23 @@ impl KvServer {
 
     /// Creates server `id` with explicit reaper / dedup configuration.
     pub fn with_config(id: ServerId, oracle: TimestampOracle, cfg: &KvConfig) -> Self {
-        KvServer {
+        Self::with_wal(id, oracle, cfg, None).expect("in-memory server construction cannot fail")
+    }
+
+    /// Creates server `id` backed by a write-ahead log (when `Some`), and
+    /// **recovers** from it: whatever clean-prefix records the log holds
+    /// are replayed into the store before the server handles any request.
+    /// The database layer constructs the per-server logs and wires this up
+    /// when `KvConfig::wal_dir` is set.
+    pub fn with_wal(
+        id: ServerId,
+        oracle: TimestampOracle,
+        cfg: &KvConfig,
+        wal: Option<Arc<Wal>>,
+    ) -> Result<Self> {
+        let server = KvServer {
             id,
-            store: ServerStore::with_outcome_retention(cfg.txn_outcome_retention),
+            store: ServerStore::with_wal(cfg.txn_outcome_retention, wal.clone()),
             oracle,
             peer: Mutex::new(None),
             reap_interval_us: cfg.reap_interval_us.max(1),
@@ -70,7 +88,38 @@ impl KvServer {
             started: Instant::now(),
             reaped_aborts: AtomicU64::new(0),
             reaped_commits: AtomicU64::new(0),
+            recovery_lease: Duration::from_micros(cfg.prepare_lease_us.max(1)),
+        };
+        if let Some(wal) = wal {
+            let records = wal.recover()?;
+            let recovered = server.store.replay(&records, server.recovery_lease);
+            wal.note_recovered_txns(recovered);
         }
+        Ok(server)
+    }
+
+    /// Simulates an amnesia crash-restart of this server: volatile state is
+    /// dropped, the log loses its never-fsynced tail (a power loss would
+    /// have taken it), and the store is rebuilt by replaying the clean
+    /// prefix.  Without a log this is a plain amnesia crash: everything
+    /// volatile is simply gone, as on a real diskless server.
+    pub fn amnesia_restart(&self) -> Result<()> {
+        let wal = self.store().wal().cloned();
+        self.store.wipe_volatile();
+        let Some(wal) = wal else {
+            return Ok(());
+        };
+        wal.power_loss()?;
+        let records = wal.recover()?;
+        let recovered = self.store.replay(&records, self.recovery_lease);
+        wal.note_recovered_txns(recovered);
+        Ok(())
+    }
+
+    /// Checkpoints the store into a fresh log segment and truncates the old
+    /// ones (no-op without a log).
+    pub fn checkpoint(&self) -> Result<()> {
+        self.store.checkpoint()
     }
 
     /// This server's id (its index in the cluster).
@@ -154,8 +203,11 @@ impl KvServer {
                 // Primary participant: the coordinator commits the primary
                 // before any secondary, so if we are still prepared past the
                 // lease, no secondary has committed — presumed abort is safe.
-                self.store.abort(txn);
-                self.reaped_aborts.fetch_add(1, Ordering::Relaxed);
+                // A log append failure leaves the transaction prepared (the
+                // abort is durable before it is observable); retry later.
+                if self.store.abort(txn).is_ok() {
+                    self.reaped_aborts.fetch_add(1, Ordering::Relaxed);
+                }
                 continue;
             }
             // Secondary participant: adopt the primary's outcome.
@@ -171,15 +223,17 @@ impl KvServer {
                     TxnStatusKind::Committed(commit_ts) => {
                         // The commit to this participant was lost; install
                         // it from the primary's record.
-                        self.store.commit(txn, commit_ts);
-                        self.reaped_commits.fetch_add(1, Ordering::Relaxed);
+                        if self.store.commit(txn, commit_ts).is_ok() {
+                            self.reaped_commits.fetch_add(1, Ordering::Relaxed);
+                        }
                     }
                     TxnStatusKind::Aborted | TxnStatusKind::Unknown => {
                         // Aborted, or the primary never heard of the
                         // transaction (its prepare never landed, so the
                         // coordinator can never have committed): release.
-                        self.store.abort(txn);
-                        self.reaped_aborts.fetch_add(1, Ordering::Relaxed);
+                        if self.store.abort(txn).is_ok() {
+                            self.reaped_aborts.fetch_add(1, Ordering::Relaxed);
+                        }
                     }
                     TxnStatusKind::Pending => {
                         // The primary is still waiting on its own lease;
@@ -187,6 +241,15 @@ impl KvServer {
                     }
                 }
             }
+        }
+    }
+
+    /// Renders a store-level failure (log append / fsync) as a response.
+    /// The store's log-before-apply ordering guarantees nothing was
+    /// installed or made observable when this is returned.
+    fn server_error(e: Error) -> KvResponse {
+        KvResponse::ServerError {
+            message: e.to_string(),
         }
     }
 
@@ -235,12 +298,14 @@ impl Service for KvServer {
                 primary,
                 Duration::from_micros(lease_us.max(1)),
             ) {
-                PrepareOutcome::Prepared => KvResponse::Prepared,
-                PrepareOutcome::Conflict(reason) => KvResponse::Conflict { reason },
+                Ok(PrepareOutcome::Prepared) => KvResponse::Prepared,
+                Ok(PrepareOutcome::Conflict(reason)) => KvResponse::Conflict { reason },
+                Err(e) => Self::server_error(e),
             },
             KvRequest::Commit { txn, commit_ts } => match self.store.commit(txn, commit_ts) {
-                CommitOutcome::Committed(ts) => KvResponse::Committed { commit_ts: ts },
-                CommitOutcome::AlreadyAborted => KvResponse::Aborted,
+                Ok(CommitOutcome::Committed(ts)) => KvResponse::Committed { commit_ts: ts },
+                Ok(CommitOutcome::AlreadyAborted) => KvResponse::Aborted,
+                Err(e) => Self::server_error(e),
             },
             KvRequest::CommitOnePhase {
                 txn,
@@ -257,16 +322,20 @@ impl Service for KvServer {
                     .store
                     .commit_one_phase(txn, start_ts, &writes, commit_ts)
                 {
-                    CommitOnePhaseOutcome::Committed(ts) => KvResponse::Committed { commit_ts: ts },
-                    CommitOnePhaseOutcome::Conflict(reason) => KvResponse::Conflict { reason },
+                    Ok(CommitOnePhaseOutcome::Committed(ts)) => {
+                        KvResponse::Committed { commit_ts: ts }
+                    }
+                    Ok(CommitOnePhaseOutcome::Conflict(reason)) => KvResponse::Conflict { reason },
+                    Err(e) => Self::server_error(e),
                 }
             }
-            KvRequest::Abort { txn } => {
-                self.store.abort(txn);
-                KvResponse::Aborted
-            }
-            KvRequest::Allocate { obj, delta } => KvResponse::Allocated {
-                start: self.store.allocate(obj, delta),
+            KvRequest::Abort { txn } => match self.store.abort(txn) {
+                Ok(()) => KvResponse::Aborted,
+                Err(e) => Self::server_error(e),
+            },
+            KvRequest::Allocate { obj, delta } => match self.store.allocate(obj, delta) {
+                Ok(start) => KvResponse::Allocated { start },
+                Err(e) => Self::server_error(e),
             },
             KvRequest::Gc {
                 min_active_ts,
@@ -276,8 +345,10 @@ impl Service for KvServer {
                 KvResponse::Ok
             }
             KvRequest::LoadUnchecked { obj, ts, value } => {
-                self.store.load_unchecked(obj, ts, value);
-                KvResponse::Ok
+                match self.store.load_unchecked(obj, ts, value) {
+                    Ok(()) => KvResponse::Ok,
+                    Err(e) => Self::server_error(e),
+                }
             }
             KvRequest::TxnStatus { txn } => KvResponse::TxnOutcome {
                 status: self.txn_status(txn),

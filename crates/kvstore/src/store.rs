@@ -25,15 +25,34 @@
 //! had the commit message not arrived at that server yet — per-object
 //! atomicity (the invariant snapshot isolation needs) is preserved by the
 //! per-shard critical sections.
+//!
+//! ## Durability
+//!
+//! When constructed with a write-ahead log ([`ServerStore::with_wal`]),
+//! every state transition a client can observe — a prepare ack, a commit, an
+//! abort, an allocation — is appended to the log **before** it is
+//! acknowledged or becomes visible, and the append returns only once the
+//! record is durable per the configured fsync policy.  2PC decision records
+//! (commit, abort, presumed abort) are appended while holding the outcomes
+//! lock, so log order always matches the order in which this store decided
+//! transaction fates; replaying the log after an amnesia crash therefore
+//! reconstructs exactly the acknowledged history.  One-phase commits append
+//! while holding their shard guards, which orders them against every
+//! conflicting operation for the same reason.  GC is the one deliberately
+//! volatile operation: versions it dropped reappear after recovery (a
+//! harmless superset of committed state) until the next checkpoint prunes
+//! them from the log.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use parking_lot::{Mutex, MutexGuard};
+use parking_lot::{Mutex, MutexGuard, RwLock};
 use yesquel_common::ids::{shard_index, splitmix64};
-use yesquel_common::{ObjectId, ServerId, Timestamp, TxnId};
+use yesquel_common::{ObjectId, Result, ServerId, Timestamp, TxnId};
+use yesquel_wal::{CheckpointSnapshot, PreparedImage, Wal, WalRecord, WalWrite};
 
 use crate::mvcc::VersionChain;
 use crate::protocol::WriteOp;
@@ -86,6 +105,10 @@ struct PrepareLock {
 struct PreparedTxn {
     /// Objects this transaction holds prepare locks on.
     objs: Vec<ObjectId>,
+    /// Snapshot timestamp the prepare validated against (carried into
+    /// checkpoint images so a recovered prepare is indistinguishable from a
+    /// live one).
+    start_ts: Timestamp,
     /// The transaction's primary participant (2PC commit point).
     primary: ServerId,
     /// When the coordinator's lease expires and the reaper may act.
@@ -178,6 +201,27 @@ impl OutcomeTable {
             }
         }
     }
+
+    /// The retained outcomes in FIFO order, as checkpoint images
+    /// (`Some(ts)` committed, `None` aborted).  Replaying these through
+    /// [`OutcomeTable::record`] in order reconstructs the table exactly,
+    /// eviction behavior included.
+    fn fifo(&self) -> Vec<(TxnId, Option<Timestamp>)> {
+        self.order
+            .iter()
+            .filter_map(|txn| {
+                self.map.get(txn).map(|o| match o {
+                    TxnOutcome::Committed(ts) => (*txn, Some(*ts)),
+                    TxnOutcome::Aborted => (*txn, None),
+                })
+            })
+            .collect()
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.order.clear();
+    }
 }
 
 /// State of one object on one server.
@@ -265,6 +309,14 @@ pub struct ServerStore {
     /// Non-transactional allocation counters (a handful of objects per tree;
     /// not on the read/commit hot path).
     counters: Mutex<HashMap<ObjectId, u64>>,
+    /// The write-ahead log, if this store is durable.  `None` keeps the
+    /// store purely in-memory with zero logging overhead.
+    wal: Option<Arc<Wal>>,
+    /// Checkpoint gate: every mutating operation holds `read` across its
+    /// append-then-apply critical section; [`ServerStore::checkpoint`] takes
+    /// `write`, so a snapshot can never observe (and a log rotation can
+    /// never drop) a record whose in-memory effect is still in flight.
+    ckpt_gate: RwLock<()>,
     stats: StatsCells,
 }
 
@@ -283,6 +335,14 @@ impl ServerStore {
     /// Creates an empty store retaining up to `retention` transaction
     /// outcomes for message deduplication.
     pub fn with_outcome_retention(retention: usize) -> Self {
+        Self::with_wal(retention, None)
+    }
+
+    /// Creates an empty store backed by `wal` (when `Some`): every
+    /// acknowledgeable state change is logged before it is acknowledged.
+    /// Call [`ServerStore::replay`] with the log's recovered records to
+    /// restore pre-crash state.
+    pub fn with_wal(retention: usize, wal: Option<Arc<Wal>>) -> Self {
         ServerStore {
             shards: (0..SHARD_COUNT)
                 .map(|_| Mutex::new(Shard::default()))
@@ -291,7 +351,23 @@ impl ServerStore {
             prepared_hint: AtomicU64::new(0),
             outcomes: Mutex::new(OutcomeTable::new(retention)),
             counters: Mutex::new(HashMap::new()),
+            wal,
+            ckpt_gate: RwLock::new(()),
             stats: StatsCells::default(),
+        }
+    }
+
+    /// The write-ahead log backing this store, if any.
+    pub fn wal(&self) -> Option<&Arc<Wal>> {
+        self.wal.as_ref()
+    }
+
+    /// Appends to the write-ahead log (durable per the log's fsync policy
+    /// before returning), or does nothing for an in-memory store.
+    fn wal_append(&self, rec: &WalRecord) -> Result<()> {
+        match &self.wal {
+            Some(w) => w.append(rec),
+            None => Ok(()),
         }
     }
 
@@ -346,7 +422,12 @@ impl ServerStore {
     /// at `start_ts`, with a generous lease and this server as primary.
     /// Convenience wrapper used by single-store tests; the server dispatch
     /// path goes through [`ServerStore::prepare_leased`].
-    pub fn prepare(&self, txn: TxnId, start_ts: Timestamp, writes: &[WriteOp]) -> PrepareOutcome {
+    pub fn prepare(
+        &self,
+        txn: TxnId,
+        start_ts: Timestamp,
+        writes: &[WriteOp],
+    ) -> Result<PrepareOutcome> {
         self.prepare_leased(txn, start_ts, writes, 0, Duration::from_secs(3600))
     }
 
@@ -362,6 +443,12 @@ impl ServerStore {
     /// `Prepared` (the coordinator will proceed to a deduplicated commit);
     /// re-preparing one that was already aborted reports a conflict so the
     /// coordinator cannot resurrect a reaped transaction.
+    ///
+    /// Durable stores log the prepare — staged writes, primary, snapshot —
+    /// **before** reporting `Prepared`, so a crash after the ack leaves the
+    /// prepared state (and the coordinator's ability to commit it)
+    /// recoverable.  An `Err` means the log append failed; nothing is
+    /// acknowledged and the locks taken for this prepare are released.
     pub fn prepare_leased(
         &self,
         txn: TxnId,
@@ -369,20 +456,21 @@ impl ServerStore {
         writes: &[WriteOp],
         primary: ServerId,
         lease: Duration,
-    ) -> PrepareOutcome {
+    ) -> Result<PrepareOutcome> {
         match self.outcomes.lock().get(txn) {
             Some(TxnOutcome::Committed(_)) => {
                 self.stats.dedup_hits.fetch_add(1, Ordering::Relaxed);
-                return PrepareOutcome::Prepared;
+                return Ok(PrepareOutcome::Prepared);
             }
             Some(TxnOutcome::Aborted) => {
                 self.stats.dedup_hits.fetch_add(1, Ordering::Relaxed);
-                return PrepareOutcome::Conflict(format!(
+                return Ok(PrepareOutcome::Conflict(format!(
                     "txn {txn} was already aborted (presumed abort)"
-                ));
+                )));
             }
             None => {}
         }
+        let _ckpt = self.ckpt_gate.read();
         let mut guards = self.lock_shards_for(writes);
         // Validation pass: no lock held by another transaction, and no
         // committed version newer than the snapshot (first-committer-wins).
@@ -390,7 +478,7 @@ impl ServerStore {
             let shard = self.guard_for(&mut guards, w.obj);
             if let Some(reason) = Self::validate_one(shard, txn, start_ts, w) {
                 self.stats.conflicts.fetch_add(1, Ordering::Relaxed);
-                return PrepareOutcome::Conflict(reason);
+                return Ok(PrepareOutcome::Conflict(reason));
             }
         }
         // Lock pass.
@@ -405,6 +493,22 @@ impl ServerStore {
             locked.push(w.obj);
         }
         drop(guards);
+        // Log before the ack, but after dropping the shard guards: the
+        // prepare locks already block conflicting validations, so nothing
+        // can slip past while the (possibly fsync-blocking) append runs, and
+        // same-shard readers are not stalled behind the disk.  The
+        // checkpoint gate is still held, so a checkpoint cannot rotate the
+        // log between this append and the prepared-table insert below.
+        if let Err(e) = self.wal_append(&WalRecord::Prepare {
+            txn,
+            start_ts,
+            primary,
+            writes: Self::to_wal_writes(writes),
+        }) {
+            // The prepare is not acknowledged; roll the locks back.
+            self.release_locks_of(txn, writes.iter().map(|w| w.obj));
+            return Err(e);
+        }
         // Insert (not extend): a duplicate prepare carries the same writes,
         // so replacing the entry both deduplicates the object list and
         // refreshes the coordinator's lease.
@@ -412,6 +516,7 @@ impl ServerStore {
             txn,
             PreparedTxn {
                 objs: locked,
+                start_ts,
                 primary,
                 lease_deadline: Instant::now() + lease,
             },
@@ -420,7 +525,30 @@ impl ServerStore {
             self.prepared_hint.fetch_add(1, Ordering::Relaxed);
         }
         self.stats.prepares.fetch_add(1, Ordering::Relaxed);
-        PrepareOutcome::Prepared
+        Ok(PrepareOutcome::Prepared)
+    }
+
+    /// Converts protocol write-ops into their log representation.
+    fn to_wal_writes(writes: &[WriteOp]) -> Vec<WalWrite> {
+        writes
+            .iter()
+            .map(|w| WalWrite {
+                obj: w.obj,
+                value: w.value.clone(),
+            })
+            .collect()
+    }
+
+    /// Releases any prepare locks held by `txn` on `objs` (rollback path).
+    fn release_locks_of(&self, txn: TxnId, objs: impl Iterator<Item = ObjectId>) {
+        for obj in objs {
+            let mut shard = self.shards[self.shard_of(obj)].lock();
+            if let Some(state) = shard.objects.get_mut(&obj) {
+                if state.lock.as_ref().map(|l| l.txn == txn).unwrap_or(false) {
+                    state.lock = None;
+                }
+            }
+        }
     }
 
     /// First-committer-wins and lock-conflict validation of one write within
@@ -448,13 +576,30 @@ impl ServerStore {
     /// commit for a transaction this store has never heard of is treated as
     /// presumed-aborted (the only way a commit can reference an unknown
     /// transaction is that the reaper already expired its prepare).
-    pub fn commit(&self, txn: TxnId, commit_ts: Timestamp) -> CommitOutcome {
+    ///
+    /// Durable stores append the decision record — `Commit`, or `Abort` for
+    /// the presumed-abort branch — while holding the outcomes lock and
+    /// **before** recording it in memory.  Both halves of that ordering
+    /// matter: a fate must never be observable (by a `TxnStatus` probe, and
+    /// through it a secondary participant) before it is durable, and
+    /// because every fate-deciding path serializes on the outcomes lock,
+    /// the log's record order always matches the decision order, so replay
+    /// reconstructs the same history even when a commit raced the reaper.
+    pub fn commit(&self, txn: TxnId, commit_ts: Timestamp) -> Result<CommitOutcome> {
+        let _ckpt = self.ckpt_gate.read();
         let entry = {
             let mut outcomes = self.outcomes.lock();
             // Fast path first: a live prepared entry.  A duplicate commit
-            // racing us serializes on the outcomes lock, loses the `remove`,
+            // racing us serializes on the outcomes lock, loses the removal,
             // and falls through to the outcome table, which we fill while
-            // still holding that lock.
+            // still holding that lock.  (Only fate-deciding paths remove
+            // prepared entries, and all of them hold the outcomes lock, so
+            // the entry cannot vanish between this check and the removal
+            // after the append.)
+            let is_prepared = self.prepared.lock().contains_key(&txn);
+            if is_prepared {
+                self.wal_append(&WalRecord::Commit { txn, commit_ts })?;
+            }
             match self.prepared.lock().remove(&txn) {
                 Some(p) => {
                     self.prepared_hint.fetch_sub(1, Ordering::Relaxed);
@@ -468,15 +613,20 @@ impl ServerStore {
                     return match outcomes.get(txn) {
                         Some(TxnOutcome::Committed(ts)) => {
                             self.stats.dedup_hits.fetch_add(1, Ordering::Relaxed);
-                            CommitOutcome::Committed(ts)
+                            Ok(CommitOutcome::Committed(ts))
                         }
                         Some(TxnOutcome::Aborted) => {
                             self.stats.dedup_hits.fetch_add(1, Ordering::Relaxed);
-                            CommitOutcome::AlreadyAborted
+                            Ok(CommitOutcome::AlreadyAborted)
                         }
                         None => {
+                            // The presumed abort is itself a decision: make
+                            // it durable before answering, or a post-crash
+                            // duplicate of this commit could succeed after
+                            // its coordinator was already told "aborted".
+                            self.wal_append(&WalRecord::Abort { txn })?;
                             outcomes.record(txn, TxnOutcome::Aborted);
-                            CommitOutcome::AlreadyAborted
+                            Ok(CommitOutcome::AlreadyAborted)
                         }
                     };
                 }
@@ -500,19 +650,26 @@ impl ServerStore {
             }
         }
         self.stats.commits.fetch_add(1, Ordering::Relaxed);
-        CommitOutcome::Committed(commit_ts)
+        Ok(CommitOutcome::Committed(commit_ts))
     }
 
     /// Validates and installs `writes` in one step, assigning `commit_ts`.
     /// Used by one-phase commit, where the caller obtains a commit timestamp
     /// via the server-side oracle handle.
+    ///
+    /// Durable stores append the record while still holding the shard
+    /// guards, after validation and before installation: the guards order
+    /// the append against every conflicting writer, and log-before-install
+    /// means an `Err` return guarantees nothing was applied.  The append is
+    /// the group-commit hot path — concurrent one-phase committers on
+    /// disjoint shards coalesce into a single fsync.
     pub fn commit_one_phase(
         &self,
         txn: TxnId,
         start_ts: Timestamp,
         writes: &[WriteOp],
         commit_ts: Timestamp,
-    ) -> CommitOnePhaseOutcome {
+    ) -> Result<CommitOnePhaseOutcome> {
         // Dedup: a retried one-phase commit (its first response was lost)
         // must report the original fate, not re-validate — re-validation
         // would see the transaction's own installed versions as "newer than
@@ -520,25 +677,34 @@ impl ServerStore {
         match self.outcomes.lock().get(txn) {
             Some(TxnOutcome::Committed(ts)) => {
                 self.stats.dedup_hits.fetch_add(1, Ordering::Relaxed);
-                return CommitOnePhaseOutcome::Committed(ts);
+                return Ok(CommitOnePhaseOutcome::Committed(ts));
             }
             Some(TxnOutcome::Aborted) => {
                 self.stats.dedup_hits.fetch_add(1, Ordering::Relaxed);
-                return CommitOnePhaseOutcome::Conflict(format!(
+                return Ok(CommitOnePhaseOutcome::Conflict(format!(
                     "txn {txn} already aborted (duplicate one-phase commit)"
-                ));
+                )));
             }
             None => {}
         }
+        let _ckpt = self.ckpt_gate.read();
         let mut guards = self.lock_shards_for(writes);
         for w in writes {
             let shard = self.guard_for(&mut guards, w.obj);
             if let Some(reason) = Self::validate_one(shard, txn, start_ts, w) {
                 self.stats.conflicts.fetch_add(1, Ordering::Relaxed);
+                // A conflict changes no state, so it is not logged; the
+                // in-memory abort record only serves duplicate deliveries
+                // within this incarnation.
                 self.outcomes.lock().record(txn, TxnOutcome::Aborted);
-                return CommitOnePhaseOutcome::Conflict(reason);
+                return Ok(CommitOnePhaseOutcome::Conflict(reason));
             }
         }
+        self.wal_append(&WalRecord::CommitOnePhase {
+            txn,
+            commit_ts,
+            writes: Self::to_wal_writes(writes),
+        })?;
         for w in writes {
             let shard = self.guard_for(&mut guards, w.obj);
             let state = shard.objects.entry(w.obj).or_default();
@@ -551,20 +717,31 @@ impl ServerStore {
             .record(txn, TxnOutcome::Committed(commit_ts));
         drop(guards);
         self.stats.commits.fetch_add(1, Ordering::Relaxed);
-        CommitOnePhaseOutcome::Committed(commit_ts)
+        Ok(CommitOnePhaseOutcome::Committed(commit_ts))
     }
 
     /// Releases every lock held by `txn` and discards its staged writes.
     /// Idempotent; records an `Aborted` outcome (never overwriting a
     /// commit) so duplicate prepares and commits of this transaction are
     /// refused from then on.
-    pub fn abort(&self, txn: TxnId) {
+    ///
+    /// Durable stores log the abort before it becomes observable (same
+    /// outcomes-lock ordering as [`ServerStore::commit`]); a duplicate
+    /// abort of an already-aborted, no-longer-prepared transaction is
+    /// answered without touching the log.
+    pub fn abort(&self, txn: TxnId) -> Result<()> {
+        let _ckpt = self.ckpt_gate.read();
         let entry = {
             let mut outcomes = self.outcomes.lock();
             if let Some(TxnOutcome::Committed(_)) = outcomes.get(txn) {
                 // A stale abort after the commit installed: ignore.
                 self.stats.dedup_hits.fetch_add(1, Ordering::Relaxed);
-                return;
+                return Ok(());
+            }
+            let already_aborted = matches!(outcomes.get(txn), Some(TxnOutcome::Aborted));
+            let is_prepared = self.prepared.lock().contains_key(&txn);
+            if !already_aborted || is_prepared {
+                self.wal_append(&WalRecord::Abort { txn })?;
             }
             let entry = self.prepared.lock().remove(&txn);
             if entry.is_some() {
@@ -575,7 +752,7 @@ impl ServerStore {
         };
         let Some(entry) = entry else {
             self.stats.aborts.fetch_add(1, Ordering::Relaxed);
-            return;
+            return Ok(());
         };
         for obj in entry.objs {
             let mut shard = self.shards[self.shard_of(obj)].lock();
@@ -586,6 +763,7 @@ impl ServerStore {
             }
         }
         self.stats.aborts.fetch_add(1, Ordering::Relaxed);
+        Ok(())
     }
 
     /// What this store knows about `txn`'s fate (outcome table only; a
@@ -645,25 +823,299 @@ impl ServerStore {
     }
 
     /// Atomically adds `delta` to the counter at `obj`, returning the
-    /// pre-increment value.
-    pub fn allocate(&self, obj: ObjectId, delta: u64) -> u64 {
-        let mut g = self.counters.lock();
-        let c = g.entry(obj).or_insert(0);
-        let start = *c;
-        *c += delta;
-        start
+    /// pre-increment value.  Durable stores log the post-increment value
+    /// before acknowledging (replay takes the maximum, so concurrent
+    /// allocations commute); losing an acknowledged allocation would hand
+    /// out already-used ids after recovery.
+    pub fn allocate(&self, obj: ObjectId, delta: u64) -> Result<u64> {
+        let _ckpt = self.ckpt_gate.read();
+        let (start, value) = {
+            let mut g = self.counters.lock();
+            let c = g.entry(obj).or_insert(0);
+            let start = *c;
+            *c += delta;
+            (start, *c)
+        };
+        // On append failure the in-memory counter stays advanced: the ids
+        // are burned, never re-issued, which is safe for id allocation.
+        self.wal_append(&WalRecord::Alloc { obj, value })?;
+        Ok(start)
     }
 
     /// Installs a version directly, bypassing concurrency control (bulk
     /// loading only).
-    pub fn load_unchecked(&self, obj: ObjectId, ts: Timestamp, value: Bytes) {
-        let mut shard = self.shards[self.shard_of(obj)].lock();
-        shard
-            .objects
-            .entry(obj)
-            .or_default()
-            .chain
-            .install(ts, Some(value));
+    pub fn load_unchecked(&self, obj: ObjectId, ts: Timestamp, value: Bytes) -> Result<()> {
+        let _ckpt = self.ckpt_gate.read();
+        {
+            let mut shard = self.shards[self.shard_of(obj)].lock();
+            shard
+                .objects
+                .entry(obj)
+                .or_default()
+                .chain
+                .install(ts, Some(value.clone()));
+        }
+        self.wal_append(&WalRecord::Load { obj, ts, value })
+    }
+
+    /// Drops every piece of volatile state — committed versions, prepare
+    /// locks, the prepared table, the outcome table, allocation counters —
+    /// as an amnesia crash would.  Statistics survive: they are
+    /// observability, not state, and resetting them mid-chaos-run would
+    /// hide what happened before the crash.
+    pub fn wipe_volatile(&self) {
+        let _gate = self.ckpt_gate.write();
+        for shard in &self.shards {
+            shard.lock().objects.clear();
+        }
+        self.prepared.lock().clear();
+        self.prepared_hint.store(0, Ordering::Relaxed);
+        self.outcomes.lock().clear();
+        self.counters.lock().clear();
+    }
+
+    /// Replays the clean-prefix records recovered from the log into this
+    /// store.  Must run on a freshly wiped (or freshly constructed) store
+    /// before it serves traffic.  Recovered prepares get `lease` from now:
+    /// their coordinators may be gone, and the presumed-abort reaper
+    /// resolves them through their primary once the lease runs out.
+    /// Returns the number of transaction fates restored.
+    pub fn replay(&self, records: &[WalRecord], lease: Duration) -> u64 {
+        let mut recovered = 0u64;
+        for rec in records {
+            match rec {
+                WalRecord::Checkpoint(snap) => {
+                    recovered += self.apply_checkpoint(snap, lease);
+                }
+                WalRecord::Prepare {
+                    txn,
+                    start_ts,
+                    primary,
+                    writes,
+                } => {
+                    // A prepare whose fate appears earlier in the log was
+                    // already resolved; do not resurrect its locks.
+                    if self.outcomes.lock().get(*txn).is_some() {
+                        continue;
+                    }
+                    self.restore_prepared(*txn, *start_ts, *primary, writes, lease);
+                }
+                WalRecord::Commit { txn, commit_ts } => {
+                    // Install the staged writes of the restored prepare; a
+                    // commit record without one lost a race to an abort
+                    // record earlier in the log and is skipped, exactly as
+                    // the live path skipped it.
+                    let entry = {
+                        let mut outcomes = self.outcomes.lock();
+                        let p = self.prepared.lock().remove(txn);
+                        if p.is_some() {
+                            self.prepared_hint.fetch_sub(1, Ordering::Relaxed);
+                            outcomes.record(*txn, TxnOutcome::Committed(*commit_ts));
+                        }
+                        p
+                    };
+                    if let Some(entry) = entry {
+                        for obj in entry.objs {
+                            let mut shard = self.shards[self.shard_of(obj)].lock();
+                            if let Some(state) = shard.objects.get_mut(&obj) {
+                                if let Some(lock) = state.lock.take() {
+                                    if lock.txn == *txn {
+                                        state.chain.install(*commit_ts, lock.staged);
+                                    } else {
+                                        state.lock = Some(lock);
+                                    }
+                                }
+                            }
+                        }
+                        recovered += 1;
+                    }
+                }
+                WalRecord::CommitOnePhase {
+                    txn,
+                    commit_ts,
+                    writes,
+                } => {
+                    if matches!(
+                        self.outcomes.lock().get(*txn),
+                        Some(TxnOutcome::Committed(_))
+                    ) {
+                        continue;
+                    }
+                    for w in writes {
+                        let mut shard = self.shards[self.shard_of(w.obj)].lock();
+                        shard
+                            .objects
+                            .entry(w.obj)
+                            .or_default()
+                            .chain
+                            .install(*commit_ts, w.value.clone());
+                    }
+                    self.outcomes
+                        .lock()
+                        .record(*txn, TxnOutcome::Committed(*commit_ts));
+                    recovered += 1;
+                }
+                WalRecord::Abort { txn } => {
+                    if matches!(
+                        self.outcomes.lock().get(*txn),
+                        Some(TxnOutcome::Committed(_))
+                    ) {
+                        continue;
+                    }
+                    let entry = self.prepared.lock().remove(txn);
+                    if entry.is_some() {
+                        self.prepared_hint.fetch_sub(1, Ordering::Relaxed);
+                    }
+                    if let Some(entry) = entry {
+                        self.release_locks_of(*txn, entry.objs.into_iter());
+                    }
+                    self.outcomes.lock().record(*txn, TxnOutcome::Aborted);
+                    recovered += 1;
+                }
+                WalRecord::Alloc { obj, value } => {
+                    let mut g = self.counters.lock();
+                    let c = g.entry(*obj).or_insert(0);
+                    *c = (*c).max(*value);
+                }
+                WalRecord::Load { obj, ts, value } => {
+                    let mut shard = self.shards[self.shard_of(*obj)].lock();
+                    shard
+                        .objects
+                        .entry(*obj)
+                        .or_default()
+                        .chain
+                        .install(*ts, Some(value.clone()));
+                }
+            }
+        }
+        recovered
+    }
+
+    /// Restores one prepared transaction: its locks, staged writes, and
+    /// prepared-table entry with a fresh lease.
+    fn restore_prepared(
+        &self,
+        txn: TxnId,
+        start_ts: Timestamp,
+        primary: ServerId,
+        writes: &[WalWrite],
+        lease: Duration,
+    ) {
+        for w in writes {
+            let mut shard = self.shards[self.shard_of(w.obj)].lock();
+            let state = shard.objects.entry(w.obj).or_default();
+            state.lock = Some(PrepareLock {
+                txn,
+                staged: w.value.clone(),
+            });
+        }
+        let replaced = self.prepared.lock().insert(
+            txn,
+            PreparedTxn {
+                objs: writes.iter().map(|w| w.obj).collect(),
+                start_ts,
+                primary,
+                lease_deadline: Instant::now() + lease,
+            },
+        );
+        if replaced.is_none() {
+            self.prepared_hint.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Applies a checkpoint snapshot (the first record of a rotated
+    /// segment): version chains, counters, the outcome table in its
+    /// original FIFO order, and in-flight prepares.
+    fn apply_checkpoint(&self, snap: &CheckpointSnapshot, lease: Duration) -> u64 {
+        for (obj, chain) in &snap.versions {
+            let mut shard = self.shards[self.shard_of(*obj)].lock();
+            let state = shard.objects.entry(*obj).or_default();
+            for (ts, value) in chain {
+                state.chain.install(*ts, value.clone());
+            }
+        }
+        {
+            let mut g = self.counters.lock();
+            for (obj, value) in &snap.counters {
+                let c = g.entry(*obj).or_insert(0);
+                *c = (*c).max(*value);
+            }
+        }
+        {
+            let mut outcomes = self.outcomes.lock();
+            for (txn, fate) in &snap.outcomes {
+                let outcome = match fate {
+                    Some(ts) => TxnOutcome::Committed(*ts),
+                    None => TxnOutcome::Aborted,
+                };
+                outcomes.record(*txn, outcome);
+            }
+        }
+        for p in &snap.prepared {
+            self.restore_prepared(p.txn, p.start_ts, p.primary, &p.writes, lease);
+        }
+        snap.outcomes.len() as u64
+    }
+
+    /// Snapshots the entire store into a fresh log segment and truncates
+    /// the older ones ([`Wal::checkpoint`]).  Takes the checkpoint gate in
+    /// write mode plus every store lock, so the snapshot is a consistent
+    /// cut: no operation can be between its log append and its in-memory
+    /// application while the snapshot is taken.  No-op for an in-memory
+    /// store.
+    pub fn checkpoint(&self) -> Result<()> {
+        let Some(wal) = self.wal.clone() else {
+            return Ok(());
+        };
+        let _gate = self.ckpt_gate.write();
+        let guards: Vec<MutexGuard<'_, Shard>> = self.shards.iter().map(|s| s.lock()).collect();
+        let prepared = self.prepared.lock();
+        let outcomes = self.outcomes.lock();
+        let counters = self.counters.lock();
+        let mut versions = Vec::new();
+        for guard in &guards {
+            for (obj, state) in &guard.objects {
+                let chain: Vec<(Timestamp, Option<Bytes>)> = state
+                    .chain
+                    .versions()
+                    .iter()
+                    .map(|v| (v.ts, v.value.clone()))
+                    .collect();
+                if !chain.is_empty() {
+                    versions.push((*obj, chain));
+                }
+            }
+        }
+        let prepared_images = prepared
+            .iter()
+            .map(|(txn, p)| PreparedImage {
+                txn: *txn,
+                start_ts: p.start_ts,
+                primary: p.primary,
+                writes: p
+                    .objs
+                    .iter()
+                    .filter_map(|obj| {
+                        guards[self.shard_of(*obj)]
+                            .objects
+                            .get(obj)
+                            .and_then(|state| state.lock.as_ref())
+                            .filter(|lock| lock.txn == *txn)
+                            .map(|lock| WalWrite {
+                                obj: *obj,
+                                value: lock.staged.clone(),
+                            })
+                    })
+                    .collect(),
+            })
+            .collect();
+        let snap = CheckpointSnapshot {
+            versions,
+            counters: counters.iter().map(|(k, v)| (*k, *v)).collect(),
+            outcomes: outcomes.fifo(),
+            prepared: prepared_images,
+        };
+        wal.checkpoint(snap)
     }
 
     /// Garbage-collects old versions given the oldest active snapshot.
@@ -714,6 +1166,39 @@ impl ServerStore {
             })
             .sum()
     }
+
+    /// Highest timestamp and transaction id observable in this store: the
+    /// maximum over installed versions, prepare locks, prepared entries and
+    /// retained outcomes.  The deployment layer calls this after recovery to
+    /// advance the timestamp oracle past everything the previous incarnation
+    /// issued — otherwise fresh snapshots could not see recovered versions,
+    /// and reused transaction ids would collide with the outcome table.
+    pub fn high_water(&self) -> (Timestamp, TxnId) {
+        let mut ts: Timestamp = 0;
+        let mut txn: TxnId = 0;
+        for shard in &self.shards {
+            let guard = shard.lock();
+            for state in guard.objects.values() {
+                if let Some(v) = state.chain.versions().last() {
+                    ts = ts.max(v.ts);
+                }
+                if let Some(lock) = &state.lock {
+                    txn = txn.max(lock.txn);
+                }
+            }
+        }
+        for (id, p) in self.prepared.lock().iter() {
+            txn = txn.max(*id);
+            ts = ts.max(p.start_ts);
+        }
+        for (id, commit_ts) in self.outcomes.lock().fifo() {
+            txn = txn.max(id);
+            if let Some(c) = commit_ts {
+                ts = ts.max(c);
+            }
+        }
+        (ts, txn)
+    }
 }
 
 #[cfg(test)]
@@ -742,12 +1227,12 @@ mod tests {
     fn prepare_commit_read_cycle() {
         let s = ServerStore::new();
         assert_eq!(
-            s.prepare(1, 5, &[w(1, "a"), w(2, "b")]),
+            s.prepare(1, 5, &[w(1, "a"), w(2, "b")]).unwrap(),
             PrepareOutcome::Prepared
         );
         // Reads see the lock, not the staged value.
         assert_eq!(s.get(obj(1), 100), ReadOutcome::Locked);
-        s.commit(1, 10);
+        s.commit(1, 10).unwrap();
         assert_eq!(
             s.get(obj(1), 100),
             ReadOutcome::Value(Some(Bytes::from_static(b"a")))
@@ -760,17 +1245,23 @@ mod tests {
     #[test]
     fn conflict_on_newer_version() {
         let s = ServerStore::new();
-        assert_eq!(s.prepare(1, 5, &[w(1, "a")]), PrepareOutcome::Prepared);
-        s.commit(1, 10);
+        assert_eq!(
+            s.prepare(1, 5, &[w(1, "a")]).unwrap(),
+            PrepareOutcome::Prepared
+        );
+        s.commit(1, 10).unwrap();
         // A transaction that started before ts 10 cannot overwrite object 1.
-        match s.prepare(2, 5, &[w(1, "b")]) {
+        match s.prepare(2, 5, &[w(1, "b")]).unwrap() {
             PrepareOutcome::Conflict(_) => {}
             other => panic!("expected conflict, got {other:?}"),
         }
         assert_eq!(s.stats().conflicts, 1);
         // A later snapshot can.
-        assert_eq!(s.prepare(3, 11, &[w(1, "c")]), PrepareOutcome::Prepared);
-        s.commit(3, 12);
+        assert_eq!(
+            s.prepare(3, 11, &[w(1, "c")]).unwrap(),
+            PrepareOutcome::Prepared
+        );
+        s.commit(3, 12).unwrap();
         assert_eq!(
             s.get(obj(1), 20),
             ReadOutcome::Value(Some(Bytes::from_static(b"c")))
@@ -780,15 +1271,21 @@ mod tests {
     #[test]
     fn conflict_on_foreign_lock_and_abort_releases() {
         let s = ServerStore::new();
-        assert_eq!(s.prepare(1, 5, &[w(1, "a")]), PrepareOutcome::Prepared);
-        match s.prepare(2, 6, &[w(1, "b")]) {
+        assert_eq!(
+            s.prepare(1, 5, &[w(1, "a")]).unwrap(),
+            PrepareOutcome::Prepared
+        );
+        match s.prepare(2, 6, &[w(1, "b")]).unwrap() {
             PrepareOutcome::Conflict(msg) => assert!(msg.contains("locked")),
             other => panic!("expected conflict, got {other:?}"),
         }
-        s.abort(1);
+        s.abort(1).unwrap();
         assert_eq!(s.get(obj(1), 100), ReadOutcome::Value(None));
-        assert_eq!(s.prepare(2, 6, &[w(1, "b")]), PrepareOutcome::Prepared);
-        s.commit(2, 7);
+        assert_eq!(
+            s.prepare(2, 6, &[w(1, "b")]).unwrap(),
+            PrepareOutcome::Prepared
+        );
+        s.commit(2, 7).unwrap();
         assert_eq!(
             s.get(obj(1), 100),
             ReadOutcome::Value(Some(Bytes::from_static(b"b")))
@@ -798,10 +1295,10 @@ mod tests {
     #[test]
     fn delete_writes_tombstone() {
         let s = ServerStore::new();
-        s.prepare(1, 1, &[w(1, "a")]);
-        s.commit(1, 2);
-        s.prepare(2, 3, &[del(1)]);
-        s.commit(2, 4);
+        s.prepare(1, 1, &[w(1, "a")]).unwrap();
+        s.commit(1, 2).unwrap();
+        s.prepare(2, 3, &[del(1)]).unwrap();
+        s.commit(2, 4).unwrap();
         assert_eq!(
             s.get(obj(1), 3),
             ReadOutcome::Value(Some(Bytes::from_static(b"a")))
@@ -813,7 +1310,7 @@ mod tests {
     fn one_phase_commit_validates_and_installs() {
         let s = ServerStore::new();
         assert_eq!(
-            s.commit_one_phase(1, 1, &[w(1, "a")], 5),
+            s.commit_one_phase(1, 1, &[w(1, "a")], 5).unwrap(),
             CommitOnePhaseOutcome::Committed(5)
         );
         assert_eq!(
@@ -821,7 +1318,7 @@ mod tests {
             ReadOutcome::Value(Some(Bytes::from_static(b"a")))
         );
         // Stale snapshot conflicts.
-        match s.commit_one_phase(2, 1, &[w(1, "b")], 6) {
+        match s.commit_one_phase(2, 1, &[w(1, "b")], 6).unwrap() {
             CommitOnePhaseOutcome::Conflict(_) => {}
             other => panic!("expected conflict, got {other:?}"),
         }
@@ -834,26 +1331,26 @@ mod tests {
     #[test]
     fn allocate_is_monotone() {
         let s = ServerStore::new();
-        assert_eq!(s.allocate(obj(9), 10), 0);
-        assert_eq!(s.allocate(obj(9), 5), 10);
-        assert_eq!(s.allocate(obj(9), 1), 15);
-        assert_eq!(s.allocate(obj(8), 1), 0);
+        assert_eq!(s.allocate(obj(9), 10).unwrap(), 0);
+        assert_eq!(s.allocate(obj(9), 5).unwrap(), 10);
+        assert_eq!(s.allocate(obj(9), 1).unwrap(), 15);
+        assert_eq!(s.allocate(obj(8), 1).unwrap(), 0);
     }
 
     #[test]
     fn gc_drops_old_versions_and_dead_objects() {
         let s = ServerStore::new();
         for i in 0..5u64 {
-            s.prepare(i, 2 * i, &[w(1, &format!("v{i}"))]);
-            s.commit(i, 2 * i + 1);
+            s.prepare(i, 2 * i, &[w(1, &format!("v{i}"))]).unwrap();
+            s.commit(i, 2 * i + 1).unwrap();
         }
         assert_eq!(s.version_count(), 5);
         let dropped = s.gc(100, 1);
         assert_eq!(dropped, 4);
         assert_eq!(s.version_count(), 1);
         // Delete the object entirely, then GC removes it from the map.
-        s.prepare(10, 50, &[del(1)]);
-        s.commit(10, 51);
+        s.prepare(10, 50, &[del(1)]).unwrap();
+        s.commit(10, 51).unwrap();
         s.gc(100, 1);
         assert_eq!(s.object_count(), 0);
     }
@@ -861,7 +1358,8 @@ mod tests {
     #[test]
     fn bulk_load_visible_to_all_snapshots() {
         let s = ServerStore::new();
-        s.load_unchecked(obj(1), 0, Bytes::from_static(b"seed"));
+        s.load_unchecked(obj(1), 0, Bytes::from_static(b"seed"))
+            .unwrap();
         assert_eq!(
             s.get(obj(1), 1),
             ReadOutcome::Value(Some(Bytes::from_static(b"seed")))
@@ -873,8 +1371,8 @@ mod tests {
         let s = ServerStore::new();
         // A commit for a transaction this store never prepared can only be
         // the tail of a reaped transaction: refuse it.
-        assert_eq!(s.commit(999, 5), CommitOutcome::AlreadyAborted);
-        s.abort(999);
+        assert_eq!(s.commit(999, 5).unwrap(), CommitOutcome::AlreadyAborted);
+        s.abort(999).unwrap();
         assert_eq!(s.object_count(), 0);
         assert_eq!(s.outcome(999), Some(TxnOutcome::Aborted));
     }
@@ -882,12 +1380,15 @@ mod tests {
     #[test]
     fn duplicate_commit_and_abort_are_deduped() {
         let s = ServerStore::new();
-        assert_eq!(s.prepare(1, 5, &[w(1, "a")]), PrepareOutcome::Prepared);
-        assert_eq!(s.commit(1, 10), CommitOutcome::Committed(10));
+        assert_eq!(
+            s.prepare(1, 5, &[w(1, "a")]).unwrap(),
+            PrepareOutcome::Prepared
+        );
+        assert_eq!(s.commit(1, 10).unwrap(), CommitOutcome::Committed(10));
         // Retried commit (response was lost): same answer, nothing re-done.
-        assert_eq!(s.commit(1, 10), CommitOutcome::Committed(10));
+        assert_eq!(s.commit(1, 10).unwrap(), CommitOutcome::Committed(10));
         // A stale abort after the commit must not erase it.
-        s.abort(1);
+        s.abort(1).unwrap();
         assert_eq!(s.outcome(1), Some(TxnOutcome::Committed(10)));
         assert_eq!(
             s.get(obj(1), 20),
@@ -900,12 +1401,18 @@ mod tests {
     #[test]
     fn duplicate_prepare_is_idempotent() {
         let s = ServerStore::new();
-        assert_eq!(s.prepare(1, 5, &[w(1, "a")]), PrepareOutcome::Prepared);
+        assert_eq!(
+            s.prepare(1, 5, &[w(1, "a")]).unwrap(),
+            PrepareOutcome::Prepared
+        );
         // Duplicate delivery of the same prepare: still prepared, exactly
         // one lock, exactly one prepared entry.
-        assert_eq!(s.prepare(1, 5, &[w(1, "a")]), PrepareOutcome::Prepared);
+        assert_eq!(
+            s.prepare(1, 5, &[w(1, "a")]).unwrap(),
+            PrepareOutcome::Prepared
+        );
         assert_eq!(s.prepared_count(), 1);
-        s.commit(1, 10);
+        s.commit(1, 10).unwrap();
         assert_eq!(s.version_count(), 1);
         assert_eq!(s.prepared_count(), 0);
     }
@@ -914,23 +1421,27 @@ mod tests {
     fn lease_expiry_feeds_the_reaper_and_blocks_resurrection() {
         let s = ServerStore::new();
         assert_eq!(
-            s.prepare_leased(7, 5, &[w(1, "a")], 3, Duration::from_micros(1)),
+            s.prepare_leased(7, 5, &[w(1, "a")], 3, Duration::from_micros(1))
+                .unwrap(),
             PrepareOutcome::Prepared
         );
         std::thread::sleep(Duration::from_millis(1));
         let expired = s.expired_prepared(Instant::now());
         assert_eq!(expired, vec![(7, 3)]);
         // The reaper presumes abort...
-        s.abort(7);
+        s.abort(7).unwrap();
         assert_eq!(s.prepared_count(), 0);
         assert_eq!(s.get(obj(1), 100), ReadOutcome::Value(None));
         // ...after which neither a late prepare nor a late commit of the
         // same transaction may resurrect it.
-        match s.prepare_leased(7, 5, &[w(1, "a")], 3, Duration::from_secs(10)) {
+        match s
+            .prepare_leased(7, 5, &[w(1, "a")], 3, Duration::from_secs(10))
+            .unwrap()
+        {
             PrepareOutcome::Conflict(_) => {}
             other => panic!("expected conflict, got {other:?}"),
         }
-        assert_eq!(s.commit(7, 20), CommitOutcome::AlreadyAborted);
+        assert_eq!(s.commit(7, 20).unwrap(), CommitOutcome::AlreadyAborted);
         assert_eq!(s.version_count(), 0);
     }
 
@@ -938,23 +1449,23 @@ mod tests {
     fn one_phase_commit_retry_reports_original_fate() {
         let s = ServerStore::new();
         assert_eq!(
-            s.commit_one_phase(1, 1, &[w(1, "a")], 5),
+            s.commit_one_phase(1, 1, &[w(1, "a")], 5).unwrap(),
             CommitOnePhaseOutcome::Committed(5)
         );
         // Retry with a fresh timestamp: the original fate is reported and
         // nothing is re-installed.
         assert_eq!(
-            s.commit_one_phase(1, 1, &[w(1, "a")], 9),
+            s.commit_one_phase(1, 1, &[w(1, "a")], 9).unwrap(),
             CommitOnePhaseOutcome::Committed(5)
         );
         assert_eq!(s.version_count(), 1);
         // A conflicted one-phase commit is remembered as aborted.
-        match s.commit_one_phase(2, 1, &[w(1, "b")], 10) {
+        match s.commit_one_phase(2, 1, &[w(1, "b")], 10).unwrap() {
             CommitOnePhaseOutcome::Conflict(_) => {}
             other => panic!("expected conflict, got {other:?}"),
         }
         assert_eq!(s.outcome(2), Some(TxnOutcome::Aborted));
-        match s.commit_one_phase(2, 1, &[w(1, "b")], 11) {
+        match s.commit_one_phase(2, 1, &[w(1, "b")], 11).unwrap() {
             CommitOnePhaseOutcome::Conflict(_) => {}
             other => panic!("expected conflict on retry, got {other:?}"),
         }
@@ -965,7 +1476,8 @@ mod tests {
         let s = ServerStore::with_outcome_retention(16);
         for i in 0..100u64 {
             assert_eq!(
-                s.commit_one_phase(i + 1, 2 * i + 1, &[w(i, "v")], 2 * i + 2),
+                s.commit_one_phase(i + 1, 2 * i + 1, &[w(i, "v")], 2 * i + 2)
+                    .unwrap(),
                 CommitOnePhaseOutcome::Committed(2 * i + 2)
             );
         }
@@ -977,10 +1489,10 @@ mod tests {
     #[test]
     fn dump_versions_reports_history() {
         let s = ServerStore::new();
-        s.prepare(1, 1, &[w(1, "a")]);
-        s.commit(1, 2);
-        s.prepare(2, 3, &[del(1)]);
-        s.commit(2, 4);
+        s.prepare(1, 1, &[w(1, "a")]).unwrap();
+        s.commit(1, 2).unwrap();
+        s.prepare(2, 3, &[del(1)]).unwrap();
+        s.commit(2, 4).unwrap();
         let hist = s.dump_versions(obj(1));
         assert_eq!(hist.len(), 2);
         assert!(hist.contains(&(2, Some(Bytes::from_static(b"a")))));
@@ -993,10 +1505,13 @@ mod tests {
         let s = ServerStore::new();
         // Spread writes over many shards; make one of them conflict.
         let mut writes: Vec<WriteOp> = (0..64).map(|i| w(i, "x")).collect();
-        assert_eq!(s.prepare(1, 5, &[w(33, "old")]), PrepareOutcome::Prepared);
-        s.commit(1, 10);
+        assert_eq!(
+            s.prepare(1, 5, &[w(33, "old")]).unwrap(),
+            PrepareOutcome::Prepared
+        );
+        s.commit(1, 10).unwrap();
         writes[33] = w(33, "conflicting");
-        match s.prepare(2, 5, &writes) {
+        match s.prepare(2, 5, &writes).unwrap() {
             PrepareOutcome::Conflict(_) => {}
             other => panic!("expected conflict, got {other:?}"),
         }
@@ -1025,7 +1540,7 @@ mod tests {
                     let txn = o + 1;
                     let ts = 2 * o + 1;
                     assert_eq!(
-                        s.commit_one_phase(txn, ts, &[w(o, "v")], ts + 1),
+                        s.commit_one_phase(txn, ts, &[w(o, "v")], ts + 1).unwrap(),
                         CommitOnePhaseOutcome::Committed(ts + 1)
                     );
                 }
@@ -1057,7 +1572,10 @@ mod tests {
                     let start = ts.fetch_add(1, Ordering::SeqCst);
                     let commit = ts.fetch_add(1, Ordering::SeqCst);
                     let txn = t * 1000 + i + 1;
-                    match s.commit_one_phase(txn, start, &[w(7, "contended")], commit) {
+                    match s
+                        .commit_one_phase(txn, start, &[w(7, "contended")], commit)
+                        .unwrap()
+                    {
                         CommitOnePhaseOutcome::Committed(_) => wins.fetch_add(1, Ordering::SeqCst),
                         CommitOnePhaseOutcome::Conflict(_) => losses.fetch_add(1, Ordering::SeqCst),
                     };

@@ -232,6 +232,7 @@ impl Txn {
                     }
                     backoff(self.core.cfg.lock_backoff_us, attempts);
                 }
+                KvResponse::ServerError { message } => return Err(Error::Io(message)),
                 other => {
                     return Err(Error::Internal(format!(
                         "unexpected Get response: {other:?}"
@@ -330,6 +331,13 @@ impl Txn {
                     self.core.stats.counter("kv.txn_conflicts").inc();
                     Err(Error::Conflict(reason))
                 }
+                KvResponse::ServerError { message } => {
+                    // The server's log-before-apply ordering guarantees the
+                    // commit was not applied; this is a definite abort, not
+                    // an in-doubt outcome.
+                    *self.state.lock() = TxnState::Aborted;
+                    Err(Error::Io(message))
+                }
                 other => Err(Error::Internal(format!(
                     "unexpected 1PC response: {other:?}"
                 ))),
@@ -360,6 +368,13 @@ impl Txn {
                     *self.state.lock() = TxnState::Aborted;
                     self.core.stats.counter("kv.txn_conflicts").inc();
                     return Err(Error::Conflict(reason));
+                }
+                Ok(KvResponse::ServerError { message }) => {
+                    // The participant could not make the prepare durable, so
+                    // it holds no locks for us; nothing can have committed.
+                    self.abort_participants(&participants);
+                    *self.state.lock() = TxnState::Aborted;
+                    return Err(Error::Io(message));
                 }
                 Ok(other) => {
                     self.abort_participants(&participants);
@@ -417,6 +432,15 @@ impl Txn {
                      the primary",
                     self.id
                 )));
+            }
+            Ok(KvResponse::ServerError { message }) => {
+                // The primary could not log the commit decision, so it was
+                // not applied (log-before-apply); the transaction is still
+                // merely prepared.  Abort it cleanly rather than leave it to
+                // the reaper's lease expiry.
+                self.abort_participants(&participants);
+                *self.state.lock() = TxnState::Aborted;
+                return Err(Error::Io(message));
             }
             Ok(other) => {
                 *self.state.lock() = TxnState::Aborted;

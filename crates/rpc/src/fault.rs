@@ -24,9 +24,14 @@
 //! * **delay** — the call sleeps for a bounded random time before delivery.
 //! * **crash** — the server stops accepting requests ([`Error::Unavailable`]
 //!   on every call) until [`FaultyTransport::restart`] is called or a
-//!   scripted restart triggers.  The store behind the transport keeps its
-//!   memory, so a crash here models a partition / stall-and-recover rather
-//!   than a disk wipe; ROADMAP.md § "Fault model" discusses the distinction.
+//!   scripted restart triggers.  By default the store behind the transport
+//!   keeps its memory, so a plain crash models a partition /
+//!   stall-and-recover.  With [`FaultPlan::amnesia`] set, every restart of a
+//!   crashed server first runs that server's restart hook (see
+//!   [`FaultyTransport::set_restart_hook`]), which the deployment wires to
+//!   drop the server's volatile state and recover from its write-ahead log —
+//!   a process kill rather than a stall.  ROADMAP.md § "Fault model"
+//!   discusses the distinction.
 //!
 //! All randomness comes from per-server xoshiro generators seeded from the
 //! plan, so a fixed seed reproduces the exact same fault schedule — the
@@ -81,6 +86,13 @@ pub struct FaultPlan {
     /// many requests (a cheap way to script crash/recovery cycles without a
     /// controlling thread).
     pub restart_after_rejects: Option<u64>,
+    /// If true, a crash loses the server's volatile memory: every restart of
+    /// a crashed server (manual, scripted, or via [`FaultyTransport::heal_all`])
+    /// runs the server's restart hook before the server accepts requests
+    /// again.  The hook — installed with [`FaultyTransport::set_restart_hook`]
+    /// — is expected to wipe volatile state and replay durable state, so a
+    /// crash models a process kill instead of a stall.
+    pub amnesia: bool,
 }
 
 impl FaultPlan {
@@ -96,6 +108,7 @@ impl FaultPlan {
             delay_us: (0, 0),
             crash_after_requests: None,
             restart_after_rejects: None,
+            amnesia: false,
         }
     }
 
@@ -112,6 +125,7 @@ impl FaultPlan {
             delay_us: (10, 200),
             crash_after_requests: None,
             restart_after_rejects: None,
+            amnesia: false,
         }
     }
 
@@ -142,6 +156,11 @@ struct FaultState {
     delivered: AtomicU64,
     /// Requests rejected since the last crash, for `restart_after_rejects`.
     rejected_while_down: AtomicU64,
+    /// Runs when a crashed server restarts under an amnesia plan, *before*
+    /// the server accepts requests again.  The lock is held across the whole
+    /// restart sequence so concurrent scripted restarts run the hook exactly
+    /// once and callers never observe a half-recovered server.
+    restart_hook: Mutex<Option<Box<dyn Fn() + Send + Sync>>>,
 }
 
 impl FaultState {
@@ -157,6 +176,7 @@ impl FaultState {
             crashed: AtomicBool::new(false),
             delivered: AtomicU64::new(0),
             rejected_while_down: AtomicU64::new(0),
+            restart_hook: Mutex::new(None),
         }
     }
 }
@@ -255,12 +275,34 @@ where
     }
 
     /// Restarts a crashed `server`; calls flow again and the scripted-crash
-    /// delivery counter starts over.
+    /// delivery counter starts over.  Under an amnesia plan the server's
+    /// restart hook runs first (while the server still rejects requests), so
+    /// a restarted server comes back with only what it recovered from its
+    /// durable state.  Restarting a server that never crashed is a no-op
+    /// apart from resetting the scripted-crash counters — in particular it
+    /// does not wipe the server.
     pub fn restart(&self, server: ServerId) {
         if let Some(st) = self.states.get(server) {
-            st.crashed.store(false, Ordering::SeqCst);
+            let hook = st.restart_hook.lock();
+            if st.crashed.load(Ordering::SeqCst) {
+                if st.plan.lock().amnesia {
+                    if let Some(h) = hook.as_ref() {
+                        h();
+                    }
+                }
+                st.crashed.store(false, Ordering::SeqCst);
+            }
             st.rejected_while_down.store(0, Ordering::SeqCst);
             st.delivered.store(0, Ordering::SeqCst);
+        }
+    }
+
+    /// Installs the hook run when `server` restarts from a crash under an
+    /// amnesia plan.  The deployment layer wires this to the server's
+    /// wipe-and-recover path; tests can override it to observe restarts.
+    pub fn set_restart_hook(&self, server: ServerId, hook: impl Fn() + Send + Sync + 'static) {
+        if let Some(st) = self.states.get(server) {
+            *st.restart_hook.lock() = Some(Box::new(hook));
         }
     }
 
@@ -291,10 +333,13 @@ where
 
     /// Heals every server: healthy plans everywhere, all crashed servers
     /// restarted.  Chaos tests call this before checking convergence.
+    /// Servers are restarted *before* their plan is replaced so a crashed
+    /// server under an amnesia plan still loses its volatile memory — the
+    /// crash already happened; healing must not un-kill the process.
     pub fn heal_all(&self) {
         for i in 0..self.states.len() {
-            self.set_plan(i, FaultPlan::healthy());
             self.restart(i);
+            self.set_plan(i, FaultPlan::healthy());
         }
     }
 
@@ -359,13 +404,26 @@ where
 
         if st.crashed.load(Ordering::SeqCst) {
             let rejected = st.rejected_while_down.fetch_add(1, Ordering::SeqCst) + 1;
-            let restart_at = st.plan.lock().restart_after_rejects;
+            let (restart_at, amnesia) = {
+                let plan = st.plan.lock();
+                (plan.restart_after_rejects, plan.amnesia)
+            };
             match restart_at {
                 Some(n) if rejected >= n => {
-                    // Scripted recovery: this call goes through.
-                    st.crashed.store(false, Ordering::SeqCst);
-                    st.rejected_while_down.store(0, Ordering::SeqCst);
-                    st.delivered.store(0, Ordering::SeqCst);
+                    // Scripted recovery: this call goes through.  The hook
+                    // lock serialises racing restarts; the re-check makes
+                    // the losers find the server already up.
+                    let hook = st.restart_hook.lock();
+                    if st.crashed.load(Ordering::SeqCst) {
+                        if amnesia {
+                            if let Some(h) = hook.as_ref() {
+                                h();
+                            }
+                        }
+                        st.crashed.store(false, Ordering::SeqCst);
+                        st.rejected_while_down.store(0, Ordering::SeqCst);
+                        st.delivered.store(0, Ordering::SeqCst);
+                    }
                 }
                 _ => {
                     self.counters.crash_reject.inc();
@@ -597,6 +655,73 @@ mod tests {
         assert!(matches!(t.call(0, 1), Err(Error::Unavailable(_))));
         // ...then the scripted restart lets the next call through.
         assert_eq!(t.call(0, 1).unwrap(), 2);
+    }
+
+    #[test]
+    fn amnesia_restart_runs_hook_only_for_crashed_servers() {
+        let plan = FaultPlan {
+            amnesia: true,
+            ..FaultPlan::healthy()
+        };
+        let (_, t, _) = make(2, vec![plan.clone(), plan]);
+        let fired = Arc::new(AtomicU64::new(0));
+        for i in 0..2 {
+            let fired = Arc::clone(&fired);
+            t.set_restart_hook(i, move || {
+                fired.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        t.crash(0);
+        t.heal_all();
+        assert_eq!(
+            fired.load(Ordering::SeqCst),
+            1,
+            "only the crashed server loses its memory"
+        );
+        // Restarting a server that is already up must not wipe it.
+        t.restart(0);
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn plain_crash_restart_keeps_memory() {
+        // Without `amnesia`, the hook stays dormant: a crash is a stall.
+        let (_, t, _) = make(1, vec![]);
+        let fired = Arc::new(AtomicU64::new(0));
+        {
+            let fired = Arc::clone(&fired);
+            t.set_restart_hook(0, move || {
+                fired.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        t.crash(0);
+        t.restart(0);
+        assert_eq!(fired.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn scripted_amnesia_restart_fires_hook_before_serving() {
+        let plan = FaultPlan {
+            crash_after_requests: Some(2),
+            restart_after_rejects: Some(1),
+            amnesia: true,
+            ..FaultPlan::healthy()
+        };
+        let (_, t, _) = make(1, vec![plan]);
+        let fired = Arc::new(AtomicU64::new(0));
+        {
+            let fired = Arc::clone(&fired);
+            t.set_restart_hook(0, move || {
+                fired.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        assert_eq!(t.call(0, 1).unwrap(), 2);
+        // The second delivery crashes the server; its response is lost.
+        assert!(matches!(t.call(0, 1), Err(Error::Timeout(_))));
+        // The first rejected call triggers the scripted restart: the hook
+        // runs before the call is allowed through.
+        assert_eq!(t.call(0, 1).unwrap(), 2);
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
     }
 
     #[test]

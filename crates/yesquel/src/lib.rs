@@ -26,6 +26,7 @@ pub use yesquel_common as common;
 pub use yesquel_kv as kv;
 pub use yesquel_rpc as rpc;
 pub use yesquel_sql as sql;
+pub use yesquel_wal as wal;
 pub use yesquel_ydbt as ydbt;
 
 pub use yesquel_common::{DbtConfig, Error, KvConfig, NetConfig, ObjectId, Result, YesquelConfig};
