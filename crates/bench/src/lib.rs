@@ -4,6 +4,8 @@
 
 use std::fmt::Write as _;
 
+pub mod load;
+
 use yesquel_common::tempdir::TempDir;
 use yesquel_common::{DbtConfig, WalFsyncPolicy, YesquelConfig};
 use yesquel_kv::KvDatabase;

@@ -1,0 +1,683 @@
+//! Multi-threaded closed-loop load harness.
+//!
+//! The criterion benches measure single-threaded operation latency; this
+//! module measures what they cannot: throughput and tail latency under
+//! **concurrent** clients, which is where group commit, request batching,
+//! and the parallel 2PC fan-out actually earn their keep.  `N` client
+//! threads each run a closed loop (issue an operation, wait for it, issue
+//! the next) against one in-process deployment of `M` storage servers,
+//! drawing operations from a weighted mix of op classes:
+//!
+//! * `select` — SQL point select by primary key over a preloaded table,
+//! * `insert` — SQL insert of a fresh row (no write-write conflicts),
+//! * `scan`   — SQL bounded range scan (`>= ? AND < ? ORDER BY ... LIMIT`),
+//! * `kv_1pc` — a raw KV transaction writing objects on one server
+//!   (one-phase commit),
+//! * `kv_2pc` — a raw KV transaction writing objects on two distinct
+//!   servers (two-phase commit, exercising the parallel prepare fan-out).
+//!
+//! Contention is controlled by `key_pool`: KV writes pick their objects
+//! uniformly from a pool of that many keys, so a small pool forces
+//! write-write conflicts (visible as `kv.txn_conflicts` in the report).
+//! Every run reports ops/sec, exact nearest-rank p50/p99/p999 latency per
+//! op class, and the deployment counters that explain the numbers
+//! (fsyncs, group sizes, batched requests, parallel fan-outs).  The
+//! `load` bench binary sweeps these specs and writes `BENCH_8_LOAD.json`.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use yesquel::{params, Yesquel};
+use yesquel_common::config::SplitMode;
+use yesquel_common::tempdir::TempDir;
+use yesquel_common::{
+    CommitFanout, NetConfig, ObjectId, RpcBatchConfig, WalFsyncPolicy, YesquelConfig,
+};
+use yesquel_kv::KvDatabase;
+use yesquel_rpc::TransportKind;
+
+/// The operation classes a load mix draws from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpClass {
+    /// SQL point select by primary key.
+    Select,
+    /// SQL insert of a fresh row.
+    Insert,
+    /// SQL bounded range scan.
+    Scan,
+    /// Raw KV write transaction confined to one server (1PC).
+    Kv1pc,
+    /// Raw KV write transaction spanning two servers (2PC).
+    Kv2pc,
+}
+
+impl OpClass {
+    /// All classes, in report order.
+    pub const ALL: [OpClass; 5] = [
+        OpClass::Select,
+        OpClass::Insert,
+        OpClass::Scan,
+        OpClass::Kv1pc,
+        OpClass::Kv2pc,
+    ];
+
+    /// Stable name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpClass::Select => "select",
+            OpClass::Insert => "insert",
+            OpClass::Scan => "scan",
+            OpClass::Kv1pc => "kv_1pc",
+            OpClass::Kv2pc => "kv_2pc",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            OpClass::Select => 0,
+            OpClass::Insert => 1,
+            OpClass::Scan => 2,
+            OpClass::Kv1pc => 3,
+            OpClass::Kv2pc => 4,
+        }
+    }
+}
+
+/// The mixed read/write workload used by the scaling sweeps.
+pub fn mixed_mix() -> Vec<(OpClass, u32)> {
+    vec![
+        (OpClass::Select, 35),
+        (OpClass::Insert, 15),
+        (OpClass::Scan, 10),
+        (OpClass::Kv1pc, 25),
+        (OpClass::Kv2pc, 15),
+    ]
+}
+
+/// The commit-heavy workload used by the `wal_fsync` sweep: every
+/// operation ends in a durable commit, so fsync policy dominates.
+pub fn commit_mix() -> Vec<(OpClass, u32)> {
+    vec![(OpClass::Kv1pc, 60), (OpClass::Kv2pc, 40)]
+}
+
+/// One load-harness configuration cell.
+#[derive(Debug, Clone)]
+pub struct LoadSpec {
+    /// Sweep label (e.g. `"scaling"`, `"wal"`).
+    pub workload: String,
+    /// Number of closed-loop client threads.
+    pub threads: usize,
+    /// Number of storage servers.
+    pub servers: usize,
+    /// How long the measured phase runs.
+    pub duration: Duration,
+    /// Weighted op mix (weights need not sum to anything particular).
+    pub mix: Vec<(OpClass, u32)>,
+    /// KV write key-pool size per server; smaller is hotter.
+    pub key_pool: u64,
+    /// `None` runs without a write-ahead log; `Some(policy)` attaches one
+    /// per server under a temp directory with the given fsync policy.
+    pub wal: Option<WalFsyncPolicy>,
+    /// Transport between clients and servers.
+    pub transport: TransportKind,
+    /// Simulated network/service model; `None` keeps the free default.
+    /// The scale-out sweeps set slept latency + per-request service time
+    /// so the bottleneck is modelled server capacity, not host cores.
+    pub net: Option<NetConfig>,
+    /// Optional request-batching decorator configuration.
+    pub rpc_batch: Option<RpcBatchConfig>,
+    /// 2PC fan-out strategy.
+    pub commit_fanout: CommitFanout,
+    /// Seed for the per-thread operation generators.
+    pub seed: u64,
+}
+
+impl LoadSpec {
+    /// A spec with the mixed workload and library defaults everywhere else.
+    pub fn new(workload: &str, threads: usize, servers: usize, duration: Duration) -> Self {
+        LoadSpec {
+            workload: workload.to_string(),
+            threads,
+            servers,
+            duration,
+            mix: mixed_mix(),
+            key_pool: 1024,
+            wal: None,
+            transport: TransportKind::Direct,
+            net: None,
+            rpc_batch: None,
+            commit_fanout: CommitFanout::Auto,
+            seed: 0x10ad,
+        }
+    }
+
+    /// Stable label for the WAL column of the report.
+    pub fn wal_label(&self) -> String {
+        match self.wal {
+            None => "none".to_string(),
+            Some(WalFsyncPolicy::Off) => "off".to_string(),
+            Some(WalFsyncPolicy::Always) => "always".to_string(),
+            Some(WalFsyncPolicy::Group { window_us }) => format!("group{window_us}"),
+        }
+    }
+}
+
+/// Latency summary for one op class within a run.
+#[derive(Debug, Clone)]
+pub struct ClassStats {
+    /// Which class.
+    pub class: OpClass,
+    /// Operations completed successfully.
+    pub count: u64,
+    /// Operations that failed (after the client library's own retries).
+    pub errors: u64,
+    /// Nearest-rank percentiles over successful-op latencies, microseconds.
+    pub p50_us: u64,
+    /// 99th percentile, microseconds.
+    pub p99_us: u64,
+    /// 99.9th percentile, microseconds.
+    pub p999_us: u64,
+}
+
+/// The outcome of one `run_load` cell.
+#[derive(Debug, Clone)]
+pub struct LoadResult {
+    /// The spec that produced this result (WAL label pre-rendered).
+    pub workload: String,
+    /// Client threads.
+    pub threads: usize,
+    /// Storage servers.
+    pub servers: usize,
+    /// WAL column label (`none`/`off`/`always`/`group{window}`).
+    pub wal: String,
+    /// KV write key-pool size.
+    pub key_pool: u64,
+    /// Whether request batching was on.
+    pub batched: bool,
+    /// Measured wall-clock duration, seconds.
+    pub elapsed_s: f64,
+    /// Total successful operations across all classes.
+    pub ops: u64,
+    /// Throughput.
+    pub ops_per_sec: f64,
+    /// Per-class latency summaries (only classes present in the mix).
+    pub classes: Vec<ClassStats>,
+    /// Selected deployment counters after the run.
+    pub counters: Vec<(String, u64)>,
+}
+
+/// Exact nearest-rank percentile: the smallest sample such that at least
+/// `q` of the distribution is ≤ it.  `sorted` must be ascending and
+/// non-empty; `q` in (0, 1].  With `n` samples the rank is `ceil(q·n)`
+/// clamped to `[1, n]`, so p50 of `[10, 20]` is 10 (the first sample
+/// already covers half the distribution) and any percentile of a single
+/// sample is that sample.
+pub fn percentile(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty(), "percentile of an empty sample set");
+    assert!(q > 0.0 && q <= 1.0, "quantile out of range: {q}");
+    let n = sorted.len();
+    let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+    sorted[rank - 1]
+}
+
+/// Sorts `samples` and returns `(p50, p99, p999)`; all zero when empty.
+pub fn latency_summary(samples: &mut [u64]) -> (u64, u64, u64) {
+    if samples.is_empty() {
+        return (0, 0, 0);
+    }
+    samples.sort_unstable();
+    (
+        percentile(samples, 0.50),
+        percentile(samples, 0.99),
+        percentile(samples, 0.999),
+    )
+}
+
+/// The counters worth reporting alongside throughput: they explain *why*
+/// a cell is fast or slow (fsyncs amortised, requests coalesced, prepares
+/// overlapped, conflicts suffered).
+const REPORT_COUNTERS: [&str; 9] = [
+    "wal.appends",
+    "wal.fsyncs",
+    "wal.group_size",
+    "wal.group_solo",
+    "kv.txn_conflicts",
+    "kv.txn_retries",
+    "kv.prepare_parallel_fanouts",
+    "rpc.batches",
+    "rpc.batched_requests",
+];
+
+// KV load objects live in their own tree id, far above anything the SQL
+// catalog will ever allocate, so raw writes never collide with table trees.
+const LOAD_TREE: u64 = 0x10ad_0000_0000;
+
+/// Rows preloaded into the SQL table for selects and scans.
+const SQL_ROWS: i64 = 512;
+
+/// Runs one load cell: builds the deployment, preloads it, drives the
+/// closed loop from `spec.threads` threads for `spec.duration`, and
+/// summarises.
+pub fn run_load(spec: &LoadSpec) -> LoadResult {
+    let mut cfg = YesquelConfig::with_servers(spec.servers);
+    cfg.dbt.split_mode = SplitMode::Synchronous;
+    cfg.dbt.load_splits = false;
+    cfg.kv.commit_fanout = spec.commit_fanout;
+    cfg.rpc_batch = spec.rpc_batch;
+    if let Some(net) = &spec.net {
+        cfg.net = net.clone();
+    }
+    let _wal_tmp: Option<TempDir> = spec.wal.map(|policy| {
+        let tmp = TempDir::new("yesquel-load-wal").expect("load harness tempdir");
+        cfg.kv.wal_dir = Some(tmp.path().to_path_buf());
+        cfg.kv.wal_fsync = policy;
+        tmp
+    });
+    let db = KvDatabase::with_transport(cfg, spec.transport);
+    let y = Yesquel::open_db(db).expect("load harness bootstrap");
+
+    // Preload the SQL side.
+    y.execute(
+        "CREATE TABLE load (id INTEGER PRIMARY KEY, grp INT NOT NULL, val INT NOT NULL)",
+        &[],
+    )
+    .expect("create load table");
+    {
+        let ins = y
+            .session()
+            .prepare("INSERT INTO load (id, grp, val) VALUES (?, ?, ?)")
+            .expect("prepare preload insert");
+        for i in 0..SQL_ROWS {
+            ins.execute(params![i, i % 16, 0]).expect("preload row");
+        }
+    }
+    y.engine().wait_for_splits();
+
+    // Build per-server KV object pools: walk oids, bucketing by home
+    // server, until every server has its share of the key pool.
+    let per_server_pool = ((spec.key_pool as usize) / spec.servers).max(4);
+    let mut pools: Vec<Vec<ObjectId>> = vec![Vec::new(); spec.servers];
+    let mut oid = yesquel_common::ids::FIRST_NODE_OID;
+    while pools.iter().any(|p| p.len() < per_server_pool) {
+        let obj = ObjectId::new(LOAD_TREE, oid);
+        let home = obj.home_server(spec.servers);
+        if pools[home].len() < per_server_pool {
+            pools[home].push(obj);
+        }
+        oid += 1;
+    }
+
+    // Drop counters accumulated during preload so the report reflects the
+    // measured phase only.
+    y.db().stats().reset_counters();
+
+    let insert_next = AtomicU64::new(SQL_ROWS as u64 + 1_000_000);
+    let started = Instant::now();
+    let deadline = started + spec.duration;
+
+    let merged: Vec<ThreadRecord> = std::thread::scope(|scope| {
+        let pools = &pools;
+        let insert_next = &insert_next;
+        let y = &y;
+        (0..spec.threads)
+            .map(|t| {
+                scope.spawn(move || run_thread(y, spec, pools, insert_next, deadline, t as u64))
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("load thread panicked"))
+            .collect()
+    });
+    let elapsed = started.elapsed();
+
+    // Merge per-thread records into per-class summaries.
+    let mut classes = Vec::new();
+    let mut total_ops = 0u64;
+    for class in OpClass::ALL {
+        let i = class.index();
+        if !spec.mix.iter().any(|&(c, w)| c == class && w > 0) {
+            continue;
+        }
+        let mut lats: Vec<u64> = Vec::new();
+        let mut errors = 0u64;
+        for rec in &merged {
+            lats.extend_from_slice(&rec.latencies_us[i]);
+            errors += rec.errors[i];
+        }
+        let count = lats.len() as u64;
+        total_ops += count;
+        let (p50_us, p99_us, p999_us) = latency_summary(&mut lats);
+        classes.push(ClassStats {
+            class,
+            count,
+            errors,
+            p50_us,
+            p99_us,
+            p999_us,
+        });
+    }
+
+    let stats = y.db().stats();
+    let counters = REPORT_COUNTERS
+        .iter()
+        .map(|&name| (name.to_string(), stats.counter(name).get()))
+        .collect();
+
+    let elapsed_s = elapsed.as_secs_f64();
+    LoadResult {
+        workload: spec.workload.clone(),
+        threads: spec.threads,
+        servers: spec.servers,
+        wal: spec.wal_label(),
+        key_pool: spec.key_pool,
+        batched: spec.rpc_batch.is_some(),
+        elapsed_s,
+        ops: total_ops,
+        ops_per_sec: total_ops as f64 / elapsed_s.max(1e-9),
+        classes,
+        counters,
+    }
+}
+
+/// What one client thread brings home.
+struct ThreadRecord {
+    latencies_us: [Vec<u64>; 5],
+    errors: [u64; 5],
+}
+
+fn run_thread(
+    y: &Yesquel,
+    spec: &LoadSpec,
+    pools: &[Vec<ObjectId>],
+    insert_next: &AtomicU64,
+    deadline: Instant,
+    thread_id: u64,
+) -> ThreadRecord {
+    let session = y.new_session().expect("load thread session");
+    let client = y.db().client();
+    let sel = session
+        .prepare("SELECT id, grp, val FROM load WHERE id = ?")
+        .expect("prepare select");
+    let scan = session
+        .prepare("SELECT id, val FROM load WHERE id >= ? AND id < ? ORDER BY id LIMIT 16")
+        .expect("prepare scan");
+    let ins = session
+        .prepare("INSERT INTO load (id, grp, val) VALUES (?, ?, ?)")
+        .expect("prepare insert");
+
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ (thread_id.wrapping_mul(0x9e37_79b9)));
+    let weight_total: u32 = spec.mix.iter().map(|&(_, w)| w).sum();
+    assert!(weight_total > 0, "load mix has no weight");
+
+    let mut rec = ThreadRecord {
+        latencies_us: Default::default(),
+        errors: [0; 5],
+    };
+    let mut payload_counter = 0u64;
+
+    while Instant::now() < deadline {
+        // Weighted class pick.
+        let mut roll = rng.gen_range(0..weight_total);
+        let class = spec
+            .mix
+            .iter()
+            .find(|&&(_, w)| {
+                if roll < w {
+                    true
+                } else {
+                    roll -= w;
+                    false
+                }
+            })
+            .map(|&(c, _)| c)
+            .expect("weighted pick within total");
+
+        let start = Instant::now();
+        let outcome: Result<(), yesquel_common::Error> = match class {
+            OpClass::Select => {
+                let id = rng.gen_range(0..SQL_ROWS);
+                sel.execute(params![id]).map(|_| ())
+            }
+            OpClass::Scan => {
+                let lo = rng.gen_range(0..SQL_ROWS.max(33) - 32);
+                scan.execute(params![lo, lo + 32]).map(|_| ())
+            }
+            OpClass::Insert => {
+                let id = insert_next.fetch_add(1, Ordering::Relaxed) as i64;
+                ins.execute(params![id, id % 16, 1]).map(|_| ())
+            }
+            OpClass::Kv1pc => {
+                // One server, two objects: still a single-server txn, so
+                // the coordinator uses one-phase commit.
+                let server = rng.gen_range(0..spec.servers);
+                let pool = &pools[server];
+                let a = pool[rng.gen_range(0..pool.len())];
+                let b = pool[rng.gen_range(0..pool.len())];
+                payload_counter += 1;
+                let payload = payload_counter.to_le_bytes().to_vec();
+                client
+                    .run_txn(|txn| {
+                        txn.put(a, payload.clone())?;
+                        if b != a {
+                            txn.put(b, payload.clone())?;
+                        }
+                        Ok(())
+                    })
+                    .map(|_| ())
+            }
+            OpClass::Kv2pc => {
+                // Two distinct servers (degrades to 1PC on a one-server
+                // deployment, where 2PC cannot exist).
+                let s1 = rng.gen_range(0..spec.servers);
+                let s2 = if spec.servers > 1 {
+                    (s1 + 1 + rng.gen_range(0..spec.servers - 1)) % spec.servers
+                } else {
+                    s1
+                };
+                let a = pools[s1][rng.gen_range(0..pools[s1].len())];
+                let b = pools[s2][rng.gen_range(0..pools[s2].len())];
+                payload_counter += 1;
+                let payload = payload_counter.to_le_bytes().to_vec();
+                client
+                    .run_txn(|txn| {
+                        txn.put(a, payload.clone())?;
+                        if b != a {
+                            txn.put(b, payload.clone())?;
+                        }
+                        Ok(())
+                    })
+                    .map(|_| ())
+            }
+        };
+        let i = class.index();
+        match outcome {
+            Ok(()) => rec.latencies_us[i].push(start.elapsed().as_micros() as u64),
+            Err(_) => rec.errors[i] += 1,
+        }
+    }
+    rec
+}
+
+/// Renders one result as a single JSON object line (hand-rolled; the
+/// offline build has no serde).
+pub fn render_result(r: &LoadResult) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"workload\": \"{}\", \"threads\": {}, \"servers\": {}, \"wal\": \"{}\", \
+         \"key_pool\": {}, \"batched\": {}, \"elapsed_s\": {:.3}, \"ops\": {}, \
+         \"ops_per_sec\": {:.1}, \"classes\": [",
+        r.workload,
+        r.threads,
+        r.servers,
+        r.wal,
+        r.key_pool,
+        r.batched,
+        r.elapsed_s,
+        r.ops,
+        r.ops_per_sec
+    );
+    for (i, c) in r.classes.iter().enumerate() {
+        let comma = if i + 1 == r.classes.len() { "" } else { ", " };
+        let _ = write!(
+            out,
+            "{{\"class\": \"{}\", \"count\": {}, \"errors\": {}, \"p50_us\": {}, \
+             \"p99_us\": {}, \"p999_us\": {}}}{comma}",
+            c.class.name(),
+            c.count,
+            c.errors,
+            c.p50_us,
+            c.p99_us,
+            c.p999_us
+        );
+    }
+    let _ = write!(out, "], \"counters\": {{");
+    for (i, (name, v)) in r.counters.iter().enumerate() {
+        let comma = if i + 1 == r.counters.len() { "" } else { ", " };
+        let _ = write!(out, "\"{name}\": {v}{comma}");
+    }
+    let _ = write!(out, "}}}}");
+    out
+}
+
+/// Renders a full sweep as the stable `BENCH_*_LOAD.json` layout: a
+/// header, then one result object per line under `"runs"`.
+pub fn render_load_report(label: &str, description: &str, results: &[LoadResult]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"label\": \"{label}\",");
+    let _ = writeln!(out, "  \"description\": \"{description}\",");
+    let _ = writeln!(out, "  \"runs\": [");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        let _ = writeln!(out, "    {}{comma}", render_result(r));
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = write!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_known_uniform_distribution() {
+        // 1..=100: nearest-rank pX is exactly X, and p99.9 rounds up to
+        // the maximum.
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&sorted, 0.50), 50);
+        assert_eq!(percentile(&sorted, 0.99), 99);
+        assert_eq!(percentile(&sorted, 0.999), 100);
+        assert_eq!(percentile(&sorted, 1.0), 100);
+    }
+
+    #[test]
+    fn percentile_tiny_samples() {
+        // A single sample is every percentile.
+        assert_eq!(percentile(&[42], 0.50), 42);
+        assert_eq!(percentile(&[42], 0.999), 42);
+        // Two samples: rank ceil(0.5 * 2) = 1 -> the first covers p50.
+        assert_eq!(percentile(&[10, 20], 0.50), 10);
+        assert_eq!(percentile(&[10, 20], 0.99), 20);
+        // Four samples: p50 is the second, p99/p999 the last.
+        assert_eq!(percentile(&[1, 2, 3, 4], 0.50), 2);
+        assert_eq!(percentile(&[1, 2, 3, 4], 0.99), 4);
+        assert_eq!(percentile(&[1, 2, 3, 4], 0.999), 4);
+    }
+
+    #[test]
+    fn percentile_skewed_distribution() {
+        // 990 fast samples and 10 slow ones: p50/p99 sit in the fast
+        // cluster, p999 lands in the tail.
+        let mut samples: Vec<u64> = vec![100; 990];
+        samples.extend(std::iter::repeat_n(10_000, 10));
+        samples.sort_unstable();
+        assert_eq!(percentile(&samples, 0.50), 100);
+        assert_eq!(percentile(&samples, 0.99), 100);
+        assert_eq!(percentile(&samples, 0.999), 10_000);
+    }
+
+    #[test]
+    fn latency_summary_sorts_and_handles_empty() {
+        assert_eq!(latency_summary(&mut Vec::new()), (0, 0, 0));
+        let mut unsorted = vec![30, 10, 20];
+        assert_eq!(latency_summary(&mut unsorted), (20, 30, 30));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample set")]
+    fn percentile_rejects_empty() {
+        percentile(&[], 0.5);
+    }
+
+    #[test]
+    fn render_result_is_balanced_json() {
+        let r = LoadResult {
+            workload: "t".into(),
+            threads: 2,
+            servers: 2,
+            wal: "group100".into(),
+            key_pool: 64,
+            batched: true,
+            elapsed_s: 0.5,
+            ops: 10,
+            ops_per_sec: 20.0,
+            classes: vec![ClassStats {
+                class: OpClass::Kv2pc,
+                count: 10,
+                errors: 0,
+                p50_us: 5,
+                p99_us: 9,
+                p999_us: 9,
+            }],
+            counters: vec![("wal.fsyncs".into(), 3)],
+        };
+        let s = render_result(&r);
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+        assert!(s.contains("\"kv_2pc\""));
+        assert!(s.contains("\"wal.fsyncs\": 3"));
+        let report = render_load_report("BENCH_TEST_LOAD", "unit test", &[r]);
+        assert_eq!(report.matches('{').count(), report.matches('}').count());
+        assert!(!report.contains("},\n  ]"), "no trailing comma: {report}");
+    }
+
+    #[test]
+    fn tiny_load_run_completes_and_counts_ops() {
+        // A sub-100ms smoke of the whole closed loop: every op class, two
+        // threads, two servers, WAL in group mode, batching on, parallel
+        // fan-out forced so the path is exercised even on the direct
+        // transport.
+        let mut spec = LoadSpec::new("unit", 2, 2, Duration::from_millis(60));
+        spec.key_pool = 64;
+        spec.wal = Some(WalFsyncPolicy::Group { window_us: 50 });
+        spec.rpc_batch = Some(RpcBatchConfig {
+            window_us: 20,
+            max_batch: 8,
+        });
+        spec.commit_fanout = CommitFanout::Parallel;
+        let r = run_load(&spec);
+        assert!(r.ops > 0, "closed loop made no progress: {r:?}");
+        assert_eq!(r.classes.len(), 5, "all mixed classes present");
+        let fanouts = r
+            .counters
+            .iter()
+            .find(|(n, _)| n == "kv.prepare_parallel_fanouts")
+            .map(|&(_, v)| v)
+            .unwrap();
+        let batched = r
+            .counters
+            .iter()
+            .find(|(n, _)| n == "rpc.batched_requests")
+            .map(|&(_, v)| v)
+            .unwrap();
+        // 2PC ops ran on two servers with Parallel fan-out, so the
+        // counter must move; batching is best-effort (two threads may
+        // never collide in a 20us window), so only sanity-check presence.
+        assert!(fanouts > 0, "parallel prepare fan-out never engaged");
+        let _ = batched;
+    }
+}

@@ -136,6 +136,23 @@ pub enum WalFsyncPolicy {
     Off,
 }
 
+/// How the 2PC coordinator issues its per-participant RPC rounds (the
+/// prepare fan-out, the best-effort secondary commits, and abort fan-outs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CommitFanout {
+    /// Ask the transport whether parallelism pays
+    /// (`Transport::fanout_profitable`): worker-thread transports and
+    /// latency-sleeping or fault-injecting ones say yes; the plain direct
+    /// transport says no, keeping the single-threaded hot path free of
+    /// thread-pool overhead.
+    #[default]
+    Auto,
+    /// Always visit participants one at a time (the pre-PR-8 behaviour).
+    Serial,
+    /// Always fan out concurrently, regardless of transport.
+    Parallel,
+}
+
 /// Configuration of the transactional key-value store.
 #[derive(Debug, Clone, PartialEq)]
 pub struct KvConfig {
@@ -192,6 +209,8 @@ pub struct KvConfig {
     /// Fsync policy of the write-ahead log; ignored when `wal_dir` is
     /// `None`.
     pub wal_fsync: WalFsyncPolicy,
+    /// How the 2PC coordinator's per-participant RPC rounds are issued.
+    pub commit_fanout: CommitFanout,
 }
 
 impl Default for KvConfig {
@@ -210,6 +229,7 @@ impl Default for KvConfig {
             txn_outcome_retention: 4_096,
             wal_dir: None,
             wal_fsync: WalFsyncPolicy::Group { window_us: 100 },
+            commit_fanout: CommitFanout::Auto,
         }
     }
 }
@@ -250,6 +270,17 @@ pub struct NetConfig {
     /// experiments); if false it is only accounted in the simulated-time
     /// counters (useful for throughput experiments).
     pub sleep_latency: bool,
+    /// Modelled per-request service time, in microseconds, spent *on a
+    /// server worker thread* for every transport-level request.  Only
+    /// meaningful (and only slept) on the threaded transport with
+    /// `sleep_latency` set: each request then occupies one of the server's
+    /// workers for this long, so per-server throughput is capped at
+    /// `workers_per_server / service_time` regardless of host CPU count.
+    /// This is what lets a scale-out experiment show server capacity on a
+    /// small machine — the bottleneck is slept time, not host cores.  A
+    /// batched frame counts as one request, so coalescing genuinely saves
+    /// server capacity.  Zero disables the term.
+    pub service_time_us: u64,
 }
 
 impl NetConfig {
@@ -260,6 +291,33 @@ impl NetConfig {
             one_way_latency_us: 50,
             bytes_per_us: 1250,
             sleep_latency: false,
+            service_time_us: 0,
+        }
+    }
+}
+
+/// Configuration of the request-batching transport decorator.
+///
+/// When present on a [`YesquelConfig`], client requests to the same server
+/// that arrive within `window_us` of each other are coalesced into one
+/// multi-request frame — one transport round trip, one network-model charge —
+/// mirroring the write-ahead log's group commit on the RPC plane.  Only pays
+/// off with several client threads; `None` (the default) keeps the
+/// single-threaded request path untouched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RpcBatchConfig {
+    /// How long the first request of a batch waits for companions, in
+    /// microseconds.  Zero still coalesces whatever is already queued.
+    pub window_us: u64,
+    /// Maximum number of requests per frame (at least 2).
+    pub max_batch: usize,
+}
+
+impl Default for RpcBatchConfig {
+    fn default() -> Self {
+        RpcBatchConfig {
+            window_us: 50,
+            max_batch: 16,
         }
     }
 }
@@ -275,6 +333,8 @@ pub struct YesquelConfig {
     pub kv: KvConfig,
     /// Network model.
     pub net: NetConfig,
+    /// Same-server request batching; `None` disables it.
+    pub rpc_batch: Option<RpcBatchConfig>,
 }
 
 impl YesquelConfig {

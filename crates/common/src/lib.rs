@@ -20,6 +20,8 @@ pub mod stats;
 pub mod tempdir;
 pub mod timeutil;
 
-pub use config::{DbtConfig, KvConfig, NetConfig, WalFsyncPolicy, YesquelConfig};
+pub use config::{
+    CommitFanout, DbtConfig, KvConfig, NetConfig, RpcBatchConfig, WalFsyncPolicy, YesquelConfig,
+};
 pub use error::{Error, Result};
 pub use ids::{ObjectId, Oid, ServerId, Timestamp, TreeId, TxnId};

@@ -1,0 +1,87 @@
+//! A small shared worker pool for the 2PC coordinator's parallel fan-outs.
+//!
+//! The commit path issues one prepare per participant, one best-effort
+//! commit per secondary, and (on failure) one abort per participant.  Over a
+//! transport where calls spend wall-clock time blocked — worker queues,
+//! slept latency, injected faults — issuing those rounds from one thread
+//! serialises the waits.  [`FanoutPool`] lets the coordinator overlap them:
+//! all but one RPC of a round are handed to pool workers while the calling
+//! thread issues the last one itself, so a round costs roughly its slowest
+//! RPC instead of their sum.
+//!
+//! The pool is deliberately lazy: no thread exists until the first parallel
+//! round, so deployments on the plain direct transport (every unit test,
+//! every single-threaded benchmark) never pay for it.  Workers exit when the
+//! owning client core is dropped (the job channel disconnects).
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+/// A unit of work: issue one RPC and deliver its result somewhere.
+pub(crate) type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Lazily-spawned fixed-size worker pool.
+pub(crate) struct FanoutPool {
+    workers: usize,
+    tx: Mutex<Option<Sender<Job>>>,
+}
+
+impl FanoutPool {
+    /// Creates an empty pool that will spawn `workers` threads on first use.
+    pub(crate) fn new(workers: usize) -> Self {
+        FanoutPool {
+            workers: workers.max(1),
+            tx: Mutex::new(None),
+        }
+    }
+
+    /// Hands `job` to a worker, spawning the pool on first use.  Jobs are
+    /// independent (none ever waits on another pool job), so a full pool
+    /// only delays, never deadlocks.
+    pub(crate) fn submit(&self, job: Job) {
+        let mut guard = self.tx.lock();
+        let tx = guard.get_or_insert_with(|| {
+            let (tx, rx) = unbounded::<Job>();
+            for w in 0..self.workers {
+                let rx: Receiver<Job> = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("yesquel-fanout-{w}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            job();
+                        }
+                    })
+                    .expect("failed to spawn fan-out worker thread");
+            }
+            tx
+        });
+        assert!(tx.send(job).is_ok(), "fan-out workers outlive their pool");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn jobs_run_and_pool_is_lazy() {
+        let pool = FanoutPool::new(4);
+        assert!(pool.tx.lock().is_none(), "no threads before the first job");
+        let counter = Arc::new(AtomicU64::new(0));
+        let (done_tx, done_rx) = crossbeam::channel::bounded(64);
+        for _ in 0..64 {
+            let counter = Arc::clone(&counter);
+            let done = done_tx.clone();
+            pool.submit(Box::new(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+                let _ = done.send(());
+            }));
+        }
+        for _ in 0..64 {
+            done_rx.recv().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
+    }
+}

@@ -47,6 +47,7 @@
 
 pub mod client;
 pub mod database;
+pub(crate) mod fanout;
 pub mod mvcc;
 pub mod oracle;
 pub mod protocol;

@@ -113,6 +113,11 @@ pub enum KvRequest {
     },
     /// Return this server's operation statistics (diagnostics).
     Stats,
+    /// Several requests coalesced into one frame by the batching transport
+    /// (`yesquel_rpc::BatchingTransport`).  The server answers with a
+    /// [`KvResponse::Batch`] of the same length and order.  Nested batches
+    /// never occur: only the transport layer builds envelopes.
+    Batch(Vec<KvRequest>),
 }
 
 /// What a server knows about a transaction's fate, in response to
@@ -181,6 +186,8 @@ pub enum KvResponse {
         /// Rendered error (includes the failing path and the OS error).
         message: String,
     },
+    /// Responses to a [`KvRequest::Batch`], in request order.
+    Batch(Vec<KvResponse>),
     /// Server statistics.
     Stats {
         /// Number of objects stored.
@@ -216,6 +223,9 @@ impl KvRequest {
             KvRequest::LoadUnchecked { value, .. } => 28 + value.len(),
             KvRequest::TxnStatus { .. } => 16,
             KvRequest::Stats => 8,
+            // One frame header plus every enclosed request: batching saves
+            // round trips, not payload bytes.
+            KvRequest::Batch(reqs) => 8 + reqs.iter().map(KvRequest::wire_size).sum::<usize>(),
         }
     }
 }
@@ -228,6 +238,7 @@ impl KvResponse {
             KvResponse::Conflict { reason } => 16 + reason.len(),
             KvResponse::ServerError { message } => 16 + message.len(),
             KvResponse::Stats { .. } => 64,
+            KvResponse::Batch(resps) => 8 + resps.iter().map(KvResponse::wire_size).sum::<usize>(),
             _ => 16,
         }
     }

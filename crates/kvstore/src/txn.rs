@@ -7,12 +7,14 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use bytes::Bytes;
+use crossbeam::channel::bounded;
 use parking_lot::Mutex;
 use yesquel_common::stats::StatsRegistry;
 use yesquel_common::timeutil::sleep_backoff;
-use yesquel_common::{Error, KvConfig, ObjectId, Result, ServerId, Timestamp, TxnId};
+use yesquel_common::{CommitFanout, Error, KvConfig, ObjectId, Result, ServerId, Timestamp, TxnId};
 use yesquel_rpc::Transport;
 
+use crate::fanout::FanoutPool;
 use crate::oracle::TimestampOracle;
 use crate::protocol::{KvRequest, KvResponse, WriteOp};
 use crate::server::KvServer;
@@ -29,6 +31,9 @@ pub(crate) struct ClientCore {
     /// Monotone salt for retry-backoff jitter, so concurrent RPCs from one
     /// client spread out while staying deterministic per deployment.
     pub(crate) retry_salt: AtomicU64,
+    /// Worker pool for the coordinator's parallel RPC rounds; lazy, so it
+    /// costs nothing until the first parallel fan-out.
+    pub(crate) fanout: FanoutPool,
 }
 
 impl ClientCore {
@@ -108,6 +113,59 @@ impl ClientCore {
             Err(last)
         }
     }
+
+    /// Whether a coordinator round over `participants` servers should fan
+    /// out concurrently: the configuration decides, with `Auto` delegating
+    /// to the transport's own judgement of whether independent calls
+    /// actually overlap (see [`yesquel_rpc::Transport::fanout_profitable`]).
+    pub(crate) fn parallel_fanout(&self, participants: usize) -> bool {
+        participants > 1
+            && match self.cfg.commit_fanout {
+                CommitFanout::Serial => false,
+                CommitFanout::Parallel => true,
+                CommitFanout::Auto => self.transport.fanout_profitable(),
+            }
+    }
+}
+
+/// Issues one `(server, request)` RPC per entry concurrently: all but the
+/// last are handed to the fan-out pool, the last runs on the calling thread
+/// (so a round never needs more worker threads than it has peers), and the
+/// call returns once every result is in, sorted by server id.
+///
+/// If a pool worker dies mid-round (a panic in the transport stack) its
+/// entry is simply missing from the result; callers that need every
+/// participant accounted for must check the length.
+pub(crate) fn fanout_calls(
+    core: &Arc<ClientCore>,
+    reqs: Vec<(ServerId, KvRequest)>,
+    max_attempts: usize,
+) -> Vec<(ServerId, Result<KvResponse>)> {
+    let n = reqs.len();
+    let (tx, rx) = bounded::<(ServerId, Result<KvResponse>)>(n);
+    let mut reqs = reqs.into_iter();
+    let Some((last_server, last_req)) = reqs.next_back() else {
+        return Vec::new();
+    };
+    for (server, req) in reqs {
+        let job_core = Arc::clone(core);
+        let tx = tx.clone();
+        core.fanout.submit(Box::new(move || {
+            let resp = job_core.call_retry(server, req, max_attempts);
+            let _ = tx.send((server, resp));
+        }));
+    }
+    drop(tx);
+    let mut out = Vec::with_capacity(n);
+    out.push((
+        last_server,
+        core.call_retry(last_server, last_req, max_attempts),
+    ));
+    while let Ok(pair) = rx.recv() {
+        out.push(pair);
+    }
+    out.sort_by_key(|(s, _)| *s);
+    out
 }
 
 /// Lifecycle state of a transaction.
@@ -349,59 +407,103 @@ impl Txn {
         // protocol revolves around (see `crate::server`).
         self.core.stats.counter("kv.commit_2pc").inc();
         let primary = participants[0];
-        for (server, ws) in by_server {
-            let resp = self.core.call_retry(
-                server,
-                KvRequest::Prepare {
-                    txn: self.id,
-                    start_ts: self.start_ts,
-                    writes: ws,
-                    primary,
-                    lease_us: self.core.cfg.prepare_lease_us,
-                },
-                self.core.cfg.rpc_max_attempts,
-            );
-            match resp {
-                Ok(KvResponse::Prepared) => {}
-                Ok(KvResponse::Conflict { reason }) => {
-                    self.abort_participants(&participants);
-                    *self.state.lock() = TxnState::Aborted;
-                    self.core.stats.counter("kv.txn_conflicts").inc();
-                    return Err(Error::Conflict(reason));
-                }
-                Ok(KvResponse::ServerError { message }) => {
-                    // The participant could not make the prepare durable, so
-                    // it holds no locks for us; nothing can have committed.
-                    self.abort_participants(&participants);
-                    *self.state.lock() = TxnState::Aborted;
-                    return Err(Error::Io(message));
-                }
-                Ok(other) => {
-                    self.abort_participants(&participants);
-                    *self.state.lock() = TxnState::Aborted;
-                    return Err(Error::Internal(format!(
-                        "unexpected prepare response: {other:?}"
-                    )));
-                }
-                Err(e) => {
-                    // Coordinator deadline: a participant stayed unreachable
-                    // through the retry budget.  No commit was sent, so the
-                    // transaction cannot have committed anywhere — abort the
-                    // others (best-effort; the reaper collects whatever the
-                    // aborts miss) and report a clean retryable failure.
-                    self.abort_participants(&participants);
-                    *self.state.lock() = TxnState::Aborted;
-                    self.core.stats.counter("kv.prepare_deadline_aborts").inc();
-                    return Err(if e.is_availability() {
-                        Error::Unavailable(format!(
-                            "prepare of txn {} at server {server} failed ({e}); transaction aborted",
-                            self.id
-                        ))
-                    } else {
-                        e
-                    });
+        let parallel = self.core.parallel_fanout(participants.len());
+        let prepare_req = |writes: Vec<WriteOp>| KvRequest::Prepare {
+            txn: self.id,
+            start_ts: self.start_ts,
+            writes,
+            primary,
+            lease_us: self.core.cfg.prepare_lease_us,
+        };
+        let outcomes: Vec<(ServerId, Result<KvResponse>)> = if parallel {
+            // All prepares in flight at once; the round costs its slowest
+            // participant instead of the sum.  Server-side nothing changes:
+            // each participant still validates, locks, and leases its own
+            // slice exactly as in the sequential round.
+            self.core.stats.counter("kv.prepare_parallel_fanouts").inc();
+            let reqs = by_server
+                .into_iter()
+                .map(|(server, ws)| (server, prepare_req(ws)))
+                .collect();
+            fanout_calls(&self.core, reqs, self.core.cfg.rpc_max_attempts)
+        } else {
+            // Sequential round, stopping at the first failure so later
+            // participants are never locked for a doomed transaction.
+            let mut outcomes = Vec::with_capacity(by_server.len());
+            for (server, ws) in by_server {
+                let resp =
+                    self.core
+                        .call_retry(server, prepare_req(ws), self.core.cfg.rpc_max_attempts);
+                let failed = !matches!(resp, Ok(KvResponse::Prepared));
+                outcomes.push((server, resp));
+                if failed {
+                    break;
                 }
             }
+            outcomes
+        };
+        // Judge the round in server order, so the reported failure matches
+        // what the sequential round would have surfaced first.
+        let all_prepared = outcomes.len() == participants.len()
+            && outcomes
+                .iter()
+                .all(|(_, r)| matches!(r, Ok(KvResponse::Prepared)));
+        if !all_prepared {
+            for (server, resp) in outcomes {
+                match resp {
+                    Ok(KvResponse::Prepared) => {}
+                    Ok(KvResponse::Conflict { reason }) => {
+                        self.abort_participants(&participants);
+                        *self.state.lock() = TxnState::Aborted;
+                        self.core.stats.counter("kv.txn_conflicts").inc();
+                        return Err(Error::Conflict(reason));
+                    }
+                    Ok(KvResponse::ServerError { message }) => {
+                        // The participant could not make the prepare durable,
+                        // so it holds no locks for us; nothing can have
+                        // committed.
+                        self.abort_participants(&participants);
+                        *self.state.lock() = TxnState::Aborted;
+                        return Err(Error::Io(message));
+                    }
+                    Ok(other) => {
+                        self.abort_participants(&participants);
+                        *self.state.lock() = TxnState::Aborted;
+                        return Err(Error::Internal(format!(
+                            "unexpected prepare response: {other:?}"
+                        )));
+                    }
+                    Err(e) => {
+                        // Coordinator deadline: a participant stayed
+                        // unreachable through the retry budget.  No commit
+                        // was sent, so the transaction cannot have committed
+                        // anywhere — abort the others (best-effort; the
+                        // reaper collects whatever the aborts miss) and
+                        // report a clean retryable failure.
+                        self.abort_participants(&participants);
+                        *self.state.lock() = TxnState::Aborted;
+                        self.core.stats.counter("kv.prepare_deadline_aborts").inc();
+                        return Err(if e.is_availability() {
+                            Error::Unavailable(format!(
+                                "prepare of txn {} at server {server} failed ({e}); \
+                                 transaction aborted",
+                                self.id
+                            ))
+                        } else {
+                            e
+                        });
+                    }
+                }
+            }
+            // Every collected outcome was `Prepared`, yet a participant is
+            // missing (a fan-out worker died): the transaction's locks may
+            // be partially held, so abort cleanly.
+            self.abort_participants(&participants);
+            *self.state.lock() = TxnState::Aborted;
+            return Err(Error::Internal(format!(
+                "prepare round of txn {} lost a participant outcome",
+                self.id
+            )));
         }
 
         // All participants prepared: the transaction is committed as soon as
@@ -461,27 +563,49 @@ impl Txn {
             }
         };
 
-        // Phase two, secondaries: best-effort.  The transaction is durably
-        // committed at the primary; a secondary that misses its commit will
-        // adopt it from the primary through the reaper.
-        for &server in participants.iter().filter(|&&s| s != primary) {
-            match self.core.call_retry(
-                server,
-                KvRequest::Commit {
-                    txn: self.id,
-                    commit_ts,
-                },
+        // Phase two, secondaries: best-effort, fanned out concurrently when
+        // the prepares were (the outcome no longer depends on these calls).
+        // The transaction is durably committed at the primary; a secondary
+        // that misses its commit will adopt it from the primary through the
+        // reaper.
+        let secondary_commits: Vec<(ServerId, KvRequest)> = participants
+            .iter()
+            .filter(|&&s| s != primary)
+            .map(|&s| {
+                (
+                    s,
+                    KvRequest::Commit {
+                        txn: self.id,
+                        commit_ts,
+                    },
+                )
+            })
+            .collect();
+        let results = if parallel && secondary_commits.len() > 1 {
+            fanout_calls(
+                &self.core,
+                secondary_commits,
                 self.core.cfg.rpc_max_attempts,
-            ) {
-                Ok(KvResponse::Committed { .. }) => {}
-                _ => {
-                    // Lost or refused: the reaper will converge this
-                    // participant.  The commit itself already succeeded.
-                    self.core
-                        .stats
-                        .counter("kv.commit_lagging_participants")
-                        .inc();
-                }
+            )
+        } else {
+            secondary_commits
+                .into_iter()
+                .map(|(s, req)| {
+                    (
+                        s,
+                        self.core.call_retry(s, req, self.core.cfg.rpc_max_attempts),
+                    )
+                })
+                .collect()
+        };
+        for (_, resp) in results {
+            if !matches!(resp, Ok(KvResponse::Committed { .. })) {
+                // Lost or refused: the reaper will converge this
+                // participant.  The commit itself already succeeded.
+                self.core
+                    .stats
+                    .counter("kv.commit_lagging_participants")
+                    .inc();
             }
         }
         *self.state.lock() = TxnState::Committed;
@@ -491,14 +615,19 @@ impl Txn {
 
     /// Best-effort abort fan-out used when a prepare round fails.  Abort is
     /// idempotent and deduplicated server-side, and participants that miss
-    /// the message are cleaned up by the prepare-lease reaper.
+    /// the message are cleaned up by the prepare-lease reaper.  Fanned out
+    /// concurrently on transports where calls block (a failed prepare round
+    /// under faults would otherwise serialise several full retry budgets).
     fn abort_participants(&self, participants: &[ServerId]) {
-        for &s in participants {
-            let _ = self.core.call_retry(
-                s,
-                KvRequest::Abort { txn: self.id },
-                self.core.cfg.rpc_max_attempts,
-            );
+        let abort = |s: ServerId| (s, KvRequest::Abort { txn: self.id });
+        if self.core.parallel_fanout(participants.len()) {
+            let reqs = participants.iter().map(|&s| abort(s)).collect();
+            let _ = fanout_calls(&self.core, reqs, self.core.cfg.rpc_max_attempts);
+        } else {
+            for &s in participants {
+                let (s, req) = abort(s);
+                let _ = self.core.call_retry(s, req, self.core.cfg.rpc_max_attempts);
+            }
         }
     }
 

@@ -175,6 +175,7 @@ mod tests {
                 one_way_latency_us: 10,
                 bytes_per_us: 0,
                 sleep_latency: false,
+                service_time_us: 0,
             })
             .build();
         assert_eq!(cluster.call(1, 5).unwrap(), 10);

@@ -22,11 +22,13 @@
 //! imbalance across servers, scalability with the number of servers — while
 //! absolute wall-clock numbers necessarily differ.
 
+pub mod batch;
 pub mod cluster;
 pub mod fault;
 pub mod netmodel;
 pub mod transport;
 
+pub use batch::{BatchableService, BatchingTransport};
 pub use cluster::{Cluster, ClusterBuilder};
 pub use fault::{FaultPlan, FaultyTransport};
 pub use netmodel::NetworkModel;

@@ -105,6 +105,7 @@ mod tests {
             one_way_latency_us: 50,
             bytes_per_us: 100,
             sleep_latency: false,
+            service_time_us: 0,
         };
         let m = NetworkModel::new(cfg, StatsRegistry::new());
         // 1000 bytes at 100 B/us = 10us + 50us latency each way.

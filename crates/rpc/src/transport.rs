@@ -57,6 +57,19 @@ pub trait Transport<S: Service>: Send + Sync {
 
     /// Number of servers reachable through this transport.
     fn num_servers(&self) -> usize;
+
+    /// Whether issuing independent calls from several threads can finish
+    /// sooner than issuing them back to back on one thread.  False for a
+    /// transport whose `call` is a plain synchronous function call (nothing
+    /// overlaps, and spawning threads only adds overhead); true when calls
+    /// spend wall-clock time blocked — on server worker queues, slept
+    /// network latency, or injected faults and retry backoffs.  The 2PC
+    /// coordinator consults this under [`CommitFanout::Auto`].
+    ///
+    /// [`CommitFanout::Auto`]: yesquel_common::CommitFanout::Auto
+    fn fanout_profitable(&self) -> bool {
+        false
+    }
 }
 
 /// Book-keeping shared by both transports.
@@ -146,6 +159,14 @@ impl<S: Service> Transport<S> for DirectTransport<S> {
     fn num_servers(&self) -> usize {
         self.servers.len()
     }
+
+    fn fanout_profitable(&self) -> bool {
+        // Direct calls only overlap when each one actually sleeps the
+        // modelled latency; otherwise they are pure CPU and parallel fan-out
+        // would just pay thread handoffs.
+        let cfg = self.net.config();
+        cfg.sleep_latency && cfg.one_way_latency_us > 0
+    }
 }
 
 /// A request queued to a server worker thread, paired with the channel on
@@ -186,6 +207,15 @@ impl<S: Service> ThreadedTransport<S> {
             "need at least one worker per server"
         );
         let stats = TransportStats::new(registry, servers.len());
+        // Modelled per-request service time: each request occupies this
+        // worker for `service_time_us`, capping per-server throughput at
+        // `workers_per_server / service_time` independent of host CPUs.
+        let net_cfg = net.config();
+        let service_us = if net_cfg.sleep_latency {
+            net_cfg.service_time_us
+        } else {
+            0
+        };
         let mut queues = Vec::with_capacity(servers.len());
         for (sid, srv) in servers.iter().enumerate() {
             let (tx, rx) = bounded::<Envelope<S>>(1024);
@@ -196,6 +226,9 @@ impl<S: Service> ThreadedTransport<S> {
                     .name(format!("yesquel-server-{sid}-worker-{w}"))
                     .spawn(move || {
                         while let Ok(env) = rx.recv() {
+                            if service_us > 0 {
+                                std::thread::sleep(std::time::Duration::from_micros(service_us));
+                            }
                             let resp = srv.call(env.req);
                             // The client may have given up; ignore send errors.
                             let _ = env.reply.send(resp);
@@ -246,6 +279,12 @@ impl<S: Service> Transport<S> for ThreadedTransport<S> {
 
     fn num_servers(&self) -> usize {
         self.queues.len()
+    }
+
+    fn fanout_profitable(&self) -> bool {
+        // Calls block on per-server worker queues, so independent requests
+        // to different servers genuinely proceed in parallel.
+        true
     }
 }
 

@@ -497,6 +497,7 @@ pub struct Wal {
     appends: Arc<Counter>,
     fsyncs: Arc<Counter>,
     group_size: Arc<Counter>,
+    group_solo: Arc<Counter>,
     recovered_txns: Arc<Counter>,
 }
 
@@ -622,6 +623,7 @@ impl Wal {
             appends: registry.counter("wal.appends"),
             fsyncs: registry.counter("wal.fsyncs"),
             group_size: registry.counter("wal.group_size"),
+            group_solo: registry.counter("wal.group_solo"),
             recovered_txns: registry.counter("wal.recovered_txns"),
             dir,
             policy,
@@ -795,6 +797,9 @@ impl Wal {
             std::thread::sleep(window);
         }
         let res = {
+            // Joiner re-check: the segment length is re-read *after* the
+            // window, so every frame appended while the leader slept — by
+            // followers now parked on the condvar — rides this one sync.
             let g = self.inner.lock().unwrap();
             let end = (g.len, g.frames);
             g.file
@@ -809,7 +814,16 @@ impl Wal {
                 if end > s.durable {
                     s.durable = end;
                     self.fsyncs.inc();
-                    self.group_size.add(frames.saturating_sub(s.durable_frames));
+                    let group = frames.saturating_sub(s.durable_frames);
+                    self.group_size.add(group);
+                    if !window.is_zero() && group == 1 {
+                        // The leader re-read the segment length after its
+                        // window (the joiner check above) and still found
+                        // only its own frame: the window bought nothing this
+                        // round.  BENCH_*_LOAD reports use this to show how
+                        // often group commit actually amortises.
+                        self.group_solo.inc();
+                    }
                     s.durable_frames = frames;
                 }
                 Ok(())
