@@ -31,6 +31,7 @@ fn sample_inner(children: usize) -> Node {
         keys,
         children: (0..children as u64).map(|i| 100 + i).collect(),
         height: 1,
+        replicas: vec![],
     })
 }
 

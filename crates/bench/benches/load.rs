@@ -11,8 +11,11 @@
 
 use std::time::Duration;
 
-use yesquel_bench::load::{commit_mix, render_load_report, run_load, LoadResult, LoadSpec};
-use yesquel_common::{NetConfig, RpcBatchConfig, WalFsyncPolicy};
+use yesquel_bench::load::{
+    commit_mix, read_heavy_mix, render_load_report, run_load, LoadResult, LoadSpec,
+};
+use yesquel_common::config::SplitMode;
+use yesquel_common::{DbtConfig, NetConfig, RpcBatchConfig, WalFsyncPolicy};
 use yesquel_rpc::TransportKind;
 
 const WAL_POLICIES: [WalFsyncPolicy; 4] = [
@@ -55,6 +58,24 @@ fn scale_mix() -> Vec<(yesquel_bench::load::OpClass, u32)> {
     ]
 }
 
+/// DBT configuration of the replication sweep.  Both the "on" and the
+/// "off" cells use this — identical delegated maintenance, load splits,
+/// and threshold — so the only swept variable is `replicate_hot_nodes`
+/// itself.  The factor is high enough that a hot node gets a copy on
+/// every server (capped at `servers - 1` at promotion time), and the
+/// low threshold keeps the promotion ramp-up short relative to the
+/// measured cell.
+fn replication_dbt(replicate: bool) -> DbtConfig {
+    DbtConfig {
+        split_mode: SplitMode::Delegated,
+        load_splits: true,
+        load_split_threshold: 200,
+        replica_factor: 7,
+        replicate_hot_nodes: replicate,
+        ..DbtConfig::default()
+    }
+}
+
 fn run_cell(spec: LoadSpec, results: &mut Vec<LoadResult>) {
     let r = run_load(&spec);
     println!("{}", yesquel_bench::load::render_result(&r));
@@ -80,9 +101,24 @@ fn main() {
             spec.rpc_batch = Some(RpcBatchConfig {
                 window_us: 20,
                 max_batch: 8,
+                linger_us: 0,
             });
             run_cell(spec, &mut results);
         }
+        // One replicated cell so the read-any/write-all path runs in CI:
+        // read-heavy traffic on a small hot range with the replication
+        // machinery on.
+        let mut spec = LoadSpec::new(
+            "smoke_replication",
+            2,
+            2,
+            cell.max(Duration::from_millis(80)),
+        );
+        spec.mix = read_heavy_mix();
+        spec.hot_select_range = Some(8);
+        spec.scatter_inserts = true;
+        spec.dbt = Some(replication_dbt(true));
+        run_cell(spec, &mut results);
         maybe_write_report(&results, "smoke run");
         return;
     }
@@ -140,18 +176,87 @@ fn main() {
 
     // Sweep D — batching: many threads hammering two servers whose
     // capacity is service-time bound, with and without the batching
-    // decorator.  A coalesced frame costs one service slot for the whole
-    // group, so batching buys back server capacity under pressure.
+    // decorator, and with the Nagle-style linger on top.  A coalesced
+    // frame costs one service slot for the whole group, so batching buys
+    // back server capacity under pressure; lingering trades leader latency
+    // for fewer solo frames when concurrency trickles.
     for &batch in &[
         None,
         Some(RpcBatchConfig {
             window_us: 100,
             max_batch: 16,
+            linger_us: 0,
+        }),
+        Some(RpcBatchConfig {
+            window_us: 100,
+            max_batch: 16,
+            linger_us: 200,
         }),
     ] {
         let mut spec = LoadSpec::new("batching", 16, 2, cell);
         spec.mix = commit_mix();
         spec.rpc_batch = batch;
+        spec.transport = TransportKind::Threaded {
+            workers_per_server: 1,
+        };
+        spec.net = Some(modelled_net());
+        run_cell(spec, &mut results);
+    }
+
+    // Sweep E — replication: point selects aimed at a SINGLE hot row,
+    // over server count, with hot-node replication on vs off and
+    // everything else — delegated maintenance, load splits, threshold —
+    // held identical.  One row is the case load splits cannot help: a
+    // read-heavy leaf with replication off does load-split, but the hot
+    // row lands in exactly one half, so its heat follows one page down
+    // to a single-cell leaf and stays on one server whose modelled
+    // capacity (2k requests/s) caps read throughput no matter how many
+    // servers exist — the curve is flat.  On, that page is promoted to
+    // a replica set spanning every server and read-any spreads the
+    // fetches, so the curve climbs with server count.  The mix is pure
+    // selects: an insert trickle turns out to drown the signal in
+    // closed-loop conflict-retry stalls (all fresh ids funnel into the
+    // one rightmost leaf — see the mixed pair below, which measures
+    // exactly that cost).
+    for &servers in &[1usize, 2, 4, 8] {
+        for &replication in &[false, true] {
+            let name = if replication {
+                "replication_on"
+            } else {
+                "replication_off"
+            };
+            let mut spec = LoadSpec::new(name, 16, servers, cell);
+            spec.mix = vec![(yesquel_bench::load::OpClass::Select, 100)];
+            spec.hot_select_range = Some(1);
+            spec.dbt = Some(replication_dbt(replication));
+            spec.transport = TransportKind::Threaded {
+                workers_per_server: 1,
+            };
+            spec.net = Some(modelled_net());
+            run_cell(spec, &mut results);
+        }
+    }
+
+    // Sweep E' — the same hot-range read traffic with a 10% trickle of
+    // scattered-id inserts, at a fixed deployment: the honest cost view.
+    // Inserts conflict-retry on the tail leaf and stall the closed loop
+    // in both cells (too few land per heat window to trip a load split);
+    // the on-cell additionally pays write-all fan-out and maintenance
+    // traffic, which widens the conflict window further.  The pair
+    // measures what the insert hotspot costs and what replication adds
+    // on top of it — see the ROADMAP replication section's open items
+    // (demotion, conflict-aware heat) for the remedies this motivates.
+    for &replication in &[false, true] {
+        let name = if replication {
+            "replication_mixed_on"
+        } else {
+            "replication_mixed_off"
+        };
+        let mut spec = LoadSpec::new(name, 16, 4, cell);
+        spec.mix = read_heavy_mix();
+        spec.hot_select_range = Some(8);
+        spec.scatter_inserts = true;
+        spec.dbt = Some(replication_dbt(replication));
         spec.transport = TransportKind::Threaded {
             workers_per_server: 1,
         };
@@ -165,12 +270,13 @@ fn main() {
 fn maybe_write_report(results: &[LoadResult], kind: &str) {
     if let Ok(path) = std::env::var("LOAD_JSON_OUT") {
         let report = render_load_report(
-            "BENCH_8_LOAD",
+            "BENCH_9_LOAD",
             &format!(
                 "Closed-loop multi-threaded load harness ({kind}): ops/sec and \
                  nearest-rank p50/p99/p999 per op class, swept over threads, servers, \
-                 wal_fsync policy, contention, and request batching. One JSON object \
-                 per cell under 'runs'."
+                 wal_fsync policy, contention, request batching (incl. Nagle-style \
+                 linger), and hot-node replication on/off over server count. One JSON \
+                 object per cell under 'runs'."
             ),
             results,
         );

@@ -21,8 +21,9 @@
 //! write-write conflicts (visible as `kv.txn_conflicts` in the report).
 //! Every run reports ops/sec, exact nearest-rank p50/p99/p999 latency per
 //! op class, and the deployment counters that explain the numbers
-//! (fsyncs, group sizes, batched requests, parallel fan-outs).  The
-//! `load` bench binary sweeps these specs and writes `BENCH_8_LOAD.json`.
+//! (fsyncs, group sizes, batched requests, parallel fan-outs, replica
+//! reads and promotions).  The `load` bench binary sweeps these specs and
+//! writes `BENCH_9_LOAD.json`.
 
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -34,7 +35,7 @@ use yesquel::{params, Yesquel};
 use yesquel_common::config::SplitMode;
 use yesquel_common::tempdir::TempDir;
 use yesquel_common::{
-    CommitFanout, NetConfig, ObjectId, RpcBatchConfig, WalFsyncPolicy, YesquelConfig,
+    CommitFanout, DbtConfig, NetConfig, ObjectId, RpcBatchConfig, WalFsyncPolicy, YesquelConfig,
 };
 use yesquel_kv::KvDatabase;
 use yesquel_rpc::TransportKind;
@@ -103,6 +104,14 @@ pub fn commit_mix() -> Vec<(OpClass, u32)> {
     vec![(OpClass::Kv1pc, 60), (OpClass::Kv2pc, 40)]
 }
 
+/// The read-heavy workload used by the replication sweep: dominated by
+/// point selects (which, aimed at a small hot range via
+/// [`LoadSpec::hot_select_range`], all land on one leaf) plus a trickle of
+/// inserts so the write-all path runs under the same load.
+pub fn read_heavy_mix() -> Vec<(OpClass, u32)> {
+    vec![(OpClass::Select, 90), (OpClass::Insert, 10)]
+}
+
 /// One load-harness configuration cell.
 #[derive(Debug, Clone)]
 pub struct LoadSpec {
@@ -133,6 +142,23 @@ pub struct LoadSpec {
     pub commit_fanout: CommitFanout,
     /// Seed for the per-thread operation generators.
     pub seed: u64,
+    /// DBT configuration override.  `None` keeps the harness baseline
+    /// (synchronous splits, load splits and replication off) so cells stay
+    /// comparable across reports; the replication sweep supplies a full
+    /// config here.
+    pub dbt: Option<DbtConfig>,
+    /// When set, point selects draw their ids from `0..n` instead of the
+    /// whole preloaded table — a deliberate read hot spot landing on one
+    /// DBT leaf, the workload hot-node replication exists for.
+    pub hot_select_range: Option<i64>,
+    /// When set, inserted ids are the bit-reversal of the shared counter
+    /// instead of the counter itself: still unique, but spread uniformly
+    /// over the id domain rather than all appending to the rightmost
+    /// leaf.  Sequential append makes concurrent inserts conflict-storm
+    /// on one page (a real hotspot, documented in ROADMAP "Scale-out");
+    /// the replication sweep scatters them so its read-scaling signal is
+    /// not drowned by that separate, already-known collapse.
+    pub scatter_inserts: bool,
 }
 
 impl LoadSpec {
@@ -151,6 +177,9 @@ impl LoadSpec {
             rpc_batch: None,
             commit_fanout: CommitFanout::Auto,
             seed: 0x10ad,
+            dbt: None,
+            hot_select_range: None,
+            scatter_inserts: false,
         }
     }
 
@@ -239,7 +268,7 @@ pub fn latency_summary(samples: &mut [u64]) -> (u64, u64, u64) {
 /// The counters worth reporting alongside throughput: they explain *why*
 /// a cell is fast or slow (fsyncs amortised, requests coalesced, prepares
 /// overlapped, conflicts suffered).
-const REPORT_COUNTERS: [&str; 9] = [
+const REPORT_COUNTERS: [&str; 14] = [
     "wal.appends",
     "wal.fsyncs",
     "wal.group_size",
@@ -249,6 +278,11 @@ const REPORT_COUNTERS: [&str; 9] = [
     "kv.prepare_parallel_fanouts",
     "rpc.batches",
     "rpc.batched_requests",
+    "rpc.batch_linger_waits",
+    "dbt.replica_reads",
+    "dbt.replica_fanout_writes",
+    "dbt.replica_promotions",
+    "dbt.load_splits",
 ];
 
 // KV load objects live in their own tree id, far above anything the SQL
@@ -263,8 +297,17 @@ const SQL_ROWS: i64 = 512;
 /// summarises.
 pub fn run_load(spec: &LoadSpec) -> LoadResult {
     let mut cfg = YesquelConfig::with_servers(spec.servers);
-    cfg.dbt.split_mode = SplitMode::Synchronous;
-    cfg.dbt.load_splits = false;
+    match &spec.dbt {
+        Some(dbt) => cfg.dbt = dbt.clone(),
+        None => {
+            // Baseline: no background tree maintenance, so cells measure the
+            // swept variable and nothing else (and stay comparable with
+            // reports recorded before hot-node replication existed).
+            cfg.dbt.split_mode = SplitMode::Synchronous;
+            cfg.dbt.load_splits = false;
+            cfg.dbt.replicate_hot_nodes = false;
+        }
+    }
     cfg.kv.commit_fanout = spec.commit_fanout;
     cfg.rpc_batch = spec.rpc_batch;
     if let Some(net) = &spec.net {
@@ -417,6 +460,7 @@ fn run_thread(
         errors: [0; 5],
     };
     let mut payload_counter = 0u64;
+    let select_range = spec.hot_select_range.unwrap_or(SQL_ROWS).clamp(1, SQL_ROWS);
 
     while Instant::now() < deadline {
         // Weighted class pick.
@@ -438,7 +482,7 @@ fn run_thread(
         let start = Instant::now();
         let outcome: Result<(), yesquel_common::Error> = match class {
             OpClass::Select => {
-                let id = rng.gen_range(0..SQL_ROWS);
+                let id = rng.gen_range(0..select_range);
                 sel.execute(params![id]).map(|_| ())
             }
             OpClass::Scan => {
@@ -446,7 +490,15 @@ fn run_thread(
                 scan.execute(params![lo, lo + 32]).map(|_| ())
             }
             OpClass::Insert => {
-                let id = insert_next.fetch_add(1, Ordering::Relaxed) as i64;
+                let seq = insert_next.fetch_add(1, Ordering::Relaxed);
+                // Bit-reversal is a bijection, so scattered ids stay
+                // unique; keeping 40 bits keeps them positive i64s far
+                // above the preloaded 0..SQL_ROWS range.
+                let id = if spec.scatter_inserts {
+                    (seq.reverse_bits() >> 24) as i64
+                } else {
+                    seq as i64
+                };
                 ins.execute(params![id, id % 16, 1]).map(|_| ())
             }
             OpClass::Kv1pc => {
@@ -657,6 +709,7 @@ mod tests {
         spec.rpc_batch = Some(RpcBatchConfig {
             window_us: 20,
             max_batch: 8,
+            linger_us: 0,
         });
         spec.commit_fanout = CommitFanout::Parallel;
         let r = run_load(&spec);
@@ -679,5 +732,41 @@ mod tests {
         // never collide in a 20us window), so only sanity-check presence.
         assert!(fanouts > 0, "parallel prepare fan-out never engaged");
         let _ = batched;
+    }
+
+    #[test]
+    fn tiny_replicated_load_run_promotes_hot_leaf() {
+        // Read-heavy closed loop over a deliberate hot range with the
+        // replication machinery on: the hot leaf must get promoted and the
+        // run must finish with consistent answers (errors == 0 for selects).
+        let mut spec = LoadSpec::new("unit_replication", 2, 2, Duration::from_millis(150));
+        spec.mix = read_heavy_mix();
+        spec.hot_select_range = Some(8);
+        spec.dbt = Some(DbtConfig {
+            split_mode: SplitMode::Delegated,
+            load_splits: true,
+            load_split_threshold: 40,
+            replica_factor: 1,
+            ..DbtConfig::default()
+        });
+        let r = run_load(&spec);
+        assert!(r.ops > 0, "closed loop made no progress: {r:?}");
+        let counter = |n: &str| {
+            r.counters
+                .iter()
+                .find(|(name, _)| name == n)
+                .map(|&(_, v)| v)
+                .unwrap()
+        };
+        assert!(
+            counter("dbt.replica_promotions") >= 1,
+            "hot leaf was never promoted: {r:?}"
+        );
+        let selects = r
+            .classes
+            .iter()
+            .find(|c| c.class == OpClass::Select)
+            .unwrap();
+        assert_eq!(selects.errors, 0, "replicated reads must not fail: {r:?}");
     }
 }

@@ -50,6 +50,15 @@ pub struct DbtConfig {
     /// Whether hot nodes may be migrated to the least-loaded server after a
     /// load split.
     pub migrate_hot_nodes: bool,
+    /// Whether nodes the load tracker flags as *read*-hot gain replicas on
+    /// other servers (read-any/write-all).  Write-hot nodes still load-split;
+    /// read-hot nodes replicate instead, so point reads of the hot node
+    /// spread over `replica_factor + 1` servers.  A no-op on single-server
+    /// deployments (there is nowhere to replicate to).
+    pub replicate_hot_nodes: bool,
+    /// Number of replicas a promoted hot node gains, capped at
+    /// `num_servers - 1` at promotion time (one copy per distinct server).
+    pub replica_factor: usize,
     /// Maximum number of search restarts before an operation reports an
     /// internal error (guards against livelock under adversarial staleness).
     pub max_search_restarts: usize,
@@ -66,6 +75,8 @@ impl Default for DbtConfig {
             load_splits: true,
             load_split_threshold: 2000,
             migrate_hot_nodes: true,
+            replicate_hot_nodes: true,
+            replica_factor: 2,
             max_search_restarts: 64,
         }
     }
@@ -90,11 +101,23 @@ impl DbtConfig {
         }
     }
 
-    /// Configuration for the "no load splits" ablation (F4, F8).
+    /// Configuration for the "no load splits" ablation (F4, F8): all
+    /// load-driven reorganisation off — no load splits, no hot-node
+    /// migration, no hot-node replication.
     pub fn ablation_no_load_splits() -> Self {
         DbtConfig {
             load_splits: false,
             migrate_hot_nodes: false,
+            replicate_hot_nodes: false,
+            ..Self::default()
+        }
+    }
+
+    /// Configuration for the "no hot-node replication" ablation: load splits
+    /// stay on, but read-hot nodes are never promoted to replica sets.
+    pub fn ablation_no_replication() -> Self {
+        DbtConfig {
+            replicate_hot_nodes: false,
             ..Self::default()
         }
     }
@@ -311,6 +334,13 @@ pub struct RpcBatchConfig {
     pub window_us: u64,
     /// Maximum number of requests per frame (at least 2).
     pub max_batch: usize,
+    /// Nagle-style cross-call linger: if the collection window closed with
+    /// **no** companions, the leader waits up to this much longer for a
+    /// later call to arrive before shipping solo.  Raises batch occupancy at
+    /// moderate load (where requests just miss each other's windows) at the
+    /// cost of added latency on a genuinely idle connection.  Zero — the
+    /// default — disables the second wait.
+    pub linger_us: u64,
 }
 
 impl Default for RpcBatchConfig {
@@ -318,6 +348,7 @@ impl Default for RpcBatchConfig {
         RpcBatchConfig {
             window_us: 50,
             max_batch: 16,
+            linger_us: 0,
         }
     }
 }
@@ -367,7 +398,10 @@ mod tests {
         assert_ne!(DbtConfig::ablation_no_cache(), d);
         assert_ne!(DbtConfig::ablation_no_back_down(), d);
         assert_ne!(DbtConfig::ablation_no_load_splits(), d);
+        assert_ne!(DbtConfig::ablation_no_replication(), d);
         assert_ne!(DbtConfig::ablation_sync_splits(), d);
+        assert!(!DbtConfig::ablation_no_load_splits().replicate_hot_nodes);
+        assert!(DbtConfig::ablation_no_replication().load_splits);
         assert!(!DbtConfig::ablation_no_cache().cache_inner_nodes);
         assert!(DbtConfig::ablation_no_back_down().cache_inner_nodes);
         assert!(!DbtConfig::ablation_no_back_down().back_down_search);

@@ -307,6 +307,20 @@ impl Txn {
         Ok(())
     }
 
+    /// Buffers a write of the same `value` to every object in `objs` — the
+    /// write-all primitive behind replicated objects.  The payload is shared
+    /// (`Bytes` is reference-counted), so the per-copy cost is one buffered
+    /// entry, and commit fans the copies out through the ordinary 1PC/2PC
+    /// path: either every copy becomes visible or none does.
+    pub fn put_many(&self, objs: impl IntoIterator<Item = ObjectId>, value: Bytes) -> Result<()> {
+        self.check_active()?;
+        let mut writes = self.writes.lock();
+        for obj in objs {
+            writes.insert(obj, Some(value.clone()));
+        }
+        Ok(())
+    }
+
     /// Buffers a deletion of `obj`.
     pub fn delete(&self, obj: ObjectId) -> Result<()> {
         self.check_active()?;

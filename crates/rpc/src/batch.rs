@@ -59,6 +59,10 @@ pub struct BatchingTransport<S: BatchableService> {
     inner: Arc<dyn Transport<S>>,
     queues: Vec<Mutex<ServerQueue<S>>>,
     window: std::time::Duration,
+    /// Nagle-style extra wait: a leader whose window closed with no
+    /// followers re-arms and lingers up to this long for one to arrive
+    /// before shipping solo.  Zero disables lingering.
+    linger: std::time::Duration,
     max_batch: usize,
     /// Frames that carried ≥ 2 logical requests.
     batches: Arc<Counter>,
@@ -66,6 +70,8 @@ pub struct BatchingTransport<S: BatchableService> {
     batched_requests: Arc<Counter>,
     /// Leader rounds that found no companions and sent the request bare.
     solo: Arc<Counter>,
+    /// Leader rounds that lingered past the window hoping for a follower.
+    linger_waits: Arc<Counter>,
 }
 
 impl<S: BatchableService> BatchingTransport<S> {
@@ -87,10 +93,12 @@ impl<S: BatchableService> BatchingTransport<S> {
             inner,
             queues,
             window: std::time::Duration::from_micros(cfg.window_us),
+            linger: std::time::Duration::from_micros(cfg.linger_us),
             max_batch: cfg.max_batch.max(2),
             batches: registry.counter("rpc.batches"),
             batched_requests: registry.counter("rpc.batched_requests"),
             solo: registry.counter("rpc.batch_solo"),
+            linger_waits: registry.counter("rpc.batch_linger_waits"),
         }
     }
 
@@ -184,6 +192,26 @@ impl<S: BatchableService> Transport<S> for BatchingTransport<S> {
         if !self.window.is_zero() {
             std::thread::sleep(self.window);
         }
+        // Nagle-style linger: if the window closed with nobody parked, stay
+        // leader a little longer (polling in slices up to `linger`) rather
+        // than concede immediately to a solo send.  Trades the leader's
+        // latency for fewer frames under trickling concurrency; off by
+        // default (`linger_us = 0`).
+        if !self.linger.is_zero() && queue.lock().parked.is_empty() {
+            self.linger_waits.inc();
+            let deadline = std::time::Instant::now() + self.linger;
+            let slice = (self.linger / 8).max(std::time::Duration::from_micros(5));
+            loop {
+                let now = std::time::Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                std::thread::sleep(slice.min(deadline - now));
+                if !queue.lock().parked.is_empty() {
+                    break;
+                }
+            }
+        }
         let followers = {
             let mut q = queue.lock();
             q.leader_active = false;
@@ -250,6 +278,13 @@ mod tests {
     }
 
     fn deployment(window_us: u64) -> (Arc<BatchingTransport<Echo>>, Arc<Echo>, StatsRegistry) {
+        deployment_linger(window_us, 0)
+    }
+
+    fn deployment_linger(
+        window_us: u64,
+        linger_us: u64,
+    ) -> (Arc<BatchingTransport<Echo>>, Arc<Echo>, StatsRegistry) {
         let reg = StatsRegistry::new();
         let srv = Arc::new(Echo {
             calls: AtomicU64::new(0),
@@ -264,6 +299,7 @@ mod tests {
             RpcBatchConfig {
                 window_us,
                 max_batch: 8,
+                linger_us,
             },
             &reg,
         ));
@@ -310,5 +346,31 @@ mod tests {
     fn unknown_server_propagates_inner_error() {
         let (t, _srv, _reg) = deployment(0);
         assert!(t.call(5, vec![1]).is_err());
+    }
+
+    #[test]
+    fn linger_rescues_a_trickling_follower() {
+        // Window 0 closes empty every time; a generous linger lets a
+        // follower that arrives shortly after still join the frame.
+        let (t, srv, reg) = deployment_linger(0, 20_000);
+        let t2 = Arc::clone(&t);
+        let follower = std::thread::spawn(move || {
+            // Arrive well inside the leader's linger.
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            t2.call(0, vec![7]).unwrap()
+        });
+        assert_eq!(t.call(0, vec![3]).unwrap(), vec![3]);
+        assert_eq!(follower.join().unwrap(), vec![7]);
+        assert!(reg.counter("rpc.batch_linger_waits").get() >= 1);
+        // Both logical requests travelled in one frame.
+        assert_eq!(reg.counter("rpc.batched_requests").get(), 2);
+        assert_eq!(srv.calls.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn zero_linger_never_waits() {
+        let (t, _srv, reg) = deployment(0);
+        t.call(0, vec![1]).unwrap();
+        assert_eq!(reg.counter("rpc.batch_linger_waits").get(), 0);
     }
 }

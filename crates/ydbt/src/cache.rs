@@ -184,6 +184,7 @@ mod tests {
             keys: vec![Bytes::from_static(b"m"); children.len().saturating_sub(1)],
             children,
             height: 1,
+            replicas: vec![],
         };
         InnerView::parse(Bytes::from(Node::Inner(node).encode())).unwrap()
     }

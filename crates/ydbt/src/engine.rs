@@ -2,22 +2,24 @@
 //!
 //! In the paper's architecture every client process links the storage-engine
 //! library; the engine here is that library's state: the key-value client,
-//! the cache of inner nodes, the load tracker, the node-id allocator and
-//! (when splits are delegated) the background splitter task.
+//! the cache of inner nodes, the load tracker, the node-id allocator, the
+//! client's map of known replica sets, and (when splits are delegated or
+//! hot-node replication is enabled) the background maintenance task.
 
 use std::sync::Arc;
 
 use yesquel_common::config::SplitMode;
 use yesquel_common::ids::ROOT_OID;
 use yesquel_common::stats::{Counter, StatsRegistry};
-use yesquel_common::{DbtConfig, Error, ObjectId, Result, TreeId};
+use yesquel_common::{DbtConfig, Error, ObjectId, Oid, Result, TreeId};
 use yesquel_kv::KvClient;
 
 use crate::alloc::OidAllocator;
 use crate::cache::NodeCache;
 use crate::load::LoadTracker;
 use crate::node::{LeafNode, Node};
-use crate::split::{SplitContext, SplitRequest, Splitter};
+use crate::replica::{PlacementTracker, ReplicaMap};
+use crate::split::{MaintRequest, SplitContext, SplitRequest, Splitter};
 use crate::tree::Dbt;
 
 /// Counters bumped on the per-operation hot paths, resolved from the
@@ -34,6 +36,10 @@ pub(crate) struct HotCounters {
     pub(crate) search_restarts: Arc<Counter>,
     pub(crate) back_downs: Arc<Counter>,
     pub(crate) scan_leaf_fetches: Arc<Counter>,
+    /// Reads served by a replica instead of the primary (read-any hits).
+    pub(crate) replica_reads: Arc<Counter>,
+    /// Node writes that fanned out to a replica set (write-all).
+    pub(crate) replica_fanout_writes: Arc<Counter>,
 }
 
 impl HotCounters {
@@ -47,6 +53,8 @@ impl HotCounters {
             search_restarts: stats.counter("dbt.search_restarts"),
             back_downs: stats.counter("dbt.back_downs"),
             scan_leaf_fetches: stats.counter("dbt.scan_leaf_fetches"),
+            replica_reads: stats.counter("dbt.replica_reads"),
+            replica_fanout_writes: stats.counter("dbt.replica_fanout_writes"),
         }
     }
 }
@@ -61,7 +69,14 @@ pub struct DbtEngine {
     alloc: OidAllocator,
     stats: StatsRegistry,
     counters: HotCounters,
+    replicas: Arc<ReplicaMap>,
+    placement: Arc<PlacementTracker>,
+    /// Background maintenance worker (delegated splits and replica
+    /// promotions); absent when neither feature needs it.
     splitter: Option<Splitter>,
+    /// Resolved once: replication needs opt-in, a factor, and more than one
+    /// server to replicate onto.
+    replication_on: bool,
 }
 
 impl DbtEngine {
@@ -71,7 +86,14 @@ impl DbtEngine {
         let cache = Arc::new(NodeCache::new(stats.clone()));
         let load = Arc::new(LoadTracker::new(cfg.load_split_threshold));
         let alloc = OidAllocator::new(kv.clone());
-        let splitter = if cfg.split_mode == SplitMode::Delegated {
+        let replicas = Arc::new(ReplicaMap::new());
+        let placement = Arc::new(PlacementTracker::new());
+        let replication_on =
+            cfg.replicate_hot_nodes && cfg.replica_factor > 0 && kv.num_servers() > 1;
+        // The worker serves delegated splits and replica promotions; spawn
+        // it if either needs it, so synchronous-split engines still promote
+        // hot nodes in the background.
+        let splitter = if cfg.split_mode == SplitMode::Delegated || replication_on {
             Some(Splitter::spawn(SplitContext {
                 kv: kv.clone(),
                 cfg: cfg.clone(),
@@ -79,6 +101,8 @@ impl DbtEngine {
                 load: Arc::clone(&load),
                 alloc: alloc.clone(),
                 stats: stats.clone(),
+                replicas: Arc::clone(&replicas),
+                placement: Arc::clone(&placement),
             }))
         } else {
             None
@@ -91,7 +115,10 @@ impl DbtEngine {
             alloc,
             counters: HotCounters::new(&stats),
             stats,
+            replicas,
+            placement,
             splitter,
+            replication_on,
         })
     }
 
@@ -120,14 +147,29 @@ impl DbtEngine {
         &self.counters
     }
 
-    /// The load tracker used for load splits.
+    /// The load tracker used for load splits and replica promotions.
     pub(crate) fn load(&self) -> &LoadTracker {
         &self.load
+    }
+
+    /// The client's map of known replica sets.
+    pub(crate) fn replicas(&self) -> &ReplicaMap {
+        &self.replicas
+    }
+
+    /// True if hot-node replication is active for this engine.
+    pub(crate) fn replication_enabled(&self) -> bool {
+        self.replication_on
     }
 
     /// Number of inner nodes currently cached (diagnostics).
     pub fn cached_nodes(&self) -> usize {
         self.cache.len()
+    }
+
+    /// Number of nodes whose replica set this client knows (diagnostics).
+    pub fn known_replica_sets(&self) -> usize {
+        self.replicas.len()
     }
 
     /// Drops every cached inner node of `tree`.  The cache is a performance
@@ -169,16 +211,21 @@ impl DbtEngine {
     /// caller's transaction (used by `DROP TABLE`, which also removes the
     /// catalog entry in the same transaction).
     pub fn drop_tree_in_txn(&self, txn: &yesquel_kv::Txn, tree: TreeId) -> Result<()> {
-        // Walk the tree and delete every node.
+        // Walk the tree and delete every node, including replica copies.
         let mut queue = vec![ROOT_OID];
         while let Some(oid) = queue.pop() {
-            match crate::tree::fetch_node(txn, tree, oid)? {
-                Some(Node::Inner(inner)) => queue.extend(inner.children.iter().copied()),
-                Some(Node::Leaf(_)) | None => {}
+            if let Some(node) = crate::tree::fetch_node(txn, tree, oid)? {
+                if let Node::Inner(inner) = &node {
+                    queue.extend(inner.children.iter().copied());
+                }
+                for r in node.replicas() {
+                    txn.delete(ObjectId::new(tree, *r))?;
+                }
             }
             txn.delete(ObjectId::new(tree, oid))?;
         }
         self.cache.invalidate_tree(tree);
+        self.replicas.forget_tree(tree);
         Ok(())
     }
 
@@ -197,29 +244,47 @@ impl DbtEngine {
             load: Arc::clone(&self.load),
             alloc: self.alloc.clone(),
             stats: self.stats.clone(),
+            replicas: Arc::clone(&self.replicas),
+            placement: Arc::clone(&self.placement),
         }
     }
 
-    /// Routes a split request: enqueued to the splitter when delegated
-    /// splitting is active, otherwise ignored (the synchronous path splits
-    /// inline and never calls this).
+    /// Routes a split request: enqueued to the maintenance worker when
+    /// delegated splitting is active, otherwise ignored (the synchronous
+    /// path splits inline and never calls this; the worker may exist purely
+    /// for replication).
     pub(crate) fn request_split(&self, req: SplitRequest) {
+        if self.cfg.split_mode != SplitMode::Delegated {
+            return;
+        }
         if let Some(s) = &self.splitter {
-            s.request(req);
+            s.request(MaintRequest::Split(req));
             self.stats.counter("dbt.split_requests").inc();
         }
     }
 
-    /// Blocks until every queued delegated split has been processed.  Tests
-    /// and benchmark loaders call this to reach a quiescent tree before
-    /// measuring.
+    /// Enqueues a replica promotion of a read-hot node to the maintenance
+    /// worker.
+    pub(crate) fn request_replicate(&self, tree: TreeId, oid: Oid) {
+        if !self.replication_on {
+            return;
+        }
+        if let Some(s) = &self.splitter {
+            s.request(MaintRequest::Replicate { tree, oid });
+            self.stats.counter("dbt.replica_requests").inc();
+        }
+    }
+
+    /// Blocks until every queued maintenance request (delegated splits,
+    /// replica promotions) has been processed.  Tests and benchmark loaders
+    /// call this to reach a quiescent tree before measuring.
     pub fn wait_for_splits(&self) {
         if let Some(s) = &self.splitter {
             s.wait_idle();
         }
     }
 
-    /// Number of delegated splits still queued (diagnostics).
+    /// Number of maintenance requests still queued (diagnostics).
     pub fn pending_splits(&self) -> usize {
         self.splitter
             .as_ref()
@@ -242,11 +307,26 @@ mod tests {
     }
 
     #[test]
-    fn engine_without_delegation_has_no_splitter() {
+    fn engine_without_delegation_or_replication_has_no_worker() {
         let db = KvDatabase::with_servers(1);
+        // Synchronous splits and a single server (replication cannot apply):
+        // no background thread at all.
         let engine = DbtEngine::new(db.client(), DbtConfig::ablation_sync_splits());
+        assert!(!engine.replication_enabled());
         assert_eq!(engine.pending_splits(), 0);
         engine.wait_for_splits(); // no-op
+    }
+
+    #[test]
+    fn replication_gates_on_config_and_cluster_size() {
+        let multi = KvDatabase::with_servers(4);
+        assert!(DbtEngine::new(multi.client(), DbtConfig::default()).replication_enabled());
+        assert!(
+            !DbtEngine::new(multi.client(), DbtConfig::ablation_no_replication())
+                .replication_enabled()
+        );
+        let single = KvDatabase::with_servers(1);
+        assert!(!DbtEngine::new(single.client(), DbtConfig::default()).replication_enabled());
     }
 
     #[test]

@@ -19,9 +19,11 @@
 //!   restarting at the root;
 //! * **delegated splits** — ordinary operations never pay split latency;
 //!   a background task performs splits as separate transactions;
-//! * **load splits and hot-node placement** — nodes are split when they
-//!   become access hot spots and the new node is placed on the least loaded
-//!   server.
+//! * **load splits and hot-node placement** — write-heavy hot nodes are
+//!   split and the new node is placed on the least loaded server;
+//! * **hot-node replica sets** — read-heavy hot nodes are replicated across
+//!   servers (read-any/write-all), spreading read load without multiplying
+//!   write fan-out on cold nodes.
 
 pub mod alloc;
 pub mod cache;
@@ -29,6 +31,7 @@ pub mod engine;
 pub mod iter;
 pub mod load;
 pub mod node;
+pub mod replica;
 pub mod split;
 pub mod tree;
 
@@ -36,6 +39,8 @@ pub use alloc::OidAllocator;
 pub use cache::NodeCache;
 pub use engine::DbtEngine;
 pub use iter::{DbtCursor, RawCursor};
+pub use load::{HotStats, LoadTracker};
 pub use node::{Bound, InnerNode, InnerView, LeafNode, LeafView, Node, NodeView};
+pub use replica::{PlacementTracker, ReplicaMap};
 pub use split::{SplitReason, SplitRequest};
 pub use tree::{prefix_successor, Dbt};

@@ -1,65 +1,174 @@
-//! Access-frequency tracking used to decide load splits.
+//! Access-frequency tracking used to decide load splits and hot-node
+//! replication.
 //!
 //! The paper splits nodes not only when they grow too large but also when
 //! they become access hot spots ("load splits"), and may place the resulting
-//! nodes on lightly-loaded servers.  This module tracks per-leaf access
-//! counts over a sliding window and reports leaves whose traffic exceeds the
-//! configured threshold.
+//! nodes on lightly-loaded servers; read-mostly hot nodes are instead
+//! replicated across servers (read-any/write-all).  This module tracks
+//! per-node read and write counts and reports nodes whose combined traffic
+//! exceeds the configured threshold — the read/write mix at that moment is
+//! what the caller uses to pick between splitting and replicating.
+//!
+//! The tracker is a bounded, decaying map, not an ever-growing ledger:
+//! counts are halved once per *epoch* (a fixed number of recorded accesses)
+//! for every epoch an entry goes untouched, and when the map hits its size
+//! bound a sweep drops entries that have not been touched recently.  A node
+//! that stops being accessed therefore stops being remembered.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 use yesquel_common::{Oid, TreeId};
 
-/// Per-leaf access counters.
+/// Default bound on the number of tracked nodes.
+const DEFAULT_MAX_ENTRIES: usize = 65_536;
+
+/// The read/write tally of a node at the moment it crossed the hot
+/// threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HotStats {
+    /// Reads recorded in the current window.
+    pub reads: u64,
+    /// Writes recorded in the current window.
+    pub writes: u64,
+}
+
+impl HotStats {
+    /// True if the node's traffic is write-heavy (≥ 25% writes): such nodes
+    /// are load-split; read-heavy nodes are replicated instead — replicas
+    /// would only multiply the write fan-out.
+    pub fn write_heavy(&self) -> bool {
+        self.writes * 4 >= self.reads + self.writes
+    }
+}
+
+struct Entry {
+    reads: u64,
+    writes: u64,
+    /// Epoch of the last touch (counts decay for epochs spent untouched).
+    epoch: u64,
+}
+
+/// Per-node access counters: bounded size, epoch-based decay.
 pub struct LoadTracker {
-    counts: Mutex<HashMap<(TreeId, Oid), u64>>,
+    entries: Mutex<HashMap<(TreeId, Oid), Entry>>,
     threshold: u64,
+    max_entries: usize,
+    /// Total accesses recorded; `ops / epoch_len` is the current epoch.
+    ops: AtomicU64,
+    epoch_len: u64,
 }
 
 impl LoadTracker {
-    /// Creates a tracker that flags leaves after `threshold` accesses within
-    /// one window.
+    /// Creates a tracker that flags nodes after `threshold` accesses within
+    /// one window, with default size bound and decay cadence.
     pub fn new(threshold: u64) -> Self {
+        let threshold = threshold.max(1);
+        // One epoch spans enough traffic for several nodes to reach the
+        // threshold, so a steadily-hot node is never decayed below it while
+        // cold entries lose half their count per epoch of silence.
+        let epoch_len = (threshold * 32).max(1024);
+        Self::with_params(threshold, DEFAULT_MAX_ENTRIES, epoch_len)
+    }
+
+    /// Creates a tracker with explicit size bound and epoch length (exposed
+    /// for tests and tuning; `new` picks sensible defaults).
+    pub fn with_params(threshold: u64, max_entries: usize, epoch_len: u64) -> Self {
         LoadTracker {
-            counts: Mutex::new(HashMap::new()),
+            entries: Mutex::new(HashMap::new()),
             threshold: threshold.max(1),
+            max_entries: max_entries.max(1),
+            ops: AtomicU64::new(0),
+            epoch_len: epoch_len.max(1),
         }
     }
 
-    /// Records one access to a leaf and returns true if the leaf has just
-    /// crossed the hot threshold (the counter resets so that the caller only
-    /// acts once per window).
-    pub fn record(&self, tree: TreeId, oid: Oid) -> bool {
-        let mut g = self.counts.lock();
-        let c = g.entry((tree, oid)).or_insert(0);
-        *c += 1;
-        if *c >= self.threshold {
-            *c = 0;
-            true
+    /// Records one access to a node and, if the node has just crossed the
+    /// hot threshold, returns its read/write tally (the counters reset so
+    /// the caller acts once per window).
+    pub fn record(&self, tree: TreeId, oid: Oid, write: bool) -> Option<HotStats> {
+        let epoch = self.ops.fetch_add(1, Ordering::Relaxed) / self.epoch_len;
+        let mut g = self.entries.lock();
+        if !g.contains_key(&(tree, oid)) && g.len() >= self.max_entries {
+            sweep(&mut g, epoch, self.max_entries);
+        }
+        let e = g.entry((tree, oid)).or_insert(Entry {
+            reads: 0,
+            writes: 0,
+            epoch,
+        });
+        if e.epoch < epoch {
+            // Halve the counts once per epoch spent untouched.
+            let age = (epoch - e.epoch).min(63) as u32;
+            e.reads >>= age;
+            e.writes >>= age;
+            e.epoch = epoch;
+        }
+        if write {
+            e.writes += 1;
         } else {
-            false
+            e.reads += 1;
+        }
+        if e.reads + e.writes >= self.threshold {
+            let stats = HotStats {
+                reads: e.reads,
+                writes: e.writes,
+            };
+            e.reads = 0;
+            e.writes = 0;
+            Some(stats)
+        } else {
+            None
         }
     }
 
-    /// Current access count of a leaf within the window (diagnostics).
+    /// Current access count of a node within the window (diagnostics).
     pub fn count(&self, tree: TreeId, oid: Oid) -> u64 {
-        *self.counts.lock().get(&(tree, oid)).unwrap_or(&0)
+        self.entries
+            .lock()
+            .get(&(tree, oid))
+            .map(|e| e.reads + e.writes)
+            .unwrap_or(0)
     }
 
-    /// Forgets a leaf (after it has been split).
+    /// Number of tracked nodes (diagnostics; bounded by the size limit).
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// True if no node is currently tracked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+
+    /// Forgets a node (after it has been split or promoted).
     pub fn forget(&self, tree: TreeId, oid: Oid) {
-        self.counts.lock().remove(&(tree, oid));
+        self.entries.lock().remove(&(tree, oid));
     }
 
     /// Clears the whole window.
     pub fn reset(&self) {
-        self.counts.lock().clear();
+        self.entries.lock().clear();
     }
 
     /// The configured hot threshold.
     pub fn threshold(&self) -> u64 {
         self.threshold
+    }
+}
+
+/// Frees room in a full map: first drop entries untouched for a full epoch,
+/// then (if everything is current) entries from before this epoch, and as a
+/// last resort start the window over.  Correctness never depends on the
+/// contents — this is an access-frequency heuristic.
+fn sweep(g: &mut HashMap<(TreeId, Oid), Entry>, epoch: u64, max_entries: usize) {
+    g.retain(|_, e| e.epoch + 1 >= epoch);
+    if g.len() >= max_entries {
+        g.retain(|_, e| e.epoch >= epoch);
+    }
+    if g.len() >= max_entries {
+        g.clear();
     }
 }
 
@@ -70,21 +179,52 @@ mod tests {
     #[test]
     fn crossing_threshold_fires_once_per_window() {
         let t = LoadTracker::new(3);
-        assert!(!t.record(1, 7));
-        assert!(!t.record(1, 7));
-        assert!(t.record(1, 7));
+        assert!(t.record(1, 7, false).is_none());
+        assert!(t.record(1, 7, false).is_none());
+        let hot = t.record(1, 7, true).expect("third access crosses");
+        assert_eq!(
+            hot,
+            HotStats {
+                reads: 2,
+                writes: 1
+            }
+        );
         // Counter reset: needs three more accesses to fire again.
-        assert!(!t.record(1, 7));
-        assert!(!t.record(1, 7));
-        assert!(t.record(1, 7));
+        assert!(t.record(1, 7, false).is_none());
+        assert!(t.record(1, 7, false).is_none());
+        assert!(t.record(1, 7, false).is_some());
+    }
+
+    #[test]
+    fn write_heavy_classification() {
+        assert!(HotStats {
+            reads: 0,
+            writes: 1
+        }
+        .write_heavy());
+        assert!(HotStats {
+            reads: 3,
+            writes: 1
+        }
+        .write_heavy());
+        assert!(!HotStats {
+            reads: 4,
+            writes: 1
+        }
+        .write_heavy());
+        assert!(!HotStats {
+            reads: 100,
+            writes: 0
+        }
+        .write_heavy());
     }
 
     #[test]
     fn leaves_are_independent() {
         let t = LoadTracker::new(2);
-        assert!(!t.record(1, 1));
-        assert!(!t.record(1, 2));
-        assert!(t.record(1, 1));
+        assert!(t.record(1, 1, false).is_none());
+        assert!(t.record(1, 2, false).is_none());
+        assert!(t.record(1, 1, false).is_some());
         assert_eq!(t.count(1, 2), 1);
         t.forget(1, 2);
         assert_eq!(t.count(1, 2), 0);
@@ -95,7 +235,46 @@ mod tests {
     #[test]
     fn threshold_floor_is_one() {
         let t = LoadTracker::new(0);
-        assert!(t.record(1, 1));
+        assert!(t.record(1, 1, false).is_some());
         assert_eq!(t.threshold(), 1);
+    }
+
+    #[test]
+    fn counts_decay_per_untouched_epoch() {
+        // Epoch length 4: every 4 recorded accesses advance the clock.
+        let t = LoadTracker::with_params(100, 1024, 4);
+        t.record(1, 7, false);
+        t.record(1, 7, false);
+        t.record(1, 7, false);
+        assert_eq!(t.count(1, 7), 3);
+        // 8 accesses elsewhere: two full epochs pass without touching node 7.
+        for i in 0..8 {
+            t.record(1, 100 + i, false);
+        }
+        // Next touch first decays 3 >> 2 = 0, then records itself.
+        t.record(1, 7, false);
+        assert_eq!(t.count(1, 7), 1);
+    }
+
+    #[test]
+    fn size_bound_holds_under_cold_churn() {
+        let t = LoadTracker::with_params(1000, 8, 4);
+        for oid in 0..10_000 {
+            t.record(1, oid, false);
+            assert!(t.len() <= 8, "tracker grew past its bound at oid {oid}");
+        }
+    }
+
+    #[test]
+    fn sweep_keeps_recently_touched_entries() {
+        let t = LoadTracker::with_params(1000, 4, 1_000_000);
+        // All four slots touched this epoch; a fifth key forces a sweep that
+        // cannot evict by staleness, so the window restarts — bounded, and
+        // the new entry is tracked.
+        for oid in 0..5 {
+            t.record(1, oid, false);
+        }
+        assert!(t.len() <= 4);
+        assert_eq!(t.count(1, 4), 1);
     }
 }

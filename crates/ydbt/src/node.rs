@@ -37,8 +37,14 @@
 //!                                     +----------------------------+
 //! ```
 //!
-//! `flags` packs the leaf's has-next bit (bit 0) and the kind of each fence
-//! bound (bits 1–2 lower, bits 3–4 upper: 0 = −∞, 1 = key, 2 = +∞).
+//! `flags` packs the leaf's has-next bit (bit 0), the kind of each fence
+//! bound (bits 1–2 lower, bits 3–4 upper: 0 = −∞, 1 = key, 2 = +∞), and a
+//! has-replicas bit (bit 5).  When bit 5 is set, a **replica set** — a `u8`
+//! count followed by that many `u64` replica oids — sits between the fence
+//! keys and the cell payloads: the node is additionally stored, byte for
+//! byte, under each listed oid (read-any/write-all replication; see
+//! `replica.rs`).  Pages written before replication existed have bit 5
+//! clear and parse unchanged.
 //! Offsets are absolute page offsets; the directory is validated once at
 //! view-construction time (in range, monotonically increasing) and each
 //! cell decode is bounded to its directory slot, so a corrupt page yields
@@ -127,6 +133,7 @@ const LEAF_DIR_START: usize = 14;
 const INNER_CHILDREN_START: usize = 7;
 
 const FLAG_HAS_NEXT: u8 = 0b1;
+const FLAG_HAS_REPLICAS: u8 = 0b10_0000;
 
 fn fence_flags(lower: &Bound, upper: &Bound) -> u8 {
     (lower.kind_bits() << 1) | (upper.kind_bits() << 3)
@@ -240,6 +247,9 @@ pub struct LeafView {
     next: Option<Oid>,
     lower: FenceRef,
     upper: FenceRef,
+    /// Page offset and count of the replica-oid array (0, 0 when absent).
+    rep_start: u32,
+    rep_n: u8,
 }
 
 impl LeafView {
@@ -256,7 +266,7 @@ impl LeafView {
             return Err(Error::Corruption(format!("bad leaf tag 0x{:02x}", buf[0])));
         }
         let flags = buf[1];
-        if flags >> 5 != 0 {
+        if flags >> 6 != 0 {
             return Err(Error::Corruption(format!("bad leaf flags 0x{flags:02x}")));
         }
         let next = if flags & FLAG_HAS_NEXT != 0 {
@@ -274,6 +284,7 @@ impl LeafView {
         let mut r = Reader::new(&buf[dir_end..]);
         let lower = FenceRef::read((flags >> 1) & 0b11, &mut r, dir_end)?;
         let upper = FenceRef::read((flags >> 3) & 0b11, &mut r, dir_end)?;
+        let (rep_start, rep_n) = read_replica_header(flags, &mut r, dir_end)?;
         let cells_start = dir_end + r.pos();
         check_directory(buf, LEAF_DIR_START, n, cells_start)?;
         Ok(LeafView {
@@ -282,7 +293,19 @@ impl LeafView {
             next,
             lower,
             upper,
+            rep_start,
+            rep_n,
         })
+    }
+
+    /// True if the page carries a replica set (cheap flag check).
+    pub fn has_replicas(&self) -> bool {
+        self.rep_n != 0
+    }
+
+    /// The replica oids listed in the page (empty for most nodes).
+    pub fn replicas(&self) -> Vec<Oid> {
+        read_replica_oids(&self.page, self.rep_start, self.rep_n)
     }
 
     /// Number of cells.
@@ -405,8 +428,53 @@ impl LeafView {
             upper: self.upper.to_bound(&self.page),
             cells,
             next: self.next,
+            replicas: self.replicas(),
         })
     }
+}
+
+/// Reads the replica-set header (count + oid array) if `flags` says one is
+/// present, returning the page offset of the oid array and the count.
+fn read_replica_header(flags: u8, r: &mut Reader<'_>, base: usize) -> Result<(u32, u8)> {
+    if flags & FLAG_HAS_REPLICAS == 0 {
+        return Ok((0, 0));
+    }
+    let count = r.u8()?;
+    if count == 0 {
+        return Err(Error::Corruption("replica flag set but count is 0".into()));
+    }
+    let start = base + r.pos();
+    for _ in 0..count {
+        r.u64()?;
+    }
+    Ok((start as u32, count))
+}
+
+/// Writes the replica-set header (count + oid array) if `replicas` is
+/// non-empty.  The count must fit the `u8` header; config caps the replica
+/// factor far below that.
+fn write_replicas(w: &mut Writer, replicas: &[Oid]) {
+    if replicas.is_empty() {
+        return;
+    }
+    assert!(replicas.len() <= u8::MAX as usize, "replica set too large");
+    w.u8(replicas.len() as u8);
+    for oid in replicas {
+        w.u64(*oid);
+    }
+}
+
+/// Decodes the `u64` replica oids at `start` (already bounds-checked at
+/// parse time).
+fn read_replica_oids(page: &[u8], start: u32, n: u8) -> Vec<Oid> {
+    let mut out = Vec::with_capacity(n as usize);
+    for i in 0..n as usize {
+        let at = start as usize + 8 * i;
+        out.push(u64::from_be_bytes(
+            page[at..at + 8].try_into().expect("validated"),
+        ));
+    }
+    out
 }
 
 // ---------------------------------------------------------------------------
@@ -428,6 +496,9 @@ pub struct InnerView {
     dir_start: usize,
     lower: FenceRef,
     upper: FenceRef,
+    /// Page offset and count of the replica-oid array (0, 0 when absent).
+    rep_start: u32,
+    rep_n: u8,
 }
 
 impl InnerView {
@@ -444,7 +515,7 @@ impl InnerView {
             return Err(Error::Corruption(format!("bad inner tag 0x{:02x}", buf[0])));
         }
         let flags = buf[1];
-        if flags >> 5 != 0 || flags & FLAG_HAS_NEXT != 0 {
+        if flags >> 6 != 0 || flags & FLAG_HAS_NEXT != 0 {
             return Err(Error::Corruption(format!("bad inner flags 0x{flags:02x}")));
         }
         let height = buf[2];
@@ -464,6 +535,7 @@ impl InnerView {
         let mut r = Reader::new(&buf[dir_end..]);
         let lower = FenceRef::read((flags >> 1) & 0b11, &mut r, dir_end)?;
         let upper = FenceRef::read((flags >> 3) & 0b11, &mut r, dir_end)?;
+        let (rep_start, rep_n) = read_replica_header(flags, &mut r, dir_end)?;
         let keys_start = dir_end + r.pos();
         check_directory(buf, dir_start, n - 1, keys_start)?;
         Ok(InnerView {
@@ -473,7 +545,19 @@ impl InnerView {
             dir_start,
             lower,
             upper,
+            rep_start,
+            rep_n,
         })
+    }
+
+    /// True if the page carries a replica set (cheap flag check).
+    pub fn has_replicas(&self) -> bool {
+        self.rep_n != 0
+    }
+
+    /// The replica oids listed in the page (empty for most nodes).
+    pub fn replicas(&self) -> Vec<Oid> {
+        read_replica_oids(&self.page, self.rep_start, self.rep_n)
     }
 
     /// Number of children.
@@ -559,6 +643,7 @@ impl InnerView {
             keys,
             children,
             height: self.height,
+            replicas: self.replicas(),
         })
     }
 }
@@ -591,6 +676,22 @@ impl NodeView {
             NodeView::Inner(i) => i.height(),
         }
     }
+
+    /// True if the page carries a replica set (cheap flag check).
+    pub fn has_replicas(&self) -> bool {
+        match self {
+            NodeView::Leaf(l) => l.has_replicas(),
+            NodeView::Inner(i) => i.has_replicas(),
+        }
+    }
+
+    /// The replica oids listed in the page (empty for most nodes).
+    pub fn replicas(&self) -> Vec<Oid> {
+        match self {
+            NodeView::Leaf(l) => l.replicas(),
+            NodeView::Inner(i) => i.replicas(),
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -613,6 +714,8 @@ pub struct LeafNode {
     pub cells: Vec<(Bytes, Bytes)>,
     /// Right sibling, if any.
     pub next: Option<Oid>,
+    /// Oids of the node's replicas (read-any/write-all; empty = unreplicated).
+    pub replicas: Vec<Oid>,
 }
 
 impl LeafNode {
@@ -623,6 +726,7 @@ impl LeafNode {
             upper: Bound::PosInf,
             cells: Vec::new(),
             next: None,
+            replicas: Vec::new(),
         }
     }
 
@@ -704,6 +808,8 @@ pub struct InnerNode {
     pub children: Vec<Oid>,
     /// Height above the leaves (1 = children are leaves).
     pub height: u8,
+    /// Oids of the node's replicas (read-any/write-all; empty = unreplicated).
+    pub replicas: Vec<Oid>,
 }
 
 impl InnerNode {
@@ -794,6 +900,9 @@ impl Node {
                 if l.next.is_some() {
                     flags |= FLAG_HAS_NEXT;
                 }
+                if !l.replicas.is_empty() {
+                    flags |= FLAG_HAS_REPLICAS;
+                }
                 w.u8(flags);
                 w.u64(l.next.unwrap_or(0));
                 w.u32(l.cells.len() as u32);
@@ -807,6 +916,7 @@ impl Node {
                 if let Bound::Key(k) = &l.upper {
                     w.bytes(k);
                 }
+                write_replicas(&mut w, &l.replicas);
                 for (i, (k, v)) in l.cells.iter().enumerate() {
                     let off = w.len() as u32;
                     w.u32_at(dir_pos + 4 * i, off);
@@ -819,7 +929,11 @@ impl Node {
                 let mut w =
                     Writer::with_capacity(INNER_CHILDREN_START + inner.children.len() * 12 + 64);
                 w.u8(INNER_TAG);
-                w.u8(fence_flags(&inner.lower, &inner.upper));
+                let mut flags = fence_flags(&inner.lower, &inner.upper);
+                if !inner.replicas.is_empty() {
+                    flags |= FLAG_HAS_REPLICAS;
+                }
+                w.u8(flags);
                 w.u8(inner.height);
                 w.u32(inner.children.len() as u32);
                 for c in &inner.children {
@@ -835,6 +949,7 @@ impl Node {
                 if let Bound::Key(k) = &inner.upper {
                     w.bytes(k);
                 }
+                write_replicas(&mut w, &inner.replicas);
                 for (j, k) in inner.keys.iter().enumerate() {
                     let off = w.len() as u32;
                     w.u32_at(dir_pos + 4 * j, off);
@@ -842,6 +957,22 @@ impl Node {
                 }
                 w.finish()
             }
+        }
+    }
+
+    /// The node's replica set (shared accessor over both variants).
+    pub fn replicas(&self) -> &[Oid] {
+        match self {
+            Node::Leaf(l) => &l.replicas,
+            Node::Inner(i) => &i.replicas,
+        }
+    }
+
+    /// Mutable access to the node's replica set.
+    pub fn replicas_mut(&mut self) -> &mut Vec<Oid> {
+        match self {
+            Node::Leaf(l) => &mut l.replicas,
+            Node::Inner(i) => &mut i.replicas,
         }
     }
 
@@ -937,6 +1068,7 @@ mod tests {
             keys: vec![k("g"), k("p")],
             children: vec![10, 20, 30],
             height: 1,
+            replicas: vec![],
         };
         assert_eq!(inner.child_for(b"a"), 10);
         assert_eq!(inner.child_for(b"f"), 10);
@@ -955,6 +1087,7 @@ mod tests {
             keys: vec![k("m")],
             children: vec![1, 2],
             height: 1,
+            replicas: vec![],
         };
         // Child 0 splits at "f": new right half gets oid 3.
         inner.insert_child_after(0, k("f"), 3);
@@ -972,6 +1105,7 @@ mod tests {
             upper: Bound::PosInf,
             cells: vec![(k("b"), v("vb")), (k("c"), v("vc"))],
             next: Some(42),
+            replicas: vec![],
         });
         let buf = leaf.encode();
         assert_eq!(Node::decode(&buf).unwrap(), leaf);
@@ -982,6 +1116,7 @@ mod tests {
             keys: vec![k("g")],
             children: vec![7, 9],
             height: 3,
+            replicas: vec![],
         });
         let buf = inner.encode();
         assert_eq!(Node::decode(&buf).unwrap(), inner);
@@ -998,6 +1133,7 @@ mod tests {
             upper: Bound::Key(k("c999")),
             cells: Vec::new(),
             next: Some(77),
+            replicas: vec![],
         };
         for i in 0..64 {
             l.insert_cell(format!("c{:03}", i * 3).as_bytes(), v("val"));
@@ -1039,6 +1175,7 @@ mod tests {
             upper: Bound::PosInf,
             cells: vec![(k("b"), v("value-b")), (k("c"), v("value-c"))],
             next: None,
+            replicas: vec![],
         };
         let buf = Bytes::from(Node::Leaf(leaf).encode());
         let view = LeafView::parse(buf.clone()).unwrap();
@@ -1074,6 +1211,7 @@ mod tests {
                 .collect::<Vec<_>>(),
             children: (0..64u64).map(|i| 100 + i).collect(),
             height: 2,
+            replicas: vec![],
         };
         let view = inner_view(&inner);
         assert_eq!(view.len(), 64);
@@ -1103,6 +1241,7 @@ mod tests {
             keys: vec![k("separator-g"), k("separator-p")],
             children: vec![7, 9, 11],
             height: 1,
+            replicas: vec![],
         };
         let buf = Bytes::from(Node::Inner(inner).encode());
         let Node::Inner(i) = Node::decode_shared(&buf).unwrap() else {
@@ -1130,6 +1269,7 @@ mod tests {
                 keys: vec![k("m")],
                 children: vec![1, 2],
                 height: 4,
+                replicas: vec![],
             })
             .encode(),
         );
@@ -1149,6 +1289,7 @@ mod tests {
             upper: Bound::Key(k("zz")),
             cells: vec![(k("a"), v("1")), (k("b"), v("2"))],
             next: Some(9),
+            replicas: vec![],
         })
         .encode();
         for cut in 0..good.len() {
@@ -1164,6 +1305,7 @@ mod tests {
             upper: Bound::PosInf,
             cells: vec![(k("a"), v("1")), (k("b"), v("2"))],
             next: None,
+            replicas: vec![],
         })
         .encode();
         // Directory entry 0 lives at LEAF_DIR_START; point it past the page.
@@ -1193,6 +1335,7 @@ mod tests {
             upper: Bound::PosInf,
             cells: vec![(k("aaaa"), v("1111")), (k("bbbb"), v("2222"))],
             next: None,
+            replicas: vec![],
         })
         .encode();
         let off0 = u32::from_be_bytes(good[LEAF_DIR_START..LEAF_DIR_START + 4].try_into().unwrap());
@@ -1200,6 +1343,53 @@ mod tests {
         bad[LEAF_DIR_START + 4..LEAF_DIR_START + 8].copy_from_slice(&(off0 + 1).to_be_bytes());
         let view = LeafView::parse(Bytes::from(bad)).unwrap();
         assert!(view.cell(0).is_err(), "overlapping cell decoded");
+    }
+
+    #[test]
+    fn replica_set_roundtrips_and_stays_pay_as_you_go() {
+        // A leaf with replicas roundtrips through encode/parse, the view
+        // reports the set without materialising, and probes still work with
+        // the replica header between the fences and the cells.
+        let leaf = LeafNode {
+            lower: Bound::Key(k("b")),
+            upper: Bound::Key(k("x")),
+            cells: vec![(k("b"), v("vb")), (k("c"), v("vc"))],
+            next: Some(42),
+            replicas: vec![900, 901, 902],
+        };
+        let view = leaf_view(&leaf);
+        assert!(view.has_replicas());
+        assert_eq!(view.replicas(), vec![900, 901, 902]);
+        assert_eq!(view.find(b"c").unwrap().as_deref(), Some(&b"vc"[..]));
+        assert_eq!(
+            Node::decode(&Node::Leaf(leaf.clone()).encode()).unwrap(),
+            Node::Leaf(leaf)
+        );
+
+        let inner = InnerNode {
+            lower: Bound::NegInf,
+            upper: Bound::PosInf,
+            keys: vec![k("m")],
+            children: vec![1, 2],
+            height: 1,
+            replicas: vec![700],
+        };
+        let view = inner_view(&inner);
+        assert!(view.has_replicas());
+        assert_eq!(view.replicas(), vec![700]);
+        assert_eq!(view.child_for(b"z").unwrap(), 2);
+        assert_eq!(
+            Node::decode(&Node::Inner(inner.clone()).encode()).unwrap(),
+            Node::Inner(inner)
+        );
+
+        // Unreplicated pages do not pay a byte for the feature, and a page
+        // with the flag set but a zero count is rejected as corrupt.
+        let plain = Node::Leaf(LeafNode::empty_root()).encode();
+        assert_eq!(plain[1] & 0b10_0000, 0);
+        let mut bad = plain;
+        bad[1] |= 0b10_0000;
+        assert!(LeafView::parse(Bytes::from(bad)).is_err());
     }
 
     #[test]

@@ -38,6 +38,7 @@ use crate::alloc::OidAllocator;
 use crate::cache::NodeCache;
 use crate::load::LoadTracker;
 use crate::node::{Bound, InnerNode, LeafNode, Node};
+use crate::replica::{execute_replication, put_node_all, PlacementTracker, ReplicaMap};
 use crate::tree::fetch_node;
 
 /// Why a split was requested.
@@ -70,21 +71,23 @@ pub(crate) struct SplitContext {
     pub(crate) load: Arc<LoadTracker>,
     pub(crate) alloc: OidAllocator,
     pub(crate) stats: StatsRegistry,
+    pub(crate) replicas: Arc<ReplicaMap>,
+    pub(crate) placement: Arc<PlacementTracker>,
 }
 
 impl SplitContext {
     /// Chooses the least-loaded server as the placement target for the new
-    /// node of a load split, if hot-node migration is enabled.
+    /// node of a load split, if hot-node migration is enabled.  "Least
+    /// loaded" is judged over the window since the previous placement
+    /// decision (see [`PlacementTracker`]), not over cumulative totals,
+    /// which would forever favour whichever server started latest.
     fn pick_target_server(&self) -> Option<ServerId> {
         if !self.cfg.migrate_hot_nodes {
             return None;
         }
         let n = self.kv.num_servers();
-        (0..n).min_by_key(|i| {
-            self.stats
-                .counter(&format!("rpc.server.{i}.requests"))
-                .get()
-        })
+        let loads = self.placement.snapshot(&self.stats, n);
+        (0..n).min_by_key(|i| loads[*i])
     }
 
     /// Allocates the object id for the new (right) half of a split.
@@ -113,8 +116,20 @@ pub(crate) fn split_node_in_txn(
     reason: SplitReason,
 ) -> Result<()> {
     let oid = path[idx];
-    let node = fetch_node(txn, tree, oid)?
+    let mut node = fetch_node(txn, tree, oid)?
         .ok_or_else(|| Error::Internal(format!("node {tree}:{oid} vanished during split")))?;
+    // A split retires the node's replica set: the halves cover different key
+    // ranges, so the old copies are meaningless.  Delete the replica objects
+    // in the same transaction (atomic with the split) and let the halves
+    // start unreplicated — if they stay hot, the load tracker re-promotes
+    // them.
+    if !node.replicas().is_empty() {
+        for r in node.replicas() {
+            txn.delete(ObjectId::new(tree, *r))?;
+        }
+        node.replicas_mut().clear();
+        ctx.replicas.forget(tree, oid);
+    }
     match node {
         Node::Leaf(mut leaf) => {
             if leaf.len() < 2 {
@@ -136,6 +151,7 @@ pub(crate) fn split_node_in_txn(
                 upper: leaf.upper.clone(),
                 cells: right_cells,
                 next: leaf.next,
+                replicas: Vec::new(),
             };
             leaf.upper = Bound::Key(split_key.clone());
             leaf.next = Some(new_oid);
@@ -175,6 +191,7 @@ pub(crate) fn split_node_in_txn(
                 keys: right_keys,
                 children: right_children,
                 height: inner.height,
+                replicas: Vec::new(),
             };
             inner.upper = Bound::Key(split_key.clone());
             finish_split(
@@ -231,6 +248,7 @@ fn finish_split(
             keys: vec![split_key],
             children: vec![new_left_oid, right_oid],
             height,
+            replicas: Vec::new(),
         };
         txn.put(ObjectId::new(tree, new_left_oid), left.encode())?;
         txn.put(ObjectId::new(tree, right_oid), right.encode())?;
@@ -263,9 +281,14 @@ fn finish_split(
         })?;
     parent.insert_child_after(child_pos, split_key, right_oid);
     let parent_len = parent.len();
-    txn.put(
-        ObjectId::new(tree, parent_oid),
-        Node::Inner(parent).encode(),
+    // The parent keeps its replica set across the child split, so its
+    // rewrite must fan out to every copy (write-all).
+    put_node_all(
+        txn,
+        tree,
+        parent_oid,
+        &Node::Inner(parent),
+        &ctx.stats.counter("dbt.replica_fanout_writes"),
     )?;
     ctx.cache.invalidate(tree, parent_oid);
     ctx.load.forget(tree, left_oid);
@@ -342,6 +365,13 @@ pub(crate) fn execute_delegated_split(ctx: &SplitContext, req: &SplitRequest) ->
         match txn.commit() {
             Ok(_) => {
                 ctx.load.forget(req.tree, req.oid);
+                // Splits are the signal that this tree sees real traffic:
+                // (re-)establish the root's replica set if replication is on
+                // ("root and upper inner nodes replicate by default").  A
+                // root split just dropped the old root replicas, and on a
+                // tree's first split this is what bootstraps them.  No-op if
+                // the root already has its full factor.
+                let _ = execute_replication(ctx, req.tree, ROOT_OID);
                 return Ok(true);
             }
             Err(e) if e.is_retryable() && attempt + 1 < ATTEMPTS => {
@@ -358,31 +388,72 @@ pub(crate) fn execute_delegated_split(ctx: &SplitContext, req: &SplitRequest) ->
     Ok(false)
 }
 
-/// Handle to the background splitter task.
+/// Kind of maintenance work, used to deduplicate the queue per node: a
+/// pending split of a node must not suppress a replication request for it
+/// (or vice versa).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum MaintKind {
+    Split,
+    Replicate,
+}
+
+/// A unit of background tree maintenance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum MaintRequest {
+    /// Split an over-full or write-hot node.
+    Split(SplitRequest),
+    /// Promote a read-hot node to a replica set.
+    Replicate { tree: TreeId, oid: Oid },
+}
+
+impl MaintRequest {
+    fn dedup_key(&self) -> (TreeId, Oid, MaintKind) {
+        match self {
+            MaintRequest::Split(s) => (s.tree, s.oid, MaintKind::Split),
+            MaintRequest::Replicate { tree, oid } => (*tree, *oid, MaintKind::Replicate),
+        }
+    }
+}
+
+/// Handle to the background maintenance task (historically the "splitter";
+/// it now also executes replica promotions).
 pub(crate) struct Splitter {
-    tx: Option<Sender<SplitRequest>>,
-    pending: Arc<Mutex<HashSet<(TreeId, Oid)>>>,
+    tx: Option<Sender<MaintRequest>>,
+    pending: Arc<Mutex<HashSet<(TreeId, Oid, MaintKind)>>>,
     handle: Option<JoinHandle<()>>,
 }
 
 impl Splitter {
-    /// Spawns the splitter thread.
+    /// Spawns the maintenance thread.
     pub(crate) fn spawn(ctx: SplitContext) -> Splitter {
-        let (tx, rx) = unbounded::<SplitRequest>();
-        let pending: Arc<Mutex<HashSet<(TreeId, Oid)>>> = Arc::new(Mutex::new(HashSet::new()));
+        let (tx, rx) = unbounded::<MaintRequest>();
+        let pending: Arc<Mutex<HashSet<(TreeId, Oid, MaintKind)>>> =
+            Arc::new(Mutex::new(HashSet::new()));
         let pending_worker = Arc::clone(&pending);
         let handle = std::thread::Builder::new()
             .name("ydbt-splitter".to_string())
             .spawn(move || {
                 while let Ok(req) = rx.recv() {
-                    // Failures are recorded but must not kill the splitter:
-                    // a failed split leaves an over-full node that a later
-                    // request (or the next insert) will pick up again.
-                    if let Err(e) = execute_delegated_split(&ctx, &req) {
-                        ctx.stats.counter("dbt.split_errors").inc();
-                        let _ = e;
+                    // Failures are recorded but must not kill the worker: a
+                    // failed split leaves an over-full node that a later
+                    // request (or the next insert) will pick up again, and a
+                    // failed promotion leaves the node unreplicated — hot
+                    // traffic will flag it again.
+                    match &req {
+                        MaintRequest::Split(split) => {
+                            if let Err(e) = execute_delegated_split(&ctx, split) {
+                                ctx.stats.counter("dbt.split_errors").inc();
+                                let _ = e;
+                            }
+                        }
+                        MaintRequest::Replicate { tree, oid } => {
+                            if let Err(e) = execute_replication(&ctx, *tree, *oid) {
+                                ctx.stats.counter("dbt.replica_errors").inc();
+                                let _ = e;
+                            }
+                        }
                     }
-                    pending_worker.lock().remove(&(req.tree, req.oid));
+                    pending_worker.lock().remove(&req.dedup_key());
                 }
             })
             .expect("failed to spawn splitter thread");
@@ -393,13 +464,14 @@ impl Splitter {
         }
     }
 
-    /// Enqueues a split request, deduplicating per node.
-    pub(crate) fn request(&self, req: SplitRequest) {
+    /// Enqueues a maintenance request, deduplicating per node and kind.
+    pub(crate) fn request(&self, req: MaintRequest) {
         let mut pending = self.pending.lock();
-        if pending.insert((req.tree, req.oid)) {
+        let key = req.dedup_key();
+        if pending.insert(key) {
             if let Some(tx) = &self.tx {
                 if tx.send(req).is_err() {
-                    pending.remove(&(req.tree, req.oid));
+                    pending.remove(&key);
                 }
             }
         }

@@ -47,6 +47,7 @@ use yesquel_kv::Txn;
 use crate::engine::DbtEngine;
 use crate::iter::{DbtCursor, RawCursor};
 use crate::node::{LeafNode, LeafView, Node, NodeView};
+use crate::replica::put_node_all;
 use crate::split::{split_node_in_txn, SplitReason, SplitRequest};
 
 /// Upper bound on the depth of any search path; also the cycle guard for
@@ -147,6 +148,38 @@ impl Dbt {
         &self.engine
     }
 
+    /// Fetches a node for reading, **read-any** style: if the client knows
+    /// the node has replicas, it rotates over primary and replicas so read
+    /// load spreads across their servers.  A replica with no version at this
+    /// snapshot (the set changed, or the promotion postdates the snapshot)
+    /// falls back to the primary — under snapshot isolation a replica is
+    /// otherwise byte-identical to the primary (see [`crate::replica`]), so
+    /// the fallback is the only correctness hook the read path needs.
+    fn fetch_view_any(&self, txn: &Txn, oid: Oid) -> Result<Option<NodeView>> {
+        let counters = self.engine.counters();
+        let replicas = self.engine.replicas();
+        if let Some(roid) = replicas.choose(self.tree, oid) {
+            counters.node_fetches.inc();
+            if let Some(view) = fetch_view(txn, self.tree, roid)? {
+                counters.replica_reads.inc();
+                return Ok(Some(view));
+            }
+            replicas.forget(self.tree, oid);
+        }
+        counters.node_fetches.inc();
+        let view = fetch_view(txn, self.tree, oid)?;
+        // Keep the client's replica map in sync with what the primary page
+        // says (pages are where replica sets live; the map is just a hint).
+        if let Some(v) = &view {
+            if v.has_replicas() {
+                replicas.learn(self.tree, oid, &v.replicas());
+            } else {
+                replicas.forget(self.tree, oid);
+            }
+        }
+        Ok(view)
+    }
+
     /// Finds the leaf responsible for `key` at the transaction's snapshot.
     pub(crate) fn find_leaf(&self, txn: &Txn, key: &[u8]) -> Result<LeafRef> {
         let cfg = self.engine.config();
@@ -182,8 +215,7 @@ impl Dbt {
         let mut restarts = 0usize;
         loop {
             let oid = path[idx];
-            counters.node_fetches.inc();
-            let fetched = fetch_view(txn, self.tree, oid)?;
+            let fetched = self.fetch_view_any(txn, oid)?;
             match fetched {
                 Some(NodeView::Leaf(leaf)) if leaf.fence_contains(key) => {
                     path.truncate(idx + 1);
@@ -196,6 +228,10 @@ impl Dbt {
                         // (a refcount bump) instead of re-fetching.
                         cache.put(self.tree, oid, inner);
                     }
+                    // An inner node that had to be fetched is read traffic
+                    // on its server; hot inner nodes (the root above all)
+                    // are what replication exists to relieve.
+                    self.track_inner_access(oid);
                     path.truncate(idx + 1);
                     path.push(child);
                     idx += 1;
@@ -246,19 +282,46 @@ impl Dbt {
         Ok((lr.path, leaf))
     }
 
-    /// Records an access to a leaf for load-split tracking and requests a
-    /// load split if the leaf just became hot.
-    fn track_access(&self, oid: Oid, leaf_len: usize) {
+    /// Records an access to a leaf and routes the node to the right remedy
+    /// if it just became hot: **write-heavy** hot leaves are load-split
+    /// (spreading the key range over servers), **read-heavy** hot leaves are
+    /// replicated (spreading the read traffic over copies) when replication
+    /// is enabled — replicating a write-heavy node would only multiply its
+    /// write fan-out, and splitting a read-heavy node leaves each half's
+    /// server as loaded as before when the hot set is small.
+    fn track_access(&self, oid: Oid, leaf_len: usize, write: bool) {
         let cfg = self.engine.config();
-        if !cfg.load_splits {
+        let replication = self.engine.replication_enabled();
+        if !cfg.load_splits && !replication {
             return;
         }
-        if self.engine.load().record(self.tree, oid) && leaf_len >= 2 {
+        let Some(hot) = self.engine.load().record(self.tree, oid, write) else {
+            return;
+        };
+        if replication && !hot.write_heavy() {
+            self.engine.request_replicate(self.tree, oid);
+        } else if cfg.load_splits && leaf_len >= 2 {
             self.engine.request_split(SplitRequest {
                 tree: self.tree,
                 oid,
                 reason: SplitReason::Load,
             });
+        }
+    }
+
+    /// Records a fetch of an inner node; a read-hot inner node (the upper
+    /// levels of the tree, when caches are cold or churning) is promoted to
+    /// a replica set.  Inner nodes are never load-split from here — their
+    /// routing load follows their children's, which splitting does not
+    /// change.
+    fn track_inner_access(&self, oid: Oid) {
+        if !self.engine.replication_enabled() {
+            return;
+        }
+        if let Some(hot) = self.engine.load().record(self.tree, oid, false) {
+            if !hot.write_heavy() {
+                self.engine.request_replicate(self.tree, oid);
+            }
         }
     }
 
@@ -272,7 +335,7 @@ impl Dbt {
     pub fn lookup(&self, txn: &Txn, key: &[u8]) -> Result<Option<Bytes>> {
         self.engine.counters().lookups.inc();
         let lr = self.find_leaf(txn, key)?;
-        self.track_access(lr.oid(), lr.leaf.len());
+        self.track_access(lr.oid(), lr.leaf.len(), false);
         lr.leaf.find(key)
     }
 
@@ -284,11 +347,15 @@ impl Dbt {
         let leaf_oid = *path.last().expect("path never empty");
         let replaced = leaf.insert_cell(key, Bytes::copy_from_slice(value));
         let new_len = leaf.len();
-        txn.put(
-            ObjectId::new(self.tree, leaf_oid),
-            Node::Leaf(leaf).encode(),
+        // Write-all: a replicated leaf's rewrite covers every copy.
+        put_node_all(
+            txn,
+            self.tree,
+            leaf_oid,
+            &Node::Leaf(leaf),
+            &self.engine.counters().replica_fanout_writes,
         )?;
-        self.track_access(leaf_oid, new_len);
+        self.track_access(leaf_oid, new_len, true);
 
         if new_len > self.engine.config().leaf_max_cells {
             match self.engine.config().split_mode {
@@ -317,17 +384,20 @@ impl Dbt {
         // Probe the view first: a miss (the common case for blind deletes)
         // never materialises or rewrites the leaf.
         if lr.leaf.find(key)?.is_none() {
-            self.track_access(leaf_oid, lr.leaf.len());
+            self.track_access(leaf_oid, lr.leaf.len(), false);
             return Ok(false);
         }
         let mut leaf = lr.leaf.to_leaf_node()?;
         leaf.remove_cell(key);
         let len = leaf.len();
-        txn.put(
-            ObjectId::new(self.tree, leaf_oid),
-            Node::Leaf(leaf).encode(),
+        put_node_all(
+            txn,
+            self.tree,
+            leaf_oid,
+            &Node::Leaf(leaf),
+            &self.engine.counters().replica_fanout_writes,
         )?;
-        self.track_access(leaf_oid, len);
+        self.track_access(leaf_oid, len, true);
         Ok(true)
     }
 
@@ -822,6 +892,9 @@ mod tests {
             load_splits: true,
             load_split_threshold: 50,
             split_mode: SplitMode::Delegated,
+            // This test is about load *splits*; with replication on, the
+            // read-heavy hammering below would promote the leaf instead.
+            replicate_hot_nodes: false,
             ..DbtConfig::default()
         };
         let (db, engine, dbt) = setup(4, cfg);
@@ -848,6 +921,162 @@ mod tests {
         // Data is intact afterwards.
         let txn = db.client().begin();
         assert_eq!(dbt.count(&txn).unwrap(), 16);
+        txn.commit().unwrap();
+    }
+
+    /// Configuration under which a hammered leaf promotes quickly.  The
+    /// threshold is high enough that the 16 setup inserts do not tip the
+    /// first hot window into the write-heavy (split) classification.
+    fn replication_cfg() -> DbtConfig {
+        DbtConfig {
+            leaf_max_cells: 64,
+            load_splits: true,
+            load_split_threshold: 100,
+            split_mode: SplitMode::Delegated,
+            replica_factor: 2,
+            ..DbtConfig::default()
+        }
+    }
+
+    #[test]
+    fn read_hot_leaf_promotes_and_reads_spread_to_replicas() {
+        let (db, engine, dbt) = setup(4, replication_cfg());
+        let txn = db.client().begin();
+        for i in 0..16u64 {
+            dbt.insert(&txn, &key(i), b"v").unwrap();
+        }
+        txn.commit().unwrap();
+
+        // Read-hammer a small range: the leaf must be *replicated*, not
+        // load-split (its traffic is read-heavy).
+        for _ in 0..60 {
+            let txn = db.client().begin();
+            for i in 0..4u64 {
+                assert!(dbt.lookup(&txn, &key(i)).unwrap().is_some());
+            }
+            txn.commit().unwrap();
+        }
+        engine.wait_for_splits();
+        assert!(
+            db.stats().counter("dbt.replica_promotions").get() >= 1,
+            "hot leaf should have been promoted: {}",
+            db.stats().render_counters()
+        );
+        assert_eq!(
+            db.stats().counter("dbt.load_splits").get(),
+            0,
+            "read-heavy traffic must replicate, not split"
+        );
+
+        // Further reads rotate over the copies and stay correct.
+        let before = db.stats().counter("dbt.replica_reads").get();
+        for _ in 0..10 {
+            let txn = db.client().begin();
+            for i in 0..16u64 {
+                assert!(dbt.lookup(&txn, &key(i)).unwrap().is_some());
+            }
+            txn.commit().unwrap();
+        }
+        assert!(
+            db.stats().counter("dbt.replica_reads").get() > before,
+            "read-any should serve some reads from replicas"
+        );
+    }
+
+    #[test]
+    fn writes_fan_out_and_replicas_stay_byte_identical() {
+        let (db, engine, dbt) = setup(4, replication_cfg());
+        let client = db.client();
+        let txn = client.begin();
+        for i in 0..16u64 {
+            dbt.insert(&txn, &key(i), b"v").unwrap();
+        }
+        txn.commit().unwrap();
+        for _ in 0..60 {
+            let txn = client.begin();
+            for i in 0..4u64 {
+                dbt.lookup(&txn, &key(i)).unwrap();
+            }
+            txn.commit().unwrap();
+        }
+        engine.wait_for_splits();
+        assert!(db.stats().counter("dbt.replica_promotions").get() >= 1);
+
+        // Writes to the replicated leaf fan out to every copy.
+        for i in 0..8u64 {
+            client
+                .run_txn(|txn| dbt.insert(txn, &key(i), b"updated"))
+                .unwrap();
+        }
+        assert!(db.stats().counter("dbt.replica_fanout_writes").get() >= 1);
+
+        // Every replica listed by any reachable node is byte-identical to
+        // its primary at a fresh snapshot.
+        let txn = client.begin();
+        let mut queue = vec![ROOT_OID];
+        let mut replicated_nodes = 0;
+        while let Some(oid) = queue.pop() {
+            let primary = txn.get(ObjectId::new(1, oid)).unwrap().expect("node");
+            let node = Node::decode_shared(&primary).unwrap();
+            if let Node::Inner(inner) = &node {
+                queue.extend(inner.children.iter().copied());
+            }
+            for r in node.replicas() {
+                replicated_nodes += 1;
+                let copy = txn.get(ObjectId::new(1, *r)).unwrap().expect("replica");
+                assert_eq!(primary, copy, "replica {r} of node {oid} diverged");
+            }
+        }
+        assert!(replicated_nodes >= 1);
+        for i in 0..8u64 {
+            assert_eq!(
+                dbt.lookup(&txn, &key(i)).unwrap().as_deref(),
+                Some(&b"updated"[..])
+            );
+        }
+        txn.commit().unwrap();
+    }
+
+    #[test]
+    fn splitting_a_replicated_leaf_drops_its_replicas() {
+        let (db, engine, dbt) = setup(4, replication_cfg());
+        let client = db.client();
+        let txn = client.begin();
+        for i in 0..16u64 {
+            dbt.insert(&txn, &key(i), b"v").unwrap();
+        }
+        txn.commit().unwrap();
+        for _ in 0..60 {
+            let txn = client.begin();
+            for i in 0..16u64 {
+                dbt.lookup(&txn, &key(i)).unwrap();
+            }
+            txn.commit().unwrap();
+        }
+        engine.wait_for_splits();
+        assert!(db.stats().counter("dbt.replica_promotions").get() >= 1);
+        let txn = client.begin();
+        let lr = dbt.find_leaf(&txn, &key(0)).unwrap();
+        let old_replicas = lr.leaf.replicas();
+        txn.abort();
+        assert!(!old_replicas.is_empty(), "leaf should be replicated");
+
+        // Grow the leaf past its size bound so it splits.
+        for i in 100..200u64 {
+            client
+                .run_txn(|txn| dbt.insert(txn, &key(i), b"x"))
+                .unwrap();
+        }
+        engine.wait_for_splits();
+        let txn = client.begin();
+        // The old replica objects are gone at a fresh snapshot.
+        for r in &old_replicas {
+            assert!(
+                txn.get(ObjectId::new(1, *r)).unwrap().is_none(),
+                "stale replica {r} survived the split"
+            );
+        }
+        assert_eq!(dbt.count(&txn).unwrap(), 116);
         txn.commit().unwrap();
     }
 

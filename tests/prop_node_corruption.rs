@@ -22,6 +22,7 @@ fn sample_leaves() -> Vec<LeafNode> {
         upper: Bound::key(b"k999"),
         cells: Vec::new(),
         next: Some(4242),
+        replicas: vec![11, 12],
     };
     for i in 0..64 {
         many.insert_cell(
@@ -36,6 +37,7 @@ fn sample_leaves() -> Vec<LeafNode> {
             upper: Bound::PosInf,
             cells: vec![(Bytes::from_static(b""), Bytes::from_static(b""))],
             next: None,
+            replicas: vec![],
         },
         LeafNode {
             lower: Bound::key(b"a"),
@@ -46,6 +48,7 @@ fn sample_leaves() -> Vec<LeafNode> {
                 (Bytes::from_static(b"c"), Bytes::from_static(b"333")),
             ],
             next: Some(7),
+            replicas: vec![],
         },
         many,
     ]
@@ -59,6 +62,7 @@ fn sample_inners() -> Vec<InnerNode> {
             keys: Vec::new(),
             children: vec![9],
             height: 1,
+            replicas: vec![],
         },
         InnerNode {
             lower: Bound::key(b"g"),
@@ -66,6 +70,7 @@ fn sample_inners() -> Vec<InnerNode> {
             keys: vec![Bytes::from_static(b"m")],
             children: vec![1, 2],
             height: 3,
+            replicas: vec![77],
         },
         InnerNode {
             lower: Bound::NegInf,
@@ -73,6 +78,7 @@ fn sample_inners() -> Vec<InnerNode> {
             keys: (1..64).map(|i| Bytes::from(format!("s{i:03}"))).collect(),
             children: (0..64u64).collect(),
             height: 1,
+            replicas: vec![],
         },
     ]
 }
@@ -199,6 +205,7 @@ fn overlapping_cells_rejected() {
             (Bytes::from_static(b"bbbb"), Bytes::from_static(b"22222222")),
         ],
         next: None,
+        replicas: vec![],
     })
     .encode();
     let off0 = u32::from_be_bytes(good[LEAF_DIR_START..LEAF_DIR_START + 4].try_into().unwrap());

@@ -73,6 +73,7 @@ fn storm_case(seed: u64) {
     cfg.rpc_batch = Some(RpcBatchConfig {
         window_us: 100,
         max_batch: 8,
+        linger_us: 0,
     });
 
     let mut plans = vec![FaultPlan::storm(seed); SERVERS];
