@@ -119,6 +119,11 @@ fn main() {
         spec.scatter_inserts = true;
         spec.dbt = Some(replication_dbt(true));
         run_cell(spec, &mut results);
+        // One sampled-tracing cell so the span machinery (trace start,
+        // per-layer spans, slow-op ring) runs end to end in CI.
+        let mut spec = LoadSpec::new("smoke_traced", 2, 2, cell);
+        spec.trace_sample_every = 8;
+        run_cell(spec, &mut results);
         maybe_write_report(&results, "smoke run");
         return;
     }
@@ -264,19 +269,39 @@ fn main() {
         run_cell(spec, &mut results);
     }
 
+    // Sweep F — observability overhead: the same mixed workload at a
+    // fixed deployment with (1) timing histograms off entirely, (2) the
+    // default pay-as-you-go mode (histograms on, tracing off — the
+    // configuration every other sweep above runs under), and (3) 1-in-64
+    // sampled tracing on top.  The off/default pair bounds what the
+    // histogram records cost on the hot paths; the default/sampled pair
+    // is the honest disclosure of what turning traces on costs.
+    for &(name, timing, sample_every) in &[
+        ("obs_off", false, 0u32),
+        ("obs_default", true, 0),
+        ("obs_sampled", true, 64),
+    ] {
+        let mut spec = LoadSpec::new(name, 8, 2, cell);
+        spec.obs_timing = timing;
+        spec.trace_sample_every = sample_every;
+        run_cell(spec, &mut results);
+    }
+
     maybe_write_report(&results, "full sweep");
 }
 
 fn maybe_write_report(results: &[LoadResult], kind: &str) {
     if let Ok(path) = std::env::var("LOAD_JSON_OUT") {
         let report = render_load_report(
-            "BENCH_9_LOAD",
+            "BENCH_10_LOAD",
             &format!(
-                "Closed-loop multi-threaded load harness ({kind}): ops/sec and \
-                 nearest-rank p50/p99/p999 per op class, swept over threads, servers, \
-                 wal_fsync policy, contention, request batching (incl. Nagle-style \
-                 linger), and hot-node replication on/off over server count. One JSON \
-                 object per cell under 'runs'."
+                "Closed-loop multi-threaded load harness ({kind}): ops/sec, \
+                 nearest-rank p50/p99/p999 per op class, and full per-subsystem \
+                 latency histograms (log-bucketed, rel err <= 1/64) per cell, swept \
+                 over threads, servers, wal_fsync policy, contention, request \
+                 batching (incl. Nagle-style linger), hot-node replication, and \
+                 observability mode (timing off / histograms on / 1-in-64 sampled \
+                 tracing). One JSON object per cell under 'runs'."
             ),
             results,
         );

@@ -20,10 +20,13 @@
 //! uniformly from a pool of that many keys, so a small pool forces
 //! write-write conflicts (visible as `kv.txn_conflicts` in the report).
 //! Every run reports ops/sec, exact nearest-rank p50/p99/p999 latency per
-//! op class, and the deployment counters that explain the numbers
-//! (fsyncs, group sizes, batched requests, parallel fan-outs, replica
-//! reads and promotions).  The `load` bench binary sweeps these specs and
-//! writes `BENCH_9_LOAD.json`.
+//! op class, the deployment counters that explain the numbers (fsyncs,
+//! group sizes, batched requests, parallel fan-outs, replica reads and
+//! promotions), and — since PR 10 — every non-empty latency histogram
+//! (log-bucketed, relative error ≤ 1/64) so each cell carries full
+//! per-subsystem distributions, not just per-class percentiles.  The
+//! `load` bench binary sweeps these specs and writes
+//! `BENCH_10_LOAD.json`.
 
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -33,6 +36,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use yesquel::{params, Yesquel};
 use yesquel_common::config::SplitMode;
+use yesquel_common::stats::HistogramSummary;
 use yesquel_common::tempdir::TempDir;
 use yesquel_common::{
     CommitFanout, DbtConfig, NetConfig, ObjectId, RpcBatchConfig, WalFsyncPolicy, YesquelConfig,
@@ -159,6 +163,13 @@ pub struct LoadSpec {
     /// the replication sweep scatters them so its read-scaling signal is
     /// not drowned by that separate, already-known collapse.
     pub scatter_inserts: bool,
+    /// Record latency histograms during the measured phase (two clock reads
+    /// per instrumented site).  On by default so every report cell carries
+    /// full latency distributions next to its nearest-rank percentiles.
+    pub obs_timing: bool,
+    /// Sample 1-in-N operations into a full trace (0 = off).  The overhead
+    /// cell sets this to disclose the cost of sampled tracing honestly.
+    pub trace_sample_every: u32,
 }
 
 impl LoadSpec {
@@ -180,6 +191,8 @@ impl LoadSpec {
             dbt: None,
             hot_select_range: None,
             scatter_inserts: false,
+            obs_timing: true,
+            trace_sample_every: 0,
         }
     }
 
@@ -236,7 +249,15 @@ pub struct LoadResult {
     pub classes: Vec<ClassStats>,
     /// Selected deployment counters after the run.
     pub counters: Vec<(String, u64)>,
+    /// Every non-empty latency histogram after the run: name, summary, and
+    /// the non-zero `[low, high, count]` buckets (a consumer can recompute
+    /// any quantile).  Empty when the cell ran with `obs_timing` off.
+    pub histograms: Vec<HistogramCell>,
 }
+
+/// One exported histogram: name, summary, and its non-zero
+/// `(low, high, count)` buckets.
+pub type HistogramCell = (String, HistogramSummary, Vec<(u64, u64, u64)>);
 
 /// Exact nearest-rank percentile: the smallest sample such that at least
 /// `q` of the distribution is ≤ it.  `sorted` must be ascending and
@@ -319,6 +340,8 @@ pub fn run_load(spec: &LoadSpec) -> LoadResult {
         cfg.kv.wal_fsync = policy;
         tmp
     });
+    cfg.obs.timing = spec.obs_timing;
+    cfg.obs.trace_sample_every = spec.trace_sample_every;
     let db = KvDatabase::with_transport(cfg, spec.transport);
     let y = Yesquel::open_db(db).expect("load harness bootstrap");
 
@@ -353,9 +376,10 @@ pub fn run_load(spec: &LoadSpec) -> LoadResult {
         oid += 1;
     }
 
-    // Drop counters accumulated during preload so the report reflects the
+    // Drop everything accumulated during preload — counters, latency
+    // histograms, and the slow-op ring — so the report reflects the
     // measured phase only.
-    y.db().stats().reset_counters();
+    y.db().stats().reset();
 
     let insert_next = AtomicU64::new(SQL_ROWS as u64 + 1_000_000);
     let started = Instant::now();
@@ -408,6 +432,15 @@ pub fn run_load(spec: &LoadSpec) -> LoadResult {
         .iter()
         .map(|&name| (name.to_string(), stats.counter(name).get()))
         .collect();
+    let histograms = stats
+        .histogram_snapshot()
+        .into_iter()
+        .filter(|(_, s)| s.count > 0)
+        .map(|(name, summary)| {
+            let buckets = stats.histogram(&name).nonzero_buckets();
+            (name, summary, buckets)
+        })
+        .collect();
 
     let elapsed_s = elapsed.as_secs_f64();
     LoadResult {
@@ -422,6 +455,7 @@ pub fn run_load(spec: &LoadSpec) -> LoadResult {
         ops_per_sec: total_ops as f64 / elapsed_s.max(1e-9),
         classes,
         counters,
+        histograms,
     }
 }
 
@@ -591,6 +625,25 @@ pub fn render_result(r: &LoadResult) -> String {
         let comma = if i + 1 == r.counters.len() { "" } else { ", " };
         let _ = write!(out, "\"{name}\": {v}{comma}");
     }
+    let _ = write!(out, "}}, \"histograms\": {{");
+    for (i, (name, s, buckets)) in r.histograms.iter().enumerate() {
+        let comma = if i + 1 == r.histograms.len() {
+            ""
+        } else {
+            ", "
+        };
+        let _ = write!(
+            out,
+            "\"{name}\": {{\"count\": {}, \"mean\": {:.1}, \"p50\": {}, \"p90\": {}, \
+             \"p99\": {}, \"p999\": {}, \"max\": {}, \"buckets\": [",
+            s.count, s.mean, s.p50, s.p90, s.p99, s.p999, s.max
+        );
+        for (j, (lo, hi, c)) in buckets.iter().enumerate() {
+            let bcomma = if j + 1 == buckets.len() { "" } else { ", " };
+            let _ = write!(out, "[{lo}, {hi}, {c}]{bcomma}");
+        }
+        let _ = write!(out, "]}}{comma}");
+    }
     let _ = write!(out, "}}}}");
     out
 }
@@ -667,6 +720,37 @@ mod tests {
     }
 
     #[test]
+    fn percentile_matches_histogram_quantile_within_relative_error() {
+        // Satellite cross-check: the harness's exact nearest-rank
+        // percentiles and the log-bucketed histogram's quantiles must agree
+        // within the histogram's documented relative-error bound on the
+        // same sample set. Mix a fast cluster, a mid band and a heavy tail
+        // so every quantile of interest lands in a different bucket regime.
+        use yesquel_common::obs::hist::{Histogram, MAX_RELATIVE_ERROR};
+        let mut samples: Vec<u64> = Vec::new();
+        samples.extend((0..600).map(|i| 80 + i % 40)); // fast cluster
+        samples.extend((0..350).map(|i| 1_500 + i * 7)); // mid band
+        samples.extend((0..50).map(|i| 90_000 + i * 1_000)); // heavy tail
+        let hist = Histogram::new();
+        for &s in &samples {
+            hist.record(s);
+        }
+        samples.sort_unstable();
+        for q in [0.50, 0.90, 0.99, 0.999] {
+            let exact = percentile(&samples, q) as f64;
+            let bucketed = hist.quantile(q) as f64;
+            // The histogram reports the midpoint of the containing bucket,
+            // so it can land on either side of the exact value but never
+            // further than half the bucket's width.
+            let rel = (bucketed - exact).abs() / exact;
+            assert!(
+                rel <= MAX_RELATIVE_ERROR,
+                "q{q}: bucketed {bucketed} vs exact {exact}: rel err {rel} > {MAX_RELATIVE_ERROR}"
+            );
+        }
+    }
+
+    #[test]
     fn render_result_is_balanced_json() {
         let r = LoadResult {
             workload: "t".into(),
@@ -687,11 +771,27 @@ mod tests {
                 p999_us: 9,
             }],
             counters: vec![("wal.fsyncs".into(), 3)],
+            histograms: vec![(
+                "kv.commit.prepare_us".into(),
+                HistogramSummary {
+                    count: 4,
+                    mean: 7.5,
+                    p50: 7,
+                    p90: 9,
+                    p99: 9,
+                    p999: 9,
+                    max: 9,
+                },
+                vec![(7, 7, 2), (8, 9, 2)],
+            )],
         };
         let s = render_result(&r);
         assert_eq!(s.matches('{').count(), s.matches('}').count());
+        assert_eq!(s.matches('[').count(), s.matches(']').count());
         assert!(s.contains("\"kv_2pc\""));
         assert!(s.contains("\"wal.fsyncs\": 3"));
+        assert!(s.contains("\"kv.commit.prepare_us\""));
+        assert!(s.contains("[7, 7, 2]"));
         let report = render_load_report("BENCH_TEST_LOAD", "unit test", &[r]);
         assert_eq!(report.matches('{').count(), report.matches('}').count());
         assert!(!report.contains("},\n  ]"), "no trailing comma: {report}");

@@ -11,6 +11,11 @@
 //! Nothing in this crate knows about networking, storage or SQL — it is the
 //! leaf of the dependency graph.
 
+/// Re-export of the observability crate, so every layer above `common`
+/// reaches spans, trace counters and the clock through one path
+/// (`yesquel_common::obs::…`) without its own dependency edge.
+pub use yesquel_obs as obs;
+
 pub mod config;
 pub mod encoding;
 pub mod error;
@@ -21,7 +26,8 @@ pub mod tempdir;
 pub mod timeutil;
 
 pub use config::{
-    CommitFanout, DbtConfig, KvConfig, NetConfig, RpcBatchConfig, WalFsyncPolicy, YesquelConfig,
+    CommitFanout, DbtConfig, KvConfig, NetConfig, ObsConfig, RpcBatchConfig, WalFsyncPolicy,
+    YesquelConfig,
 };
 pub use error::{Error, Result};
 pub use ids::{ObjectId, Oid, ServerId, Timestamp, TreeId, TxnId};

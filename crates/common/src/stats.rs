@@ -1,10 +1,14 @@
-//! Statistics primitives: counters, gauges and latency histograms.
+//! Statistics primitives: counters, latency histograms and the registry.
 //!
 //! Every layer exposes its counters through a [`StatsRegistry`] so that the
 //! benchmark harness can report, per experiment, the number of RPCs, cache
-//! hits, splits, aborts, etc.  The histogram is a fixed-bucket log-scale
-//! histogram good enough for the latency tables in the evaluation (it
-//! reports p50/p90/p99/max within ~2% relative error).
+//! hits, splits, aborts, etc.  Histograms are the bucket-exact log-bucketed
+//! kind from `yesquel-obs`: lock-free `record`, exact-from-buckets
+//! p50/p99/p999 (values < 64 exact, ≤ 1.6% relative error above), `merge`
+//! and `reset`.  The registry also carries the process observability knobs
+//! — an [`Obs`] control block with the timing gate, the trace sampler and
+//! the slow-op ring — so every component that already holds the registry
+//! can reach them without new plumbing.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -14,6 +18,9 @@ use std::sync::Arc;
 // report is produced, never on hot paths, so the std mutex is sufficient and
 // keeps this leaf crate's dependency graph minimal.
 use std::sync::Mutex;
+
+pub use yesquel_obs::hist::{Histogram, HistogramSummary};
+pub use yesquel_obs::Obs;
 
 /// A monotonically increasing counter, safe to update from many threads.
 #[derive(Default)]
@@ -56,145 +63,8 @@ impl std::fmt::Debug for Counter {
     }
 }
 
-/// Number of buckets in [`Histogram`]: values are bucketed by
-/// `floor(log2(v))` with 4 sub-buckets per power of two.
-const HIST_BUCKETS: usize = 64 * 4;
-
-/// A lock-free fixed-bucket histogram for latency-like values
-/// (non-negative integers, typically microseconds or RPC counts).
-pub struct Histogram {
-    buckets: Vec<AtomicU64>,
-    count: AtomicU64,
-    sum: AtomicU64,
-    max: AtomicU64,
-}
-
-impl Default for Histogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl Histogram {
-    /// Creates an empty histogram.
-    pub fn new() -> Self {
-        let mut buckets = Vec::with_capacity(HIST_BUCKETS);
-        for _ in 0..HIST_BUCKETS {
-            buckets.push(AtomicU64::new(0));
-        }
-        Histogram {
-            buckets,
-            count: AtomicU64::new(0),
-            sum: AtomicU64::new(0),
-            max: AtomicU64::new(0),
-        }
-    }
-
-    fn bucket_index(v: u64) -> usize {
-        if v < 4 {
-            return v as usize;
-        }
-        let exp = 63 - v.leading_zeros() as usize; // >= 2
-        let sub = ((v >> (exp - 2)) & 0b11) as usize; // top 2 bits below the leading one
-        let idx = exp * 4 + sub;
-        idx.min(HIST_BUCKETS - 1)
-    }
-
-    /// Representative (upper-bound) value of bucket `idx`.
-    fn bucket_value(idx: usize) -> u64 {
-        if idx < 4 {
-            return idx as u64;
-        }
-        let exp = idx / 4;
-        let sub = (idx % 4) as u64;
-        (1u64 << exp) + (sub + 1) * (1u64 << (exp - 2)) - 1
-    }
-
-    /// Records one observation.
-    pub fn record(&self, v: u64) {
-        self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(v, Ordering::Relaxed);
-        self.max.fetch_max(v, Ordering::Relaxed);
-    }
-
-    /// Number of observations.
-    pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
-    }
-
-    /// Mean of the observations (0 if empty).
-    pub fn mean(&self) -> f64 {
-        let c = self.count();
-        if c == 0 {
-            0.0
-        } else {
-            self.sum.load(Ordering::Relaxed) as f64 / c as f64
-        }
-    }
-
-    /// Largest observation (exact, not bucketed).
-    pub fn max(&self) -> u64 {
-        self.max.load(Ordering::Relaxed)
-    }
-
-    /// Approximate value at quantile `q` in `[0, 1]`.
-    pub fn quantile(&self, q: f64) -> u64 {
-        let total = self.count();
-        if total == 0 {
-            return 0;
-        }
-        let target = ((q.clamp(0.0, 1.0)) * total as f64).ceil() as u64;
-        let target = target.max(1);
-        let mut seen = 0u64;
-        for (i, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
-            if seen >= target {
-                return Self::bucket_value(i).min(self.max());
-            }
-        }
-        self.max()
-    }
-
-    /// Snapshot of the usual reporting quantiles.
-    pub fn summary(&self) -> HistogramSummary {
-        HistogramSummary {
-            count: self.count(),
-            mean: self.mean(),
-            p50: self.quantile(0.50),
-            p90: self.quantile(0.90),
-            p99: self.quantile(0.99),
-            max: self.max(),
-        }
-    }
-}
-
-impl std::fmt::Debug for Histogram {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let s = self.summary();
-        write!(f, "Histogram({s:?})")
-    }
-}
-
-/// Point-in-time summary of a [`Histogram`].
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct HistogramSummary {
-    /// Number of observations.
-    pub count: u64,
-    /// Mean value.
-    pub mean: f64,
-    /// Median (approximate).
-    pub p50: u64,
-    /// 90th percentile (approximate).
-    pub p90: u64,
-    /// 99th percentile (approximate).
-    pub p99: u64,
-    /// Maximum (exact).
-    pub max: u64,
-}
-
 /// A named collection of counters and histograms shared by reference across
-/// threads.
+/// threads, plus the process observability knobs.
 ///
 /// Components create their counters once and bump them on hot paths without
 /// any locking; the registry lock is only taken when a new name is first
@@ -208,12 +78,19 @@ pub struct StatsRegistry {
 struct RegistryInner {
     counters: Mutex<BTreeMap<String, Arc<Counter>>>,
     histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    obs: Obs,
 }
 
 impl StatsRegistry {
     /// Creates an empty registry.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The observability control block (timing gate, trace sampler,
+    /// slow-op ring) shared by everything holding this registry.
+    pub fn obs(&self) -> &Obs {
+        &self.inner.obs
     }
 
     /// Returns the counter named `name`, creating it if needed.
@@ -252,13 +129,42 @@ impl StatsRegistry {
         g.iter().map(|(k, v)| (k.clone(), v.summary())).collect()
     }
 
-    /// Resets every counter to zero (histograms are left untouched; create a
-    /// fresh registry to reset them).
+    /// Point-in-time snapshot of everything: counters, histogram summaries.
+    /// Pair with [`StatsSnapshot::counter_delta`] for windowed readings
+    /// without resetting, or use [`StatsRegistry::reset`] between windows.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            counters: self.counter_snapshot(),
+            histograms: self.histogram_snapshot(),
+        }
+    }
+
+    /// Resets every counter to zero (histograms and the slow-op ring are
+    /// left untouched).  Prefer [`StatsRegistry::reset`] for a full wipe;
+    /// this narrower variant exists for callers that deliberately keep
+    /// latency distributions across the reset.
     pub fn reset_counters(&self) {
         let g = self.inner.counters.lock().expect("stats registry poisoned");
         for c in g.values() {
             c.reset();
         }
+    }
+
+    /// Resets **everything**: counters to zero, histograms to empty, and
+    /// the slow-op ring to empty.  This is what a measurement harness calls
+    /// between cells so each window's distributions start clean.
+    pub fn reset(&self) {
+        self.reset_counters();
+        let g = self
+            .inner
+            .histograms
+            .lock()
+            .expect("stats registry poisoned");
+        for h in g.values() {
+            h.reset();
+        }
+        drop(g);
+        self.inner.obs.slow_ring().clear();
     }
 
     /// Renders all counters as a compact single-line report, useful in test
@@ -269,6 +175,93 @@ impl StatsRegistry {
             .map(|(k, v)| format!("{k}={v}"))
             .collect::<Vec<_>>()
             .join(" ")
+    }
+
+    /// Renders the full registry — counters plus histograms with their
+    /// non-empty buckets — as one JSON object.  This is the snapshot-export
+    /// format the load harness embeds per cell and CI smoke-dumps:
+    ///
+    /// ```json
+    /// {
+    ///   "counters": {"dbt.lookups": 12, ...},
+    ///   "histograms": {
+    ///     "sql.stmt_us.select": {
+    ///       "count": 12, "mean": 18.3, "p50": 17, "p99": 40,
+    ///       "p999": 40, "max": 41,
+    ///       "buckets": [[16, 16, 7], [17, 17, 3], [40, 41, 2]]
+    ///     }
+    ///   }
+    /// }
+    /// ```
+    ///
+    /// Each bucket triple is `[low, high, count]` over the inclusive value
+    /// range, so a consumer can recompute any quantile.
+    pub fn render_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"counters\": {{");
+        let counters = self.counter_snapshot();
+        let n = counters.len();
+        for (i, (k, v)) in counters.into_iter().enumerate() {
+            let comma = if i + 1 == n { "" } else { "," };
+            let _ = writeln!(out, "    \"{k}\": {v}{comma}");
+        }
+        let _ = writeln!(out, "  }},");
+        let _ = writeln!(out, "  \"histograms\": {{");
+        let hists: Vec<(String, Arc<Histogram>)> = {
+            let g = self
+                .inner
+                .histograms
+                .lock()
+                .expect("stats registry poisoned");
+            g.iter().map(|(k, v)| (k.clone(), Arc::clone(v))).collect()
+        };
+        let n = hists.len();
+        for (i, (k, h)) in hists.into_iter().enumerate() {
+            let s = h.summary();
+            let comma = if i + 1 == n { "" } else { "," };
+            let _ = write!(
+                out,
+                "    \"{k}\": {{\"count\": {}, \"mean\": {:.1}, \"p50\": {}, \"p90\": {}, \
+                 \"p99\": {}, \"p999\": {}, \"max\": {}, \"buckets\": [",
+                s.count, s.mean, s.p50, s.p90, s.p99, s.p999, s.max
+            );
+            let buckets = h.nonzero_buckets();
+            for (j, (lo, hi, c)) in buckets.iter().enumerate() {
+                let comma = if j + 1 == buckets.len() { "" } else { ", " };
+                let _ = write!(out, "[{lo}, {hi}, {c}]{comma}");
+            }
+            let _ = writeln!(out, "]}}{comma}");
+        }
+        let _ = writeln!(out, "  }}");
+        let _ = write!(out, "}}");
+        out
+    }
+}
+
+/// A point-in-time snapshot of a registry, for windowed (delta) readings.
+#[derive(Debug, Clone)]
+pub struct StatsSnapshot {
+    /// Counter values at snapshot time, sorted by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram summaries at snapshot time, sorted by name.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+}
+
+impl StatsSnapshot {
+    /// Per-counter increase since `earlier` (counters that moved backwards
+    /// — reset in between — are reported from zero).  Histogram summaries
+    /// are not delta-able; use [`StatsRegistry::reset`] between windows
+    /// when windowed distributions are needed.
+    pub fn counter_delta(&self, earlier: &StatsSnapshot) -> BTreeMap<String, u64> {
+        self.counters
+            .iter()
+            .map(|(k, &v)| {
+                let before = earlier.counters.get(k).copied().unwrap_or(0);
+                (k.clone(), v.saturating_sub(before))
+            })
+            .collect()
     }
 }
 
@@ -307,17 +300,25 @@ mod tests {
     }
 
     #[test]
-    fn histogram_quantiles_are_monotone_and_close() {
+    fn histogram_quantiles_are_exact_from_buckets() {
         let h = Histogram::new();
         for v in 1..=10_000u64 {
             h.record(v);
         }
         let s = h.summary();
         assert_eq!(s.count, 10_000);
-        assert!(s.p50 <= s.p90 && s.p90 <= s.p99 && s.p99 <= s.max);
-        // Log-bucket error is bounded by ~25% of the value; in practice much
-        // less.  Check p50 is in the right ballpark.
-        assert!(s.p50 >= 4_000 && s.p50 <= 6_500, "p50={}", s.p50);
+        assert!(s.p50 <= s.p90 && s.p90 <= s.p99 && s.p99 <= s.p999 && s.p999 <= s.max);
+        // Bucket-exact: ≤ 1.6% relative error at 32 sub-buckets per octave.
+        assert!(
+            (s.p50 as f64 - 5_000.0).abs() / 5_000.0 <= 0.016,
+            "p50={}",
+            s.p50
+        );
+        assert!(
+            (s.p99 as f64 - 9_900.0).abs() / 9_900.0 <= 0.016,
+            "p99={}",
+            s.p99
+        );
         assert_eq!(s.max, 10_000);
         assert!((s.mean - 5000.5).abs() < 1.0);
     }
@@ -357,11 +358,65 @@ mod tests {
     }
 
     #[test]
+    fn reset_counters_leaves_histograms_but_reset_wipes_them() {
+        let reg = StatsRegistry::new();
+        reg.counter("ops").add(7);
+        reg.histogram("lat").record(123);
+        reg.reset_counters();
+        assert_eq!(reg.counter("ops").get(), 0);
+        assert_eq!(
+            reg.histogram("lat").count(),
+            1,
+            "reset_counters keeps distributions"
+        );
+        reg.counter("ops").add(3);
+        reg.reset();
+        assert_eq!(reg.counter("ops").get(), 0);
+        assert_eq!(reg.histogram("lat").count(), 0, "reset() wipes histograms");
+    }
+
+    #[test]
+    fn windowed_counter_delta() {
+        let reg = StatsRegistry::new();
+        reg.counter("ops").add(10);
+        let t0 = reg.snapshot();
+        reg.counter("ops").add(5);
+        reg.counter("new").add(2);
+        let t1 = reg.snapshot();
+        let delta = t1.counter_delta(&t0);
+        assert_eq!(delta["ops"], 5);
+        assert_eq!(delta["new"], 2);
+    }
+
+    #[test]
+    fn render_json_contains_buckets() {
+        let reg = StatsRegistry::new();
+        reg.counter("ops").add(2);
+        for v in [10u64, 10, 500] {
+            reg.histogram("lat").record(v);
+        }
+        let json = reg.render_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"ops\": 2"));
+        assert!(json.contains("\"count\": 3"));
+        assert!(json.contains("[10, 10, 2]"), "exact small bucket: {json}");
+        assert!(!json.contains("},\n  }"), "no trailing comma: {json}");
+    }
+
+    #[test]
     fn same_name_shares_counter() {
         let reg = StatsRegistry::new();
         let c1 = reg.counter("x");
         let c2 = reg.counter("x");
         c1.inc();
         assert_eq!(c2.get(), 1);
+    }
+
+    #[test]
+    fn registry_carries_obs_knobs() {
+        let reg = StatsRegistry::new();
+        assert!(!reg.obs().timing_on());
+        reg.obs().set_timing(true);
+        assert!(reg.clone().obs().timing_on(), "clones share the knobs");
     }
 }

@@ -11,7 +11,7 @@ use crate::oracle::TimestampOracle;
 use crate::protocol::{KvRequest, KvResponse};
 use crate::server::KvServer;
 use crate::snapshot::SnapshotTracker;
-use crate::txn::{ClientCore, Txn};
+use crate::txn::{ClientCore, KvHot, Txn};
 
 /// Client handle to a key-value deployment.  Cheap to clone; each clone can
 /// be used from its own thread.
@@ -35,6 +35,7 @@ impl KvClient {
         // wide deployment spawn an unbounded thread count.  Lazy: no thread
         // exists until the first parallel round.
         let fanout = crate::fanout::FanoutPool::new(transport.num_servers().clamp(1, 8));
+        let hot = KvHot::resolve(&stats);
         KvClient {
             core: Arc::new(ClientCore {
                 transport,
@@ -42,6 +43,7 @@ impl KvClient {
                 snapshots,
                 cfg,
                 stats,
+                hot,
                 retry_salt: std::sync::atomic::AtomicU64::new(0),
                 fanout,
             }),

@@ -86,6 +86,11 @@ impl KvDatabase {
             "deployment needs at least one storage server"
         );
         let stats = StatsRegistry::new();
+        stats.obs().set_timing(config.obs.timing);
+        stats.obs().set_sample_every(config.obs.trace_sample_every);
+        stats
+            .obs()
+            .set_slow_threshold_us(config.obs.slow_threshold_us);
         let oracle = TimestampOracle::new();
         let servers = match &config.kv.wal_dir {
             None => KvServer::make_servers_with(config.num_servers, &oracle, &config.kv),

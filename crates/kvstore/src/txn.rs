@@ -9,7 +9,9 @@ use std::time::Duration;
 use bytes::Bytes;
 use crossbeam::channel::bounded;
 use parking_lot::Mutex;
-use yesquel_common::stats::StatsRegistry;
+use yesquel_common::obs::clock;
+use yesquel_common::obs::trace::{count, span, SpanKind, TraceCounter};
+use yesquel_common::stats::{Counter, Histogram, StatsRegistry};
 use yesquel_common::timeutil::sleep_backoff;
 use yesquel_common::{CommitFanout, Error, KvConfig, ObjectId, Result, ServerId, Timestamp, TxnId};
 use yesquel_rpc::Transport;
@@ -20,6 +22,46 @@ use crate::protocol::{KvRequest, KvResponse, WriteOp};
 use crate::server::KvServer;
 use crate::snapshot::SnapshotTracker;
 
+/// Pre-resolved statistics handles for the client's per-operation paths:
+/// one registry lookup at client construction instead of a mutex acquisition
+/// plus string allocation per call (the same discipline as the tree layer's
+/// `HotCounters`).  Error- and retry-path counters stay as name lookups.
+pub(crate) struct KvHot {
+    pub(crate) txn_started: Arc<Counter>,
+    pub(crate) get_rpcs: Arc<Counter>,
+    pub(crate) readonly_commits: Arc<Counter>,
+    pub(crate) txn_committed: Arc<Counter>,
+    pub(crate) txn_conflicts: Arc<Counter>,
+    pub(crate) commit_participants: Arc<Counter>,
+    pub(crate) commit_1pc: Arc<Counter>,
+    pub(crate) commit_2pc: Arc<Counter>,
+    /// Commit-phase latencies, recorded only while `Obs::timing_on`:
+    /// `prepare` is the whole phase-one round, `decide` the commit-point RPC
+    /// at the primary (1PC charges its single round here too), `apply` the
+    /// best-effort secondary fan-out.
+    pub(crate) commit_prepare_us: Arc<Histogram>,
+    pub(crate) commit_decide_us: Arc<Histogram>,
+    pub(crate) commit_apply_us: Arc<Histogram>,
+}
+
+impl KvHot {
+    pub(crate) fn resolve(stats: &StatsRegistry) -> Self {
+        KvHot {
+            txn_started: stats.counter("kv.txn_started"),
+            get_rpcs: stats.counter("kv.get_rpcs"),
+            readonly_commits: stats.counter("kv.readonly_commits"),
+            txn_committed: stats.counter("kv.txn_committed"),
+            txn_conflicts: stats.counter("kv.txn_conflicts"),
+            commit_participants: stats.counter("kv.commit_participants"),
+            commit_1pc: stats.counter("kv.commit_1pc"),
+            commit_2pc: stats.counter("kv.commit_2pc"),
+            commit_prepare_us: stats.histogram("kv.commit_prepare_us"),
+            commit_decide_us: stats.histogram("kv.commit_decide_us"),
+            commit_apply_us: stats.histogram("kv.commit_apply_us"),
+        }
+    }
+}
+
 /// Internals shared by a [`crate::KvClient`] and every transaction it
 /// creates.
 pub(crate) struct ClientCore {
@@ -28,6 +70,7 @@ pub(crate) struct ClientCore {
     pub(crate) snapshots: SnapshotTracker,
     pub(crate) cfg: KvConfig,
     pub(crate) stats: StatsRegistry,
+    pub(crate) hot: KvHot,
     /// Monotone salt for retry-backoff jitter, so concurrent RPCs from one
     /// client spread out while staying deterministic per deployment.
     pub(crate) retry_salt: AtomicU64,
@@ -64,6 +107,8 @@ impl ClientCore {
         req: KvRequest,
         max_attempts: usize,
     ) -> Result<KvResponse> {
+        let _rpc_span = span(SpanKind::Rpc);
+        count(TraceCounter::Rpcs, 1);
         let max = max_attempts.max(1);
         let mut salt: Option<u64> = None;
         let mut saw_timeout = false;
@@ -87,6 +132,7 @@ impl ClientCore {
                     last = Some(e);
                     if attempt + 1 < max {
                         self.stats.counter("rpc.retries").inc();
+                        count(TraceCounter::Retries, 1);
                         // Drawn lazily: the fault-free fast path never
                         // touches the shared salt counter.
                         let salt = *salt
@@ -206,7 +252,7 @@ impl Txn {
         let id = core.oracle.next_txn_id();
         let start_ts = core.oracle.next_timestamp();
         core.snapshots.register(start_ts);
-        core.stats.counter("kv.txn_started").inc();
+        core.hot.txn_started.inc();
         Txn {
             core,
             id,
@@ -266,11 +312,12 @@ impl Txn {
         if let Some(v) = self.writes.lock().get(&obj) {
             return Ok(v.clone());
         }
+        let _get_span = span(SpanKind::KvGet);
         let server = self.core.home(obj);
         let mut attempts = 0usize;
         loop {
             self.read_rpcs.fetch_add(1, Ordering::Relaxed);
-            self.core.stats.counter("kv.get_rpcs").inc();
+            self.core.hot.get_rpcs.inc();
             match self.core.call_retry(
                 server,
                 KvRequest::Get {
@@ -341,9 +388,13 @@ impl Txn {
         let writes = std::mem::take(&mut *self.writes.lock());
         if writes.is_empty() {
             *self.state.lock() = TxnState::Committed;
-            self.core.stats.counter("kv.readonly_commits").inc();
+            self.core.hot.readonly_commits.inc();
             return Ok(self.start_ts);
         }
+        let _commit_span = span(SpanKind::KvCommit);
+        // Phase timing is pay-as-you-go: no clock is read unless the
+        // deployment turned `Obs::timing_on`.
+        let timing = self.core.stats.obs().timing_on();
 
         // Group writes by participant server, preserving ObjectId order so
         // that servers acquire locks in a deterministic order.
@@ -359,8 +410,8 @@ impl Txn {
         }
         let participants: Vec<ServerId> = by_server.keys().copied().collect();
         self.core
-            .stats
-            .counter("kv.commit_participants")
+            .hot
+            .commit_participants
             .add(participants.len() as u64);
 
         // One-phase commit when a single server holds every written object.
@@ -369,7 +420,8 @@ impl Txn {
         // (timeout) escalates to `Indeterminate`.
         if participants.len() == 1 && self.core.cfg.one_phase_commit {
             let (server, writes) = by_server.into_iter().next().expect("one participant");
-            self.core.stats.counter("kv.commit_1pc").inc();
+            self.core.hot.commit_1pc.inc();
+            let t0 = timing.then(clock::now);
             let resp = self
                 .core
                 .call_retry(
@@ -392,15 +444,19 @@ impl Txn {
                         e
                     }
                 })?;
+            if let Some(t0) = t0 {
+                self.core.hot.commit_decide_us.record(clock::elapsed_us(t0));
+            }
             return match resp {
                 KvResponse::Committed { commit_ts } => {
                     *self.state.lock() = TxnState::Committed;
-                    self.core.stats.counter("kv.txn_committed").inc();
+                    self.core.hot.txn_committed.inc();
                     Ok(commit_ts)
                 }
                 KvResponse::Conflict { reason } => {
                     *self.state.lock() = TxnState::Aborted;
-                    self.core.stats.counter("kv.txn_conflicts").inc();
+                    self.core.hot.txn_conflicts.inc();
+                    count(TraceCounter::Conflicts, 1);
                     Err(Error::Conflict(reason))
                 }
                 KvResponse::ServerError { message } => {
@@ -419,7 +475,8 @@ impl Txn {
         // Phase one: prepare at every participant.  The lowest-numbered
         // participant is the primary — the 2PC commit point the reaper
         // protocol revolves around (see `crate::server`).
-        self.core.stats.counter("kv.commit_2pc").inc();
+        self.core.hot.commit_2pc.inc();
+        let prepare_t0 = timing.then(clock::now);
         let primary = participants[0];
         let parallel = self.core.parallel_fanout(participants.len());
         let prepare_req = |writes: Vec<WriteOp>| KvRequest::Prepare {
@@ -456,6 +513,12 @@ impl Txn {
             }
             outcomes
         };
+        if let Some(t0) = prepare_t0 {
+            self.core
+                .hot
+                .commit_prepare_us
+                .record(clock::elapsed_us(t0));
+        }
         // Judge the round in server order, so the reported failure matches
         // what the sequential round would have surfaced first.
         let all_prepared = outcomes.len() == participants.len()
@@ -469,7 +532,8 @@ impl Txn {
                     Ok(KvResponse::Conflict { reason }) => {
                         self.abort_participants(&participants);
                         *self.state.lock() = TxnState::Aborted;
-                        self.core.stats.counter("kv.txn_conflicts").inc();
+                        self.core.hot.txn_conflicts.inc();
+                        count(TraceCounter::Conflicts, 1);
                         return Err(Error::Conflict(reason));
                     }
                     Ok(KvResponse::ServerError { message }) => {
@@ -527,14 +591,19 @@ impl Txn {
         // Phase two, commit point: the primary, with the larger resolve
         // budget — once everyone is prepared, pounding on the primary is far
         // cheaper than surfacing an indeterminate commit.
-        let commit_ts = match self.core.call_retry(
+        let decide_t0 = timing.then(clock::now);
+        let decide_resp = self.core.call_retry(
             primary,
             KvRequest::Commit {
                 txn: self.id,
                 commit_ts,
             },
             self.core.cfg.commit_resolve_attempts,
-        ) {
+        );
+        if let Some(t0) = decide_t0 {
+            self.core.hot.commit_decide_us.record(clock::elapsed_us(t0));
+        }
+        let commit_ts = match decide_resp {
             Ok(KvResponse::Committed { commit_ts }) => commit_ts,
             Ok(KvResponse::Aborted) => {
                 // The primary's reaper presumed abort before our commit
@@ -542,7 +611,8 @@ impl Txn {
                 // secondaries never commit before the primary.
                 self.abort_participants(&participants);
                 *self.state.lock() = TxnState::Aborted;
-                self.core.stats.counter("kv.txn_conflicts").inc();
+                self.core.hot.txn_conflicts.inc();
+                count(TraceCounter::Conflicts, 1);
                 return Err(Error::Conflict(format!(
                     "txn {} aborted by the prepare-lease reaper before commit reached \
                      the primary",
@@ -595,6 +665,7 @@ impl Txn {
                 )
             })
             .collect();
+        let apply_t0 = timing.then(clock::now);
         let results = if parallel && secondary_commits.len() > 1 {
             fanout_calls(
                 &self.core,
@@ -612,6 +683,9 @@ impl Txn {
                 })
                 .collect()
         };
+        if let Some(t0) = apply_t0 {
+            self.core.hot.commit_apply_us.record(clock::elapsed_us(t0));
+        }
         for (_, resp) in results {
             if !matches!(resp, Ok(KvResponse::Committed { .. })) {
                 // Lost or refused: the reaper will converge this
@@ -623,7 +697,7 @@ impl Txn {
             }
         }
         *self.state.lock() = TxnState::Committed;
-        self.core.stats.counter("kv.txn_committed").inc();
+        self.core.hot.txn_committed.inc();
         Ok(commit_ts)
     }
 

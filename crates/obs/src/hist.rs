@@ -1,0 +1,346 @@
+//! Log-bucketed atomic-array histograms with bounded relative error.
+//!
+//! Values below [`LINEAR_LIMIT`] (64) are bucketed **exactly** — one bucket
+//! per integer — which covers the small-count distributions (descent
+//! fetches, commit-group sizes, batch occupancy) with zero error.  Larger
+//! values are bucketed by `floor(log2 v)` with 32 sub-buckets per power of
+//! two; a quantile read back as a bucket midpoint is within 1/64 ≈ 1.6% of
+//! the true value.  `record` is lock-free (four relaxed atomic adds), and
+//! p50/p99/p999 are computed exactly *from the buckets* — there is no
+//! sampling and no decay.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-bucket resolution: 2^5 = 32 sub-buckets per power of two.
+const SUB_BITS: usize = 5;
+const SUB: usize = 1 << SUB_BITS;
+
+/// Values below this are bucketed exactly (one bucket per integer).
+pub const LINEAR_LIMIT: u64 = (2 * SUB) as u64;
+
+/// Total bucket count: the exact linear range plus 32 sub-buckets for each
+/// octave 6..=63.  Covers all of `u64`.
+pub const NUM_BUCKETS: usize = 2 * SUB + (63 - SUB_BITS) * SUB;
+
+/// Worst-case relative error of a quantile estimate for values ≥ 64
+/// (midpoint of a bucket whose width is 1/32 of its lower bound).
+pub const MAX_RELATIVE_ERROR: f64 = 1.0 / 64.0;
+
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < LINEAR_LIMIT {
+        return v as usize;
+    }
+    let octave = 63 - v.leading_zeros() as usize; // 6..=63
+    let sub = ((v >> (octave - SUB_BITS)) as usize) - SUB;
+    2 * SUB + (octave - 1 - SUB_BITS) * SUB + sub
+}
+
+/// Smallest value mapping to bucket `idx`.
+#[inline]
+fn bucket_low(idx: usize) -> u64 {
+    if idx < 2 * SUB {
+        return idx as u64;
+    }
+    let octave = (idx - 2 * SUB) / SUB + SUB_BITS + 1;
+    let sub = (idx - 2 * SUB) % SUB;
+    ((SUB + sub) as u64) << (octave - SUB_BITS)
+}
+
+/// Number of distinct values mapping to bucket `idx`.
+#[inline]
+fn bucket_width(idx: usize) -> u64 {
+    if idx < 2 * SUB {
+        return 1;
+    }
+    let octave = (idx - 2 * SUB) / SUB + SUB_BITS + 1;
+    1u64 << (octave - SUB_BITS)
+}
+
+/// Representative value reported for bucket `idx`: its midpoint, which
+/// bounds the relative error at [`MAX_RELATIVE_ERROR`].
+#[inline]
+fn bucket_mid(idx: usize) -> u64 {
+    bucket_low(idx) + (bucket_width(idx) - 1) / 2
+}
+
+/// A lock-free log-bucketed histogram for latency-like values
+/// (non-negative integers, typically microseconds or small counts).
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        let buckets: Box<[AtomicU64]> = (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation (lock-free, relaxed atomics only).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of the observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean of the observations (0 if empty).
+    pub fn mean(&self) -> f64 {
+        let c = self.count();
+        if c == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / c as f64
+        }
+    }
+
+    /// Largest observation (exact, not bucketed).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Value at quantile `q` in `[0, 1]`, computed from the buckets
+    /// (nearest-rank over bucket midpoints).  Exact for values < 64, within
+    /// [`MAX_RELATIVE_ERROR`] above.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0)) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return bucket_mid(i).min(self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// Folds the other histogram's observations into this one.
+    pub fn merge(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(other.count(), Ordering::Relaxed);
+        self.sum.fetch_add(other.sum(), Ordering::Relaxed);
+        self.max.fetch_max(other.max(), Ordering::Relaxed);
+    }
+
+    /// Resets every bucket and tally to zero.  Concurrent `record`s may
+    /// land on either side of the wipe; the histogram stays internally
+    /// consistent for reporting purposes.
+    pub fn reset(&self) {
+        for b in self.buckets.iter() {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the usual reporting quantiles.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count(),
+            mean: self.mean(),
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+            p999: self.quantile(0.999),
+            max: self.max(),
+        }
+    }
+
+    /// The non-empty buckets as `(low, high, count)` triples, where
+    /// `low..=high` is the value range of the bucket.  This is the export
+    /// format for JSON dumps: a consumer can recompute any quantile.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64, u64)> {
+        let mut out = Vec::new();
+        for (i, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 {
+                let low = bucket_low(i);
+                out.push((low, low + (bucket_width(i) - 1), n));
+            }
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.summary();
+        write!(f, "Histogram({s:?})")
+    }
+}
+
+/// Point-in-time summary of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Mean value (exact: tracked as a running sum).
+    pub mean: f64,
+    /// Median, within [`MAX_RELATIVE_ERROR`].
+    pub p50: u64,
+    /// 90th percentile, within [`MAX_RELATIVE_ERROR`].
+    pub p90: u64,
+    /// 99th percentile, within [`MAX_RELATIVE_ERROR`].
+    pub p99: u64,
+    /// 99.9th percentile, within [`MAX_RELATIVE_ERROR`].
+    pub p999: u64,
+    /// Maximum (exact).
+    pub max: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_roundtrip_is_consistent() {
+        // Every representative value must map back into its own bucket, and
+        // bucket boundaries must tile the u64 range without gaps.
+        for idx in 0..NUM_BUCKETS {
+            let low = bucket_low(idx);
+            assert_eq!(bucket_index(low), idx, "low of bucket {idx}");
+            let high = low + (bucket_width(idx) - 1);
+            assert_eq!(bucket_index(high), idx, "high of bucket {idx}");
+            assert_eq!(bucket_index(bucket_mid(idx)), idx, "mid of bucket {idx}");
+            if idx + 1 < NUM_BUCKETS {
+                assert_eq!(bucket_low(idx + 1), high + 1, "no gap after bucket {idx}");
+            }
+        }
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in 0..LINEAR_LIMIT {
+            h.record(v);
+        }
+        for v in 0..LINEAR_LIMIT {
+            let q = (v + 1) as f64 / LINEAR_LIMIT as f64;
+            assert_eq!(h.quantile(q), v, "quantile {q} must be exact");
+        }
+    }
+
+    #[test]
+    fn quantiles_within_bounded_relative_error() {
+        let h = Histogram::new();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        for (q, truth) in [(0.50, 50_000.0), (0.99, 99_000.0), (0.999, 99_900.0)] {
+            let got = h.quantile(q) as f64;
+            let rel = (got - truth).abs() / truth;
+            assert!(
+                rel <= MAX_RELATIVE_ERROR,
+                "q={q}: got {got}, want {truth} ± {:.2}%",
+                MAX_RELATIVE_ERROR * 100.0
+            );
+        }
+        assert_eq!(h.max(), 100_000);
+        assert!((h.mean() - 50_000.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn summary_is_monotone() {
+        let h = Histogram::new();
+        for v in [1u64, 10, 100, 1_000, 10_000, 100_000, 1_000_000] {
+            for _ in 0..100 {
+                h.record(v);
+            }
+        }
+        let s = h.summary();
+        assert!(s.p50 <= s.p90 && s.p90 <= s.p99 && s.p99 <= s.p999 && s.p999 <= s.max);
+        assert_eq!(s.count, 700);
+    }
+
+    #[test]
+    fn merge_combines_everything() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in 1..=1000u64 {
+            a.record(v);
+            b.record(v + 1000);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 2000);
+        assert_eq!(a.max(), 2000);
+        let p50 = a.quantile(0.5) as f64;
+        assert!(
+            (p50 - 1000.0).abs() / 1000.0 <= MAX_RELATIVE_ERROR,
+            "p50={p50}"
+        );
+    }
+
+    #[test]
+    fn reset_wipes() {
+        let h = Histogram::new();
+        h.record(5);
+        h.record(50_000);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.quantile(0.99), 0);
+        assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn nonzero_buckets_cover_all_observations() {
+        let h = Histogram::new();
+        for v in [0u64, 3, 63, 64, 65, 4096, 123_456_789] {
+            h.record(v);
+        }
+        let buckets = h.nonzero_buckets();
+        let total: u64 = buckets.iter().map(|&(_, _, n)| n).sum();
+        assert_eq!(total, 7);
+        for &(low, high, _) in &buckets {
+            assert!(low <= high);
+        }
+        // 64 and 65 share the first width-2 bucket past the exact range.
+        assert!(buckets
+            .iter()
+            .any(|&(lo, hi, n)| lo == 64 && hi == 65 && n == 2));
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = Histogram::new();
+        let s = h.summary();
+        assert_eq!((s.count, s.p50, s.p999, s.max), (0, 0, 0, 0));
+    }
+}

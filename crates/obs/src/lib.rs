@@ -1,0 +1,198 @@
+//! Observability substrate shared by every layer of the system.
+//!
+//! Three pieces, all built around the same pay-as-you-go discipline (one
+//! relaxed atomic branch on a hot path when the feature is off):
+//!
+//! * [`hist::Histogram`] — a log-bucketed atomic-array latency histogram
+//!   with **bounded relative error**: values below 64 are bucketed exactly,
+//!   larger values land in one of 32 sub-buckets per power of two, so a
+//!   quantile read back from the buckets is within ~1.6% of the true value.
+//!   `record` is lock-free (a handful of relaxed atomic adds), histograms
+//!   [`merge`](hist::Histogram::merge) and [`reset`](hist::Histogram::reset),
+//!   and p50/p99/p999/max are computed exactly from the buckets — no
+//!   sampling, no reservoir.  `yesquel_common::stats::StatsRegistry`
+//!   registers these by name next to its counters.
+//!
+//! * [`trace`] — op-scoped trace spans.  A [`trace::Trace`] is installed in
+//!   thread-local storage at the top of an operation (a SQL statement, a KV
+//!   transaction); instrumented code underneath charges wall-clock time to a
+//!   [`trace::SpanKind`] (sql → ydbt → kvstore → rpc → wal) and bumps
+//!   [`trace::TraceCounter`]s (node fetches, fetch-backs, retries,
+//!   conflicts, replica reads) without any plumbing through function
+//!   signatures.  When **no** trace is active anywhere in the process, every
+//!   instrumentation point is a single relaxed atomic load.  Completed
+//!   traces slower than a threshold land in a bounded [`trace::SlowOpRing`]
+//!   dumpable as JSON.
+//!
+//! * [`clock`] — the only way obs code reads the clock.  Every
+//!   `clock::now()` bumps a thread-local counter, and every allocation the
+//!   tracing layer performs is tallied through `clock::note_alloc`, so a
+//!   test can *assert* that the untraced fast path performs zero clock
+//!   reads and zero observability allocations per operation (sampling off
+//!   means truly off).
+//!
+//! The [`Obs`] control block bundles the knobs: a `timing` flag gating all
+//! latency-histogram clock reads, a 1-in-N trace sampler, the slow-op
+//! threshold and the ring itself.  One `Obs` hangs off each
+//! `StatsRegistry`, so any component holding the registry (all of them)
+//! can reach the knobs without new plumbing.
+//!
+//! This crate is a leaf: std only, no dependencies, usable from `common`
+//! downwards.
+
+pub mod clock;
+pub mod hist;
+pub mod trace;
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use trace::{SlowOpRing, Trace};
+
+/// Default capacity of the slow-op ring buffer.
+pub const SLOW_RING_CAP: usize = 128;
+
+/// Default slow-op threshold: completed traces at least this slow are kept.
+pub const DEFAULT_SLOW_THRESHOLD_US: u64 = 1_000;
+
+/// Runtime observability knobs, shared by reference from a stats registry.
+///
+/// Everything defaults to **off**: `timing_on` is false (no histogram clock
+/// reads), `sample_every` is 0 (no sampled traces).  The load harness and
+/// the metrics-dump example flip them on for their cells.
+pub struct Obs {
+    /// Gates every latency-histogram clock read in instrumented code.
+    timing: AtomicBool,
+    /// Sample 1 in N operations into a trace; 0 disables sampling.
+    sample_every: AtomicU32,
+    /// Monotone sequence for the 1-in-N sampler.
+    sample_seq: AtomicU32,
+    /// Completed traces at least this slow (µs) land in the ring.
+    slow_threshold_us: AtomicU64,
+    ring: Arc<SlowOpRing>,
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Obs {
+    /// Creates a control block with everything off and an empty ring.
+    pub fn new() -> Self {
+        Obs {
+            timing: AtomicBool::new(false),
+            sample_every: AtomicU32::new(0),
+            sample_seq: AtomicU32::new(0),
+            slow_threshold_us: AtomicU64::new(DEFAULT_SLOW_THRESHOLD_US),
+            ring: Arc::new(SlowOpRing::new(SLOW_RING_CAP)),
+        }
+    }
+
+    /// Whether latency histograms should be recorded (one relaxed load).
+    #[inline]
+    pub fn timing_on(&self) -> bool {
+        self.timing.load(Ordering::Relaxed)
+    }
+
+    /// Turns latency-histogram recording on or off.
+    pub fn set_timing(&self, on: bool) {
+        self.timing.store(on, Ordering::Relaxed);
+    }
+
+    /// Sets the trace sampling rate to 1-in-`n`; 0 disables sampling.
+    pub fn set_sample_every(&self, n: u32) {
+        self.sample_every.store(n, Ordering::Relaxed);
+    }
+
+    /// Current sampling rate (0 = off).
+    pub fn sample_every(&self) -> u32 {
+        self.sample_every.load(Ordering::Relaxed)
+    }
+
+    /// Sets the slow-op threshold in microseconds.
+    pub fn set_slow_threshold_us(&self, us: u64) {
+        self.slow_threshold_us.store(us, Ordering::Relaxed);
+    }
+
+    /// Current slow-op threshold in microseconds.
+    pub fn slow_threshold_us(&self) -> u64 {
+        self.slow_threshold_us.load(Ordering::Relaxed)
+    }
+
+    /// The ring of recently completed slow operations.
+    pub fn slow_ring(&self) -> &Arc<SlowOpRing> {
+        &self.ring
+    }
+
+    /// Sampled trace creation for an operation entry point.  Costs one
+    /// relaxed load when sampling is off; `label` is only invoked (and only
+    /// allocates) for the 1-in-N operations actually sampled.  Returns
+    /// `None` when this operation is not sampled or the thread already has
+    /// an active trace (traces do not nest).
+    #[inline]
+    pub fn maybe_trace(&self, label: impl FnOnce() -> String) -> Option<Trace> {
+        let n = self.sample_every.load(Ordering::Relaxed);
+        if n == 0 {
+            return None;
+        }
+        let seq = self.sample_seq.fetch_add(1, Ordering::Relaxed);
+        if !seq.is_multiple_of(n) {
+            return None;
+        }
+        Trace::start(
+            label(),
+            self.slow_threshold_us.load(Ordering::Relaxed),
+            Arc::clone(&self.ring),
+        )
+    }
+
+    /// Per-call opt-in trace (e.g. `EXPLAIN ANALYZE`): always traces,
+    /// regardless of the sampling rate.  Returns `None` only if the thread
+    /// already has an active trace.
+    pub fn force_trace(&self, label: String) -> Option<Trace> {
+        Trace::start(
+            label,
+            self.slow_threshold_us.load(Ordering::Relaxed),
+            Arc::clone(&self.ring),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_off() {
+        let o = Obs::new();
+        assert!(!o.timing_on());
+        assert_eq!(o.sample_every(), 0);
+        assert!(o
+            .maybe_trace(|| unreachable!("label must not build"))
+            .is_none());
+    }
+
+    #[test]
+    fn sampler_hits_one_in_n() {
+        let o = Obs::new();
+        o.set_sample_every(4);
+        let mut hits = 0;
+        for _ in 0..16 {
+            if let Some(t) = o.maybe_trace(|| "op".to_string()) {
+                hits += 1;
+                drop(t);
+            }
+        }
+        assert_eq!(hits, 4);
+    }
+
+    #[test]
+    fn force_trace_ignores_sampling() {
+        let o = Obs::new();
+        assert_eq!(o.sample_every(), 0);
+        let t = o.force_trace("explain".to_string());
+        assert!(t.is_some());
+    }
+}

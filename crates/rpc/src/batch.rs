@@ -20,7 +20,7 @@ use std::sync::Arc;
 
 use crossbeam::channel::{bounded, Sender};
 use parking_lot::Mutex;
-use yesquel_common::stats::{Counter, StatsRegistry};
+use yesquel_common::stats::{Counter, Histogram, StatsRegistry};
 use yesquel_common::{Error, Result, RpcBatchConfig, ServerId};
 
 use crate::transport::{Service, Transport};
@@ -72,6 +72,10 @@ pub struct BatchingTransport<S: BatchableService> {
     solo: Arc<Counter>,
     /// Leader rounds that lingered past the window hoping for a follower.
     linger_waits: Arc<Counter>,
+    /// Logical requests per shipped frame (solo frames count as 1; recorded
+    /// only while `Obs::timing_on`).
+    occupancy: Arc<Histogram>,
+    registry: StatsRegistry,
 }
 
 impl<S: BatchableService> BatchingTransport<S> {
@@ -99,6 +103,8 @@ impl<S: BatchableService> BatchingTransport<S> {
             batched_requests: registry.counter("rpc.batched_requests"),
             solo: registry.counter("rpc.batch_solo"),
             linger_waits: registry.counter("rpc.batch_linger_waits"),
+            occupancy: registry.histogram("rpc.batch_occupancy"),
+            registry: registry.clone(),
         }
     }
 
@@ -112,11 +118,18 @@ impl<S: BatchableService> BatchingTransport<S> {
         mine: S::Request,
         followers: Vec<Parked<S>>,
     ) -> Result<S::Response> {
+        let timing = self.registry.obs().timing_on();
         if followers.is_empty() {
             self.solo.inc();
+            if timing {
+                self.occupancy.record(1);
+            }
             return self.inner.call(server, mine);
         }
         let total = followers.len() + 1;
+        if timing {
+            self.occupancy.record(total as u64);
+        }
         let mut reqs = Vec::with_capacity(total);
         reqs.push(mine);
         let mut replies = Vec::with_capacity(followers.len());

@@ -3,7 +3,8 @@
 use std::sync::Arc;
 
 use crossbeam::channel::{bounded, Sender};
-use yesquel_common::stats::StatsRegistry;
+use yesquel_common::obs::clock;
+use yesquel_common::stats::{Counter, Histogram, StatsRegistry};
 use yesquel_common::{Error, Result, ServerId};
 
 use crate::netmodel::NetworkModel;
@@ -80,7 +81,20 @@ pub trait Transport<S: Service>: Send + Sync {
 /// [`StatsRegistry`] (e.g. the load-imbalance experiment) can read them.
 struct TransportStats {
     registry: StatsRegistry,
-    per_server_requests: Vec<std::sync::Arc<yesquel_common::stats::Counter>>,
+    // Every handle below is resolved once here: `record` runs on every RPC,
+    // and a by-name lookup per call is a mutex acquisition plus a string
+    // allocation.
+    calls: Arc<Counter>,
+    bytes_sent: Arc<Counter>,
+    bytes_received: Arc<Counter>,
+    simulated_latency_us: Arc<Histogram>,
+    /// Time a request waited in a server worker queue before being picked
+    /// up (threaded transport; recorded only while `Obs::timing_on`).
+    queue_us: Arc<Histogram>,
+    /// Time the server object spent handling a request (recorded only while
+    /// `Obs::timing_on`).
+    service_us: Arc<Histogram>,
+    per_server_requests: Vec<Arc<Counter>>,
 }
 
 impl TransportStats {
@@ -89,27 +103,31 @@ impl TransportStats {
             .map(|i| registry.counter(&format!("rpc.server.{i}.requests")))
             .collect();
         TransportStats {
+            calls: registry.counter("rpc.calls"),
+            bytes_sent: registry.counter("rpc.bytes_sent"),
+            bytes_received: registry.counter("rpc.bytes_received"),
+            simulated_latency_us: registry.histogram("rpc.simulated_latency_us"),
+            queue_us: registry.histogram("rpc.queue_us"),
+            service_us: registry.histogram("rpc.service_us"),
             registry,
             per_server_requests,
         }
     }
 
+    fn timing_on(&self) -> bool {
+        self.registry.obs().timing_on()
+    }
+
     fn record(&self, server: ServerId, req_bytes: usize, resp_bytes: usize, net: &NetworkModel) {
-        self.registry.counter("rpc.calls").inc();
-        self.registry
-            .counter("rpc.bytes_sent")
-            .add(req_bytes as u64);
-        self.registry
-            .counter("rpc.bytes_received")
-            .add(resp_bytes as u64);
+        self.calls.inc();
+        self.bytes_sent.add(req_bytes as u64);
+        self.bytes_received.add(resp_bytes as u64);
         if let Some(c) = self.per_server_requests.get(server) {
             c.inc();
         }
         let lat = net.charge_round_trip(req_bytes, resp_bytes);
         if lat > 0 {
-            self.registry
-                .histogram("rpc.simulated_latency_us")
-                .record(lat);
+            self.simulated_latency_us.record(lat);
         }
     }
 }
@@ -150,7 +168,11 @@ impl<S: Service> Transport<S> for DirectTransport<S> {
             .get(server)
             .ok_or_else(|| Error::ServerUnavailable(format!("no server {server}")))?;
         let req_bytes = S::request_wire_size(&req);
+        let t0 = self.stats.timing_on().then(clock::now);
         let resp = srv.call(req);
+        if let Some(t0) = t0 {
+            self.stats.service_us.record(clock::elapsed_us(t0));
+        }
         let resp_bytes = S::response_wire_size(&resp);
         self.stats.record(server, req_bytes, resp_bytes, &self.net);
         Ok(resp)
@@ -174,6 +196,9 @@ impl<S: Service> Transport<S> for DirectTransport<S> {
 struct Envelope<S: Service> {
     req: S::Request,
     reply: Sender<S::Response>,
+    /// Stamped at enqueue when `Obs::timing_on`; the worker turns it into a
+    /// queue-wait observation.  `None` (the default) costs nothing.
+    enqueued_at: Option<std::time::Instant>,
 }
 
 /// Transport that runs a fixed pool of worker threads per server and
@@ -222,14 +247,25 @@ impl<S: Service> ThreadedTransport<S> {
             for w in 0..workers_per_server {
                 let rx = rx.clone();
                 let srv = Arc::clone(srv);
+                let queue_hist = Arc::clone(&stats.queue_us);
+                let service_hist = Arc::clone(&stats.service_us);
                 std::thread::Builder::new()
                     .name(format!("yesquel-server-{sid}-worker-{w}"))
                     .spawn(move || {
                         while let Ok(env) = rx.recv() {
+                            // The enqueue stamp doubles as the timing switch:
+                            // absent (timing off) the worker reads no clock.
+                            let t0 = env.enqueued_at.map(|at| {
+                                queue_hist.record(clock::elapsed_us(at));
+                                clock::now()
+                            });
                             if service_us > 0 {
                                 std::thread::sleep(std::time::Duration::from_micros(service_us));
                             }
                             let resp = srv.call(env.req);
+                            if let Some(t0) = t0 {
+                                service_hist.record(clock::elapsed_us(t0));
+                            }
                             // The client may have given up; ignore send errors.
                             let _ = env.reply.send(resp);
                         }
@@ -267,6 +303,7 @@ impl<S: Service> Transport<S> for ThreadedTransport<S> {
         q.send(Envelope {
             req,
             reply: reply_tx,
+            enqueued_at: self.stats.timing_on().then(clock::now),
         })
         .map_err(|_| Error::ServerUnavailable(format!("server {server} shut down")))?;
         let resp = reply_rx

@@ -27,6 +27,10 @@ pub enum Statement {
     /// `EXPLAIN <statement>`: plan the inner statement and return its
     /// one-line description instead of executing it.
     Explain(Box<Statement>),
+    /// `EXPLAIN ANALYZE <statement>`: actually execute the inner statement
+    /// (discarding its result rows) and return per-operator row counts, KV
+    /// fetch counts and elapsed times.
+    ExplainAnalyze(Box<Statement>),
     /// `BEGIN [TRANSACTION]`
     Begin,
     /// `COMMIT`

@@ -10,7 +10,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use yesquel_common::encoding::{Reader, Writer};
-use yesquel_common::stats::Counter;
+use yesquel_common::stats::{Counter, Histogram};
 use yesquel_common::{Error, ObjectId, Result, TreeId};
 use yesquel_kv::Txn;
 use yesquel_ydbt::{Dbt, DbtEngine};
@@ -213,6 +213,23 @@ pub struct SqlCounters {
     /// Statements planned ([`crate::plan_statement`] calls).  A statement-
     /// cache hit or a prepared re-execution performs zero.
     pub plans: Arc<Counter>,
+    /// Statement latency by kind (`sql.stmt_us.select` …), recorded by
+    /// [`crate::execute_plan`] only while `Obs::timing_on`.
+    pub stmt_us: StmtHistograms,
+}
+
+/// Per-kind statement-latency histograms (`sql.stmt_us.<kind>`).
+pub struct StmtHistograms {
+    /// SELECT (including const selects and EXPLAIN variants).
+    pub select: Arc<Histogram>,
+    /// INSERT.
+    pub insert: Arc<Histogram>,
+    /// UPDATE.
+    pub update: Arc<Histogram>,
+    /// DELETE.
+    pub delete: Arc<Histogram>,
+    /// CREATE TABLE / CREATE INDEX / DROP TABLE.
+    pub ddl: Arc<Histogram>,
 }
 
 impl SqlCounters {
@@ -226,6 +243,13 @@ impl SqlCounters {
             stmt_cache_evictions: stats.counter("sql.stmt_cache_evictions"),
             parses: stats.counter("sql.parses"),
             plans: stats.counter("sql.plans"),
+            stmt_us: StmtHistograms {
+                select: stats.histogram("sql.stmt_us.select"),
+                insert: stats.histogram("sql.stmt_us.insert"),
+                update: stats.histogram("sql.stmt_us.update"),
+                delete: stats.histogram("sql.stmt_us.delete"),
+                ddl: stats.histogram("sql.stmt_us.ddl"),
+            },
         }
     }
 }

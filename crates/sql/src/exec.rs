@@ -51,8 +51,12 @@
 
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::Arc;
 
+use yesquel_common::obs::clock;
+use yesquel_common::obs::trace::{count, counter_value, TraceCounter};
+use yesquel_common::stats::Histogram;
 use yesquel_common::{Error, Result};
 use yesquel_kv::Txn;
 use yesquel_ydbt::{Dbt, RawCursor};
@@ -193,8 +197,41 @@ pub fn execute(
     execute_plan(catalog, txn, &plan, params)
 }
 
-/// Executes an already-built plan inside `txn`.
+/// Executes an already-built plan inside `txn`, recording statement latency
+/// by kind (`sql.stmt_us.<kind>`) while `Obs::timing_on`.
 pub fn execute_plan(
+    catalog: &Catalog,
+    txn: &Txn,
+    plan: &Plan,
+    params: &[Value],
+) -> Result<ResultSet> {
+    let t0 = catalog.engine().stats().obs().timing_on().then(clock::now);
+    let res = execute_plan_inner(catalog, txn, plan, params);
+    if let Some(t0) = t0 {
+        if res.is_ok() {
+            stmt_hist(catalog, plan).record(clock::elapsed_us(t0));
+        }
+    }
+    res
+}
+
+/// The per-kind statement-latency histogram a plan's execution charges.
+fn stmt_hist<'a>(catalog: &'a Catalog, plan: &Plan) -> &'a Arc<Histogram> {
+    let h = &catalog.counters().stmt_us;
+    match plan {
+        Plan::ConstSelect(_) | Plan::Select(_) | Plan::Explain(_) | Plan::ExplainAnalyze(_) => {
+            &h.select
+        }
+        Plan::Insert(_) => &h.insert,
+        Plan::Update(_) => &h.update,
+        Plan::Delete(_) => &h.delete,
+        Plan::CreateTable(_) | Plan::CreateIndex(_) | Plan::DropTable { .. } => &h.ddl,
+    }
+}
+
+/// [`execute_plan`] without the latency record (so EXPLAIN ANALYZE's inner
+/// execution is not charged twice).
+fn execute_plan_inner(
     catalog: &Catalog,
     txn: &Txn,
     plan: &Plan,
@@ -219,6 +256,7 @@ pub fn execute_plan(
                 last_rowid: None,
             })
         }
+        Plan::ExplainAnalyze(inner) => exec_explain_analyze(&cx, inner),
         Plan::Insert(p) => exec_insert(&cx, p),
         Plan::Update(p) => exec_update(&cx, p),
         Plan::Delete(p) => exec_delete(&cx, p),
@@ -265,7 +303,18 @@ pub fn open_stream(
                 row: Some(vec![Value::Text(inner.describe())]),
             }),
         }),
-        Plan::Select(p) => open_select(&cx, p),
+        Plan::ExplainAnalyze(inner) => {
+            // The report needs the whole execution drained, so the "stream"
+            // is the materialised report replayed row by row.
+            let rs = exec_explain_analyze(&cx, inner)?;
+            Ok(RowStream {
+                columns: rs.columns,
+                src: Box::new(CollectedOp {
+                    rows: rs.rows.into_iter(),
+                }),
+            })
+        }
+        Plan::Select(p) => open_select(&cx, p, None),
         _ => Err(Error::InvalidArgument(
             "only SELECT and EXPLAIN statements produce a row stream".into(),
         )),
@@ -544,6 +593,7 @@ impl ScanOp {
                         None => ScanKind::Empty,
                         Some(bytes) => {
                             cx.catalog.counters().rows_scanned.inc();
+                            count(TraceCounter::RowsScanned, 1);
                             ScanKind::Point(Some((rid, decode_row(&bytes)?)))
                         }
                     },
@@ -597,6 +647,7 @@ impl ScanOp {
                     None => return Ok(None),
                     Some((key, value)) => {
                         counters.rows_scanned.inc();
+                        count(TraceCounter::RowsScanned, 1);
                         (decode_rowid_key(&key)?, decode_row(&value)?)
                     }
                 },
@@ -610,6 +661,7 @@ impl ScanOp {
                         None => return Ok(None),
                         Some((key, value)) => {
                             counters.rows_scanned.inc();
+                            count(TraceCounter::RowsScanned, 1);
                             if *covering {
                                 decode_covered_row(&self.schema, ix, &key, &value)?
                             } else {
@@ -629,6 +681,7 @@ impl ScanOp {
                                         })?
                                 };
                                 counters.fetchbacks.inc();
+                                count(TraceCounter::FetchBacks, 1);
                                 let row_bytes = self
                                     .table
                                     .lookup(cx.txn, &encode_rowid_key(rid))?
@@ -730,6 +783,18 @@ struct OneRowOp {
 impl RowSource for OneRowOp {
     fn next_row(&mut self, _cx: &ExecCtx<'_>) -> Result<Option<Vec<Value>>> {
         Ok(self.row.take())
+    }
+}
+
+/// Replays rows materialised up front (the EXPLAIN ANALYZE report, which
+/// needs the whole execution drained before its first row exists).
+struct CollectedOp {
+    rows: std::vec::IntoIter<Vec<Value>>,
+}
+
+impl RowSource for CollectedOp {
+    fn next_row(&mut self, _cx: &ExecCtx<'_>) -> Result<Option<Vec<Value>>> {
+        Ok(self.rows.next())
     }
 }
 
@@ -1059,6 +1124,7 @@ fn open_minmax(cx: &ExecCtx<'_>, p: &SelectPlan, agg: &AggregatePlan) -> Result<
                 None => Ok(vec![Value::Null]),
                 Some((key, value)) => {
                     counters.rows_scanned.inc();
+                    count(TraceCounter::RowsScanned, 1);
                     let (_, row) = decode_covered_row(&p.schema, ix, &key, &value)?;
                     Ok(vec![row[ix.columns[eq.len()]].clone()])
                 }
@@ -1090,6 +1156,7 @@ fn open_minmax(cx: &ExecCtx<'_>, p: &SelectPlan, agg: &AggregatePlan) -> Result<
                 None => Ok(vec![Value::Null]),
                 Some((key, _)) => {
                     counters.rows_scanned.inc();
+                    count(TraceCounter::RowsScanned, 1);
                     Ok(vec![Value::Int(decode_rowid_key(&key)?)])
                 }
             }
@@ -1260,19 +1327,210 @@ impl RowSource for OffsetLimitOp {
 }
 
 // ---------------------------------------------------------------------------
+// EXPLAIN ANALYZE metering
+// ---------------------------------------------------------------------------
+
+/// Per-operator measurements accumulated while an EXPLAIN ANALYZE pipeline
+/// runs.  Counts are *inclusive* of everything beneath the operator (they
+/// are trace-counter deltas taken around `next_row`); [`Meter::report`]
+/// subtracts the child's share so the report shows each operator's own KV
+/// work.
+struct MeterCell {
+    label: String,
+    /// The pipeline leaf (scan / minmax): its `rows_in` is the number of
+    /// entries it examined (`RowsScanned` delta) rather than a child's
+    /// output.
+    leaf: bool,
+    rows_out: AtomicU64,
+    scanned: AtomicU64,
+    kv_fetches: AtomicU64,
+    fetchbacks: AtomicU64,
+    elapsed_us: AtomicU64,
+}
+
+impl MeterCell {
+    fn new(label: String, leaf: bool) -> MeterCell {
+        MeterCell {
+            label,
+            leaf,
+            rows_out: AtomicU64::new(0),
+            scanned: AtomicU64::new(0),
+            kv_fetches: AtomicU64::new(0),
+            fetchbacks: AtomicU64::new(0),
+            elapsed_us: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Collects the cells of one metered pipeline, leaf first.  Built only for
+/// EXPLAIN ANALYZE — a plain SELECT never constructs meter state.
+struct Meter {
+    cells: std::cell::RefCell<Vec<Arc<MeterCell>>>,
+}
+
+/// `(clock, NodeFetches, FetchBacks, RowsScanned)` snapshot bracketing a
+/// metered region.
+type MeterProbe = (std::time::Instant, u64, u64, u64);
+
+fn meter_probe() -> MeterProbe {
+    (
+        clock::now(),
+        counter_value(TraceCounter::NodeFetches),
+        counter_value(TraceCounter::FetchBacks),
+        counter_value(TraceCounter::RowsScanned),
+    )
+}
+
+impl Meter {
+    fn new() -> Meter {
+        Meter {
+            cells: std::cell::RefCell::new(Vec::new()),
+        }
+    }
+
+    fn cell(&self, label: String, leaf: bool) -> Arc<MeterCell> {
+        let cell = Arc::new(MeterCell::new(label, leaf));
+        self.cells.borrow_mut().push(Arc::clone(&cell));
+        cell
+    }
+
+    /// One report row per operator, top of the pipeline first:
+    /// `[operator, rows_in, rows_out, kv_fetches, fetchbacks, elapsed_us]`.
+    fn report(&self) -> Vec<Vec<Value>> {
+        let cells = self.cells.borrow();
+        let mut rows = Vec::with_capacity(cells.len());
+        for (i, cell) in cells.iter().enumerate().rev() {
+            let child = if i > 0 { Some(&cells[i - 1]) } else { None };
+            let rows_in = if cell.leaf {
+                cell.scanned.load(AtomicOrdering::Relaxed)
+            } else {
+                child
+                    .map(|c| c.rows_out.load(AtomicOrdering::Relaxed))
+                    .unwrap_or(0)
+            };
+            // A parent's inclusive count minus its child's is the KV work
+            // the operator performed itself (in practice: fetches at the
+            // scan, zero above it).
+            let own = |f: fn(&MeterCell) -> &AtomicU64| {
+                f(cell).load(AtomicOrdering::Relaxed).saturating_sub(
+                    child
+                        .map(|c| f(c).load(AtomicOrdering::Relaxed))
+                        .unwrap_or(0),
+                )
+            };
+            rows.push(vec![
+                Value::Text(cell.label.clone()),
+                Value::Int(rows_in as i64),
+                Value::Int(cell.rows_out.load(AtomicOrdering::Relaxed) as i64),
+                Value::Int(own(|c| &c.kv_fetches) as i64),
+                Value::Int(own(|c| &c.fetchbacks) as i64),
+                Value::Int(cell.elapsed_us.load(AtomicOrdering::Relaxed) as i64),
+            ]);
+        }
+        rows
+    }
+}
+
+/// Wraps one operator of a metered pipeline: charges elapsed time and the
+/// trace-counter deltas of every `next_row` to its cell.
+struct MeterOp {
+    inner: Box<dyn RowSource + Send>,
+    cell: Arc<MeterCell>,
+}
+
+impl MeterOp {
+    /// Charges a bracketed region (a `next_row`, or the open-time work of
+    /// the access path) to `cell`.
+    fn charge(cell: &MeterCell, probe: MeterProbe) {
+        let (t0, f0, b0, s0) = probe;
+        cell.elapsed_us
+            .fetch_add(clock::elapsed_us(t0), AtomicOrdering::Relaxed);
+        cell.kv_fetches.fetch_add(
+            counter_value(TraceCounter::NodeFetches) - f0,
+            AtomicOrdering::Relaxed,
+        );
+        cell.fetchbacks.fetch_add(
+            counter_value(TraceCounter::FetchBacks) - b0,
+            AtomicOrdering::Relaxed,
+        );
+        cell.scanned.fetch_add(
+            counter_value(TraceCounter::RowsScanned) - s0,
+            AtomicOrdering::Relaxed,
+        );
+    }
+}
+
+impl RowSource for MeterOp {
+    fn next_row(&mut self, cx: &ExecCtx<'_>) -> Result<Option<Vec<Value>>> {
+        let probe = meter_probe();
+        let r = self.inner.next_row(cx);
+        Self::charge(&self.cell, probe);
+        if matches!(r, Ok(Some(_))) {
+            self.cell.rows_out.fetch_add(1, AtomicOrdering::Relaxed);
+        }
+        r
+    }
+}
+
+/// Wraps `src` in a [`MeterOp`] when a meter is present, else passes it
+/// through untouched (the plain-SELECT path).
+fn metered(
+    meter: Option<&Meter>,
+    label: &str,
+    leaf: bool,
+    src: Box<dyn RowSource + Send>,
+) -> Box<dyn RowSource + Send> {
+    match meter {
+        None => src,
+        Some(m) => Box::new(MeterOp {
+            inner: src,
+            cell: m.cell(label.to_string(), leaf),
+        }),
+    }
+}
+
+/// The report label of the pipeline leaf.
+fn leaf_label(p: &SelectPlan) -> String {
+    match &p.access {
+        AccessPath::RowidPoint(_) => format!("point {}", p.schema.name),
+        AccessPath::RowidRange { .. } => format!("range {}", p.schema.name),
+        AccessPath::FullScan => format!("scan {}", p.schema.name),
+        AccessPath::IndexScan { index, .. } => {
+            let ix = &p.schema.indexes[*index];
+            if p.covering {
+                format!("index {}.{} covering", p.schema.name, ix.name)
+            } else {
+                format!("index {}.{}", p.schema.name, ix.name)
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // SELECT pipeline assembly
 // ---------------------------------------------------------------------------
 
-/// Assembles the operator stack of a SELECT (see the module diagram).
-fn open_select(cx: &ExecCtx<'_>, p: &SelectPlan) -> Result<RowStream> {
+/// Assembles the operator stack of a SELECT (see the module diagram).  With
+/// a meter (EXPLAIN ANALYZE) every operator is wrapped in a [`MeterOp`] and
+/// the access path's open-time work (the point lookup, cursor seeks, the
+/// one-row MIN/MAX read) is charged to the leaf's cell.
+fn open_select(cx: &ExecCtx<'_>, p: &SelectPlan, meter: Option<&Meter>) -> Result<RowStream> {
+    let open_probe = meter.map(|_| meter_probe());
     // Source: scan (+ aggregation), or the one-row MIN/MAX read.
     let (src, proj_layout): (Box<dyn RowSource + Send>, ColumnLayout) = match &p.aggregate {
-        Some(agg) if agg.strategy == AggStrategy::MinMax => (
-            Box::new(OneRowOp {
-                row: Some(open_minmax(cx, p, agg)?),
-            }),
-            ColumnLayout::empty(),
-        ),
+        Some(agg) if agg.strategy == AggStrategy::MinMax => {
+            let row = open_minmax(cx, p, agg)?;
+            let leaf = metered(
+                meter,
+                &format!("minmax {}", p.schema.name),
+                true,
+                Box::new(OneRowOp { row: Some(row) }),
+            );
+            if let (Some(m), Some(probe)) = (meter, open_probe) {
+                MeterOp::charge(m.cells.borrow().last().expect("leaf cell"), probe);
+            }
+            (leaf, ColumnLayout::empty())
+        }
         Some(agg) => {
             let scan = ScanOp::open(
                 cx,
@@ -1282,12 +1540,21 @@ fn open_select(cx: &ExecCtx<'_>, p: &SelectPlan) -> Result<RowStream> {
                 p.filter.clone(),
                 p.covering,
             )?;
+            let leaf = metered(meter, &leaf_label(p), true, Box::new(scan));
+            if let (Some(m), Some(probe)) = (meter, open_probe) {
+                MeterOp::charge(m.cells.borrow().last().expect("leaf cell"), probe);
+            }
             (
-                Box::new(AggregateOp::new(
-                    Box::new(scan),
-                    p.layout.clone(),
-                    std::sync::Arc::clone(agg),
-                )),
+                metered(
+                    meter,
+                    &format!("aggregate {}", agg.strategy.name()),
+                    false,
+                    Box::new(AggregateOp::new(
+                        leaf,
+                        p.layout.clone(),
+                        std::sync::Arc::clone(agg),
+                    )),
+                ),
                 // Aggregate-query expressions are Slot-based; no names to
                 // resolve.
                 ColumnLayout::empty(),
@@ -1302,50 +1569,151 @@ fn open_select(cx: &ExecCtx<'_>, p: &SelectPlan) -> Result<RowStream> {
                 p.filter.clone(),
                 p.covering,
             )?;
-            (Box::new(scan), p.layout.clone())
+            let leaf = metered(meter, &leaf_label(p), true, Box::new(scan));
+            if let (Some(m), Some(probe)) = (meter, open_probe) {
+                MeterOp::charge(m.cells.borrow().last().expect("leaf cell"), probe);
+            }
+            (leaf, p.layout.clone())
         }
     };
 
     // Projection (+ sort keys when the sort survives).
     let n_out = p.output.len();
-    let mut src: Box<dyn RowSource + Send> = Box::new(ProjectOp {
-        input: src,
-        layout: proj_layout,
-        output: std::sync::Arc::clone(&p.output),
-        order: std::sync::Arc::clone(&p.order_by),
-        with_keys: p.sort_needed,
-    });
+    let mut src: Box<dyn RowSource + Send> = metered(
+        meter,
+        "project",
+        false,
+        Box::new(ProjectOp {
+            input: src,
+            layout: proj_layout,
+            output: std::sync::Arc::clone(&p.output),
+            order: std::sync::Arc::clone(&p.order_by),
+            with_keys: p.sort_needed,
+        }),
+    );
 
     if p.sort_needed {
-        src = Box::new(TrimOp {
-            input: Box::new(SortOp {
-                input: src,
-                key_start: n_out,
-                desc: p.order_by.iter().map(|s| s.desc).collect(),
-                sorted: None,
+        src = metered(
+            meter,
+            "sort",
+            false,
+            Box::new(TrimOp {
+                input: Box::new(SortOp {
+                    input: src,
+                    key_start: n_out,
+                    desc: p.order_by.iter().map(|s| s.desc).collect(),
+                    sorted: None,
+                }),
+                keep: n_out,
             }),
-            keep: n_out,
-        });
+        );
     }
     if p.distinct {
-        src = Box::new(DistinctOp {
-            input: src,
-            seen: HashSet::new(),
-        });
+        src = metered(
+            meter,
+            "distinct",
+            false,
+            Box::new(DistinctOp {
+                input: src,
+                seen: HashSet::new(),
+            }),
+        );
     }
     if p.limit.is_some() || p.offset.is_some() {
-        src = Box::new(OffsetLimitOp {
-            input: src,
-            skip: p.offset.unwrap_or(0),
-            take: p.limit,
-            yielded: 0,
-            done: false,
-        });
+        src = metered(
+            meter,
+            "limit",
+            false,
+            Box::new(OffsetLimitOp {
+                input: src,
+                skip: p.offset.unwrap_or(0),
+                take: p.limit,
+                yielded: 0,
+                done: false,
+            }),
+        );
     }
 
     Ok(RowStream {
         columns: p.output.iter().map(|o| o.name.clone()).collect(),
         src,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// EXPLAIN ANALYZE
+// ---------------------------------------------------------------------------
+
+/// Executes the inner plan and reports per-operator measurements instead of
+/// its rows: `(operator, rows_in, rows_out, kv_fetches, fetchbacks,
+/// elapsed_us)`, with the plan description first and a `total` row last.
+///
+/// A trace is forced for the duration (regardless of the sampling rate), so
+/// the per-operator KV-fetch and fetch-back numbers come from the same
+/// trace counters the histograms and slow-op ring use — the report is
+/// cross-checkable against the `dbt.*` / `sql.*` registry counters.
+/// `elapsed_us` is inclusive of the operator's children (as in other
+/// engines' EXPLAIN ANALYZE); `kv_fetches`/`fetchbacks` are each operator's
+/// own.  SELECT plans get one row per operator; DML and DDL report the
+/// `total` row only (their work is not operator-shaped).
+fn exec_explain_analyze(cx: &ExecCtx<'_>, inner: &Plan) -> Result<ResultSet> {
+    let obs = cx.catalog.engine().stats().obs();
+    let _trace = obs.force_trace("explain_analyze".to_string());
+    let probe = meter_probe();
+    let (mut op_rows, rows_out) = match inner {
+        Plan::Select(p) => {
+            let meter = Meter::new();
+            let mut stream = open_select(cx, p, Some(&meter))?;
+            let mut n = 0u64;
+            while stream.next_row(cx)?.is_some() {
+                n += 1;
+            }
+            (meter.report(), n)
+        }
+        other => {
+            let rs = execute_plan_inner(cx.catalog, cx.txn, other, cx.params)?;
+            let n = if rs.rows.is_empty() {
+                rs.rows_affected
+            } else {
+                rs.rows.len() as u64
+            };
+            (Vec::new(), n)
+        }
+    };
+    let (t0, f0, b0, _) = probe;
+    let mut rows = Vec::with_capacity(op_rows.len() + 2);
+    rows.push(vec![
+        Value::Text(format!("plan: {}", inner.describe())),
+        Value::Null,
+        Value::Null,
+        Value::Null,
+        Value::Null,
+        Value::Null,
+    ]);
+    rows.append(&mut op_rows);
+    rows.push(vec![
+        Value::Text("total".to_string()),
+        Value::Null,
+        Value::Int(rows_out as i64),
+        Value::Int((counter_value(TraceCounter::NodeFetches) - f0) as i64),
+        Value::Int((counter_value(TraceCounter::FetchBacks) - b0) as i64),
+        Value::Int(clock::elapsed_us(t0) as i64),
+    ]);
+    Ok(ResultSet {
+        columns: [
+            "operator",
+            "rows_in",
+            "rows_out",
+            "kv_fetches",
+            "fetchbacks",
+            "elapsed_us",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
+        rows,
+        rows_affected: 0,
+        last_rowid: None,
     })
 }
 

@@ -122,8 +122,13 @@ impl Parser {
         match &first {
             t if t.is_kw("explain") => {
                 self.bump();
+                let analyze = self.eat_kw("analyze");
                 let inner = self.parse_statement()?;
-                Ok(Statement::Explain(Box::new(inner)))
+                if analyze {
+                    Ok(Statement::ExplainAnalyze(Box::new(inner)))
+                } else {
+                    Ok(Statement::Explain(Box::new(inner)))
+                }
             }
             t if t.is_kw("create") => self.parse_create(),
             t if t.is_kw("drop") => self.parse_drop(),

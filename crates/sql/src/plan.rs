@@ -328,6 +328,9 @@ pub enum Plan {
     Delete(DeletePlan),
     /// EXPLAIN: return the inner plan's description instead of running it.
     Explain(Box<Plan>),
+    /// EXPLAIN ANALYZE: run the inner plan with per-operator metering and
+    /// return the measurements instead of the result rows.
+    ExplainAnalyze(Box<Plan>),
     /// CREATE TABLE (executed by the catalog).
     CreateTable(CreateTable),
     /// CREATE INDEX (executed by the catalog).
@@ -401,6 +404,7 @@ impl Plan {
             Plan::Update(p) => format!("UPDATE {}", access(&p.target.schema, &p.target.access)),
             Plan::Delete(p) => format!("DELETE {}", access(&p.target.schema, &p.target.access)),
             Plan::Explain(inner) => format!("EXPLAIN {}", inner.describe()),
+            Plan::ExplainAnalyze(inner) => format!("EXPLAIN ANALYZE {}", inner.describe()),
             Plan::CreateTable(ct) => format!("CREATE TABLE {}", ct.name),
             Plan::CreateIndex(ci) => format!("CREATE INDEX {}", ci.name),
             Plan::DropTable { name, .. } => format!("DROP TABLE {name}"),
@@ -432,6 +436,10 @@ fn plan_inner(catalog: &Catalog, txn: &Txn, stmt: &Statement) -> Result<Plan> {
         Statement::Explain(inner) => {
             let inner = plan_inner(catalog, txn, inner)?;
             Ok(Plan::Explain(Box::new(inner)))
+        }
+        Statement::ExplainAnalyze(inner) => {
+            let inner = plan_inner(catalog, txn, inner)?;
+            Ok(Plan::ExplainAnalyze(Box::new(inner)))
         }
         Statement::Begin | Statement::Commit | Statement::Rollback => Err(Error::InvalidArgument(
             "transaction control must be handled by the session".into(),

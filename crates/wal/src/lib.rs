@@ -57,7 +57,9 @@ use std::time::Duration;
 
 use bytes::Bytes;
 use yesquel_common::encoding::{Reader, Writer};
-use yesquel_common::stats::{Counter, StatsRegistry};
+use yesquel_common::obs::clock;
+use yesquel_common::obs::trace::{span, SpanKind};
+use yesquel_common::stats::{Counter, Histogram, StatsRegistry};
 use yesquel_common::{Error, ObjectId, Result, ServerId, Timestamp, TxnId, WalFsyncPolicy};
 
 /// Magic bytes opening every segment file.
@@ -499,6 +501,17 @@ pub struct Wal {
     group_size: Arc<Counter>,
     group_solo: Arc<Counter>,
     recovered_txns: Arc<Counter>,
+    /// End-to-end append latency — the frame write plus this appender's
+    /// share of the group fsync (recorded only while `Obs::timing_on`).
+    append_us: Arc<Histogram>,
+    /// Latency of each `fdatasync` as observed by the group leader
+    /// (recorded only while `Obs::timing_on`).
+    fsync_us: Arc<Histogram>,
+    /// Frames made durable per fsync — the group-commit amortisation
+    /// distribution (recorded only while `Obs::timing_on`).
+    group_size_dist: Arc<Histogram>,
+    /// Kept for the `Obs::timing_on` check on the append path.
+    stats: StatsRegistry,
 }
 
 fn segment_path(dir: &Path, seq: u64) -> PathBuf {
@@ -625,6 +638,10 @@ impl Wal {
             group_size: registry.counter("wal.group_size"),
             group_solo: registry.counter("wal.group_solo"),
             recovered_txns: registry.counter("wal.recovered_txns"),
+            append_us: registry.histogram("wal.append_us"),
+            fsync_us: registry.histogram("wal.fsync_us"),
+            group_size_dist: registry.histogram("wal.group_size_dist"),
+            stats: registry.clone(),
             dir,
             policy,
         };
@@ -756,6 +773,8 @@ impl Wal {
     /// Appends `rec` and returns once it is durable per the fsync policy.
     /// Under `Group`, concurrent appenders coalesce into one fsync.
     pub fn append(&self, rec: &WalRecord) -> Result<()> {
+        let _wal_span = span(SpanKind::Wal);
+        let t0 = self.stats.obs().timing_on().then(clock::now);
         let frame = encode_frame(rec);
         let upto = {
             let mut g = self.inner.lock().unwrap();
@@ -767,13 +786,19 @@ impl Wal {
             g.len
         };
         self.appends.inc();
-        match self.policy {
+        let res = match self.policy {
             WalFsyncPolicy::Off => Ok(()),
             WalFsyncPolicy::Always => self.ensure_durable(upto, Duration::ZERO),
             WalFsyncPolicy::Group { window_us } => {
                 self.ensure_durable(upto, Duration::from_micros(window_us))
             }
+        };
+        if let Some(t0) = t0 {
+            if res.is_ok() {
+                self.append_us.record(clock::elapsed_us(t0));
+            }
         }
+        res
     }
 
     /// Blocks until a sync covers byte offset `upto`, electing this thread
@@ -796,16 +821,23 @@ impl Wal {
             // Let concurrent committers append their frames into this group.
             std::thread::sleep(window);
         }
+        let timing = self.stats.obs().timing_on();
         let res = {
             // Joiner re-check: the segment length is re-read *after* the
             // window, so every frame appended while the leader slept — by
             // followers now parked on the condvar — rides this one sync.
             let g = self.inner.lock().unwrap();
             let end = (g.len, g.frames);
-            g.file
+            let t0 = timing.then(clock::now);
+            let synced = g
+                .file
                 .sync_data()
                 .map(|_| end)
-                .map_err(|e| Error::io(g.path.display(), e))
+                .map_err(|e| Error::io(g.path.display(), e));
+            if let (Some(t0), Ok(_)) = (t0, &synced) {
+                self.fsync_us.record(clock::elapsed_us(t0));
+            }
+            synced
         };
         let mut s = self.sync.lock().unwrap();
         s.leader_active = false;
@@ -816,6 +848,9 @@ impl Wal {
                     self.fsyncs.inc();
                     let group = frames.saturating_sub(s.durable_frames);
                     self.group_size.add(group);
+                    if timing {
+                        self.group_size_dist.record(group);
+                    }
                     if !window.is_zero() && group == 1 {
                         // The leader re-read the segment length after its
                         // window (the joiner check above) and still found

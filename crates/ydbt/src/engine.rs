@@ -10,7 +10,7 @@ use std::sync::Arc;
 
 use yesquel_common::config::SplitMode;
 use yesquel_common::ids::ROOT_OID;
-use yesquel_common::stats::{Counter, StatsRegistry};
+use yesquel_common::stats::{Counter, Histogram, StatsRegistry};
 use yesquel_common::{DbtConfig, Error, ObjectId, Oid, Result, TreeId};
 use yesquel_kv::KvClient;
 
@@ -40,6 +40,9 @@ pub(crate) struct HotCounters {
     pub(crate) replica_reads: Arc<Counter>,
     /// Node writes that fanned out to a replica set (write-all).
     pub(crate) replica_fanout_writes: Arc<Counter>,
+    /// Node fetches per root-to-leaf descent (recorded only while
+    /// `Obs::timing_on`; cache hits make the common warm value 1).
+    pub(crate) descent_fetches: Arc<Histogram>,
 }
 
 impl HotCounters {
@@ -55,6 +58,7 @@ impl HotCounters {
             scan_leaf_fetches: stats.counter("dbt.scan_leaf_fetches"),
             replica_reads: stats.counter("dbt.replica_reads"),
             replica_fanout_writes: stats.counter("dbt.replica_fanout_writes"),
+            descent_fetches: stats.histogram("dbt.descent_fetches"),
         }
     }
 }

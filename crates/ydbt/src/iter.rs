@@ -25,6 +25,7 @@
 use std::sync::Arc;
 
 use bytes::Bytes;
+use yesquel_common::obs::trace::{count, TraceCounter};
 use yesquel_common::stats::Counter;
 use yesquel_common::{Result, TreeId};
 use yesquel_kv::Txn;
@@ -80,6 +81,7 @@ impl RawCursor {
             }
             Some(oid) => {
                 self.leaf_fetches.inc();
+                count(TraceCounter::NodeFetches, 1);
                 self.leaf = Some(fetch_leaf_sibling(txn, self.tree, oid)?);
                 self.idx = 0;
                 Ok(true)

@@ -41,6 +41,7 @@ use std::sync::Arc;
 use bytes::Bytes;
 use yesquel_common::config::SplitMode;
 use yesquel_common::ids::ROOT_OID;
+use yesquel_common::obs::trace::{count, span, SpanKind, TraceCounter};
 use yesquel_common::{Error, ObjectId, Oid, Result, TreeId};
 use yesquel_kv::Txn;
 
@@ -155,18 +156,23 @@ impl Dbt {
     /// falls back to the primary — under snapshot isolation a replica is
     /// otherwise byte-identical to the primary (see [`crate::replica`]), so
     /// the fallback is the only correctness hook the read path needs.
-    fn fetch_view_any(&self, txn: &Txn, oid: Oid) -> Result<Option<NodeView>> {
+    fn fetch_view_any(&self, txn: &Txn, oid: Oid, fetches: &mut u64) -> Result<Option<NodeView>> {
         let counters = self.engine.counters();
         let replicas = self.engine.replicas();
         if let Some(roid) = replicas.choose(self.tree, oid) {
             counters.node_fetches.inc();
+            count(TraceCounter::NodeFetches, 1);
+            *fetches += 1;
             if let Some(view) = fetch_view(txn, self.tree, roid)? {
                 counters.replica_reads.inc();
+                count(TraceCounter::ReplicaReads, 1);
                 return Ok(Some(view));
             }
             replicas.forget(self.tree, oid);
         }
         counters.node_fetches.inc();
+        count(TraceCounter::NodeFetches, 1);
+        *fetches += 1;
         let view = fetch_view(txn, self.tree, oid)?;
         // Keep the client's replica map in sync with what the primary page
         // says (pages are where replica sets live; the map is just a hint).
@@ -213,11 +219,15 @@ impl Dbt {
         // Phase 2: verified descent.
         let mut idx = path.len() - 1;
         let mut restarts = 0usize;
+        let mut fetches = 0u64;
         loop {
             let oid = path[idx];
-            let fetched = self.fetch_view_any(txn, oid)?;
+            let fetched = self.fetch_view_any(txn, oid, &mut fetches)?;
             match fetched {
                 Some(NodeView::Leaf(leaf)) if leaf.fence_contains(key) => {
+                    if self.engine.stats().obs().timing_on() {
+                        counters.descent_fetches.record(fetches);
+                    }
                     path.truncate(idx + 1);
                     return Ok(LeafRef { path, leaf });
                 }
@@ -333,6 +343,7 @@ impl Dbt {
     /// them out (`Bytes::copy_from_slice(&v)`); callers that consume values
     /// immediately — the common case — pay no copy at all.
     pub fn lookup(&self, txn: &Txn, key: &[u8]) -> Result<Option<Bytes>> {
+        let _dbt_span = span(SpanKind::Dbt);
         self.engine.counters().lookups.inc();
         let lr = self.find_leaf(txn, key)?;
         self.track_access(lr.oid(), lr.leaf.len(), false);
@@ -342,6 +353,7 @@ impl Dbt {
     /// Inserts (or replaces) `key` → `value`.  Returns true if an existing
     /// value was replaced.
     pub fn insert(&self, txn: &Txn, key: &[u8], value: &[u8]) -> Result<bool> {
+        let _dbt_span = span(SpanKind::Dbt);
         self.engine.counters().inserts.inc();
         let (path, mut leaf) = self.find_leaf_mut(txn, key)?;
         let leaf_oid = *path.last().expect("path never empty");
@@ -378,6 +390,7 @@ impl Dbt {
 
     /// Deletes `key`.  Returns true if it existed.
     pub fn delete(&self, txn: &Txn, key: &[u8]) -> Result<bool> {
+        let _dbt_span = span(SpanKind::Dbt);
         self.engine.counters().deletes.inc();
         let lr = self.find_leaf(txn, key)?;
         let leaf_oid = lr.oid();
@@ -421,6 +434,7 @@ impl Dbt {
         start: Option<&[u8]>,
         end: Option<&[u8]>,
     ) -> Result<RawCursor> {
+        let _dbt_span = span(SpanKind::Dbt);
         self.engine.counters().scans.inc();
         let start_key = start.unwrap_or(b"");
         let lr = self.find_leaf(txn, start_key)?;
@@ -443,6 +457,7 @@ impl Dbt {
     /// the common case.  This is what compiles `MAX(col)` over an indexed
     /// column into a bounded read instead of a full scan.
     pub fn seek_last(&self, txn: &Txn, hi: Option<&[u8]>) -> Result<Option<(Bytes, Bytes)>> {
+        let _dbt_span = span(SpanKind::Dbt);
         self.engine.counters().scans.inc();
         self.last_under(txn, ROOT_OID, hi, 0)
     }
@@ -461,6 +476,7 @@ impl Dbt {
             )));
         }
         self.engine.counters().node_fetches.inc();
+        count(TraceCounter::NodeFetches, 1);
         match fetch_view(txn, self.tree, oid)? {
             None if oid == ROOT_OID => Err(Error::NotFound(format!(
                 "tree {} has no root node (was it created?)",
@@ -519,6 +535,7 @@ impl Dbt {
     /// Walks the leaf chain and sums per-leaf cell counts from the page
     /// headers — no cell is decoded, nothing is allocated per key.
     pub fn count(&self, txn: &Txn) -> Result<u64> {
+        let _dbt_span = span(SpanKind::Dbt);
         self.engine.counters().scans.inc();
         let counters = self.engine.counters();
         let lr = self.find_leaf(txn, b"")?;
@@ -526,6 +543,7 @@ impl Dbt {
         let mut next = lr.leaf.next();
         while let Some(oid) = next {
             counters.scan_leaf_fetches.inc();
+            count(TraceCounter::NodeFetches, 1);
             let leaf = fetch_leaf_sibling(txn, self.tree, oid)?;
             n += leaf.len() as u64;
             next = leaf.next();

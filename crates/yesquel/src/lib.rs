@@ -257,7 +257,7 @@ impl Session {
     fn require_query_plan(plan: &Plan) -> Result<()> {
         if matches!(
             plan,
-            Plan::Select(_) | Plan::ConstSelect(_) | Plan::Explain(_)
+            Plan::Select(_) | Plan::ConstSelect(_) | Plan::Explain(_) | Plan::ExplainAnalyze(_)
         ) {
             Ok(())
         } else {
@@ -279,6 +279,16 @@ impl Session {
         first_plan: Option<Arc<Plan>>,
         params: &[Value],
     ) -> Result<Rows> {
+        // Sampled trace covering open + the eager (explicit-transaction)
+        // execution; the streaming autocommit path finishes the trace when
+        // the open returns, charging the per-row pulls to the caller's
+        // iteration (which has no statement-shaped scope to trace).
+        let _trace = self
+            .catalog
+            .engine()
+            .stats()
+            .obs()
+            .maybe_trace(|| "sql.query".to_string());
         {
             let mut cur = self.current.lock();
             if cur.is_some() {
@@ -405,6 +415,7 @@ impl Session {
                 | Plan::Update(_)
                 | Plan::Delete(_)
                 | Plan::Explain(_)
+                | Plan::ExplainAnalyze(_)
         ) {
             return;
         }
@@ -530,6 +541,15 @@ impl Session {
         first_plan: Option<Arc<Plan>>,
         params: &[Value],
     ) -> Result<ResultSet> {
+        // Sampled op-scoped trace (1-in-N; one relaxed load when off).  The
+        // guard spans the whole statement, so span timings and trace
+        // counters from every layer beneath attribute to it.
+        let _trace = self
+            .catalog
+            .engine()
+            .stats()
+            .obs()
+            .maybe_trace(|| "sql.execute".to_string());
         // Explicit transaction: run the statement inside it.  Planning
         // errors (parse/schema/unsupported) write nothing and leave the
         // transaction usable; an execution error may have buffered partial
